@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive artifacts (the Table 4 fits, the measured-design datasets) are
+built once per session and shared across the table/figure benchmarks.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import evaluate_estimators
+from repro.core.accounting import AccountingPolicy
+from repro.data.paper import paper_dataset
+from repro.designs.loader import measured_dataset
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The paper's published 18-component dataset (Table 4)."""
+    return paper_dataset()
+
+
+@pytest.fixture(scope="session")
+def table4(dataset):
+    """Every estimator fitted on the paper data, both model variants."""
+    return evaluate_estimators(dataset)
+
+
+@pytest.fixture(scope="session")
+def measured_with():
+    """Bundled designs measured with the accounting procedure."""
+    return measured_dataset(AccountingPolicy.recommended())
+
+
+@pytest.fixture(scope="session")
+def measured_without():
+    """Bundled designs measured without the accounting procedure."""
+    return measured_dataset(AccountingPolicy.disabled())
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a block of text to the real terminal (not captured)."""
+
+    def _report(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {title} =====")
+            print(body)
+
+    return _report

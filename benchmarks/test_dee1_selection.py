@@ -1,0 +1,52 @@
+"""Section 5.1.1: selecting DEE1 from the two-metric combination sweep.
+
+Reruns the pair sweep over the accurate metrics, prints the ranking with
+AIC/BIC, and checks the published information criteria (DEE1 AIC 34.8 /
+BIC 38.4; Stmts AIC 37.0 / BIC 39.7).
+"""
+
+import pytest
+
+from repro.analysis.combos import sweep_metric_pairs
+from repro.analysis.tables import render_table
+from repro.data.paper import PAPER_AIC, PAPER_BIC
+
+
+def test_dee1_selection_sweep(dataset, report, benchmark):
+    results = benchmark.pedantic(
+        lambda: sweep_metric_pairs(
+            dataset, metric_names=["Stmts", "LoC", "FanInLC", "Nets"]
+        ),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [r.name, f"{r.sigma_eps:.3f}", f"{r.aic:.1f}", f"{r.bic:.1f}"]
+        for r in results
+    ]
+    report(
+        "Section 5.1.1: metric combination sweep",
+        render_table(["combination", "sigma_eps", "AIC", "BIC"], rows),
+    )
+
+    by_name = {r.metric_names: r for r in results}
+    dee1 = by_name[("Stmts", "FanInLC")]
+    stmts = by_name[("Stmts",)]
+    report(
+        "Published information criteria",
+        f"DEE1  AIC {dee1.aic:.1f} (paper {PAPER_AIC['DEE1']}), "
+        f"BIC {dee1.bic:.1f} (paper {PAPER_BIC['DEE1']})\n"
+        f"Stmts AIC {stmts.aic:.1f} (paper {PAPER_AIC['Stmts']}), "
+        f"BIC {stmts.bic:.1f} (paper {PAPER_BIC['Stmts']})",
+    )
+    assert dee1.aic == pytest.approx(PAPER_AIC["DEE1"], abs=0.2)
+    assert dee1.bic == pytest.approx(PAPER_BIC["DEE1"], abs=0.2)
+    assert stmts.aic == pytest.approx(PAPER_AIC["Stmts"], abs=0.2)
+    assert stmts.bic == pytest.approx(PAPER_BIC["Stmts"], abs=0.2)
+
+    # The top pairs by AIC are the paper's two finalists.
+    pairs = sorted(
+        (r for r in results if len(r.metric_names) == 2), key=lambda r: r.aic
+    )
+    assert {p.metric_names for p in pairs[:2]} == {
+        ("Stmts", "Nets"), ("Stmts", "FanInLC"),
+    }

@@ -1,0 +1,44 @@
+"""Extension: quantitative comparison against prior-practice baselines.
+
+The paper argues qualitatively against the Sematech cell-count rule, the
+SIA transistor rule, and the Numetrics complexity-unit patent, and builds
+on the COCOMO lines-of-code tradition.  This benchmark makes the
+comparison quantitative on the published data.
+"""
+
+from repro.analysis.tables import render_table
+from repro.baselines import fit_cocomo, fit_complexity_units, fit_count_based
+
+
+def test_ext_baseline_comparison(table4, dataset, report, benchmark):
+    dee1 = table4.mixed["DEE1"]
+
+    cocomo = fit_cocomo(dataset)
+    cells_rule = fit_count_based(dataset, "Cells")
+    ff_rule = fit_count_based(dataset, "FFs")
+    numetrics = benchmark.pedantic(
+        lambda: fit_complexity_units(dataset), rounds=3, iterations=1
+    )
+
+    rows = [
+        ["DEE1 (uComplexity)", f"{dee1.sigma_eps:.2f}",
+         "mixed-effects, Stmts+FanInLC"],
+        ["COCOMO-style a*KLOC^b", f"{cocomo.sigma_eps:.2f}",
+         f"a={cocomo.a:.2f}, b={cocomo.b:.2f}"],
+        ["Sematech-style cell count", f"{cells_rule.sigma_eps:.2f}",
+         f"{cells_rule.productivity:.0f} cells/person-month"],
+        ["SIA-style bit count (FFs)", f"{ff_rule.sigma_eps:.2f}",
+         f"{ff_rule.productivity:.0f} bits/person-month"],
+        ["Numetrics-style complexity units", f"{numetrics.sigma_eps:.2f}",
+         "fixed weights over Cells,FFs,Nets,LoC"],
+    ]
+    report(
+        "Baseline comparison (lower sigma_eps is better)",
+        render_table(["estimator", "sigma_eps", "notes"], rows),
+    )
+
+    # The paper's qualitative claims, quantitatively.
+    assert dee1.sigma_eps < cocomo.sigma_eps
+    assert dee1.sigma_eps < numetrics.sigma_eps - 0.2
+    assert dee1.sigma_eps < cells_rule.sigma_eps - 0.5
+    assert dee1.sigma_eps < ff_rule.sigma_eps - 0.5

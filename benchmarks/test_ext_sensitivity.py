@@ -1,0 +1,67 @@
+"""Extension: robustness of the headline findings.
+
+Three checks the paper gestures at but does not quantify:
+
+* the bootstrap margin of error behind "within the margin of error of our
+  study, any one of Stmts, LoC, or FanInLC has the same accuracy";
+* sensitivity of the zero-metric floor (Table 4 has zero flip-flop rows);
+* leave-one-team-out influence (only four teams carry the regression).
+"""
+
+from repro.analysis.sensitivity import floor_sensitivity, team_influence
+from repro.analysis.tables import render_table
+from repro.stats.bootstrap import bootstrap_sigma
+
+
+def test_ext_margin_of_error(dataset, report, benchmark):
+    boots = {}
+    for metric in ("Stmts", "LoC", "FanInLC"):
+        grouped = dataset.to_grouped([metric])
+        boots[metric] = bootstrap_sigma(grouped, n_replicates=60, seed=5)
+    benchmark.pedantic(
+        lambda: bootstrap_sigma(
+            dataset.to_grouped(["Stmts"]), n_replicates=20, seed=1
+        ),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for metric, boot in boots.items():
+        lo, hi = boot.interval
+        rows.append([
+            metric, f"{boot.sigma_eps:.2f}", f"({lo:.2f}, {hi:.2f})",
+            f"{boot.std_error:.2f}",
+        ])
+    report(
+        "Bootstrap margin of error for sigma_eps (cluster bootstrap)",
+        render_table(["estimator", "sigma", "90% interval", "SE"], rows),
+    )
+
+    # The paper's 'same accuracy within the margin of error' claim.
+    assert boots["Stmts"].overlaps(boots["LoC"])
+    assert boots["Stmts"].overlaps(boots["FanInLC"])
+    assert boots["LoC"].overlaps(boots["FanInLC"])
+
+
+def test_ext_floor_and_team_sensitivity(dataset, report, benchmark):
+    sens = benchmark.pedantic(
+        lambda: floor_sensitivity(dataset, "FFs"), rounds=1, iterations=1
+    )
+    rows = [[f"{f:g}", f"{s:.2f}"] for f, s in sorted(sens.sigmas.items())]
+    report(
+        "Zero-metric floor sensitivity (FFs)",
+        render_table(["floor", "sigma_eps"], rows),
+    )
+    assert min(sens.sigmas.values()) > 1.7  # FFs never becomes a good estimator
+
+    influence = team_influence(dataset, ["Stmts"])
+    rows = [["(none)", f"{influence.full_sigma:.2f}"]]
+    rows += [
+        [team, f"{sigma:.2f}"]
+        for team, sigma in influence.without_team.items()
+    ]
+    report(
+        "Leave-one-team-out sigma for Stmts",
+        render_table(["team excluded", "sigma_eps"], rows),
+    )
+    assert all(s < 0.65 for s in influence.without_team.values())

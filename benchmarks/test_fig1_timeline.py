@@ -1,0 +1,33 @@
+"""Figure 1: the processor development timeline with team size."""
+
+from repro.analysis.tables import render_table
+from repro.core.timeline import default_timeline
+
+
+def test_fig1_development_timeline(report, benchmark):
+    timeline = default_timeline(rtl_months=24.0, peak_rtl_staff=20.0)
+    report("Figure 1: development timeline (Gantt)", timeline.render_ascii())
+
+    rows = []
+    months = int(timeline.end) + 1
+    for t in range(0, months, 3):
+        size = timeline.team_size(float(t))
+        rows.append([t, f"{size:.1f}", "#" * int(size / 2)])
+    report(
+        "Engineering team size over time",
+        render_table(["month", "team size", ""], rows),
+    )
+
+    start, end = timeline.rtl_design_phase()
+    report(
+        "uComplexity scope",
+        f"RTL design phase: months {start:.1f} .. {end:.1f}\n"
+        f"measurement point (initial RTL): month "
+        f"{timeline.measurement_point():.1f}\n"
+        f"design effort in scope: "
+        f"{timeline.design_effort_person_months():.0f} person-months of "
+        f"{timeline.total_person_months():.0f} total",
+    )
+
+    assert 12.0 <= end - timeline.measurement_point() <= 24.0
+    benchmark(lambda: default_timeline().total_person_months())

@@ -1,0 +1,34 @@
+"""Figure 2: the lognormal distribution used for rho and epsilon.
+
+Regenerates the density curve with mu = 0 and the annotated mode / median /
+mean (the paper's figure marks 0.75, 1.0, and 1.16).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.stats.lognormal import LognormalSpec
+
+
+def test_fig2_lognormal_distribution(report, benchmark):
+    spec = LognormalSpec(mu=0.0, sigma=0.54)
+
+    rows = []
+    for i in range(1, 26):
+        x = i * 0.1
+        density = spec.pdf(x)
+        rows.append([f"{x:.1f}", f"{density:.3f}", "*" * int(density * 40)])
+    report("Figure 2: lognormal density, mu = 0", render_table(
+        ["rho", "P(rho)", ""], rows
+    ))
+    report(
+        "Annotations",
+        f"mode   = {spec.mode:.2f}  (paper: 0.75)\n"
+        f"median = {spec.median:.2f}  (paper: 1.00)\n"
+        f"mean   = {spec.mean:.2f}  (paper: 1.16)",
+    )
+
+    assert spec.mode == pytest.approx(0.75, abs=0.01)
+    assert spec.median == pytest.approx(1.0)
+    assert spec.mean == pytest.approx(1.16, abs=0.01)
+    benchmark(lambda: [spec.pdf(i * 0.01) for i in range(1, 251)])

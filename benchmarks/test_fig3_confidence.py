@@ -1,0 +1,39 @@
+"""Figure 3: confidence-interval multiplicative factors vs sigma_eps.
+
+Regenerates the 68% and 90% confidence curves over sigma in [0, 0.7],
+including the worked example from Section 3.1 (sigma = 0.45 -> yl ~ 0.5,
+yh ~ 2.1).
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.stats.lognormal import confidence_factors
+
+
+def test_fig3_confidence_factor_curves(report, benchmark):
+    rows = []
+    for i in range(0, 15):
+        sigma = i * 0.05
+        yl68, yh68 = confidence_factors(sigma, 0.68)
+        yl90, yh90 = confidence_factors(sigma, 0.90)
+        rows.append([
+            f"{sigma:.2f}", f"{yl68:.2f}", f"{yh68:.2f}",
+            f"{yl90:.2f}", f"{yh90:.2f}",
+        ])
+    report(
+        "Figure 3: multiplicative factors vs sigma_eps",
+        render_table(
+            ["sigma", "yl 68%", "yh 68%", "yl 90%", "yh 90%"], rows
+        ),
+    )
+
+    yl, yh = confidence_factors(0.45, 0.90)
+    report(
+        "Worked example (Section 3.1)",
+        f"sigma = 0.45 -> 90% interval factors yl = {yl:.2f}, yh = {yh:.2f} "
+        "(paper: ~0.5 and ~2.1)",
+    )
+    assert yl == pytest.approx(0.5, abs=0.03)
+    assert yh == pytest.approx(2.1, abs=0.02)
+    benchmark(lambda: confidence_factors(0.45, 0.90))

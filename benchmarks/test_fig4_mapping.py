@@ -1,0 +1,40 @@
+"""Figure 4: the sigma-to-interval mapping annotated with the fitted
+estimators.
+
+Figure 4 is Figure 3's 90% curve with the evaluated estimators placed at
+their fitted sigma_eps -- DEE1 leftmost (most accurate), then Stmts, then
+LoC & FanInLC, then Nets.  We regenerate the curve and the annotations from
+our own fits.
+"""
+
+from repro.analysis.tables import render_table
+from repro.stats.lognormal import confidence_factors
+
+
+def test_fig4_annotated_mapping(table4, report, benchmark):
+    placements = sorted(
+        ((acc.sigma_eps, name) for name, acc in table4.mixed.items()),
+    )
+    rows = []
+    for sigma, name in placements:
+        yl, yh = confidence_factors(sigma, 0.90)
+        rows.append([name, f"{sigma:.2f}", f"({yl:.2f}, {yh:.2f})"])
+    report(
+        "Figure 4: estimators on the sigma -> 90% interval mapping",
+        render_table(["estimator", "sigma_eps", "90% factors"], rows),
+    )
+
+    # The annotated ordering of Figure 4: DEE1, then Stmts, then
+    # LoC/FanInLC, then Nets.
+    order = [name for _, name in placements]
+    assert order[0] == "DEE1"
+    assert order[1] == "Stmts"
+    assert set(order[2:4]) == {"LoC", "FanInLC"}
+    assert order[4] == "Nets"
+
+    benchmark(
+        lambda: [
+            confidence_factors(acc.sigma_eps, 0.90)
+            for acc in table4.mixed.values()
+        ]
+    )

@@ -1,0 +1,43 @@
+"""Figure 5: scatter of DEE1 estimates vs reported design effort.
+
+Regenerates the scatter plot (one point per component, estimates using each
+team's fitted productivity) and checks the paper's observations: points
+hug the diagonal, except the Leon3 pipeline, which every estimator
+underestimates by about 2x.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import scatter_points
+from repro.analysis.tables import render_scatter, render_table
+from repro.data.paper import PAPER_DEE1_ESTIMATES
+
+
+def test_fig5_dee1_scatter(table4, dataset, report, benchmark):
+    accuracy = table4.mixed["DEE1"]
+    points = benchmark.pedantic(
+        lambda: scatter_points(accuracy, dataset), rounds=3, iterations=1
+    )
+
+    report("Figure 5: DEE1 estimate vs reported effort", render_scatter(points))
+
+    rows = [
+        [label, f"{PAPER_DEE1_ESTIMATES[label]:.1f}", f"{est:.1f}",
+         f"{eff:g}"]
+        for label, est, eff in points
+    ]
+    report(
+        "Per-component estimates (paper's DEE1 column vs ours)",
+        render_table(
+            ["component", "paper DEE1", "our DEE1", "reported"], rows
+        ),
+    )
+
+    # Our per-component estimates track the published DEE1 column.
+    for label, est, _ in points:
+        assert est == pytest.approx(PAPER_DEE1_ESTIMATES[label], abs=0.85)
+
+    # The one outlier: Leon3-Pipeline underestimated ~2x (12.8 vs 24).
+    ratios = {label: eff / est for label, est, eff in points}
+    assert max(ratios, key=ratios.get) == "Leon3-Pipeline"
+    assert ratios["Leon3-Pipeline"] > 1.6

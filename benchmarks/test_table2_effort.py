@@ -1,0 +1,23 @@
+"""Table 2: reported design effort per component."""
+
+from repro.analysis.tables import render_table
+from repro.data.paper import TABLE2_EFFORTS, paper_dataset
+
+
+def test_table2_reported_effort(dataset, report, benchmark):
+    by_team: dict[str, list[tuple[str, float]]] = {}
+    for rec in dataset:
+        by_team.setdefault(rec.team, []).append((rec.component, rec.effort))
+    rows = []
+    for team, comps in by_team.items():
+        for comp, effort in comps:
+            rows.append([team, comp, f"{effort:g}"])
+        rows.append([team, "(total)", f"{sum(e for _, e in comps):g}"])
+    report(
+        "Table 2: reported design effort (person-months)",
+        render_table(["design", "component", "effort"], rows),
+    )
+
+    assert len(TABLE2_EFFORTS) == 18
+    assert sum(1 for r in dataset) == 18
+    benchmark(paper_dataset)

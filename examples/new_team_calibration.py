@@ -1,0 +1,61 @@
+"""Early estimation for a new design team (Section 3.1.1).
+
+A new team starts a processor project.  The model was calibrated on other
+teams' data, so initially we assume rho = 1 and make relative estimates.
+As the team completes components, we re-calibrate its productivity and the
+remaining estimates tighten -- the paper's recommended workflow.
+
+Run with::
+
+    python examples/new_team_calibration.py
+"""
+
+from repro import EffortRecord, ProductivityLedger, fit_dee1, paper_dataset
+
+
+def main() -> None:
+    dee1 = fit_dee1(paper_dataset())
+    ledger = ProductivityLedger(dee1)
+
+    # The new team's project plan: component name -> measured metrics
+    # (available at "initial RTL", 1-2 years before verification ends).
+    plan = {
+        "fetch":   {"Stmts": 700.0, "FanInLC": 5200.0},
+        "decode":  {"Stmts": 1200.0, "FanInLC": 4800.0},
+        "issue":   {"Stmts": 900.0, "FanInLC": 8100.0},
+        "execute": {"Stmts": 2100.0, "FanInLC": 15500.0},
+        "memory":  {"Stmts": 1300.0, "FanInLC": 9000.0},
+    }
+
+    # Ground truth for the simulation: the team is 30% more productive
+    # than the calibration median.
+    true_rho = 1.3
+    actual = {n: dee1.estimate(m) / true_rho for n, m in plan.items()}
+
+    print("initial (rho = 1) estimates:")
+    for name, metrics in plan.items():
+        est = dee1.estimate(metrics)
+        print(f"  {name:8s} {est:5.1f} person-months "
+              f"(will actually take {actual[name]:.1f})")
+
+    order = list(plan)
+    for idx, name in enumerate(order):
+        ledger.record_completion(
+            EffortRecord("NewTeam", name, actual[name], plan[name])
+        )
+        rho = ledger.rho("NewTeam")
+        remaining = {n: plan[n] for n in order[idx + 1:]}
+        print(f"\nafter {name!r} completes: rho[NewTeam] = {rho:.2f}")
+        if remaining:
+            estimates = ledger.estimate_remaining("NewTeam", remaining)
+            for comp, est in estimates.items():
+                err = abs(est - actual[comp]) / actual[comp] * 100
+                print(f"  {comp:8s} re-estimated {est:5.1f} "
+                      f"(actual {actual[comp]:5.1f}, error {err:.0f}%)")
+
+    print(f"\nfinal productivity estimate: {ledger.rho('NewTeam'):.2f} "
+          f"(true value {true_rho})")
+
+
+if __name__ == "__main__":
+    main()

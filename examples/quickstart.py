@@ -1,0 +1,49 @@
+"""Quickstart: fit DEE1 on the paper's data and estimate a new component.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import fit_dee1, paper_dataset
+from repro.analysis.evaluation import evaluate_estimators
+
+
+def main() -> None:
+    dataset = paper_dataset()
+    print(f"dataset: {len(dataset)} components from teams {dataset.teams}")
+
+    # Fit the paper's recommended estimator: DEE1 = w1*Stmts + w2*FanInLC
+    # with a per-team productivity random effect.
+    dee1 = fit_dee1(dataset)
+    print("\nDEE1 fit:")
+    for name, weight in zip(dee1.metric_names, dee1.weights):
+        print(f"  w[{name}] = {weight:.6g}")
+    print(f"  sigma_eps = {dee1.sigma_eps:.2f}   (paper: 0.46)")
+    print(f"  sigma_rho = {dee1.sigma_rho:.2f}")
+    print("  team productivities:")
+    for team, rho in sorted(dee1.productivities.items()):
+        print(f"    rho[{team}] = {rho:.2f}")
+
+    # Estimate a hypothetical new component designed by the IVM team.
+    metrics = {"Stmts": 950.0, "FanInLC": 6100.0}
+    median = dee1.estimate(metrics, team="IVM")
+    lo, hi = dee1.interval(metrics, team="IVM")
+    print(f"\nnew component ({metrics}) for team IVM:")
+    print(f"  median estimate: {median:.1f} person-months")
+    print(f"  90% confidence interval: ({lo:.1f}, {hi:.1f})")
+
+    # Relative estimation (Section 3.1.1): no team calibration needed.
+    small = dee1.estimate({"Stmts": 400.0, "FanInLC": 2500.0})
+    large = dee1.estimate({"Stmts": 800.0, "FanInLC": 5000.0})
+    print(f"\nrelative estimation: a {large / small:.1f}x bigger component "
+          "takes proportionally longer regardless of team")
+
+    # The full Table 4 ranking in two lines.
+    result = evaluate_estimators(dataset)
+    print("\nestimators from most to least accurate:")
+    print(" > ".join(result.ranked()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip lacks the wheel package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable builds; this shim
+lets ``python setup.py develop`` work offline. All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

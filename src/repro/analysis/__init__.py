@@ -1,0 +1,29 @@
+"""Evaluation drivers reproducing the paper's Section 5.
+
+* :mod:`repro.analysis.evaluation` -- the Table 4 engine: fit every
+  estimator with and without the productivity adjustment.
+* :mod:`repro.analysis.combos` -- the two-metric combination sweep that
+  selects DEE1 (Section 5.1.1).
+* :mod:`repro.analysis.ablation` -- the accounting-procedure ablation
+  (Figure 6), driven by measurements of the bundled RTL designs.
+* :mod:`repro.analysis.crossval` -- leave-one-out validation (extension).
+* :mod:`repro.analysis.tables` -- ASCII rendering of tables and figures.
+"""
+
+from repro.analysis.combos import CombinationResult, sweep_metric_pairs
+from repro.analysis.crossval import LooResult, leave_one_out
+from repro.analysis.evaluation import (
+    EstimatorAccuracy,
+    EvaluationResult,
+    evaluate_estimators,
+)
+
+__all__ = [
+    "CombinationResult",
+    "EstimatorAccuracy",
+    "EvaluationResult",
+    "LooResult",
+    "evaluate_estimators",
+    "leave_one_out",
+    "sweep_metric_pairs",
+]

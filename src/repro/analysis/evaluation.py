@@ -1,0 +1,135 @@
+"""The Table 4 engine: accuracy of every design effort estimator.
+
+For each candidate estimator (the eleven single metrics of Table 3 plus the
+DEE1 combination) this module fits the mixed-effects model and the rho=1
+model and reports ``sigma_epsilon``, the confidence interval it implies, and
+the information criteria.  Running it on the paper's published data
+regenerates the penultimate and last rows of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.estimator import DEE1_METRICS, DesignEffortEstimator
+from repro.data.dataset import EffortDataset
+from repro.stats.lognormal import confidence_factors
+
+#: Estimator list in the column order of Table 4.
+TABLE4_ESTIMATORS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("DEE1", DEE1_METRICS),
+    ("Stmts", ("Stmts",)),
+    ("LoC", ("LoC",)),
+    ("FanInLC", ("FanInLC",)),
+    ("Nets", ("Nets",)),
+    ("Freq", ("Freq",)),
+    ("AreaL", ("AreaL",)),
+    ("PowerD", ("PowerD",)),
+    ("PowerS", ("PowerS",)),
+    ("AreaS", ("AreaS",)),
+    ("Cells", ("Cells",)),
+    ("FFs", ("FFs",)),
+)
+
+
+@dataclass(frozen=True)
+class EstimatorAccuracy:
+    """Accuracy record for one estimator under one model."""
+
+    name: str
+    metric_names: tuple[str, ...]
+    sigma_eps: float
+    sigma_rho: float
+    loglik: float
+    aic: float
+    bic: float
+    estimator: DesignEffortEstimator
+
+    def interval_factors(self, confidence: float = 0.90) -> tuple[float, float]:
+        """(yl, yh) multiplicative factors for this estimator's sigma."""
+        return confidence_factors(self.sigma_eps, confidence)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """All estimator accuracies, with and without productivity adjustment."""
+
+    mixed: dict[str, EstimatorAccuracy]
+    fixed: dict[str, EstimatorAccuracy]
+    dataset: EffortDataset
+
+    def sigma_table(self) -> dict[str, tuple[float, float]]:
+        """Estimator -> (sigma with rho, sigma with rho=1): Table 4's last
+        two rows."""
+        return {
+            name: (self.mixed[name].sigma_eps, self.fixed[name].sigma_eps)
+            for name in self.mixed
+        }
+
+    def ranked(self, with_productivity: bool = True) -> list[str]:
+        """Estimators from most to least accurate."""
+        table = self.mixed if with_productivity else self.fixed
+        return sorted(table, key=lambda n: table[n].sigma_eps)
+
+
+def _accuracy(
+    dataset: EffortDataset,
+    name: str,
+    metric_names: Sequence[str],
+    productivity_adjustment: bool,
+) -> EstimatorAccuracy:
+    est = DesignEffortEstimator.fit(
+        dataset,
+        metric_names,
+        name=name,
+        productivity_adjustment=productivity_adjustment,
+    )
+    return EstimatorAccuracy(
+        name=name,
+        metric_names=tuple(metric_names),
+        sigma_eps=est.sigma_eps,
+        sigma_rho=est.sigma_rho,
+        loglik=est.fit.loglik,
+        aic=est.criteria.aic,
+        bic=est.criteria.bic,
+        estimator=est,
+    )
+
+
+def evaluate_estimators(
+    dataset: EffortDataset,
+    estimators: Sequence[tuple[str, tuple[str, ...]]] = TABLE4_ESTIMATORS,
+) -> EvaluationResult:
+    """Fit every estimator both ways and collect the accuracy table.
+
+    Estimators whose metrics are absent from the dataset are skipped (the
+    ablation datasets omit some columns).
+    """
+    available = set(dataset.metric_names)
+    mixed: dict[str, EstimatorAccuracy] = {}
+    fixed: dict[str, EstimatorAccuracy] = {}
+    for name, metric_names in estimators:
+        if not set(metric_names) <= available:
+            continue
+        mixed[name] = _accuracy(dataset, name, metric_names, True)
+        fixed[name] = _accuracy(dataset, name, metric_names, False)
+    if not mixed:
+        raise ValueError(
+            "none of the requested estimators' metrics are present in the dataset"
+        )
+    return EvaluationResult(mixed=mixed, fixed=fixed, dataset=dataset)
+
+
+def scatter_points(
+    accuracy: EstimatorAccuracy, dataset: EffortDataset
+) -> list[tuple[str, float, float]]:
+    """(component, estimate, reported effort) triples -- Figure 5's points.
+
+    Estimates use each component's own team productivity, matching the DEE1
+    column of Table 4.
+    """
+    est = accuracy.estimator
+    return [
+        (rec.label, est.estimate_record(rec), rec.effort) for rec in dataset
+    ]

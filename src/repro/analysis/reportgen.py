@@ -1,0 +1,112 @@
+"""One-command reproduction report.
+
+Builds a plain-text report regenerating every statistical result of the
+paper -- the Table 4 accuracy rows, the Figure 4 interval mapping, the
+Section 5.1.1 combination selection, the Figure 5 scatter data, and
+(optionally, since it synthesizes 18 components) the Figure 6 accounting
+ablation over the bundled designs.  Used by ``ucomplexity report``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablation import run_accounting_ablation
+from repro.analysis.combos import sweep_metric_pairs
+from repro.analysis.evaluation import evaluate_estimators, scatter_points
+from repro.analysis.tables import render_bar_chart, render_scatter, render_table
+from repro.data.dataset import EffortDataset
+from repro.data.paper import (
+    PAPER_AIC,
+    PAPER_BIC,
+    PAPER_SIGMA_EPS,
+    PAPER_SIGMA_EPS_NO_RHO,
+    paper_dataset,
+)
+from repro.stats.lognormal import confidence_factors
+
+
+def generate_report(
+    dataset: EffortDataset | None = None,
+    include_ablation: bool = False,
+) -> str:
+    """The full reproduction report as text."""
+    is_paper_data = dataset is None
+    if dataset is None:
+        dataset = paper_dataset()
+    sections: list[str] = []
+
+    result = evaluate_estimators(dataset)
+    names = list(result.mixed)
+    rows = []
+    for name in names:
+        row = [name, f"{result.mixed[name].sigma_eps:.2f}",
+               f"{result.fixed[name].sigma_eps:.2f}"]
+        if is_paper_data:
+            row.insert(1, f"{PAPER_SIGMA_EPS[name]:.2f}")
+            row.insert(3, f"{PAPER_SIGMA_EPS_NO_RHO[name]:.2f}")
+        rows.append(row)
+    headers = (
+        ["estimator", "paper", "ours", "paper rho=1", "ours rho=1"]
+        if is_paper_data
+        else ["estimator", "sigma_eps", "sigma_eps rho=1"]
+    )
+    sections.append(
+        "Table 4: accuracy of the design effort estimators\n"
+        + render_table(headers, rows)
+    )
+
+    rows = []
+    for name in result.ranked():
+        acc = result.mixed[name]
+        yl, yh = confidence_factors(acc.sigma_eps, 0.90)
+        rows.append([name, f"{acc.sigma_eps:.2f}", f"({yl:.2f}, {yh:.2f})"])
+    sections.append(
+        "Figure 4: estimators on the 90% confidence mapping\n"
+        + render_table(["estimator", "sigma_eps", "90% factors"], rows)
+    )
+
+    sweep = sweep_metric_pairs(
+        dataset,
+        metric_names=[
+            m for m in ("Stmts", "LoC", "FanInLC", "Nets")
+            if m in dataset.metric_names
+        ],
+    )
+    rows = [
+        [r.name, f"{r.sigma_eps:.3f}", f"{r.aic:.1f}", f"{r.bic:.1f}"]
+        for r in sweep
+    ]
+    note = ""
+    if is_paper_data:
+        note = (
+            f"\npaper: DEE1 AIC {PAPER_AIC['DEE1']} / BIC {PAPER_BIC['DEE1']}, "
+            f"Stmts AIC {PAPER_AIC['Stmts']} / BIC {PAPER_BIC['Stmts']}"
+        )
+    sections.append(
+        "Section 5.1.1: combination sweep\n"
+        + render_table(["combination", "sigma", "AIC", "BIC"], rows)
+        + note
+    )
+
+    points = scatter_points(result.mixed["DEE1"], dataset)
+    sections.append(
+        "Figure 5: DEE1 estimates vs reported effort\n"
+        + render_scatter(points)
+    )
+
+    if include_ablation:
+        ablation = run_accounting_ablation()
+        pairs = ablation.sigma_pairs()
+        sections.append(
+            "Figure 6: accounting-procedure ablation (bundled designs)\n"
+            + render_bar_chart(
+                {
+                    "with": {k: v[0] for k, v in pairs.items()},
+                    "without": {k: v[1] for k, v in pairs.items()},
+                }
+            )
+        )
+
+    banner = "uComplexity reproduction report"
+    divider = "=" * 72
+    body = f"\n\n{divider}\n".join(sections)
+    return f"{divider}\n{banner}\n{divider}\n{body}\n"

@@ -1,0 +1,83 @@
+"""Sensitivity analyses for the reproduction's judgment calls (extension).
+
+Two knobs deserve scrutiny:
+
+* **Zero-metric flooring.**  Table 4 contains zero flip-flop counts, which
+  the multiplicative model cannot take logs of; we floor them.  How much
+  does the floor value matter?
+* **Team influence.**  With only four teams, any one of them could be
+  carrying the result.  Refitting with each team excluded shows whether
+  the estimator ranking is robust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.estimator import DesignEffortEstimator
+from repro.data.dataset import EffortDataset
+
+
+@dataclass(frozen=True)
+class FloorSensitivity:
+    """sigma_eps of one estimator across metric-floor choices."""
+
+    metric_name: str
+    sigmas: dict[float, float]  # floor value -> sigma_eps
+
+    @property
+    def spread(self) -> float:
+        values = list(self.sigmas.values())
+        return max(values) - min(values)
+
+
+def floor_sensitivity(
+    dataset: EffortDataset,
+    metric_name: str,
+    floors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> FloorSensitivity:
+    """Refit a single-metric estimator across zero-floor choices."""
+    sigmas = {}
+    for floor in floors:
+        est = DesignEffortEstimator.fit(
+            dataset, [metric_name], metric_floor=floor
+        )
+        sigmas[floor] = est.sigma_eps
+    return FloorSensitivity(metric_name=metric_name, sigmas=sigmas)
+
+
+@dataclass(frozen=True)
+class TeamInfluence:
+    """Estimator accuracies with each team excluded in turn."""
+
+    metric_names: tuple[str, ...]
+    full_sigma: float
+    without_team: dict[str, float]  # excluded team -> sigma_eps
+
+    @property
+    def most_influential(self) -> str:
+        return max(
+            self.without_team,
+            key=lambda t: abs(self.without_team[t] - self.full_sigma),
+        )
+
+
+def team_influence(
+    dataset: EffortDataset, metric_names: Sequence[str]
+) -> TeamInfluence:
+    """Leave-one-team-out refits of an estimator."""
+    full = DesignEffortEstimator.fit(dataset, metric_names)
+    without: dict[str, float] = {}
+    for team in dataset.teams:
+        remaining = [t for t in dataset.teams if t != team]
+        if len(remaining) < 2:
+            continue  # mixed model needs two teams
+        subset = dataset.filter_teams(remaining)
+        est = DesignEffortEstimator.fit(subset, metric_names)
+        without[team] = est.sigma_eps
+    return TeamInfluence(
+        metric_names=tuple(metric_names),
+        full_sigma=full.sigma_eps,
+        without_team=without,
+    )

@@ -1,0 +1,28 @@
+"""Baseline effort estimators the paper compares against.
+
+* :mod:`repro.baselines.cocomo` -- the COCOMO-style software model
+  (effort = a * KLOC^b) that Section 5 cites as the lines-of-code
+  tradition uComplexity builds on.
+* :mod:`repro.baselines.sematech` -- Sematech/SIA-roadmap-style rules that
+  estimate effort from cell or transistor counts at a fixed productivity
+  constant; the paper finds the underlying metrics poorly correlated.
+* :mod:`repro.baselines.numetrics` -- a complexity-unit estimator in the
+  style of the Numetrics patent discussed in Section 6 (a fixed weighted
+  sum of size metrics, no per-team calibration).
+"""
+
+from repro.baselines.cocomo import CocomoEstimator, fit_cocomo
+from repro.baselines.numetrics import ComplexityUnitEstimator, fit_complexity_units
+from repro.baselines.sematech import (
+    CountBasedEstimator,
+    fit_count_based,
+)
+
+__all__ = [
+    "CocomoEstimator",
+    "ComplexityUnitEstimator",
+    "CountBasedEstimator",
+    "fit_cocomo",
+    "fit_complexity_units",
+    "fit_count_based",
+]

@@ -1,0 +1,55 @@
+"""COCOMO-style effort model: ``effort = a * KLOC^b``.
+
+Basic COCOMO estimates software effort as a power law of delivered
+kilo-lines of code.  Applied to HDL, it is the natural lines-of-code
+baseline for uComplexity: unlike Equation 1 it allows a nonlinear size
+exponent but has no productivity random effect.  We fit ``a`` and ``b`` by
+least squares on the log scale (where the model is linear) and report the
+same ``sigma_epsilon`` residual figure used throughout the evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import EffortDataset
+from repro.stats.lognormal import confidence_interval
+
+
+@dataclass(frozen=True)
+class CocomoEstimator:
+    """Fitted power-law estimator ``effort = a * KLOC^b``."""
+
+    a: float
+    b: float
+    sigma_eps: float
+    metric_name: str = "LoC"
+
+    def estimate(self, loc: float) -> float:
+        if loc <= 0:
+            raise ValueError(f"LoC must be positive, got {loc}")
+        return self.a * (loc / 1000.0) ** self.b
+
+    def interval(self, loc: float, confidence: float = 0.90) -> tuple[float, float]:
+        return confidence_interval(self.estimate(loc), self.sigma_eps, confidence)
+
+
+def fit_cocomo(
+    dataset: EffortDataset, metric_name: str = "LoC"
+) -> CocomoEstimator:
+    """Fit the power law by ordinary least squares on logs."""
+    y = np.log([rec.effort for rec in dataset])
+    x = np.log([max(rec.metrics[metric_name], 1.0) / 1000.0 for rec in dataset])
+    design = np.column_stack([np.ones_like(x), x])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    resid = y - design @ coef
+    sigma = math.sqrt(float(resid @ resid) / len(y))
+    return CocomoEstimator(
+        a=math.exp(float(coef[0])),
+        b=float(coef[1]),
+        sigma_eps=sigma,
+        metric_name=metric_name,
+    )

@@ -1,0 +1,86 @@
+"""Complexity-unit estimator in the style of the Numetrics patent.
+
+Section 6 of the paper discusses Numetrics' "complexity unit" approach
+(patent 6,823,294): project difficulty is scored as a weighted sum of size
+metrics with fixed, externally-calibrated weights, and effort is a constant
+times the score.  The paper reports that applying the patent's method to
+its data is "considerably less accurate than DEE1".
+
+We reconstruct the approach faithfully to its spirit: a complexity score
+``CU = sum_k u_k * m_k`` with fixed weights ``u_k`` chosen *a priori*
+(equal inverse-scale weights, so every metric contributes equally at the
+dataset median), then a single effort-per-CU constant fitted on the log
+scale.  Crucially there is no per-team productivity and no weight
+regression -- the two uComplexity ingredients the paper shows matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import EffortDataset
+from repro.stats.lognormal import confidence_interval
+
+#: Default metric bundle for the complexity score.
+DEFAULT_METRICS: tuple[str, ...] = ("Cells", "FFs", "Nets", "LoC")
+
+
+@dataclass(frozen=True)
+class ComplexityUnitEstimator:
+    """``effort = CU / rate`` with ``CU = sum_k u_k m_k`` (fixed ``u``)."""
+
+    metric_names: tuple[str, ...]
+    unit_weights: tuple[float, ...]
+    rate: float  # complexity units per person-month
+    sigma_eps: float
+
+    def complexity_units(self, metrics: dict[str, float]) -> float:
+        return sum(
+            u * max(metrics[name], 1.0)
+            for name, u in zip(self.metric_names, self.unit_weights)
+        )
+
+    def estimate(self, metrics: dict[str, float]) -> float:
+        return self.complexity_units(metrics) / self.rate
+
+    def interval(
+        self, metrics: dict[str, float], confidence: float = 0.90
+    ) -> tuple[float, float]:
+        return confidence_interval(
+            self.estimate(metrics), self.sigma_eps, confidence
+        )
+
+
+def fit_complexity_units(
+    dataset: EffortDataset,
+    metric_names: tuple[str, ...] = DEFAULT_METRICS,
+) -> ComplexityUnitEstimator:
+    """Build the fixed-weight score, then fit only the overall rate."""
+    # Fixed a-priori weights: inverse of each metric's dataset median, so
+    # all metrics contribute comparably (the patent's externally-supplied
+    # weight table plays this role).
+    medians = []
+    for name in metric_names:
+        values = [max(rec.metrics[name], 1.0) for rec in dataset]
+        medians.append(float(np.median(values)))
+    unit_weights = tuple(1.0 / m for m in medians)
+
+    logs = []
+    for rec in dataset:
+        cu = sum(
+            u * max(rec.metrics[name], 1.0)
+            for name, u in zip(metric_names, unit_weights)
+        )
+        logs.append(math.log(cu) - math.log(rec.effort))
+    log_rate = float(np.mean(logs))
+    resid = np.asarray(logs) - log_rate
+    sigma = math.sqrt(float(resid @ resid) / len(logs))
+    return ComplexityUnitEstimator(
+        metric_names=metric_names,
+        unit_weights=unit_weights,
+        rate=math.exp(log_rate),
+        sigma_eps=sigma,
+    )

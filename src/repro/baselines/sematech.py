@@ -1,0 +1,59 @@
+"""Sematech / SIA-roadmap-style count-based estimators.
+
+Industry practice cited in Section 5 estimates design effort from the
+number of standard cells (Sematech) or bits/transistors (SIA roadmap) via a
+single productivity constant: ``effort = count / productivity``.  There is
+no per-team adjustment and no regression beyond choosing the constant; we
+pick the constant that minimizes squared log error (the scale that makes
+the comparison as favorable as possible) and report ``sigma_epsilon``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import EffortDataset
+from repro.stats.lognormal import confidence_interval
+
+
+@dataclass(frozen=True)
+class CountBasedEstimator:
+    """``effort = count / productivity`` for a single count metric."""
+
+    metric_name: str
+    productivity: float  # count units per person-month
+    sigma_eps: float
+
+    def estimate(self, count: float) -> float:
+        return max(count, 1.0) / self.productivity
+
+    def interval(
+        self, count: float, confidence: float = 0.90
+    ) -> tuple[float, float]:
+        return confidence_interval(
+            self.estimate(count), self.sigma_eps, confidence
+        )
+
+
+def fit_count_based(
+    dataset: EffortDataset, metric_name: str = "Cells"
+) -> CountBasedEstimator:
+    """Best single productivity constant in the least-squares-log sense.
+
+    The optimal ``log productivity`` is the mean of ``log(count/effort)``.
+    """
+    logs = [
+        math.log(max(rec.metrics[metric_name], 1.0)) - math.log(rec.effort)
+        for rec in dataset
+    ]
+    log_prod = float(np.mean(logs))
+    resid = np.asarray(logs) - log_prod
+    sigma = math.sqrt(float(resid @ resid) / len(logs))
+    return CountBasedEstimator(
+        metric_name=metric_name,
+        productivity=math.exp(log_prod),
+        sigma_eps=sigma,
+    )

@@ -1,0 +1,177 @@
+"""Command-line interface: ``ucomplexity`` / ``python -m repro``.
+
+Subcommands:
+
+* ``measure``   -- run the full measurement flow on HDL files and print the
+  Table 3 metric vector for a component.
+* ``fit``       -- fit an estimator on a CSV effort database and print the
+  weights, sigmas, and per-team productivities.
+* ``estimate``  -- predict the effort of a component from metric values
+  using an estimator fitted on a CSV database.
+* ``evaluate``  -- regenerate the Table 4 accuracy table from the paper's
+  published data (or a provided CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.evaluation import evaluate_estimators
+from repro.analysis.tables import render_table, render_table4
+from repro.core.accounting import AccountingPolicy
+from repro.core.estimator import DesignEffortEstimator
+from repro.core.workflow import measure_component
+from repro.data.dataset import EffortDataset
+from repro.data.paper import paper_dataset
+from repro.hdl.source import SourceFile
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    sources = [SourceFile.from_path(p) for p in args.files]
+    policy = (
+        AccountingPolicy.disabled()
+        if args.no_accounting
+        else AccountingPolicy.recommended()
+    )
+    measurement = measure_component(sources, args.top, policy=policy)
+    rows = sorted(measurement.metrics.items())
+    print(render_table(["metric", "value"], [[k, v] for k, v in rows]))
+    if args.verbose:
+        print("\nmeasured specializations:")
+        for module, params in measurement.specializations:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+            print(f"  {module}({rendered})")
+    return 0
+
+
+def _load_dataset(path: str | None) -> EffortDataset:
+    if path is None:
+        return paper_dataset()
+    return EffortDataset.from_csv(Path(path))
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    est = DesignEffortEstimator.fit(
+        dataset,
+        args.metrics,
+        productivity_adjustment=not args.no_productivity,
+    )
+    print(f"estimator: {est.name}")
+    for name, w in zip(est.metric_names, est.weights):
+        print(f"  w[{name}] = {w:.6g}")
+    print(f"  sigma_eps = {est.sigma_eps:.3f}")
+    if est.has_productivity_adjustment:
+        print(f"  sigma_rho = {est.sigma_rho:.3f}")
+        for team, rho in sorted(est.productivities.items()):
+            print(f"  rho[{team}] = {rho:.3f}")
+    crit = est.criteria
+    print(f"  AIC = {crit.aic:.1f}   BIC = {crit.bic:.1f}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    metrics = {}
+    for pair in args.metric:
+        name, _, value = pair.partition("=")
+        if not value:
+            print(f"error: metric {pair!r} is not name=value", file=sys.stderr)
+            return 2
+        metrics[name] = float(value)
+    est = DesignEffortEstimator.fit(dataset, sorted(metrics))
+    median = est.estimate(metrics, team=args.team)
+    lo, hi = est.interval(metrics, team=args.team)
+    team = args.team or "(rho = 1)"
+    print(f"median effort estimate for {team}: {median:.2f} person-months")
+    print(f"90% confidence interval: ({lo:.2f}, {hi:.2f})")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset)
+    result = evaluate_estimators(dataset)
+    print(render_table4(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reportgen import generate_report
+
+    dataset = EffortDataset.from_csv(Path(args.dataset)) if args.dataset else None
+    text = generate_report(dataset, include_ablation=args.ablation)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ucomplexity",
+        description="uComplexity processor design-effort estimation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("measure", help="measure a component's metrics")
+    p.add_argument("files", nargs="+", help="HDL source files (.v / .vhd)")
+    p.add_argument("--top", required=True, help="top module/entity name")
+    p.add_argument(
+        "--no-accounting", action="store_true",
+        help="disable the Section 2.2 accounting procedure",
+    )
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_measure)
+
+    p = sub.add_parser("fit", help="fit an effort estimator")
+    p.add_argument(
+        "--dataset", help="effort CSV (default: the paper's Table 4 data)"
+    )
+    p.add_argument(
+        "--metrics", nargs="+", default=["Stmts", "FanInLC"],
+        help="metric columns to combine (default: DEE1's Stmts FanInLC)",
+    )
+    p.add_argument(
+        "--no-productivity", action="store_true",
+        help="fit the rho=1 model of Section 3.2",
+    )
+    p.set_defaults(func=_cmd_fit)
+
+    p = sub.add_parser("estimate", help="estimate a component's effort")
+    p.add_argument("--dataset", help="effort CSV used for calibration")
+    p.add_argument(
+        "--metric", action="append", required=True,
+        metavar="NAME=VALUE", help="a measured metric (repeatable)",
+    )
+    p.add_argument("--team", help="apply this team's fitted productivity")
+    p.set_defaults(func=_cmd_estimate)
+
+    p = sub.add_parser("evaluate", help="regenerate the Table 4 accuracy rows")
+    p.add_argument("--dataset", help="effort CSV (default: paper data)")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "report", help="full reproduction report (all tables and figures)"
+    )
+    p.add_argument("--dataset", help="effort CSV (default: paper data)")
+    p.add_argument("--output", "-o", help="write to a file instead of stdout")
+    p.add_argument(
+        "--ablation", action="store_true",
+        help="include the Figure 6 ablation (measures the bundled designs)",
+    )
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The uComplexity methodology (the paper's primary contribution).
+
+The methodology has three parts (Section 2):
+
+1. an **accounting procedure** (:mod:`repro.core.accounting`) that decides
+   which component instances to measure -- each reused component once, with
+   every parameter scaled down to its minimal non-degenerate value;
+2. a **statistical regression** of measured metrics against reported design
+   effort (:mod:`repro.core.estimator`, on top of :mod:`repro.stats`);
+3. a **productivity adjustment** (:mod:`repro.core.productivity`) that
+   rescales estimates to a particular design team.
+
+:mod:`repro.core.metrics` declares the Table 3 metric registry,
+:mod:`repro.core.timeline` models the Figure 1 development timeline, and
+:mod:`repro.core.workflow` wires the whole flow (RTL in, effort estimates
+out) together.
+"""
+
+from repro.core.accounting import AccountingPolicy, select_components
+from repro.core.estimator import DesignEffortEstimator, fit_dee1
+from repro.core.metrics import (
+    METRIC_REGISTRY,
+    MetricDefinition,
+    MetricSource,
+    metric_definition,
+)
+from repro.core.productivity import ProductivityLedger, calibrate_productivity
+from repro.core.timeline import DevelopmentTimeline, Stage, default_timeline
+
+__all__ = [
+    "AccountingPolicy",
+    "DesignEffortEstimator",
+    "DevelopmentTimeline",
+    "METRIC_REGISTRY",
+    "MetricDefinition",
+    "MetricSource",
+    "ProductivityLedger",
+    "Stage",
+    "calibrate_productivity",
+    "default_timeline",
+    "fit_dee1",
+    "metric_definition",
+    "select_components",
+]

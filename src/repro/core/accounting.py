@@ -1,0 +1,126 @@
+"""The accounting procedure (Section 2.2).
+
+The procedure decides *which* elaborated component instances are measured
+before metrics are aggregated for a design:
+
+* **Account for a single instance of each component.**  When a component
+  (e.g. an ALU) is instantiated several times, its design-and-verify effort
+  is a one-time cost, so only one instance is counted.
+* **Minimize the value of component parameters.**  A parameterized component
+  is measured at the smallest parameter values that are not *degenerate* --
+  values that would make some loop or conditional in the RTL be optimized
+  away by constant propagation / dead-code elimination.  The degeneracy
+  test itself lives in :mod:`repro.elab.degeneracy` (it needs the
+  elaborator); this module holds the policy and the instance-selection
+  logic, which work on any objects satisfying :class:`ComponentInstanceLike`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+
+class ComponentInstanceLike(Protocol):
+    """What the accounting procedure needs to know about an instance."""
+
+    @property
+    def module_name(self) -> str: ...
+
+    @property
+    def parameters(self) -> Mapping[str, int]: ...
+
+
+@dataclass(frozen=True)
+class AccountingPolicy:
+    """Which parts of the Section 2.2 procedure to apply.
+
+    The paper's recommended policy is both rules on; Figure 6 measures the
+    consequences of turning both off (``AccountingPolicy.disabled()``).
+    """
+
+    count_each_component_once: bool = True
+    minimize_parameters: bool = True
+
+    @classmethod
+    def recommended(cls) -> "AccountingPolicy":
+        return cls(True, True)
+
+    @classmethod
+    def disabled(cls) -> "AccountingPolicy":
+        return cls(False, False)
+
+
+def _param_signature(params: Mapping[str, int]) -> tuple[tuple[str, int], ...]:
+    return tuple(sorted(params.items()))
+
+
+def select_components(
+    instances: Sequence[ComponentInstanceLike],
+    policy: AccountingPolicy = AccountingPolicy.recommended(),
+    minimal_parameters: Callable[[str], Mapping[str, int]] | None = None,
+) -> list[tuple[str, Mapping[str, int]]]:
+    """Choose the ``(module, parameters)`` specializations to measure.
+
+    Args:
+        instances: every component instance in the elaborated design.
+        policy: which accounting rules to apply.
+        minimal_parameters: callback returning the minimal non-degenerate
+            parameter values for a module (normally
+            :func:`repro.elab.degeneracy.minimal_parameters`); required when
+            ``policy.minimize_parameters`` is on and any instance is
+            parameterized.
+
+    Returns:
+        The list of specializations to measure, in first-appearance order.
+        With the recommended policy this is one entry per distinct module,
+        at minimal parameters.  With the policy disabled it is one entry per
+        *instance*, at the instantiated parameters (so an 8-wide fetch unit
+        containing eight identical decoders gets measured eight times --
+        exactly the over-counting Figure 6 quantifies).
+    """
+    selected: list[tuple[str, Mapping[str, int]]] = []
+    seen_modules: set[str] = set()
+    for inst in instances:
+        params: Mapping[str, int] = dict(inst.parameters)
+        if policy.minimize_parameters and params:
+            if minimal_parameters is None:
+                raise ValueError(
+                    "policy.minimize_parameters requires a minimal_parameters "
+                    "callback for parameterized modules"
+                )
+            params = dict(minimal_parameters(inst.module_name))
+        if policy.count_each_component_once:
+            if inst.module_name in seen_modules:
+                continue
+            seen_modules.add(inst.module_name)
+        selected.append((inst.module_name, params))
+    return selected
+
+
+def aggregate_metrics(
+    per_component: Iterable[Mapping[str, float]]
+) -> dict[str, float]:
+    """Sum per-component metric vectors into a compounded index (Section 2.2).
+
+    Components must agree on their metric names; Freq is aggregated as the
+    *minimum* (a design is as fast as its slowest component), everything
+    else as a sum.
+    """
+    totals: dict[str, float] = {}
+    names: set[str] | None = None
+    for metrics in per_component:
+        if names is None:
+            names = set(metrics)
+        elif set(metrics) != names:
+            raise ValueError(
+                f"inconsistent metric names: {sorted(names)} vs {sorted(metrics)}"
+            )
+        for name, value in metrics.items():
+            if name == "Freq":
+                totals[name] = min(totals.get(name, float("inf")), value)
+            else:
+                totals[name] = totals.get(name, 0.0) + value
+    if names is None:
+        raise ValueError("no components to aggregate")
+    return totals

@@ -1,0 +1,150 @@
+"""Design effort estimators (Equation 1 and Section 2.3).
+
+A :class:`DesignEffortEstimator` bundles a choice of metrics with fitted
+weights, variance components, and per-team productivities.  ``DEE1`` -- the
+estimator the paper recommends -- is the two-metric combination of ``Stmts``
+and ``FanInLC`` (Section 5.1.1) and is built by :func:`fit_dee1`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import EffortDataset, EffortRecord
+from repro.stats.criteria import FitCriteria
+from repro.stats.fixedeffects import FixedEffectsFit, fit_fixed_effects
+from repro.stats.lognormal import confidence_interval
+from repro.stats.nlme import NlmeFit, fit_nlme
+
+#: The metric pair behind the paper's recommended estimator.
+DEE1_METRICS: tuple[str, str] = ("Stmts", "FanInLC")
+
+
+@dataclass(frozen=True)
+class DesignEffortEstimator:
+    """A fitted estimator ``eff = (1/rho) * sum_k w_k * m_k``.
+
+    Attributes:
+        name: display name (e.g. ``"DEE1"`` or a single metric name).
+        metric_names: metrics consumed, in weight order.
+        fit: the underlying statistical fit (mixed-effects or rho=1).
+    """
+
+    name: str
+    metric_names: tuple[str, ...]
+    fit: NlmeFit | FixedEffectsFit
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self.fit.weights
+
+    @property
+    def sigma_eps(self) -> float:
+        """The accuracy figure reported throughout the paper's Section 5."""
+        return self.fit.sigma_eps
+
+    @property
+    def sigma_rho(self) -> float:
+        """Productivity spread; 0 for a rho=1 (fixed-effects) estimator."""
+        return getattr(self.fit, "sigma_rho", 0.0)
+
+    @property
+    def has_productivity_adjustment(self) -> bool:
+        return isinstance(self.fit, NlmeFit)
+
+    @property
+    def productivities(self) -> dict[str, float]:
+        """Fitted per-team productivity factors (empty for rho=1 fits)."""
+        return dict(getattr(self.fit, "productivities", {}))
+
+    @property
+    def criteria(self) -> FitCriteria:
+        return self.fit.criteria
+
+    def _metric_row(self, metrics: Mapping[str, float]) -> np.ndarray:
+        missing = [n for n in self.metric_names if n not in metrics]
+        if missing:
+            raise KeyError(f"missing metrics {missing} for estimator {self.name}")
+        return np.asarray(
+            [[max(float(metrics[n]), 1.0) for n in self.metric_names]]
+        )
+
+    def estimate(
+        self, metrics: Mapping[str, float], team: str | None = None
+    ) -> float:
+        """Median effort estimate (person-months) for one component.
+
+        ``team`` selects a fitted productivity; without it ``rho = 1`` is
+        used (the relative-estimation mode of Section 3.1.1).
+        """
+        row = self._metric_row(metrics)
+        if isinstance(self.fit, NlmeFit):
+            return float(self.fit.predict_median(row, team)[0])
+        if team is not None:
+            raise ValueError(
+                f"estimator {self.name} was fitted without productivity "
+                "adjustment; team-specific estimation is not available"
+            )
+        return float(self.fit.predict_median(row)[0])
+
+    def estimate_record(self, record: EffortRecord, use_team: bool = True) -> float:
+        """Median estimate for a dataset record, using its team's rho."""
+        team = record.team if use_team and self.has_productivity_adjustment else None
+        return self.estimate(record.metrics, team)
+
+    def interval(
+        self,
+        metrics: Mapping[str, float],
+        team: str | None = None,
+        confidence: float = 0.90,
+    ) -> tuple[float, float]:
+        """Confidence interval for the actual effort of one component."""
+        return confidence_interval(
+            self.estimate(metrics, team), self.sigma_eps, confidence
+        )
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: EffortDataset,
+        metric_names: Sequence[str],
+        name: str | None = None,
+        productivity_adjustment: bool = True,
+        metric_floor: float = 1.0,
+    ) -> "DesignEffortEstimator":
+        """Fit an estimator on an effort dataset.
+
+        Args:
+            dataset: component measurement database.
+            metric_names: metrics to combine (one or more).
+            name: display name; defaults to ``"+".join(metric_names)``.
+            productivity_adjustment: fit the mixed-effects model (the
+                paper's recommendation); ``False`` selects the rho=1 model
+                of Section 3.2.
+            metric_floor: clamp for zero-valued metrics.
+        """
+        grouped = dataset.to_grouped(metric_names, metric_floor=metric_floor)
+        if productivity_adjustment:
+            fit: NlmeFit | FixedEffectsFit = fit_nlme(grouped)
+        else:
+            fit = fit_fixed_effects(grouped)
+        return cls(
+            name=name or "+".join(metric_names),
+            metric_names=tuple(metric_names),
+            fit=fit,
+        )
+
+
+def fit_dee1(
+    dataset: EffortDataset, productivity_adjustment: bool = True
+) -> DesignEffortEstimator:
+    """Fit the paper's recommended DEE1 estimator (Stmts + FanInLC)."""
+    return DesignEffortEstimator.fit(
+        dataset,
+        DEE1_METRICS,
+        name="DEE1",
+        productivity_adjustment=productivity_adjustment,
+    )

@@ -1,0 +1,93 @@
+"""The metric registry (Table 3 of the paper).
+
+Each candidate design-effort metric is declared once here, with the kind of
+tool that produces it.  In the paper, software metrics come straight from
+the HDL text, ASIC synthesis metrics from Synopsys Design Compiler, and FPGA
+synthesis metrics from Synplify Pro; in this reproduction the corresponding
+producers are :mod:`repro.hdl.metrics`, :mod:`repro.synth.report`, and
+:mod:`repro.synth.fpga`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MetricSource(enum.Enum):
+    """Which tool category produces a metric (the Tool column of Table 3)."""
+
+    SOURCE_TEXT = "source"
+    ASIC_SYNTHESIS = "asic-synthesis"
+    FPGA_SYNTHESIS = "fpga-synthesis"
+
+
+@dataclass(frozen=True)
+class MetricDefinition:
+    """One row of Table 3."""
+
+    name: str
+    description: str
+    source: MetricSource
+    unit: str = ""
+
+    @property
+    def needs_synthesis(self) -> bool:
+        return self.source is not MetricSource.SOURCE_TEXT
+
+
+_DEFINITIONS = (
+    MetricDefinition(
+        "FanInLC",
+        "Total number of inputs of all logic cones",
+        MetricSource.FPGA_SYNTHESIS,
+    ),
+    MetricDefinition(
+        "LoC", "Number of lines in the HDL code", MetricSource.SOURCE_TEXT, "lines"
+    ),
+    MetricDefinition(
+        "Stmts",
+        "Number of statements in the HDL code",
+        MetricSource.SOURCE_TEXT,
+        "statements",
+    ),
+    MetricDefinition("Nets", "Number of nets", MetricSource.ASIC_SYNTHESIS),
+    MetricDefinition("Cells", "Number of standard cells", MetricSource.ASIC_SYNTHESIS),
+    MetricDefinition("AreaL", "Logic area", MetricSource.ASIC_SYNTHESIS, "um^2"),
+    MetricDefinition("AreaS", "Storage area", MetricSource.ASIC_SYNTHESIS, "um^2"),
+    MetricDefinition("PowerD", "Dynamic power", MetricSource.ASIC_SYNTHESIS, "mW"),
+    MetricDefinition("PowerS", "Static power", MetricSource.ASIC_SYNTHESIS, "uW"),
+    MetricDefinition(
+        "Freq", "Maximum frequency on the FPGA target", MetricSource.FPGA_SYNTHESIS,
+        "MHz",
+    ),
+    MetricDefinition("FFs", "Number of flip-flops", MetricSource.FPGA_SYNTHESIS),
+)
+
+#: Registry keyed by metric name, in Table 3 order.
+METRIC_REGISTRY: dict[str, MetricDefinition] = {d.name: d for d in _DEFINITIONS}
+
+
+def metric_definition(name: str) -> MetricDefinition:
+    """Look up a metric by name, raising a helpful error when unknown."""
+    try:
+        return METRIC_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; known metrics: {sorted(METRIC_REGISTRY)}"
+        ) from None
+
+
+def software_metric_names() -> tuple[str, ...]:
+    """Metrics measurable from the HDL text alone (no synthesis)."""
+    return tuple(
+        name for name, d in METRIC_REGISTRY.items()
+        if d.source is MetricSource.SOURCE_TEXT
+    )
+
+
+def synthesis_metric_names() -> tuple[str, ...]:
+    """Metrics requiring ASIC or FPGA synthesis."""
+    return tuple(
+        name for name, d in METRIC_REGISTRY.items() if d.needs_synthesis
+    )

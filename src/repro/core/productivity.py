@@ -1,0 +1,97 @@
+"""Productivity adjustment and team calibration (Sections 2.4 and 3.1.1).
+
+The paper recommends maintaining a database of measurements and, as
+components of a *new* project complete, re-estimating that team's
+productivity ``rho`` so the remaining components can be predicted
+accurately.  :func:`calibrate_productivity` implements that update: given an
+already-fitted estimator (weights and variance components are held fixed)
+and the completed components of a new team, it computes the empirical-Bayes
+estimate of the team's random effect and hence its ``rho``.
+
+:class:`ProductivityLedger` tracks the evolving per-team estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.estimator import DesignEffortEstimator
+from repro.data.dataset import EffortRecord
+
+
+def calibrate_productivity(
+    estimator: DesignEffortEstimator,
+    completed: Sequence[EffortRecord],
+) -> float:
+    """Estimate a new team's productivity from its completed components.
+
+    Uses the posterior mode of the random effect under the fitted model:
+    with ``r_j = log(Eff_j) - log(sum_k w_k m_jk)`` the completed-component
+    log residuals, ``b_hat = shrink * mean(r)`` with
+    ``shrink = n sigma_rho^2 / (sigma_eps^2 + n sigma_rho^2)``, and
+    ``rho = exp(-b_hat)``.  With no completed components the prior median
+    ``rho = 1`` is returned.
+    """
+    if not completed:
+        return 1.0
+    if estimator.sigma_rho <= 0.0:
+        raise ValueError(
+            "estimator has no productivity spread (sigma_rho == 0); "
+            "fit it with productivity_adjustment=True"
+        )
+    residuals = []
+    for rec in completed:
+        unscaled = estimator.estimate(rec.metrics, team=None)
+        residuals.append(math.log(rec.effort) - math.log(unscaled))
+    n = len(residuals)
+    s2e = estimator.sigma_eps**2
+    s2r = estimator.sigma_rho**2
+    shrink = n * s2r / (s2e + n * s2r)
+    b_hat = shrink * float(np.mean(residuals))
+    return math.exp(-b_hat)
+
+
+@dataclass
+class ProductivityLedger:
+    """Evolving per-team productivity estimates.
+
+    Each team accumulates completed components; ``rho(team)`` always
+    reflects every completion recorded so far.  This is the "successively
+    better estimates of the current rho" loop described in Section 3.1.1.
+    """
+
+    estimator: DesignEffortEstimator
+    _completed: dict[str, list[EffortRecord]] = field(default_factory=dict)
+
+    def record_completion(self, record: EffortRecord) -> float:
+        """Add a completed component; returns the team's updated rho."""
+        self._completed.setdefault(record.team, []).append(record)
+        return self.rho(record.team)
+
+    def rho(self, team: str) -> float:
+        """Current productivity estimate for a team (1.0 if unseen)."""
+        return calibrate_productivity(
+            self.estimator, self._completed.get(team, [])
+        )
+
+    def completed_count(self, team: str) -> int:
+        return len(self._completed.get(team, []))
+
+    def estimate_remaining(
+        self, team: str, components: Mapping[str, Mapping[str, float]]
+    ) -> dict[str, float]:
+        """Median effort estimates for a team's unfinished components.
+
+        Args:
+            team: the team whose rho calibration to apply.
+            components: component name -> metric values.
+        """
+        rho = self.rho(team)
+        return {
+            name: self.estimator.estimate(metrics, team=None) / rho
+            for name, metrics in components.items()
+        }

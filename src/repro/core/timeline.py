@@ -1,0 +1,185 @@
+"""Processor development timeline model (Figure 1).
+
+Figure 1 of the paper sketches the overlapping stages of processor
+development -- High-Level Design, RTL Implementation, RTL Verification,
+Place and Route, and Timing Closure -- together with the engineering team
+size over time.  This module gives that sketch a concrete, queryable form:
+stages with start/end months, a trapezoidal per-stage staffing profile, and
+the derived quantities the paper discusses (the RTL design phase whose
+effort uComplexity estimates, the measurement point at "initial RTL", and
+total person-months).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One development stage with a trapezoidal staffing profile.
+
+    Staffing ramps linearly from 0 to ``peak_staff`` over the first
+    ``ramp_fraction`` of the stage, holds, then ramps down over the last
+    ``ramp_fraction``.
+    """
+
+    name: str
+    start: float
+    end: float
+    peak_staff: float
+    ramp_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"stage {self.name!r}: end must exceed start")
+        if self.peak_staff < 0:
+            raise ValueError(f"stage {self.name!r}: negative staffing")
+        if not 0.0 <= self.ramp_fraction <= 0.5:
+            raise ValueError(
+                f"stage {self.name!r}: ramp_fraction must be in [0, 0.5]"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def staff_at(self, t: float) -> float:
+        """Headcount contributed by this stage at month ``t``."""
+        if t < self.start or t > self.end:
+            return 0.0
+        ramp = self.ramp_fraction * self.duration
+        if ramp == 0.0:
+            return self.peak_staff
+        into = t - self.start
+        remaining = self.end - t
+        if into < ramp:
+            return self.peak_staff * into / ramp
+        if remaining < ramp:
+            return self.peak_staff * remaining / ramp
+        return self.peak_staff
+
+    def person_months(self) -> float:
+        """Integral of the trapezoidal staffing profile."""
+        ramp = self.ramp_fraction * self.duration
+        return self.peak_staff * (self.duration - ramp)
+
+
+#: Stage names in the order of Figure 1.
+FIGURE1_STAGES = (
+    "High-Level Design",
+    "RTL Implementation",
+    "RTL Verification",
+    "Place and Route",
+    "Timing Closure",
+)
+
+
+@dataclass(frozen=True)
+class DevelopmentTimeline:
+    """A set of overlapping stages plus the paper's milestone events."""
+
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("timeline needs at least one stage")
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+
+    def stage(self, name: str) -> Stage:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r}")
+
+    @property
+    def start(self) -> float:
+        return min(s.start for s in self.stages)
+
+    @property
+    def end(self) -> float:
+        return max(s.end for s in self.stages)
+
+    def team_size(self, t: float) -> float:
+        """Total engineering headcount at month ``t``."""
+        return sum(s.staff_at(t) for s in self.stages)
+
+    def peak_team_size(self, resolution: int = 512) -> float:
+        ts = self._grid(resolution)
+        return max(self.team_size(t) for t in ts)
+
+    def total_person_months(self) -> float:
+        return sum(s.person_months() for s in self.stages)
+
+    def rtl_design_phase(self) -> tuple[float, float]:
+        """The span uComplexity's Design Effort covers (Section 2.1).
+
+        From the start of RTL Implementation to the end of RTL
+        Verification -- implementing the HDL description and verifying it
+        for functional correctness.
+        """
+        impl = self.stage("RTL Implementation")
+        verif = self.stage("RTL Verification")
+        return impl.start, verif.end
+
+    def design_effort_person_months(self) -> float:
+        """Person-months within the RTL design phase (the estimated target)."""
+        impl = self.stage("RTL Implementation")
+        verif = self.stage("RTL Verification")
+        return impl.person_months() + verif.person_months()
+
+    def measurement_point(self) -> float:
+        """The "Initial RTL" arrow of Figure 1: metrics can be measured once
+        a module is designed and before verification starts -- often 1 to 2
+        years before RTL verification completes."""
+        return self.stage("RTL Verification").start
+
+    def _grid(self, resolution: int) -> list[float]:
+        span = self.end - self.start
+        return [
+            self.start + span * i / (resolution - 1) for i in range(resolution)
+        ]
+
+    def render_ascii(self, width: int = 60) -> str:
+        """Gantt-style ASCII rendering (used by the Figure 1 bench)."""
+        lines = []
+        span = self.end - self.start
+        label_w = max(len(s.name) for s in self.stages) + 2
+        for s in self.stages:
+            lead = int(width * (s.start - self.start) / span)
+            bar = max(1, int(width * s.duration / span))
+            lines.append(f"{s.name:<{label_w}}|{' ' * lead}{'=' * bar}")
+        return "\n".join(lines)
+
+
+def default_timeline(
+    rtl_months: float = 24.0, peak_rtl_staff: float = 20.0
+) -> DevelopmentTimeline:
+    """A timeline shaped like Figure 1.
+
+    ``rtl_months`` is the length of the RTL design phase (the paper quotes
+    1 to 2 years between initial RTL and the end of RTL verification);
+    the other stages are scheduled around it with Figure 1's overlaps.
+    """
+    if rtl_months <= 0:
+        raise ValueError(f"rtl_months must be positive, got {rtl_months}")
+    if peak_rtl_staff <= 0:
+        raise ValueError(f"peak_rtl_staff must be positive, got {peak_rtl_staff}")
+    m = rtl_months
+    return DevelopmentTimeline(
+        stages=(
+            Stage("High-Level Design", start=0.0, end=0.45 * m,
+                  peak_staff=0.3 * peak_rtl_staff),
+            Stage("RTL Implementation", start=0.25 * m, end=0.95 * m,
+                  peak_staff=peak_rtl_staff),
+            Stage("RTL Verification", start=0.40 * m, end=1.25 * m,
+                  peak_staff=1.2 * peak_rtl_staff),
+            Stage("Place and Route", start=0.85 * m, end=1.45 * m,
+                  peak_staff=0.5 * peak_rtl_staff),
+            Stage("Timing Closure", start=1.0 * m, end=1.55 * m,
+                  peak_staff=0.4 * peak_rtl_staff),
+        )
+    )

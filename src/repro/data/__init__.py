@@ -1,0 +1,31 @@
+"""Canonical datasets shipped with the reproduction.
+
+:mod:`repro.data.paper` embeds the published evaluation data of the paper
+(Tables 1, 2, and 4), and :mod:`repro.data.dataset` provides the
+:class:`~repro.data.dataset.EffortDataset` container with CSV round-tripping
+for user-collected measurement databases (Section 3.1.1 recommends
+maintaining one).
+"""
+
+from repro.data.dataset import EffortDataset, EffortRecord
+from repro.data.paper import (
+    DESIGN_CHARACTERISTICS,
+    PAPER_COMPONENTS,
+    PAPER_SIGMA_EPS,
+    PAPER_SIGMA_EPS_NO_RHO,
+    SYNTHESIS_METRICS,
+    SOFTWARE_METRICS,
+    paper_dataset,
+)
+
+__all__ = [
+    "DESIGN_CHARACTERISTICS",
+    "EffortDataset",
+    "EffortRecord",
+    "PAPER_COMPONENTS",
+    "PAPER_SIGMA_EPS",
+    "PAPER_SIGMA_EPS_NO_RHO",
+    "SOFTWARE_METRICS",
+    "SYNTHESIS_METRICS",
+    "paper_dataset",
+]

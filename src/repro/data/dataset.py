@@ -1,0 +1,177 @@
+"""Effort-measurement dataset container.
+
+Section 3.1.1 of the paper recommends "maintaining a continuously updated
+database of component measurements and of reported design efforts" and
+periodically re-fitting the model.  :class:`EffortDataset` is that database:
+a list of per-component records (team, component, reported effort, metric
+values) with CSV round-tripping and conversion to the numeric
+:class:`~repro.stats.grouping.GroupedData` the fitters consume.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.stats.grouping import GroupedData
+
+
+@dataclass(frozen=True)
+class EffortRecord:
+    """One component: who designed it, how long it took, what it measures."""
+
+    team: str
+    component: str
+    effort: float
+    metrics: dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.effort <= 0.0:
+            raise ValueError(
+                f"{self.team}/{self.component}: effort must be positive, "
+                f"got {self.effort}"
+            )
+        for name, value in self.metrics.items():
+            if value < 0.0:
+                raise ValueError(
+                    f"{self.team}/{self.component}: metric {name!r} is negative"
+                )
+
+    @property
+    def label(self) -> str:
+        return f"{self.team}-{self.component}"
+
+
+@dataclass(frozen=True)
+class EffortDataset:
+    """An ordered collection of :class:`EffortRecord`."""
+
+    records: tuple[EffortRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ValueError("dataset must contain at least one record")
+        seen: set[str] = set()
+        for rec in self.records:
+            if rec.label in seen:
+                raise ValueError(f"duplicate component {rec.label!r}")
+            seen.add(rec.label)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def teams(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.team, None)
+        return tuple(seen)
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """Metric names present in *every* record, in first-record order."""
+        common = set(self.records[0].metrics)
+        for rec in self.records[1:]:
+            common &= set(rec.metrics)
+        return tuple(n for n in self.records[0].metrics if n in common)
+
+    def filter_teams(self, teams: Iterable[str]) -> "EffortDataset":
+        keep = set(teams)
+        unknown = keep - set(self.teams)
+        if unknown:
+            raise KeyError(f"unknown teams: {sorted(unknown)}")
+        return EffortDataset(tuple(r for r in self.records if r.team in keep))
+
+    def without(self, label: str) -> "EffortDataset":
+        """The dataset minus one component (for leave-one-out analyses)."""
+        remaining = tuple(r for r in self.records if r.label != label)
+        if len(remaining) == len(self.records):
+            raise KeyError(f"no component labeled {label!r}")
+        return EffortDataset(remaining)
+
+    def record(self, label: str) -> EffortRecord:
+        for rec in self.records:
+            if rec.label == label:
+                return rec
+        raise KeyError(f"no component labeled {label!r}")
+
+    def add(self, record: EffortRecord) -> "EffortDataset":
+        return EffortDataset(self.records + (record,))
+
+    def to_grouped(
+        self, metric_names: Sequence[str], metric_floor: float = 1.0
+    ) -> GroupedData:
+        """Numeric view over the chosen metric columns.
+
+        Metric values below ``metric_floor`` (notably zeros, which the
+        multiplicative model cannot represent) are clamped up to it.
+        """
+        names = tuple(metric_names)
+        if not names:
+            raise ValueError("select at least one metric")
+        rows = []
+        for rec in self.records:
+            missing = [n for n in names if n not in rec.metrics]
+            if missing:
+                raise KeyError(f"{rec.label}: missing metrics {missing}")
+            rows.append([max(rec.metrics[n], metric_floor) for n in names])
+        return GroupedData(
+            efforts=np.asarray([r.effort for r in self.records]),
+            metrics=np.asarray(rows, dtype=float),
+            groups=tuple(r.team for r in self.records),
+            metric_names=names,
+            labels=tuple(r.label for r in self.records),
+        )
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Serialize to CSV; write to ``path`` when given, return the text."""
+        names = self.metric_names
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["team", "component", "effort", *names])
+        for rec in self.records:
+            writer.writerow(
+                [rec.team, rec.component, rec.effort]
+                + [rec.metrics[n] for n in names]
+            )
+        text = buf.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_csv(cls, source: str | Path) -> "EffortDataset":
+        """Parse a dataset from CSV text or a file path."""
+        if isinstance(source, Path) or "\n" not in str(source):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = str(source)
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header is None or header[:3] != ["team", "component", "effort"]:
+            raise ValueError(
+                "CSV must start with header: team,component,effort,<metrics...>"
+            )
+        metric_names = header[3:]
+        records = []
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(f"row has {len(row)} fields, expected {len(header)}")
+            metrics = {n: float(v) for n, v in zip(metric_names, row[3:])}
+            records.append(
+                EffortRecord(
+                    team=row[0], component=row[1], effort=float(row[2]),
+                    metrics=metrics,
+                )
+            )
+        return cls(tuple(records))

@@ -1,0 +1,117 @@
+// IVM-Decode: Alpha-subset instruction decode.  Eight identical decoder
+// slots, explicitly instantiated (Verilog-95).  Decode proper is small --
+// the paper reports only 2 person-months and the smallest synthesis
+// numbers for this component.
+
+module ivm_decoder_slot (inst, valid, ra, rb, rc, opclass, writes_rc,
+                         uses_imm, imm8, illegal);
+  parameter INST_BITS = 32;
+
+  input  [INST_BITS-1:0] inst;
+  input                  valid;
+  output [4:0]           ra;
+  output [4:0]           rb;
+  output [4:0]           rc;
+  output [2:0]           opclass;
+  output                 writes_rc;
+  output                 uses_imm;
+  output [7:0]           imm8;
+  output                 illegal;
+
+  reg [2:0] opclass;
+  reg       writes_rc;
+  reg       illegal;
+
+  wire [5:0] opcode;
+  assign opcode = inst[INST_BITS-1:INST_BITS-6];
+  assign ra = inst[25:21];
+  assign rb = inst[20:16];
+  assign rc = inst[4:0];
+  assign uses_imm = inst[12];
+  assign imm8 = inst[20:13];
+
+  always @(opcode or valid) begin
+    opclass   = 3'd0;
+    writes_rc = 1'b0;
+    illegal   = 1'b0;
+    case (opcode)
+      6'h10: begin opclass = 3'd0; writes_rc = 1'b1; end // INTA add/sub
+      6'h11: begin opclass = 3'd1; writes_rc = 1'b1; end // INTL logic
+      6'h12: begin opclass = 3'd2; writes_rc = 1'b1; end // INTS shift
+      6'h28: begin opclass = 3'd3; writes_rc = 1'b1; end // LDL
+      6'h2C: begin opclass = 3'd4; end                   // STL
+      6'h30: begin opclass = 3'd5; end                   // BR
+      6'h39: begin opclass = 3'd6; end                   // BEQ
+      default: illegal = valid;
+    endcase
+  end
+endmodule
+
+module ivm_decode (clk, rst, stall, insts, insts_valid,
+                   ra_bus, rb_bus, rc_bus, opclass_bus, writes_bus,
+                   uses_imm_bus, imm_bus, valid_bus, any_illegal);
+  parameter INST_BITS = 32;
+  parameter FETCH     = 8;
+
+  input                        clk;
+  input                        rst;
+  input                        stall;
+  input  [FETCH*INST_BITS-1:0] insts;
+  input  [FETCH-1:0]           insts_valid;
+  output [FETCH*5-1:0]         ra_bus;
+  output [FETCH*5-1:0]         rb_bus;
+  output [FETCH*5-1:0]         rc_bus;
+  output [FETCH*3-1:0]         opclass_bus;
+  output [FETCH-1:0]           writes_bus;
+  output [FETCH-1:0]           uses_imm_bus;
+  output [FETCH*8-1:0]         imm_bus;
+  output [FETCH-1:0]           valid_bus;
+  output                       any_illegal;
+
+  wire [FETCH-1:0] illegal;
+
+  ivm_decoder_slot #(INST_BITS) u_d0
+    (insts[INST_BITS-1:0], insts_valid[0],
+     ra_bus[4:0], rb_bus[4:0], rc_bus[4:0], opclass_bus[2:0],
+     writes_bus[0], uses_imm_bus[0], imm_bus[7:0], illegal[0]);
+  ivm_decoder_slot #(INST_BITS) u_d1
+    (insts[2*INST_BITS-1:INST_BITS], insts_valid[1],
+     ra_bus[9:5], rb_bus[9:5], rc_bus[9:5], opclass_bus[5:3],
+     writes_bus[1], uses_imm_bus[1], imm_bus[15:8], illegal[1]);
+  ivm_decoder_slot #(INST_BITS) u_d2
+    (insts[3*INST_BITS-1:2*INST_BITS], insts_valid[2],
+     ra_bus[14:10], rb_bus[14:10], rc_bus[14:10], opclass_bus[8:6],
+     writes_bus[2], uses_imm_bus[2], imm_bus[23:16], illegal[2]);
+  ivm_decoder_slot #(INST_BITS) u_d3
+    (insts[4*INST_BITS-1:3*INST_BITS], insts_valid[3],
+     ra_bus[19:15], rb_bus[19:15], rc_bus[19:15], opclass_bus[11:9],
+     writes_bus[3], uses_imm_bus[3], imm_bus[31:24], illegal[3]);
+  ivm_decoder_slot #(INST_BITS) u_d4
+    (insts[5*INST_BITS-1:4*INST_BITS], insts_valid[4],
+     ra_bus[24:20], rb_bus[24:20], rc_bus[24:20], opclass_bus[14:12],
+     writes_bus[4], uses_imm_bus[4], imm_bus[39:32], illegal[4]);
+  ivm_decoder_slot #(INST_BITS) u_d5
+    (insts[6*INST_BITS-1:5*INST_BITS], insts_valid[5],
+     ra_bus[29:25], rb_bus[29:25], rc_bus[29:25], opclass_bus[17:15],
+     writes_bus[5], uses_imm_bus[5], imm_bus[47:40], illegal[5]);
+  ivm_decoder_slot #(INST_BITS) u_d6
+    (insts[7*INST_BITS-1:6*INST_BITS], insts_valid[6],
+     ra_bus[34:30], rb_bus[34:30], rc_bus[34:30], opclass_bus[20:18],
+     writes_bus[6], uses_imm_bus[6], imm_bus[55:48], illegal[6]);
+  ivm_decoder_slot #(INST_BITS) u_d7
+    (insts[8*INST_BITS-1:7*INST_BITS], insts_valid[7],
+     ra_bus[39:35], rb_bus[39:35], rc_bus[39:35], opclass_bus[23:21],
+     writes_bus[7], uses_imm_bus[7], imm_bus[63:56], illegal[7]);
+
+  reg [FETCH-1:0] valid_q;
+  always @(posedge clk) begin
+    if (rst) begin
+      valid_q <= 0;
+    end else begin
+      if (!stall)
+        valid_q <= insts_valid & ~illegal;
+    end
+  end
+  assign valid_bus = valid_q;
+  assign any_illegal = |illegal;
+endmodule

@@ -1,0 +1,182 @@
+// IVM-Execute: four parallel integer execution pipes for the 4-issue IVM
+// core.  Purely combinational (the paper's Table 4 reports zero flip-flops
+// for IVM-Execute; latching happens in the surrounding pipeline stages).
+// Verilog-95, explicit 4x instantiation of the ALU and bypass muxes.
+
+module ivm_exec_alu (a, b, opclass, func, result, take_branch);
+  parameter WIDTH = 64;
+
+  input  [WIDTH-1:0] a;
+  input  [WIDTH-1:0] b;
+  input  [2:0]       opclass;
+  input  [2:0]       func;
+  output [WIDTH-1:0] result;
+  output             take_branch;
+
+  reg [WIDTH-1:0] result;
+
+  wire [WIDTH-1:0] adder_out;
+  wire [WIDTH-1:0] logic_out;
+  wire [WIDTH-1:0] shift_out;
+
+  ivm_exec_adder #(WIDTH) u_add (a, b, func[0], adder_out);
+  ivm_exec_logic #(WIDTH) u_log (a, b, func[1:0], logic_out);
+  ivm_exec_shift #(WIDTH) u_shf (a, b[5:0], func[0], shift_out);
+
+  always @(opclass or adder_out or logic_out or shift_out or a) begin
+    case (opclass)
+      3'd0: result = adder_out;
+      3'd1: result = logic_out;
+      3'd2: result = shift_out;
+      default: result = a;
+    endcase
+  end
+
+  assign take_branch = (opclass == 3'd6) & (a == 0);
+endmodule
+
+module ivm_exec_adder (a, b, do_sub, sum);
+  parameter WIDTH = 64;
+
+  input  [WIDTH-1:0] a;
+  input  [WIDTH-1:0] b;
+  input              do_sub;
+  output [WIDTH-1:0] sum;
+
+  assign sum = do_sub ? (a - b) : (a + b);
+endmodule
+
+module ivm_exec_logic (a, b, sel, out);
+  parameter WIDTH = 64;
+
+  input  [WIDTH-1:0] a;
+  input  [WIDTH-1:0] b;
+  input  [1:0]       sel;
+  output [WIDTH-1:0] out;
+
+  reg [WIDTH-1:0] out;
+  always @(a or b or sel) begin
+    case (sel)
+      2'd0: out = a & b;
+      2'd1: out = a | b;
+      2'd2: out = a ^ b;
+      default: out = a & ~b; // bic
+    endcase
+  end
+endmodule
+
+module ivm_exec_shift (a, amount, dir_right, out);
+  parameter WIDTH = 64;
+
+  input  [WIDTH-1:0] a;
+  input  [5:0]       amount;
+  input              dir_right;
+  output [WIDTH-1:0] out;
+
+  assign out = dir_right ? (a >> amount) : (a << amount);
+endmodule
+
+module ivm_exec_bypass (raw, wb0_valid, wb0_tag, wb0_data,
+                        wb1_valid, wb1_tag, wb1_data, my_tag, out);
+  parameter WIDTH = 64;
+  parameter TAG   = 7;
+
+  input  [WIDTH-1:0] raw;
+  input              wb0_valid;
+  input  [TAG-1:0]   wb0_tag;
+  input  [WIDTH-1:0] wb0_data;
+  input              wb1_valid;
+  input  [TAG-1:0]   wb1_tag;
+  input  [WIDTH-1:0] wb1_data;
+  input  [TAG-1:0]   my_tag;
+  output [WIDTH-1:0] out;
+
+  wire hit0;
+  wire hit1;
+  assign hit0 = wb0_valid & (wb0_tag == my_tag);
+  assign hit1 = wb1_valid & (wb1_tag == my_tag);
+  assign out = hit0 ? wb0_data : (hit1 ? wb1_data : raw);
+endmodule
+
+module ivm_execute (a0, b0, class0, func0, tag_a0, tag_b0,
+                    a1, b1, class1, func1, tag_a1, tag_b1,
+                    a2, b2, class2, func2, tag_a2, tag_b2,
+                    a3, b3, class3, func3, tag_a3, tag_b3,
+                    wb0_valid, wb0_tag, wb0_data,
+                    wb1_valid, wb1_tag, wb1_data,
+                    r0, r1, r2, r3,
+                    br0, br1, br2, br3);
+  parameter WIDTH = 64;
+  parameter TAG   = 7;
+
+  input  [WIDTH-1:0] a0;
+  input  [WIDTH-1:0] b0;
+  input  [2:0]       class0;
+  input  [2:0]       func0;
+  input  [TAG-1:0]   tag_a0;
+  input  [TAG-1:0]   tag_b0;
+  input  [WIDTH-1:0] a1;
+  input  [WIDTH-1:0] b1;
+  input  [2:0]       class1;
+  input  [2:0]       func1;
+  input  [TAG-1:0]   tag_a1;
+  input  [TAG-1:0]   tag_b1;
+  input  [WIDTH-1:0] a2;
+  input  [WIDTH-1:0] b2;
+  input  [2:0]       class2;
+  input  [2:0]       func2;
+  input  [TAG-1:0]   tag_a2;
+  input  [TAG-1:0]   tag_b2;
+  input  [WIDTH-1:0] a3;
+  input  [WIDTH-1:0] b3;
+  input  [2:0]       class3;
+  input  [2:0]       func3;
+  input  [TAG-1:0]   tag_a3;
+  input  [TAG-1:0]   tag_b3;
+  input              wb0_valid;
+  input  [TAG-1:0]   wb0_tag;
+  input  [WIDTH-1:0] wb0_data;
+  input              wb1_valid;
+  input  [TAG-1:0]   wb1_tag;
+  input  [WIDTH-1:0] wb1_data;
+  output [WIDTH-1:0] r0;
+  output [WIDTH-1:0] r1;
+  output [WIDTH-1:0] r2;
+  output [WIDTH-1:0] r3;
+  output             br0;
+  output             br1;
+  output             br2;
+  output             br3;
+
+  wire [WIDTH-1:0] ba0, bb0, ba1, bb1, ba2, bb2, ba3, bb3;
+
+  ivm_exec_bypass #(WIDTH, TAG) u_bpa0
+    (a0, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_a0, ba0);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpb0
+    (b0, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_b0, bb0);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpa1
+    (a1, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_a1, ba1);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpb1
+    (b1, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_b1, bb1);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpa2
+    (a2, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_a2, ba2);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpb2
+    (b2, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_b2, bb2);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpa3
+    (a3, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_a3, ba3);
+  ivm_exec_bypass #(WIDTH, TAG) u_bpb3
+    (b3, wb0_valid, wb0_tag, wb0_data, wb1_valid, wb1_tag, wb1_data,
+     tag_b3, bb3);
+
+  ivm_exec_alu #(WIDTH) u_alu0 (ba0, bb0, class0, func0, r0, br0);
+  ivm_exec_alu #(WIDTH) u_alu1 (ba1, bb1, class1, func1, r1, br1);
+  ivm_exec_alu #(WIDTH) u_alu2 (ba2, bb2, class2, func2, r2, br2);
+  ivm_exec_alu #(WIDTH) u_alu3 (ba3, bb3, class3, func3, r3, br3);
+endmodule

@@ -1,0 +1,231 @@
+// IVM-Fetch: eight-wide instruction fetch with a tournament branch
+// predictor (local + gshare + chooser), modeled on the Alpha 21264 front
+// end that IVM implements.  Verilog-95: replication is explicit
+// instantiation, which is exactly the multiple-instantiation pattern the
+// paper's accounting procedure exists to handle (Section 5.3).
+
+module ivm_local_predictor (clk, rst, pc, update, update_pc, taken, predict);
+  parameter PC_BITS = 30;
+  parameter HIST    = 10;
+
+  input                clk;
+  input                rst;
+  input  [PC_BITS-1:0] pc;
+  input                update;
+  input  [PC_BITS-1:0] update_pc;
+  input                taken;
+  output               predict;
+
+  reg [HIST-1:0] history [0:1023];
+  reg [2:0]      counters [0:1023];
+
+  wire [9:0]      rd_index;
+  wire [9:0]      wr_index;
+  wire [HIST-1:0] rd_hist;
+  wire [HIST-1:0] wr_hist;
+  wire [2:0]      ctr;
+  wire [2:0]      wr_ctr;
+
+  assign rd_index = pc[9:0];
+  assign wr_index = update_pc[9:0];
+  assign rd_hist  = history[rd_index];
+  assign wr_hist  = history[wr_index];
+  assign ctr      = counters[rd_hist];
+  assign wr_ctr   = counters[wr_hist];
+  assign predict  = ctr[2];
+
+  always @(posedge clk) begin
+    if (!rst) begin
+      if (update) begin
+        history[wr_index] <= {wr_hist[HIST-2:0], taken};
+        counters[wr_hist] <= taken ? ((wr_ctr == 3'b111) ? 3'b111 : wr_ctr + 1)
+                                   : ((wr_ctr == 3'b000) ? 3'b000 : wr_ctr - 1);
+      end
+    end
+  end
+endmodule
+
+module ivm_global_predictor (clk, rst, update, taken, predict);
+  parameter HIST = 12;
+
+  input       clk;
+  input       rst;
+  input       update;
+  input       taken;
+  output      predict;
+
+  reg [HIST-1:0] ghr;
+  reg [1:0]      counters [0:4095];
+
+  wire [1:0] ctr;
+  assign ctr = counters[ghr];
+  assign predict = ctr[1];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      ghr <= 0;
+    end else begin
+      if (update) begin
+        counters[ghr] <= taken ? ((ctr == 2'b11) ? 2'b11 : ctr + 1)
+                               : ((ctr == 2'b00) ? 2'b00 : ctr - 1);
+        ghr <= {ghr[HIST-2:0], taken};
+      end
+    end
+  end
+endmodule
+
+module ivm_chooser (clk, rst, update, taken, local_was, global_was,
+                    local_pred, global_pred, final_pred);
+  parameter HIST = 12;
+
+  input  clk;
+  input  rst;
+  input  update;
+  input  taken;
+  input  local_was;
+  input  global_was;
+  input  local_pred;
+  input  global_pred;
+  output final_pred;
+
+  reg [HIST-1:0] chist;
+  reg [1:0]      choice [0:4095];
+
+  wire [1:0] ch;
+  wire local_correct;
+  wire global_correct;
+
+  assign ch = choice[chist];
+  assign final_pred = ch[1] ? global_pred : local_pred;
+  assign local_correct  = (local_was == taken);
+  assign global_correct = (global_was == taken);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      chist <= 0;
+    end else begin
+      if (update) begin
+        chist <= {chist[HIST-2:0], taken};
+        if (global_correct & !local_correct)
+          choice[chist] <= (ch == 2'b11) ? 2'b11 : ch + 1;
+        if (local_correct & !global_correct)
+          choice[chist] <= (ch == 2'b00) ? 2'b00 : ch - 1;
+      end
+    end
+  end
+endmodule
+
+module ivm_fetch_slot (bundle, slot_index, start_index, inst, in_range);
+  parameter INST_BITS = 32;
+  parameter FETCH     = 8;
+
+  input  [FETCH*INST_BITS-1:0] bundle;
+  input  [2:0]                 slot_index;
+  input  [2:0]                 start_index;
+  output [INST_BITS-1:0]       inst;
+  output                       in_range;
+
+  wire [2:0] source;
+  assign source = start_index + slot_index;
+
+  reg [INST_BITS-1:0] picked;
+  integer i;
+  always @(bundle or source) begin
+    picked = bundle[INST_BITS-1:0];
+    for (i = 1; i < FETCH; i = i + 1) begin
+      if (source == i)
+        picked = bundle[(i+1)*INST_BITS-1 -: INST_BITS];
+    end
+  end
+  assign inst = picked;
+  assign in_range = ({1'b0, start_index} + {1'b0, slot_index}) < FETCH;
+endmodule
+
+module ivm_fetch (clk, rst, stall, redirect, redirect_pc,
+                  icache_data, icache_ready,
+                  br_update, br_update_pc, br_taken,
+                  br_local_was, br_global_was,
+                  icache_addr, icache_req,
+                  insts, insts_valid, fetch_pc, predict_taken);
+  parameter PC_BITS   = 30;
+  parameter INST_BITS = 32;
+  parameter FETCH     = 8;
+
+  input                        clk;
+  input                        rst;
+  input                        stall;
+  input                        redirect;
+  input  [PC_BITS-1:0]         redirect_pc;
+  input  [FETCH*INST_BITS-1:0] icache_data;
+  input                        icache_ready;
+  input                        br_update;
+  input  [PC_BITS-1:0]         br_update_pc;
+  input                        br_taken;
+  input                        br_local_was;
+  input                        br_global_was;
+  output [PC_BITS-1:0]         icache_addr;
+  output                       icache_req;
+  output [FETCH*INST_BITS-1:0] insts;
+  output [FETCH-1:0]           insts_valid;
+  output [PC_BITS-1:0]         fetch_pc;
+  output                       predict_taken;
+
+  reg [PC_BITS-1:0] pc;
+
+  wire local_pred;
+  wire global_pred;
+
+  ivm_local_predictor #(PC_BITS, 10) u_local
+    (clk, rst, pc, br_update, br_update_pc, br_taken, local_pred);
+
+  ivm_global_predictor #(12) u_global
+    (clk, rst, br_update, br_taken, global_pred);
+
+  ivm_chooser #(12) u_chooser
+    (clk, rst, br_update, br_taken, br_local_was, br_global_was,
+     local_pred, global_pred, predict_taken);
+
+  // Eight alignment slots, explicitly instantiated (Verilog-95 has no
+  // generate construct).
+  wire [2:0] start;
+  assign start = pc[2:0];
+
+  wire [INST_BITS-1:0] s0, s1, s2, s3, s4, s5, s6, s7;
+  wire r0, r1, r2, r3, r4, r5, r6, r7;
+
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot0
+    (icache_data, 3'd0, start, s0, r0);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot1
+    (icache_data, 3'd1, start, s1, r1);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot2
+    (icache_data, 3'd2, start, s2, r2);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot3
+    (icache_data, 3'd3, start, s3, r3);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot4
+    (icache_data, 3'd4, start, s4, r4);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot5
+    (icache_data, 3'd5, start, s5, r5);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot6
+    (icache_data, 3'd6, start, s6, r6);
+  ivm_fetch_slot #(INST_BITS, FETCH) u_slot7
+    (icache_data, 3'd7, start, s7, r7);
+
+  assign insts = {s7, s6, s5, s4, s3, s2, s1, s0};
+  assign insts_valid = {r7, r6, r5, r4, r3, r2, r1, r0}
+                     & {FETCH{icache_ready & !redirect}};
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 0;
+    end else begin
+      if (redirect)
+        pc <= redirect_pc;
+      else if (!stall && icache_ready)
+        pc <= pc + FETCH;
+    end
+  end
+
+  assign icache_addr = pc;
+  assign icache_req  = !stall;
+  assign fetch_pc    = pc;
+endmodule

@@ -1,0 +1,177 @@
+// IVM-Issue: four-wide issue window with CAM-style wakeup and four
+// explicitly instantiated select units (one per issue port).  Verilog-95.
+
+module ivm_wakeup_cam (clk, rst, flush,
+                       alloc, alloc_slot, alloc_src1, alloc_src2,
+                       alloc_r1, alloc_r2,
+                       wb0_valid, wb0_tag, wb1_valid, wb1_tag,
+                       wb2_valid, wb2_tag, wb3_valid, wb3_tag,
+                       issued, issued_slot,
+                       valid, ready);
+  parameter DEPTH = 16;
+  parameter LOGD  = 4;
+  parameter TAG   = 7;
+
+  input              clk;
+  input              rst;
+  input              flush;
+  input              alloc;
+  input  [LOGD-1:0]  alloc_slot;
+  input  [TAG-1:0]   alloc_src1;
+  input  [TAG-1:0]   alloc_src2;
+  input              alloc_r1;
+  input              alloc_r2;
+  input              wb0_valid;
+  input  [TAG-1:0]   wb0_tag;
+  input              wb1_valid;
+  input  [TAG-1:0]   wb1_tag;
+  input              wb2_valid;
+  input  [TAG-1:0]   wb2_tag;
+  input              wb3_valid;
+  input  [TAG-1:0]   wb3_tag;
+  input              issued;
+  input  [LOGD-1:0]  issued_slot;
+  output [DEPTH-1:0] valid;
+  output [DEPTH-1:0] ready;
+
+  reg [DEPTH-1:0] valid;
+  reg [DEPTH-1:0] r1;
+  reg [DEPTH-1:0] r2;
+  reg [TAG-1:0]   src1 [0:DEPTH-1];
+  reg [TAG-1:0]   src2 [0:DEPTH-1];
+
+  assign ready = r1 & r2;
+
+  integer i;
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      valid <= 0;
+      r1    <= 0;
+      r2    <= 0;
+    end else begin
+      for (i = 0; i < DEPTH; i = i + 1) begin
+        if (valid[i] && ((wb0_valid && (src1[i] == wb0_tag))
+                      || (wb1_valid && (src1[i] == wb1_tag))
+                      || (wb2_valid && (src1[i] == wb2_tag))
+                      || (wb3_valid && (src1[i] == wb3_tag))))
+          r1[i] <= 1'b1;
+        if (valid[i] && ((wb0_valid && (src2[i] == wb0_tag))
+                      || (wb1_valid && (src2[i] == wb1_tag))
+                      || (wb2_valid && (src2[i] == wb2_tag))
+                      || (wb3_valid && (src2[i] == wb3_tag))))
+          r2[i] <= 1'b1;
+      end
+      if (alloc) begin
+        valid[alloc_slot] <= 1'b1;
+        r1[alloc_slot]    <= alloc_r1;
+        r2[alloc_slot]    <= alloc_r2;
+        src1[alloc_slot]  <= alloc_src1;
+        src2[alloc_slot]  <= alloc_src2;
+      end
+      if (issued)
+        valid[issued_slot] <= 1'b0;
+    end
+  end
+endmodule
+
+module ivm_select (request, grant_slot, grant_valid);
+  parameter DEPTH = 16;
+  parameter LOGD  = 4;
+
+  input  [DEPTH-1:0] request;
+  output [LOGD-1:0]  grant_slot;
+  output             grant_valid;
+
+  reg [LOGD-1:0] grant_slot;
+  reg            grant_valid;
+
+  integer i;
+  always @(request) begin
+    grant_slot  = 0;
+    grant_valid = 1'b0;
+    for (i = DEPTH - 1; i >= 0; i = i - 1) begin
+      if (request[i]) begin
+        grant_slot  = i[LOGD-1:0];
+        grant_valid = 1'b1;
+      end
+    end
+  end
+endmodule
+
+module ivm_issue (clk, rst, flush,
+                  disp_valid, disp_slot, disp_src1, disp_src2,
+                  disp_r1, disp_r2,
+                  wb0_valid, wb0_tag, wb1_valid, wb1_tag,
+                  wb2_valid, wb2_tag, wb3_valid, wb3_tag,
+                  iss0_valid, iss0_slot, iss1_valid, iss1_slot,
+                  iss2_valid, iss2_slot, iss3_valid, iss3_slot,
+                  window_full);
+  parameter DEPTH = 16;
+  parameter LOGD  = 4;
+  parameter TAG   = 7;
+
+  input              clk;
+  input              rst;
+  input              flush;
+  input              disp_valid;
+  input  [LOGD-1:0]  disp_slot;
+  input  [TAG-1:0]   disp_src1;
+  input  [TAG-1:0]   disp_src2;
+  input              disp_r1;
+  input              disp_r2;
+  input              wb0_valid;
+  input  [TAG-1:0]   wb0_tag;
+  input              wb1_valid;
+  input  [TAG-1:0]   wb1_tag;
+  input              wb2_valid;
+  input  [TAG-1:0]   wb2_tag;
+  input              wb3_valid;
+  input  [TAG-1:0]   wb3_tag;
+  output             iss0_valid;
+  output [LOGD-1:0]  iss0_slot;
+  output             iss1_valid;
+  output [LOGD-1:0]  iss1_slot;
+  output             iss2_valid;
+  output [LOGD-1:0]  iss2_slot;
+  output             iss3_valid;
+  output [LOGD-1:0]  iss3_slot;
+  output             window_full;
+
+  wire [DEPTH-1:0] valid;
+  wire [DEPTH-1:0] ready;
+
+  ivm_wakeup_cam #(DEPTH, LOGD, TAG) u_cam
+    (clk, rst, flush,
+     disp_valid, disp_slot, disp_src1, disp_src2, disp_r1, disp_r2,
+     wb0_valid, wb0_tag, wb1_valid, wb1_tag,
+     wb2_valid, wb2_tag, wb3_valid, wb3_tag,
+     iss0_valid, iss0_slot,
+     valid, ready);
+
+  assign window_full = &valid;
+
+  // Four cascaded select units; each masks out earlier grants.
+  wire [DEPTH-1:0] req0;
+  wire [DEPTH-1:0] req1;
+  wire [DEPTH-1:0] req2;
+  wire [DEPTH-1:0] req3;
+  wire [DEPTH-1:0] grant0_mask;
+  wire [DEPTH-1:0] grant1_mask;
+  wire [DEPTH-1:0] grant2_mask;
+
+  assign req0 = valid & ready;
+
+  ivm_select #(DEPTH, LOGD) u_sel0 (req0, iss0_slot, iss0_valid);
+  assign grant0_mask = iss0_valid ? (16'h0001 << iss0_slot) : 16'h0000;
+  assign req1 = req0 & ~grant0_mask;
+
+  ivm_select #(DEPTH, LOGD) u_sel1 (req1, iss1_slot, iss1_valid);
+  assign grant1_mask = iss1_valid ? (16'h0001 << iss1_slot) : 16'h0000;
+  assign req2 = req1 & ~grant1_mask;
+
+  ivm_select #(DEPTH, LOGD) u_sel2 (req2, iss2_slot, iss2_valid);
+  assign grant2_mask = iss2_valid ? (16'h0001 << iss2_slot) : 16'h0000;
+  assign req3 = req2 & ~grant2_mask;
+
+  ivm_select #(DEPTH, LOGD) u_sel3 (req3, iss3_slot, iss3_valid);
+endmodule

@@ -1,0 +1,250 @@
+// IVM-Memory: load/store queue cluster for the 4-issue IVM core -- a load
+// queue, a store queue with age-ordered forwarding, and address-conflict
+// checking between them.  The paper reports IVM-Memory as one of the two
+// most expensive IVM components (10 person-months) and by far the largest
+// in nets and storage.  Verilog-95.
+
+module ivm_lsq_entry_cmp (addr_a, addr_b, valid_a, valid_b, conflict);
+  parameter ADDR = 32;
+
+  input  [ADDR-1:0] addr_a;
+  input  [ADDR-1:0] addr_b;
+  input             valid_a;
+  input             valid_b;
+  output            conflict;
+
+  assign conflict = valid_a & valid_b & (addr_a[ADDR-1:3] == addr_b[ADDR-1:3]);
+endmodule
+
+module ivm_load_queue (clk, rst, flush,
+                       alloc, alloc_addr, alloc_tag,
+                       complete, complete_slot,
+                       snoop_addr, snoop_valid, violation,
+                       head_valid, head_addr, head_tag, lq_full);
+  parameter DEPTH = 8;
+  parameter LOGD  = 3;
+  parameter ADDR  = 32;
+  parameter TAG   = 7;
+
+  input             clk;
+  input             rst;
+  input             flush;
+  input             alloc;
+  input  [ADDR-1:0] alloc_addr;
+  input  [TAG-1:0]  alloc_tag;
+  input             complete;
+  input  [LOGD-1:0] complete_slot;
+  input  [ADDR-1:0] snoop_addr;
+  input             snoop_valid;
+  output            violation;
+  output            head_valid;
+  output [ADDR-1:0] head_addr;
+  output [TAG-1:0]  head_tag;
+  output            lq_full;
+
+  reg [LOGD-1:0]  head;
+  reg [LOGD-1:0]  tail;
+  reg [LOGD:0]    count;
+  reg [DEPTH-1:0] done;
+  reg [ADDR-1:0]  addrs [0:DEPTH-1];
+  reg [TAG-1:0]   tags  [0:DEPTH-1];
+
+  assign lq_full    = (count == DEPTH);
+  assign head_valid = (count != 0);
+  assign head_addr  = addrs[head];
+  assign head_tag   = tags[head];
+
+  // A retiring store that matches a completed younger load is an ordering
+  // violation (the load got stale data).
+  reg viol;
+  integer i;
+  always @(snoop_addr or snoop_valid or count or head) begin
+    viol = 1'b0;
+    for (i = 0; i < DEPTH; i = i + 1) begin
+      if ((i < count) && done[head + i]
+          && (addrs[head + i][ADDR-1:3] == snoop_addr[ADDR-1:3]))
+        viol = snoop_valid;
+    end
+  end
+  assign violation = viol;
+
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      head  <= 0;
+      tail  <= 0;
+      count <= 0;
+      done  <= 0;
+    end else begin
+      if (alloc && !lq_full) begin
+        addrs[tail] <= alloc_addr;
+        tags[tail]  <= alloc_tag;
+        done[tail]  <= 1'b0;
+        tail        <= tail + 1;
+        count       <= count + 1;
+      end
+      if (complete)
+        done[complete_slot] <= 1'b1;
+    end
+  end
+endmodule
+
+module ivm_store_queue (clk, rst, flush,
+                        alloc, alloc_addr, alloc_data,
+                        retire,
+                        fwd_addr, fwd_hit, fwd_data,
+                        retire_addr, retire_data, retire_valid, sq_full);
+  parameter DEPTH = 8;
+  parameter LOGD  = 3;
+  parameter ADDR  = 32;
+  parameter DATA  = 64;
+
+  input             clk;
+  input             rst;
+  input             flush;
+  input             alloc;
+  input  [ADDR-1:0] alloc_addr;
+  input  [DATA-1:0] alloc_data;
+  input             retire;
+  input  [ADDR-1:0] fwd_addr;
+  output            fwd_hit;
+  output [DATA-1:0] fwd_data;
+  output [ADDR-1:0] retire_addr;
+  output [DATA-1:0] retire_data;
+  output            retire_valid;
+  output            sq_full;
+
+  reg [LOGD-1:0] head;
+  reg [LOGD-1:0] tail;
+  reg [LOGD:0]   count;
+  reg [ADDR-1:0] addrs [0:DEPTH-1];
+  reg [DATA-1:0] datas [0:DEPTH-1];
+
+  assign sq_full      = (count == DEPTH);
+  assign retire_valid = (count != 0);
+  assign retire_addr  = addrs[head];
+  assign retire_data  = datas[head];
+
+  // Youngest matching store wins the forward.
+  reg            hit;
+  reg [DATA-1:0] data;
+  integer i;
+  always @(fwd_addr or head or count) begin
+    hit  = 1'b0;
+    data = 0;
+    for (i = 0; i < DEPTH; i = i + 1) begin
+      if ((i < count) && (addrs[head + i] == fwd_addr)) begin
+        hit  = 1'b1;
+        data = datas[head + i];
+      end
+    end
+  end
+  assign fwd_hit  = hit;
+  assign fwd_data = data;
+
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      head  <= 0;
+      tail  <= 0;
+      count <= 0;
+    end else begin
+      if (alloc && !sq_full) begin
+        addrs[tail] <= alloc_addr;
+        datas[tail] <= alloc_data;
+        tail        <= tail + 1;
+      end
+      if (retire && (count != 0))
+        head <= head + 1;
+      count <= count + {3'b000, (alloc && !sq_full)}
+                     - {3'b000, (retire && (count != 0))};
+    end
+  end
+endmodule
+
+module ivm_memory (clk, rst, flush,
+                   ld_issue, ld_addr, ld_tag,
+                   ld_complete, ld_complete_slot,
+                   st_issue, st_addr, st_data,
+                   st_retire,
+                   dcache_ready, dcache_rdata,
+                   dcache_req, dcache_we, dcache_addr, dcache_wdata,
+                   ld_result, ld_result_valid,
+                   order_violation, lsq_full);
+  parameter ADDR = 32;
+  parameter DATA = 64;
+  parameter TAG  = 7;
+
+  input             clk;
+  input             rst;
+  input             flush;
+  input             ld_issue;
+  input  [ADDR-1:0] ld_addr;
+  input  [TAG-1:0]  ld_tag;
+  input             ld_complete;
+  input  [2:0]      ld_complete_slot;
+  input             st_issue;
+  input  [ADDR-1:0] st_addr;
+  input  [DATA-1:0] st_data;
+  input             st_retire;
+  input             dcache_ready;
+  input  [DATA-1:0] dcache_rdata;
+  output            dcache_req;
+  output            dcache_we;
+  output [ADDR-1:0] dcache_addr;
+  output [DATA-1:0] dcache_wdata;
+  output [DATA-1:0] ld_result;
+  output            ld_result_valid;
+  output            order_violation;
+  output            lsq_full;
+
+  wire lq_full;
+  wire sq_full;
+  wire lq_head_valid;
+  wire [ADDR-1:0] lq_head_addr;
+  wire [TAG-1:0]  lq_head_tag;
+  wire fwd_hit;
+  wire [DATA-1:0] fwd_data;
+  wire [ADDR-1:0] sq_retire_addr;
+  wire [DATA-1:0] sq_retire_data;
+  wire sq_retire_valid;
+  wire violation;
+
+  ivm_load_queue #(8, 3, ADDR, TAG) u_lq
+    (clk, rst, flush,
+     ld_issue, ld_addr, ld_tag,
+     ld_complete, ld_complete_slot,
+     sq_retire_addr, st_retire & sq_retire_valid, violation,
+     lq_head_valid, lq_head_addr, lq_head_tag, lq_full);
+
+  ivm_store_queue #(8, 3, ADDR, DATA) u_sq
+    (clk, rst, flush,
+     st_issue, st_addr, st_data,
+     st_retire,
+     ld_addr, fwd_hit, fwd_data,
+     sq_retire_addr, sq_retire_data, sq_retire_valid, sq_full);
+
+  wire raw_conflict;
+  ivm_lsq_entry_cmp #(ADDR) u_cmp
+    (ld_addr, st_addr, ld_issue, st_issue, raw_conflict);
+
+  assign lsq_full = lq_full | sq_full;
+  assign order_violation = violation | raw_conflict;
+
+  assign dcache_req   = (ld_issue & !fwd_hit)
+                      | (st_retire & sq_retire_valid);
+  assign dcache_we    = st_retire & sq_retire_valid;
+  assign dcache_addr  = dcache_we ? sq_retire_addr : ld_addr;
+  assign dcache_wdata = sq_retire_data;
+
+  reg             ld_valid_q;
+  reg [DATA-1:0]  ld_data_q;
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      ld_valid_q <= 1'b0;
+    end else begin
+      ld_valid_q <= ld_issue & (fwd_hit | dcache_ready);
+      ld_data_q  <= fwd_hit ? fwd_data : dcache_rdata;
+    end
+  end
+  assign ld_result       = ld_data_q;
+  assign ld_result_valid = ld_valid_q;
+endmodule

@@ -1,0 +1,247 @@
+// IVM-Rename: register rename for the 4-wide IVM core -- map table, free
+// list, and intra-group dependency resolution, with explicitly
+// instantiated per-slot bypass checkers.  Verilog-95.
+
+module ivm_rename_map (clk, rst,
+                       w0_valid, w0_arch, w0_tag,
+                       w1_valid, w1_arch, w1_tag,
+                       w2_valid, w2_arch, w2_tag,
+                       w3_valid, w3_arch, w3_tag,
+                       r0_arch, r0_tag, r1_arch, r1_tag,
+                       r2_arch, r2_tag, r3_arch, r3_tag);
+  parameter AREGS = 32;
+  parameter LOGA  = 5;
+  parameter LOGP  = 7;
+
+  input             clk;
+  input             rst;
+  input             w0_valid;
+  input  [LOGA-1:0] w0_arch;
+  input  [LOGP-1:0] w0_tag;
+  input             w1_valid;
+  input  [LOGA-1:0] w1_arch;
+  input  [LOGP-1:0] w1_tag;
+  input             w2_valid;
+  input  [LOGA-1:0] w2_arch;
+  input  [LOGP-1:0] w2_tag;
+  input             w3_valid;
+  input  [LOGA-1:0] w3_arch;
+  input  [LOGP-1:0] w3_tag;
+  input  [LOGA-1:0] r0_arch;
+  output [LOGP-1:0] r0_tag;
+  input  [LOGA-1:0] r1_arch;
+  output [LOGP-1:0] r1_tag;
+  input  [LOGA-1:0] r2_arch;
+  output [LOGP-1:0] r2_tag;
+  input  [LOGA-1:0] r3_arch;
+  output [LOGP-1:0] r3_tag;
+
+  reg [LOGP-1:0] map [0:AREGS-1];
+
+  assign r0_tag = map[r0_arch];
+  assign r1_tag = map[r1_arch];
+  assign r2_tag = map[r2_arch];
+  assign r3_tag = map[r3_arch];
+
+  always @(posedge clk) begin
+    if (!rst) begin
+      if (w0_valid) map[w0_arch] <= w0_tag;
+      if (w1_valid) map[w1_arch] <= w1_tag;
+      if (w2_valid) map[w2_arch] <= w2_tag;
+      if (w3_valid) map[w3_arch] <= w3_tag;
+    end
+  end
+endmodule
+
+module ivm_rename_freelist (clk, rst, alloc0, alloc1, alloc2, alloc3,
+                            free0, free0_tag, free1, free1_tag,
+                            tag0, tag1, tag2, tag3, short);
+  parameter PREGS = 128;
+  parameter LOGP  = 7;
+
+  input             clk;
+  input             rst;
+  input             alloc0;
+  input             alloc1;
+  input             alloc2;
+  input             alloc3;
+  input             free0;
+  input  [LOGP-1:0] free0_tag;
+  input             free1;
+  input  [LOGP-1:0] free1_tag;
+  output [LOGP-1:0] tag0;
+  output [LOGP-1:0] tag1;
+  output [LOGP-1:0] tag2;
+  output [LOGP-1:0] tag3;
+  output            short;
+
+  reg [LOGP-1:0] head;
+  reg [LOGP-1:0] tail;
+  reg [LOGP:0]   count;
+  reg [LOGP-1:0] pool [0:PREGS-1];
+
+  assign tag0 = pool[head];
+  assign tag1 = pool[head + 1];
+  assign tag2 = pool[head + 2];
+  assign tag3 = pool[head + 3];
+  assign short = (count < 4);
+
+  wire [2:0] n_alloc;
+  wire [1:0] n_free;
+  assign n_alloc = {2'b00, alloc0} + {2'b00, alloc1}
+                 + {2'b00, alloc2} + {2'b00, alloc3};
+  assign n_free  = {1'b0, free0} + {1'b0, free1};
+
+  always @(posedge clk) begin
+    if (rst) begin
+      head  <= 0;
+      tail  <= 0;
+      count <= PREGS;
+    end else begin
+      head  <= head + {{4{1'b0}}, n_alloc};
+      tail  <= tail + {{5{1'b0}}, n_free};
+      count <= count + {{6{1'b0}}, n_free} - {{5{1'b0}}, n_alloc};
+      if (free0) pool[tail]     <= free0_tag;
+      if (free1) pool[tail + 1] <= free1_tag;
+    end
+  end
+endmodule
+
+module ivm_rename_bypass (src_arch, table_tag,
+                          old0_valid, old0_arch, old0_tag,
+                          old1_valid, old1_arch, old1_tag,
+                          old2_valid, old2_arch, old2_tag,
+                          out_tag);
+  parameter LOGA = 5;
+  parameter LOGP = 7;
+
+  input  [LOGA-1:0] src_arch;
+  input  [LOGP-1:0] table_tag;
+  input             old0_valid;
+  input  [LOGA-1:0] old0_arch;
+  input  [LOGP-1:0] old0_tag;
+  input             old1_valid;
+  input  [LOGA-1:0] old1_arch;
+  input  [LOGP-1:0] old1_tag;
+  input             old2_valid;
+  input  [LOGA-1:0] old2_arch;
+  input  [LOGP-1:0] old2_tag;
+  output [LOGP-1:0] out_tag;
+
+  reg [LOGP-1:0] out_tag;
+  always @(src_arch or table_tag
+           or old0_valid or old0_arch or old0_tag
+           or old1_valid or old1_arch or old1_tag
+           or old2_valid or old2_arch or old2_tag) begin
+    out_tag = table_tag;
+    if (old0_valid && (old0_arch == src_arch)) out_tag = old0_tag;
+    if (old1_valid && (old1_arch == src_arch)) out_tag = old1_tag;
+    if (old2_valid && (old2_arch == src_arch)) out_tag = old2_tag;
+  end
+endmodule
+
+module ivm_rename (clk, rst,
+                   v0, ra0, rb0, rc0, writes0,
+                   v1, ra1, rb1, rc1, writes1,
+                   v2, ra2, rb2, rc2, writes2,
+                   v3, ra3, rb3, rc3, writes3,
+                   retire0, retire0_tag, retire1, retire1_tag,
+                   pa0, pb0, pc0_tag,
+                   pa1, pb1, pc1_tag,
+                   pa2, pb2, pc2_tag,
+                   pa3, pb3, pc3_tag,
+                   stall);
+  parameter LOGA = 5;
+  parameter LOGP = 7;
+
+  input             clk;
+  input             rst;
+  input             v0;
+  input  [LOGA-1:0] ra0;
+  input  [LOGA-1:0] rb0;
+  input  [LOGA-1:0] rc0;
+  input             writes0;
+  input             v1;
+  input  [LOGA-1:0] ra1;
+  input  [LOGA-1:0] rb1;
+  input  [LOGA-1:0] rc1;
+  input             writes1;
+  input             v2;
+  input  [LOGA-1:0] ra2;
+  input  [LOGA-1:0] rb2;
+  input  [LOGA-1:0] rc2;
+  input             writes2;
+  input             v3;
+  input  [LOGA-1:0] ra3;
+  input  [LOGA-1:0] rb3;
+  input  [LOGA-1:0] rc3;
+  input             writes3;
+  input             retire0;
+  input  [LOGP-1:0] retire0_tag;
+  input             retire1;
+  input  [LOGP-1:0] retire1_tag;
+  output [LOGP-1:0] pa0;
+  output [LOGP-1:0] pb0;
+  output [LOGP-1:0] pc0_tag;
+  output [LOGP-1:0] pa1;
+  output [LOGP-1:0] pb1;
+  output [LOGP-1:0] pc1_tag;
+  output [LOGP-1:0] pa2;
+  output [LOGP-1:0] pb2;
+  output [LOGP-1:0] pc2_tag;
+  output [LOGP-1:0] pa3;
+  output [LOGP-1:0] pb3;
+  output [LOGP-1:0] pc3_tag;
+  output            stall;
+
+  wire a0v;
+  wire a1v;
+  wire a2v;
+  wire a3v;
+  assign a0v = v0 & writes0;
+  assign a1v = v1 & writes1;
+  assign a2v = v2 & writes2;
+  assign a3v = v3 & writes3;
+
+  wire [LOGP-1:0] t0, t1, t2, t3;
+  ivm_rename_freelist #(128, LOGP) u_fl
+    (clk, rst, a0v, a1v, a2v, a3v,
+     retire0, retire0_tag, retire1, retire1_tag,
+     t0, t1, t2, t3, stall);
+
+  // Source lookups: two read ports per slot via two map instances
+  // (mirroring the duplicated-RAM structure real rename units use).
+  wire [LOGP-1:0] ma0, ma1, ma2, ma3;
+  wire [LOGP-1:0] mb0, mb1, mb2, mb3;
+
+  ivm_rename_map #(32, LOGA, LOGP) u_map_a
+    (clk, rst,
+     a0v, rc0, t0, a1v, rc1, t1, a2v, rc2, t2, a3v, rc3, t3,
+     ra0, ma0, ra1, ma1, ra2, ma2, ra3, ma3);
+
+  ivm_rename_map #(32, LOGA, LOGP) u_map_b
+    (clk, rst,
+     a0v, rc0, t0, a1v, rc1, t1, a2v, rc2, t2, a3v, rc3, t3,
+     rb0, mb0, rb1, mb1, rb2, mb2, rb3, mb3);
+
+  assign pa0 = ma0;
+  assign pb0 = mb0;
+
+  ivm_rename_bypass #(LOGA, LOGP) u_byp_a1
+    (ra1, ma1, a0v, rc0, t0, 1'b0, 5'd0, 7'd0, 1'b0, 5'd0, 7'd0, pa1);
+  ivm_rename_bypass #(LOGA, LOGP) u_byp_b1
+    (rb1, mb1, a0v, rc0, t0, 1'b0, 5'd0, 7'd0, 1'b0, 5'd0, 7'd0, pb1);
+  ivm_rename_bypass #(LOGA, LOGP) u_byp_a2
+    (ra2, ma2, a0v, rc0, t0, a1v, rc1, t1, 1'b0, 5'd0, 7'd0, pa2);
+  ivm_rename_bypass #(LOGA, LOGP) u_byp_b2
+    (rb2, mb2, a0v, rc0, t0, a1v, rc1, t1, 1'b0, 5'd0, 7'd0, pb2);
+  ivm_rename_bypass #(LOGA, LOGP) u_byp_a3
+    (ra3, ma3, a0v, rc0, t0, a1v, rc1, t1, a2v, rc2, t2, pa3);
+  ivm_rename_bypass #(LOGA, LOGP) u_byp_b3
+    (rb3, mb3, a0v, rc0, t0, a1v, rc1, t1, a2v, rc2, t2, pb3);
+
+  assign pc0_tag = t0;
+  assign pc1_tag = t1;
+  assign pc2_tag = t2;
+  assign pc3_tag = t3;
+endmodule

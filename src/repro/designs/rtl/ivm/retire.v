@@ -1,0 +1,145 @@
+// IVM-Retire: reorder-buffer retirement for the IVM core, committing up
+// to eight instructions per cycle (Table 1: retire width 8), with eight
+// explicitly instantiated per-slot commit checkers.  Verilog-95.
+
+module ivm_retire_slot (slot_done, slot_exc, older_commits, commit, trap);
+  input  slot_done;
+  input  slot_exc;
+  input  older_commits;
+  output commit;
+  output trap;
+
+  assign commit = slot_done & !slot_exc & older_commits;
+  assign trap   = slot_done & slot_exc & older_commits;
+endmodule
+
+module ivm_retire (clk, rst, flush_in,
+                   disp0, disp0_tag, disp1, disp1_tag,
+                   disp2, disp2_tag, disp3, disp3_tag,
+                   done_valid, done_slot, done_exc,
+                   commit_count, trap_raised, trap_slot,
+                   free0, free0_tag, free1, free1_tag,
+                   rob_full);
+  parameter DEPTH = 32;
+  parameter LOGD  = 5;
+  parameter TAG   = 7;
+  parameter RET   = 8;
+
+  input             clk;
+  input             rst;
+  input             flush_in;
+  input             disp0;
+  input  [TAG-1:0]  disp0_tag;
+  input             disp1;
+  input  [TAG-1:0]  disp1_tag;
+  input             disp2;
+  input  [TAG-1:0]  disp2_tag;
+  input             disp3;
+  input  [TAG-1:0]  disp3_tag;
+  input             done_valid;
+  input  [LOGD-1:0] done_slot;
+  input             done_exc;
+  output [3:0]      commit_count;
+  output            trap_raised;
+  output [LOGD-1:0] trap_slot;
+  output            free0;
+  output [TAG-1:0]  free0_tag;
+  output            free1;
+  output [TAG-1:0]  free1_tag;
+  output            rob_full;
+
+  reg [LOGD-1:0]  head;
+  reg [LOGD-1:0]  tail;
+  reg [LOGD:0]    count;
+  reg [DEPTH-1:0] done;
+  reg [DEPTH-1:0] exc;
+  reg [TAG-1:0]   tags [0:DEPTH-1];
+
+  assign rob_full = (count > DEPTH - 4);
+
+  // Eight retire slots, each gated by all older slots committing.
+  wire d0, d1, d2, d3, d4, d5, d6, d7;
+  wire e0, e1, e2, e3, e4, e5, e6, e7;
+  wire c0, c1, c2, c3, c4, c5, c6, c7;
+  wire t0, t1, t2, t3, t4, t5, t6, t7;
+
+  assign d0 = done[head]     & (count > 0);
+  assign d1 = done[head + 1] & (count > 1);
+  assign d2 = done[head + 2] & (count > 2);
+  assign d3 = done[head + 3] & (count > 3);
+  assign d4 = done[head + 4] & (count > 4);
+  assign d5 = done[head + 5] & (count > 5);
+  assign d6 = done[head + 6] & (count > 6);
+  assign d7 = done[head + 7] & (count > 7);
+  assign e0 = exc[head];
+  assign e1 = exc[head + 1];
+  assign e2 = exc[head + 2];
+  assign e3 = exc[head + 3];
+  assign e4 = exc[head + 4];
+  assign e5 = exc[head + 5];
+  assign e6 = exc[head + 6];
+  assign e7 = exc[head + 7];
+
+  ivm_retire_slot u_r0 (d0, e0, 1'b1, c0, t0);
+  ivm_retire_slot u_r1 (d1, e1, c0, c1, t1);
+  ivm_retire_slot u_r2 (d2, e2, c1, c2, t2);
+  ivm_retire_slot u_r3 (d3, e3, c2, c3, t3);
+  ivm_retire_slot u_r4 (d4, e4, c3, c4, t4);
+  ivm_retire_slot u_r5 (d5, e5, c4, c5, t5);
+  ivm_retire_slot u_r6 (d6, e6, c5, c6, t6);
+  ivm_retire_slot u_r7 (d7, e7, c6, c7, t7);
+
+  assign commit_count = {3'b000, c0} + {3'b000, c1} + {3'b000, c2}
+                      + {3'b000, c3} + {3'b000, c4} + {3'b000, c5}
+                      + {3'b000, c6} + {3'b000, c7};
+  assign trap_raised = t0 | t1 | t2 | t3 | t4 | t5 | t6 | t7;
+  assign trap_slot   = head;
+
+  // Free the first two committed destination tags back to rename.
+  assign free0     = c0;
+  assign free0_tag = tags[head];
+  assign free1     = c1;
+  assign free1_tag = tags[head + 1];
+
+  wire [2:0] n_disp;
+  assign n_disp = {2'b00, disp0} + {2'b00, disp1}
+                + {2'b00, disp2} + {2'b00, disp3};
+
+  always @(posedge clk) begin
+    if (rst | flush_in) begin
+      head  <= 0;
+      tail  <= 0;
+      count <= 0;
+      done  <= 0;
+      exc   <= 0;
+    end else begin
+      head  <= head + {2'b00, commit_count[2:0]};
+      tail  <= tail + {3'b000, n_disp};
+      count <= count + {3'b000, n_disp} - {2'b00, commit_count};
+      if (disp0) begin
+        done[tail] <= 1'b0;
+        exc[tail]  <= 1'b0;
+        tags[tail] <= disp0_tag;
+      end
+      if (disp1) begin
+        done[tail + 1] <= 1'b0;
+        exc[tail + 1]  <= 1'b0;
+        tags[tail + 1] <= disp1_tag;
+      end
+      if (disp2) begin
+        done[tail + 2] <= 1'b0;
+        exc[tail + 2]  <= 1'b0;
+        tags[tail + 2] <= disp2_tag;
+      end
+      if (disp3) begin
+        done[tail + 3] <= 1'b0;
+        exc[tail + 3]  <= 1'b0;
+        tags[tail + 3] <= disp3_tag;
+      end
+      if (done_valid) begin
+        done[done_slot] <= 1'b1;
+        exc[done_slot]  <= done_exc;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,184 @@
+-- Leon3-Cache: blocking, direct-mapped write-through cache controller with
+-- separate tag and data RAMs, matching the Leon3 blocking-cache structure
+-- (Table 1).  Storage-dominated: most of the area is RAM, with a small
+-- state machine -- as in the paper's Table 4 row (tiny cell count, large
+-- storage area).
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_cache_tagram is
+  port (
+    clk    : in  std_logic;
+    index  : in  unsigned(6 downto 0);
+    wtag   : in  std_logic_vector(22 downto 0);
+    wvalid : in  std_logic;
+    we     : in  std_logic;
+    rtag   : out std_logic_vector(22 downto 0);
+    rvalid : out std_logic
+  );
+end entity;
+
+architecture rtl of leon3_cache_tagram is
+  type tag_array is array (0 to 127) of std_logic_vector(23 downto 0);
+  signal tags : tag_array;
+  signal rword : std_logic_vector(23 downto 0);
+begin
+  rword  <= tags(to_integer(index));
+  rtag   <= rword(22 downto 0);
+  rvalid <= rword(23);
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if we = '1' then
+        tags(to_integer(index)) <= wvalid & wtag;
+      end if;
+    end if;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_cache_dataram is
+  port (
+    clk   : in  std_logic;
+    index : in  unsigned(6 downto 0);
+    wdata : in  std_logic_vector(31 downto 0);
+    we    : in  std_logic;
+    rdata : out std_logic_vector(31 downto 0)
+  );
+end entity;
+
+architecture rtl of leon3_cache_dataram is
+  type data_array is array (0 to 127) of std_logic_vector(31 downto 0);
+  signal words : data_array;
+begin
+  rdata <= words(to_integer(index));
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if we = '1' then
+        words(to_integer(index)) <= wdata;
+      end if;
+    end if;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_cache is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    -- CPU side
+    cpu_addr   : in  unsigned(31 downto 0);
+    cpu_wdata  : in  std_logic_vector(31 downto 0);
+    cpu_we     : in  std_logic;
+    cpu_req    : in  std_logic;
+    cpu_rdata  : out std_logic_vector(31 downto 0);
+    cpu_ready  : out std_logic;
+    -- Memory side
+    mem_addr   : out unsigned(31 downto 0);
+    mem_wdata  : out std_logic_vector(31 downto 0);
+    mem_we     : out std_logic;
+    mem_req    : out std_logic;
+    mem_rdata  : in  std_logic_vector(31 downto 0);
+    mem_ready  : in  std_logic
+  );
+end entity;
+
+architecture rtl of leon3_cache is
+  -- Controller states: idle, compare, fetch (miss refill), write-through.
+  signal state      : std_logic_vector(1 downto 0);
+  signal index      : unsigned(6 downto 0);
+  signal req_tag    : std_logic_vector(22 downto 0);
+  signal tag_we     : std_logic;
+  signal data_we    : std_logic;
+  signal fill_data  : std_logic_vector(31 downto 0);
+  signal rtag       : std_logic_vector(22 downto 0);
+  signal rvalid     : std_logic;
+  signal rdata      : std_logic_vector(31 downto 0);
+  signal hit        : std_logic;
+  signal pending_we : std_logic;
+
+  constant S_IDLE  : std_logic_vector(1 downto 0) := "00";
+  constant S_CMP   : std_logic_vector(1 downto 0) := "01";
+  constant S_FETCH : std_logic_vector(1 downto 0) := "10";
+  constant S_WRITE : std_logic_vector(1 downto 0) := "11";
+begin
+  index   <= cpu_addr(8 downto 2);
+  req_tag <= std_logic_vector(cpu_addr(31 downto 9));
+  hit     <= rvalid when rtag = req_tag else '0';
+
+  u_tags : entity work.leon3_cache_tagram port map (
+    clk => clk, index => index,
+    wtag => req_tag, wvalid => '1', we => tag_we,
+    rtag => rtag, rvalid => rvalid
+  );
+
+  u_data : entity work.leon3_cache_dataram port map (
+    clk => clk, index => index,
+    wdata => fill_data, we => data_we,
+    rdata => rdata
+  );
+
+  fill_data <= cpu_wdata when pending_we = '1' else mem_rdata;
+
+  cpu_rdata <= rdata;
+  cpu_ready <= '1' when (state = S_CMP and hit = '1' and pending_we = '0')
+                     or (state = S_FETCH and mem_ready = '1')
+                     or (state = S_WRITE and mem_ready = '1')
+               else '0';
+
+  mem_addr  <= cpu_addr;
+  mem_wdata <= cpu_wdata;
+  mem_we    <= pending_we;
+  mem_req   <= '1' when state = S_FETCH or state = S_WRITE else '0';
+
+  tag_we  <= '1' when state = S_FETCH and mem_ready = '1' else '0';
+  data_we <= '1' when (state = S_FETCH and mem_ready = '1')
+                   or (state = S_WRITE and mem_ready = '1' and hit = '1')
+             else '0';
+
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state      <= S_IDLE;
+        pending_we <= '0';
+      else
+        case state is
+          when S_IDLE =>
+            if cpu_req = '1' then
+              pending_we <= cpu_we;
+              if cpu_we = '1' then
+                state <= S_WRITE;   -- write-through
+              else
+                state <= S_CMP;
+              end if;
+            end if;
+          when S_CMP =>
+            if hit = '1' then
+              state <= S_IDLE;
+            else
+              state <= S_FETCH;
+            end if;
+          when S_FETCH =>
+            if mem_ready = '1' then
+              state <= S_IDLE;
+            end if;
+          when others =>            -- S_WRITE
+            if mem_ready = '1' then
+              state      <= S_IDLE;
+              pending_we <= '0';
+            end if;
+        end case;
+      end if;
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,192 @@
+-- Leon3-MemCtrl: external memory controller -- PROM/SRAM/SDRAM-style
+-- interface with programmable wait states, a refresh timer, and a bus
+-- request arbiter.  Mostly a collection of small state machines, like the
+-- real Leon3 memory controller.
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_waitstate_gen is
+  generic ( COUNTER_BITS : integer := 4 );
+  port (
+    clk      : in  std_logic;
+    rst      : in  std_logic;
+    start    : in  std_logic;
+    waits    : in  unsigned(COUNTER_BITS-1 downto 0);
+    expired  : out std_logic
+  );
+end entity;
+
+architecture rtl of leon3_waitstate_gen is
+  signal counter : unsigned(COUNTER_BITS-1 downto 0);
+  signal active  : std_logic;
+begin
+  expired <= '1' when active = '1' and counter = 0 else '0';
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        active  <= '0';
+        counter <= (others => '0');
+      elsif start = '1' then
+        active  <= '1';
+        counter <= waits;
+      elsif active = '1' and counter /= 0 then
+        counter <= counter - 1;
+      elsif active = '1' then
+        active <= '0';
+      end if;
+    end if;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_refresh_timer is
+  generic ( PERIOD_BITS : integer := 10 );
+  port (
+    clk         : in  std_logic;
+    rst         : in  std_logic;
+    period      : in  unsigned(PERIOD_BITS-1 downto 0);
+    refresh_req : out std_logic;
+    refresh_ack : in  std_logic
+  );
+end entity;
+
+architecture rtl of leon3_refresh_timer is
+  signal counter : unsigned(PERIOD_BITS-1 downto 0);
+  signal pending : std_logic;
+begin
+  refresh_req <= pending;
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        counter <= (others => '0');
+        pending <= '0';
+      else
+        if counter = period then
+          counter <= (others => '0');
+          pending <= '1';
+        else
+          counter <= counter + 1;
+        end if;
+        if refresh_ack = '1' then
+          pending <= '0';
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_memctrl is
+  port (
+    clk        : in  std_logic;
+    rst        : in  std_logic;
+    -- AHB-style request side
+    bus_addr   : in  unsigned(31 downto 0);
+    bus_wdata  : in  std_logic_vector(31 downto 0);
+    bus_we     : in  std_logic;
+    bus_req    : in  std_logic;
+    bus_rdata  : out std_logic_vector(31 downto 0);
+    bus_ready  : out std_logic;
+    -- Configuration
+    cfg_waits  : in  unsigned(3 downto 0);
+    cfg_refr   : in  unsigned(9 downto 0);
+    -- External memory pins
+    mem_addr   : out unsigned(27 downto 0);
+    mem_data_o : out std_logic_vector(31 downto 0);
+    mem_data_i : in  std_logic_vector(31 downto 0);
+    mem_cs_n   : out std_logic_vector(1 downto 0);
+    mem_we_n   : out std_logic;
+    mem_oe_n   : out std_logic;
+    mem_ras_n  : out std_logic;
+    mem_cas_n  : out std_logic
+  );
+end entity;
+
+architecture rtl of leon3_memctrl is
+  signal state       : std_logic_vector(2 downto 0);
+  signal ws_start    : std_logic;
+  signal ws_expired  : std_logic;
+  signal refresh_req : std_logic;
+  signal refresh_ack : std_logic;
+  signal bank_sel    : std_logic;
+  signal latched     : std_logic_vector(31 downto 0);
+
+  constant T_IDLE    : std_logic_vector(2 downto 0) := "000";
+  constant T_ACTIVE  : std_logic_vector(2 downto 0) := "001";
+  constant T_ACCESS  : std_logic_vector(2 downto 0) := "010";
+  constant T_PRE     : std_logic_vector(2 downto 0) := "011";
+  constant T_REFRESH : std_logic_vector(2 downto 0) := "100";
+begin
+  u_waits : entity work.leon3_waitstate_gen
+    generic map ( COUNTER_BITS => 4 )
+    port map (
+      clk => clk, rst => rst,
+      start => ws_start, waits => cfg_waits, expired => ws_expired
+    );
+
+  u_refresh : entity work.leon3_refresh_timer
+    generic map ( PERIOD_BITS => 10 )
+    port map (
+      clk => clk, rst => rst,
+      period => cfg_refr, refresh_req => refresh_req,
+      refresh_ack => refresh_ack
+    );
+
+  -- Bank decode: SRAM below 0x8000000, SDRAM above.
+  bank_sel <= bus_addr(27);
+  mem_cs_n(0) <= '0' when bank_sel = '0' and state /= T_IDLE else '1';
+  mem_cs_n(1) <= '0' when bank_sel = '1' and state /= T_IDLE else '1';
+
+  mem_addr   <= bus_addr(27 downto 0);
+  mem_data_o <= bus_wdata;
+  mem_we_n   <= '0' when state = T_ACCESS and bus_we = '1' else '1';
+  mem_oe_n   <= '0' when state = T_ACCESS and bus_we = '0' else '1';
+  mem_ras_n  <= '0' when state = T_ACTIVE or state = T_REFRESH else '1';
+  mem_cas_n  <= '0' when state = T_ACCESS or state = T_REFRESH else '1';
+
+  bus_rdata <= latched;
+  bus_ready <= '1' when state = T_PRE else '0';
+  ws_start  <= '1' when state = T_ACTIVE else '0';
+  refresh_ack <= '1' when state = T_REFRESH and ws_expired = '1' else '0';
+
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        state <= T_IDLE;
+      else
+        case state is
+          when T_IDLE =>
+            if refresh_req = '1' then
+              state <= T_REFRESH;
+            elsif bus_req = '1' then
+              state <= T_ACTIVE;
+            end if;
+          when T_ACTIVE =>
+            state <= T_ACCESS;
+          when T_ACCESS =>
+            if ws_expired = '1' then
+              latched <= mem_data_i;
+              state   <= T_PRE;
+            end if;
+          when T_PRE =>
+            state <= T_IDLE;
+          when others =>  -- T_REFRESH
+            if ws_expired = '1' then
+              state <= T_IDLE;
+            end if;
+        end case;
+      end if;
+    end if;
+  end process;
+end architecture;

@@ -1,0 +1,454 @@
+-- Leon3-Pipeline: seven-stage in-order SPARC-V8-style integer pipeline
+-- (fetch, decode, register access, execute, memory, exception, writeback).
+-- VHDL-87/93 flavour, mirroring the Leon3 component of the paper's
+-- evaluation.  The pipeline is the largest Leon3 component (24
+-- person-months in Table 2) and, unlike PUMA/IVM, has essentially no
+-- repeated instantiation -- every unit below is used exactly once.
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_regfile is
+  port (
+    clk    : in  std_logic;
+    waddr  : in  unsigned(4 downto 0);
+    wdata  : in  std_logic_vector(31 downto 0);
+    we     : in  std_logic;
+    raddr1 : in  unsigned(4 downto 0);
+    raddr2 : in  unsigned(4 downto 0);
+    rdata1 : out std_logic_vector(31 downto 0);
+    rdata2 : out std_logic_vector(31 downto 0)
+  );
+end entity;
+
+architecture rtl of leon3_regfile is
+  type reg_array is array (0 to 31) of std_logic_vector(31 downto 0);
+  signal regs : reg_array;
+begin
+  rdata1 <= regs(to_integer(raddr1));
+  rdata2 <= regs(to_integer(raddr2));
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if we = '1' then
+        regs(to_integer(waddr)) <= wdata;
+      end if;
+    end if;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_alu is
+  port (
+    a      : in  unsigned(31 downto 0);
+    b      : in  unsigned(31 downto 0);
+    op     : in  std_logic_vector(3 downto 0);
+    cin    : in  std_logic;
+    result : out unsigned(31 downto 0);
+    icc_z  : out std_logic;
+    icc_n  : out std_logic;
+    icc_c  : out std_logic
+  );
+end entity;
+
+architecture rtl of leon3_alu is
+  signal sum  : unsigned(32 downto 0);
+  signal diff : unsigned(32 downto 0);
+  signal res  : unsigned(31 downto 0);
+begin
+  sum  <= ("0" & a) + ("0" & b) + ("0" & x"0000000" & "000" & cin);
+  diff <= ("0" & a) - ("0" & b);
+
+  process (a, b, op, sum, diff)
+  begin
+    case op is
+      when "0000" => res <= sum(31 downto 0);
+      when "0001" => res <= diff(31 downto 0);
+      when "0010" => res <= a and b;
+      when "0011" => res <= a or b;
+      when "0100" => res <= a xor b;
+      when "0101" => res <= a and not b;   -- andn
+      when "0110" => res <= a or not b;    -- orn
+      when "0111" => res <= not (a xor b); -- xnor
+      when others => res <= a;
+    end case;
+  end process;
+
+  result <= res;
+  icc_z <= '1' when res = 0 else '0';
+  icc_n <= res(31);
+  icc_c <= sum(32) when op = "0000" else diff(32);
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_shifter is
+  port (
+    value  : in  unsigned(31 downto 0);
+    amount : in  unsigned(4 downto 0);
+    dir    : in  std_logic;  -- '0' left, '1' right
+    result : out unsigned(31 downto 0)
+  );
+end entity;
+
+architecture rtl of leon3_shifter is
+begin
+  result <= value srl to_integer(amount) when dir = '1'
+            else value sll to_integer(amount);
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+-- Iterative multiply/divide step unit (SPARC MULScc-style datapath).
+entity leon3_muldiv is
+  port (
+    clk     : in  std_logic;
+    rst     : in  std_logic;
+    start   : in  std_logic;
+    is_div  : in  std_logic;
+    a       : in  unsigned(31 downto 0);
+    b       : in  unsigned(31 downto 0);
+    busy    : out std_logic;
+    done    : out std_logic;
+    result  : out unsigned(31 downto 0)
+  );
+end entity;
+
+architecture rtl of leon3_muldiv is
+  signal acc     : unsigned(63 downto 0);
+  signal operand : unsigned(31 downto 0);
+  signal steps   : unsigned(5 downto 0);
+  signal running : std_logic;
+  signal div_q   : std_logic_vector(31 downto 0);
+  signal done_r  : std_logic;
+  signal sub_try : unsigned(32 downto 0);
+begin
+  busy   <= running;
+  done   <= done_r;
+  result <= acc(31 downto 0);
+
+  sub_try <= ("0" & acc(63 downto 32)) - ("0" & operand);
+
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        running <= '0';
+        done_r  <= '0';
+        steps   <= "000000";
+      else
+        done_r <= '0';
+        if start = '1' and running = '0' then
+          running <= '1';
+          operand <= b;
+          acc     <= x"00000000" & a;
+          steps   <= "100000";
+        elsif running = '1' then
+          if is_div = '1' then
+            if sub_try(32) = '0' then
+              acc <= sub_try(31 downto 0) & acc(30 downto 0) & "1";
+            else
+              acc <= acc(62 downto 0) & "0";
+            end if;
+          else
+            if acc(0) = '1' then
+              acc <= (("0" & acc(63 downto 32)) + ("0" & operand))(32 downto 0)
+                     & acc(31 downto 1);
+            else
+              acc <= "0" & acc(63 downto 1);
+            end if;
+          end if;
+          steps <= steps - 1;
+          if steps = 1 then
+            running <= '0';
+            done_r  <= '1';
+          end if;
+        end if;
+      end if;
+    end if;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_decode is
+  port (
+    inst      : in  std_logic_vector(31 downto 0);
+    rs1       : out unsigned(4 downto 0);
+    rs2       : out unsigned(4 downto 0);
+    rd        : out unsigned(4 downto 0);
+    alu_op    : out std_logic_vector(3 downto 0);
+    use_imm   : out std_logic;
+    imm       : out unsigned(31 downto 0);
+    is_load   : out std_logic;
+    is_store  : out std_logic;
+    is_branch : out std_logic;
+    is_shift  : out std_logic;
+    is_mul    : out std_logic;
+    is_div    : out std_logic;
+    wr_reg    : out std_logic;
+    illegal   : out std_logic
+  );
+end entity;
+
+architecture rtl of leon3_decode is
+  signal fmt : std_logic_vector(1 downto 0);
+  signal op3 : std_logic_vector(5 downto 0);
+begin
+  fmt <= inst(31 downto 30);
+  op3 <= inst(24 downto 19);
+  rs1 <= unsigned(inst(18 downto 14));
+  rs2 <= unsigned(inst(4 downto 0));
+  rd  <= unsigned(inst(29 downto 25));
+  use_imm <= inst(13);
+  imm <= x"000" & "0000000" & unsigned(inst(12 downto 0));
+
+  process (fmt, op3, inst)
+  begin
+    alu_op    <= "0000";
+    is_load   <= '0';
+    is_store  <= '0';
+    is_branch <= '0';
+    is_shift  <= '0';
+    is_mul    <= '0';
+    is_div    <= '0';
+    wr_reg    <= '0';
+    illegal   <= '0';
+    case fmt is
+      when "00" =>
+        is_branch <= '1';
+      when "10" =>
+        case op3 is
+          when "000000" => alu_op <= "0000"; wr_reg <= '1'; -- ADD
+          when "000100" => alu_op <= "0001"; wr_reg <= '1'; -- SUB
+          when "000001" => alu_op <= "0010"; wr_reg <= '1'; -- AND
+          when "000010" => alu_op <= "0011"; wr_reg <= '1'; -- OR
+          when "000011" => alu_op <= "0100"; wr_reg <= '1'; -- XOR
+          when "000101" => alu_op <= "0101"; wr_reg <= '1'; -- ANDN
+          when "000110" => alu_op <= "0110"; wr_reg <= '1'; -- ORN
+          when "000111" => alu_op <= "0111"; wr_reg <= '1'; -- XNOR
+          when "100101" => is_shift <= '1';  wr_reg <= '1'; -- SLL
+          when "100110" => is_shift <= '1';  wr_reg <= '1'; -- SRL
+          when "001010" => is_mul <= '1';    wr_reg <= '1'; -- UMUL
+          when "001110" => is_div <= '1';    wr_reg <= '1'; -- UDIV
+          when others   => illegal <= '1';
+        end case;
+      when "11" =>
+        case op3 is
+          when "000000" => is_load <= '1'; wr_reg <= '1';  -- LD
+          when "000100" => is_store <= '1';                -- ST
+          when others   => illegal <= '1';
+        end case;
+      when others =>
+        illegal <= '1';
+    end case;
+  end process;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity leon3_pipeline is
+  port (
+    clk          : in  std_logic;
+    rst          : in  std_logic;
+    icache_data  : in  std_logic_vector(31 downto 0);
+    icache_ready : in  std_logic;
+    dcache_rdata : in  std_logic_vector(31 downto 0);
+    dcache_ready : in  std_logic;
+    irq          : in  std_logic;
+    icache_addr  : out unsigned(31 downto 0);
+    dcache_addr  : out unsigned(31 downto 0);
+    dcache_wdata : out std_logic_vector(31 downto 0);
+    dcache_we    : out std_logic;
+    dcache_req   : out std_logic;
+    trap_taken   : out std_logic;
+    trap_pc      : out unsigned(31 downto 0)
+  );
+end entity;
+
+architecture rtl of leon3_pipeline is
+  -- Stage registers: FE -> DE -> RA -> EX -> ME -> XC -> WB.
+  signal pc_f      : unsigned(31 downto 0);
+  signal inst_d    : std_logic_vector(31 downto 0);
+  signal valid_d   : std_logic;
+  signal rs1_r     : unsigned(4 downto 0);
+  signal rs2_r     : unsigned(4 downto 0);
+  signal rd_r      : unsigned(4 downto 0);
+  signal aluop_r   : std_logic_vector(3 downto 0);
+  signal useimm_r  : std_logic;
+  signal imm_r     : unsigned(31 downto 0);
+  signal isload_r  : std_logic;
+  signal isstore_r : std_logic;
+  signal isshift_r : std_logic;
+  signal ismul_r   : std_logic;
+  signal isdiv_r   : std_logic;
+  signal wrreg_r   : std_logic;
+  signal valid_r   : std_logic;
+  signal op1_e     : unsigned(31 downto 0);
+  signal op2_e     : unsigned(31 downto 0);
+  signal res_m     : unsigned(31 downto 0);
+  signal rd_m      : unsigned(4 downto 0);
+  signal wr_m      : std_logic;
+  signal load_m    : std_logic;
+  signal store_m   : std_logic;
+  signal res_x     : unsigned(31 downto 0);
+  signal rd_x      : unsigned(4 downto 0);
+  signal wr_x      : std_logic;
+  signal trap_x    : std_logic;
+  signal res_w     : unsigned(31 downto 0);
+  signal rd_w      : unsigned(4 downto 0);
+  signal wr_w      : std_logic;
+
+  signal dec_rs1     : unsigned(4 downto 0);
+  signal dec_rs2     : unsigned(4 downto 0);
+  signal dec_rd      : unsigned(4 downto 0);
+  signal dec_aluop   : std_logic_vector(3 downto 0);
+  signal dec_useimm  : std_logic;
+  signal dec_imm     : unsigned(31 downto 0);
+  signal dec_load    : std_logic;
+  signal dec_store   : std_logic;
+  signal dec_branch  : std_logic;
+  signal dec_shift   : std_logic;
+  signal dec_mul     : std_logic;
+  signal dec_div     : std_logic;
+  signal dec_wr      : std_logic;
+  signal dec_illegal : std_logic;
+
+  signal rf_rdata1 : std_logic_vector(31 downto 0);
+  signal rf_rdata2 : std_logic_vector(31 downto 0);
+
+  signal alu_res : unsigned(31 downto 0);
+  signal icc_z   : std_logic;
+  signal icc_n   : std_logic;
+  signal icc_c   : std_logic;
+
+  signal shift_res : unsigned(31 downto 0);
+  signal md_busy   : std_logic;
+  signal md_done   : std_logic;
+  signal md_res    : unsigned(31 downto 0);
+
+  signal stall : std_logic;
+begin
+  u_decode : entity work.leon3_decode port map (
+    inst => inst_d,
+    rs1 => dec_rs1, rs2 => dec_rs2, rd => dec_rd,
+    alu_op => dec_aluop, use_imm => dec_useimm, imm => dec_imm,
+    is_load => dec_load, is_store => dec_store, is_branch => dec_branch,
+    is_shift => dec_shift, is_mul => dec_mul, is_div => dec_div,
+    wr_reg => dec_wr, illegal => dec_illegal
+  );
+
+  u_regfile : entity work.leon3_regfile port map (
+    clk => clk,
+    waddr => rd_w, wdata => std_logic_vector(res_w), we => wr_w,
+    raddr1 => dec_rs1, raddr2 => dec_rs2,
+    rdata1 => rf_rdata1, rdata2 => rf_rdata2
+  );
+
+  u_alu : entity work.leon3_alu port map (
+    a => op1_e, b => op2_e, op => aluop_r, cin => '0',
+    result => alu_res, icc_z => icc_z, icc_n => icc_n, icc_c => icc_c
+  );
+
+  u_shifter : entity work.leon3_shifter port map (
+    value => op1_e, amount => op2_e(4 downto 0), dir => aluop_r(0),
+    result => shift_res
+  );
+
+  u_muldiv : entity work.leon3_muldiv port map (
+    clk => clk, rst => rst,
+    start => ismul_r or isdiv_r, is_div => isdiv_r,
+    a => op1_e, b => op2_e,
+    busy => md_busy, done => md_done, result => md_res
+  );
+
+  stall <= md_busy or (not icache_ready) or
+           ((isload_r or isstore_r) and not dcache_ready);
+
+  icache_addr <= pc_f;
+  dcache_addr <= res_m;
+  dcache_wdata <= std_logic_vector(op2_e);
+  dcache_we  <= store_m;
+  dcache_req <= load_m or store_m;
+  trap_taken <= trap_x or irq;
+  trap_pc    <= pc_f;
+
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        pc_f    <= (others => '0');
+        valid_d <= '0';
+        valid_r <= '0';
+        wr_m    <= '0';
+        wr_x    <= '0';
+        wr_w    <= '0';
+        trap_x  <= '0';
+        load_m  <= '0';
+        store_m <= '0';
+      elsif stall = '0' then
+        -- FE
+        pc_f   <= pc_f + 4;
+        inst_d <= icache_data;
+        valid_d <= icache_ready;
+        -- DE/RA
+        rs1_r     <= dec_rs1;
+        rs2_r     <= dec_rs2;
+        rd_r      <= dec_rd;
+        aluop_r   <= dec_aluop;
+        useimm_r  <= dec_useimm;
+        imm_r     <= dec_imm;
+        isload_r  <= dec_load;
+        isstore_r <= dec_store;
+        isshift_r <= dec_shift;
+        ismul_r   <= dec_mul;
+        isdiv_r   <= dec_div;
+        wrreg_r   <= dec_wr and valid_d;
+        valid_r   <= valid_d and not dec_illegal;
+        op1_e     <= unsigned(rf_rdata1);
+        if dec_useimm = '1' then
+          op2_e <= dec_imm;
+        else
+          op2_e <= unsigned(rf_rdata2);
+        end if;
+        -- EX
+        if isshift_r = '1' then
+          res_m <= shift_res;
+        elsif md_done = '1' then
+          res_m <= md_res;
+        else
+          res_m <= alu_res;
+        end if;
+        rd_m    <= rd_r;
+        wr_m    <= wrreg_r and valid_r;
+        load_m  <= isload_r and valid_r;
+        store_m <= isstore_r and valid_r;
+        -- ME
+        if load_m = '1' then
+          res_x <= unsigned(dcache_rdata);
+        else
+          res_x <= res_m;
+        end if;
+        rd_x   <= rd_m;
+        wr_x   <= wr_m;
+        trap_x <= valid_r and not valid_d and dec_illegal;
+        -- XC/WB
+        res_w <= res_x;
+        rd_w  <= rd_x;
+        wr_w  <= wr_x;
+      end if;
+    end if;
+  end process;
+end architecture;

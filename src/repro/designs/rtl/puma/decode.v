@@ -1,0 +1,224 @@
+// PUMA-Decode: two-wide decoder for the PowerPC integer subset.
+// Verilog-95.  Decode is dominated by wide case statements translating
+// opcodes into control bundles, so its statement count is high relative to
+// its logic size -- as in the paper's Table 4 row for PUMA-Decode.
+
+module puma_decoder_slot (inst, valid,
+                          rt, ra, rb, uses_ra, uses_rb, writes_rt,
+                          imm, uses_imm, alu_op, is_load, is_store,
+                          is_branch, is_mul, illegal);
+  parameter INST_BITS = 32;
+
+  input  [INST_BITS-1:0] inst;
+  input                  valid;
+  output [4:0]           rt;
+  output [4:0]           ra;
+  output [4:0]           rb;
+  output                 uses_ra;
+  output                 uses_rb;
+  output                 writes_rt;
+  output [15:0]          imm;
+  output                 uses_imm;
+  output [3:0]           alu_op;
+  output                 is_load;
+  output                 is_store;
+  output                 is_branch;
+  output                 is_mul;
+  output                 illegal;
+
+  reg        uses_ra;
+  reg        uses_rb;
+  reg        writes_rt;
+  reg        uses_imm;
+  reg [3:0]  alu_op;
+  reg        is_load;
+  reg        is_store;
+  reg        is_branch;
+  reg        is_mul;
+  reg        illegal;
+
+  wire [5:0] opcode;
+  wire [9:0] xo;
+
+  assign opcode = inst[INST_BITS-1:INST_BITS-6];
+  assign xo     = inst[10:1];
+  assign rt     = inst[INST_BITS-7:INST_BITS-11];
+  assign ra     = inst[INST_BITS-12:INST_BITS-16];
+  assign rb     = inst[INST_BITS-17:INST_BITS-21];
+  assign imm    = inst[15:0];
+
+  always @(inst or valid or opcode or xo) begin
+    uses_ra   = 1'b0;
+    uses_rb   = 1'b0;
+    writes_rt = 1'b0;
+    uses_imm  = 1'b0;
+    alu_op    = 4'd0;
+    is_load   = 1'b0;
+    is_store  = 1'b0;
+    is_branch = 1'b0;
+    is_mul    = 1'b0;
+    illegal   = 1'b0;
+    case (opcode)
+      6'd14: begin // addi
+        uses_ra = 1'b1; writes_rt = 1'b1; uses_imm = 1'b1; alu_op = 4'd0;
+      end
+      6'd15: begin // addis
+        uses_ra = 1'b1; writes_rt = 1'b1; uses_imm = 1'b1; alu_op = 4'd1;
+      end
+      6'd24: begin // ori
+        uses_ra = 1'b1; writes_rt = 1'b1; uses_imm = 1'b1; alu_op = 4'd2;
+      end
+      6'd26: begin // xori
+        uses_ra = 1'b1; writes_rt = 1'b1; uses_imm = 1'b1; alu_op = 4'd3;
+      end
+      6'd28: begin // andi.
+        uses_ra = 1'b1; writes_rt = 1'b1; uses_imm = 1'b1; alu_op = 4'd4;
+      end
+      6'd10, 6'd11: begin // cmpli/cmpi
+        uses_ra = 1'b1; uses_imm = 1'b1; alu_op = 4'd5;
+      end
+      6'd32, 6'd33, 6'd34, 6'd35: begin // lwz/lwzu/lbz/lbzu
+        uses_ra = 1'b1; writes_rt = 1'b1; uses_imm = 1'b1; is_load = 1'b1;
+      end
+      6'd36, 6'd37, 6'd38, 6'd39: begin // stw/stwu/stb/stbu
+        uses_ra = 1'b1; uses_rb = 1'b1; uses_imm = 1'b1; is_store = 1'b1;
+      end
+      6'd18: begin // b/bl
+        is_branch = 1'b1; uses_imm = 1'b1;
+      end
+      6'd16: begin // bc
+        is_branch = 1'b1; uses_imm = 1'b1; uses_ra = 1'b1;
+      end
+      6'd31: begin // X-form ALU ops
+        case (xo)
+          10'd266: begin // add
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd0;
+          end
+          10'd40: begin // subf
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd6;
+          end
+          10'd28: begin // and
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd4;
+          end
+          10'd444: begin // or
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd2;
+          end
+          10'd316: begin // xor
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd3;
+          end
+          10'd24: begin // slw
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd7;
+          end
+          10'd536: begin // srw
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; alu_op = 4'd8;
+          end
+          10'd235: begin // mullw
+            uses_ra = 1'b1; uses_rb = 1'b1; writes_rt = 1'b1; is_mul = 1'b1;
+          end
+          default: illegal = valid;
+        endcase
+      end
+      default: illegal = valid;
+    endcase
+  end
+endmodule
+
+module puma_dep_check (d0_writes, d0_rt, d1_uses_ra, d1_ra,
+                       d1_uses_rb, d1_rb, raw_hazard);
+  input        d0_writes;
+  input  [4:0] d0_rt;
+  input        d1_uses_ra;
+  input  [4:0] d1_ra;
+  input        d1_uses_rb;
+  input  [4:0] d1_rb;
+  output       raw_hazard;
+
+  wire ra_match;
+  wire rb_match;
+  assign ra_match = d1_uses_ra & (d1_ra == d0_rt);
+  assign rb_match = d1_uses_rb & (d1_rb == d0_rt);
+  assign raw_hazard = d0_writes & (ra_match | rb_match);
+endmodule
+
+module puma_decode (clk, rst, stall,
+                    inst0, inst1, inst0_valid, inst1_valid,
+                    d0_rt, d0_ra, d0_rb, d0_imm, d0_alu_op,
+                    d0_uses_imm, d0_writes_rt, d0_is_load, d0_is_store,
+                    d0_is_branch, d0_is_mul, d0_valid,
+                    d1_rt, d1_ra, d1_rb, d1_imm, d1_alu_op,
+                    d1_uses_imm, d1_writes_rt, d1_is_load, d1_is_store,
+                    d1_is_branch, d1_is_mul, d1_valid,
+                    pair_hazard, decode_illegal);
+  parameter INST_BITS = 32;
+
+  input                  clk;
+  input                  rst;
+  input                  stall;
+  input  [INST_BITS-1:0] inst0;
+  input  [INST_BITS-1:0] inst1;
+  input                  inst0_valid;
+  input                  inst1_valid;
+  output [4:0]           d0_rt;
+  output [4:0]           d0_ra;
+  output [4:0]           d0_rb;
+  output [15:0]          d0_imm;
+  output [3:0]           d0_alu_op;
+  output                 d0_uses_imm;
+  output                 d0_writes_rt;
+  output                 d0_is_load;
+  output                 d0_is_store;
+  output                 d0_is_branch;
+  output                 d0_is_mul;
+  output                 d0_valid;
+  output [4:0]           d1_rt;
+  output [4:0]           d1_ra;
+  output [4:0]           d1_rb;
+  output [15:0]          d1_imm;
+  output [3:0]           d1_alu_op;
+  output                 d1_uses_imm;
+  output                 d1_writes_rt;
+  output                 d1_is_load;
+  output                 d1_is_store;
+  output                 d1_is_branch;
+  output                 d1_is_mul;
+  output                 d1_valid;
+  output                 pair_hazard;
+  output                 decode_illegal;
+
+  wire d0_uses_ra, d0_uses_rb, ill0;
+  wire d1_uses_ra, d1_uses_rb, ill1;
+
+  puma_decoder_slot #(INST_BITS) u_slot0
+    (inst0, inst0_valid,
+     d0_rt, d0_ra, d0_rb, d0_uses_ra, d0_uses_rb, d0_writes_rt,
+     d0_imm, d0_uses_imm, d0_alu_op, d0_is_load, d0_is_store,
+     d0_is_branch, d0_is_mul, ill0);
+
+  puma_decoder_slot #(INST_BITS) u_slot1
+    (inst1, inst1_valid,
+     d1_rt, d1_ra, d1_rb, d1_uses_ra, d1_uses_rb, d1_writes_rt,
+     d1_imm, d1_uses_imm, d1_alu_op, d1_is_load, d1_is_store,
+     d1_is_branch, d1_is_mul, ill1);
+
+  puma_dep_check u_dep
+    (d0_writes_rt, d0_rt, d1_uses_ra, d1_ra, d1_uses_rb, d1_rb,
+     pair_hazard);
+
+  reg valid0_q;
+  reg valid1_q;
+  always @(posedge clk) begin
+    if (rst) begin
+      valid0_q <= 1'b0;
+      valid1_q <= 1'b0;
+    end else begin
+      if (!stall) begin
+        valid0_q <= inst0_valid & !ill0;
+        valid1_q <= inst1_valid & !ill1 & !pair_hazard;
+      end
+    end
+  end
+
+  assign d0_valid = valid0_q;
+  assign d1_valid = valid1_q;
+  assign decode_illegal = ill0 | ill1;
+endmodule

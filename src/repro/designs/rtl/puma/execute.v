@@ -1,0 +1,361 @@
+// PUMA-Execute: issue queue, two ALU pipes, an iterative multiplier, and
+// the branch resolution unit for the two-issue PUMA core.  Verilog-95.
+// The execute cluster is PUMA's largest component (Table 2: 12
+// person-months), and correspondingly the largest RTL here.
+
+module puma_alu (a, b, op, carry_in, result, carry_out, zero, overflow);
+  parameter WIDTH = 32;
+
+  input  [WIDTH-1:0] a;
+  input  [WIDTH-1:0] b;
+  input  [3:0]       op;
+  input              carry_in;
+  output [WIDTH-1:0] result;
+  output             carry_out;
+  output             zero;
+  output             overflow;
+
+  reg [WIDTH-1:0] result;
+  reg             carry_out;
+
+  wire [WIDTH:0] add_full;
+  wire [WIDTH:0] sub_full;
+
+  assign add_full = {1'b0, a} + {1'b0, b} + {{WIDTH{1'b0}}, carry_in};
+  assign sub_full = {1'b0, b} - {1'b0, a};
+
+  always @(a or b or op or add_full or sub_full) begin
+    carry_out = 1'b0;
+    case (op)
+      4'd0: begin // add
+        result    = add_full[WIDTH-1:0];
+        carry_out = add_full[WIDTH];
+      end
+      4'd1: result = a + {b[WIDTH-17:0], 16'h0000}; // addis-style shifted add
+      4'd2: result = a | b;
+      4'd3: result = a ^ b;
+      4'd4: result = a & b;
+      4'd5: begin // compare (result[0] = a < b unsigned)
+        result = {{(WIDTH-1){1'b0}}, (a < b)};
+      end
+      4'd6: begin // subf
+        result    = sub_full[WIDTH-1:0];
+        carry_out = sub_full[WIDTH];
+      end
+      4'd7: result = a << b[4:0];
+      4'd8: result = a >> b[4:0];
+      4'd9: result = ~(a | b); // nor
+      default: result = a;
+    endcase
+  end
+
+  assign zero = (result == 0);
+  assign overflow = (a[WIDTH-1] == b[WIDTH-1]) &
+                    (result[WIDTH-1] != a[WIDTH-1]) &
+                    ((op == 4'd0) | (op == 4'd6));
+endmodule
+
+// Iterative shift-and-add multiplier: one addition per cycle, matching the
+// radix-2 datapath style of the CGaAs PUMA FXU.
+module puma_multiplier (clk, rst, start, a, b, busy, done, product);
+  parameter WIDTH = 32;
+  parameter LOGW  = 5;
+
+  input              clk;
+  input              rst;
+  input              start;
+  input  [WIDTH-1:0] a;
+  input  [WIDTH-1:0] b;
+  output             busy;
+  output             done;
+  output [2*WIDTH-1:0] product;
+
+  reg [WIDTH-1:0]   multiplicand;
+  reg [2*WIDTH-1:0] acc;
+  reg [LOGW:0]      steps;
+  reg               running;
+  reg               done;
+
+  assign busy = running;
+  assign product = acc;
+
+  wire [WIDTH:0] partial;
+  assign partial = {1'b0, acc[2*WIDTH-1:WIDTH]}
+                 + (acc[0] ? {1'b0, multiplicand} : 0);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      running <= 1'b0;
+      done    <= 1'b0;
+      steps   <= 0;
+    end else begin
+      done <= 1'b0;
+      if (start && !running) begin
+        running      <= 1'b1;
+        multiplicand <= a;
+        acc          <= {{WIDTH{1'b0}}, b};
+        steps        <= WIDTH;
+      end else begin
+        if (running) begin
+          acc   <= {partial, acc[WIDTH-1:1]};
+          steps <= steps - 1;
+          if (steps == 1) begin
+            running <= 1'b0;
+            done    <= 1'b1;
+          end
+        end
+      end
+    end
+  end
+endmodule
+
+// Two-entry-per-pipe issue queue with ready-bit wakeup.
+module puma_issue_queue (clk, rst, flush,
+                         in_valid, in_op, in_src1, in_src2, in_dest,
+                         in_src1_ready, in_src2_ready,
+                         wake_valid, wake_tag,
+                         grant, out_valid, out_op, out_src1, out_src2,
+                         out_dest, full);
+  parameter DEPTH = 8;
+  parameter LOGD  = 3;
+  parameter TAG   = 6;
+  parameter OP    = 4;
+
+  input             clk;
+  input             rst;
+  input             flush;
+  input             in_valid;
+  input  [OP-1:0]   in_op;
+  input  [TAG-1:0]  in_src1;
+  input  [TAG-1:0]  in_src2;
+  input  [TAG-1:0]  in_dest;
+  input             in_src1_ready;
+  input             in_src2_ready;
+  input             wake_valid;
+  input  [TAG-1:0]  wake_tag;
+  input             grant;
+  output            out_valid;
+  output [OP-1:0]   out_op;
+  output [TAG-1:0]  out_src1;
+  output [TAG-1:0]  out_src2;
+  output [TAG-1:0]  out_dest;
+  output            full;
+
+  reg [DEPTH-1:0] valid;
+  reg [DEPTH-1:0] ready1;
+  reg [DEPTH-1:0] ready2;
+  reg [OP-1:0]    q_op   [0:DEPTH-1];
+  reg [TAG-1:0]   q_src1 [0:DEPTH-1];
+  reg [TAG-1:0]   q_src2 [0:DEPTH-1];
+  reg [TAG-1:0]   q_dest [0:DEPTH-1];
+
+  // Allocation: first free slot (priority encoder).
+  reg [LOGD-1:0] free_slot;
+  reg            has_free;
+  integer i;
+  always @(valid) begin
+    free_slot = 0;
+    has_free  = 1'b0;
+    for (i = DEPTH - 1; i >= 0; i = i - 1) begin
+      if (!valid[i]) begin
+        free_slot = i[LOGD-1:0];
+        has_free  = 1'b1;
+      end
+    end
+  end
+  assign full = !has_free;
+
+  // Selection: oldest-style fixed priority over ready entries.
+  reg [LOGD-1:0] sel_slot;
+  reg            sel_valid;
+  always @(valid or ready1 or ready2) begin
+    sel_slot  = 0;
+    sel_valid = 1'b0;
+    for (i = DEPTH - 1; i >= 0; i = i - 1) begin
+      if (valid[i] & ready1[i] & ready2[i]) begin
+        sel_slot  = i[LOGD-1:0];
+        sel_valid = 1'b1;
+      end
+    end
+  end
+
+  assign out_valid = sel_valid;
+  assign out_op    = q_op[sel_slot];
+  assign out_src1  = q_src1[sel_slot];
+  assign out_src2  = q_src2[sel_slot];
+  assign out_dest  = q_dest[sel_slot];
+
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      valid  <= 0;
+      ready1 <= 0;
+      ready2 <= 0;
+    end else begin
+      if (in_valid && has_free) begin
+        valid[free_slot]  <= 1'b1;
+        ready1[free_slot] <= in_src1_ready;
+        ready2[free_slot] <= in_src2_ready;
+        q_op[free_slot]   <= in_op;
+        q_src1[free_slot] <= in_src1;
+        q_src2[free_slot] <= in_src2;
+        q_dest[free_slot] <= in_dest;
+      end
+      if (wake_valid) begin
+        for (i = 0; i < DEPTH; i = i + 1) begin
+          if (valid[i] && (q_src1[i] == wake_tag)) ready1[i] <= 1'b1;
+          if (valid[i] && (q_src2[i] == wake_tag)) ready2[i] <= 1'b1;
+        end
+      end
+      if (grant && sel_valid)
+        valid[sel_slot] <= 1'b0;
+    end
+  end
+endmodule
+
+module puma_branch_unit (op_is_branch, cond_bit, taken_hint, target, next_seq,
+                         resolved_taken, resolved_target, mispredict);
+  parameter PC_BITS = 30;
+
+  input                 op_is_branch;
+  input                 cond_bit;
+  input                 taken_hint;
+  input  [PC_BITS-1:0]  target;
+  input  [PC_BITS-1:0]  next_seq;
+  output                resolved_taken;
+  output [PC_BITS-1:0]  resolved_target;
+  output                mispredict;
+
+  assign resolved_taken  = op_is_branch & cond_bit;
+  assign resolved_target = resolved_taken ? target : next_seq;
+  assign mispredict      = op_is_branch & (resolved_taken != taken_hint);
+endmodule
+
+module puma_execute (clk, rst, flush,
+                     iss0_valid, iss0_op, iss0_src1, iss0_src2, iss0_dest,
+                     iss0_r1, iss0_r2,
+                     iss1_valid, iss1_op, iss1_src1, iss1_src2, iss1_dest,
+                     iss1_r1, iss1_r2,
+                     rf_data1a, rf_data2a, rf_data1b, rf_data2b,
+                     mul_start, br_is_branch, br_cond, br_hint, br_target,
+                     br_next_seq,
+                     wb0_valid, wb0_dest, wb0_data,
+                     wb1_valid, wb1_dest, wb1_data,
+                     mul_busy, mul_done, mul_product,
+                     br_taken, br_resolved_target, br_mispredict,
+                     iq_full0, iq_full1);
+  parameter WIDTH   = 32;
+  parameter TAG     = 6;
+  parameter PC_BITS = 30;
+
+  input              clk;
+  input              rst;
+  input              flush;
+  input              iss0_valid;
+  input  [3:0]       iss0_op;
+  input  [TAG-1:0]   iss0_src1;
+  input  [TAG-1:0]   iss0_src2;
+  input  [TAG-1:0]   iss0_dest;
+  input              iss0_r1;
+  input              iss0_r2;
+  input              iss1_valid;
+  input  [3:0]       iss1_op;
+  input  [TAG-1:0]   iss1_src1;
+  input  [TAG-1:0]   iss1_src2;
+  input  [TAG-1:0]   iss1_dest;
+  input              iss1_r1;
+  input              iss1_r2;
+  input  [WIDTH-1:0] rf_data1a;
+  input  [WIDTH-1:0] rf_data2a;
+  input  [WIDTH-1:0] rf_data1b;
+  input  [WIDTH-1:0] rf_data2b;
+  input              mul_start;
+  input              br_is_branch;
+  input              br_cond;
+  input              br_hint;
+  input  [PC_BITS-1:0] br_target;
+  input  [PC_BITS-1:0] br_next_seq;
+  output             wb0_valid;
+  output [TAG-1:0]   wb0_dest;
+  output [WIDTH-1:0] wb0_data;
+  output             wb1_valid;
+  output [TAG-1:0]   wb1_dest;
+  output [WIDTH-1:0] wb1_data;
+  output             mul_busy;
+  output             mul_done;
+  output [2*WIDTH-1:0] mul_product;
+  output             br_taken;
+  output [PC_BITS-1:0] br_resolved_target;
+  output             br_mispredict;
+  output             iq_full0;
+  output             iq_full1;
+
+  wire        q0_valid;
+  wire [3:0]  q0_op;
+  wire [TAG-1:0] q0_src1, q0_src2, q0_dest;
+  wire        q1_valid;
+  wire [3:0]  q1_op;
+  wire [TAG-1:0] q1_src1, q1_src2, q1_dest;
+
+  puma_issue_queue #(8, 3, TAG, 4) u_iq0
+    (clk, rst, flush,
+     iss0_valid, iss0_op, iss0_src1, iss0_src2, iss0_dest,
+     iss0_r1, iss0_r2,
+     wb0_valid, wb0_dest,
+     1'b1, q0_valid, q0_op, q0_src1, q0_src2, q0_dest, iq_full0);
+
+  puma_issue_queue #(8, 3, TAG, 4) u_iq1
+    (clk, rst, flush,
+     iss1_valid, iss1_op, iss1_src1, iss1_src2, iss1_dest,
+     iss1_r1, iss1_r2,
+     wb1_valid, wb1_dest,
+     1'b1, q1_valid, q1_op, q1_src1, q1_src2, q1_dest, iq_full1);
+
+  wire [WIDTH-1:0] alu0_result;
+  wire [WIDTH-1:0] alu1_result;
+  wire alu0_carry, alu0_zero, alu0_ovf;
+  wire alu1_carry, alu1_zero, alu1_ovf;
+
+  puma_alu #(WIDTH) u_alu0
+    (rf_data1a, rf_data2a, q0_op, 1'b0,
+     alu0_result, alu0_carry, alu0_zero, alu0_ovf);
+
+  puma_alu #(WIDTH) u_alu1
+    (rf_data1b, rf_data2b, q1_op, 1'b0,
+     alu1_result, alu1_carry, alu1_zero, alu1_ovf);
+
+  puma_multiplier #(WIDTH, 5) u_mul
+    (clk, rst, mul_start, rf_data1a, rf_data2a,
+     mul_busy, mul_done, mul_product);
+
+  puma_branch_unit #(PC_BITS) u_branch
+    (br_is_branch, br_cond, br_hint, br_target, br_next_seq,
+     br_taken, br_resolved_target, br_mispredict);
+
+  reg             wb0_valid_q;
+  reg [TAG-1:0]   wb0_dest_q;
+  reg [WIDTH-1:0] wb0_data_q;
+  reg             wb1_valid_q;
+  reg [TAG-1:0]   wb1_dest_q;
+  reg [WIDTH-1:0] wb1_data_q;
+
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      wb0_valid_q <= 1'b0;
+      wb1_valid_q <= 1'b0;
+    end else begin
+      wb0_valid_q <= q0_valid;
+      wb0_dest_q  <= q0_dest;
+      wb0_data_q  <= mul_done ? mul_product[WIDTH-1:0] : alu0_result;
+      wb1_valid_q <= q1_valid;
+      wb1_dest_q  <= q1_dest;
+      wb1_data_q  <= alu1_result;
+    end
+  end
+
+  assign wb0_valid = wb0_valid_q;
+  assign wb0_dest  = wb0_dest_q;
+  assign wb0_data  = wb0_data_q;
+  assign wb1_valid = wb1_valid_q;
+  assign wb1_dest  = wb1_dest_q;
+  assign wb1_data  = wb1_data_q;
+endmodule

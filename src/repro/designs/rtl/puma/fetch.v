@@ -1,0 +1,179 @@
+// PUMA-Fetch: two-wide instruction fetch with a gshare branch predictor
+// and a branch target buffer.  Verilog-95 style (non-ANSI ports, explicit
+// instantiation), matching the PUMA design of Section 4.1.
+
+module puma_gshare (clk, rst, pc, update, update_pc, taken, predict_taken);
+  parameter GHR_BITS  = 8;
+  parameter PC_BITS   = 30;
+
+  input                  clk;
+  input                  rst;
+  input  [PC_BITS-1:0]   pc;
+  input                  update;
+  input  [PC_BITS-1:0]   update_pc;
+  input                  taken;
+  output                 predict_taken;
+
+  reg [GHR_BITS-1:0] ghr;
+  reg [1:0]          pht [0:255];
+
+  wire [GHR_BITS-1:0] read_index;
+  wire [GHR_BITS-1:0] write_index;
+  wire [1:0]          counter;
+  wire [1:0]          write_counter;
+
+  assign read_index  = pc[GHR_BITS-1:0] ^ ghr;
+  assign write_index = update_pc[GHR_BITS-1:0] ^ ghr;
+  assign counter = pht[read_index];
+  assign predict_taken = counter[1];
+  assign write_counter = taken ? ((counter == 2'b11) ? 2'b11 : counter + 2'b01)
+                               : ((counter == 2'b00) ? 2'b00 : counter - 2'b01);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      ghr <= 0;
+    end else begin
+      if (update) begin
+        ghr <= {ghr[GHR_BITS-2:0], taken};
+        pht[write_index] <= write_counter;
+      end
+    end
+  end
+endmodule
+
+module puma_btb (clk, rst, pc, update, update_pc, update_target, hit, target);
+  parameter PC_BITS   = 30;
+  parameter ENTRIES   = 64;
+  parameter INDEX     = 6;
+
+  input                 clk;
+  input                 rst;
+  input  [PC_BITS-1:0]  pc;
+  input                 update;
+  input  [PC_BITS-1:0]  update_pc;
+  input  [PC_BITS-1:0]  update_target;
+  output                hit;
+  output [PC_BITS-1:0]  target;
+
+  reg [PC_BITS-INDEX-1:0] tags    [0:ENTRIES-1];
+  reg [PC_BITS-1:0]       targets [0:ENTRIES-1];
+  reg [ENTRIES-1:0]       valid;
+
+  wire [INDEX-1:0] index;
+  wire [INDEX-1:0] windex;
+
+  assign index  = pc[INDEX-1:0];
+  assign windex = update_pc[INDEX-1:0];
+  assign hit    = valid[index] & (tags[index] == pc[PC_BITS-1:INDEX]);
+  assign target = targets[index];
+
+  always @(posedge clk) begin
+    if (rst) begin
+      valid <= 0;
+    end else begin
+      if (update) begin
+        tags[windex]    <= update_pc[PC_BITS-1:INDEX];
+        targets[windex] <= update_target;
+        valid[windex]   <= 1'b1;
+      end
+    end
+  end
+endmodule
+
+module puma_fetch_align (pc, bundle, slot0, slot1, slot0_valid, slot1_valid);
+  parameter INST_BITS = 32;
+
+  input  [1:0]              pc;
+  input  [4*INST_BITS-1:0]  bundle;
+  output [INST_BITS-1:0]    slot0;
+  output [INST_BITS-1:0]    slot1;
+  output                    slot0_valid;
+  output                    slot1_valid;
+
+  reg [INST_BITS-1:0] slot0;
+  reg [INST_BITS-1:0] slot1;
+
+  always @(pc or bundle) begin
+    case (pc)
+      2'd0: slot0 = bundle[INST_BITS-1:0];
+      2'd1: slot0 = bundle[2*INST_BITS-1:INST_BITS];
+      2'd2: slot0 = bundle[3*INST_BITS-1:2*INST_BITS];
+      default: slot0 = bundle[4*INST_BITS-1:3*INST_BITS];
+    endcase
+    case (pc)
+      2'd0: slot1 = bundle[2*INST_BITS-1:INST_BITS];
+      2'd1: slot1 = bundle[3*INST_BITS-1:2*INST_BITS];
+      default: slot1 = bundle[4*INST_BITS-1:3*INST_BITS];
+    endcase
+  end
+
+  assign slot0_valid = 1'b1;
+  assign slot1_valid = (pc != 2'd3);
+endmodule
+
+module puma_fetch (clk, rst, stall, redirect, redirect_pc,
+                   icache_data, icache_ready,
+                   br_update, br_update_pc, br_taken, br_target,
+                   icache_addr, icache_req,
+                   inst0, inst1, inst0_valid, inst1_valid, fetch_pc);
+  parameter PC_BITS   = 30;
+  parameter INST_BITS = 32;
+
+  input                    clk;
+  input                    rst;
+  input                    stall;
+  input                    redirect;
+  input  [PC_BITS-1:0]     redirect_pc;
+  input  [4*INST_BITS-1:0] icache_data;
+  input                    icache_ready;
+  input                    br_update;
+  input  [PC_BITS-1:0]     br_update_pc;
+  input                    br_taken;
+  input  [PC_BITS-1:0]     br_target;
+  output [PC_BITS-1:0]     icache_addr;
+  output                   icache_req;
+  output [INST_BITS-1:0]   inst0;
+  output [INST_BITS-1:0]   inst1;
+  output                   inst0_valid;
+  output                   inst1_valid;
+  output [PC_BITS-1:0]     fetch_pc;
+
+  reg [PC_BITS-1:0] pc;
+
+  wire predict_taken;
+  wire btb_hit;
+  wire [PC_BITS-1:0] btb_target;
+  wire slot0_valid;
+  wire slot1_valid;
+  wire take_branch;
+  wire [PC_BITS-1:0] next_pc;
+
+  puma_gshare #(8, PC_BITS) u_gshare
+    (clk, rst, pc, br_update, br_update_pc, br_taken, predict_taken);
+
+  puma_btb #(PC_BITS, 64, 6) u_btb
+    (clk, rst, pc, br_update & br_taken, br_update_pc, br_target,
+     btb_hit, btb_target);
+
+  puma_fetch_align #(INST_BITS) u_align
+    (pc[1:0], icache_data, inst0, inst1, slot0_valid, slot1_valid);
+
+  assign take_branch = predict_taken & btb_hit;
+  assign next_pc = redirect ? redirect_pc
+                 : (take_branch ? btb_target : pc + 2);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 0;
+    end else begin
+      if (!stall && icache_ready)
+        pc <= next_pc;
+    end
+  end
+
+  assign icache_addr = pc;
+  assign icache_req  = !stall;
+  assign fetch_pc    = pc;
+  assign inst0_valid = icache_ready & slot0_valid & !redirect;
+  assign inst1_valid = icache_ready & slot1_valid & !redirect & !take_branch;
+endmodule

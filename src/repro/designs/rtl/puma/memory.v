@@ -1,0 +1,153 @@
+// PUMA-Memory: load/store unit for the two-issue PUMA core.  Verilog-95.
+// Address generation, a small store buffer with forwarding, and the data
+// cache request interface.  The smallest PUMA component (Table 2: 1
+// person-month).
+
+module puma_agen (base, offset, address);
+  parameter WIDTH = 32;
+
+  input  [WIDTH-1:0] base;
+  input  [15:0]      offset;
+  output [WIDTH-1:0] address;
+
+  // Sign-extend the 16-bit displacement.
+  assign address = base + {{(WIDTH-16){offset[15]}}, offset};
+endmodule
+
+module puma_store_buffer (clk, rst, flush,
+                          push, push_addr, push_data,
+                          drain, load_addr,
+                          forward_hit, forward_data, full, empty,
+                          drain_addr, drain_data);
+  parameter WIDTH = 32;
+  parameter DEPTH = 4;
+  parameter LOGD  = 2;
+
+  input              clk;
+  input              rst;
+  input              flush;
+  input              push;
+  input  [WIDTH-1:0] push_addr;
+  input  [WIDTH-1:0] push_data;
+  input              drain;
+  input  [WIDTH-1:0] load_addr;
+  output             forward_hit;
+  output [WIDTH-1:0] forward_data;
+  output             full;
+  output             empty;
+  output [WIDTH-1:0] drain_addr;
+  output [WIDTH-1:0] drain_data;
+
+  reg [LOGD-1:0]  head;
+  reg [LOGD-1:0]  tail;
+  reg [LOGD:0]    count;
+  reg [WIDTH-1:0] addrs [0:DEPTH-1];
+  reg [WIDTH-1:0] datas [0:DEPTH-1];
+
+  assign full  = (count == DEPTH);
+  assign empty = (count == 0);
+  assign drain_addr = addrs[head];
+  assign drain_data = datas[head];
+
+  // Youngest-match forwarding to loads.
+  reg             fwd_hit;
+  reg [WIDTH-1:0] fwd_data;
+  integer i;
+  always @(load_addr or head or count) begin
+    fwd_hit  = 1'b0;
+    fwd_data = 0;
+    for (i = 0; i < DEPTH; i = i + 1) begin
+      if ((i < count) && (addrs[head + i] == load_addr)) begin
+        fwd_hit  = 1'b1;
+        fwd_data = datas[head + i];
+      end
+    end
+  end
+  assign forward_hit  = fwd_hit;
+  assign forward_data = fwd_data;
+
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      head  <= 0;
+      tail  <= 0;
+      count <= 0;
+    end else begin
+      if (push && !full) begin
+        addrs[tail] <= push_addr;
+        datas[tail] <= push_data;
+        tail  <= tail + 1;
+      end
+      if (drain && !empty)
+        head <= head + 1;
+      count <= count + {2'b00, (push && !full)} - {2'b00, (drain && !empty)};
+    end
+  end
+endmodule
+
+module puma_memory (clk, rst, flush,
+                    ld_valid, ld_base, ld_offset,
+                    st_valid, st_base, st_offset, st_data,
+                    dcache_ready, dcache_rdata,
+                    dcache_req, dcache_we, dcache_addr, dcache_wdata,
+                    ld_data, ld_done, sb_full);
+  parameter WIDTH = 32;
+
+  input              clk;
+  input              rst;
+  input              flush;
+  input              ld_valid;
+  input  [WIDTH-1:0] ld_base;
+  input  [15:0]      ld_offset;
+  input              st_valid;
+  input  [WIDTH-1:0] st_base;
+  input  [15:0]      st_offset;
+  input  [WIDTH-1:0] st_data;
+  input              dcache_ready;
+  input  [WIDTH-1:0] dcache_rdata;
+  output             dcache_req;
+  output             dcache_we;
+  output [WIDTH-1:0] dcache_addr;
+  output [WIDTH-1:0] dcache_wdata;
+  output [WIDTH-1:0] ld_data;
+  output             ld_done;
+  output             sb_full;
+
+  wire [WIDTH-1:0] ld_addr;
+  wire [WIDTH-1:0] st_addr;
+  wire             fwd_hit;
+  wire [WIDTH-1:0] fwd_data;
+  wire             sb_empty;
+  wire [WIDTH-1:0] drain_addr;
+  wire [WIDTH-1:0] drain_data;
+  wire             do_drain;
+
+  puma_agen #(WIDTH) u_ld_agen (ld_base, ld_offset, ld_addr);
+  puma_agen #(WIDTH) u_st_agen (st_base, st_offset, st_addr);
+
+  assign do_drain = !ld_valid & !sb_empty & dcache_ready;
+
+  puma_store_buffer #(WIDTH, 4, 2) u_sb
+    (clk, rst, flush,
+     st_valid & !sb_full, st_addr, st_data,
+     do_drain, ld_addr,
+     fwd_hit, fwd_data, sb_full, sb_empty,
+     drain_addr, drain_data);
+
+  assign dcache_req   = (ld_valid & !fwd_hit) | do_drain;
+  assign dcache_we    = do_drain;
+  assign dcache_addr  = do_drain ? drain_addr : ld_addr;
+  assign dcache_wdata = drain_data;
+
+  reg             ld_done_q;
+  reg [WIDTH-1:0] ld_data_q;
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      ld_done_q <= 1'b0;
+    end else begin
+      ld_done_q <= ld_valid & (fwd_hit | dcache_ready);
+      ld_data_q <= fwd_hit ? fwd_data : dcache_rdata;
+    end
+  end
+  assign ld_done = ld_done_q;
+  assign ld_data = ld_data_q;
+endmodule

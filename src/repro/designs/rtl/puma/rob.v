@@ -1,0 +1,135 @@
+// PUMA-ROB: reorder buffer for the two-issue PUMA core.  Verilog-95.
+// Dispatches up to two entries per cycle, records completion out of
+// order, and retires up to two entries in order.
+
+module puma_rob_entry_alloc (head, count, disp0, disp1, slot0, slot1,
+                             can_alloc);
+  parameter LOGD = 4;
+  parameter DEPTH = 16;
+
+  input  [LOGD-1:0] head;
+  input  [LOGD:0]   count;
+  input             disp0;
+  input             disp1;
+  output [LOGD-1:0] slot0;
+  output [LOGD-1:0] slot1;
+  output            can_alloc;
+
+  assign slot0 = head;
+  assign slot1 = head + 1;
+  assign can_alloc = (count + {4'b0000, disp0} + {4'b0000, disp1}) <= DEPTH;
+endmodule
+
+module puma_rob (clk, rst, flush,
+                 disp0_valid, disp0_dest, disp0_is_store,
+                 disp1_valid, disp1_dest, disp1_is_store,
+                 complete0_valid, complete0_tag, complete0_exc,
+                 complete1_valid, complete1_tag, complete1_exc,
+                 retire0_valid, retire0_dest, retire0_is_store,
+                 retire1_valid, retire1_dest, retire1_is_store,
+                 rob_full, exc_raised, disp0_tag, disp1_tag);
+  parameter DEPTH = 16;
+  parameter LOGD  = 4;
+  parameter DEST  = 6;
+
+  input              clk;
+  input              rst;
+  input              flush;
+  input              disp0_valid;
+  input  [DEST-1:0]  disp0_dest;
+  input              disp0_is_store;
+  input              disp1_valid;
+  input  [DEST-1:0]  disp1_dest;
+  input              disp1_is_store;
+  input              complete0_valid;
+  input  [LOGD-1:0]  complete0_tag;
+  input              complete0_exc;
+  input              complete1_valid;
+  input  [LOGD-1:0]  complete1_tag;
+  input              complete1_exc;
+  output             retire0_valid;
+  output [DEST-1:0]  retire0_dest;
+  output             retire0_is_store;
+  output             retire1_valid;
+  output [DEST-1:0]  retire1_dest;
+  output             retire1_is_store;
+  output             rob_full;
+  output             exc_raised;
+  output [LOGD-1:0]  disp0_tag;
+  output [LOGD-1:0]  disp1_tag;
+
+  reg [LOGD-1:0]  head;
+  reg [LOGD-1:0]  tail;
+  reg [LOGD:0]    count;
+  reg [DEPTH-1:0] done;
+  reg [DEPTH-1:0] exc;
+  reg [DEPTH-1:0] is_store;
+  reg [DEST-1:0]  dest [0:DEPTH-1];
+
+  wire              can_alloc;
+  wire [LOGD-1:0]   slot0;
+  wire [LOGD-1:0]   slot1;
+
+  puma_rob_entry_alloc #(LOGD, DEPTH) u_alloc
+    (tail, count, disp0_valid, disp1_valid, slot0, slot1, can_alloc);
+
+  assign rob_full  = !can_alloc;
+  assign disp0_tag = slot0;
+  assign disp1_tag = slot1;
+
+  wire head0_done;
+  wire head1_done;
+  wire [LOGD-1:0] head1;
+
+  assign head1      = head + 1;
+  assign head0_done = done[head]  & (count != 0);
+  assign head1_done = done[head1] & (count > 1);
+
+  assign retire0_valid    = head0_done & !exc[head];
+  assign retire1_valid    = retire0_valid & head1_done & !exc[head1];
+  assign retire0_dest     = dest[head];
+  assign retire1_dest     = dest[head1];
+  assign retire0_is_store = is_store[head];
+  assign retire1_is_store = is_store[head1];
+  assign exc_raised       = head0_done & exc[head];
+
+  wire [1:0] n_disp;
+  wire [1:0] n_retire;
+  assign n_disp   = {1'b0, disp0_valid & can_alloc}
+                  + {1'b0, disp1_valid & can_alloc};
+  assign n_retire = {1'b0, retire0_valid} + {1'b0, retire1_valid};
+
+  always @(posedge clk) begin
+    if (rst | flush) begin
+      head  <= 0;
+      tail  <= 0;
+      count <= 0;
+      done  <= 0;
+      exc   <= 0;
+    end else begin
+      tail  <= tail + {2'b00, n_disp};
+      head  <= head + {2'b00, n_retire};
+      count <= count + {3'b000, n_disp} - {3'b000, n_retire};
+      if (disp0_valid & can_alloc) begin
+        done[slot0]     <= 1'b0;
+        exc[slot0]      <= 1'b0;
+        is_store[slot0] <= disp0_is_store;
+        dest[slot0]     <= disp0_dest;
+      end
+      if (disp1_valid & can_alloc) begin
+        done[slot1]     <= 1'b0;
+        exc[slot1]      <= 1'b0;
+        is_store[slot1] <= disp1_is_store;
+        dest[slot1]     <= disp1_dest;
+      end
+      if (complete0_valid) begin
+        done[complete0_tag] <= 1'b1;
+        exc[complete0_tag]  <= complete0_exc;
+      end
+      if (complete1_valid) begin
+        done[complete1_tag] <= 1'b1;
+        exc[complete1_tag]  <= complete1_exc;
+      end
+    end
+  end
+endmodule

@@ -1,0 +1,286 @@
+// RAT-Sliding: register alias table with sliding register-window support
+// (SPARC-style overlapping windows, Section 4.1 of the paper).  Renames up
+// to 4 instructions per cycle.  Verilog-2001.
+//
+// Relative to the standard RAT, each architectural register number is
+// first translated through the current window pointer: globals map
+// directly, window registers slide by CWP*16 with wraparound.
+
+module rat_window_xlate #(
+  parameter LOGA  = 5,   // architectural register index width
+  parameter LOGV  = 7,   // virtual (window-translated) index width
+  parameter LOGW  = 3    // window pointer width
+) (
+  input  [LOGA-1:0] arch,
+  input  [LOGW-1:0] cwp,
+  output [LOGV-1:0] virt
+);
+  // Registers 0..7 are globals; 8..31 belong to the sliding window.
+  wire is_global = (arch < 8);
+  wire [LOGV-1:0] offset = {cwp, {(LOGV-LOGW){1'b0}}} >> 1; // 16 regs/window
+  wire [LOGV-1:0] widened = {{(LOGV-LOGA){1'b0}}, arch};
+  assign virt = is_global ? widened : (widened + offset);
+endmodule
+
+module rat_wcheck #(parameter LOGW = 3, DEPTH = 8) (
+  input              clk,
+  input              rst,
+  input              do_save,
+  input              do_restore,
+  input  [LOGW-1:0]  cwp,
+  output reg         overflow,
+  output reg         underflow,
+  output reg [LOGW-1:0] next_cwp
+);
+  reg [LOGW:0] saved;
+  always @(*) begin
+    overflow  = do_save & (saved == DEPTH - 1);
+    underflow = do_restore & (saved == 0);
+    if (do_save & !overflow)
+      next_cwp = cwp + 1;
+    else if (do_restore & !underflow)
+      next_cwp = cwp - 1;
+    else
+      next_cwp = cwp;
+  end
+  always @(posedge clk) begin
+    if (rst)
+      saved <= {(LOGW+1){1'b0}};
+    else if (do_save & !overflow)
+      saved <= saved + 1;
+    else if (do_restore & !underflow)
+      saved <= saved - 1;
+  end
+endmodule
+
+module rat_sliding_freelist #(parameter PREGS = 64, LOGP = 6, WIDTH = 4) (
+  input                    clk,
+  input                    rst,
+  input  [WIDTH-1:0]       alloc_valid,
+  input  [WIDTH-1:0]       free_valid,
+  input  [WIDTH*LOGP-1:0]  free_tags,
+  output [WIDTH*LOGP-1:0]  alloc_tags,
+  output                   empty
+);
+  reg  [LOGP-1:0] head;
+  reg  [LOGP-1:0] tail;
+  reg  [LOGP:0]   count;
+  reg  [LOGP-1:0] pool [0:PREGS-1];
+
+  genvar g;
+  generate
+    for (g = 0; g < WIDTH; g = g + 1) begin : rd
+      assign alloc_tags[(g+1)*LOGP-1:g*LOGP] = pool[head + g];
+    end
+  endgenerate
+
+  assign empty = (count < WIDTH);
+
+  integer i;
+  reg [2:0] n_alloc;
+  reg [2:0] n_free;
+  always @(*) begin
+    n_alloc = 3'd0;
+    n_free  = 3'd0;
+    for (i = 0; i < WIDTH; i = i + 1) begin
+      n_alloc = n_alloc + {2'b00, alloc_valid[i]};
+      n_free  = n_free  + {2'b00, free_valid[i]};
+    end
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      head  <= {LOGP{1'b0}};
+      tail  <= {LOGP{1'b0}};
+      count <= {1'b1, {LOGP{1'b0}}};
+    end else begin
+      head  <= head + {{3{1'b0}}, n_alloc};
+      tail  <= tail + {{3{1'b0}}, n_free};
+      count <= count + {{4{1'b0}}, n_free} - {{4{1'b0}}, n_alloc};
+    end
+  end
+
+  always @(posedge clk) begin
+    for (i = 0; i < WIDTH; i = i + 1) begin
+      if (free_valid[i])
+        pool[tail + i] <= free_tags[(i+1)*LOGP-1 -: LOGP];
+    end
+  end
+endmodule
+
+module rat_sliding_map #(parameter VREGS = 128, LOGV = 7, LOGP = 6, WIDTH = 4) (
+  input                    clk,
+  input                    rst,
+  input  [WIDTH*LOGV-1:0]  write_virt,
+  input  [WIDTH-1:0]       write_valid,
+  input  [WIDTH*LOGP-1:0]  write_tags,
+  input  [WIDTH*LOGV-1:0]  read_virt,
+  output [WIDTH*LOGP-1:0]  read_tags
+);
+  reg [LOGP-1:0] map [0:VREGS-1];
+
+  genvar g;
+  generate
+    for (g = 0; g < WIDTH; g = g + 1) begin : rd
+      assign read_tags[(g+1)*LOGP-1:g*LOGP] =
+          map[read_virt[(g+1)*LOGV-1 -: LOGV]];
+    end
+  endgenerate
+
+  integer i;
+  always @(posedge clk) begin
+    if (!rst) begin
+      for (i = 0; i < WIDTH; i = i + 1) begin
+        if (write_valid[i])
+          map[write_virt[(i+1)*LOGV-1 -: LOGV]] <= write_tags[(i+1)*LOGP-1 -: LOGP];
+      end
+    end
+  end
+endmodule
+
+module rat_sliding_bypass #(parameter LOGV = 7, LOGP = 6, OLDER = 3) (
+  input  [LOGV-1:0]        src_virt,
+  input  [LOGP-1:0]        table_tag,
+  input  [OLDER*LOGV-1:0]  older_dests,
+  input  [OLDER-1:0]       older_valid,
+  input  [OLDER*LOGP-1:0]  older_tags,
+  output reg [LOGP-1:0]    src_tag
+);
+  integer j;
+  always @(*) begin
+    src_tag = table_tag;
+    for (j = 0; j < OLDER; j = j + 1) begin
+      if (older_valid[j] &&
+          (older_dests[(j+1)*LOGV-1 -: LOGV] == src_virt))
+        src_tag = older_tags[(j+1)*LOGP-1 -: LOGP];
+    end
+  end
+endmodule
+
+module rat_sliding #(
+  parameter WIDTH = 4,
+  parameter LOGA  = 5,
+  parameter VREGS = 128,
+  parameter LOGV  = 7,
+  parameter PREGS = 64,
+  parameter LOGP  = 6,
+  parameter LOGW  = 3,
+  parameter NWIN  = 8
+) (
+  input                    clk,
+  input                    rst,
+  input  [WIDTH-1:0]       valid,
+  input  [WIDTH*LOGA-1:0]  src1_arch,
+  input  [WIDTH*LOGA-1:0]  src2_arch,
+  input  [WIDTH*LOGA-1:0]  dest_arch,
+  input  [WIDTH-1:0]       dest_valid,
+  input                    do_save,
+  input                    do_restore,
+  input  [WIDTH-1:0]       commit_valid,
+  input  [WIDTH*LOGP-1:0]  commit_tags,
+  output [WIDTH*LOGP-1:0]  src1_tag,
+  output [WIDTH*LOGP-1:0]  src2_tag,
+  output [WIDTH*LOGP-1:0]  dest_tag,
+  output                   stall,
+  output                   window_trap
+);
+  reg  [LOGW-1:0] cwp;
+  wire [LOGW-1:0] next_cwp;
+  wire overflow, underflow;
+
+  rat_wcheck #(.LOGW(LOGW), .DEPTH(NWIN)) u_wcheck (
+    .clk(clk), .rst(rst),
+    .do_save(do_save), .do_restore(do_restore),
+    .cwp(cwp),
+    .overflow(overflow), .underflow(underflow),
+    .next_cwp(next_cwp)
+  );
+  assign window_trap = overflow | underflow;
+
+  always @(posedge clk) begin
+    if (rst)
+      cwp <= {LOGW{1'b0}};
+    else
+      cwp <= next_cwp;
+  end
+
+  wire [WIDTH*LOGV-1:0] src1_virt;
+  wire [WIDTH*LOGV-1:0] src2_virt;
+  wire [WIDTH*LOGV-1:0] dest_virt;
+  genvar g;
+  generate
+    for (g = 0; g < WIDTH; g = g + 1) begin : xl
+      rat_window_xlate #(.LOGA(LOGA), .LOGV(LOGV), .LOGW(LOGW)) u_x1 (
+        .arch(src1_arch[(g+1)*LOGA-1 -: LOGA]), .cwp(cwp),
+        .virt(src1_virt[(g+1)*LOGV-1 -: LOGV])
+      );
+      rat_window_xlate #(.LOGA(LOGA), .LOGV(LOGV), .LOGW(LOGW)) u_x2 (
+        .arch(src2_arch[(g+1)*LOGA-1 -: LOGA]), .cwp(cwp),
+        .virt(src2_virt[(g+1)*LOGV-1 -: LOGV])
+      );
+      rat_window_xlate #(.LOGA(LOGA), .LOGV(LOGV), .LOGW(LOGW)) u_xd (
+        .arch(dest_arch[(g+1)*LOGA-1 -: LOGA]), .cwp(cwp),
+        .virt(dest_virt[(g+1)*LOGV-1 -: LOGV])
+      );
+    end
+  endgenerate
+
+  wire [WIDTH*LOGP-1:0] table_src1;
+  wire [WIDTH*LOGP-1:0] table_src2;
+  wire [WIDTH*LOGP-1:0] fresh_tags;
+  wire [WIDTH-1:0]      alloc_valid = valid & dest_valid & {WIDTH{~window_trap}};
+  wire                  fl_empty;
+
+  rat_sliding_freelist #(.PREGS(PREGS), .LOGP(LOGP), .WIDTH(WIDTH)) u_freelist (
+    .clk(clk), .rst(rst),
+    .alloc_valid(alloc_valid),
+    .free_valid(commit_valid),
+    .free_tags(commit_tags),
+    .alloc_tags(fresh_tags),
+    .empty(fl_empty)
+  );
+
+  rat_sliding_map #(.VREGS(VREGS), .LOGV(LOGV), .LOGP(LOGP), .WIDTH(WIDTH)) u_map1 (
+    .clk(clk), .rst(rst),
+    .write_virt(dest_virt),
+    .write_valid(alloc_valid & {WIDTH{~fl_empty}}),
+    .write_tags(fresh_tags),
+    .read_virt(src1_virt),
+    .read_tags(table_src1)
+  );
+
+  rat_sliding_map #(.VREGS(VREGS), .LOGV(LOGV), .LOGP(LOGP), .WIDTH(WIDTH)) u_map2 (
+    .clk(clk), .rst(rst),
+    .write_virt(dest_virt),
+    .write_valid(alloc_valid & {WIDTH{~fl_empty}}),
+    .write_tags(fresh_tags),
+    .read_virt(src2_virt),
+    .read_tags(table_src2)
+  );
+
+  assign dest_tag = fresh_tags;
+  assign stall = fl_empty;
+
+  generate
+    for (g = 1; g < WIDTH; g = g + 1) begin : dep
+      rat_sliding_bypass #(.LOGV(LOGV), .LOGP(LOGP), .OLDER(g)) u_byp1 (
+        .src_virt(src1_virt[(g+1)*LOGV-1 -: LOGV]),
+        .table_tag(table_src1[(g+1)*LOGP-1 -: LOGP]),
+        .older_dests(dest_virt[g*LOGV-1:0]),
+        .older_valid(alloc_valid[g-1:0]),
+        .older_tags(fresh_tags[g*LOGP-1:0]),
+        .src_tag(src1_tag[(g+1)*LOGP-1 -: LOGP])
+      );
+      rat_sliding_bypass #(.LOGV(LOGV), .LOGP(LOGP), .OLDER(g)) u_byp2 (
+        .src_virt(src2_virt[(g+1)*LOGV-1 -: LOGV]),
+        .table_tag(table_src2[(g+1)*LOGP-1 -: LOGP]),
+        .older_dests(dest_virt[g*LOGV-1:0]),
+        .older_valid(alloc_valid[g-1:0]),
+        .older_tags(fresh_tags[g*LOGP-1:0]),
+        .src_tag(src2_tag[(g+1)*LOGP-1 -: LOGP])
+      );
+    end
+  endgenerate
+  assign src1_tag[LOGP-1:0] = table_src1[LOGP-1:0];
+  assign src2_tag[LOGP-1:0] = table_src2[LOGP-1:0];
+endmodule

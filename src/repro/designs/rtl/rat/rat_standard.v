@@ -1,0 +1,191 @@
+// RAT-Standard: register alias table renaming up to 4 instructions/cycle.
+// Compact Verilog-2001 style (ANSI ports, generate regions), mirroring the
+// standard RAT design of the paper's evaluation (Section 4.1).
+
+module rat_freelist #(parameter PREGS = 64, LOGP = 6, WIDTH = 4) (
+  input                    clk,
+  input                    rst,
+  input  [WIDTH-1:0]       alloc_valid,
+  input  [WIDTH-1:0]       free_valid,
+  input  [WIDTH*LOGP-1:0]  free_tags,
+  output [WIDTH*LOGP-1:0]  alloc_tags,
+  output                   empty
+);
+  reg  [LOGP-1:0] head;
+  reg  [LOGP-1:0] tail;
+  reg  [LOGP:0]   count;
+  reg  [LOGP-1:0] pool [0:PREGS-1];
+
+  genvar g;
+  generate
+    for (g = 0; g < WIDTH; g = g + 1) begin : rd
+      assign alloc_tags[(g+1)*LOGP-1:g*LOGP] = pool[head + g];
+    end
+  endgenerate
+
+  assign empty = (count < WIDTH);
+
+  integer i;
+  reg [2:0] n_alloc;
+  reg [2:0] n_free;
+  always @(*) begin
+    n_alloc = 3'd0;
+    n_free  = 3'd0;
+    for (i = 0; i < WIDTH; i = i + 1) begin
+      n_alloc = n_alloc + {2'b00, alloc_valid[i]};
+      n_free  = n_free  + {2'b00, free_valid[i]};
+    end
+  end
+
+  always @(posedge clk) begin
+    if (rst) begin
+      head  <= {LOGP{1'b0}};
+      tail  <= {LOGP{1'b0}};
+      count <= {1'b1, {LOGP{1'b0}}};
+    end else begin
+      head  <= head + {{3{1'b0}}, n_alloc};
+      tail  <= tail + {{3{1'b0}}, n_free};
+      count <= count + {{4{1'b0}}, n_free} - {{4{1'b0}}, n_alloc};
+    end
+  end
+
+  always @(posedge clk) begin
+    for (i = 0; i < WIDTH; i = i + 1) begin
+      if (free_valid[i])
+        pool[tail + i] <= free_tags[(i+1)*LOGP-1 -: LOGP];
+    end
+  end
+endmodule
+
+module rat_maptable #(parameter AREGS = 32, LOGA = 5, LOGP = 6, WIDTH = 4) (
+  input                    clk,
+  input                    rst,
+  input  [WIDTH*LOGA-1:0]  write_arch,
+  input  [WIDTH-1:0]       write_valid,
+  input  [WIDTH*LOGP-1:0]  write_tags,
+  input  [WIDTH*LOGA-1:0]  read_arch,
+  output [WIDTH*LOGP-1:0]  read_tags
+);
+  reg [LOGP-1:0] map [0:AREGS-1];
+
+  genvar g;
+  generate
+    for (g = 0; g < WIDTH; g = g + 1) begin : rd
+      assign read_tags[(g+1)*LOGP-1:g*LOGP] =
+          map[read_arch[(g+1)*LOGA-1 -: LOGA]];
+    end
+  endgenerate
+
+  integer i;
+  always @(posedge clk) begin
+    if (!rst) begin
+      for (i = 0; i < WIDTH; i = i + 1) begin
+        if (write_valid[i])
+          map[write_arch[(i+1)*LOGA-1 -: LOGA]] <= write_tags[(i+1)*LOGP-1 -: LOGP];
+      end
+    end
+  end
+endmodule
+
+// Intra-group dependency check: a younger instruction's source that matches
+// an older instruction's destination must take the older one's new tag.
+module rat_bypass #(parameter LOGA = 5, LOGP = 6, OLDER = 3) (
+  input  [LOGA-1:0]        src_arch,
+  input  [LOGP-1:0]        table_tag,
+  input  [OLDER*LOGA-1:0]  older_dests,
+  input  [OLDER-1:0]       older_valid,
+  input  [OLDER*LOGP-1:0]  older_tags,
+  output reg [LOGP-1:0]    src_tag
+);
+  integer j;
+  always @(*) begin
+    src_tag = table_tag;
+    for (j = 0; j < OLDER; j = j + 1) begin
+      if (older_valid[j] &&
+          (older_dests[(j+1)*LOGA-1 -: LOGA] == src_arch))
+        src_tag = older_tags[(j+1)*LOGP-1 -: LOGP];
+    end
+  end
+endmodule
+
+module rat_standard #(
+  parameter WIDTH = 4,
+  parameter AREGS = 32,
+  parameter LOGA  = 5,
+  parameter PREGS = 64,
+  parameter LOGP  = 6
+) (
+  input                    clk,
+  input                    rst,
+  input  [WIDTH-1:0]       valid,
+  input  [WIDTH*LOGA-1:0]  src1_arch,
+  input  [WIDTH*LOGA-1:0]  src2_arch,
+  input  [WIDTH*LOGA-1:0]  dest_arch,
+  input  [WIDTH-1:0]       dest_valid,
+  input  [WIDTH-1:0]       commit_valid,
+  input  [WIDTH*LOGP-1:0]  commit_tags,
+  output [WIDTH*LOGP-1:0]  src1_tag,
+  output [WIDTH*LOGP-1:0]  src2_tag,
+  output [WIDTH*LOGP-1:0]  dest_tag,
+  output                   stall
+);
+  wire [WIDTH*LOGP-1:0] table_src1;
+  wire [WIDTH*LOGP-1:0] table_src2;
+  wire [WIDTH*LOGP-1:0] fresh_tags;
+  wire [WIDTH-1:0]      alloc_valid = valid & dest_valid;
+  wire                  fl_empty;
+
+  rat_freelist #(.PREGS(PREGS), .LOGP(LOGP), .WIDTH(WIDTH)) u_freelist (
+    .clk(clk), .rst(rst),
+    .alloc_valid(alloc_valid),
+    .free_valid(commit_valid),
+    .free_tags(commit_tags),
+    .alloc_tags(fresh_tags),
+    .empty(fl_empty)
+  );
+
+  rat_maptable #(.AREGS(AREGS), .LOGA(LOGA), .LOGP(LOGP), .WIDTH(WIDTH)) u_map (
+    .clk(clk), .rst(rst),
+    .write_arch(dest_arch),
+    .write_valid(alloc_valid & {WIDTH{~fl_empty}}),
+    .write_tags(fresh_tags),
+    .read_arch(src1_arch),
+    .read_tags(table_src1)
+  );
+
+  rat_maptable #(.AREGS(AREGS), .LOGA(LOGA), .LOGP(LOGP), .WIDTH(WIDTH)) u_map2 (
+    .clk(clk), .rst(rst),
+    .write_arch(dest_arch),
+    .write_valid(alloc_valid & {WIDTH{~fl_empty}}),
+    .write_tags(fresh_tags),
+    .read_arch(src2_arch),
+    .read_tags(table_src2)
+  );
+
+  assign dest_tag = fresh_tags;
+  assign stall = fl_empty;
+
+  genvar g;
+  generate
+    for (g = 1; g < WIDTH; g = g + 1) begin : dep
+      rat_bypass #(.LOGA(LOGA), .LOGP(LOGP), .OLDER(g)) u_byp1 (
+        .src_arch(src1_arch[(g+1)*LOGA-1 -: LOGA]),
+        .table_tag(table_src1[(g+1)*LOGP-1 -: LOGP]),
+        .older_dests(dest_arch[g*LOGA-1:0]),
+        .older_valid(alloc_valid[g-1:0]),
+        .older_tags(fresh_tags[g*LOGP-1:0]),
+        .src_tag(src1_tag[(g+1)*LOGP-1 -: LOGP])
+      );
+      rat_bypass #(.LOGA(LOGA), .LOGP(LOGP), .OLDER(g)) u_byp2 (
+        .src_arch(src2_arch[(g+1)*LOGA-1 -: LOGA]),
+        .table_tag(table_src2[(g+1)*LOGP-1 -: LOGP]),
+        .older_dests(dest_arch[g*LOGA-1:0]),
+        .older_valid(alloc_valid[g-1:0]),
+        .older_tags(fresh_tags[g*LOGP-1:0]),
+        .src_tag(src2_tag[(g+1)*LOGP-1 -: LOGP])
+      );
+    end
+  endgenerate
+  assign src1_tag[LOGP-1:0] = table_src1[LOGP-1:0];
+  assign src2_tag[LOGP-1:0] = table_src2[LOGP-1:0];
+endmodule

@@ -1,0 +1,42 @@
+"""Elaboration substrate.
+
+Elaboration turns parsed modules into concrete, parameter-resolved
+specializations: parameters and constants are evaluated
+(:mod:`repro.elab.consteval`), generate loops are unrolled and generate
+conditionals selected, the instance hierarchy is walked
+(:mod:`repro.elab.elaborator`), and the constant-propagation/dead-code
+degeneracy analysis behind the paper's parameter-scaling rule runs
+(:mod:`repro.elab.degeneracy`).
+"""
+
+from repro.elab.consteval import ConstEvalError, eval_const, substitute
+from repro.elab.degeneracy import (
+    DegeneracyEvent,
+    degeneracy_events,
+    is_degenerate,
+    minimal_parameters,
+)
+from repro.elab.elaborator import (
+    DesignHierarchy,
+    ElaboratedInstance,
+    ElaboratedModule,
+    ElaborationError,
+    SignalInfo,
+    elaborate,
+)
+
+__all__ = [
+    "ConstEvalError",
+    "DegeneracyEvent",
+    "DesignHierarchy",
+    "ElaboratedInstance",
+    "ElaboratedModule",
+    "ElaborationError",
+    "SignalInfo",
+    "degeneracy_events",
+    "elaborate",
+    "eval_const",
+    "is_degenerate",
+    "minimal_parameters",
+    "substitute",
+]

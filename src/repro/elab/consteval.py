@@ -1,0 +1,190 @@
+"""Constant expression evaluation and substitution.
+
+Used during elaboration for parameter values, vector bounds, generate-loop
+control, and the constant-propagation part of the degeneracy analysis.
+All values are Python ints (vector bounds and parameters are integers in the
+supported subset).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hdl import ast
+
+
+class ConstEvalError(Exception):
+    """The expression is not a compile-time constant (or is malformed)."""
+
+
+def eval_const(expr: ast.Expr, env: Mapping[str, int] | None = None) -> int:
+    """Evaluate a constant expression under parameter bindings ``env``."""
+    env = env or {}
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Ident):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise ConstEvalError(
+                f"{expr.name!r} is not a compile-time constant"
+            ) from None
+    if isinstance(expr, ast.Unary):
+        operand = eval_const(expr.operand, env)
+        if expr.op == "-":
+            return -operand
+        if expr.op == "~":
+            return ~operand
+        if expr.op == "!":
+            return int(operand == 0)
+        if expr.op in ("&", "|", "^"):
+            # Reductions over a constant need a width; only the common
+            # boolean cases are meaningful at elaboration time.
+            raise ConstEvalError(f"reduction {expr.op!r} is not constant-foldable")
+        raise ConstEvalError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.Binary):
+        lhs = eval_const(expr.lhs, env)
+        rhs = eval_const(expr.rhs, env)
+        return _apply_binary(expr.op, lhs, rhs)
+    if isinstance(expr, ast.Ternary):
+        return (
+            eval_const(expr.then, env)
+            if eval_const(expr.cond, env)
+            else eval_const(expr.other, env)
+        )
+    if isinstance(expr, ast.Resize):
+        value = eval_const(expr.value, env)
+        width = eval_const(expr.width, env)
+        if width <= 0:
+            raise ConstEvalError(f"resize to non-positive width {width}")
+        return value & ((1 << width) - 1)
+    if isinstance(expr, ast.Concat):
+        # Constant concatenation: every part needs a known width.
+        result = 0
+        for part in expr.parts:
+            width = _const_width(part, env)
+            result = (result << width) | (
+                eval_const(part, env) & ((1 << width) - 1)
+            )
+        return result
+    if isinstance(expr, ast.Repeat):
+        count = eval_const(expr.count, env)
+        width = _const_width(expr.value, env)
+        value = eval_const(expr.value, env) & ((1 << width) - 1)
+        result = 0
+        for _ in range(count):
+            result = (result << width) | value
+        return result
+    raise ConstEvalError(
+        f"{type(expr).__name__} is not a compile-time constant"
+    )
+
+
+def _const_width(expr: ast.Expr, env: Mapping[str, int]) -> int:
+    if isinstance(expr, ast.Number) and expr.width is not None:
+        return expr.width
+    if isinstance(expr, ast.Repeat):
+        return eval_const(expr.count, env) * _const_width(expr.value, env)
+    if isinstance(expr, ast.Concat):
+        return sum(_const_width(p, env) for p in expr.parts)
+    if isinstance(expr, ast.Resize):
+        return eval_const(expr.width, env)
+    raise ConstEvalError(
+        "constant concatenation parts must have explicit widths"
+    )
+
+
+def _apply_binary(op: str, lhs: int, rhs: int) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise ConstEvalError("constant division by zero")
+        return lhs // rhs
+    if op == "%":
+        if rhs == 0:
+            raise ConstEvalError("constant modulus by zero")
+        return lhs % rhs
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "<<":
+        return lhs << rhs
+    if op == ">>":
+        return lhs >> rhs
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op == "&&":
+        return int(bool(lhs) and bool(rhs))
+    if op == "||":
+        return int(bool(lhs) or bool(rhs))
+    raise ConstEvalError(f"unknown binary operator {op!r}")
+
+
+def is_const(expr: ast.Expr, env: Mapping[str, int] | None = None) -> bool:
+    """Whether ``expr`` constant-folds under ``env``."""
+    try:
+        eval_const(expr, env)
+        return True
+    except ConstEvalError:
+        return False
+
+
+def substitute(expr: ast.Expr, bindings: Mapping[str, ast.Expr]) -> ast.Expr:
+    """Replace identifier references per ``bindings`` (e.g. genvar values)."""
+    if isinstance(expr, ast.Ident):
+        return bindings.get(expr.name, expr)
+    if isinstance(expr, ast.Number):
+        return expr
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, substitute(expr.operand, bindings))
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op, substitute(expr.lhs, bindings), substitute(expr.rhs, bindings)
+        )
+    if isinstance(expr, ast.Ternary):
+        return ast.Ternary(
+            substitute(expr.cond, bindings),
+            substitute(expr.then, bindings),
+            substitute(expr.other, bindings),
+        )
+    if isinstance(expr, ast.Select):
+        return ast.Select(
+            substitute(expr.base, bindings), substitute(expr.index, bindings)
+        )
+    if isinstance(expr, ast.PartSelect):
+        return ast.PartSelect(
+            substitute(expr.base, bindings),
+            substitute(expr.msb, bindings),
+            substitute(expr.lsb, bindings),
+        )
+    if isinstance(expr, ast.Concat):
+        return ast.Concat(tuple(substitute(p, bindings) for p in expr.parts))
+    if isinstance(expr, ast.Repeat):
+        return ast.Repeat(
+            substitute(expr.count, bindings), substitute(expr.value, bindings)
+        )
+    if isinstance(expr, ast.Resize):
+        return ast.Resize(
+            substitute(expr.value, bindings), substitute(expr.width, bindings)
+        )
+    if isinstance(expr, ast.Others):
+        return ast.Others(substitute(expr.value, bindings))
+    raise TypeError(f"cannot substitute into {type(expr).__name__}")

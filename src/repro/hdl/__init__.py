@@ -1,0 +1,42 @@
+"""HDL frontend substrate.
+
+The designs the paper measures are written in VHDL (Leon3), Verilog-95
+(PUMA, IVM), and Verilog-2001 (RAT).  This package provides frontends for
+synthesizable subsets of those languages -- uVerilog and uVHDL -- that both
+produce the *same* language-neutral AST (:mod:`repro.hdl.ast`), so the
+elaborator and synthesis pipeline downstream are language-agnostic.
+
+:mod:`repro.hdl.metrics` measures the two software metrics of Table 3
+(``LoC`` and ``Stmts``) from source text and AST respectively.
+"""
+
+from repro.hdl.ast import Design, Module
+from repro.hdl.metrics import count_loc, count_statements, software_metrics
+from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.hdl.verilog import parse_verilog
+from repro.hdl.vhdl import parse_vhdl
+
+__all__ = [
+    "Design",
+    "HdlSyntaxError",
+    "Module",
+    "SourceFile",
+    "count_loc",
+    "count_statements",
+    "parse_verilog",
+    "parse_vhdl",
+    "software_metrics",
+]
+
+
+def parse_source(source: "SourceFile") -> "Design":
+    """Parse an HDL file, dispatching on its extension (.v/.sv vs .vhd)."""
+    name = source.name.lower()
+    if name.endswith((".vhd", ".vhdl")):
+        return parse_vhdl(source)
+    if name.endswith((".v", ".sv")):
+        return parse_verilog(source)
+    raise ValueError(
+        f"cannot infer HDL language from file name {source.name!r}; "
+        "expected a .v/.sv or .vhd/.vhdl extension"
+    )

@@ -1,0 +1,40 @@
+"""Source text containers and diagnostics for the HDL frontends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """A named piece of HDL source text."""
+
+    name: str
+    text: str
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "SourceFile":
+        path = Path(path)
+        return cls(name=path.name, text=path.read_text(encoding="utf-8"))
+
+    def line(self, number: int) -> str:
+        """1-based line lookup (for diagnostics)."""
+        lines = self.text.splitlines()
+        if not 1 <= number <= len(lines):
+            raise IndexError(f"{self.name} has no line {number}")
+        return lines[number - 1]
+
+
+class HdlError(Exception):
+    """Base class for all HDL frontend/elaboration errors."""
+
+
+class HdlSyntaxError(HdlError):
+    """A lexing or parsing failure, with source position."""
+
+    def __init__(self, message: str, file: str = "", line: int = 0) -> None:
+        location = f"{file}:{line}: " if file else ""
+        super().__init__(f"{location}{message}")
+        self.file = file
+        self.line = line

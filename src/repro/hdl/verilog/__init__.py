@@ -1,0 +1,11 @@
+"""uVerilog frontend: a synthesizable Verilog subset.
+
+Supports both the verbose Verilog-95 style (non-ANSI port declarations,
+``parameter`` statements in the body) used by the PUMA- and IVM-style
+designs and the Verilog-2001 style (ANSI header ports, ``generate``
+regions, ``genvar``) used by the RAT-style designs.
+"""
+
+from repro.hdl.verilog.parser import parse_verilog
+
+__all__ = ["parse_verilog"]

@@ -1,0 +1,142 @@
+"""Tokenizer for the uVerilog subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.hdl.source import HdlSyntaxError, SourceFile
+
+#: Token kinds.
+ID, NUMBER, SIZED_NUMBER, OP, STRING, EOF = (
+    "ID", "NUMBER", "SIZED_NUMBER", "OP", "STRING", "EOF",
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "<<<", ">>>", "===", "!==",
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "**", "+:", "-:",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ";", ",", ":", ".", "#", "?", "@",
+)
+
+_ID_RE = re.compile(r"\$?[A-Za-z_][A-Za-z0-9_$]*")
+# `(*` opens an attribute only when not immediately closed: `@(*)` is a
+# sensitivity star, not an attribute.
+_ATTR_OPEN_RE = re.compile(r"\(\*(?!\s*\))")
+_DEC_RE = re.compile(r"[0-9][0-9_]*")
+_SIZED_RE = re.compile(r"(?:[0-9][0-9_]*)?'[sS]?([bBoOdDhH])([0-9a-fA-FxXzZ_]+)")
+_STRING_RE = re.compile(r'"[^"\n]*"')
+_WS_RE = re.compile(r"[ \t\r]+")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+    @property
+    def int_value(self) -> int:
+        if self.kind == NUMBER:
+            return int(self.value.replace("_", ""))
+        if self.kind == SIZED_NUMBER:
+            return _sized_value(self.value)
+        raise ValueError(f"token {self.value!r} is not a number")
+
+    @property
+    def width(self) -> int | None:
+        """Explicit bit width of a sized literal (None when unsized)."""
+        if self.kind != SIZED_NUMBER:
+            return None
+        head = self.value.split("'")[0].replace("_", "")
+        return int(head) if head else None
+
+
+def _sized_value(text: str) -> int:
+    head, tail = text.split("'", 1)
+    tail = tail.lstrip("sS")
+    base_char = tail[0].lower()
+    digits = tail[1:].replace("_", "")
+    # x/z bits are not supported by the synthesizable subset; treat as 0,
+    # which is what synthesis tools commonly assume for don't-cares.
+    digits = re.sub(r"[xXzZ]", "0", digits)
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    return int(digits, base)
+
+
+def tokenize(source: SourceFile) -> list[Token]:
+    """Tokenize uVerilog source, stripping comments and directives.
+
+    Compiler directives (`timescale, `define-free code is assumed) and
+    attribute instances ``(* ... *)`` are skipped.
+    """
+    text = source.text
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        m = _WS_RE.match(text, pos)
+        if m:
+            pos = m.end()
+            continue
+        if text.startswith("//", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end == -1:
+                raise HdlSyntaxError("unterminated block comment", source.name, line)
+            line += text.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if _ATTR_OPEN_RE.match(text, pos):
+            end = text.find("*)", pos + 2)
+            if end == -1:
+                raise HdlSyntaxError("unterminated attribute", source.name, line)
+            line += text.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch == "`":
+            # Compiler directive: skip to end of line.
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        m = _SIZED_RE.match(text, pos)
+        if m:
+            tokens.append(Token(SIZED_NUMBER, m.group(0), line))
+            pos = m.end()
+            continue
+        m = _ID_RE.match(text, pos)
+        if m:
+            tokens.append(Token(ID, m.group(0), line))
+            pos = m.end()
+            continue
+        m = _DEC_RE.match(text, pos)
+        if m:
+            tokens.append(Token(NUMBER, m.group(0), line))
+            pos = m.end()
+            continue
+        m = _STRING_RE.match(text, pos)
+        if m:
+            tokens.append(Token(STRING, m.group(0), line))
+            pos = m.end()
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(OP, op, line))
+                pos += len(op)
+                break
+        else:
+            raise HdlSyntaxError(
+                f"unexpected character {ch!r}", source.name, line
+            )
+    tokens.append(Token(EOF, "", line))
+    return tokens

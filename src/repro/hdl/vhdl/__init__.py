@@ -1,0 +1,13 @@
+"""uVHDL frontend: a synthesizable VHDL subset.
+
+Covers the VHDL-87/93 style the Leon3-like design uses: entity/architecture
+pairs with generics, std_logic/std_logic_vector/unsigned signals, clocked
+and combinational processes, concurrent (plain, conditional, and selected)
+signal assignments, component instantiation, array types for memories, and
+for/if generate.  Parsing produces the same language-neutral AST as the
+uVerilog frontend.
+"""
+
+from repro.hdl.vhdl.parser import parse_vhdl
+
+__all__ = ["parse_vhdl"]

@@ -1,0 +1,148 @@
+"""Tokenizer for the uVHDL subset.
+
+VHDL is case-insensitive; identifiers and keywords are lowercased during
+lexing (bit-string and character literals keep their spelling).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.hdl.source import HdlSyntaxError, SourceFile
+
+ID, NUMBER, BITSTRING, CHAR, OP, EOF = (
+    "ID", "NUMBER", "BITSTRING", "CHAR", "OP", "EOF",
+)
+
+#: Multi-character operators first (maximal munch).
+_OPERATORS = (
+    "**", ":=", "=>", "<=", ">=", "/=", "<>",
+    "=", "<", ">", "&", "+", "-", "*", "/",
+    "(", ")", ";", ",", ":", ".", "'", "|",
+)
+
+_ID_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"[0-9][0-9_]*")
+_BITSTR_RE = re.compile(r'([xXbBoO]?)"([0-9a-fA-F_]*)"')
+_WS_RE = re.compile(r"[ \t\r]+")
+# A character literal like '0'; must not swallow attribute ticks (foo'range),
+# so require a non-identifier character before the opening quote -- handled
+# in the loop by checking the previous token.
+_CHAR_RE = re.compile(r"'(.)'")
+
+#: Keywords after which a tick must be a character literal, never an
+#: attribute (only *names* take attributes).
+_NON_NAME_KEYWORDS = frozenset(
+    """else then when and or xor nand nor not is of to downto loop generate
+    map begin end if case select others in out inout buffer signal constant
+    type array port entity architecture library use process elsif mod rem
+    sll srl null open variable component generic range report severity
+    after until while return""".split()
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    line: int
+
+    @property
+    def int_value(self) -> int:
+        if self.kind == NUMBER:
+            return int(self.value.replace("_", ""))
+        if self.kind == CHAR:
+            if self.value in ("0", "1"):
+                return int(self.value)
+            raise ValueError(f"character literal '{self.value}' is not a bit")
+        if self.kind == BITSTRING:
+            return _bitstring_value(self.value)
+        raise ValueError(f"token {self.value!r} is not a number")
+
+    @property
+    def width(self) -> int | None:
+        if self.kind == CHAR:
+            return 1
+        if self.kind == BITSTRING:
+            return _bitstring_width(self.value)
+        return None
+
+
+def _split_bitstring(text: str) -> tuple[str, str]:
+    m = _BITSTR_RE.fullmatch(text)
+    assert m is not None
+    base = (m.group(1) or "b").lower()
+    return base, m.group(2).replace("_", "")
+
+
+def _bitstring_value(text: str) -> int:
+    base, digits = _split_bitstring(text)
+    if not digits:
+        return 0
+    return int(digits, {"b": 2, "o": 8, "x": 16}[base])
+
+
+def _bitstring_width(text: str) -> int:
+    base, digits = _split_bitstring(text)
+    per_digit = {"b": 1, "o": 3, "x": 4}[base]
+    return len(digits) * per_digit
+
+
+def tokenize(source: SourceFile) -> list[Token]:
+    text = source.text
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        m = _WS_RE.match(text, pos)
+        if m:
+            pos = m.end()
+            continue
+        if text.startswith("--", pos):
+            end = text.find("\n", pos)
+            pos = n if end == -1 else end
+            continue
+        m = _BITSTR_RE.match(text, pos)
+        if m and (m.group(1) or text[pos] == '"'):
+            tokens.append(Token(BITSTRING, m.group(0), line))
+            pos = m.end()
+            continue
+        if ch == "'":
+            # Character literal only when not an attribute tick: the token
+            # before an attribute tick is an identifier or ')'.
+            prev = tokens[-1] if tokens else None
+            is_attribute = prev is not None and (
+                (prev.kind == ID and prev.value not in _NON_NAME_KEYWORDS)
+                or (prev.kind == OP and prev.value == ")")
+            )
+            m = _CHAR_RE.match(text, pos)
+            if m and not is_attribute:
+                tokens.append(Token(CHAR, m.group(1), line))
+                pos = m.end()
+                continue
+        m = _ID_RE.match(text, pos)
+        if m:
+            tokens.append(Token(ID, m.group(0).lower(), line))
+            pos = m.end()
+            continue
+        m = _NUM_RE.match(text, pos)
+        if m:
+            tokens.append(Token(NUMBER, m.group(0), line))
+            pos = m.end()
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(OP, op, line))
+                pos += len(op)
+                break
+        else:
+            raise HdlSyntaxError(f"unexpected character {ch!r}", source.name, line)
+    tokens.append(Token(EOF, "", line))
+    return tokens

@@ -1,0 +1,67 @@
+"""Statistics substrate for the uComplexity regression model.
+
+This package replaces the SAS ``PROC NLMIXED`` / R ``nlme`` programs listed
+in Appendix A of the paper.  It provides:
+
+* :mod:`repro.stats.lognormal` -- lognormal distribution helpers used for the
+  productivity factor ``rho`` and the multiplicative error ``epsilon``
+  (Figures 2, 3, and 4 of the paper).
+* :mod:`repro.stats.grouping` -- containers for grouped (per-team) data.
+* :mod:`repro.stats.nlme` -- the nonlinear mixed-effects fitter.  The paper's
+  model, once log-transformed, has an additive normal random intercept per
+  team, so the marginal likelihood is available in closed form
+  (compound-symmetric covariance); we maximize it exactly.
+* :mod:`repro.stats.laplace` -- a generic Laplace / adaptive Gauss-Hermite
+  fitter for models where the random effect enters nonlinearly.  On the
+  paper's model it must agree with the exact fitter.
+* :mod:`repro.stats.fixedeffects` -- the "no productivity adjustment" model
+  of Section 3.2 (``rho_i = 1`` for all teams).
+* :mod:`repro.stats.criteria` -- log-likelihood based model-selection
+  criteria (AIC and BIC, Section 5.1.1).
+* :mod:`repro.stats.simulate` -- a generator that draws synthetic datasets
+  from the paper's generative model, used to validate the fitters.
+"""
+
+from repro.stats.bootstrap import BootstrapResult, bootstrap_sigma
+from repro.stats.criteria import FitCriteria, aic, bic, compare_fits
+from repro.stats.fixedeffects import FixedEffectsFit, fit_fixed_effects
+from repro.stats.grouping import GroupedData
+from repro.stats.laplace import LaplaceFit, fit_nlme_laplace
+from repro.stats.lognormal import (
+    LognormalSpec,
+    confidence_factors,
+    confidence_interval,
+    lognormal_mean,
+    lognormal_median,
+    lognormal_mode,
+    lognormal_pdf,
+    median_to_mean_factor,
+)
+from repro.stats.nlme import NlmeFit, fit_nlme
+from repro.stats.simulate import SyntheticDataset, simulate_dataset
+
+__all__ = [
+    "BootstrapResult",
+    "FitCriteria",
+    "FixedEffectsFit",
+    "GroupedData",
+    "LaplaceFit",
+    "LognormalSpec",
+    "NlmeFit",
+    "SyntheticDataset",
+    "aic",
+    "bic",
+    "bootstrap_sigma",
+    "compare_fits",
+    "confidence_factors",
+    "confidence_interval",
+    "fit_fixed_effects",
+    "fit_nlme",
+    "fit_nlme_laplace",
+    "lognormal_mean",
+    "lognormal_median",
+    "lognormal_mode",
+    "lognormal_pdf",
+    "median_to_mean_factor",
+    "simulate_dataset",
+]

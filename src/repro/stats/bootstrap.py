@@ -1,0 +1,100 @@
+"""Bootstrap uncertainty for the fitted accuracy figures.
+
+The paper notes that "within the margin of error of our study, any one of
+Stmts, LoC, or FanInLC has the same accuracy" but does not quantify that
+margin.  This module estimates it: a cluster bootstrap (resampling whole
+teams, then components within teams, preserving the grouped structure)
+refits the model on each replicate and collects the sigma_eps
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.grouping import GroupedData
+from repro.stats.nlme import fit_nlme
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Distribution of sigma_eps over bootstrap replicates."""
+
+    sigma_eps: float           # point estimate on the original data
+    replicates: np.ndarray     # sigma_eps per bootstrap replicate
+    confidence: float
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        alpha = (1.0 - self.confidence) / 2.0
+        lo = float(np.quantile(self.replicates, alpha))
+        hi = float(np.quantile(self.replicates, 1.0 - alpha))
+        return lo, hi
+
+    @property
+    def std_error(self) -> float:
+        return float(np.std(self.replicates))
+
+    def overlaps(self, other: "BootstrapResult") -> bool:
+        """Whether two estimators' accuracy intervals overlap -- the
+        'same accuracy within the margin of error' test."""
+        a_lo, a_hi = self.interval
+        b_lo, b_hi = other.interval
+        return a_lo <= b_hi and b_lo <= a_hi
+
+
+def bootstrap_sigma(
+    data: GroupedData,
+    n_replicates: int = 200,
+    confidence: float = 0.90,
+    seed: int = 20050101,
+) -> BootstrapResult:
+    """Cluster bootstrap of the mixed-effects sigma_eps.
+
+    Each replicate resamples teams with replacement and, within each drawn
+    team, components with replacement; replicates with fewer than two
+    distinct teams are redrawn (the mixed model needs a grouping spread).
+    """
+    if n_replicates < 10:
+        raise ValueError(f"need at least 10 replicates, got {n_replicates}")
+    rng = np.random.default_rng(seed)
+    point = fit_nlme(data, n_random_starts=2).sigma_eps
+    indices = data.group_indices()
+    teams = list(indices)
+
+    sigmas = []
+    attempts = 0
+    while len(sigmas) < n_replicates:
+        attempts += 1
+        if attempts > n_replicates * 20:
+            raise RuntimeError("bootstrap failed to draw usable replicates")
+        drawn = rng.choice(len(teams), size=len(teams), replace=True)
+        if len(set(drawn)) < 2:
+            continue
+        rows: list[int] = []
+        groups: list[str] = []
+        for clone_id, team_idx in enumerate(drawn):
+            team_rows = indices[teams[team_idx]]
+            resampled = rng.choice(team_rows, size=len(team_rows), replace=True)
+            rows.extend(int(r) for r in resampled)
+            # Clones of the same team become distinct groups, each with its
+            # own productivity draw -- matching the generative model.
+            groups.extend([f"boot{clone_id}"] * len(resampled))
+        replicate = GroupedData(
+            efforts=data.efforts[rows],
+            metrics=data.metrics[rows, :],
+            groups=tuple(groups),
+            metric_names=data.metric_names,
+        )
+        try:
+            fit = fit_nlme(replicate, n_random_starts=1)
+        except Exception:  # singular replicate: redraw
+            continue
+        sigmas.append(fit.sigma_eps)
+    return BootstrapResult(
+        sigma_eps=point,
+        replicates=np.asarray(sigmas),
+        confidence=confidence,
+    )

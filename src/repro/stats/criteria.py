@@ -1,0 +1,62 @@
+"""Model-selection criteria.
+
+The paper reports goodness of fit primarily as ``sigma_epsilon`` but also
+quotes Akaike's Information Criterion (AIC) and the Bayesian Information
+Criterion (BIC) when comparing DEE1 against single-metric estimators
+(Section 5.1.1).  Both are computed from the maximized log-likelihood with
+*all* fitted parameters counted (weights plus the two variance components),
+matching SAS ``PROC NLMIXED``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def aic(loglik: float, n_params: int) -> float:
+    """Akaike's Information Criterion: ``-2 ll + 2 p`` (lower is better)."""
+    if n_params < 0:
+        raise ValueError(f"n_params must be non-negative, got {n_params}")
+    return -2.0 * loglik + 2.0 * n_params
+
+
+def bic(loglik: float, n_params: int, n_obs: int) -> float:
+    """Bayesian Information Criterion: ``-2 ll + p ln(n)`` (lower is better)."""
+    if n_params < 0:
+        raise ValueError(f"n_params must be non-negative, got {n_params}")
+    if n_obs <= 0:
+        raise ValueError(f"n_obs must be positive, got {n_obs}")
+    return -2.0 * loglik + n_params * math.log(n_obs)
+
+
+@dataclass(frozen=True)
+class FitCriteria:
+    """Log-likelihood and the derived information criteria for one fit."""
+
+    loglik: float
+    n_params: int
+    n_obs: int
+
+    @property
+    def aic(self) -> float:
+        return aic(self.loglik, self.n_params)
+
+    @property
+    def bic(self) -> float:
+        return bic(self.loglik, self.n_params, self.n_obs)
+
+
+def compare_fits(criteria: dict[str, FitCriteria], by: str = "aic") -> list[str]:
+    """Rank fit names from best (lowest criterion) to worst.
+
+    ``by`` selects the criterion: ``"aic"``, ``"bic"``, or ``"loglik"``
+    (for log-likelihood, higher is better).
+    """
+    if by == "aic":
+        return sorted(criteria, key=lambda name: criteria[name].aic)
+    if by == "bic":
+        return sorted(criteria, key=lambda name: criteria[name].bic)
+    if by == "loglik":
+        return sorted(criteria, key=lambda name: -criteria[name].loglik)
+    raise ValueError(f"unknown criterion {by!r}; expected aic, bic, or loglik")

@@ -1,0 +1,133 @@
+"""The model without productivity adjustments (Section 3.2).
+
+Setting ``rho_i = 1`` for every team removes the random effect, and the
+log-scale model becomes an ordinary nonlinear regression::
+
+    y_ij = log(sum_k w_k * m_ijk) + e_ij,   e ~ N(0, sigma_eps^2)
+
+Maximum likelihood reduces to least squares on the log residuals with
+``sigma_eps^2 = RSS / n`` (the ML variance estimate, matching what the
+mixed-effects fit degenerates to as ``sigma_rho -> 0``).  The paper uses
+this model only to show that dropping the productivity adjustment loses a
+significant amount of accuracy (the last row of Table 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.stats.criteria import FitCriteria
+from repro.stats.grouping import GroupedData
+from repro.stats.lognormal import confidence_interval
+
+_LOG_2PI = math.log(2.0 * math.pi)
+_LOG_W_BOUNDS = (-35.0, 15.0)
+
+
+@dataclass(frozen=True)
+class FixedEffectsFit:
+    """Result of the rho=1 (no productivity adjustment) fit."""
+
+    weights: np.ndarray
+    sigma_eps: float
+    loglik: float
+    metric_names: tuple[str, ...]
+    n_obs: int
+    converged: bool = True
+
+    @property
+    def n_params(self) -> int:
+        """Weights plus sigma_eps."""
+        return len(self.weights) + 1
+
+    @property
+    def criteria(self) -> FitCriteria:
+        return FitCriteria(loglik=self.loglik, n_params=self.n_params, n_obs=self.n_obs)
+
+    @property
+    def aic(self) -> float:
+        return self.criteria.aic
+
+    @property
+    def bic(self) -> float:
+        return self.criteria.bic
+
+    def predict_median(self, metrics: np.ndarray) -> np.ndarray:
+        metrics = np.atleast_2d(np.asarray(metrics, dtype=float))
+        if metrics.shape[1] != len(self.weights):
+            raise ValueError(
+                f"metrics have {metrics.shape[1]} columns, fit has "
+                f"{len(self.weights)} weights"
+            )
+        return metrics @ self.weights
+
+    def prediction_interval(
+        self, metrics: np.ndarray, confidence: float = 0.90
+    ) -> list[tuple[float, float]]:
+        medians = self.predict_median(metrics)
+        return [confidence_interval(m, self.sigma_eps, confidence) for m in medians]
+
+
+def _rss(u: np.ndarray, y: np.ndarray, metrics: np.ndarray) -> float:
+    r = y - np.log(metrics @ np.exp(u))
+    return float(r @ r)
+
+
+def fit_fixed_effects(
+    data: GroupedData,
+    n_random_starts: int = 8,
+    seed: int = 20050101,
+) -> FixedEffectsFit:
+    """Fit the rho=1 model by maximum likelihood (nonlinear least squares)."""
+    y = data.log_efforts
+    metrics = data.metrics
+    n, k = metrics.shape
+    rng = np.random.default_rng(seed)
+    bounds = [_LOG_W_BOUNDS] * k
+
+    u_balanced = np.array(
+        [float(np.mean(y - np.log(metrics[:, j]))) - math.log(k) for j in range(k)]
+    )
+    starts = [u_balanced]
+    for j in range(k):
+        u = np.full(k, u_balanced[j] - 6.0)
+        u[j] = float(np.mean(y - np.log(metrics[:, j])))
+        starts.append(u)
+    for _ in range(n_random_starts):
+        starts.append(u_balanced + rng.normal(scale=1.5, size=k))
+
+    best: optimize.OptimizeResult | None = None
+    for u0 in starts:
+        u0 = np.clip(u0, _LOG_W_BOUNDS[0], _LOG_W_BOUNDS[1])
+        res = optimize.minimize(
+            _rss, u0, args=(y, metrics), method="L-BFGS-B", bounds=bounds
+        )
+        if best is None or res.fun < best.fun:
+            best = res
+    assert best is not None
+    polish = optimize.minimize(
+        _rss,
+        best.x,
+        args=(y, metrics),
+        method="Nelder-Mead",
+        options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20000},
+    )
+    if polish.fun < best.fun:
+        best = polish
+
+    w = np.exp(best.x)
+    rss = float(best.fun)
+    sigma2 = max(rss / n, 1e-12)
+    loglik = -0.5 * n * (_LOG_2PI + math.log(sigma2) + 1.0)
+    return FixedEffectsFit(
+        weights=w,
+        sigma_eps=math.sqrt(sigma2),
+        loglik=loglik,
+        metric_names=data.metric_names,
+        n_obs=n,
+        converged=bool(best.success),
+    )

@@ -1,0 +1,141 @@
+"""Containers for grouped regression data.
+
+Every data point in the uComplexity regression is a component ``j`` designed
+by team (project) ``i``; the team label is the grouping variable of the
+random productivity effect.  :class:`GroupedData` is the numeric container
+all the fitters in this package consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GroupedData:
+    """A grouped nonlinear-regression dataset.
+
+    Attributes:
+        efforts: reported design efforts (person-months), strictly positive,
+            shape ``(n,)``.
+        metrics: metric matrix, shape ``(n, k)``; column order matches
+            ``metric_names``.  All entries must be strictly positive because
+            the model takes ``log(sum_k w_k * m_k)``.
+        groups: team label for each observation, shape ``(n,)``.
+        metric_names: column labels (defaults to ``m0..m{k-1}``).
+        labels: optional per-observation labels (component names).
+    """
+
+    efforts: np.ndarray
+    metrics: np.ndarray
+    groups: tuple[str, ...]
+    metric_names: tuple[str, ...] = ()
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        efforts = np.asarray(self.efforts, dtype=float)
+        metrics = np.asarray(self.metrics, dtype=float)
+        if metrics.ndim == 1:
+            metrics = metrics.reshape(-1, 1)
+        object.__setattr__(self, "efforts", efforts)
+        object.__setattr__(self, "metrics", metrics)
+        n = efforts.shape[0]
+        if metrics.shape[0] != n:
+            raise ValueError(
+                f"metrics has {metrics.shape[0]} rows but there are {n} efforts"
+            )
+        if len(self.groups) != n:
+            raise ValueError(f"got {len(self.groups)} groups for {n} observations")
+        if n == 0:
+            raise ValueError("dataset is empty")
+        if np.any(efforts <= 0.0) or not np.all(np.isfinite(efforts)):
+            raise ValueError("efforts must be finite and strictly positive")
+        if np.any(metrics <= 0.0) or not np.all(np.isfinite(metrics)):
+            raise ValueError(
+                "metrics must be finite and strictly positive; floor zero-valued "
+                "metrics (e.g. a component with no flip-flops) before fitting"
+            )
+        if not self.metric_names:
+            names = tuple(f"m{k}" for k in range(metrics.shape[1]))
+            object.__setattr__(self, "metric_names", names)
+        elif len(self.metric_names) != metrics.shape[1]:
+            raise ValueError(
+                f"{len(self.metric_names)} metric names for "
+                f"{metrics.shape[1]} metric columns"
+            )
+        if self.labels and len(self.labels) != n:
+            raise ValueError(f"got {len(self.labels)} labels for {n} observations")
+
+    @property
+    def n_observations(self) -> int:
+        return self.efforts.shape[0]
+
+    @property
+    def n_metrics(self) -> int:
+        return self.metrics.shape[1]
+
+    @property
+    def group_names(self) -> tuple[str, ...]:
+        """Distinct group labels, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for g in self.groups:
+            seen.setdefault(g, None)
+        return tuple(seen)
+
+    @property
+    def log_efforts(self) -> np.ndarray:
+        return np.log(self.efforts)
+
+    def group_indices(self) -> dict[str, np.ndarray]:
+        """Indices of the observations belonging to each group."""
+        out: dict[str, list[int]] = {}
+        for idx, g in enumerate(self.groups):
+            out.setdefault(g, []).append(idx)
+        return {g: np.asarray(ix, dtype=int) for g, ix in out.items()}
+
+    def select_metrics(self, names: Sequence[str]) -> "GroupedData":
+        """A new dataset restricted to the named metric columns (in order)."""
+        missing = [n for n in names if n not in self.metric_names]
+        if missing:
+            raise KeyError(f"unknown metrics: {missing}")
+        cols = [self.metric_names.index(n) for n in names]
+        return GroupedData(
+            efforts=self.efforts,
+            metrics=self.metrics[:, cols],
+            groups=self.groups,
+            metric_names=tuple(names),
+            labels=self.labels,
+        )
+
+    def drop_observations(self, indices: Iterable[int]) -> "GroupedData":
+        """A new dataset without the given observation indices."""
+        drop = set(int(i) for i in indices)
+        bad = [i for i in drop if not 0 <= i < self.n_observations]
+        if bad:
+            raise IndexError(f"observation indices out of range: {bad}")
+        keep = [i for i in range(self.n_observations) if i not in drop]
+        if not keep:
+            raise ValueError("dropping all observations leaves an empty dataset")
+        return GroupedData(
+            efforts=self.efforts[keep],
+            metrics=self.metrics[keep, :],
+            groups=tuple(self.groups[i] for i in keep),
+            metric_names=self.metric_names,
+            labels=tuple(self.labels[i] for i in keep) if self.labels else (),
+        )
+
+
+def floor_metrics(values: np.ndarray, floor: float = 1.0) -> np.ndarray:
+    """Clamp metric values up to ``floor``.
+
+    A handful of published metric values are zero (e.g. the flip-flop count
+    of IVM-Decode), which the multiplicative model cannot represent; the
+    conventional fix is to clamp to the smallest meaningful measurement.
+    """
+    if floor <= 0.0:
+        raise ValueError(f"floor must be positive, got {floor}")
+    values = np.asarray(values, dtype=float)
+    return np.maximum(values, floor)

@@ -1,0 +1,163 @@
+"""Lognormal distribution helpers.
+
+The uComplexity model (Section 3.1) assumes that both the per-team
+productivity ``rho`` and the multiplicative estimation error ``epsilon`` are
+lognormally distributed with ``mu = 0`` so that their median is 1.  This
+module provides the closed-form quantities the paper uses:
+
+* the density, mean, median, and mode (Figure 2);
+* the multiplicative confidence-interval factors ``(yl, yh)`` that map a
+  residual log-standard-deviation ``sigma_epsilon`` to an x% confidence
+  interval ``(yl * eff, yh * eff)`` (Figures 3 and 4);
+* the median-to-mean correction of Equation 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+_SQRT_2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class LognormalSpec:
+    """A lognormal distribution parameterized on the log scale.
+
+    ``mu`` and ``sigma`` are the mean and standard deviation of the *log* of
+    the variable, matching the convention of Section 3.1.
+    """
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu)
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    @property
+    def mode(self) -> float:
+        return math.exp(self.mu - self.sigma**2)
+
+    @property
+    def variance(self) -> float:
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    def pdf(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        if self.sigma == 0.0:
+            raise ValueError("pdf undefined for a degenerate (sigma=0) lognormal")
+        z = (math.log(x) - self.mu) / self.sigma
+        return math.exp(-0.5 * z * z) / (x * self.sigma * _SQRT_2PI)
+
+    def cdf(self, x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        if self.sigma == 0.0:
+            return 1.0 if math.log(x) >= self.mu else 0.0
+        z = (math.log(x) - self.mu) / (self.sigma * _SQRT_2)
+        return 0.5 * (1.0 + math.erf(z))
+
+    def quantile(self, p: float) -> float:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        return math.exp(self.mu + self.sigma * _normal_quantile(p))
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse CDF of the standard normal (Acklam's rational approximation).
+
+    Accurate to about 1e-9 over (0, 1), which is far below the statistical
+    noise of anything in this package.  Implemented locally so the module has
+    no scipy dependency and can be used from lightweight contexts.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    # Coefficients for the central and tail rational approximations.
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
+def lognormal_pdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Density of a lognormal at ``x`` (convenience wrapper)."""
+    return LognormalSpec(mu, sigma).pdf(x)
+
+
+def lognormal_median(mu: float = 0.0, sigma: float = 1.0) -> float:
+    return LognormalSpec(mu, sigma).median
+
+
+def lognormal_mean(mu: float = 0.0, sigma: float = 1.0) -> float:
+    return LognormalSpec(mu, sigma).mean
+
+
+def lognormal_mode(mu: float = 0.0, sigma: float = 1.0) -> float:
+    return LognormalSpec(mu, sigma).mode
+
+
+def confidence_factors(sigma: float, confidence: float = 0.90) -> tuple[float, float]:
+    """Multiplicative confidence-interval factors ``(yl, yh)``.
+
+    Given the residual log-SD ``sigma`` (the paper's ``sigma_epsilon``) and a
+    confidence level, return the factors such that the interval
+    ``(yl * eff, yh * eff)`` contains the actual effort with the requested
+    probability.  This is the mapping plotted in Figures 3 and 4; e.g.,
+    ``confidence_factors(0.45)`` is approximately ``(0.5, 2.1)``.
+    """
+    if sigma < 0.0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    return math.exp(-z * sigma), math.exp(z * sigma)
+
+
+def confidence_interval(
+    estimate: float, sigma: float, confidence: float = 0.90
+) -> tuple[float, float]:
+    """Confidence interval for an actual effort given its median estimate."""
+    if estimate < 0.0:
+        raise ValueError(f"estimate must be non-negative, got {estimate}")
+    yl, yh = confidence_factors(sigma, confidence)
+    return yl * estimate, yh * estimate
+
+
+def median_to_mean_factor(sigma_epsilon: float, sigma_rho: float = 0.0) -> float:
+    """Equation 4: factor converting the median effort to the mean effort.
+
+    The fitted model predicts the *median* design effort; multiplying by
+    ``exp((sigma_epsilon^2 + sigma_rho^2) / 2)`` yields the mean.
+    """
+    if sigma_epsilon < 0.0 or sigma_rho < 0.0:
+        raise ValueError("standard deviations must be non-negative")
+    return math.exp((sigma_epsilon**2 + sigma_rho**2) / 2.0)

@@ -1,0 +1,45 @@
+"""Synthesis substrate.
+
+Replaces the commercial tools of Table 3:
+
+* the ASIC flow (Synopsys Design Compiler in the paper):
+  :mod:`repro.synth.lower` maps an elaborated module onto the 180 nm-style
+  standard-cell library of :mod:`repro.synth.library`, producing a
+  gate-level :mod:`repro.synth.netlist`; :mod:`repro.synth.cones`,
+  :mod:`repro.synth.timing`, :mod:`repro.synth.area`, and
+  :mod:`repro.synth.power` compute FanInLC, Freq, AreaL/AreaS, and
+  PowerD/PowerS from it;
+* the FPGA flow (Synplify Pro in the paper): :mod:`repro.synth.fpga` packs
+  the same netlist into <=8-input LUTs and reports the paper's LUT-input
+  estimate of FanInLC, the flip-flop count, and the FPGA frequency.
+
+:mod:`repro.synth.report` bundles everything into the per-component metric
+vector used by the uComplexity regression.
+"""
+
+from repro.synth.cones import fanin_logic_cones
+from repro.synth.fpga import FpgaReport, map_to_luts
+from repro.synth.interp import InterpreterError, RtlInterpreter
+from repro.synth.library import CELL_LIBRARY, CellSpec
+from repro.synth.lower import SynthesisError, synthesize_module
+from repro.synth.netlist import Cell, Memory, Netlist
+from repro.synth.report import SynthesisReport, synthesis_metrics
+from repro.synth.sim import NetlistSimulator
+
+__all__ = [
+    "CELL_LIBRARY",
+    "Cell",
+    "CellSpec",
+    "FpgaReport",
+    "InterpreterError",
+    "Memory",
+    "Netlist",
+    "NetlistSimulator",
+    "RtlInterpreter",
+    "SynthesisError",
+    "SynthesisReport",
+    "fanin_logic_cones",
+    "map_to_luts",
+    "synthesis_metrics",
+    "synthesize_module",
+]

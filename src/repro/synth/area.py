@@ -1,0 +1,31 @@
+"""Area accounting: AreaL (logic) and AreaS (storage).
+
+Following the paper's split (and the observation that its components with
+large storage report tiny cell counts), combinational standard cells make
+up the logic area, while storage area covers RAM-style memory macros *and*
+flip-flop registers -- the two ways state is held on chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.library import MEMORY_BIT_AREA, cell_spec
+from repro.synth.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    logic_um2: float
+    storage_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return self.logic_um2 + self.storage_um2
+
+
+def area_report(netlist: Netlist) -> AreaReport:
+    logic = sum(cell_spec(c.kind).area for c in netlist.combinational_cells())
+    ff_area = sum(cell_spec(c.kind).area for c in netlist.flipflops)
+    mem_area = sum(mem.bits * MEMORY_BIT_AREA for mem in netlist.memories)
+    return AreaReport(logic_um2=logic, storage_um2=ff_area + mem_area)

@@ -1,0 +1,101 @@
+"""Logic-cone extraction: the FanInLC metric (Section 4.3).
+
+"Given a primary output (a signal that reaches a pipeline latch), we
+identify the set of logic gates that produces it starting from the
+preceding pipeline latch (its logic cone), and count all the primary
+inputs to the cone.  We then repeat the process for all the primary
+outputs in the design, accumulating the counts."
+
+Implementation: reachability from cone *sources* (primary inputs, register
+outputs, memory read data, blackboxed child outputs) to cone *sinks*
+(primary outputs, register D inputs, memory port inputs, child inputs) is
+propagated through the combinational cells as packed numpy bitsets in one
+topological pass; FanInLC is the accumulated popcount at the sinks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.synth.netlist import CONST0, CONST1, Netlist
+
+
+def fanin_logic_cones(netlist: Netlist) -> int:
+    """Sum over all cone sinks of the number of distinct cone inputs."""
+    reach = cone_reachability(netlist)
+    total = 0
+    for sink in netlist.cone_sinks():
+        sets = reach.get(sink)
+        if sets is not None:
+            total += int(_popcount(sets))
+    return total
+
+
+def cone_reachability(netlist: Netlist) -> dict[int, np.ndarray]:
+    """Packed source-reachability bitset for every relevant net."""
+    sources = list(dict.fromkeys(netlist.cone_sources()))
+    index = {net: i for i, net in enumerate(sources)}
+    n_words = max(1, (len(sources) + 63) // 64)
+
+    reach: dict[int, np.ndarray] = {}
+    for net, i in index.items():
+        bits = np.zeros(n_words, dtype=np.uint64)
+        bits[i // 64] = np.uint64(1) << np.uint64(i % 64)
+        reach[net] = bits
+    zero = np.zeros(n_words, dtype=np.uint64)
+    reach[CONST0] = zero
+    reach[CONST1] = zero
+
+    # Topological propagation through combinational cells (Kahn).
+    comb = netlist.combinational_cells()
+    consumers: dict[int, list[int]] = {}
+    missing: list[int] = []
+    for ci, cell in enumerate(comb):
+        count = 0
+        for inp in cell.inputs:
+            if inp in reach:
+                continue
+            consumers.setdefault(inp, []).append(ci)
+            count += 1
+        missing.append(count)
+
+    ready = deque(ci for ci, m in enumerate(missing) if m == 0)
+    resolved = 0
+    produced: dict[int, np.ndarray] = {}
+    while ready:
+        ci = ready.popleft()
+        cell = comb[ci]
+        acc = zero
+        for inp in cell.inputs:
+            acc = acc | reach[inp]
+        out = cell.output
+        reach[out] = acc
+        resolved += 1
+        for consumer in consumers.pop(out, ()):  # newly satisfied inputs
+            missing[consumer] -= 1
+            if missing[consumer] == 0:
+                ready.append(consumer)
+    if resolved != len(comb):
+        raise ValueError(
+            f"{netlist.name}: combinational cycle "
+            f"({len(comb) - resolved} cells unresolved)"
+        )
+    return reach
+
+
+def cone_input_counts(netlist: Netlist) -> dict[int, int]:
+    """Per-sink cone input counts (for inspection and tests)."""
+    reach = cone_reachability(netlist)
+    return {
+        sink: int(_popcount(reach[sink]))
+        for sink in netlist.cone_sinks()
+        if sink in reach
+    }
+
+
+def _popcount(words: np.ndarray) -> int:
+    return int(np.bitwise_count(words).sum()) if hasattr(np, "bitwise_count") else int(
+        sum(bin(int(w)).count("1") for w in words)
+    )

@@ -1,0 +1,147 @@
+"""FPGA technology mapping: the Synplify-Pro side of Table 3.
+
+The paper obtains three metrics from FPGA synthesis targeting an Altera
+Stratix-II: the maximum frequency, the flip-flop count, and the FanInLC
+estimate computed by "summing all the inputs used in all the LUTs" (with
+up to eight inputs available per LUT/ALM).
+
+We reproduce that flow with a greedy LUT packer: combinational cells are
+absorbed into their fanin LUT while the merged leaf set stays within the
+input budget, and a new LUT is rooted otherwise.  Roots also form at nets
+feeding registers, outputs, and memory/blackbox pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.synth.netlist import CONST0, CONST1, Netlist
+
+#: Input budget per LUT ("the eight inputs available on a single LUT").
+LUT_INPUTS = 8
+#: Per-LUT delay plus local routing (ns) on a 90 nm FPGA target.
+LUT_DELAY = 0.45
+#: Register clock-to-Q plus setup (ns) on the FPGA.
+FPGA_FF_OVERHEAD = 0.9
+
+
+@dataclass(frozen=True)
+class FpgaReport:
+    """Results of the FPGA mapping flow."""
+
+    n_luts: int
+    fanin_lc: int  # sum of LUT input counts (the paper's FanInLC estimate)
+    n_flipflops: int
+    depth: int  # LUT levels on the critical path
+    frequency_mhz: float
+
+
+def map_to_luts(netlist: Netlist) -> FpgaReport:
+    sources = set(netlist.cone_sources())
+    sinks = netlist.cone_sinks()
+
+    comb = netlist.combinational_cells()
+    produced = {c.output: ci for ci, c in enumerate(comb)}
+
+    # Topological order over combinational cells.
+    consumers: dict[int, list[int]] = {}
+    missing = []
+    for ci, cell in enumerate(comb):
+        count = 0
+        for inp in cell.inputs:
+            if inp in produced and inp not in sources:
+                consumers.setdefault(inp, []).append(ci)
+                count += 1
+        missing.append(count)
+    ready = deque(ci for ci, m in enumerate(missing) if m == 0)
+
+    cuts: dict[int, frozenset[int]] = {}
+    roots: set[int] = set()
+
+    def leaf_set(net: int) -> frozenset[int]:
+        """The leaves a consumer sees through ``net``."""
+        if net in (CONST0, CONST1):
+            return frozenset()
+        if net in sources or net in roots or net not in cuts:
+            return frozenset((net,))
+        return cuts[net]
+
+    order: list[int] = []
+    while ready:
+        ci = ready.popleft()
+        order.append(ci)
+        cell = comb[ci]
+        merged: set[int] = set()
+        for inp in cell.inputs:
+            merged |= leaf_set(inp)
+        if len(merged) > LUT_INPUTS:
+            # Cannot absorb the fanin: root every gate-driven input and
+            # restart this LUT from direct pins.
+            merged = set()
+            for inp in cell.inputs:
+                if inp in (CONST0, CONST1):
+                    continue
+                if inp in produced and inp not in sources:
+                    roots.add(inp)
+                merged.add(inp)
+        cuts[cell.output] = frozenset(merged)
+        for consumer in consumers.pop(cell.output, ()):
+            missing[consumer] -= 1
+            if missing[consumer] == 0:
+                ready.append(consumer)
+    if len(order) != len(comb):
+        raise ValueError(f"{netlist.name}: combinational cycle in LUT mapping")
+
+    # Nets observed by registers/outputs/memories/blackboxes become roots.
+    for sink in sinks:
+        if sink in produced:
+            roots.add(sink)
+
+    lut_roots = [r for r in roots if r in cuts]
+    fanin = sum(len(cuts[r]) for r in lut_roots)
+
+    # LUT depth: levels over the root graph.
+    depth_memo: dict[int, int] = {}
+
+    def depth_of(net: int) -> int:
+        if net not in cuts or net in sources:
+            return 0
+        if net in depth_memo:
+            return depth_memo[net]
+        # Iterative DFS to avoid recursion limits on deep ripple chains.
+        stack = [(net, iter(cuts[net]), 0)]
+        depth_memo_local: dict[int, int] = depth_memo
+        while stack:
+            current, leaves, best = stack[-1]
+            advanced = False
+            for leaf in leaves:
+                if leaf in sources or leaf not in cuts:
+                    continue
+                if leaf not in depth_memo_local:
+                    stack[-1] = (current, leaves, best)
+                    stack.append((leaf, iter(cuts[leaf]), 0))
+                    advanced = True
+                    break
+                best = max(best, depth_memo_local[leaf])
+                stack[-1] = (current, leaves, best)
+            if not advanced:
+                stack.pop()
+                depth_memo_local[current] = best + 1
+                if stack:
+                    parent, parent_leaves, parent_best = stack[-1]
+                    stack[-1] = (
+                        parent, parent_leaves,
+                        max(parent_best, depth_memo_local[current]),
+                    )
+        return depth_memo[net]
+
+    depth = max((depth_of(r) for r in lut_roots), default=0)
+    period = depth * LUT_DELAY + FPGA_FF_OVERHEAD
+    return FpgaReport(
+        n_luts=len(lut_roots),
+        fanin_lc=fanin,
+        n_flipflops=netlist.n_flipflops,
+        depth=depth,
+        frequency_mhz=1000.0 / period,
+    )

@@ -1,0 +1,528 @@
+"""Word-level RTL interpreter (reference model for differential testing).
+
+Evaluates an elaborated module directly from its AST -- continuous
+assignments, combinational and clocked processes, and memories -- without
+going through gate-level lowering.  The test suite runs this interpreter
+and the gate-level :class:`repro.synth.sim.NetlistSimulator` side by side
+on the same stimulus and requires identical behaviour, which pins down the
+semantics of the whole synthesis pipeline.
+
+Unsupported-by-synthesis constructs raise the same errors lowering would,
+so the interpreter also documents the subset's semantics:
+
+* all values are unsigned integers truncated to their signal width;
+* sequential processes see pre-edge values (non-blocking), combinational
+  processes see program order (blocking);
+* reading an unassigned wire yields 0 (matching the lowering lint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.elab.consteval import ConstEvalError, eval_const, substitute
+from repro.elab.elaborator import ElaboratedModule, SignalInfo
+from repro.hdl import ast
+from repro.hdl.source import HdlError
+
+
+class InterpreterError(HdlError):
+    """Raised for constructs outside the synthesizable subset."""
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+@dataclass
+class _Frame:
+    """Evaluation context: committed signal values plus process-local
+    shadow values (blocking semantics)."""
+
+    signals: dict[str, int]
+    shadow: dict[str, int] = field(default_factory=dict)
+    use_shadow: bool = False
+
+    def read(self, name: str) -> int | None:
+        if self.use_shadow and name in self.shadow:
+            return self.shadow[name]
+        return self.signals.get(name)
+
+
+class RtlInterpreter:
+    """Two-phase (settle, clock) interpreter over one elaborated module.
+
+    Child instances are not supported (use leaf modules), mirroring the
+    netlist simulator's blackbox restriction.
+    """
+
+    def __init__(self, spec: ElaboratedModule) -> None:
+        if spec.instances:
+            raise InterpreterError(
+                f"{spec.name}: cannot interpret a module with child "
+                "instances; interpret leaf modules"
+            )
+        self.spec = spec
+        self.inputs: dict[str, int] = {}
+        self.registers: dict[str, int] = {}
+        self.memories: dict[str, list[int]] = {}
+        self._clocks = {
+            p.clock for p in spec.processes if p.kind == "seq"
+        }
+        for sig in spec.signals.values():
+            if sig.is_memory:
+                self.memories[sig.name] = [0] * (sig.depth or 1)
+            elif sig.direction == "input":
+                self.inputs[sig.name] = 0
+        # Registered signals: targets of sequential processes.
+        for proc in spec.processes:
+            if proc.kind != "seq":
+                continue
+            for target in _targets_of(proc.body):
+                if target in self.memories:
+                    continue
+                self.registers.setdefault(target, 0)
+
+    # -- driving --------------------------------------------------------------
+
+    def set_input(self, name: str, value: int) -> None:
+        sig = self.spec.signal(name)
+        if sig.direction != "input":
+            raise InterpreterError(f"{name!r} is not an input port")
+        self.inputs[name] = _mask(value, sig.width)
+
+    def get_output(self, name: str) -> int:
+        sig = self.spec.signal(name)
+        if sig.direction != "output":
+            raise InterpreterError(f"{name!r} is not an output port")
+        return self._signal_value(name, self._base_frame(), set())
+
+    def clock(self) -> None:
+        """One rising edge on every clock: evaluate all sequential
+        processes against pre-edge state, then commit."""
+        frame = self._base_frame()
+        next_regs: dict[str, int] = {}
+        mem_writes: list[tuple[str, int, int]] = []
+        for proc in self.spec.processes:
+            if proc.kind != "seq":
+                continue
+            local = _Frame(signals=dict(frame.signals), use_shadow=False)
+            # Sequential reads must see committed values; resolve every
+            # combinational signal against pre-edge state lazily.
+            updates: dict[str, int] = {}
+            self._exec_stmts(proc.body, local, updates, mem_writes)
+            next_regs.update(updates)
+        for name, value in next_regs.items():
+            self.registers[name] = _mask(value, self.spec.signal(name).width)
+        for mem_name, addr, data in mem_writes:
+            mem = self.memories[mem_name]
+            sig = self.spec.signal(mem_name)
+            mem[addr % len(mem)] = _mask(data, sig.width)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _base_frame(self) -> _Frame:
+        values = dict(self.inputs)
+        values.update(self.registers)
+        return _Frame(signals=values)
+
+    def _signal_value(self, name: str, frame: _Frame, visiting: set[str]) -> int:
+        cached = frame.read(name)
+        if cached is not None:
+            return cached
+        if name in self.spec.env and name not in self.spec.signals:
+            return self.spec.env[name]
+        if name in self.memories:
+            raise InterpreterError(
+                f"{self.spec.name}: memory {name!r} read without an index"
+            )
+        if name in visiting:
+            raise InterpreterError(
+                f"{self.spec.name}: combinational loop through {name!r}"
+            )
+        sig = self.spec.signal(name)
+        visiting = visiting | {name}
+        bits: list[int | None] = [None] * sig.width
+
+        def fill(target: ast.Expr, value: int) -> None:
+            lo, hi = self._target_span(sig, target, frame, visiting)
+            for off in range(hi - lo + 1):
+                bits[lo + off] = (value >> off) & 1
+
+        for assign in self.spec.assigns:
+            if _base_name_or_none(assign.target) == name:
+                width_hint = self._span_width(sig, assign.target, frame, visiting)
+                fill(
+                    assign.target,
+                    self._eval(assign.value, frame, visiting, width_hint),
+                )
+        for proc in self.spec.processes:
+            if proc.kind != "comb" or name not in _targets_of(proc.body):
+                continue
+            local = _Frame(
+                signals=frame.signals, shadow=dict(frame.shadow),
+                use_shadow=True,
+            )
+            updates: dict[str, int] = {}
+            self._exec_stmts(proc.body, local, updates, None, visiting)
+            if name in updates:
+                fill(ast.Ident(name), updates[name])
+        value = 0
+        for i, b in enumerate(bits):
+            value |= (b or 0) << i
+        frame.signals[name] = value
+        return value
+
+    def _span_width(
+        self, sig: SignalInfo, target: ast.Expr, frame: _Frame, visiting: set[str]
+    ) -> int:
+        lo, hi = self._target_span(sig, target, frame, visiting)
+        return hi - lo + 1
+
+    def _target_span(
+        self, sig: SignalInfo, target: ast.Expr, frame: _Frame, visiting: set[str]
+    ) -> tuple[int, int]:
+        if isinstance(target, ast.Ident):
+            return 0, sig.width - 1
+        if isinstance(target, ast.Select):
+            idx = self._eval_index(target.index, frame, visiting) - sig.lsb
+            return idx, idx
+        if isinstance(target, ast.PartSelect):
+            msb = self._eval_index(target.msb, frame, visiting) - sig.lsb
+            lsb = self._eval_index(target.lsb, frame, visiting) - sig.lsb
+            return lsb, msb
+        raise InterpreterError(
+            f"{self.spec.name}: unsupported lvalue {type(target).__name__}"
+        )
+
+    def _exec_stmts(
+        self,
+        stmts: tuple[ast.Stmt, ...],
+        frame: _Frame,
+        updates: dict[str, int],
+        mem_writes: list[tuple[str, int, int]] | None,
+        visiting: set[str] | None = None,
+    ) -> None:
+        visiting = visiting or set()
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                self._exec_assign(stmt, frame, updates, mem_writes, visiting)
+            elif isinstance(stmt, ast.If):
+                branch = (
+                    stmt.then_body
+                    if self._eval(stmt.cond, frame, visiting, None)
+                    else stmt.else_body
+                )
+                self._exec_stmts(branch, frame, updates, mem_writes, visiting)
+            elif isinstance(stmt, ast.Case):
+                subject = self._eval(stmt.subject, frame, visiting, None)
+                chosen: tuple[ast.Stmt, ...] = ()
+                default: tuple[ast.Stmt, ...] = ()
+                for item in stmt.items:
+                    if not item.choices:
+                        default = item.body
+                        continue
+                    if any(
+                        self._eval(c, frame, visiting, None) == subject
+                        for c in item.choices
+                    ) and not chosen:
+                        chosen = item.body
+                self._exec_stmts(
+                    chosen or default, frame, updates, mem_writes, visiting
+                )
+            elif isinstance(stmt, ast.For):
+                value = eval_const(stmt.start, self.spec.env)
+                while True:
+                    binding = {stmt.var: ast.Number(value)}
+                    if not eval_const(
+                        substitute(stmt.cond, binding), self.spec.env
+                    ):
+                        break
+                    body = tuple(
+                        _subst_stmt(s, binding) for s in stmt.body
+                    )
+                    self._exec_stmts(body, frame, updates, mem_writes, visiting)
+                    value = eval_const(
+                        substitute(stmt.step, binding), self.spec.env
+                    )
+            else:
+                raise InterpreterError(
+                    f"unknown statement {type(stmt).__name__}"
+                )
+
+    def _exec_assign(
+        self,
+        stmt: ast.Assign,
+        frame: _Frame,
+        updates: dict[str, int],
+        mem_writes: list[tuple[str, int, int]] | None,
+        visiting: set[str],
+    ) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Select) and isinstance(target.base, ast.Ident):
+            base = target.base.name
+            if base in self.memories:
+                if mem_writes is None:
+                    raise InterpreterError(
+                        f"{self.spec.name}: memory write outside a clocked "
+                        "process"
+                    )
+                sig = self.spec.signal(base)
+                addr = self._eval(target.index, frame, visiting, None)
+                data = self._eval(stmt.value, frame, visiting, sig.width)
+                mem_writes.append((base, addr, data))
+                return
+        name = _base_name_or_none(target)
+        if name is None:
+            raise InterpreterError(
+                f"{self.spec.name}: unsupported assignment target"
+            )
+        sig = self.spec.signal(name)
+        current = updates.get(name)
+        if current is None:
+            current = frame.read(name) or 0
+        lo, hi = self._target_span(sig, target, frame, visiting)
+        width = hi - lo + 1
+        value = self._eval(stmt.value, frame, visiting, width)
+        span_mask = ((1 << width) - 1) << lo
+        merged = (current & ~span_mask) | ((_mask(value, width)) << lo)
+        merged = _mask(merged, sig.width)
+        updates[name] = merged
+        if frame.use_shadow:
+            frame.shadow[name] = merged
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _eval(
+        self,
+        expr: ast.Expr,
+        frame: _Frame,
+        visiting: set[str],
+        width_hint: int | None,
+    ) -> int:
+        if isinstance(expr, ast.Number):
+            return expr.value if expr.width is None else _mask(expr.value, expr.width)
+        if isinstance(expr, ast.Ident):
+            name = expr.name
+            if name in self.spec.signals:
+                if frame.use_shadow and name in frame.shadow:
+                    return frame.shadow[name]
+                if name in frame.signals:
+                    return frame.signals[name]
+                return self._signal_value(name, frame, visiting)
+            if name in self.spec.env:
+                return self.spec.env[name]
+            raise InterpreterError(f"{self.spec.name}: unknown name {name!r}")
+        if isinstance(expr, ast.Select):
+            if isinstance(expr.base, ast.Ident) and expr.base.name in self.memories:
+                mem = self.memories[expr.base.name]
+                addr = self._eval(expr.index, frame, visiting, None)
+                return mem[addr % len(mem)]
+            base = self._eval(expr.base, frame, visiting, None)
+            lsb_off = self._declared_lsb(expr.base)
+            idx = self._eval_index(expr.index, frame, visiting) - lsb_off
+            return (base >> idx) & 1 if idx >= 0 else 0
+        if isinstance(expr, ast.PartSelect):
+            base = self._eval(expr.base, frame, visiting, None)
+            lsb_off = self._declared_lsb(expr.base)
+            msb = self._eval_index(expr.msb, frame, visiting) - lsb_off
+            lsb = self._eval_index(expr.lsb, frame, visiting) - lsb_off
+            if msb < lsb or lsb < 0:
+                raise InterpreterError(
+                    f"{self.spec.name}: part select [{msb}:{lsb}]"
+                )
+            return (base >> lsb) & ((1 << (msb - lsb + 1)) - 1)
+        if isinstance(expr, ast.Concat):
+            value = 0
+            for part in expr.parts:
+                width = self._width_of(part)
+                value = (value << width) | _mask(
+                    self._eval(part, frame, visiting, width), width
+                )
+            return value
+        if isinstance(expr, ast.Repeat):
+            count = eval_const(expr.count, self.spec.env)
+            width = self._width_of(expr.value)
+            unit = _mask(self._eval(expr.value, frame, visiting, width), width)
+            value = 0
+            for _ in range(count):
+                value = (value << width) | unit
+            return value
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, frame, visiting, width_hint)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, frame, visiting, width_hint)
+        if isinstance(expr, ast.Ternary):
+            cond = self._eval(expr.cond, frame, visiting, None)
+            chosen = expr.then if cond else expr.other
+            return self._eval(chosen, frame, visiting, width_hint)
+        if isinstance(expr, ast.Resize):
+            width = eval_const(expr.width, self.spec.env)
+            return _mask(self._eval(expr.value, frame, visiting, width), width)
+        if isinstance(expr, ast.Others):
+            if width_hint is None:
+                raise InterpreterError("(others => ...) without width context")
+            bit = 1 if self._eval(expr.value, frame, visiting, 1) else 0
+            return ((1 << width_hint) - 1) if bit else 0
+        raise InterpreterError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_index(self, expr: ast.Expr, frame: _Frame, visiting: set[str]) -> int:
+        """Index/bound evaluation: constants use unbounded integer
+        arithmetic (matching elaboration-time const folding); only
+        genuinely dynamic indices go through width-masked evaluation."""
+        try:
+            return eval_const(expr, self.spec.env)
+        except ConstEvalError:
+            return self._eval(expr, frame, visiting, None)
+
+    def _declared_lsb(self, base: ast.Expr) -> int:
+        if isinstance(base, ast.Ident) and base.name in self.spec.signals:
+            return self.spec.signals[base.name].lsb
+        return 0
+
+    def _width_of(self, expr: ast.Expr) -> int:
+        """Static width of an operand in a concatenation context."""
+        if isinstance(expr, ast.Number):
+            # Unsized literals take their natural width, matching the
+            # minimal-width choice of the lowering pass.
+            if expr.width is None:
+                return max(1, expr.value.bit_length())
+            return expr.width
+        if isinstance(expr, ast.Ident):
+            if expr.name in self.spec.signals:
+                return self.spec.signals[expr.name].width
+            if expr.name in self.spec.env:
+                return max(1, self.spec.env[expr.name].bit_length())
+            raise InterpreterError(f"no width for {expr.name!r}")
+        if isinstance(expr, ast.Select):
+            if isinstance(expr.base, ast.Ident) and expr.base.name in self.memories:
+                return self.spec.signals[expr.base.name].width
+            return 1
+        if isinstance(expr, ast.PartSelect):
+            msb = eval_const(expr.msb, self.spec.env)
+            lsb = eval_const(expr.lsb, self.spec.env)
+            return msb - lsb + 1
+        if isinstance(expr, ast.Concat):
+            return sum(self._width_of(p) for p in expr.parts)
+        if isinstance(expr, ast.Repeat):
+            return eval_const(expr.count, self.spec.env) * self._width_of(
+                expr.value
+            )
+        if isinstance(expr, ast.Resize):
+            return eval_const(expr.width, self.spec.env)
+        if isinstance(expr, ast.Unary) and expr.op == "~":
+            return self._width_of(expr.operand)
+        if isinstance(expr, ast.Unary):
+            return 1
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return 1
+            return max(self._width_of(expr.lhs), self._width_of(expr.rhs))
+        if isinstance(expr, ast.Ternary):
+            return max(self._width_of(expr.then), self._width_of(expr.other))
+        raise InterpreterError(f"no static width for {type(expr).__name__}")
+
+    def _eval_unary(self, expr, frame, visiting, width_hint):
+        op = expr.op
+        if op == "~":
+            width = width_hint or self._width_of(expr.operand)
+            return _mask(
+                ~self._eval(expr.operand, frame, visiting, width), width
+            )
+        value = self._eval(expr.operand, frame, visiting, None)
+        if op == "!":
+            return int(value == 0)
+        if op == "-":
+            width = width_hint or self._width_of(expr.operand)
+            return _mask(-value, width)
+        width = self._width_of(expr.operand)
+        value = _mask(value, width)
+        if op == "&":
+            return int(value == (1 << width) - 1)
+        if op == "|":
+            return int(value != 0)
+        if op == "^":
+            return bin(value).count("1") % 2
+        raise InterpreterError(f"unary {op!r} unsupported")
+
+    def _eval_binary(self, expr, frame, visiting, width_hint):
+        op = expr.op
+        if op in ("&&", "||"):
+            lhs = self._eval(expr.lhs, frame, visiting, None)
+            rhs = self._eval(expr.rhs, frame, visiting, None)
+            if op == "&&":
+                return int(bool(lhs) and bool(rhs))
+            return int(bool(lhs) or bool(rhs))
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            lhs = self._eval(expr.lhs, frame, visiting, None)
+            rhs = self._eval(expr.rhs, frame, visiting, None)
+            return int({
+                "==": lhs == rhs, "!=": lhs != rhs, "<": lhs < rhs,
+                "<=": lhs <= rhs, ">": lhs > rhs, ">=": lhs >= rhs,
+            }[op])
+        lhs_w = self._try_width(expr.lhs)
+        rhs_w = self._try_width(expr.rhs)
+        width = max(w for w in (lhs_w, rhs_w, width_hint or 1) if w)
+        lhs = self._eval(expr.lhs, frame, visiting, width)
+        rhs = self._eval(expr.rhs, frame, visiting, width)
+        if op == "+":
+            return _mask(lhs + rhs, width)
+        if op == "-":
+            return _mask(lhs - rhs, width)
+        if op == "*":
+            full = width_hint or ((lhs_w or width) + (rhs_w or width))
+            return _mask(lhs * rhs, full)
+        if op == "&":
+            return lhs & rhs
+        if op == "|":
+            return lhs | rhs
+        if op == "^":
+            return lhs ^ rhs
+        if op == "<<":
+            return _mask(lhs << rhs, width)
+        if op == ">>":
+            return _mask(lhs, width) >> rhs
+        if op in ("/", "%"):
+            if rhs <= 0 or rhs & (rhs - 1):
+                raise InterpreterError(f"{op} needs a power-of-two divisor")
+            return lhs // rhs if op == "/" else lhs % rhs
+        raise InterpreterError(f"binary {op!r} unsupported")
+
+    def _try_width(self, expr: ast.Expr) -> int | None:
+        try:
+            return self._width_of(expr)
+        except InterpreterError:
+            return None
+
+
+def _targets_of(stmts: tuple[ast.Stmt, ...]) -> set[str]:
+    out: set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            name = _base_name_or_none(stmt.target)
+            if name:
+                out.add(name)
+        elif isinstance(stmt, ast.If):
+            out |= _targets_of(stmt.then_body)
+            out |= _targets_of(stmt.else_body)
+        elif isinstance(stmt, ast.Case):
+            for item in stmt.items:
+                out |= _targets_of(item.body)
+        elif isinstance(stmt, ast.For):
+            out |= _targets_of(stmt.body)
+    return out
+
+
+def _base_name_or_none(target: ast.Expr) -> str | None:
+    if isinstance(target, ast.Ident):
+        return target.name
+    if isinstance(target, (ast.Select, ast.PartSelect)):
+        return _base_name_or_none(target.base)
+    return None
+
+
+def _subst_stmt(stmt: ast.Stmt, binding: Mapping[str, ast.Expr]) -> ast.Stmt:
+    from repro.elab.elaborator import _subst_stmts
+
+    return _subst_stmts((stmt,), dict(binding))[0]

@@ -1,0 +1,87 @@
+"""A 180 nm-style standard-cell library.
+
+Numbers are representative of a generic 180 nm process (the paper
+synthesized to a 180 nm library with Design Compiler): areas of a few tens
+of um^2 per gate, gate delays of a few hundred picoseconds, leakage in the
+tens of picowatts-per-gate range, and switching energies around a
+picojoule.  Absolute accuracy is not required -- the regression uses these
+metrics *relatively* across components -- but the ratios between cell types
+are realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Physical characteristics of one standard cell.
+
+    Attributes:
+        name: cell type name.
+        n_inputs: input pin count.
+        area: layout area in um^2.
+        delay: propagation delay in ns.
+        leakage: static leakage in uW.
+        switch_energy: energy per output toggle in pJ.
+        is_sequential: True for flip-flops.
+    """
+
+    name: str
+    n_inputs: int
+    area: float
+    delay: float
+    leakage: float
+    switch_energy: float
+    is_sequential: bool = False
+
+
+#: The cell set the lowering pass targets.
+CELL_LIBRARY: dict[str, CellSpec] = {
+    spec.name: spec
+    for spec in (
+        CellSpec("INV", 1, area=6.0, delay=0.08, leakage=0.010, switch_energy=0.4),
+        CellSpec("BUF", 1, area=8.0, delay=0.10, leakage=0.012, switch_energy=0.5),
+        CellSpec("AND2", 2, area=10.0, delay=0.15, leakage=0.018, switch_energy=0.7),
+        CellSpec("OR2", 2, area=10.0, delay=0.15, leakage=0.018, switch_energy=0.7),
+        CellSpec("NAND2", 2, area=8.0, delay=0.12, leakage=0.015, switch_energy=0.6),
+        CellSpec("NOR2", 2, area=8.0, delay=0.13, leakage=0.015, switch_energy=0.6),
+        CellSpec("XOR2", 2, area=14.0, delay=0.20, leakage=0.025, switch_energy=1.0),
+        CellSpec("XNOR2", 2, area=14.0, delay=0.20, leakage=0.025, switch_energy=1.0),
+        CellSpec("MUX2", 3, area=16.0, delay=0.18, leakage=0.028, switch_energy=1.1),
+        CellSpec(
+            "DFF", 1, area=45.0, delay=0.35, leakage=0.080, switch_energy=2.2,
+            is_sequential=True,
+        ),
+    )
+}
+
+#: Area per memory bit (um^2) for RAM-style storage (dense compared with
+#: flip-flop storage, as on a real process).
+MEMORY_BIT_AREA = 3.5
+#: Leakage per memory bit (uW).
+MEMORY_BIT_LEAKAGE = 0.002
+#: Access energy per memory port per cycle (pJ).
+MEMORY_PORT_ENERGY = 6.0
+#: Memory access delay (ns).
+MEMORY_ACCESS_DELAY = 1.2
+
+#: Default clock-network activity assumptions for the power model.
+COMB_ACTIVITY = 0.15   # fraction of cycles a combinational output toggles
+FF_ACTIVITY = 0.10     # fraction of cycles a flip-flop output toggles
+FF_CLOCK_ENERGY = 0.8  # pJ burned in each flip-flop by the clock each cycle
+
+#: Flip-flop setup time (ns), added to critical paths ending in registers.
+DFF_SETUP = 0.15
+#: Average interconnect delay added per logic level (ns).
+WIRE_DELAY_PER_LEVEL = 0.05
+
+
+def cell_spec(kind: str) -> CellSpec:
+    try:
+        return CELL_LIBRARY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell type {kind!r}; library has {sorted(CELL_LIBRARY)}"
+        ) from None

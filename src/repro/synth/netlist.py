@@ -1,0 +1,200 @@
+"""Gate-level netlist representation.
+
+Nets are integers.  Net 0 and net 1 are the constant-0 and constant-1 nets;
+gate constructors in the lowering pass constant-fold against them, so a
+finished netlist contains no cells driven entirely by constants (the
+dead-code elimination that real synthesis performs).
+
+Cells are typed by the standard-cell library.  Flip-flops are ``DFF`` cells
+whose single input is the D pin; the clock network is implicit.  Memories
+(register files, FIFOs, caches) are kept as macro blocks with explicit read
+and write ports rather than being exploded into gates, matching how
+synthesis maps them to RAM and how the paper accounts storage area
+separately from logic area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.library import CELL_LIBRARY
+
+CONST0 = 0
+CONST1 = 1
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell: ``kind`` indexes the library."""
+
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+
+
+@dataclass
+class WritePort:
+    addr: tuple[int, ...]
+    data: tuple[int, ...]
+    enable: int
+
+
+@dataclass
+class ReadPort:
+    addr: tuple[int, ...]
+    outputs: tuple[int, ...]
+
+
+@dataclass
+class Memory:
+    """A RAM-style storage macro."""
+
+    name: str
+    width: int
+    depth: int
+    write_ports: list[WritePort] = field(default_factory=list)
+    read_ports: list[ReadPort] = field(default_factory=list)
+
+    @property
+    def bits(self) -> int:
+        return self.width * self.depth
+
+
+class Netlist:
+    """A flattened gate-level netlist for one module."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.net_names: list[str | None] = ["const0", "const1"]
+        self.cells: list[Cell] = []
+        self.driver: dict[int, int] = {}  # net -> cell index
+        self.inputs: list[int] = []
+        self.outputs: list[int] = []
+        self.memories: list[Memory] = []
+        # Port name -> ordered bit nets (LSB first), for simulation and
+        # hierarchy stitching.
+        self.port_bits: dict[str, list[int]] = {}
+        # Extra cone boundary pins contributed by blackboxed child
+        # instances: child input pins behave like primary outputs (cone
+        # sinks); child output pins behave like primary inputs (sources).
+        self.blackbox_sinks: list[int] = []
+        self.blackbox_sources: list[int] = []
+        # Structural hashing for common-subexpression elimination.
+        self._cse: dict[tuple, int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def new_net(self, name: str | None = None) -> int:
+        self.net_names.append(name)
+        return len(self.net_names) - 1
+
+    def add_cell(self, kind: str, inputs: tuple[int, ...], name: str | None = None) -> int:
+        """Create a cell (with CSE) and return its output net."""
+        if kind not in CELL_LIBRARY:
+            raise KeyError(f"unknown cell type {kind!r}")
+        key = (kind, inputs)
+        if kind != "DFF" and key in self._cse:
+            return self._cse[key]
+        out = self.new_net(name)
+        self.cells.append(Cell(kind, inputs, out))
+        self.driver[out] = len(self.cells) - 1
+        if kind != "DFF":
+            self._cse[key] = out
+        return out
+
+    def add_dff(self, d: int, q: int) -> None:
+        """Register a flip-flop whose Q net was pre-allocated."""
+        self.cells.append(Cell("DFF", (d,), q))
+        self.driver[q] = len(self.cells) - 1
+
+    def mark_input(self, net: int) -> None:
+        self.inputs.append(net)
+
+    def mark_output(self, net: int) -> None:
+        self.outputs.append(net)
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def n_cells(self) -> int:
+        """Combinational standard cells (flip-flops reported separately)."""
+        return sum(1 for c in self.cells if c.kind != "DFF")
+
+    @property
+    def n_flipflops(self) -> int:
+        return sum(1 for c in self.cells if c.kind == "DFF")
+
+    @property
+    def n_nets(self) -> int:
+        """Net count, excluding the two constant nets."""
+        return len(self.net_names) - 2
+
+    @property
+    def flipflops(self) -> list[Cell]:
+        return [c for c in self.cells if c.kind == "DFF"]
+
+    def combinational_cells(self) -> list[Cell]:
+        return [c for c in self.cells if c.kind != "DFF"]
+
+    def cone_sources(self) -> list[int]:
+        """Nets at which combinational cones begin (Section 4.3).
+
+        Primary inputs, flip-flop Q outputs, memory read outputs, and
+        blackboxed child outputs.
+        """
+        sources = list(self.inputs)
+        sources.extend(c.output for c in self.flipflops)
+        for mem in self.memories:
+            for port in mem.read_ports:
+                sources.extend(port.outputs)
+        sources.extend(self.blackbox_sources)
+        return sources
+
+    def cone_sinks(self) -> list[int]:
+        """Nets at which combinational cones end.
+
+        Primary outputs, flip-flop D inputs, memory port inputs, and
+        blackboxed child inputs.
+        """
+        sinks = list(self.outputs)
+        sinks.extend(c.inputs[0] for c in self.flipflops)
+        for mem in self.memories:
+            for port in mem.write_ports:
+                sinks.extend(port.addr)
+                sinks.extend(port.data)
+                sinks.append(port.enable)
+            for port in mem.read_ports:
+                sinks.extend(port.addr)
+        sinks.extend(self.blackbox_sinks)
+        return sinks
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and after lowering)."""
+        n = len(self.net_names)
+        for cell in self.cells:
+            spec = CELL_LIBRARY[cell.kind]
+            if len(cell.inputs) != spec.n_inputs:
+                raise ValueError(
+                    f"{self.name}: {cell.kind} cell has {len(cell.inputs)} inputs"
+                )
+            for net in cell.inputs + (cell.output,):
+                if not 0 <= net < n:
+                    raise ValueError(f"{self.name}: net {net} out of range")
+        driven = {c.output for c in self.cells}
+        for out in self.outputs:
+            ok = (
+                out in driven
+                or out in self.inputs
+                or out in (CONST0, CONST1)
+                or out in self.blackbox_sources
+                or any(
+                    out in port.outputs
+                    for mem in self.memories
+                    for port in mem.read_ports
+                )
+            )
+            if not ok:
+                raise ValueError(
+                    f"{self.name}: output net {out} "
+                    f"({self.net_names[out]}) has no driver"
+                )

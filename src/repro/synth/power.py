@@ -1,0 +1,56 @@
+"""Power estimation: PowerD (dynamic, mW) and PowerS (static, uW).
+
+Dynamic power follows the standard activity model: each cell burns its
+switching energy on the fraction of cycles its output toggles, flip-flops
+additionally burn clock energy every cycle, and each memory port costs an
+access energy.  Static power is the sum of cell and memory-bit leakage.
+The clock frequency used is the design's own achievable frequency, as a
+synthesis tool would report at the target clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.library import (
+    COMB_ACTIVITY,
+    FF_ACTIVITY,
+    FF_CLOCK_ENERGY,
+    MEMORY_BIT_LEAKAGE,
+    MEMORY_PORT_ENERGY,
+    cell_spec,
+)
+from repro.synth.netlist import Netlist
+from repro.synth.timing import timing_report
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    dynamic_mw: float
+    static_uw: float
+    frequency_mhz: float
+
+
+def power_report(netlist: Netlist, frequency_mhz: float | None = None) -> PowerReport:
+    if frequency_mhz is None:
+        frequency_mhz = timing_report(netlist).frequency_mhz
+    energy_pj = 0.0  # energy per cycle
+    for cell in netlist.cells:
+        spec = cell_spec(cell.kind)
+        if spec.is_sequential:
+            energy_pj += spec.switch_energy * FF_ACTIVITY + FF_CLOCK_ENERGY
+        else:
+            energy_pj += spec.switch_energy * COMB_ACTIVITY
+    for mem in netlist.memories:
+        ports = len(mem.read_ports) + len(mem.write_ports)
+        energy_pj += ports * MEMORY_PORT_ENERGY
+    # pJ/cycle * Mcycles/s = uW; /1000 -> mW.
+    dynamic_mw = energy_pj * frequency_mhz / 1000.0
+
+    static_uw = sum(cell_spec(c.kind).leakage for c in netlist.cells)
+    static_uw += sum(mem.bits * MEMORY_BIT_LEAKAGE for mem in netlist.memories)
+    return PowerReport(
+        dynamic_mw=dynamic_mw,
+        static_uw=static_uw,
+        frequency_mhz=frequency_mhz,
+    )

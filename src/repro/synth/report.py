@@ -1,0 +1,63 @@
+"""Per-module synthesis report: the nine synthesis metrics of Table 3.
+
+Matches the tool split of Table 3: Nets, Cells, AreaL, AreaS, PowerD, and
+PowerS come from the ASIC flow; FanInLC, Freq, and FFs from the FPGA flow
+(FanInLC via the paper's LUT-input-sum estimate; the direct latch-to-latch
+cone count is also reported for cross-checking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.synth.area import AreaReport, area_report
+from repro.synth.cones import fanin_logic_cones
+from repro.synth.fpga import FpgaReport, map_to_luts
+from repro.synth.netlist import Netlist
+from repro.synth.power import PowerReport, power_report
+from repro.synth.timing import TimingReport, timing_report
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Everything the two synthesis flows report for one module."""
+
+    name: str
+    n_nets: int
+    n_cells: int
+    n_flipflops: int
+    area: AreaReport
+    power: PowerReport
+    timing: TimingReport
+    fpga: FpgaReport
+    fanin_lc_asic: int
+
+    def metrics(self) -> dict[str, float]:
+        """The Table 3 synthesis metrics as a metric vector."""
+        return {
+            "FanInLC": float(self.fpga.fanin_lc),
+            "Nets": float(self.n_nets),
+            "Cells": float(self.n_cells),
+            "AreaL": self.area.logic_um2,
+            "AreaS": self.area.storage_um2,
+            "PowerD": self.power.dynamic_mw,
+            "PowerS": self.power.static_uw,
+            "Freq": self.fpga.frequency_mhz,
+            "FFs": float(self.n_flipflops),
+        }
+
+
+def synthesis_metrics(netlist: Netlist) -> SynthesisReport:
+    """Run every analysis over a lowered netlist."""
+    timing = timing_report(netlist)
+    return SynthesisReport(
+        name=netlist.name,
+        n_nets=netlist.n_nets,
+        n_cells=netlist.n_cells,
+        n_flipflops=netlist.n_flipflops,
+        area=area_report(netlist),
+        power=power_report(netlist, timing.frequency_mhz),
+        timing=timing,
+        fpga=map_to_luts(netlist),
+        fanin_lc_asic=fanin_logic_cones(netlist),
+    )

@@ -1,0 +1,160 @@
+"""Cycle-accurate netlist simulator.
+
+Used by the test suite to check that lowering preserves semantics: a
+synthesized module is simulated against the behaviour its RTL specifies
+(adders add, muxes select, registers hold, memories store).  It is not a
+performance tool -- it evaluates gate by gate -- but our netlists are small
+enough for that to be fine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.synth.netlist import CONST0, CONST1, Cell, Memory, Netlist
+
+
+class NetlistSimulator:
+    """Two-phase (combinational settle, then clock edge) simulation."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        if netlist.blackbox_sinks or netlist.blackbox_sources:
+            raise ValueError(
+                f"{netlist.name}: cannot simulate a netlist with blackboxed "
+                "children; synthesize a leaf module"
+            )
+        self.netlist = netlist
+        self.values: dict[int, int] = {CONST0: 0, CONST1: 1}
+        for net in netlist.inputs:
+            self.values[net] = 0
+        self.registers: dict[int, int] = {
+            c.output: 0 for c in netlist.flipflops
+        }
+        self.memory_state: dict[str, list[int]] = {
+            mem.name: [0] * mem.depth for mem in netlist.memories
+        }
+        self._comb_order = self._toposort()
+
+    def _toposort(self) -> list[Cell]:
+        comb = self.netlist.combinational_cells()
+        known: set[int] = {CONST0, CONST1}
+        known.update(self.netlist.inputs)
+        known.update(self.registers)
+        for mem in self.netlist.memories:
+            for port in mem.read_ports:
+                known.update(port.outputs)
+        consumers: dict[int, list[int]] = {}
+        missing = []
+        for ci, cell in enumerate(comb):
+            count = 0
+            for inp in cell.inputs:
+                if inp not in known:
+                    consumers.setdefault(inp, []).append(ci)
+                    count += 1
+            missing.append(count)
+        produced = set()
+        ready = deque(ci for ci, m in enumerate(missing) if m == 0)
+        order = []
+        while ready:
+            ci = ready.popleft()
+            order.append(comb[ci])
+            out = comb[ci].output
+            produced.add(out)
+            for consumer in consumers.pop(out, ()):
+                missing[consumer] -= 1
+                if missing[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(comb):
+            raise ValueError(f"{self.netlist.name}: combinational cycle")
+        return order
+
+    # -- driving ------------------------------------------------------------
+
+    def set_input(self, name: str, value: int) -> None:
+        """Set a named input port (vector values little-endian)."""
+        for i, net in enumerate(self._port_bits(name)):
+            self.values[net] = (value >> i) & 1
+
+    def get_output(self, name: str) -> int:
+        bits = self._port_bits(name)
+        self.settle()
+        return sum(self.values[net] << i for i, net in enumerate(bits))
+
+    def _port_bits(self, name: str) -> list[int]:
+        try:
+            return self.netlist.port_bits[name]
+        except KeyError:
+            raise KeyError(
+                f"{self.netlist.name}: no port named {name!r}; "
+                f"ports: {sorted(self.netlist.port_bits)}"
+            ) from None
+
+    # -- evaluation ---------------------------------------------------------
+
+    def settle(self) -> None:
+        """Propagate combinational logic (memories read asynchronously).
+
+        Memory read ports and combinational cells can interleave (an address
+        may be computed by logic, and read data feeds more logic), so we
+        iterate to a fixpoint; two passes always suffice for the acyclic
+        netlists lowering produces.
+        """
+        for net, value in self.registers.items():
+            self.values[net] = value
+        for _ in range(2 + len(self.netlist.memories)):
+            for mem in self.netlist.memories:
+                state = self.memory_state[mem.name]
+                for port in mem.read_ports:
+                    addr = self._word(port.addr)
+                    word = state[addr % mem.depth]
+                    for i, net in enumerate(port.outputs):
+                        self.values[net] = (word >> i) & 1
+            for cell in self._comb_order:
+                self.values[cell.output] = self._eval_cell(cell)
+
+    def clock(self) -> None:
+        """One rising clock edge: capture D pins and memory writes."""
+        self.settle()
+        next_regs = {
+            cell.output: self.values[cell.inputs[0]]
+            for cell in self.netlist.flipflops
+        }
+        writes: list[tuple[Memory, int, int]] = []
+        for mem in self.netlist.memories:
+            for port in mem.write_ports:
+                if self.values[port.enable]:
+                    writes.append(
+                        (mem, self._word(port.addr), self._word(port.data))
+                    )
+        self.registers.update(next_regs)
+        for mem, addr, data in writes:
+            self.memory_state[mem.name][addr % mem.depth] = data
+        self.settle()
+
+    def _word(self, bits: tuple[int, ...]) -> int:
+        return sum(self.values[net] << i for i, net in enumerate(bits))
+
+    def _eval_cell(self, cell: Cell) -> int:
+        v = self.values
+        kind = cell.kind
+        if kind == "INV":
+            return 1 - v[cell.inputs[0]]
+        if kind == "BUF":
+            return v[cell.inputs[0]]
+        a, b = v[cell.inputs[0]], v[cell.inputs[1]] if len(cell.inputs) > 1 else 0
+        if kind == "AND2":
+            return a & b
+        if kind == "OR2":
+            return a | b
+        if kind == "XOR2":
+            return a ^ b
+        if kind == "NAND2":
+            return 1 - (a & b)
+        if kind == "NOR2":
+            return 1 - (a | b)
+        if kind == "XNOR2":
+            return 1 - (a ^ b)
+        if kind == "MUX2":
+            sel, d0, d1 = (v[n] for n in cell.inputs)
+            return d1 if sel else d0
+        raise ValueError(f"cannot simulate cell kind {kind!r}")

@@ -1,0 +1,116 @@
+"""Static timing analysis: the ASIC Freq estimate.
+
+Levelized longest-path analysis over the combinational cells with the
+library's per-cell delays, a per-level wire-delay adder, register
+clock-to-Q at cone sources, and setup time at register D pins.  The design
+frequency is the reciprocal of the worst path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.synth.library import (
+    CELL_LIBRARY,
+    DFF_SETUP,
+    MEMORY_ACCESS_DELAY,
+    WIRE_DELAY_PER_LEVEL,
+    cell_spec,
+)
+from repro.synth.netlist import CONST0, CONST1, Netlist
+
+#: Upper bound when a netlist has no timed paths at all (ns).
+_MIN_PERIOD = CELL_LIBRARY["DFF"].delay + DFF_SETUP
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Worst-path summary for one netlist."""
+
+    critical_path_ns: float
+    frequency_mhz: float
+    levels: int
+
+
+def arrival_times(netlist: Netlist) -> dict[int, float]:
+    """Arrival time (ns) at every combinational net."""
+    clk_to_q = CELL_LIBRARY["DFF"].delay
+    arrival: dict[int, float] = {CONST0: 0.0, CONST1: 0.0}
+    for net in netlist.inputs:
+        arrival[net] = 0.0
+    for cell in netlist.flipflops:
+        arrival[cell.output] = clk_to_q
+    for net in netlist.blackbox_sources:
+        arrival[net] = clk_to_q
+    for mem in netlist.memories:
+        for port in mem.read_ports:
+            for net in port.outputs:
+                arrival[net] = MEMORY_ACCESS_DELAY
+
+    comb = netlist.combinational_cells()
+    consumers: dict[int, list[int]] = {}
+    missing = []
+    for ci, cell in enumerate(comb):
+        count = 0
+        for inp in cell.inputs:
+            if inp in arrival:
+                continue
+            consumers.setdefault(inp, []).append(ci)
+            count += 1
+        missing.append(count)
+    ready = deque(ci for ci, m in enumerate(missing) if m == 0)
+    while ready:
+        ci = ready.popleft()
+        cell = comb[ci]
+        spec = cell_spec(cell.kind)
+        t = max(arrival[i] for i in cell.inputs) + spec.delay + WIRE_DELAY_PER_LEVEL
+        arrival[cell.output] = t
+        for consumer in consumers.pop(cell.output, ()):
+            missing[consumer] -= 1
+            if missing[consumer] == 0:
+                ready.append(consumer)
+    return arrival
+
+
+def timing_report(netlist: Netlist) -> TimingReport:
+    arrival = arrival_times(netlist)
+    worst = 0.0
+    for sink in netlist.cone_sinks():
+        t = arrival.get(sink, 0.0) + DFF_SETUP
+        worst = max(worst, t)
+    worst = max(worst, _MIN_PERIOD)
+    levels = _level_count(netlist)
+    return TimingReport(
+        critical_path_ns=worst,
+        frequency_mhz=1000.0 / worst,
+        levels=levels,
+    )
+
+
+def _level_count(netlist: Netlist) -> int:
+    level: dict[int, int] = {CONST0: 0, CONST1: 0}
+    for net in netlist.cone_sources():
+        level[net] = 0
+    comb = netlist.combinational_cells()
+    consumers: dict[int, list[int]] = {}
+    missing = []
+    for ci, cell in enumerate(comb):
+        count = sum(1 for inp in cell.inputs if inp not in level)
+        for inp in cell.inputs:
+            if inp not in level:
+                consumers.setdefault(inp, []).append(ci)
+        missing.append(count)
+    ready = deque(ci for ci, m in enumerate(missing) if m == 0)
+    deepest = 0
+    while ready:
+        ci = ready.popleft()
+        cell = comb[ci]
+        lvl = max(level[i] for i in cell.inputs) + 1
+        level[cell.output] = lvl
+        deepest = max(deepest, lvl)
+        for consumer in consumers.pop(cell.output, ()):
+            missing[consumer] -= 1
+            if missing[consumer] == 0:
+                ready.append(consumer)
+    return deepest

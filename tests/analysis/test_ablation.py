@@ -1,0 +1,55 @@
+"""Tests for the accounting-procedure ablation (Figure 6)."""
+
+import pytest
+
+from repro.analysis.ablation import run_accounting_ablation
+from repro.core.accounting import AccountingPolicy
+from repro.designs.loader import measured_dataset
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_accounting_ablation(
+        with_dataset=measured_dataset(AccountingPolicy.recommended()),
+        without_dataset=measured_dataset(AccountingPolicy.disabled()),
+    )
+
+
+class TestFigure6Shape:
+    def test_all_estimators_present(self, ablation):
+        pairs = ablation.sigma_pairs()
+        assert {"DEE1", "Stmts", "LoC", "FanInLC", "Nets"} <= set(pairs)
+
+    def test_software_metrics_unchanged(self, ablation):
+        """Section 5.3: 'the accuracy of the estimators without synthesis
+        metrics (Stmts and LoC) does not change'."""
+        pairs = ablation.sigma_pairs()
+        assert pairs["Stmts"][0] == pytest.approx(pairs["Stmts"][1], abs=1e-6)
+        assert pairs["LoC"][0] == pytest.approx(pairs["LoC"][1], abs=1e-6)
+
+    def test_faninlc_degrades_substantially(self, ablation):
+        with_, without = ablation.sigma_pairs()["FanInLC"]
+        assert without > with_ + 0.15
+
+    def test_nets_degrades(self, ablation):
+        with_, without = ablation.sigma_pairs()["Nets"]
+        assert without > with_
+
+    def test_dee1_changes_little(self, ablation):
+        """DEE1 contains Stmts, so the regression compensates for the
+        FanInLC inaccuracy (Section 5.3)."""
+        with_, without = ablation.sigma_pairs()["DEE1"]
+        assert abs(without - with_) < 0.1
+
+    def test_synthesis_estimators_never_improve(self, ablation):
+        degradations = ablation.degradations()
+        for name in ("FanInLC", "Nets", "Cells", "AreaL", "FFs"):
+            assert degradations[name] >= -0.02
+
+    def test_good_estimators_on_measured_data(self, ablation):
+        """Our own measured metrics should reproduce the paper's headline:
+        Stmts/LoC/DEE1 are accurate estimators of the reported efforts."""
+        mixed = ablation.with_accounting.mixed
+        assert mixed["Stmts"].sigma_eps < 0.65
+        assert mixed["LoC"].sigma_eps < 0.65
+        assert mixed["DEE1"].sigma_eps < 0.65

@@ -1,0 +1,96 @@
+"""Tests for the two-metric combination sweep (Section 5.1.1)."""
+
+import pytest
+
+from repro.analysis.combos import best_pair, sweep_metric_pairs
+from repro.data import paper_dataset
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # Sweep over the accurate metrics plus one bad one, which keeps the
+    # fixture fast while still exercising ranking.
+    return sweep_metric_pairs(
+        paper_dataset(),
+        metric_names=["Stmts", "LoC", "FanInLC", "Nets", "FFs"],
+    )
+
+
+class TestSweep:
+    def test_counts(self, sweep):
+        # 5 singles + C(5,2) = 10 pairs.
+        assert len(sweep) == 15
+
+    def test_sorted_by_sigma(self, sweep):
+        sigmas = [round(r.sigma_eps, 4) for r in sweep]
+        assert sigmas == sorted(sigmas)
+
+    def test_best_pairs_by_aic_match_paper(self, sweep):
+        # Section 5.1.1: the most accurate pairs are Stmts+Nets and
+        # Stmts+FanInLC.  By information criterion those two are the top
+        # pairs in our refit as well.
+        pairs = sorted(
+            (r for r in sweep if len(r.metric_names) == 2),
+            key=lambda r: r.aic,
+        )
+        top_two = {p.metric_names for p in pairs[:2]}
+        assert top_two == {("Stmts", "Nets"), ("Stmts", "FanInLC")}
+
+    def test_stmts_faninlc_close_to_best(self, sweep):
+        by_name = {r.metric_names: r for r in sweep}
+        dee1 = by_name[("Stmts", "FanInLC")]
+        best = best_pair(sweep)
+        assert dee1.sigma_eps == pytest.approx(best.sigma_eps, abs=0.04)
+        assert dee1.sigma_eps == pytest.approx(0.46, abs=0.02)
+
+    def test_pairs_with_good_metrics_beat_singles(self, sweep):
+        by_name = {r.metric_names: r for r in sweep}
+        assert (
+            by_name[("Stmts", "FanInLC")].sigma_eps
+            < by_name[("Stmts",)].sigma_eps
+        )
+
+    def test_combination_name(self, sweep):
+        names = {r.name for r in sweep}
+        assert "Stmts+FanInLC" in names
+        assert "Stmts" in names
+
+    def test_singles_excluded_on_request(self):
+        results = sweep_metric_pairs(
+            paper_dataset(),
+            metric_names=["Stmts", "LoC"],
+            include_singles=False,
+        )
+        assert len(results) == 1
+        assert results[0].metric_names == ("Stmts", "LoC")
+
+    def test_best_pair_requires_pairs(self):
+        results = sweep_metric_pairs(
+            paper_dataset(), metric_names=["Stmts"], include_singles=True
+        )
+        with pytest.raises(ValueError):
+            best_pair(results)
+
+
+class TestLargerCombinations:
+    """Section 5.1.1: combinations of more than two metrics buy a small
+    correlation improvement but worse information criteria."""
+
+    def test_three_metric_combos_worse_by_bic(self):
+        from repro.analysis.combos import sweep_combinations
+
+        ds = paper_dataset()
+        names = ["Stmts", "LoC", "FanInLC", "Nets"]
+        best2 = min(sweep_combinations(ds, names, 2), key=lambda r: r.bic)
+        best3 = min(sweep_combinations(ds, names, 3), key=lambda r: r.bic)
+        assert best3.bic > best2.bic
+        # ... and the sigma improvement is marginal.
+        assert best2.sigma_eps - best3.sigma_eps < 0.05
+
+    def test_size_validation(self):
+        from repro.analysis.combos import sweep_combinations
+
+        with pytest.raises(ValueError):
+            sweep_combinations(paper_dataset(), ["Stmts"], 0)
+        with pytest.raises(ValueError):
+            sweep_combinations(paper_dataset(), ["Stmts"], 2)

@@ -1,0 +1,26 @@
+"""Tests for leave-one-out cross-validation (extension experiment)."""
+
+import pytest
+
+from repro.analysis.crossval import leave_one_out
+from repro.data import paper_dataset
+
+
+@pytest.fixture(scope="module")
+def loo_stmts():
+    return leave_one_out(paper_dataset(), ["Stmts"])
+
+
+class TestLeaveOneOut:
+    def test_every_component_held_out(self, loo_stmts):
+        assert len(loo_stmts.log_errors) == 18
+
+    def test_sigma_loo_positive_and_above_insample(self, loo_stmts):
+        # Out-of-sample error should not beat the in-sample fit (0.50).
+        assert loo_stmts.sigma_loo >= 0.45
+
+    def test_worst_component_is_a_real_label(self, loo_stmts):
+        assert loo_stmts.worst_component in loo_stmts.log_errors
+
+    def test_metric_names_recorded(self, loo_stmts):
+        assert loo_stmts.metric_names == ("Stmts",)

@@ -1,0 +1,111 @@
+"""Tests for the Table 4 evaluation engine."""
+
+import pytest
+
+from repro.analysis.evaluation import (
+    TABLE4_ESTIMATORS,
+    evaluate_estimators,
+    scatter_points,
+)
+from repro.data import paper_dataset
+from repro.data.paper import (
+    PAPER_DEE1_ESTIMATES,
+    PAPER_SIGMA_EPS,
+    PAPER_SIGMA_EPS_NO_RHO,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return evaluate_estimators(paper_dataset())
+
+
+class TestTable4Reproduction:
+    def test_all_twelve_estimators_fit(self, result):
+        assert set(result.mixed) == {name for name, _ in TABLE4_ESTIMATORS}
+        assert len(result.mixed) == 12
+
+    @pytest.mark.parametrize("name", [n for n, _ in TABLE4_ESTIMATORS])
+    def test_mixed_sigma_matches_paper(self, result, name):
+        assert result.mixed[name].sigma_eps == pytest.approx(
+            PAPER_SIGMA_EPS[name], abs=0.015
+        )
+
+    @pytest.mark.parametrize("name", [n for n, _ in TABLE4_ESTIMATORS])
+    def test_fixed_sigma_matches_paper(self, result, name):
+        assert result.fixed[name].sigma_eps == pytest.approx(
+            PAPER_SIGMA_EPS_NO_RHO[name], abs=0.015
+        )
+
+    def test_ranking_matches_paper_narrative(self, result):
+        ranked = result.ranked()
+        assert ranked[0] == "DEE1"
+        assert ranked[1] == "Stmts"
+        assert set(ranked[2:4]) == {"LoC", "FanInLC"}
+        assert ranked[4] == "Nets"
+        # "None of these metrics is a reasonable estimator."
+        assert set(ranked[5:]) == {
+            "Freq", "AreaL", "PowerD", "PowerS", "AreaS", "Cells", "FFs"
+        }
+
+    def test_sigma_table_shape(self, result):
+        table = result.sigma_table()
+        assert set(table) == set(result.mixed)
+        for with_rho, without_rho in table.values():
+            assert with_rho > 0 and without_rho > 0
+
+    def test_dee1_information_criteria(self, result):
+        assert result.mixed["DEE1"].aic == pytest.approx(34.8, abs=0.2)
+        assert result.mixed["DEE1"].bic == pytest.approx(38.4, abs=0.2)
+
+    def test_interval_factors(self, result):
+        yl, yh = result.mixed["Stmts"].interval_factors()
+        assert yl == pytest.approx(0.44, abs=0.02)
+        assert yh == pytest.approx(2.28, abs=0.05)
+
+
+class TestScatterPoints:
+    def test_figure5_points(self, result):
+        points = scatter_points(result.mixed["DEE1"], paper_dataset())
+        assert len(points) == 18
+        by_label = {label: (est, eff) for label, est, eff in points}
+        # The published per-component DEE1 estimates (Table 4 column 3).
+        for label, (est, _) in by_label.items():
+            assert est == pytest.approx(PAPER_DEE1_ESTIMATES[label], abs=0.85)
+
+    def test_leon3_pipeline_is_the_outlier(self, result):
+        points = scatter_points(result.mixed["DEE1"], paper_dataset())
+        ratios = {label: eff / est for label, est, eff in points}
+        assert max(ratios, key=ratios.get) == "Leon3-Pipeline"
+        assert ratios["Leon3-Pipeline"] > 1.6
+
+
+class TestSubsetting:
+    def test_skips_estimators_with_missing_metrics(self):
+        ds = paper_dataset()
+        # Keep only software metrics in the records.
+        from repro.data import EffortDataset, EffortRecord
+
+        slim = EffortDataset(
+            tuple(
+                EffortRecord(
+                    r.team, r.component, r.effort,
+                    {"Stmts": r.metrics["Stmts"], "LoC": r.metrics["LoC"]},
+                )
+                for r in ds
+            )
+        )
+        result = evaluate_estimators(slim)
+        assert set(result.mixed) == {"Stmts", "LoC"}
+
+    def test_no_usable_estimators_rejected(self):
+        from repro.data import EffortDataset, EffortRecord
+
+        odd = EffortDataset(
+            (
+                EffortRecord("A", "x", 1.0, {"Bogus": 1.0}),
+                EffortRecord("B", "y", 2.0, {"Bogus": 2.0}),
+            )
+        )
+        with pytest.raises(ValueError):
+            evaluate_estimators(odd)

@@ -1,0 +1,65 @@
+"""Tests for ASCII table/figure rendering."""
+
+import pytest
+
+from repro.analysis.tables import (
+    render_bar_chart,
+    render_scatter,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1234.5678], [0.123], [12.3], [0.0]])
+        assert "1235" in out
+        assert "0.12" in out
+        assert "12.3" in out
+
+
+class TestRenderBarChart:
+    def test_contains_categories_and_values(self):
+        out = render_bar_chart(
+            {"with": {"Stmts": 0.5, "FanInLC": 0.55},
+             "without": {"Stmts": 0.5, "FanInLC": 1.18}}
+        )
+        assert "Stmts" in out and "FanInLC" in out
+        assert "1.18" in out
+        assert "[with]" in out and "[without]" in out
+
+    def test_bar_length_proportional(self):
+        out = render_bar_chart({"s": {"small": 1.0, "big": 2.0}}, width=20)
+        lines = [l for l in out.splitlines() if l]
+        small = next(l for l in lines if l.startswith("small"))
+        big = next(l for l in lines if l.startswith("big"))
+        assert big.count("#") == 2 * small.count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({})
+        with pytest.raises(ValueError):
+            render_bar_chart({"s": {"x": 0.0}})
+
+
+class TestRenderScatter:
+    def test_plot_contains_points_and_axes(self):
+        points = [("a", 1.0, 1.2), ("b", 5.0, 4.0), ("c", 10.0, 24.0)]
+        out = render_scatter(points)
+        assert out.count("o") >= 2  # two points may collide on the grid
+        assert "estimate" in out and "reported" in out
+        assert "24.0" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_scatter([])

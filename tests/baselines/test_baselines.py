@@ -1,0 +1,85 @@
+"""Tests for the baseline comparators (COCOMO, count-based, Numetrics)."""
+
+import pytest
+
+from repro.baselines import (
+    fit_cocomo,
+    fit_complexity_units,
+    fit_count_based,
+)
+from repro.core.estimator import fit_dee1
+from repro.data import paper_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return paper_dataset()
+
+
+@pytest.fixture(scope="module")
+def dee1(dataset):
+    return fit_dee1(dataset)
+
+
+class TestCocomo:
+    def test_fit_and_estimate(self, dataset):
+        model = fit_cocomo(dataset)
+        assert model.a > 0
+        assert 0 < model.b < 3
+        assert model.estimate(2814) > model.estimate(250)
+
+    def test_interval_brackets(self, dataset):
+        model = fit_cocomo(dataset)
+        est = model.estimate(1000)
+        lo, hi = model.interval(1000)
+        assert lo < est < hi
+
+    def test_rejects_nonpositive_loc(self, dataset):
+        with pytest.raises(ValueError):
+            fit_cocomo(dataset).estimate(0)
+
+    def test_worse_than_dee1(self, dataset, dee1):
+        # The power-law LoC model without productivity adjustment cannot
+        # beat the calibrated two-metric mixed model.
+        assert fit_cocomo(dataset).sigma_eps > dee1.sigma_eps
+
+
+class TestCountBased:
+    def test_cells_rule(self, dataset):
+        model = fit_count_based(dataset, "Cells")
+        assert model.productivity > 0
+        assert model.estimate(model.productivity) == pytest.approx(1.0)
+
+    def test_sigma_is_terrible_for_cells(self, dataset):
+        # The paper: the number of standard cells is a poor effort
+        # estimator (sigma ~2 on its data).
+        model = fit_count_based(dataset, "Cells")
+        assert model.sigma_eps > 1.5
+
+    def test_loc_count_rule_better_than_cells(self, dataset):
+        loc = fit_count_based(dataset, "LoC")
+        cells = fit_count_based(dataset, "Cells")
+        assert loc.sigma_eps < cells.sigma_eps
+
+    def test_much_worse_than_dee1(self, dataset, dee1):
+        assert fit_count_based(dataset, "Cells").sigma_eps > dee1.sigma_eps + 0.5
+
+
+class TestComplexityUnits:
+    def test_fit_and_estimate(self, dataset):
+        model = fit_complexity_units(dataset)
+        rec = dataset.record("PUMA-Execute")
+        assert model.estimate(rec.metrics) > 0
+        assert model.complexity_units(rec.metrics) > 0
+
+    def test_interval(self, dataset):
+        model = fit_complexity_units(dataset)
+        rec = dataset.record("IVM-Fetch")
+        lo, hi = model.interval(rec.metrics)
+        assert lo < model.estimate(rec.metrics) < hi
+
+    def test_considerably_less_accurate_than_dee1(self, dataset, dee1):
+        """Section 6: applying the patent-style method to the paper's data
+        is 'considerably less accurate' than DEE1."""
+        model = fit_complexity_units(dataset)
+        assert model.sigma_eps > dee1.sigma_eps + 0.2

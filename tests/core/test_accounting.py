@@ -1,0 +1,109 @@
+"""Tests for the accounting procedure policy (Section 2.2)."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.core.accounting import (
+    AccountingPolicy,
+    aggregate_metrics,
+    select_components,
+)
+
+
+@dataclass(frozen=True)
+class FakeInstance:
+    module_name: str
+    parameters: dict = field(default_factory=dict)
+
+
+class TestPolicy:
+    def test_recommended_enables_both_rules(self):
+        p = AccountingPolicy.recommended()
+        assert p.count_each_component_once
+        assert p.minimize_parameters
+
+    def test_disabled(self):
+        p = AccountingPolicy.disabled()
+        assert not p.count_each_component_once
+        assert not p.minimize_parameters
+
+
+class TestSelectComponents:
+    def test_dedup_counts_each_module_once(self):
+        instances = [
+            FakeInstance("alu"), FakeInstance("alu"),
+            FakeInstance("alu"), FakeInstance("regfile"),
+        ]
+        selected = select_components(instances)
+        assert [m for m, _ in selected] == ["alu", "regfile"]
+
+    def test_disabled_policy_counts_every_instance(self):
+        instances = [FakeInstance("alu")] * 4
+        selected = select_components(instances, AccountingPolicy.disabled())
+        assert len(selected) == 4
+
+    def test_parameter_minimization_uses_callback(self):
+        instances = [FakeInstance("queue", {"DEPTH": 32})]
+        selected = select_components(
+            instances, minimal_parameters=lambda name: {"DEPTH": 2}
+        )
+        assert selected == [("queue", {"DEPTH": 2})]
+
+    def test_parameterized_without_callback_rejected(self):
+        instances = [FakeInstance("queue", {"DEPTH": 32})]
+        with pytest.raises(ValueError, match="callback"):
+            select_components(instances)
+
+    def test_unparameterized_needs_no_callback(self):
+        instances = [FakeInstance("alu")]
+        assert select_components(instances) == [("alu", {})]
+
+    def test_disabled_policy_keeps_instantiated_parameters(self):
+        instances = [
+            FakeInstance("queue", {"DEPTH": 32}),
+            FakeInstance("queue", {"DEPTH": 8}),
+        ]
+        selected = select_components(instances, AccountingPolicy.disabled())
+        assert selected == [("queue", {"DEPTH": 32}), ("queue", {"DEPTH": 8})]
+
+    def test_dedup_is_by_module_name_not_parameters(self):
+        # The paper counts one instance of each *component*; two sizes of
+        # the same parameterized component are still the same component.
+        instances = [
+            FakeInstance("queue", {"DEPTH": 32}),
+            FakeInstance("queue", {"DEPTH": 8}),
+        ]
+        selected = select_components(
+            instances, minimal_parameters=lambda name: {"DEPTH": 2}
+        )
+        assert selected == [("queue", {"DEPTH": 2})]
+
+    def test_first_appearance_order(self):
+        instances = [
+            FakeInstance("b"), FakeInstance("a"), FakeInstance("b"),
+        ]
+        selected = select_components(instances)
+        assert [m for m, _ in selected] == ["b", "a"]
+
+
+class TestAggregateMetrics:
+    def test_sums_most_metrics(self):
+        total = aggregate_metrics(
+            [{"Stmts": 100.0, "Cells": 50.0}, {"Stmts": 20.0, "Cells": 5.0}]
+        )
+        assert total == {"Stmts": 120.0, "Cells": 55.0}
+
+    def test_freq_takes_minimum(self):
+        total = aggregate_metrics(
+            [{"Freq": 200.0, "Stmts": 1.0}, {"Freq": 90.0, "Stmts": 1.0}]
+        )
+        assert total["Freq"] == 90.0
+
+    def test_inconsistent_names_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            aggregate_metrics([{"Stmts": 1.0}, {"LoC": 1.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_metrics([])

@@ -1,0 +1,47 @@
+"""Tests for the Table 3 metric registry."""
+
+import pytest
+
+from repro.core.metrics import (
+    METRIC_REGISTRY,
+    MetricSource,
+    metric_definition,
+    software_metric_names,
+    synthesis_metric_names,
+)
+from repro.data.paper import ALL_METRICS
+
+
+class TestRegistry:
+    def test_covers_table3(self):
+        assert set(METRIC_REGISTRY) == set(ALL_METRICS)
+        assert len(METRIC_REGISTRY) == 11
+
+    def test_software_metrics(self):
+        assert set(software_metric_names()) == {"LoC", "Stmts"}
+
+    def test_synthesis_metrics(self):
+        assert set(synthesis_metric_names()) == set(ALL_METRICS) - {"LoC", "Stmts"}
+
+    def test_tool_assignment_matches_table3(self):
+        # Table 3: FanInLC, Freq, FFs from Synplify Pro (FPGA); Nets, Cells,
+        # areas, powers from Design Compiler (ASIC).
+        assert metric_definition("FanInLC").source is MetricSource.FPGA_SYNTHESIS
+        assert metric_definition("Freq").source is MetricSource.FPGA_SYNTHESIS
+        assert metric_definition("FFs").source is MetricSource.FPGA_SYNTHESIS
+        for name in ("Nets", "Cells", "AreaL", "AreaS", "PowerD", "PowerS"):
+            assert metric_definition(name).source is MetricSource.ASIC_SYNTHESIS
+
+    def test_needs_synthesis_flag(self):
+        assert not metric_definition("LoC").needs_synthesis
+        assert metric_definition("Cells").needs_synthesis
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError, match="known metrics"):
+            metric_definition("Transistors")
+
+    def test_units(self):
+        assert metric_definition("AreaL").unit == "um^2"
+        assert metric_definition("PowerD").unit == "mW"
+        assert metric_definition("PowerS").unit == "uW"
+        assert metric_definition("Freq").unit == "MHz"

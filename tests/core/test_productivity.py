@@ -1,0 +1,104 @@
+"""Tests for productivity calibration (Sections 2.4 and 3.1.1)."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import fit_dee1
+from repro.core.productivity import ProductivityLedger, calibrate_productivity
+from repro.data import EffortRecord, paper_dataset
+
+
+@pytest.fixture(scope="module")
+def dee1():
+    return fit_dee1(paper_dataset())
+
+
+def _component(team, name, effort, stmts, faninlc):
+    return EffortRecord(
+        team, name, effort, {"Stmts": float(stmts), "FanInLC": float(faninlc)}
+    )
+
+
+class TestCalibrateProductivity:
+    def test_no_data_gives_prior_median(self, dee1):
+        assert calibrate_productivity(dee1, []) == 1.0
+
+    def test_fast_team_gets_rho_above_one(self, dee1):
+        # A team that finishes in half the unscaled estimate is productive.
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        fast = [_component("New", "c0", unscaled / 2, 1000, 8000)]
+        assert calibrate_productivity(dee1, fast) > 1.0
+
+    def test_slow_team_gets_rho_below_one(self, dee1):
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        slow = [_component("New", "c0", unscaled * 2, 1000, 8000)]
+        assert calibrate_productivity(dee1, slow) < 1.0
+
+    def test_shrinkage_toward_prior(self, dee1):
+        # One observation is shrunk harder than four identical ones.
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        one = [_component("New", "c0", unscaled / 2, 1000, 8000)]
+        four = [
+            _component("New", f"c{i}", unscaled / 2, 1000, 8000)
+            for i in range(4)
+        ]
+        rho_one = calibrate_productivity(dee1, one)
+        rho_four = calibrate_productivity(dee1, four)
+        assert 1.0 < rho_one < rho_four < 2.0
+
+    def test_exact_shrinkage_formula(self, dee1):
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        comp = [_component("New", "c0", unscaled / 2, 1000, 8000)]
+        s2e, s2r = dee1.sigma_eps**2, dee1.sigma_rho**2
+        shrink = s2r / (s2e + s2r)
+        expected = math.exp(-shrink * math.log(0.5))
+        assert calibrate_productivity(dee1, comp) == pytest.approx(expected)
+
+    def test_requires_mixed_model(self):
+        fixed = fit_dee1(paper_dataset(), productivity_adjustment=False)
+        with pytest.raises(ValueError, match="sigma_rho"):
+            calibrate_productivity(
+                fixed, [_component("New", "c0", 1.0, 100, 100)]
+            )
+
+
+class TestProductivityLedger:
+    def test_unseen_team_rho_is_one(self, dee1):
+        assert ProductivityLedger(dee1).rho("Unknown") == 1.0
+
+    def test_record_completion_updates_rho(self, dee1):
+        ledger = ProductivityLedger(dee1)
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        rho = ledger.record_completion(
+            _component("New", "c0", unscaled / 2, 1000, 8000)
+        )
+        assert rho > 1.0
+        assert ledger.completed_count("New") == 1
+
+    def test_successive_completions_sharpen_estimate(self, dee1):
+        # Section 3.1.1: "as some components are completely verified, we can
+        # re-calibrate the model and obtain successively better estimates".
+        ledger = ProductivityLedger(dee1)
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        rhos = []
+        for i in range(5):
+            rhos.append(
+                ledger.record_completion(
+                    _component("New", f"c{i}", unscaled / 2, 1000, 8000)
+                )
+            )
+        assert rhos == sorted(rhos)  # monotone approach toward the truth
+        assert rhos[-1] == pytest.approx(2.0, rel=0.25)
+
+    def test_estimate_remaining_scales_by_rho(self, dee1):
+        ledger = ProductivityLedger(dee1)
+        unscaled = dee1.estimate({"Stmts": 1000.0, "FanInLC": 8000.0})
+        ledger.record_completion(
+            _component("New", "done", unscaled / 2, 1000, 8000)
+        )
+        rho = ledger.rho("New")
+        remaining = {"next": {"Stmts": 2000.0, "FanInLC": 16000.0}}
+        est = ledger.estimate_remaining("New", remaining)
+        raw = dee1.estimate(remaining["next"])
+        assert est["next"] == pytest.approx(raw / rho)

@@ -1,0 +1,119 @@
+"""Tests for the Figure 1 development timeline model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.timeline import (
+    FIGURE1_STAGES,
+    DevelopmentTimeline,
+    Stage,
+    default_timeline,
+)
+
+
+class TestStage:
+    def test_trapezoid_profile(self):
+        s = Stage("x", start=0.0, end=10.0, peak_staff=8.0, ramp_fraction=0.25)
+        assert s.staff_at(-1.0) == 0.0
+        assert s.staff_at(0.0) == 0.0
+        assert s.staff_at(1.25) == pytest.approx(4.0)  # halfway up the ramp
+        assert s.staff_at(5.0) == 8.0                  # plateau
+        assert s.staff_at(8.75) == pytest.approx(4.0)  # halfway down
+        assert s.staff_at(10.0) == 0.0
+        assert s.staff_at(11.0) == 0.0
+
+    def test_person_months_is_trapezoid_area(self):
+        s = Stage("x", 0.0, 10.0, peak_staff=8.0, ramp_fraction=0.25)
+        # area = peak * (duration - ramp) = 8 * (10 - 2.5)
+        assert s.person_months() == pytest.approx(60.0)
+
+    def test_rectangular_profile(self):
+        s = Stage("x", 0.0, 4.0, peak_staff=3.0, ramp_fraction=0.0)
+        assert s.staff_at(0.0) == 3.0
+        assert s.person_months() == pytest.approx(12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Stage("x", 5.0, 5.0, 1.0)
+        with pytest.raises(ValueError):
+            Stage("x", 0.0, 1.0, -1.0)
+        with pytest.raises(ValueError):
+            Stage("x", 0.0, 1.0, 1.0, ramp_fraction=0.6)
+
+    @given(st.floats(0.0, 10.0))
+    def test_staff_never_negative_or_above_peak(self, t):
+        s = Stage("x", 0.0, 10.0, peak_staff=5.0)
+        assert 0.0 <= s.staff_at(t) <= 5.0
+
+
+class TestDefaultTimeline:
+    def test_has_figure1_stages_in_order(self):
+        tl = default_timeline()
+        assert tuple(s.name for s in tl.stages) == FIGURE1_STAGES
+
+    def test_stage_overlaps_match_figure1(self):
+        # RTL implementation starts during high-level design; verification
+        # overlaps implementation; place-and-route overlaps verification;
+        # timing closure is last to finish.
+        tl = default_timeline()
+        hld = tl.stage("High-Level Design")
+        impl = tl.stage("RTL Implementation")
+        verif = tl.stage("RTL Verification")
+        pnr = tl.stage("Place and Route")
+        tc = tl.stage("Timing Closure")
+        assert hld.start < impl.start < hld.end
+        assert impl.start < verif.start < impl.end
+        assert verif.start < pnr.start < verif.end
+        assert tc.end == tl.end
+        assert impl.start > tl.start
+
+    def test_verification_is_biggest_team(self):
+        tl = default_timeline(peak_rtl_staff=20.0)
+        assert tl.stage("RTL Verification").peak_staff > tl.stage(
+            "RTL Implementation"
+        ).peak_staff
+
+    def test_rtl_design_phase_span(self):
+        tl = default_timeline(rtl_months=24.0)
+        start, end = tl.rtl_design_phase()
+        assert start == tl.stage("RTL Implementation").start
+        assert end == tl.stage("RTL Verification").end
+        # The paper quotes 1-2 years between initial RTL and end of
+        # verification; the default sits inside that.
+        assert 12.0 <= end - tl.measurement_point() <= 24.0
+
+    def test_measurement_point_before_verification_end(self):
+        tl = default_timeline()
+        assert tl.measurement_point() < tl.stage("RTL Verification").end
+
+    def test_design_effort_subset_of_total(self):
+        tl = default_timeline()
+        assert 0 < tl.design_effort_person_months() < tl.total_person_months()
+
+    def test_team_size_aggregates_stages(self):
+        tl = default_timeline()
+        t = tl.stage("RTL Verification").start + 0.1
+        assert tl.team_size(t) > tl.stage("RTL Implementation").staff_at(t)
+
+    def test_peak_team_positive(self):
+        assert default_timeline().peak_team_size() > 0
+
+    def test_render_ascii_has_all_stages(self):
+        art = default_timeline().render_ascii()
+        for name in FIGURE1_STAGES:
+            assert name in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            default_timeline(rtl_months=0.0)
+        with pytest.raises(ValueError):
+            default_timeline(peak_rtl_staff=-1.0)
+        with pytest.raises(ValueError):
+            DevelopmentTimeline(stages=())
+        dup = (Stage("a", 0, 1, 1), Stage("a", 1, 2, 1))
+        with pytest.raises(ValueError):
+            DevelopmentTimeline(stages=dup)
+
+    def test_unknown_stage(self):
+        with pytest.raises(KeyError):
+            default_timeline().stage("Tapeout")

@@ -1,0 +1,97 @@
+"""Tests for the end-to-end measurement workflow."""
+
+import pytest
+
+from repro.core.accounting import AccountingPolicy
+from repro.core.workflow import measure_component, parse_component
+from repro.hdl.source import SourceFile
+
+_HIER = SourceFile(
+    "hier.v",
+    """
+    module leaf #(parameter W = 8)(input clk, input [W-1:0] d,
+                                   output reg [W-1:0] q);
+      genvar i;
+      generate
+        for (i = 1; i < W; i = i + 1) begin : g
+          wire t;
+          assign t = d[i] ^ d[i-1];
+        end
+      endgenerate
+      always @(posedge clk) q <= d;
+    endmodule
+
+    module top(input clk, input [7:0] x, output [7:0] y0, y1, y2);
+      leaf #(.W(8)) u0 (.clk(clk), .d(x), .q(y0));
+      leaf #(.W(8)) u1 (.clk(clk), .d(~x), .q(y1));
+      leaf #(.W(8)) u2 (.clk(clk), .d(x ^ 8'h55), .q(y2));
+    endmodule
+    """,
+)
+
+
+class TestMeasureComponent:
+    def test_metrics_complete(self):
+        m = measure_component([_HIER], "top")
+        expected = {
+            "LoC", "Stmts", "FanInLC", "Nets", "Cells", "AreaL", "AreaS",
+            "PowerD", "PowerS", "Freq", "FFs",
+        }
+        assert set(m.metrics) == expected
+
+    def test_accounting_counts_leaf_once(self):
+        m = measure_component([_HIER], "top")
+        modules = [name for name, _ in m.specializations]
+        assert modules.count("leaf") == 1
+        assert modules.count("top") == 1
+
+    def test_accounting_minimizes_parameters(self):
+        m = measure_component([_HIER], "top")
+        leaf_params = next(
+            dict(params) for name, params in m.specializations if name == "leaf"
+        )
+        assert leaf_params["W"] == 2  # the i=1..W-1 chain needs W >= 2
+
+    def test_disabled_policy_counts_every_instance(self):
+        m = measure_component(
+            [_HIER], "top", policy=AccountingPolicy.disabled()
+        )
+        modules = [name for name, _ in m.specializations]
+        assert modules.count("leaf") == 3
+        leaf_params = [
+            dict(params) for name, params in m.specializations if name == "leaf"
+        ]
+        assert all(p["W"] == 8 for p in leaf_params)
+
+    def test_ffs_multiply_without_accounting(self):
+        with_acct = measure_component([_HIER], "top")
+        without = measure_component(
+            [_HIER], "top", policy=AccountingPolicy.disabled()
+        )
+        # 3 instances x 8 FFs vs 1 instance x 2 FFs (minimized width).
+        assert without.metrics["FFs"] == 24
+        assert with_acct.metrics["FFs"] == 2
+
+    def test_software_metrics_policy_independent(self):
+        a = measure_component([_HIER], "top")
+        b = measure_component([_HIER], "top", policy=AccountingPolicy.disabled())
+        assert a.metrics["LoC"] == b.metrics["LoC"]
+        assert a.metrics["Stmts"] == b.metrics["Stmts"]
+
+    def test_identical_specs_synthesized_once(self):
+        m = measure_component(
+            [_HIER], "top", policy=AccountingPolicy.disabled()
+        )
+        # Three identical leaf instances share one synthesis report.
+        assert len(m.reports) == 2  # top + leaf(W=8)
+
+    def test_parse_component_merges_files(self):
+        a = SourceFile("a.v", "module a(input x); endmodule")
+        b = SourceFile("b.v", "module b(input x); a u0 (.x(x)); endmodule")
+        design = parse_component([a, b])
+        assert set(design.modules) == {"a", "b"}
+
+    def test_freq_is_minimum_across_modules(self):
+        m = measure_component([_HIER], "top")
+        freqs = [rep.metrics()["Freq"] for rep in m.reports.values()]
+        assert m.metrics["Freq"] == min(freqs)

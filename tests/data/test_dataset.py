@@ -1,0 +1,131 @@
+"""Tests for the EffortDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import EffortDataset, EffortRecord
+
+
+def _dataset():
+    return EffortDataset(
+        (
+            EffortRecord("A", "fetch", 3.0, {"Stmts": 100.0, "LoC": 300.0}),
+            EffortRecord("A", "decode", 2.0, {"Stmts": 50.0, "LoC": 120.0}),
+            EffortRecord("B", "alu", 1.5, {"Stmts": 80.0, "LoC": 200.0}),
+        )
+    )
+
+
+class TestRecords:
+    def test_label(self):
+        assert _dataset().records[0].label == "A-fetch"
+
+    def test_nonpositive_effort_rejected(self):
+        with pytest.raises(ValueError):
+            EffortRecord("A", "x", 0.0, {})
+
+    def test_negative_metric_rejected(self):
+        with pytest.raises(ValueError):
+            EffortRecord("A", "x", 1.0, {"Stmts": -1.0})
+
+    def test_zero_metric_allowed_in_record(self):
+        # Zero is a legitimate measurement (IVM-Decode has FFs = 0);
+        # flooring happens at fit time, not at storage time.
+        rec = EffortRecord("A", "x", 1.0, {"FFs": 0.0})
+        assert rec.metrics["FFs"] == 0.0
+
+
+class TestDataset:
+    def test_len_iter_teams(self):
+        ds = _dataset()
+        assert len(ds) == 3
+        assert [r.component for r in ds] == ["fetch", "decode", "alu"]
+        assert ds.teams == ("A", "B")
+
+    def test_metric_names_intersection(self):
+        ds = _dataset().add(EffortRecord("C", "y", 1.0, {"Stmts": 5.0}))
+        assert ds.metric_names == ("Stmts",)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            _dataset().add(EffortRecord("A", "fetch", 9.0, {"Stmts": 1.0}))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EffortDataset(())
+
+    def test_filter_teams(self):
+        sub = _dataset().filter_teams(["A"])
+        assert len(sub) == 2
+        assert sub.teams == ("A",)
+
+    def test_filter_unknown_team(self):
+        with pytest.raises(KeyError):
+            _dataset().filter_teams(["Z"])
+
+    def test_without(self):
+        sub = _dataset().without("A-fetch")
+        assert len(sub) == 2
+        with pytest.raises(KeyError):
+            sub.record("A-fetch")
+
+    def test_without_unknown(self):
+        with pytest.raises(KeyError):
+            _dataset().without("nope")
+
+    def test_record_lookup(self):
+        assert _dataset().record("B-alu").effort == 1.5
+
+
+class TestToGrouped:
+    def test_basic_conversion(self):
+        g = _dataset().to_grouped(["Stmts", "LoC"])
+        assert g.metrics.shape == (3, 2)
+        assert g.groups == ("A", "A", "B")
+        assert g.labels == ("A-fetch", "A-decode", "B-alu")
+        assert np.allclose(g.efforts, [3.0, 2.0, 1.5])
+
+    def test_flooring(self):
+        ds = EffortDataset(
+            (
+                EffortRecord("A", "x", 1.0, {"FFs": 0.0}),
+                EffortRecord("B", "y", 2.0, {"FFs": 10.0}),
+            )
+        )
+        g = ds.to_grouped(["FFs"], metric_floor=1.0)
+        assert list(g.metrics[:, 0]) == [1.0, 10.0]
+
+    def test_missing_metric(self):
+        with pytest.raises(KeyError):
+            _dataset().to_grouped(["Cells"])
+
+    def test_empty_selection(self):
+        with pytest.raises(ValueError):
+            _dataset().to_grouped([])
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_text(self):
+        ds = _dataset()
+        text = ds.to_csv()
+        back = EffortDataset.from_csv(text)
+        assert len(back) == len(ds)
+        for a, b in zip(ds, back):
+            assert a.label == b.label
+            assert a.effort == b.effort
+            assert a.metrics == b.metrics
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "db.csv"
+        _dataset().to_csv(path)
+        back = EffortDataset.from_csv(path)
+        assert len(back) == 3
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            EffortDataset.from_csv("x,y,z\n1,2,3\n")
+
+    def test_ragged_row(self):
+        text = "team,component,effort,Stmts\nA,x,1.0\n"
+        with pytest.raises(ValueError, match="fields"):
+            EffortDataset.from_csv(text)

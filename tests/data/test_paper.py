@@ -1,0 +1,111 @@
+"""Tests for the embedded paper data (Tables 1, 2, 4)."""
+
+import pytest
+
+from repro.data import paper_dataset
+from repro.data.paper import (
+    ALL_METRICS,
+    DESIGN_CHARACTERISTICS,
+    PAPER_AIC,
+    PAPER_BIC,
+    PAPER_COMPONENTS,
+    PAPER_DEE1_ESTIMATES,
+    PAPER_SIGMA_EPS,
+    PAPER_SIGMA_EPS_NO_RHO,
+    SOFTWARE_METRICS,
+    SYNTHESIS_METRICS,
+    TABLE2_EFFORTS,
+)
+
+
+class TestTable4Data:
+    def test_eighteen_components(self):
+        assert len(paper_dataset()) == 18
+        assert len(PAPER_COMPONENTS) == 18
+
+    def test_four_teams(self):
+        assert paper_dataset().teams == ("Leon3", "PUMA", "IVM", "RAT")
+
+    def test_team_sizes(self):
+        ds = paper_dataset()
+        sizes = {t: sum(1 for r in ds if r.team == t) for t in ds.teams}
+        assert sizes == {"Leon3": 4, "PUMA": 5, "IVM": 7, "RAT": 2}
+
+    def test_all_eleven_metrics_present(self):
+        ds = paper_dataset()
+        assert set(ds.metric_names) == set(ALL_METRICS)
+        assert len(ALL_METRICS) == 11
+
+    def test_spot_check_values(self):
+        ds = paper_dataset()
+        pipe = ds.record("Leon3-Pipeline")
+        assert pipe.effort == 24.0
+        assert pipe.metrics["Stmts"] == 2070
+        assert pipe.metrics["FanInLC"] == 10502
+        mem = ds.record("IVM-Memory")
+        assert mem.metrics["Nets"] == 23247
+        assert mem.metrics["AreaS"] == 625952
+        rat = ds.record("RAT-Standard")
+        assert rat.effort == 0.6
+        assert rat.metrics["LoC"] == 250
+
+    def test_known_zero_metrics(self):
+        # IVM-Decode and IVM-Execute have zero flip-flops in Table 4.
+        ds = paper_dataset()
+        assert ds.record("IVM-Decode").metrics["FFs"] == 0.0
+        assert ds.record("IVM-Execute").metrics["FFs"] == 0.0
+
+    def test_efforts_positive(self):
+        assert all(r.effort > 0 for r in paper_dataset())
+
+    def test_metric_partition(self):
+        assert set(SOFTWARE_METRICS) | set(SYNTHESIS_METRICS) == set(ALL_METRICS)
+        assert not set(SOFTWARE_METRICS) & set(SYNTHESIS_METRICS)
+
+
+class TestPublishedAccuracy:
+    def test_sigma_tables_cover_all_estimators(self):
+        expected = set(ALL_METRICS) | {"DEE1"}
+        assert set(PAPER_SIGMA_EPS) == expected
+        assert set(PAPER_SIGMA_EPS_NO_RHO) == expected
+
+    def test_ordering_matches_paper_narrative(self):
+        # DEE1 best, then Stmts, then LoC/FanInLC, Nets; FFs worst.
+        s = PAPER_SIGMA_EPS
+        assert s["DEE1"] < s["Stmts"] < s["LoC"] <= s["FanInLC"] < s["Nets"]
+        assert max(s, key=s.get) == "FFs"
+
+    def test_information_criteria(self):
+        assert PAPER_AIC["DEE1"] < PAPER_AIC["Stmts"]
+        assert PAPER_BIC["DEE1"] < PAPER_BIC["Stmts"]
+
+    def test_dee1_estimates_for_figure5(self):
+        assert PAPER_DEE1_ESTIMATES["Leon3-Pipeline"] == pytest.approx(12.8)
+        assert len(PAPER_DEE1_ESTIMATES) == 18
+
+
+class TestTables1And2:
+    def test_table1_designs(self):
+        assert set(DESIGN_CHARACTERISTICS) == {"Leon3", "PUMA", "IVM", "RAT"}
+        assert DESIGN_CHARACTERISTICS["Leon3"]["hdl"] == "VHDL-89"
+        assert DESIGN_CHARACTERISTICS["IVM"]["fetch_width"] == 8
+        assert DESIGN_CHARACTERISTICS["PUMA"]["pipeline_stages"] == 9
+
+    def test_table2_labels_match_table4(self):
+        assert set(TABLE2_EFFORTS) == set(PAPER_COMPONENTS)
+
+    def test_table2_table4_rat_discrepancy_preserved(self):
+        # The paper prints 0.3/0.5 in Table 2 but 0.6/1.0 in Table 4; we
+        # keep both and fit against Table 4 (which the sigma values match).
+        ds = paper_dataset()
+        assert TABLE2_EFFORTS["RAT-Standard"] == 0.3
+        assert ds.record("RAT-Standard").effort == 0.6
+        assert TABLE2_EFFORTS["RAT-Sliding"] == 0.5
+        assert ds.record("RAT-Sliding").effort == 1.0
+
+    def test_table2_other_efforts_agree_with_table4(self):
+        ds = paper_dataset()
+        for label, effort in TABLE2_EFFORTS.items():
+            if label.startswith("RAT"):
+                continue
+            assert ds.record(label).effort == effort

@@ -1,0 +1,69 @@
+"""Tests for the bundled design catalog."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.data.paper import PAPER_COMPONENTS, TABLE2_EFFORTS, paper_dataset
+from repro.designs.catalog import CATALOG, component_specs
+from repro.designs.loader import _RTL_ROOT, load_sources
+
+
+class TestCatalogShape:
+    def test_four_designs(self):
+        assert set(CATALOG) == {"Leon3", "PUMA", "IVM", "RAT"}
+
+    def test_component_count_matches_table2(self):
+        assert len(component_specs()) == 18
+
+    def test_labels_match_paper_components(self):
+        labels = {c.label for c in component_specs()}
+        assert labels == set(PAPER_COMPONENTS)
+
+    def test_hdl_languages_match_table1(self):
+        assert CATALOG["Leon3"].hdl == "VHDL-89"
+        assert CATALOG["PUMA"].hdl == "Verilog-95"
+        assert CATALOG["IVM"].hdl == "Verilog-95"
+        assert CATALOG["RAT"].hdl == "Verilog-2001"
+
+    def test_efforts_match_published_values(self):
+        ds = paper_dataset()
+        for spec in component_specs():
+            # RAT efforts follow the Table 4 column (see repro.data.paper).
+            assert spec.effort == ds.record(spec.label).effort
+
+    def test_every_rtl_file_exists(self):
+        for spec in component_specs():
+            for rel in spec.files:
+                assert (_RTL_ROOT / rel).is_file(), rel
+
+    def test_file_extensions_match_language(self):
+        for spec in component_specs():
+            expected = ".vhd" if spec.design == "Leon3" else ".v"
+            for rel in spec.files:
+                assert rel.endswith(expected)
+
+
+class TestSourceLoading:
+    def test_load_sources(self):
+        spec = CATALOG["RAT"].components[0]
+        sources = load_sources(spec)
+        assert len(sources) == len(spec.files)
+        assert "module rat_standard" in sources[0].text
+
+    def test_language_style_is_authentic(self):
+        """Verilog-95 designs use non-ANSI headers (no generate); the RAT
+        designs use the Verilog-2001 style; Leon3 is VHDL."""
+        from repro.hdl import parse_source
+
+        for spec in component_specs():
+            for source in load_sources(spec):
+                design = parse_source(source)
+                expected = {
+                    "PUMA": "verilog95",
+                    "IVM": "verilog95",
+                    "RAT": "verilog2001",
+                    "Leon3": "vhdl",
+                }[spec.design]
+                for module in design.modules.values():
+                    assert module.language == expected, module.name

@@ -1,0 +1,117 @@
+"""Tests for constant evaluation and substitution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.elab.consteval import ConstEvalError, eval_const, is_const, substitute
+from repro.hdl import ast
+
+
+def _b(op, l, r):
+    return ast.Binary(op, ast.Number(l), ast.Number(r))
+
+
+class TestEvalConst:
+    @pytest.mark.parametrize(
+        "op, l, r, expected",
+        [
+            ("+", 3, 4, 7), ("-", 3, 4, -1), ("*", 3, 4, 12),
+            ("/", 9, 2, 4), ("%", 9, 2, 1),
+            ("&", 0b1100, 0b1010, 0b1000), ("|", 0b1100, 0b1010, 0b1110),
+            ("^", 0b1100, 0b1010, 0b0110),
+            ("<<", 1, 4, 16), (">>", 16, 2, 4),
+            ("==", 3, 3, 1), ("!=", 3, 3, 0),
+            ("<", 2, 3, 1), ("<=", 3, 3, 1), (">", 2, 3, 0), (">=", 3, 3, 1),
+            ("&&", 2, 3, 1), ("&&", 0, 3, 0), ("||", 0, 0, 0), ("||", 0, 7, 1),
+        ],
+    )
+    def test_binary_ops(self, op, l, r, expected):
+        assert eval_const(_b(op, l, r)) == expected
+
+    def test_identifier_from_env(self):
+        assert eval_const(ast.Ident("W"), {"W": 8}) == 8
+
+    def test_unknown_identifier(self):
+        with pytest.raises(ConstEvalError, match="W"):
+            eval_const(ast.Ident("W"))
+
+    def test_unary(self):
+        assert eval_const(ast.Unary("-", ast.Number(5))) == -5
+        assert eval_const(ast.Unary("~", ast.Number(0))) == -1
+        assert eval_const(ast.Unary("!", ast.Number(0))) == 1
+        assert eval_const(ast.Unary("!", ast.Number(9))) == 0
+
+    def test_ternary(self):
+        e = ast.Ternary(ast.Ident("W"), ast.Number(10), ast.Number(20))
+        assert eval_const(e, {"W": 1}) == 10
+        assert eval_const(e, {"W": 0}) == 20
+
+    def test_division_by_zero(self):
+        with pytest.raises(ConstEvalError, match="zero"):
+            eval_const(_b("/", 1, 0))
+
+    def test_resize_masks(self):
+        assert eval_const(ast.Resize(ast.Number(255), ast.Number(4))) == 15
+
+    def test_concat_of_sized_numbers(self):
+        e = ast.Concat((ast.Number(0b10, 2), ast.Number(0b01, 2)))
+        assert eval_const(e) == 0b1001
+
+    def test_concat_needs_widths(self):
+        with pytest.raises(ConstEvalError, match="width"):
+            eval_const(ast.Concat((ast.Number(1), ast.Number(2))))
+
+    def test_repeat(self):
+        e = ast.Repeat(ast.Number(3), ast.Number(0b1, 1))
+        assert eval_const(e) == 0b111
+
+    def test_signal_reference_not_constant(self):
+        e = ast.Select(ast.Ident("bus"), ast.Number(0))
+        with pytest.raises(ConstEvalError):
+            eval_const(e, {"bus": 1})
+
+    def test_is_const(self):
+        assert is_const(_b("+", 1, 2))
+        assert not is_const(ast.Ident("x"))
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_matches_python_arithmetic(self, a, b):
+        assert eval_const(_b("+", a, b)) == a + b
+        assert eval_const(_b("*", a, b)) == a * b
+
+
+class TestSubstitute:
+    def test_ident_replaced(self):
+        e = substitute(ast.Ident("i"), {"i": ast.Number(3)})
+        assert e == ast.Number(3)
+
+    def test_unbound_ident_kept(self):
+        e = substitute(ast.Ident("x"), {"i": ast.Number(3)})
+        assert e == ast.Ident("x")
+
+    def test_nested(self):
+        e = ast.Binary(
+            "+", ast.Select(ast.Ident("bus"), ast.Ident("i")), ast.Ident("i")
+        )
+        out = substitute(e, {"i": ast.Number(2)})
+        assert out.rhs == ast.Number(2)
+        assert out.lhs.index == ast.Number(2)
+
+    def test_replacement_with_expression(self):
+        e = substitute(ast.Ident("x"), {"x": ast.Binary("+", ast.Ident("y"), ast.Number(1))})
+        assert isinstance(e, ast.Binary)
+
+    def test_all_node_kinds(self):
+        i3 = {"i": ast.Number(3)}
+        cases = [
+            ast.PartSelect(ast.Ident("i"), ast.Ident("i"), ast.Ident("i")),
+            ast.Concat((ast.Ident("i"),)),
+            ast.Repeat(ast.Ident("i"), ast.Ident("i")),
+            ast.Ternary(ast.Ident("i"), ast.Ident("i"), ast.Ident("i")),
+            ast.Resize(ast.Ident("i"), ast.Ident("i")),
+            ast.Others(ast.Ident("i")),
+            ast.Unary("~", ast.Ident("i")),
+        ]
+        for expr in cases:
+            out = substitute(expr, i3)
+            assert "Ident" not in repr(out)

@@ -1,0 +1,159 @@
+"""Tests for the parameter-scaling degeneracy analysis (Section 2.2)."""
+
+import pytest
+
+from repro.elab import degeneracy_events, is_degenerate, minimal_parameters
+from repro.hdl import parse_verilog
+from repro.hdl.source import SourceFile
+
+
+def _design(text):
+    return parse_verilog(SourceFile("t.v", text))
+
+
+_QUEUE = """
+module queue #(parameter W = 8, D = 16)(
+  input clk,
+  input [W-1:0] din,
+  output [W-1:0] dout
+);
+  reg [W-1:0] mem [0:D-1];
+  genvar i;
+  generate
+    for (i = 1; i < W; i = i + 1) begin : chain
+      wire t;
+      assign t = din[i] ^ din[i-1];
+    end
+  endgenerate
+  if (W > 1) begin
+    wire msb;
+    assign msb = din[W-1];
+  end
+  assign dout = mem[0];
+  always @(posedge clk) mem[0] <= din;
+endmodule
+"""
+
+
+class TestDegeneracyEvents:
+    def test_no_events_at_healthy_parameters(self):
+        assert degeneracy_events(_design(_QUEUE), "queue", {"W": 4, "D": 4}) == []
+
+    def test_zero_trip_generate_loop(self):
+        events = degeneracy_events(_design(_QUEUE), "queue", {"W": 1, "D": 4})
+        kinds = {e.kind for e in events}
+        assert "zero-trip-loop" in kinds
+        assert "dead-conditional" in kinds  # the if (W > 1) block vanishes
+
+    def test_elaboration_failure_is_degenerate(self):
+        events = degeneracy_events(_design(_QUEUE), "queue", {"W": 4, "D": 0})
+        assert events[0].kind == "elaboration-failure"
+
+    def test_is_degenerate_wrapper(self):
+        design = _design(_QUEUE)
+        assert is_degenerate(design, "queue", {"W": 1, "D": 2})
+        assert not is_degenerate(design, "queue", {"W": 2, "D": 1})
+
+    def test_procedural_zero_trip_loop(self):
+        design = _design(
+            """
+            module m #(parameter N = 4)(input [7:0] a, output reg p);
+              always @(*) begin
+                p = 1'b0;
+                for (i = 1; i < N; i = i + 1) p = p ^ a[i];
+              end
+              integer i;
+            endmodule
+            """
+        )
+        events = degeneracy_events(design, "m", {"N": 1})
+        assert any(e.kind == "zero-trip-loop" for e in events)
+        assert degeneracy_events(design, "m", {"N": 2}) == []
+
+    def test_constant_procedural_conditional(self):
+        design = _design(
+            """
+            module m #(parameter WIDE = 1)(input [7:0] a, output reg y);
+              always @(*) begin
+                y = a[0];
+                if (WIDE > 1) y = a[7];
+              end
+            endmodule
+            """
+        )
+        events = degeneracy_events(design, "m", {"WIDE": 1})
+        assert any(e.kind == "dead-conditional" for e in events)
+        assert degeneracy_events(design, "m", {"WIDE": 2}) == []
+
+    def test_child_degeneracy_propagates(self):
+        design = _design(
+            """
+            module leaf #(parameter W = 4)(input [W-1:0] a);
+              genvar i;
+              for (i = 1; i < W; i = i + 1) begin : g
+                wire t;
+                assign t = a[i];
+              end
+            endmodule
+            module top #(parameter W = 4)(input [W-1:0] x);
+              leaf #(.W(W)) u0 (.a(x));
+            endmodule
+            """
+        )
+        events = degeneracy_events(design, "top", {"W": 1})
+        assert any(e.module == "leaf" for e in events)
+
+    def test_event_str_includes_location(self):
+        events = degeneracy_events(_design(_QUEUE), "queue", {"W": 1, "D": 4})
+        assert any("queue:" in str(e) for e in events)
+
+
+class TestMinimalParameters:
+    def test_queue_minimal(self):
+        # W needs 2 (the i=1..W-1 chain and the W>1 guard); D needs only 1.
+        assert minimal_parameters(_design(_QUEUE), "queue") == {"W": 2, "D": 1}
+
+    def test_unparameterized_module(self):
+        design = _design("module m(input a); endmodule")
+        assert minimal_parameters(design, "m") == {}
+
+    def test_plain_width_parameter_minimizes_to_one(self):
+        design = _design(
+            "module m #(parameter W = 32)(input [W-1:0] a, output [W-1:0] y);"
+            " assign y = ~a; endmodule"
+        )
+        assert minimal_parameters(design, "m") == {"W": 1}
+
+    def test_interacting_parameters(self):
+        # LOG must stay consistent with DEPTH: the loop needs DEPTH >= 2 and
+        # the address width needs LOG >= 1.
+        design = _design(
+            """
+            module m #(parameter DEPTH = 16, LOG = 4)(
+              input [LOG-1:0] addr, output [DEPTH-1:0] onehot
+            );
+              genvar i;
+              for (i = 1; i < DEPTH; i = i + 1) begin : dec
+                assign onehot[i] = (addr == i);
+              end
+              assign onehot[0] = (addr == 0);
+            endmodule
+            """
+        )
+        minimal = minimal_parameters(design, "m")
+        assert minimal["DEPTH"] == 2
+        assert minimal["LOG"] == 1
+
+    def test_default_kept_when_unsatisfiable(self):
+        # Degenerate at every value: an if/else whose both branches are
+        # non-empty folds either way, so the default is retained.
+        design = _design(
+            """
+            module m #(parameter MODE = 3)(input a, output reg y);
+              always @(*) begin
+                if (MODE > 0) y = a; else y = ~a;
+              end
+            endmodule
+            """
+        )
+        assert minimal_parameters(design, "m") == {"MODE": 3}

@@ -1,0 +1,262 @@
+"""Tests for hierarchy elaboration."""
+
+import pytest
+
+from repro.elab import ElaborationError, elaborate
+from repro.hdl import parse_verilog, parse_vhdl
+from repro.hdl.source import SourceFile
+
+
+def _design(text, name="t.v"):
+    return parse_verilog(SourceFile(name, text))
+
+
+class TestParameters:
+    def test_defaults_and_overrides(self):
+        design = _design(
+            "module m #(parameter W = 4, D = W * 2)(input [W-1:0] a); endmodule"
+        )
+        h = elaborate(design, "m")
+        assert h.top.parameters == {"W": 4, "D": 8}
+        h2 = elaborate(design, "m", {"W": 16})
+        assert h2.top.parameters == {"W": 16, "D": 32}
+
+    def test_localparam_in_env_not_key(self):
+        design = _design(
+            """
+            module m(input a);
+              parameter W = 4;
+              localparam HALF = W / 2;
+            endmodule
+            """
+        )
+        h = elaborate(design, "m")
+        assert h.top.parameters == {"W": 4}
+        assert h.top.env == {"W": 4, "HALF": 2}
+
+    def test_unknown_override_rejected(self):
+        design = _design("module m(input a); endmodule")
+        with pytest.raises(ElaborationError, match="unknown parameter"):
+            elaborate(design, "m", {"Z": 1})
+
+    def test_port_width_from_parameter(self):
+        design = _design("module m #(parameter W = 12)(input [W-1:0] a); endmodule")
+        h = elaborate(design, "m", {"W": 7})
+        assert h.top.signal("a").width == 7
+
+    def test_nonpositive_width_rejected(self):
+        design = _design("module m #(parameter W = 4)(input [W-1:0] a); endmodule")
+        with pytest.raises(ElaborationError, match="width"):
+            elaborate(design, "m", {"W": 0})
+
+    def test_same_params_share_specialization(self):
+        design = _design(
+            """
+            module leaf #(parameter W = 4)(input [W-1:0] a); endmodule
+            module top(input [3:0] x);
+              leaf #(.W(4)) u0 (.a(x));
+              leaf u1 (.a(x));
+            endmodule
+            """
+        )
+        h = elaborate(design, "top")
+        leaf_specs = [k for k in h.specializations if k[0] == "leaf"]
+        assert len(leaf_specs) == 1
+
+    def test_different_params_distinct_specializations(self):
+        design = _design(
+            """
+            module leaf #(parameter W = 4)(input [W-1:0] a); endmodule
+            module top(input [7:0] x);
+              leaf #(.W(4)) u0 (.a(x[3:0]));
+              leaf #(.W(8)) u1 (.a(x));
+            endmodule
+            """
+        )
+        h = elaborate(design, "top")
+        leaf_specs = [k for k in h.specializations if k[0] == "leaf"]
+        assert len(leaf_specs) == 2
+
+
+class TestGenerate:
+    def test_for_unrolled_with_renamed_signals(self):
+        design = _design(
+            """
+            module m(input [3:0] a, output [3:0] y);
+              genvar i;
+              generate
+                for (i = 0; i < 4; i = i + 1) begin : lane
+                  wire t;
+                  assign t = ~a[i];
+                  assign y[i] = t;
+                end
+              endgenerate
+            endmodule
+            """
+        )
+        spec = elaborate(design, "m").top
+        names = [n for n in spec.signals if n.startswith("lane_")]
+        assert len(names) == 4
+        assert len(spec.assigns) == 8
+
+    def test_genvar_value_substituted(self):
+        design = _design(
+            """
+            module m(input [7:0] a, output [1:0] y);
+              genvar i;
+              for (i = 0; i < 2; i = i + 1) begin : g
+                assign y[i] = a[i * 3];
+              end
+            endmodule
+            """
+        )
+        from repro.elab.consteval import eval_const
+
+        spec = elaborate(design, "m").top
+        indices = sorted(eval_const(a.value.index) for a in spec.assigns)
+        assert indices == [0, 3]
+
+    def test_generate_if_selects_branch(self):
+        design = _design(
+            """
+            module m #(parameter FAST = 1)(input a, output y);
+              if (FAST) begin
+                assign y = a;
+              end else begin
+                assign y = ~a;
+              end
+            endmodule
+            """
+        )
+        fast = elaborate(design, "m", {"FAST": 1}).top
+        slow = elaborate(design, "m", {"FAST": 0}).top
+        assert len(fast.assigns) == 1 and len(slow.assigns) == 1
+        assert repr(fast.assigns[0]) != repr(slow.assigns[0])
+
+    def test_generate_instances_get_prefixed_names(self):
+        design = _design(
+            """
+            module leaf(input a); endmodule
+            module m(input [2:0] x);
+              genvar i;
+              for (i = 0; i < 3; i = i + 1) begin : row
+                leaf u (.a(x[i]));
+              end
+            endmodule
+            """
+        )
+        spec = elaborate(design, "m").top
+        assert sorted(i.name for i in spec.instances) == [
+            "row_0__u", "row_1__u", "row_2__u",
+        ]
+
+    def test_nested_generate(self):
+        design = _design(
+            """
+            module m(output [5:0] y);
+              genvar i, j;
+              for (i = 0; i < 2; i = i + 1) begin : outer
+                for (j = 0; j < 3; j = j + 1) begin : inner
+                  assign y[i * 3 + j] = 1'b1;
+                end
+              end
+            endmodule
+            """
+        )
+        spec = elaborate(design, "m").top
+        assert len(spec.assigns) == 6
+
+
+class TestInstances:
+    def test_positional_connections_resolved(self):
+        design = _design(
+            """
+            module leaf(input a, output y); assign y = ~a; endmodule
+            module m(input x, output z);
+              leaf u0 (x, z);
+            endmodule
+            """
+        )
+        inst = elaborate(design, "m").top.instances[0]
+        assert [c[0] for c in inst.connections] == ["a", "y"]
+
+    def test_positional_parameters_resolved(self):
+        design = _design(
+            """
+            module leaf #(parameter W = 1, D = 2)(input [W-1:0] a); endmodule
+            module m(input [7:0] x);
+              leaf #(8, 4) u0 (.a(x));
+            endmodule
+            """
+        )
+        inst = elaborate(design, "m").top.instances[0]
+        assert dict(inst.parameters) == {"W": 8, "D": 4}
+
+    def test_missing_module(self):
+        design = _design("module m(input a); ghost u0 (.x(a)); endmodule")
+        with pytest.raises(ElaborationError, match="ghost"):
+            elaborate(design, "m")
+
+    def test_bad_port_name(self):
+        design = _design(
+            """
+            module leaf(input a); endmodule
+            module m(input x); leaf u0 (.nope(x)); endmodule
+            """
+        )
+        with pytest.raises(ElaborationError, match="nope"):
+            elaborate(design, "m")
+
+    def test_recursion_detected(self):
+        design = _design(
+            "module m(input a); m u0 (.a(a)); endmodule"
+        )
+        with pytest.raises(ElaborationError, match="recursive"):
+            elaborate(design, "m")
+
+    def test_all_instances_multiplies_occurrences(self):
+        design = _design(
+            """
+            module c(input a); endmodule
+            module b(input a); c u0 (.a(a)); c u1 (.a(a)); endmodule
+            module top(input a);
+              b x0 (.a(a));
+              b x1 (.a(a));
+              b x2 (.a(a));
+            endmodule
+            """
+        )
+        h = elaborate(design, "top")
+        instances = h.all_instances()
+        names = [i.module_name for i in instances]
+        assert names.count("top") == 1
+        assert names.count("b") == 3
+        assert names.count("c") == 6  # 3 b's, each containing 2 c's
+
+
+class TestVhdlElaboration:
+    def test_generic_flow(self):
+        design = parse_vhdl(
+            SourceFile(
+                "c.vhd",
+                """
+                entity cnt is
+                  generic ( w : integer := 4 );
+                  port ( clk : in std_logic;
+                         q : out std_logic_vector(w-1 downto 0) );
+                end cnt;
+                architecture rtl of cnt is
+                  signal r : unsigned(w-1 downto 0);
+                begin
+                  process (clk) begin
+                    if rising_edge(clk) then r <= r + 1; end if;
+                  end process;
+                  q <= std_logic_vector(r);
+                end rtl;
+                """,
+            )
+        )
+        spec = elaborate(design, "cnt", {"w": 6}).top
+        assert spec.signal("q").width == 6
+        assert spec.signal("r").width == 6
+        assert len(spec.processes) == 1

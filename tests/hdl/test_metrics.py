@@ -1,0 +1,119 @@
+"""Tests for LoC and Stmts counting."""
+
+import pytest
+
+from repro.hdl import count_loc, count_statements, parse_verilog, parse_vhdl
+from repro.hdl.source import SourceFile
+
+
+class TestLoc:
+    def test_blank_and_comment_lines_excluded(self):
+        src = SourceFile(
+            "t.v",
+            "module m(input a);\n\n// comment only\nassign y = a; // trailing\n"
+            "/* block\n   spanning */\nendmodule\n",
+        )
+        # Counted: module, assign(with trailing comment), endmodule.
+        assert count_loc(src) == 3
+
+    def test_vhdl_comments(self):
+        src = SourceFile(
+            "t.vhd",
+            "entity e is\n-- pure comment\nend e;  -- trailing\n\n",
+        )
+        assert count_loc(src) == 2
+
+    def test_block_comment_preserves_line_count_semantics(self):
+        src = SourceFile("t.v", "a /* x */ b\nc\n")
+        assert count_loc(src) == 2
+
+    def test_empty_file(self):
+        assert count_loc(SourceFile("t.v", "")) == 0
+
+
+class TestStmts:
+    def test_verilog_statement_count(self):
+        design = parse_verilog(
+            SourceFile(
+                "t.v",
+                """
+                module m(input clk, input [3:0] d, output reg [3:0] q);
+                  wire [3:0] inv;
+                  assign inv = ~d;
+                  always @(posedge clk) begin
+                    if (d[0]) q <= inv;
+                    else q <= d;
+                  end
+                endmodule
+                """,
+            )
+        )
+        # ports(3) + wire decl(1) + assign(1) + always(1) + if(1) + 2 assigns
+        assert count_statements(design) == 9
+
+    def test_case_arms_counted_via_bodies(self):
+        design = parse_verilog(
+            SourceFile(
+                "t.v",
+                """
+                module m(input [1:0] s, output reg y);
+                  always @(*) begin
+                    case (s)
+                      2'b00: y = 1'b0;
+                      default: y = 1'b1;
+                    endcase
+                  end
+                endmodule
+                """,
+            )
+        )
+        # ports(2) + always(1) + case(1) + 2 assigns
+        assert count_statements(design) == 6
+
+    def test_generate_counted_once(self):
+        design = parse_verilog(
+            SourceFile(
+                "t.v",
+                """
+                module m(input [7:0] a, output [7:0] y);
+                  genvar i;
+                  generate
+                    for (i = 0; i < 8; i = i + 1) begin : g
+                      assign y[i] = ~a[i];
+                    end
+                  endgenerate
+                endmodule
+                """,
+            )
+        )
+        # ports(2) + generate-for(1) + assign(1): NOT multiplied by 8.
+        assert count_statements(design) == 4
+
+    def test_single_module_countable(self):
+        design = parse_verilog(
+            SourceFile("t.v", "module a(input x); endmodule module b(input y); endmodule")
+        )
+        assert count_statements(design.modules["a"]) == 1
+        assert count_statements(design) == 2
+
+    def test_vhdl_and_verilog_comparable(self):
+        # The same tiny register written both ways: VHDL is more verbose in
+        # LoC but similar in statements, which is the Section 5.2 point.
+        v = SourceFile(
+            "r.v",
+            "module r(input clk, input d, output reg q);\n"
+            "always @(posedge clk) q <= d;\nendmodule\n",
+        )
+        vh = SourceFile(
+            "r.vhd",
+            "entity r is\n  port ( clk : in std_logic;\n"
+            "         d : in std_logic;\n         q : out std_logic );\n"
+            "end entity;\narchitecture rtl of r is\nbegin\n"
+            "  process (clk)\n  begin\n    if rising_edge(clk) then\n"
+            "      q <= d;\n    end if;\n  end process;\nend architecture;\n",
+        )
+        loc_v, loc_vh = count_loc(v), count_loc(vh)
+        stmts_v = count_statements(parse_verilog(v))
+        stmts_vh = count_statements(parse_vhdl(vh))
+        assert loc_vh > loc_v
+        assert abs(stmts_vh - stmts_v) <= 1

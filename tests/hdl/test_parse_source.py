@@ -1,0 +1,97 @@
+"""Tests for language dispatch and frontend error paths."""
+
+import pytest
+
+from repro.hdl import parse_source
+from repro.hdl.source import HdlSyntaxError, SourceFile
+
+
+class TestDispatch:
+    def test_verilog_extension(self):
+        design = parse_source(SourceFile("a.v", "module m(input x); endmodule"))
+        assert "m" in design.modules
+
+    def test_vhdl_extension(self):
+        design = parse_source(
+            SourceFile(
+                "a.vhd",
+                "entity e is port ( x : in std_logic ); end e;"
+                "architecture r of e is begin end r;",
+            )
+        )
+        assert "e" in design.modules
+
+    def test_unknown_extension_rejected(self):
+        with pytest.raises(ValueError, match="extension"):
+            parse_source(SourceFile("a.txt", ""))
+
+
+class TestVhdlErrorPaths:
+    def _parse(self, text):
+        return parse_source(SourceFile("t.vhd", text))
+
+    def test_process_variables_rejected(self):
+        with pytest.raises(HdlSyntaxError, match="variable"):
+            self._parse(
+                "entity e is port ( x : in std_logic ); end e;"
+                "architecture r of e is begin"
+                " process (x) variable v : std_logic; begin end process;"
+                " end r;"
+            )
+
+    def test_bad_port_direction(self):
+        with pytest.raises(HdlSyntaxError, match="direction"):
+            self._parse("entity e is port ( x : sideways std_logic ); end e;")
+
+    def test_unknown_type(self):
+        with pytest.raises(HdlSyntaxError, match="unknown type"):
+            self._parse("entity e is port ( x : in my_record_t ); end e;")
+
+    def test_array_port_rejected(self):
+        with pytest.raises(HdlSyntaxError):
+            self._parse(
+                "entity e is port ( x : in mem_t ); end e;"
+            )
+
+    def test_nested_array_type_rejected(self):
+        with pytest.raises(HdlSyntaxError, match="nested array"):
+            self._parse(
+                "entity e is port ( x : in std_logic ); end e;"
+                "architecture r of e is"
+                " type row is array (0 to 3) of std_logic_vector(7 downto 0);"
+                " type grid is array (0 to 3) of row;"
+                " begin end r;"
+            )
+
+    def test_unsupported_attribute(self):
+        with pytest.raises(HdlSyntaxError, match="attribute"):
+            self._parse(
+                "entity e is port ( x : in std_logic_vector(3 downto 0);"
+                " y : out std_logic ); end e;"
+                "architecture r of e is begin y <= x'left; end r;"
+            )
+
+    def test_source_file_line_lookup(self):
+        src = SourceFile("t.vhd", "one\ntwo\nthree")
+        assert src.line(2) == "two"
+        with pytest.raises(IndexError):
+            src.line(9)
+
+
+class TestVerilogErrorPaths:
+    def _parse(self, text):
+        return parse_source(SourceFile("t.v", text))
+
+    def test_unterminated_module(self):
+        with pytest.raises(HdlSyntaxError, match="unterminated"):
+            self._parse("module m(input a);")
+
+    def test_mixed_ansi_and_body_directions(self):
+        with pytest.raises(HdlSyntaxError, match="mixes"):
+            self._parse(
+                "module m(input a); input b; endmodule"
+            )
+
+    def test_expression_error_has_location(self):
+        with pytest.raises(HdlSyntaxError, match="t.v:2"):
+            self._parse("module m(input a);\nassign y = ~;\nendmodule")

@@ -1,0 +1,89 @@
+"""Tests for the uVerilog tokenizer."""
+
+import pytest
+
+from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.hdl.verilog.lexer import EOF, ID, NUMBER, OP, SIZED_NUMBER, tokenize
+
+
+def _toks(text):
+    return tokenize(SourceFile("t.v", text))
+
+
+class TestTokens:
+    def test_identifiers_and_ops(self):
+        toks = _toks("assign y = a & b;")
+        kinds = [(t.kind, t.value) for t in toks[:-1]]
+        assert kinds == [
+            (ID, "assign"), (ID, "y"), (OP, "="), (ID, "a"), (OP, "&"),
+            (ID, "b"), (OP, ";"),
+        ]
+        assert toks[-1].kind == EOF
+
+    def test_dollar_identifiers(self):
+        toks = _toks("$signed")
+        assert toks[0].kind == ID and toks[0].value == "$signed"
+
+    def test_decimal_number(self):
+        tok = _toks("42")[0]
+        assert tok.kind == NUMBER
+        assert tok.int_value == 42
+        assert tok.width is None
+
+    def test_underscored_number(self):
+        assert _toks("1_000")[0].int_value == 1000
+
+    @pytest.mark.parametrize(
+        "text, value, width",
+        [
+            ("8'hFF", 255, 8),
+            ("4'b1010", 10, 4),
+            ("12'o777", 511, 12),
+            ("'d99", 99, None),
+            ("8'hx0", 0, 8),     # x treated as 0
+            ("16'hAB_CD", 0xABCD, 16),
+            ("8'shFF", 255, 8),  # signed marker accepted
+        ],
+    )
+    def test_sized_numbers(self, text, value, width):
+        tok = _toks(text)[0]
+        assert tok.kind == SIZED_NUMBER
+        assert tok.int_value == value
+        assert tok.width == width
+
+    def test_multichar_operators_maximal_munch(self):
+        toks = _toks("a <= b == c >> 2")
+        ops = [t.value for t in toks if t.kind == OP]
+        assert ops == ["<=", "==", ">>"]
+
+    def test_line_numbers(self):
+        toks = _toks("a\nb\n\nc")
+        assert [t.line for t in toks[:-1]] == [1, 2, 4]
+
+
+class TestCommentsAndDirectives:
+    def test_line_comment(self):
+        assert [t.value for t in _toks("a // comment\nb")[:-1]] == ["a", "b"]
+
+    def test_block_comment_multiline(self):
+        toks = _toks("a /* one\ntwo */ b")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+        assert toks[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(HdlSyntaxError, match="unterminated"):
+            _toks("a /* oops")
+
+    def test_attribute_skipped(self):
+        assert [t.value for t in _toks("(* keep *) wire w;")[:-1]] == [
+            "wire", "w", ";",
+        ]
+
+    def test_directive_skipped(self):
+        assert [t.value for t in _toks("`timescale 1ns/1ps\nmodule")[:-1]] == [
+            "module"
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(HdlSyntaxError, match="unexpected character"):
+            _toks("\x01")

@@ -1,0 +1,83 @@
+"""Tests for the uVHDL tokenizer."""
+
+import pytest
+
+from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.hdl.vhdl.lexer import BITSTRING, CHAR, EOF, ID, NUMBER, OP, tokenize
+
+
+def _toks(text):
+    return tokenize(SourceFile("t.vhd", text))
+
+
+class TestTokens:
+    def test_case_insensitive_identifiers(self):
+        toks = _toks("ENTITY Counter IS")
+        assert [t.value for t in toks[:-1]] == ["entity", "counter", "is"]
+
+    def test_numbers(self):
+        tok = _toks("42")[0]
+        assert tok.kind == NUMBER
+        assert tok.int_value == 42
+
+    def test_underscored_number(self):
+        assert _toks("1_000")[0].int_value == 1000
+
+    @pytest.mark.parametrize(
+        "text, value, width",
+        [
+            ('"1010"', 10, 4),
+            ('x"AF"', 0xAF, 8),
+            ('X"af"', 0xAF, 8),
+            ('b"0101"', 5, 4),
+            ('o"17"', 15, 6),
+            ('""', 0, 0),
+        ],
+    )
+    def test_bitstrings(self, text, value, width):
+        tok = _toks(text)[0]
+        assert tok.kind == BITSTRING
+        assert tok.int_value == value
+        assert tok.width == width
+
+    def test_char_literals(self):
+        toks = _toks("a <= '1';")
+        char = toks[2]
+        assert char.kind == CHAR
+        assert char.int_value == 1
+        assert char.width == 1
+
+    def test_char_after_keyword_is_literal(self):
+        # `else '0'` -- the tick after a keyword is a literal, not an
+        # attribute.
+        toks = _toks("else '0'")
+        assert toks[1].kind == CHAR
+
+    def test_attribute_tick_after_name(self):
+        toks = _toks("clk'event")
+        kinds = [t.kind for t in toks[:-1]]
+        assert kinds == [ID, OP, ID]
+        assert toks[1].value == "'"
+
+    def test_multichar_operators(self):
+        toks = _toks("a := b => c <= d /= e ** f")
+        ops = [t.value for t in toks if t.kind == OP]
+        assert ops == [":=", "=>", "<=", "/=", "**"]
+
+    def test_comment_stripped(self):
+        toks = _toks("a -- comment here\nb")
+        assert [t.value for t in toks[:-1]] == ["a", "b"]
+        assert toks[1].line == 2
+
+    def test_eof(self):
+        assert _toks("")[-1].kind == EOF
+
+    def test_unknown_character(self):
+        with pytest.raises(HdlSyntaxError):
+            _toks("\x01")
+
+    def test_non_bit_char_value_rejected(self):
+        tok = _toks("x <= 'z';")[2]
+        assert tok.kind == CHAR
+        with pytest.raises(ValueError):
+            tok.int_value

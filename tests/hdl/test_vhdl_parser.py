@@ -1,0 +1,321 @@
+"""Tests for the uVHDL parser."""
+
+import pytest
+
+from repro.hdl import ast
+from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.hdl.vhdl import parse_vhdl
+
+_ENTITY = """
+entity {name} is
+  {generic}
+  port (
+    clk : in std_logic;
+    d   : in std_logic_vector(7 downto 0);
+    q   : out std_logic_vector(7 downto 0)
+  );
+end entity;
+"""
+
+
+def _parse(text):
+    return parse_vhdl(SourceFile("t.vhd", text))
+
+
+def _module(arch_body, decls="", generic="", name="m"):
+    text = _ENTITY.format(name=name, generic=generic) + (
+        f"architecture rtl of {name} is {decls} begin {arch_body} "
+        f"end architecture;"
+    )
+    return _parse(text).modules[name]
+
+
+class TestEntities:
+    def test_ports_mapped(self):
+        m = _module("q <= d;")
+        assert m.port_names == ("clk", "d", "q")
+        assert m.port("clk").direction == "input"
+        assert m.port("q").direction == "output"
+        assert m.port("d").is_vector
+        assert not m.port("clk").is_vector
+
+    def test_generics_become_params(self):
+        m = _module("q <= d;", generic="generic ( W : integer := 8 );")
+        assert [p.name for p in m.params] == ["w"]  # lowercased
+        assert m.params[0].default == ast.Number(8)
+
+    def test_case_insensitive(self):
+        m = _parse(
+            "ENTITY M IS PORT ( A : IN STD_LOGIC; B : OUT STD_LOGIC ); END M;"
+            "ARCHITECTURE RTL OF M IS BEGIN B <= NOT A; END RTL;"
+        ).modules["m"]
+        assert m.port_names == ("a", "b")
+
+    def test_language_tag(self):
+        assert _module("q <= d;").language == "vhdl"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(HdlSyntaxError, match="unknown entity"):
+            _parse("architecture rtl of ghost is begin end;")
+
+    def test_grouped_port_names(self):
+        m = _parse(
+            "entity m is port ( a, b : in std_logic; y : out std_logic );"
+            "end m; architecture r of m is begin y <= a and b; end r;"
+        ).modules["m"]
+        assert m.port_names == ("a", "b", "y")
+
+
+class TestDeclarations:
+    def test_signal_vector(self):
+        m = _module("q <= tmp;", decls="signal tmp : std_logic_vector(7 downto 0);")
+        decl = next(i for i in m.items if isinstance(i, ast.SignalDecl))
+        assert decl.name == "tmp"
+        assert decl.msb == ast.Number(7)
+
+    def test_constant_becomes_localparam(self):
+        m = _module("q <= d;", decls="constant K : integer := 5;")
+        param = next(
+            i for i in m.items if isinstance(i, ast.ParamDecl) and i.local
+        )
+        assert param.name == "k"
+        assert param.default == ast.Number(5)
+
+    def test_array_type_becomes_memory(self):
+        decls = (
+            "type mem_t is array (0 to 31) of std_logic_vector(7 downto 0);"
+            "signal mem : mem_t;"
+        )
+        m = _module("q <= d;", decls=decls)
+        decl = next(i for i in m.items if isinstance(i, ast.SignalDecl))
+        assert decl.is_memory
+
+    def test_unsigned_signal(self):
+        m = _module("q <= d;", decls="signal cnt : unsigned(3 downto 0);")
+        decl = next(i for i in m.items if isinstance(i, ast.SignalDecl))
+        assert decl.msb == ast.Number(3)
+
+    def test_component_declaration_skipped(self):
+        decls = (
+            "component sub port ( x : in std_logic ); end component;"
+        )
+        m = _module("q <= d;", decls=decls)
+        assert all(not isinstance(i, ast.Instance) for i in m.items)
+
+
+class TestProcesses:
+    def test_rising_edge_process(self):
+        m = _module(
+            "process (clk) begin if rising_edge(clk) then q <= d; end if;"
+            " end process;"
+        )
+        proc = next(i for i in m.items if isinstance(i, ast.ProcessBlock))
+        assert proc.kind == "seq"
+        assert proc.clock == "clk"
+        assert isinstance(proc.body[0], ast.Assign)
+
+    def test_event_style_clock(self):
+        m = _module(
+            "process (clk) begin if clk'event and clk = '1' then q <= d;"
+            " end if; end process;"
+        )
+        proc = next(i for i in m.items if isinstance(i, ast.ProcessBlock))
+        assert proc.kind == "seq"
+        assert proc.clock == "clk"
+
+    def test_async_reset_becomes_sync_if(self):
+        m = _module(
+            "process (clk, d) begin"
+            " if d(0) = '1' then q <= (others => '0');"
+            " elsif rising_edge(clk) then q <= d; end if;"
+            " end process;"
+        )
+        proc = next(i for i in m.items if isinstance(i, ast.ProcessBlock))
+        assert proc.kind == "seq"
+        top = proc.body[0]
+        assert isinstance(top, ast.If)
+        assert len(top.then_body) == 1 and len(top.else_body) == 1
+
+    def test_combinational_process(self):
+        m = _module(
+            "process (d) begin q <= not d; end process;"
+        )
+        proc = next(i for i in m.items if isinstance(i, ast.ProcessBlock))
+        assert proc.kind == "comb"
+
+    def test_case_statement(self):
+        body = (
+            "process (d) begin case d(1 downto 0) is"
+            ' when "00" => q <= d;'
+            ' when "01" | "10" => q <= not d;'
+            " when others => q <= (others => '0');"
+            " end case; end process;"
+        )
+        proc = next(
+            i for i in _module(body).items if isinstance(i, ast.ProcessBlock)
+        )
+        case = proc.body[0]
+        assert isinstance(case, ast.Case)
+        assert len(case.items) == 3
+        assert len(case.items[1].choices) == 2
+        assert case.items[2].choices == ()
+
+    def test_for_loop(self):
+        body = (
+            "process (d) begin for i in 0 to 7 loop q(i) <= d(7 - i);"
+            " end loop; end process;"
+        )
+        proc = next(
+            i for i in _module(body).items if isinstance(i, ast.ProcessBlock)
+        )
+        loop = proc.body[0]
+        assert isinstance(loop, ast.For)
+        assert loop.var == "i"
+        assert loop.start == ast.Number(0)
+
+    def test_elsif_chain(self):
+        body = (
+            "process (d) begin"
+            " if d(0) = '1' then q <= d;"
+            " elsif d(1) = '1' then q <= not d;"
+            " else q <= (others => '0'); end if;"
+            " end process;"
+        )
+        proc = next(
+            i for i in _module(body).items if isinstance(i, ast.ProcessBlock)
+        )
+        top = proc.body[0]
+        nested = top.else_body[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body  # final else
+
+
+class TestConcurrent:
+    def test_conditional_assignment(self):
+        m = _module("q <= d when clk = '1' else not d;")
+        assign = next(
+            i for i in m.items if isinstance(i, ast.ContinuousAssign)
+        )
+        assert isinstance(assign.value, ast.Ternary)
+
+    def test_selected_assignment(self):
+        m = _module(
+            'with d(1 downto 0) select q <= d when "00", not d when "01",'
+            " (others => '0') when others;"
+        )
+        assign = next(
+            i for i in m.items if isinstance(i, ast.ContinuousAssign)
+        )
+        outer = assign.value
+        assert isinstance(outer, ast.Ternary)
+        assert isinstance(outer.other, ast.Ternary)
+
+    def test_selected_assignment_requires_others(self):
+        with pytest.raises(HdlSyntaxError, match="others"):
+            _module('with d select q <= d when "00";')
+
+    def test_component_instance(self):
+        m = _module("u0 : sub generic map ( w => 4 ) port map ( x => clk, y => q );")
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert inst.module_name == "sub"
+        assert inst.name == "u0"
+        assert dict(inst.param_overrides) == {"w": ast.Number(4)}
+
+    def test_direct_entity_instance(self):
+        m = _module("u0 : entity work.sub port map ( x => clk );")
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert inst.module_name == "sub"
+
+    def test_open_association_skipped(self):
+        m = _module("u0 : sub port map ( x => clk, y => open );")
+        inst = next(i for i in m.items if isinstance(i, ast.Instance))
+        assert dict(inst.connections).keys() == {"x"}
+
+    def test_generate_for(self):
+        m = _module(
+            "g0 : for i in 0 to 7 generate q(i) <= not d(i); end generate;"
+        )
+        gen = next(i for i in m.items if isinstance(i, ast.GenerateFor))
+        assert gen.var == "i"
+        assert gen.label == "g0"
+        assert isinstance(gen.cond, ast.Binary) and gen.cond.op == "<="
+
+    def test_generate_if(self):
+        m = _module(
+            "g0 : if 1 = 1 generate q <= d; end generate;",
+        )
+        gen = next(i for i in m.items if isinstance(i, ast.GenerateIf))
+        assert len(gen.then_body) == 1
+
+
+class TestExpressions:
+    def _value(self, expr_text, decls=""):
+        m = _module(f"q <= {expr_text};", decls=decls)
+        assign = next(
+            i for i in m.items if isinstance(i, ast.ContinuousAssign)
+        )
+        return assign.value
+
+    def test_vhdl_concat_is_ampersand(self):
+        e = self._value('d(3 downto 0) & "0000"')
+        assert isinstance(e, ast.Concat)
+        assert len(e.parts) == 2
+
+    def test_logical_ops_map(self):
+        e = self._value("d and not d")
+        assert isinstance(e, ast.Binary) and e.op == "&"
+        assert isinstance(e.rhs, ast.Unary) and e.rhs.op == "~"
+
+    def test_nand_becomes_negated_and(self):
+        e = self._value("d nand d")
+        assert isinstance(e, ast.Unary) and e.op == "~"
+
+    def test_relational_mapping(self):
+        e = self._value("(others => '0') when d /= d else d")
+        # parsed via waveform; the Ternary condition is !=
+        assert isinstance(e, ast.Ternary)
+        assert e.cond.op == "!="
+
+    def test_bitstring_literals(self):
+        e = self._value('"1010"')
+        assert e == ast.Number(10, 4)
+        e = self._value('x"ff"')
+        assert e == ast.Number(255, 8)
+
+    def test_char_literal(self):
+        m = _module(
+            "q(0) <= '1';"
+        )
+        assign = next(
+            i for i in m.items if isinstance(i, ast.ContinuousAssign)
+        )
+        assert assign.value == ast.Number(1, 1)
+
+    def test_others_aggregate(self):
+        e = self._value("(others => '1')")
+        assert isinstance(e, ast.Others)
+
+    def test_transparent_conversions(self):
+        e = self._value("std_logic_vector(unsigned(d) + 1)")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+
+    def test_resize_functions(self):
+        e = self._value("std_logic_vector(to_unsigned(5, 8))")
+        assert isinstance(e, ast.Resize)
+        assert e.width == ast.Number(8)
+
+    def test_slice_downto_and_index(self):
+        e = self._value('d(7 downto 4) & d(0) & "000"')
+        assert isinstance(e.parts[0], ast.PartSelect)
+        assert isinstance(e.parts[1], ast.Select)
+
+    def test_ascending_slice_normalized(self):
+        e = self._value("d(0 to 3) & d(4 to 7)")
+        part = e.parts[0]
+        assert isinstance(part, ast.PartSelect)
+        assert part.msb == ast.Number(3)
+        assert part.lsb == ast.Number(0)
+
+    def test_mod_by_constant(self):
+        e = self._value("d mod 4")
+        assert isinstance(e, ast.Binary) and e.op == "%"

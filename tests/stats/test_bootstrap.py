@@ -1,0 +1,48 @@
+"""Tests for the cluster bootstrap of sigma_eps."""
+
+import pytest
+
+from repro.data import paper_dataset
+from repro.stats.bootstrap import bootstrap_sigma
+
+
+@pytest.fixture(scope="module")
+def stmts_boot():
+    return bootstrap_sigma(
+        paper_dataset().to_grouped(["Stmts"]), n_replicates=40, seed=1
+    )
+
+
+class TestBootstrapSigma:
+    def test_point_estimate_matches_fit(self, stmts_boot):
+        assert stmts_boot.sigma_eps == pytest.approx(0.50, abs=0.01)
+
+    def test_replicate_count(self, stmts_boot):
+        assert len(stmts_boot.replicates) == 40
+
+    def test_interval_brackets_point(self, stmts_boot):
+        lo, hi = stmts_boot.interval
+        assert lo < hi
+        # The point estimate sits inside (or very near) the interval.
+        assert lo - 0.1 < stmts_boot.sigma_eps < hi + 0.1
+
+    def test_std_error_positive(self, stmts_boot):
+        assert stmts_boot.std_error > 0
+
+    def test_margin_of_error_claim(self, stmts_boot):
+        """Section 5.1: within the margin of error, Stmts/LoC/FanInLC have
+        the same accuracy -- their bootstrap intervals overlap."""
+        fanin = bootstrap_sigma(
+            paper_dataset().to_grouped(["FanInLC"]), n_replicates=40, seed=2
+        )
+        assert stmts_boot.overlaps(fanin)
+
+    def test_deterministic_for_seed(self):
+        g = paper_dataset().to_grouped(["LoC"])
+        a = bootstrap_sigma(g, n_replicates=15, seed=9)
+        b = bootstrap_sigma(g, n_replicates=15, seed=9)
+        assert list(a.replicates) == list(b.replicates)
+
+    def test_too_few_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_sigma(paper_dataset().to_grouped(["Stmts"]), n_replicates=5)

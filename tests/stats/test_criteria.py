@@ -1,0 +1,58 @@
+"""Tests for AIC/BIC criteria."""
+
+import math
+
+import pytest
+
+from repro.stats import FitCriteria, aic, bic, compare_fits
+
+
+class TestFormulas:
+    def test_aic(self):
+        assert aic(-13.4, 4) == pytest.approx(2 * 13.4 + 8)
+
+    def test_bic(self):
+        assert bic(-13.4, 4, 18) == pytest.approx(2 * 13.4 + 4 * math.log(18))
+
+    def test_bic_minus_aic_identity(self):
+        # BIC - AIC = p (ln n - 2); with the paper's n=18 and DEE1's p=4
+        # this is ~3.56, matching 38.4 - 34.8.
+        p, n = 4, 18
+        diff = bic(-13.4, p, n) - aic(-13.4, p)
+        assert diff == pytest.approx(p * (math.log(n) - 2))
+        assert diff == pytest.approx(38.4 - 34.8, abs=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            aic(0.0, -1)
+        with pytest.raises(ValueError):
+            bic(0.0, 1, 0)
+
+
+class TestFitCriteria:
+    def test_properties(self):
+        c = FitCriteria(loglik=-15.5, n_params=3, n_obs=18)
+        assert c.aic == pytest.approx(37.0, abs=0.01)
+        assert c.bic == pytest.approx(39.67, abs=0.01)
+
+
+class TestCompareFits:
+    def setup_method(self):
+        self.fits = {
+            "DEE1": FitCriteria(-13.4, 4, 18),
+            "Stmts": FitCriteria(-15.5, 3, 18),
+            "FFs": FitCriteria(-39.5, 3, 18),
+        }
+
+    def test_rank_by_aic(self):
+        assert compare_fits(self.fits, by="aic") == ["DEE1", "Stmts", "FFs"]
+
+    def test_rank_by_bic(self):
+        assert compare_fits(self.fits, by="bic") == ["DEE1", "Stmts", "FFs"]
+
+    def test_rank_by_loglik(self):
+        assert compare_fits(self.fits, by="loglik") == ["DEE1", "Stmts", "FFs"]
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            compare_fits(self.fits, by="r2")

@@ -1,0 +1,95 @@
+"""Tests for the rho=1 model of Section 3.2."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import paper_dataset
+from repro.data.paper import ALL_METRICS, PAPER_SIGMA_EPS_NO_RHO
+from repro.stats import fit_fixed_effects, fit_nlme, simulate_dataset
+from repro.stats.grouping import GroupedData
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_table4_last_row(self, metric):
+        """Every single-metric rho=1 sigma in Table 4's last row."""
+        fit = fit_fixed_effects(paper_dataset().to_grouped([metric]))
+        assert fit.sigma_eps == pytest.approx(
+            PAPER_SIGMA_EPS_NO_RHO[metric], abs=0.015
+        )
+
+    def test_dee1_last_row(self):
+        fit = fit_fixed_effects(paper_dataset().to_grouped(["Stmts", "FanInLC"]))
+        assert fit.sigma_eps == pytest.approx(
+            PAPER_SIGMA_EPS_NO_RHO["DEE1"], abs=0.015
+        )
+
+    def test_dropping_rho_always_hurts_good_estimators(self):
+        # Section 5.2: "practically all the estimators lose a significant
+        # amount of accuracy" without the productivity adjustment.
+        ds = paper_dataset()
+        for metric in ("Stmts", "LoC", "FanInLC", "Nets"):
+            g = ds.to_grouped([metric])
+            with_rho = fit_nlme(g, n_random_starts=2).sigma_eps
+            without = fit_fixed_effects(g).sigma_eps
+            assert without > with_rho
+
+
+class TestMechanics:
+    def test_single_metric_closed_form(self):
+        # With one metric, log w = mean(y - log m) and sigma^2 = RSS/n.
+        rng = np.random.default_rng(5)
+        m = rng.uniform(10, 1000, 12)
+        y = np.log(0.01 * m) + rng.normal(0, 0.3, 12)
+        data = GroupedData(
+            efforts=np.exp(y), metrics=m, groups=tuple("ab" * 6)
+        )
+        fit = fit_fixed_effects(data)
+        log_w = float(np.mean(y - np.log(m)))
+        assert math.log(fit.weights[0]) == pytest.approx(log_w, abs=1e-4)
+        resid = y - (log_w + np.log(m))
+        assert fit.sigma_eps == pytest.approx(
+            math.sqrt(float(resid @ resid) / 12), abs=1e-4
+        )
+
+    def test_perfect_data_zero_sigma(self):
+        m = np.array([10.0, 20.0, 40.0, 80.0])
+        data = GroupedData(
+            efforts=0.05 * m, metrics=m, groups=("a", "a", "b", "b")
+        )
+        fit = fit_fixed_effects(data)
+        assert fit.sigma_eps < 1e-4
+        assert fit.weights[0] == pytest.approx(0.05, rel=1e-3)
+
+    def test_n_params(self):
+        fit = fit_fixed_effects(paper_dataset().to_grouped(["Stmts", "Nets"]))
+        assert fit.n_params == 3  # two weights + sigma_eps
+
+    def test_works_with_single_team(self):
+        # Unlike the mixed model, rho=1 is valid for one big project
+        # (Section 3.2's industrial-practitioner case).
+        sim = simulate_dataset(
+            weights=[0.01], sigma_eps=0.2, sigma_rho=0.0,
+            components_per_team=[15], seed=2,
+        )
+        fit = fit_fixed_effects(sim.data)
+        assert fit.weights[0] == pytest.approx(0.01, rel=0.3)
+
+    def test_predict_and_interval(self):
+        fit = fit_fixed_effects(paper_dataset().to_grouped(["Stmts"]))
+        m = np.array([[1000.0]])
+        med = fit.predict_median(m)[0]
+        assert med == pytest.approx(1000.0 * fit.weights[0])
+        (lo, hi), = fit.prediction_interval(m)
+        assert lo < med < hi
+
+    def test_predict_wrong_width(self):
+        fit = fit_fixed_effects(paper_dataset().to_grouped(["Stmts"]))
+        with pytest.raises(ValueError):
+            fit.predict_median(np.ones((1, 3)))
+
+    def test_deterministic(self):
+        g = paper_dataset().to_grouped(["Cells"])
+        assert fit_fixed_effects(g).sigma_eps == fit_fixed_effects(g).sigma_eps

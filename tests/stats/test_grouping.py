@@ -1,0 +1,137 @@
+"""Tests for repro.stats.grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.grouping import GroupedData, floor_metrics
+
+
+def _simple(n=6, k=2):
+    rng = np.random.default_rng(1)
+    return GroupedData(
+        efforts=rng.uniform(1, 10, n),
+        metrics=rng.uniform(1, 100, (n, k)),
+        groups=tuple("ab"[i % 2] for i in range(n)),
+        metric_names=tuple(f"x{j}" for j in range(k)),
+        labels=tuple(f"c{i}" for i in range(n)),
+    )
+
+
+class TestGroupedData:
+    def test_shapes(self):
+        d = _simple()
+        assert d.n_observations == 6
+        assert d.n_metrics == 2
+
+    def test_1d_metrics_promoted(self):
+        d = GroupedData(
+            efforts=np.array([1.0, 2.0]),
+            metrics=np.array([3.0, 4.0]),
+            groups=("a", "b"),
+        )
+        assert d.metrics.shape == (2, 1)
+        assert d.metric_names == ("m0",)
+
+    def test_group_names_first_appearance_order(self):
+        d = GroupedData(
+            efforts=np.ones(4),
+            metrics=np.ones((4, 1)),
+            groups=("z", "a", "z", "b"),
+        )
+        assert d.group_names == ("z", "a", "b")
+
+    def test_group_indices_partition(self):
+        d = _simple()
+        indices = d.group_indices()
+        combined = sorted(i for ix in indices.values() for i in ix)
+        assert combined == list(range(d.n_observations))
+
+    def test_log_efforts(self):
+        d = _simple()
+        assert np.allclose(d.log_efforts, np.log(d.efforts))
+
+    def test_select_metrics_order(self):
+        d = _simple(k=3)
+        sel = d.select_metrics(["x2", "x0"])
+        assert sel.metric_names == ("x2", "x0")
+        assert np.allclose(sel.metrics[:, 0], d.metrics[:, 2])
+
+    def test_select_unknown_metric(self):
+        with pytest.raises(KeyError):
+            _simple().select_metrics(["nope"])
+
+    def test_drop_observations(self):
+        d = _simple()
+        dropped = d.drop_observations([0, 3])
+        assert dropped.n_observations == 4
+        assert dropped.labels == ("c1", "c2", "c4", "c5")
+
+    def test_drop_all_rejected(self):
+        d = _simple(n=2)
+        with pytest.raises(ValueError):
+            d.drop_observations([0, 1])
+
+    def test_drop_out_of_range(self):
+        with pytest.raises(IndexError):
+            _simple().drop_observations([99])
+
+    def test_zero_effort_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedData(
+                efforts=np.array([0.0, 1.0]),
+                metrics=np.ones((2, 1)),
+                groups=("a", "b"),
+            )
+
+    def test_zero_metric_rejected(self):
+        with pytest.raises(ValueError, match="floor"):
+            GroupedData(
+                efforts=np.array([1.0, 1.0]),
+                metrics=np.array([[1.0], [0.0]]),
+                groups=("a", "b"),
+            )
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedData(
+                efforts=np.array([np.nan, 1.0]),
+                metrics=np.ones((2, 1)),
+                groups=("a", "b"),
+            )
+
+    def test_mismatched_groups_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedData(
+                efforts=np.ones(3), metrics=np.ones((3, 1)), groups=("a", "b")
+            )
+
+    def test_mismatched_metric_names_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedData(
+                efforts=np.ones(2),
+                metrics=np.ones((2, 2)),
+                groups=("a", "b"),
+                metric_names=("only-one",),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedData(
+                efforts=np.array([]), metrics=np.zeros((0, 1)), groups=()
+            )
+
+
+class TestFloorMetrics:
+    def test_zeros_floored(self):
+        out = floor_metrics(np.array([0.0, 0.5, 2.0]), floor=1.0)
+        assert list(out) == [1.0, 1.0, 2.0]
+
+    def test_bad_floor(self):
+        with pytest.raises(ValueError):
+            floor_metrics(np.array([1.0]), floor=0.0)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=20))
+    def test_never_below_floor(self, values):
+        out = floor_metrics(np.asarray(values), floor=1.0)
+        assert (out >= 1.0).all()

@@ -1,0 +1,90 @@
+"""Tests for the Laplace/AGHQ fitter (repro.stats.laplace)."""
+
+import numpy as np
+import pytest
+
+from repro.data import paper_dataset
+from repro.stats import fit_nlme, fit_nlme_laplace
+from repro.stats.laplace import additive_log_mean
+
+
+@pytest.fixture(scope="module")
+def exact_stmts():
+    return fit_nlme(paper_dataset().to_grouped(["Stmts"]), n_random_starts=2)
+
+
+class TestAgreementWithExactFitter:
+    """On the paper's model the per-group integrand is Gaussian in b, so
+    Laplace is exact and both fitters must find the same optimum."""
+
+    def test_laplace_matches_exact_loglik(self, exact_stmts):
+        data = paper_dataset().to_grouped(["Stmts"])
+        lap = fit_nlme_laplace(data, n_quadrature=1)
+        assert lap.loglik == pytest.approx(exact_stmts.loglik, abs=0.02)
+
+    def test_laplace_matches_exact_sigma(self, exact_stmts):
+        data = paper_dataset().to_grouped(["Stmts"])
+        lap = fit_nlme_laplace(data, n_quadrature=1)
+        assert lap.sigma_eps == pytest.approx(exact_stmts.sigma_eps, abs=0.01)
+        assert lap.sigma_rho == pytest.approx(exact_stmts.sigma_rho, abs=0.03)
+
+    def test_aghq_matches_exact(self, exact_stmts):
+        data = paper_dataset().to_grouped(["Stmts"])
+        aghq = fit_nlme_laplace(data, n_quadrature=9)
+        assert aghq.loglik == pytest.approx(exact_stmts.loglik, abs=0.02)
+        assert aghq.sigma_eps == pytest.approx(exact_stmts.sigma_eps, abs=0.01)
+
+    def test_warm_start_from_exact(self, exact_stmts):
+        data = paper_dataset().to_grouped(["Stmts"])
+        start = np.concatenate(
+            [
+                np.log(exact_stmts.weights),
+                [np.log(exact_stmts.sigma_eps), np.log(exact_stmts.sigma_rho)],
+            ]
+        )
+        lap = fit_nlme_laplace(data, start=start)
+        assert lap.loglik >= exact_stmts.loglik - 0.02
+
+    def test_blups_match(self, exact_stmts):
+        data = paper_dataset().to_grouped(["Stmts"])
+        lap = fit_nlme_laplace(data, n_quadrature=5)
+        for team in exact_stmts.random_effects:
+            assert lap.random_effects[team] == pytest.approx(
+                exact_stmts.random_effects[team], abs=0.05
+            )
+
+
+class TestMechanics:
+    def test_mean_function_default(self):
+        w = np.array([2.0])
+        m = np.array([[10.0]])
+        assert additive_log_mean(w, m, 0.5)[0] == pytest.approx(
+            np.log(20.0) + 0.5
+        )
+
+    def test_invalid_quadrature(self):
+        data = paper_dataset().to_grouped(["Stmts"])
+        with pytest.raises(ValueError):
+            fit_nlme_laplace(data, n_quadrature=0)
+
+    def test_single_team_rejected(self):
+        from repro.stats.grouping import GroupedData
+
+        data = GroupedData(
+            efforts=np.array([1.0, 2.0]),
+            metrics=np.array([[1.0], [2.0]]),
+            groups=("only", "only"),
+        )
+        with pytest.raises(ValueError):
+            fit_nlme_laplace(data)
+
+    def test_custom_mean_function(self):
+        # A random effect applied with double leverage: the fitter should
+        # still converge (this exercises the genuinely-nonlinear-in-b path).
+        def doubled(w, metrics, b):
+            return np.log(metrics @ w) + 2.0 * b
+
+        data = paper_dataset().to_grouped(["Stmts"])
+        fit = fit_nlme_laplace(data, mean_fn=doubled, n_quadrature=9)
+        assert np.isfinite(fit.loglik)
+        assert fit.sigma_eps > 0

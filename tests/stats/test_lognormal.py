@@ -1,0 +1,160 @@
+"""Tests for repro.stats.lognormal (Figures 2-4 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.lognormal import (
+    LognormalSpec,
+    confidence_factors,
+    confidence_interval,
+    lognormal_mean,
+    lognormal_median,
+    lognormal_mode,
+    lognormal_pdf,
+    median_to_mean_factor,
+)
+
+
+class TestLognormalSpec:
+    def test_median_is_one_for_mu_zero(self):
+        assert LognormalSpec(mu=0.0, sigma=0.55).median == pytest.approx(1.0)
+
+    def test_figure2_mode_and_mean(self):
+        # Figure 2 annotates mode ~= 0.75 and mean ~= 1.16; those values
+        # correspond to sigma ~= 0.54.
+        spec = LognormalSpec(mu=0.0, sigma=0.54)
+        assert spec.mode == pytest.approx(0.75, abs=0.01)
+        assert spec.mean == pytest.approx(1.16, abs=0.01)
+
+    def test_mode_median_mean_ordering(self):
+        spec = LognormalSpec(mu=0.0, sigma=0.7)
+        assert spec.mode < spec.median < spec.mean
+
+    def test_pdf_integrates_to_one(self):
+        spec = LognormalSpec(mu=0.0, sigma=0.5)
+        xs = [i * 0.001 + 0.0005 for i in range(40000)]
+        total = sum(spec.pdf(x) * 0.001 for x in xs)
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_pdf_zero_for_nonpositive(self):
+        spec = LognormalSpec(0.0, 1.0)
+        assert spec.pdf(0.0) == 0.0
+        assert spec.pdf(-1.0) == 0.0
+
+    def test_cdf_median(self):
+        spec = LognormalSpec(mu=0.3, sigma=0.8)
+        assert spec.cdf(spec.median) == pytest.approx(0.5)
+
+    def test_quantile_inverts_cdf(self):
+        spec = LognormalSpec(mu=0.0, sigma=0.45)
+        for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert spec.cdf(spec.quantile(p)) == pytest.approx(p, abs=1e-6)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalSpec(0.0, -0.1)
+
+    def test_degenerate_pdf_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalSpec(0.0, 0.0).pdf(1.0)
+
+    def test_variance_formula(self):
+        spec = LognormalSpec(mu=0.1, sigma=0.4)
+        s2 = 0.4**2
+        expected = (math.exp(s2) - 1.0) * math.exp(2 * 0.1 + s2)
+        assert spec.variance == pytest.approx(expected)
+
+
+class TestConfidenceFactors:
+    def test_paper_example_sigma_045(self):
+        # Section 3.1: sigma_eps = 0.45 -> yh ~= 2.1, yl ~= 0.5 at 90%.
+        yl, yh = confidence_factors(0.45, 0.90)
+        assert yh == pytest.approx(2.1, abs=0.02)
+        assert yl == pytest.approx(0.5, abs=0.03)
+
+    @pytest.mark.parametrize(
+        "sigma, lo, hi",
+        [
+            (0.50, 0.44, 2.28),   # Stmts (Section 5.1)
+            (0.55, 0.40, 2.47),   # FanInLC
+            (0.46, 0.47, 2.13),   # DEE1 (Section 5.1.1)
+            (1.23, 0.13, 7.56),   # AreaL
+            (2.07, 0.03, 30.11),  # AreaS
+            (2.14, 0.03, 33.78),  # FFs
+            (1.34, 0.11, 9.06),   # PowerD
+            (1.44, 0.09, 10.68),  # PowerS
+            (0.94, 0.21, 4.69),   # Freq
+            (0.60, 0.37, 2.68),   # Stmts without rho (Section 5.2)
+            (0.82, 0.26, 3.85),   # FanInLC without rho
+            (0.53, 0.41, 2.39),   # DEE1 without rho
+            (1.18, 0.14, 6.97),   # FanInLC without accounting (Section 5.3)
+            (1.07, 0.17, 5.81),   # Nets without accounting
+        ],
+    )
+    def test_every_interval_quoted_in_the_paper(self, sigma, lo, hi):
+        yl, yh = confidence_factors(sigma, 0.90)
+        assert yl == pytest.approx(lo, abs=0.011)
+        assert yh == pytest.approx(hi, abs=0.011)
+
+    def test_sigma_zero_gives_point_interval(self):
+        assert confidence_factors(0.0, 0.9) == (1.0, 1.0)
+
+    def test_higher_confidence_widens(self):
+        l68, h68 = confidence_factors(0.5, 0.68)
+        l90, h90 = confidence_factors(0.5, 0.90)
+        assert l90 < l68 < 1.0 < h68 < h90
+
+    @given(st.floats(0.01, 3.0), st.floats(0.01, 0.99))
+    def test_factors_are_reciprocal(self, sigma, conf):
+        yl, yh = confidence_factors(sigma, conf)
+        assert yl * yh == pytest.approx(1.0, rel=1e-9)
+
+    @given(st.floats(0.0, 3.0))
+    def test_monotone_in_sigma(self, sigma):
+        _, yh = confidence_factors(sigma, 0.9)
+        _, yh2 = confidence_factors(sigma + 0.1, 0.9)
+        assert yh2 > yh
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            confidence_factors(-0.1)
+        with pytest.raises(ValueError):
+            confidence_factors(0.5, 0.0)
+        with pytest.raises(ValueError):
+            confidence_factors(0.5, 1.0)
+
+    def test_confidence_interval_scales_estimate(self):
+        lo, hi = confidence_interval(10.0, 0.45, 0.90)
+        yl, yh = confidence_factors(0.45, 0.90)
+        assert lo == pytest.approx(10.0 * yl)
+        assert hi == pytest.approx(10.0 * yh)
+
+    def test_confidence_interval_rejects_negative_estimate(self):
+        with pytest.raises(ValueError):
+            confidence_interval(-1.0, 0.5)
+
+
+class TestMedianToMean:
+    def test_equation4(self):
+        # eff_mean = eff_median * exp((s_eps^2 + s_rho^2) / 2)
+        assert median_to_mean_factor(0.46, 0.30) == pytest.approx(
+            math.exp((0.46**2 + 0.30**2) / 2)
+        )
+
+    def test_no_spread_no_correction(self):
+        assert median_to_mean_factor(0.0, 0.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            median_to_mean_factor(-0.1)
+
+
+class TestModuleLevelWrappers:
+    def test_wrappers_match_spec(self):
+        spec = LognormalSpec(0.2, 0.6)
+        assert lognormal_pdf(1.5, 0.2, 0.6) == pytest.approx(spec.pdf(1.5))
+        assert lognormal_median(0.2, 0.6) == pytest.approx(spec.median)
+        assert lognormal_mean(0.2, 0.6) == pytest.approx(spec.mean)
+        assert lognormal_mode(0.2, 0.6) == pytest.approx(spec.mode)

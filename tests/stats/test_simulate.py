@@ -1,0 +1,85 @@
+"""Tests for the synthetic-data generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import simulate_dataset
+
+
+class TestSimulateDataset:
+    def test_shapes(self):
+        sim = simulate_dataset(
+            weights=[0.01, 0.02], sigma_eps=0.3, sigma_rho=0.4,
+            components_per_team=[3, 5, 2], seed=1,
+        )
+        assert sim.data.n_observations == 10
+        assert sim.data.n_metrics == 2
+        assert sim.data.group_names == ("team0", "team1", "team2")
+        assert set(sim.true_productivities) == {"team0", "team1", "team2"}
+
+    def test_deterministic_for_seed(self):
+        kwargs = dict(
+            weights=[0.01], sigma_eps=0.2, sigma_rho=0.2,
+            components_per_team=[4, 4],
+        )
+        a = simulate_dataset(seed=9, **kwargs)
+        b = simulate_dataset(seed=9, **kwargs)
+        assert np.array_equal(a.data.efforts, b.data.efforts)
+        assert np.array_equal(a.data.metrics, b.data.metrics)
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(
+            weights=[0.01], sigma_eps=0.2, sigma_rho=0.2,
+            components_per_team=[4, 4],
+        )
+        a = simulate_dataset(seed=1, **kwargs)
+        b = simulate_dataset(seed=2, **kwargs)
+        assert not np.array_equal(a.data.efforts, b.data.efforts)
+
+    def test_noise_free_data_is_exact(self):
+        sim = simulate_dataset(
+            weights=[0.05], sigma_eps=0.0, sigma_rho=0.0,
+            components_per_team=[5], seed=0,
+        )
+        expected = sim.data.metrics[:, 0] * 0.05
+        assert np.allclose(sim.data.efforts, expected)
+
+    def test_productivity_scales_effort(self):
+        sim = simulate_dataset(
+            weights=[1.0], sigma_eps=0.0, sigma_rho=0.7,
+            components_per_team=[3, 3], seed=4,
+        )
+        for rec_idx, team in enumerate(sim.data.groups):
+            rho = sim.true_productivities[team]
+            expected = sim.data.metrics[rec_idx, 0] / rho
+            assert sim.data.efforts[rec_idx] == pytest.approx(expected)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            simulate_dataset([], 0.1, 0.1, [3])
+        with pytest.raises(ValueError):
+            simulate_dataset([-1.0], 0.1, 0.1, [3])
+        with pytest.raises(ValueError):
+            simulate_dataset([1.0], -0.1, 0.1, [3])
+        with pytest.raises(ValueError):
+            simulate_dataset([1.0], 0.1, 0.1, [])
+        with pytest.raises(ValueError):
+            simulate_dataset([1.0], 0.1, 0.1, [0])
+
+    @given(
+        st.integers(1, 4),
+        st.lists(st.integers(1, 6), min_size=1, max_size=4),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_generated_data_always_valid(self, k, teams, seed):
+        # GroupedData's validation (positivity, finiteness) must always pass
+        # for generated data.
+        sim = simulate_dataset(
+            weights=[0.01] * k, sigma_eps=0.5, sigma_rho=0.5,
+            components_per_team=teams, seed=seed,
+        )
+        assert sim.data.n_observations == sum(teams)
+        assert (sim.data.efforts > 0).all()
+        assert (sim.data.metrics > 0).all()

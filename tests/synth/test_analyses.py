@@ -1,0 +1,240 @@
+"""Tests for the synthesis analyses: cones, timing, area, power, FPGA."""
+
+import pytest
+
+from repro.elab import elaborate
+from repro.hdl import parse_verilog
+from repro.hdl.source import SourceFile
+from repro.synth import fanin_logic_cones, map_to_luts, synthesize_module
+from repro.synth.area import area_report
+from repro.synth.cones import cone_input_counts
+from repro.synth.library import CELL_LIBRARY, MEMORY_BIT_AREA
+from repro.synth.power import power_report
+from repro.synth.report import synthesis_metrics
+from repro.synth.timing import timing_report
+
+
+def _netlist(text, top="m", params=None):
+    design = parse_verilog(SourceFile("t.v", text))
+    return synthesize_module(elaborate(design, top, params))
+
+
+@pytest.fixture(scope="module")
+def pipeline_stage():
+    """A register-to-register stage: 8-bit add, then compare."""
+    return _netlist(
+        """
+        module m(input clk, input [7:0] a, b, output reg [7:0] s, output reg big);
+          always @(posedge clk) begin
+            s <= a + b;
+            big <= (a + b) > 8'd100;
+          end
+        endmodule
+        """
+    )
+
+
+class TestCones:
+    def test_direct_wire_cone(self):
+        nl = _netlist("module m(input a, output y); assign y = a; endmodule")
+        # One sink (y), whose cone input is exactly the primary input a.
+        assert fanin_logic_cones(nl) == 1
+
+    def test_and_gate_cone(self):
+        nl = _netlist(
+            "module m(input a, b, output y); assign y = a & b; endmodule"
+        )
+        assert fanin_logic_cones(nl) == 2
+
+    def test_distinct_inputs_counted_once(self):
+        nl = _netlist(
+            "module m(input a, b, output y);"
+            " assign y = (a & b) | (a ^ b); endmodule"
+        )
+        assert fanin_logic_cones(nl) == 2  # a and b, not 4
+
+    def test_register_boundary_splits_cones(self, pipeline_stage):
+        counts = cone_input_counts(pipeline_stage)
+        # 9 register D pins (8 sum bits + big) plus 9 primary outputs.
+        assert len(counts) == 18
+        # Each sum bit i depends on a[0..i] and b[0..i].
+        total = fanin_logic_cones(pipeline_stage)
+        assert total > 16
+
+    def test_cone_stops_at_flipflop(self):
+        nl = _netlist(
+            "module m(input clk, input [7:0] d, output [7:0] y);"
+            " reg [7:0] q;"
+            " always @(posedge clk) q <= d;"
+            " assign y = q + 8'd1;"
+            " endmodule"
+        )
+        counts = cone_input_counts(nl)
+        # Output cones start at q (the register), not at d.
+        output_cones = [counts[s] for s in nl.outputs]
+        assert all(c <= 8 for c in output_cones)
+
+    def test_sum_over_all_sinks(self):
+        nl = _netlist(
+            "module m(input [3:0] a, output [3:0] x, y);"
+            " assign x = ~a; assign y = a; endmodule"
+        )
+        # 8 output sinks, each with a single-input cone.
+        assert fanin_logic_cones(nl) == 8
+
+
+class TestTiming:
+    def test_wire_only_max_frequency(self):
+        nl = _netlist("module m(input a, output y); assign y = a; endmodule")
+        rep = timing_report(nl)
+        assert rep.levels == 0
+        assert rep.frequency_mhz == pytest.approx(
+            1000.0 / (CELL_LIBRARY["DFF"].delay + 0.15)
+        )
+
+    def test_deeper_logic_is_slower(self):
+        fast = _netlist(
+            "module m(input [3:0] a, b, output [3:0] y);"
+            " assign y = a ^ b; endmodule"
+        )
+        slow = _netlist(
+            "module m(input [15:0] a, b, output [15:0] y);"
+            " assign y = a * b; endmodule"
+        )
+        assert timing_report(slow).frequency_mhz < timing_report(fast).frequency_mhz
+
+    def test_levels_grow_with_ripple_width(self):
+        narrow = _netlist(
+            "module m(input [3:0] a, b, output [3:0] y);"
+            " assign y = a + b; endmodule"
+        )
+        wide = _netlist(
+            "module m(input [31:0] a, b, output [31:0] y);"
+            " assign y = a + b; endmodule"
+        )
+        assert timing_report(wide).levels > timing_report(narrow).levels
+
+    def test_critical_path_positive(self, pipeline_stage):
+        rep = timing_report(pipeline_stage)
+        assert rep.critical_path_ns > 0
+        assert rep.frequency_mhz == pytest.approx(1000.0 / rep.critical_path_ns)
+
+
+class TestAreaAndPower:
+    def test_logic_area_sums_cells(self):
+        nl = _netlist(
+            "module m(input a, b, output y); assign y = a & b; endmodule"
+        )
+        rep = area_report(nl)
+        assert rep.logic_um2 == pytest.approx(CELL_LIBRARY["AND2"].area)
+        assert rep.storage_um2 == 0.0
+
+    def test_storage_area_includes_ffs_and_memory(self):
+        nl = _netlist(
+            "module m(input clk, input [7:0] d, input [2:0] a, output [7:0] q);"
+            " reg [7:0] r;"
+            " reg [7:0] mem [0:7];"
+            " always @(posedge clk) begin r <= d; mem[a] <= d; end"
+            " assign q = r;"
+            " endmodule"
+        )
+        rep = area_report(nl)
+        expected_ffs = 8 * CELL_LIBRARY["DFF"].area
+        expected_mem = 64 * MEMORY_BIT_AREA
+        assert rep.storage_um2 == pytest.approx(expected_ffs + expected_mem)
+        assert rep.total_um2 == rep.logic_um2 + rep.storage_um2
+
+    def test_power_scales_with_size(self):
+        small = _netlist(
+            "module m(input [3:0] a, b, output [3:0] y);"
+            " assign y = a ^ b; endmodule"
+        )
+        big = _netlist(
+            "module m(input [31:0] a, b, output [31:0] y);"
+            " assign y = (a + b) ^ (a - b); endmodule"
+        )
+        small_p = power_report(small, frequency_mhz=100.0)
+        big_p = power_report(big, frequency_mhz=100.0)
+        assert big_p.dynamic_mw > small_p.dynamic_mw
+        assert big_p.static_uw > small_p.static_uw
+
+    def test_dynamic_power_proportional_to_frequency(self):
+        nl = _netlist(
+            "module m(input [7:0] a, b, output [7:0] y);"
+            " assign y = a + b; endmodule"
+        )
+        p100 = power_report(nl, frequency_mhz=100.0)
+        p200 = power_report(nl, frequency_mhz=200.0)
+        assert p200.dynamic_mw == pytest.approx(2 * p100.dynamic_mw)
+
+    def test_memory_contributes_leakage(self):
+        nl = _netlist(
+            "module m(input clk, input [2:0] a, input [7:0] d, output [7:0] q);"
+            " reg [7:0] mem [0:7];"
+            " always @(posedge clk) mem[a] <= d;"
+            " assign q = mem[a];"
+            " endmodule"
+        )
+        assert power_report(nl, 100.0).static_uw > 0
+
+
+class TestFpgaMapping:
+    def test_small_logic_fits_one_lut(self):
+        nl = _netlist(
+            "module m(input a, b, c, output y);"
+            " assign y = (a & b) | (~a & c); endmodule"
+        )
+        rep = map_to_luts(nl)
+        assert rep.n_luts == 1
+        assert rep.fanin_lc == 3
+        assert rep.depth == 1
+
+    def test_wide_fanin_splits_luts(self):
+        nl = _netlist(
+            "module m(input [15:0] a, output y); assign y = &a; endmodule"
+        )
+        rep = map_to_luts(nl)
+        assert rep.n_luts >= 2          # 16 inputs can't fit in one 8-LUT
+        assert rep.fanin_lc >= 16
+        assert rep.depth == 2
+
+    def test_flipflops_counted(self, pipeline_stage):
+        rep = map_to_luts(pipeline_stage)
+        assert rep.n_flipflops == 9
+
+    def test_depth_drives_frequency(self):
+        shallow = _netlist(
+            "module m(input [3:0] a, output y); assign y = |a; endmodule"
+        )
+        deep = _netlist(
+            "module m(input [31:0] a, b, output [31:0] y);"
+            " assign y = a * b; endmodule"
+        )
+        assert (
+            map_to_luts(deep).frequency_mhz < map_to_luts(shallow).frequency_mhz
+        )
+
+    def test_lut_estimate_tracks_direct_cones(self, pipeline_stage):
+        # The paper's LUT-input-sum estimate should be on the same order as
+        # the direct latch-to-latch count.
+        direct = fanin_logic_cones(pipeline_stage)
+        estimate = map_to_luts(pipeline_stage).fanin_lc
+        assert 0.3 * direct <= estimate <= 3 * direct
+
+
+class TestReport:
+    def test_metric_vector_keys(self, pipeline_stage):
+        rep = synthesis_metrics(pipeline_stage)
+        assert set(rep.metrics()) == {
+            "FanInLC", "Nets", "Cells", "AreaL", "AreaS",
+            "PowerD", "PowerS", "Freq", "FFs",
+        }
+
+    def test_metric_values_consistent(self, pipeline_stage):
+        rep = synthesis_metrics(pipeline_stage)
+        m = rep.metrics()
+        assert m["FFs"] == 9
+        assert m["Cells"] == pipeline_stage.n_cells
+        assert m["Nets"] == pipeline_stage.n_nets
+        assert m["Freq"] == pytest.approx(rep.fpga.frequency_mhz)
+        assert rep.fanin_lc_asic > 0

@@ -1,0 +1,420 @@
+"""Behavioral correctness of lowering, checked by netlist simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.elab import elaborate
+from repro.hdl import parse_verilog, parse_vhdl
+from repro.hdl.source import SourceFile
+from repro.synth import SynthesisError, synthesize_module
+from repro.synth.sim import NetlistSimulator
+
+
+def _netlist(text, top, lang="v", params=None):
+    parse = parse_verilog if lang == "v" else parse_vhdl
+    design = parse(SourceFile(f"t.{'v' if lang == 'v' else 'vhd'}", text))
+    return synthesize_module(elaborate(design, top, params))
+
+
+def _comb_sim(text, top, **inputs):
+    sim = NetlistSimulator(_netlist(text, top))
+    for name, value in inputs.items():
+        sim.set_input(name, value)
+    sim.settle()
+    return sim
+
+
+u8 = st.integers(0, 255)
+
+
+class TestCombinationalOps:
+    @given(u8, u8)
+    @settings(max_examples=20, deadline=None)
+    def test_adder(self, a, b):
+        sim = _comb_sim(
+            "module m(input [7:0] a, b, output [7:0] y);"
+            " assign y = a + b; endmodule",
+            "m", a=a, b=b,
+        )
+        assert sim.get_output("y") == (a + b) & 255
+
+    @given(u8, u8)
+    @settings(max_examples=20, deadline=None)
+    def test_subtractor(self, a, b):
+        sim = _comb_sim(
+            "module m(input [7:0] a, b, output [7:0] y);"
+            " assign y = a - b; endmodule",
+            "m", a=a, b=b,
+        )
+        assert sim.get_output("y") == (a - b) & 255
+
+    @given(u8, u8)
+    @settings(max_examples=20, deadline=None)
+    def test_multiplier(self, a, b):
+        sim = _comb_sim(
+            "module m(input [7:0] a, b, output [15:0] y);"
+            " assign y = a * b; endmodule",
+            "m", a=a, b=b,
+        )
+        assert sim.get_output("y") == a * b
+
+    @given(u8, u8)
+    @settings(max_examples=20, deadline=None)
+    def test_comparisons(self, a, b):
+        sim = _comb_sim(
+            "module m(input [7:0] a, b, output lt, le, gt, ge, eq, ne);"
+            " assign lt = a < b; assign le = a <= b;"
+            " assign gt = a > b; assign ge = a >= b;"
+            " assign eq = a == b; assign ne = a != b; endmodule",
+            "m", a=a, b=b,
+        )
+        assert sim.get_output("lt") == int(a < b)
+        assert sim.get_output("le") == int(a <= b)
+        assert sim.get_output("gt") == int(a > b)
+        assert sim.get_output("ge") == int(a >= b)
+        assert sim.get_output("eq") == int(a == b)
+        assert sim.get_output("ne") == int(a != b)
+
+    @given(u8, st.integers(0, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_variable_shifts(self, a, s):
+        sim = _comb_sim(
+            "module m(input [7:0] a, input [2:0] s, output [7:0] l, r);"
+            " assign l = a << s; assign r = a >> s; endmodule",
+            "m", a=a, s=s,
+        )
+        assert sim.get_output("l") == (a << s) & 255
+        assert sim.get_output("r") == a >> s
+
+    @given(u8, u8, st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_ternary_mux(self, a, b, c):
+        sim = _comb_sim(
+            "module m(input [7:0] a, b, input c, output [7:0] y);"
+            " assign y = c ? a : b; endmodule",
+            "m", a=a, b=b, c=c,
+        )
+        assert sim.get_output("y") == (a if c else b)
+
+    @given(u8)
+    @settings(max_examples=20, deadline=None)
+    def test_reductions(self, a):
+        sim = _comb_sim(
+            "module m(input [7:0] a, output r_and, r_or, r_xor);"
+            " assign r_and = &a; assign r_or = |a; assign r_xor = ^a;"
+            " endmodule",
+            "m", a=a,
+        )
+        assert sim.get_output("r_and") == int(a == 255)
+        assert sim.get_output("r_or") == int(a != 0)
+        assert sim.get_output("r_xor") == bin(a).count("1") % 2
+
+    @given(u8, st.integers(0, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_dynamic_bit_select(self, a, i):
+        sim = _comb_sim(
+            "module m(input [7:0] a, input [2:0] i, output y);"
+            " assign y = a[i]; endmodule",
+            "m", a=a, i=i,
+        )
+        assert sim.get_output("y") == (a >> i) & 1
+
+    @given(u8)
+    @settings(max_examples=10, deadline=None)
+    def test_concat_and_repeat(self, a):
+        sim = _comb_sim(
+            "module m(input [7:0] a, output [15:0] y, output [3:0] z);"
+            " assign y = {a[3:0], a[7:4], a[7:0]};"
+            " assign z = {4{a[0]}}; endmodule",
+            "m", a=a,
+        )
+        expected = ((a & 15) << 12) | ((a >> 4) << 8) | a
+        assert sim.get_output("y") == expected
+        assert sim.get_output("z") == (15 if a & 1 else 0)
+
+    def test_constant_folding_eliminates_logic(self):
+        nl = _netlist(
+            "module m(input [7:0] a, output [7:0] y);"
+            " assign y = a & 8'h00; endmodule",
+            "m",
+        )
+        assert nl.n_cells == 0  # folded to constant zero
+
+    def test_cse_shares_identical_gates(self):
+        nl = _netlist(
+            "module m(input a, b, output x, y);"
+            " assign x = a & b; assign y = b & a; endmodule",
+            "m",
+        )
+        assert nl.n_cells == 1  # commuted AND is shared
+
+    @given(u8, u8)
+    @settings(max_examples=10, deadline=None)
+    def test_power_of_two_division(self, a, b):
+        sim = _comb_sim(
+            "module m(input [7:0] a, output [7:0] q, r);"
+            " assign q = a / 4; assign r = a % 4; endmodule",
+            "m", a=a,
+        )
+        assert sim.get_output("q") == a // 4
+        assert sim.get_output("r") == a % 4
+
+    def test_non_power_of_two_division_rejected(self):
+        with pytest.raises(SynthesisError, match="divisor"):
+            _netlist(
+                "module m(input [7:0] a, output [7:0] y);"
+                " assign y = a / 3; endmodule",
+                "m",
+            )
+
+
+class TestProcedural:
+    def test_if_else_priority(self):
+        sim_src = (
+            "module m(input [1:0] s, input [7:0] a, b, c, output reg [7:0] y);"
+            " always @(*) begin"
+            "   if (s == 2'd0) y = a;"
+            "   else if (s == 2'd1) y = b;"
+            "   else y = c;"
+            " end endmodule"
+        )
+        for s, expected in ((0, 11), (1, 22), (2, 33), (3, 33)):
+            sim = _comb_sim(sim_src, "m", s=s, a=11, b=22, c=33)
+            assert sim.get_output("y") == expected
+
+    def test_case_statement(self):
+        src = (
+            "module m(input [1:0] s, input [7:0] a, b, output reg [7:0] y);"
+            " always @(*) begin"
+            "   case (s)"
+            "     2'd0: y = a;"
+            "     2'd1, 2'd2: y = b;"
+            "     default: y = 8'hFF;"
+            "   endcase"
+            " end endmodule"
+        )
+        for s, expected in ((0, 5), (1, 9), (2, 9), (3, 255)):
+            sim = _comb_sim(src, "m", s=s, a=5, b=9)
+            assert sim.get_output("y") == expected
+
+    def test_blocking_sequence_in_comb(self):
+        # Later blocking assignments see earlier ones.
+        sim = _comb_sim(
+            "module m(input [7:0] a, output reg [7:0] y);"
+            " always @(*) begin y = a; y = y + 1; end endmodule",
+            "m", a=41,
+        )
+        assert sim.get_output("y") == 42
+
+    def test_procedural_for_unrolled(self):
+        sim = _comb_sim(
+            "module m(input [7:0] a, output reg p);"
+            " integer i;"
+            " always @(*) begin"
+            "   p = 1'b0;"
+            "   for (i = 0; i < 8; i = i + 1) p = p ^ a[i];"
+            " end endmodule",
+            "m", a=0b10110100,
+        )
+        assert sim.get_output("p") == bin(0b10110100).count("1") % 2
+
+    def test_partial_assignment_bits(self):
+        sim = _comb_sim(
+            "module m(input [3:0] a, output reg [7:0] y);"
+            " always @(*) begin y = 8'h00; y[7:4] = a; y[0] = 1'b1; end"
+            " endmodule",
+            "m", a=0b1010,
+        )
+        assert sim.get_output("y") == 0b10100001
+
+    def test_register_holds_value(self):
+        nl = _netlist(
+            "module m(input clk, en, input [7:0] d, output reg [7:0] q);"
+            " always @(posedge clk) if (en) q <= d; endmodule",
+            "m",
+        )
+        sim = NetlistSimulator(nl)
+        sim.set_input("d", 77)
+        sim.set_input("en", 1)
+        sim.clock()
+        assert sim.get_output("q") == 77
+        sim.set_input("d", 12)
+        sim.set_input("en", 0)
+        sim.clock()
+        assert sim.get_output("q") == 77  # held
+        sim.set_input("en", 1)
+        sim.clock()
+        assert sim.get_output("q") == 12
+
+    def test_counter_counts(self):
+        nl = _netlist(
+            "module m(input clk, rst, output reg [3:0] q);"
+            " always @(posedge clk) begin"
+            "   if (rst) q <= 4'd0; else q <= q + 4'd1;"
+            " end endmodule",
+            "m",
+        )
+        sim = NetlistSimulator(nl)
+        sim.set_input("rst", 1)
+        sim.clock()
+        sim.set_input("rst", 0)
+        for _ in range(20):
+            sim.clock()
+        assert sim.get_output("q") == 20 % 16
+
+    def test_memory_write_read(self):
+        nl = _netlist(
+            "module m(input clk, we, input [2:0] wa, ra,"
+            " input [7:0] wd, output [7:0] rd);"
+            " reg [7:0] mem [0:7];"
+            " assign rd = mem[ra];"
+            " always @(posedge clk) if (we) mem[wa] <= wd;"
+            " endmodule",
+            "m",
+        )
+        sim = NetlistSimulator(nl)
+        for addr in range(8):
+            sim.set_input("we", 1)
+            sim.set_input("wa", addr)
+            sim.set_input("wd", addr * 7)
+            sim.clock()
+        sim.set_input("we", 0)
+        for addr in range(8):
+            sim.set_input("ra", addr)
+            assert sim.get_output("rd") == addr * 7
+
+    def test_dynamic_index_register_write(self):
+        nl = _netlist(
+            "module m(input clk, input [2:0] i, input b, output reg [7:0] q);"
+            " always @(posedge clk) q[i] <= b; endmodule",
+            "m",
+        )
+        sim = NetlistSimulator(nl)
+        for i in (1, 4, 6):
+            sim.set_input("i", i)
+            sim.set_input("b", 1)
+            sim.clock()
+        assert sim.get_output("q") == (1 << 1) | (1 << 4) | (1 << 6)
+
+
+class TestStructural:
+    def test_combinational_loop_detected(self):
+        with pytest.raises(SynthesisError, match="loop"):
+            _netlist(
+                "module m(input a, output x);"
+                " wire y; assign x = y & a; assign y = x | a; endmodule",
+                "m",
+            )
+
+    def test_multiple_drivers_detected(self):
+        with pytest.raises(SynthesisError, match="multiple drivers"):
+            _netlist(
+                "module m(input a, b, output y);"
+                " assign y = a; assign y = b; endmodule",
+                "m",
+            )
+
+    def test_undriven_signal_linted_not_fatal(self):
+        nl = _netlist(
+            "module m(input a, output y); wire w; assign y = w & a; endmodule",
+            "m",
+        )
+        assert nl is not None  # w tied to 0, y folds to 0
+
+    def test_blackbox_instance_pins_become_boundaries(self):
+        design = parse_verilog(
+            SourceFile(
+                "t.v",
+                """
+                module child(input [3:0] a, output [3:0] y);
+                  assign y = ~a;
+                endmodule
+                module top(input [3:0] x, output [3:0] z);
+                  wire [3:0] mid;
+                  child u0 (.a(x + 4'd1), .y(mid));
+                  assign z = mid ^ 4'hF;
+                endmodule
+                """,
+            )
+        )
+        nl = synthesize_module(elaborate(design, "top"))
+        assert len(nl.blackbox_sinks) == 4    # child input pins
+        assert len(nl.blackbox_sources) == 4  # child output pins
+
+    def test_concat_lvalue_assign(self):
+        sim = _comb_sim(
+            "module m(input [7:0] a, output [3:0] hi, lo);"
+            " assign {hi, lo} = a; endmodule",
+            "m", a=0xA5,
+        )
+        assert sim.get_output("hi") == 0xA
+        assert sim.get_output("lo") == 0x5
+
+    def test_netlist_validates(self):
+        nl = _netlist(
+            "module m(input clk, input [7:0] d, output reg [7:0] q);"
+            " always @(posedge clk) q <= d + 8'd1; endmodule",
+            "m",
+        )
+        nl.validate()
+        assert nl.n_flipflops == 8
+
+
+class TestVhdlLowering:
+    def test_vhdl_counter(self):
+        nl = _netlist(
+            """
+            entity cnt is
+              port ( clk : in std_logic; rst : in std_logic;
+                     q : out std_logic_vector(3 downto 0) );
+            end cnt;
+            architecture rtl of cnt is
+              signal r : unsigned(3 downto 0);
+            begin
+              process (clk) begin
+                if rising_edge(clk) then
+                  if rst = '1' then r <= (others => '0');
+                  else r <= r + 1;
+                  end if;
+                end if;
+              end process;
+              q <= std_logic_vector(r);
+            end rtl;
+            """,
+            "cnt", lang="vhd",
+        )
+        sim = NetlistSimulator(nl)
+        sim.set_input("rst", 1)
+        sim.clock()
+        sim.set_input("rst", 0)
+        for _ in range(5):
+            sim.clock()
+        assert sim.get_output("q") == 5
+
+    def test_vhdl_selected_assign(self):
+        nl = _netlist(
+            """
+            entity mux4 is
+              port ( s : in std_logic_vector(1 downto 0);
+                     a, b, c, d : in std_logic;
+                     y : out std_logic );
+            end mux4;
+            architecture rtl of mux4 is begin
+              with s select y <=
+                a when "00",
+                b when "01",
+                c when "10",
+                d when others;
+            end rtl;
+            """,
+            "mux4", lang="vhd",
+        )
+        sim = NetlistSimulator(nl)
+        for s, name in enumerate("abcd"):
+            for bit in (0, 1):
+                for other in "abcd":
+                    sim.set_input(other, 1 - bit)
+                sim.set_input(name, bit)
+                sim.set_input("s", s)
+                sim.settle()
+                assert sim.get_output("y") == bit

@@ -1,0 +1,117 @@
+"""Tests for the gate-level netlist container and the simulator's guards."""
+
+import pytest
+
+from repro.elab import elaborate
+from repro.hdl import parse_verilog
+from repro.hdl.source import SourceFile
+from repro.synth import synthesize_module
+from repro.synth.netlist import CONST0, CONST1, Cell, Memory, Netlist
+from repro.synth.sim import NetlistSimulator
+
+
+class TestNetlist:
+    def test_constant_nets_reserved(self):
+        nl = Netlist("t")
+        assert nl.net_names[CONST0] == "const0"
+        assert nl.net_names[CONST1] == "const1"
+        assert nl.n_nets == 0
+
+    def test_add_cell_and_counts(self):
+        nl = Netlist("t")
+        a = nl.new_net("a")
+        b = nl.new_net("b")
+        out = nl.add_cell("AND2", (a, b))
+        assert nl.n_cells == 1
+        assert nl.driver[out] == 0
+
+    def test_cse_reuses_identical_cells(self):
+        nl = Netlist("t")
+        a = nl.new_net()
+        b = nl.new_net()
+        first = nl.add_cell("AND2", (a, b))
+        second = nl.add_cell("AND2", (a, b))
+        assert first == second
+        assert nl.n_cells == 1
+
+    def test_dff_not_csed(self):
+        nl = Netlist("t")
+        d = nl.new_net()
+        q1 = nl.new_net()
+        q2 = nl.new_net()
+        nl.add_dff(d, q1)
+        nl.add_dff(d, q2)
+        assert nl.n_flipflops == 2
+        assert nl.n_cells == 0  # combinational count excludes DFFs
+
+    def test_unknown_cell_kind_rejected(self):
+        nl = Netlist("t")
+        with pytest.raises(KeyError):
+            nl.add_cell("LUT9", (0,))
+
+    def test_cone_sources_and_sinks(self):
+        nl = Netlist("t")
+        inp = nl.new_net("in")
+        nl.mark_input(inp)
+        q = nl.new_net("q")
+        d = nl.add_cell("INV", (inp,))
+        nl.add_dff(d, q)
+        out = nl.add_cell("INV", (q,))
+        nl.mark_output(out)
+        assert inp in nl.cone_sources()
+        assert q in nl.cone_sources()
+        assert d in nl.cone_sinks()
+        assert out in nl.cone_sinks()
+
+    def test_memory_ports_are_cone_boundaries(self):
+        nl = Netlist("t")
+        addr = nl.new_net()
+        nl.mark_input(addr)
+        mem = Memory("m", width=2, depth=4)
+        rd = (nl.new_net(), nl.new_net())
+        from repro.synth.netlist import ReadPort
+
+        mem.read_ports.append(ReadPort((addr,), rd))
+        nl.memories.append(mem)
+        assert set(rd) <= set(nl.cone_sources())
+        assert addr in nl.cone_sinks()
+        assert mem.bits == 8
+
+    def test_validate_rejects_bad_arity(self):
+        nl = Netlist("t")
+        a = nl.new_net()
+        nl.cells.append(Cell("AND2", (a,), nl.new_net()))
+        with pytest.raises(ValueError, match="inputs"):
+            nl.validate()
+
+    def test_validate_rejects_undriven_output(self):
+        nl = Netlist("t")
+        out = nl.new_net("ghost")
+        nl.mark_output(out)
+        with pytest.raises(ValueError, match="driver"):
+            nl.validate()
+
+
+class TestSimulatorGuards:
+    def test_blackbox_netlists_rejected(self):
+        design = parse_verilog(
+            SourceFile(
+                "t.v",
+                "module leaf(input a, output y); assign y = ~a; endmodule"
+                " module m(input x, output z);"
+                " leaf u0 (.a(x), .y(z)); endmodule",
+            )
+        )
+        nl = synthesize_module(elaborate(design, "m"))
+        with pytest.raises(ValueError, match="blackbox"):
+            NetlistSimulator(nl)
+
+    def test_unknown_port_rejected(self):
+        design = parse_verilog(
+            SourceFile(
+                "t.v", "module m(input a, output y); assign y = a; endmodule"
+            )
+        )
+        sim = NetlistSimulator(synthesize_module(elaborate(design, "m")))
+        with pytest.raises(KeyError, match="ports"):
+            sim.set_input("nope", 1)

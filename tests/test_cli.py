@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import paper_dataset
+
+
+@pytest.fixture()
+def rat_file():
+    from repro.designs.loader import _RTL_ROOT
+
+    return str(_RTL_ROOT / "rat" / "rat_standard.v")
+
+
+class TestMeasure:
+    def test_measure_prints_metrics(self, capsys, rat_file):
+        assert main(["measure", rat_file, "--top", "rat_standard"]) == 0
+        out = capsys.readouterr().out
+        assert "FanInLC" in out
+        assert "Stmts" in out
+
+    def test_measure_verbose_lists_specializations(self, capsys, rat_file):
+        main(["measure", rat_file, "--top", "rat_standard", "-v"])
+        out = capsys.readouterr().out
+        assert "rat_freelist" in out
+
+    def test_measure_without_accounting(self, capsys, rat_file):
+        main(["measure", rat_file, "--top", "rat_standard", "--no-accounting"])
+        assert "Cells" in capsys.readouterr().out
+
+
+class TestFit:
+    def test_fit_default_is_dee1_on_paper_data(self, capsys):
+        assert main(["fit"]) == 0
+        out = capsys.readouterr().out
+        assert "sigma_eps = 0.4" in out
+        assert "rho[Leon3]" in out
+
+    def test_fit_without_productivity(self, capsys):
+        main(["fit", "--no-productivity", "--metrics", "Stmts"])
+        out = capsys.readouterr().out
+        assert "sigma_rho" not in out
+        assert "sigma_eps = 0.60" in out
+
+    def test_fit_from_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "db.csv"
+        paper_dataset().to_csv(csv_path)
+        main(["fit", "--dataset", str(csv_path), "--metrics", "LoC"])
+        assert "w[LoC]" in capsys.readouterr().out
+
+
+class TestEstimate:
+    def test_estimate_with_team(self, capsys):
+        main([
+            "estimate", "--metric", "Stmts=950", "--metric", "FanInLC=6100",
+            "--team", "IVM",
+        ])
+        out = capsys.readouterr().out
+        assert "person-months" in out
+        assert "confidence interval" in out
+
+    def test_estimate_bad_metric_syntax(self, capsys):
+        assert main(["estimate", "--metric", "Stmts"]) == 2
+
+
+class TestEvaluate:
+    def test_evaluate_prints_table4(self, capsys):
+        assert main(["evaluate"]) == 0
+        out = capsys.readouterr().out
+        assert "DEE1" in out
+        assert "sigma_eps (rho=1)" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Figure 4" in out
+        assert "Figure 5" in out
+        assert "combination sweep" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.txt"
+        assert main(["report", "-o", str(path)]) == 0
+        text = path.read_text()
+        assert "uComplexity reproduction report" in text
+        assert "paper" in text  # paper-vs-ours columns on the default data
+
+    def test_report_on_custom_csv_has_no_paper_columns(self, capsys, tmp_path):
+        csv_path = tmp_path / "db.csv"
+        paper_dataset().to_csv(csv_path)
+        assert main(["report", "--dataset", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "paper rho=1" not in out
