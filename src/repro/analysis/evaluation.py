@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.core.estimator import DEE1_METRICS, DesignEffortEstimator
 from repro.data.dataset import EffortDataset
+from repro.runtime.diagnostics import Diagnostic, Severity
 from repro.stats.lognormal import confidence_factors
 
 #: Estimator list in the column order of Table 4.
@@ -45,6 +46,18 @@ class EstimatorAccuracy:
     aic: float
     bic: float
     estimator: DesignEffortEstimator
+    #: False when the underlying optimizer/verification did not converge;
+    #: such a sigma_eps must not be reported as-is (Table 4 marks it).
+    converged: bool = True
+    #: Which fitter produced the estimate: "exact-ml" (clean mixed-effects
+    #: fit), "laplace-aghq"/"fixed-effects" (degraded mixed-effects fit),
+    #: or "rho=1" (the fixed-effects model *as requested*, not a fallback).
+    fitter: str = "exact-ml"
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.fitter not in ("exact-ml", "rho=1")
 
     def interval_factors(self, confidence: float = 0.90) -> tuple[float, float]:
         """(yl, yh) multiplicative factors for this estimator's sigma."""
@@ -58,6 +71,19 @@ class EvaluationResult:
     mixed: dict[str, EstimatorAccuracy]
     fixed: dict[str, EstimatorAccuracy]
     dataset: EffortDataset
+    #: Estimators that failed outright and were skipped (name order kept).
+    skipped: tuple[str, ...] = ()
+    #: Batch-level diagnostics: skip reports, degradations, non-convergence.
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any row was skipped, degraded, or failed to converge."""
+        return bool(self.skipped) or any(
+            acc.degraded or not acc.converged
+            for table in (self.mixed, self.fixed)
+            for acc in table.values()
+        )
 
     def sigma_table(self) -> dict[str, tuple[float, float]]:
         """Estimator -> (sigma with rho, sigma with rho=1): Table 4's last
@@ -78,13 +104,16 @@ def _accuracy(
     name: str,
     metric_names: Sequence[str],
     productivity_adjustment: bool,
+    robust: bool = False,
 ) -> EstimatorAccuracy:
     est = DesignEffortEstimator.fit(
         dataset,
         metric_names,
         name=name,
         productivity_adjustment=productivity_adjustment,
+        robust=robust,
     )
+    fitter = est.fitter_name if productivity_adjustment else "rho=1"
     return EstimatorAccuracy(
         name=name,
         metric_names=tuple(metric_names),
@@ -94,31 +123,75 @@ def _accuracy(
         aic=est.criteria.aic,
         bic=est.criteria.bic,
         estimator=est,
+        converged=est.converged,
+        fitter=fitter,
+        diagnostics=est.fit_diagnostics,
     )
 
 
 def evaluate_estimators(
     dataset: EffortDataset,
     estimators: Sequence[tuple[str, tuple[str, ...]]] = TABLE4_ESTIMATORS,
+    robust: bool = True,
 ) -> EvaluationResult:
     """Fit every estimator both ways and collect the accuracy table.
 
     Estimators whose metrics are absent from the dataset are skipped (the
-    ablation datasets omit some columns).
+    ablation datasets omit some columns).  With ``robust`` (the default)
+    each mixed-effects fit runs through the verification/fallback chain of
+    :mod:`repro.stats.robust`, and an estimator whose fit *raises* is
+    skipped and reported in ``EvaluationResult.diagnostics`` instead of
+    aborting the whole table -- the Table 4 run always completes.
     """
     available = set(dataset.metric_names)
     mixed: dict[str, EstimatorAccuracy] = {}
     fixed: dict[str, EstimatorAccuracy] = {}
+    skipped: list[str] = []
+    diagnostics: list[Diagnostic] = []
     for name, metric_names in estimators:
         if not set(metric_names) <= available:
             continue
-        mixed[name] = _accuracy(dataset, name, metric_names, True)
-        fixed[name] = _accuracy(dataset, name, metric_names, False)
+        try:
+            acc_mixed = _accuracy(dataset, name, metric_names, True, robust=robust)
+            acc_fixed = _accuracy(dataset, name, metric_names, False, robust=robust)
+        except Exception as exc:  # noqa: BLE001 -- skip-and-report
+            if not robust:
+                raise
+            skipped.append(name)
+            diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR, "fit",
+                    f"estimator {name} could not be fitted and was skipped: "
+                    f"{type(exc).__name__}: {exc}",
+                    component=name,
+                    hint="check the metric columns this estimator consumes",
+                )
+            )
+            continue
+        mixed[name] = acc_mixed
+        fixed[name] = acc_fixed
+        diagnostics.extend(acc_mixed.diagnostics)
+        for acc in (acc_mixed, acc_fixed):
+            if not acc.converged:
+                diagnostics.append(
+                    Diagnostic(
+                        Severity.ERROR, "fit",
+                        f"estimator {name} ({acc.fitter}) did not converge; "
+                        "its sigma_eps is marked unreliable in Table 4",
+                        component=name,
+                    )
+                )
     if not mixed:
         raise ValueError(
             "none of the requested estimators' metrics are present in the dataset"
         )
-    return EvaluationResult(mixed=mixed, fixed=fixed, dataset=dataset)
+    return EvaluationResult(
+        mixed=mixed,
+        fixed=fixed,
+        dataset=dataset,
+        skipped=tuple(skipped),
+        diagnostics=tuple(diagnostics),
+    )
 
 
 def scatter_points(

@@ -42,13 +42,55 @@ def _fmt(value: object) -> str:
 
 
 def render_table4(result: EvaluationResult) -> str:
-    """Table 4's two accuracy rows for every estimator."""
+    """Table 4's two accuracy rows for every estimator.
+
+    Degraded figures are never printed bare: ``*`` marks a fit that failed
+    its convergence checks, ``~`` one produced by a fallback fitter
+    (Laplace/AGHQ or fixed effects) rather than exact ML; skipped
+    estimators are listed below the table.
+    """
     names = list(result.mixed)
+
+    def cell(acc) -> str:
+        text = f"{acc.sigma_eps:.2f}"
+        if acc.degraded:
+            text += "~"
+        if not acc.converged:
+            text += "*"
+        return text
+
     rows = [
-        ["sigma_eps"] + [f"{result.mixed[n].sigma_eps:.2f}" for n in names],
-        ["sigma_eps (rho=1)"] + [f"{result.fixed[n].sigma_eps:.2f}" for n in names],
+        ["sigma_eps"] + [cell(result.mixed[n]) for n in names],
+        ["sigma_eps (rho=1)"] + [cell(result.fixed[n]) for n in names],
     ]
-    return render_table(["", *names], rows)
+    out = render_table(["", *names], rows)
+    notes: list[str] = []
+    if any(
+        acc.degraded
+        for table in (result.mixed, result.fixed)
+        for acc in table.values()
+    ):
+        fallbacks = sorted(
+            {
+                f"{acc.name}: {acc.fitter}"
+                for acc in result.mixed.values()
+                if acc.degraded
+            }
+        )
+        notes.append(
+            "~ fallback fitter engaged (" + "; ".join(fallbacks) + ")"
+        )
+    if any(
+        not acc.converged
+        for table in (result.mixed, result.fixed)
+        for acc in table.values()
+    ):
+        notes.append("* fit did not converge; value unreliable")
+    if result.skipped:
+        notes.append("skipped (fit failed): " + ", ".join(result.skipped))
+    if notes:
+        out += "\n" + "\n".join(notes)
+    return out
 
 
 def render_bar_chart(

@@ -10,6 +10,17 @@ Subcommands:
   using an estimator fitted on a CSV database.
 * ``evaluate``  -- regenerate the Table 4 accuracy table from the paper's
   published data (or a provided CSV).
+
+Failure handling (see DESIGN.md, "Failure handling & degradation ladder"):
+every subcommand maps its outcome onto three exit codes --
+
+* ``0`` -- clean result;
+* ``1`` -- partial/degraded result (inputs quarantined, a fallback fitter
+  engaged, or convergence unverified), diagnostics on stderr;
+* ``2`` -- fatal: no usable result.
+
+``--strict`` turns any degradation into a failure (exit 2) and
+``--keep-going`` quarantines malformed dataset rows instead of aborting.
 """
 
 from __future__ import annotations
@@ -22,20 +33,59 @@ from repro.analysis.evaluation import evaluate_estimators
 from repro.analysis.tables import render_table, render_table4
 from repro.core.accounting import AccountingPolicy
 from repro.core.estimator import DesignEffortEstimator
-from repro.core.workflow import measure_component
+from repro.core.workflow import measure_component_safe
 from repro.data.dataset import EffortDataset
 from repro.data.paper import paper_dataset
 from repro.hdl.source import SourceFile
+from repro.runtime.diagnostics import (
+    Diagnostic,
+    Severity,
+    max_severity,
+    render_report,
+)
+
+#: Exit codes (documented in README.md).
+EXIT_OK = 0
+EXIT_DEGRADED = 1
+EXIT_FATAL = 2
+
+
+def _print_diagnostics(diagnostics) -> None:
+    if diagnostics:
+        print(render_report(list(diagnostics)), file=sys.stderr)
+
+
+def _exit_code(diagnostics, *, fatal: bool = False, strict: bool = False) -> int:
+    """Map a diagnostics list onto the 0/1/2 exit-code contract."""
+    if fatal:
+        return EXIT_FATAL
+    worst = max_severity(diagnostics)
+    if worst is None or worst < Severity.ERROR:
+        return EXIT_OK
+    if worst >= Severity.FATAL:
+        return EXIT_FATAL
+    return EXIT_FATAL if strict else EXIT_DEGRADED
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    sources = [SourceFile.from_path(p) for p in args.files]
+    diagnostics: list[Diagnostic] = []
+    sources = []
+    for path in args.files:
+        try:
+            sources.append(SourceFile.from_path(path))
+        except Exception as exc:  # noqa: BLE001 -- quarantine unreadable files
+            diagnostics.append(Diagnostic.from_exception(exc, "parse"))
     policy = (
         AccountingPolicy.disabled()
         if args.no_accounting
         else AccountingPolicy.recommended()
     )
-    measurement = measure_component(sources, args.top, policy=policy)
+    result = measure_component_safe(sources, args.top, policy=policy)
+    diagnostics.extend(result.diagnostics)
+    _print_diagnostics(diagnostics)
+    if result.value is None:
+        return EXIT_FATAL
+    measurement = result.value
     rows = sorted(measurement.metrics.items())
     print(render_table(["metric", "value"], [[k, v] for k, v in rows]))
     if args.verbose:
@@ -43,22 +93,34 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         for module, params in measurement.specializations:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
             print(f"  {module}({rendered})")
-    return 0
+    return _exit_code(diagnostics, strict=args.strict)
 
 
-def _load_dataset(path: str | None) -> EffortDataset:
+def _load_dataset(
+    path: str | None, keep_going: bool, diagnostics: list[Diagnostic]
+) -> EffortDataset | None:
+    """Load a CSV (or the paper data); None means a fatal load failure."""
     if path is None:
         return paper_dataset()
-    return EffortDataset.from_csv(Path(path))
+    result = EffortDataset.from_csv_checked(Path(path), keep_going=keep_going)
+    diagnostics.extend(result.diagnostics)
+    return result.value
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args.dataset)
+    diagnostics: list[Diagnostic] = []
+    dataset = _load_dataset(args.dataset, args.keep_going, diagnostics)
+    if dataset is None:
+        _print_diagnostics(diagnostics)
+        return EXIT_FATAL
+    diagnostics.extend(dataset.validate())
     est = DesignEffortEstimator.fit(
         dataset,
         args.metrics,
         productivity_adjustment=not args.no_productivity,
+        robust=not args.no_productivity,
     )
+    diagnostics.extend(est.fit_diagnostics)
     print(f"estimator: {est.name}")
     for name, w in zip(est.metric_names, est.weights):
         print(f"  w[{name}] = {w:.6g}")
@@ -69,45 +131,73 @@ def _cmd_fit(args: argparse.Namespace) -> int:
             print(f"  rho[{team}] = {rho:.3f}")
     crit = est.criteria
     print(f"  AIC = {crit.aic:.1f}   BIC = {crit.bic:.1f}")
-    return 0
+    if est.degraded:
+        print(f"  fitter = {est.fitter_name} (degraded)")
+    _print_diagnostics(diagnostics)
+    return _exit_code(diagnostics, strict=args.strict)
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args.dataset)
+    diagnostics: list[Diagnostic] = []
+    dataset = _load_dataset(args.dataset, args.keep_going, diagnostics)
+    if dataset is None:
+        _print_diagnostics(diagnostics)
+        return EXIT_FATAL
     metrics = {}
     for pair in args.metric:
         name, _, value = pair.partition("=")
         if not value:
             print(f"error: metric {pair!r} is not name=value", file=sys.stderr)
-            return 2
+            return EXIT_FATAL
         metrics[name] = float(value)
-    est = DesignEffortEstimator.fit(dataset, sorted(metrics))
+    est = DesignEffortEstimator.fit(dataset, sorted(metrics), robust=True)
+    diagnostics.extend(est.fit_diagnostics)
     median = est.estimate(metrics, team=args.team)
     lo, hi = est.interval(metrics, team=args.team)
     team = args.team or "(rho = 1)"
     print(f"median effort estimate for {team}: {median:.2f} person-months")
     print(f"90% confidence interval: ({lo:.2f}, {hi:.2f})")
-    return 0
+    if est.degraded:
+        print(f"fitter = {est.fitter_name} (degraded)")
+    _print_diagnostics(diagnostics)
+    return _exit_code(diagnostics, strict=args.strict)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args.dataset)
+    diagnostics: list[Diagnostic] = []
+    dataset = _load_dataset(args.dataset, args.keep_going, diagnostics)
+    if dataset is None:
+        _print_diagnostics(diagnostics)
+        return EXIT_FATAL
     result = evaluate_estimators(dataset)
+    diagnostics.extend(result.diagnostics)
     print(render_table4(result))
-    return 0
+    _print_diagnostics(diagnostics)
+    if result.degraded:
+        return EXIT_FATAL if args.strict else EXIT_DEGRADED
+    return _exit_code(diagnostics, strict=args.strict)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.reportgen import generate_report
 
-    dataset = EffortDataset.from_csv(Path(args.dataset)) if args.dataset else None
+    diagnostics: list[Diagnostic] = []
+    dataset = (
+        _load_dataset(args.dataset, args.keep_going, diagnostics)
+        if args.dataset
+        else None
+    )
+    if args.dataset and dataset is None:
+        _print_diagnostics(diagnostics)
+        return EXIT_FATAL
     text = generate_report(dataset, include_ablation=args.ablation)
     if args.output:
         Path(args.output).write_text(text, encoding="utf-8")
         print(f"report written to {args.output}")
     else:
         print(text)
-    return 0
+    _print_diagnostics(diagnostics)
+    return _exit_code(diagnostics, strict=args.strict)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,9 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ucomplexity",
         description="uComplexity processor design-effort estimation",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--strict", action="store_true",
+        help="treat any degradation (quarantined inputs, fallback fitters, "
+             "unverified convergence) as a failure: exit 2 instead of 1",
+    )
+    common.add_argument(
+        "--keep-going", action="store_true",
+        help="quarantine malformed dataset rows (with diagnostics) instead "
+             "of aborting the run",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("measure", help="measure a component's metrics")
+    p = sub.add_parser(
+        "measure", help="measure a component's metrics", parents=[common]
+    )
     p.add_argument("files", nargs="+", help="HDL source files (.v / .vhd)")
     p.add_argument("--top", required=True, help="top module/entity name")
     p.add_argument(
@@ -127,7 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_measure)
 
-    p = sub.add_parser("fit", help="fit an effort estimator")
+    p = sub.add_parser("fit", help="fit an effort estimator", parents=[common])
     p.add_argument(
         "--dataset", help="effort CSV (default: the paper's Table 4 data)"
     )
@@ -141,7 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_fit)
 
-    p = sub.add_parser("estimate", help="estimate a component's effort")
+    p = sub.add_parser(
+        "estimate", help="estimate a component's effort", parents=[common]
+    )
     p.add_argument("--dataset", help="effort CSV used for calibration")
     p.add_argument(
         "--metric", action="append", required=True,
@@ -150,12 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--team", help="apply this team's fitted productivity")
     p.set_defaults(func=_cmd_estimate)
 
-    p = sub.add_parser("evaluate", help="regenerate the Table 4 accuracy rows")
+    p = sub.add_parser(
+        "evaluate", help="regenerate the Table 4 accuracy rows",
+        parents=[common],
+    )
     p.add_argument("--dataset", help="effort CSV (default: paper data)")
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser(
-        "report", help="full reproduction report (all tables and figures)"
+        "report", help="full reproduction report (all tables and figures)",
+        parents=[common],
     )
     p.add_argument("--dataset", help="effort CSV (default: paper data)")
     p.add_argument("--output", "-o", help="write to a file instead of stdout")
@@ -170,7 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception as exc:  # noqa: BLE001 -- last-resort fatal mapping
+        _print_diagnostics([Diagnostic.from_exception(exc, args.command,
+                                                      severity=Severity.FATAL)])
+        return EXIT_FATAL
 
 
 if __name__ == "__main__":

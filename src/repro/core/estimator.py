@@ -14,10 +14,12 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.data.dataset import EffortDataset, EffortRecord
+from repro.runtime.diagnostics import Diagnostic
 from repro.stats.criteria import FitCriteria
 from repro.stats.fixedeffects import FixedEffectsFit, fit_fixed_effects
 from repro.stats.lognormal import confidence_interval
 from repro.stats.nlme import NlmeFit, fit_nlme
+from repro.stats.robust import RetryPolicy, fit_nlme_robust
 
 #: The metric pair behind the paper's recommended estimator.
 DEE1_METRICS: tuple[str, str] = ("Stmts", "FanInLC")
@@ -36,10 +38,31 @@ class DesignEffortEstimator:
     name: str
     metric_names: tuple[str, ...]
     fit: NlmeFit | FixedEffectsFit
+    #: Which fitter produced the estimate ("exact-ml", "laplace-aghq", or
+    #: "fixed-effects"); filled in by the robust fitting path.
+    fitter: str = ""
+    #: Degradations recorded while fitting (robust path only).
+    fit_diagnostics: tuple[Diagnostic, ...] = ()
 
     @property
     def weights(self) -> np.ndarray:
         return self.fit.weights
+
+    @property
+    def converged(self) -> bool:
+        """Whether the underlying fit passed its convergence checks."""
+        return bool(getattr(self.fit, "converged", True))
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback fitter produced the estimate."""
+        return bool(self.fitter) and self.fitter != "exact-ml"
+
+    @property
+    def fitter_name(self) -> str:
+        if self.fitter:
+            return self.fitter
+        return "exact-ml" if isinstance(self.fit, NlmeFit) else "fixed-effects"
 
     @property
     def sigma_eps(self) -> float:
@@ -114,6 +137,8 @@ class DesignEffortEstimator:
         name: str | None = None,
         productivity_adjustment: bool = True,
         metric_floor: float = 1.0,
+        robust: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> "DesignEffortEstimator":
         """Fit an estimator on an effort dataset.
 
@@ -125,14 +150,33 @@ class DesignEffortEstimator:
                 paper's recommendation); ``False`` selects the rho=1 model
                 of Section 3.2.
             metric_floor: clamp for zero-valued metrics.
+            robust: fit through the verification/retry/fallback chain of
+                :func:`repro.stats.robust.fit_nlme_robust`; the resulting
+                estimator records which fitter produced the estimate and
+                any degradation diagnostics.
+            retry_policy: knobs for the robust chain (robust mode only).
         """
+        display = name or "+".join(metric_names)
         grouped = dataset.to_grouped(metric_names, metric_floor=metric_floor)
+        if productivity_adjustment and robust:
+            robust_result = fit_nlme_robust(
+                grouped,
+                policy=retry_policy or RetryPolicy(),
+                component=display,
+            )
+            return cls(
+                name=display,
+                metric_names=tuple(metric_names),
+                fit=robust_result.fit,
+                fitter=robust_result.fitter,
+                fit_diagnostics=robust_result.diagnostics,
+            )
         if productivity_adjustment:
             fit: NlmeFit | FixedEffectsFit = fit_nlme(grouped)
         else:
             fit = fit_fixed_effects(grouped)
         return cls(
-            name=name or "+".join(metric_names),
+            name=display,
             metric_names=tuple(metric_names),
             fit=fit,
         )

@@ -17,7 +17,7 @@ This is the uComplexity measurement flow of Section 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.accounting import (
     AccountingPolicy,
@@ -29,6 +29,8 @@ from repro.elab.elaborator import elaborate
 from repro.hdl import ast, parse_source
 from repro.hdl.metrics import software_metrics
 from repro.hdl.source import SourceFile
+from repro.runtime.diagnostics import Diagnostic, Result, Severity, render_report
+from repro.runtime.stages import StageBoundary
 from repro.synth.lower import synthesize_module
 from repro.synth.report import SynthesisReport, synthesis_metrics
 
@@ -100,3 +102,200 @@ def measure_component(
         specializations=selected,
         reports=reports,
     )
+
+
+# -- fault-tolerant entry points ------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One batch entry: a named component and its sources/top/policy."""
+
+    name: str
+    sources: tuple[SourceFile, ...]
+    top: str
+    policy: AccountingPolicy = AccountingPolicy.recommended()
+
+
+def measure_component_safe(
+    sources: Sequence[SourceFile],
+    top: str,
+    name: str | None = None,
+    policy: AccountingPolicy = AccountingPolicy.recommended(),
+    strict: bool = False,
+) -> Result[ComponentMeasurement]:
+    """Measure one component with per-stage fault isolation.
+
+    Unlike :func:`measure_component`, failures do not propagate (unless
+    ``strict``); they become structured diagnostics and the measurement
+    degrades along a fixed ladder:
+
+    * a source file that fails to **parse** is quarantined -- the remaining
+      files still produce software metrics and, if the top is intact, a
+      full synthesis measurement;
+    * an **elaboration** failure keeps the software metrics (LoC/Stmts) as
+      a partial result and skips synthesis;
+    * a specialization that fails **synthesis lowering** is quarantined --
+      the compounded index aggregates the remaining specializations.
+
+    The returned :class:`Result` is ok (clean), degraded (value + ERROR
+    diagnostics), or failed (no parseable input at all).
+    """
+    label = name or top
+    boundary = StageBoundary(component=label, strict=strict)
+
+    parsed_sources: list[SourceFile] = []
+    design = ast.Design()
+    for source in sources:
+        sub = boundary.run("parse", lambda s=source: parse_source(s))
+        if sub is None:
+            continue
+        merged = boundary.run("parse", lambda d=sub: design.merge(d))
+        if merged is not None:
+            design = merged
+            parsed_sources.append(source)
+    if not parsed_sources:
+        boundary.note(
+            "parse",
+            f"{label}: no source file parsed successfully",
+            Severity.FATAL,
+            hint="every input file was quarantined; fix at least the file "
+                 "defining the top module",
+        )
+        return Result(None, tuple(boundary.diagnostics))
+
+    metrics: dict[str, float] = dict(
+        boundary.run(
+            "measure",
+            lambda: dict(software_metrics(parsed_sources, design)),
+            default={},
+        )
+        or {}
+    )
+
+    partial = ComponentMeasurement(
+        name=label, top=top, policy=policy, metrics=dict(metrics),
+        specializations=[], reports={},
+    )
+
+    hierarchy = boundary.run("elaborate", lambda: elaborate(design, top))
+    if hierarchy is None:
+        return Result(partial, tuple(boundary.diagnostics))
+
+    selected = boundary.run(
+        "account",
+        lambda: select_components(
+            hierarchy.all_instances(),
+            policy,
+            minimal_parameters=lambda module: minimal_parameters(design, module),
+        ),
+    )
+    if selected is None:
+        return Result(partial, tuple(boundary.diagnostics))
+
+    reports: dict[tuple, SynthesisReport] = {}
+    per_spec: list[dict[str, float]] = []
+    quarantined: list[tuple[str, Mapping[str, int]]] = []
+    measured: list[tuple[str, Mapping[str, int]]] = []
+    for module_name, params in selected:
+        key = (module_name, tuple(sorted(params.items())))
+        if key not in reports:
+            def _synth(m=module_name, p=params):
+                sub = elaborate(design, m, p)
+                return synthesis_metrics(synthesize_module(sub))
+
+            report = boundary.run("synthesize", _synth)
+            if report is None:
+                quarantined.append((module_name, params))
+                continue
+            reports[key] = report
+        per_spec.append(reports[key].metrics())
+        measured.append((module_name, params))
+
+    if per_spec:
+        metrics.update(aggregate_metrics(per_spec))
+        if quarantined:
+            skipped = ", ".join(m for m, _ in quarantined)
+            boundary.note(
+                "synthesize",
+                f"{label}: compounded index excludes quarantined "
+                f"specialization(s): {skipped}",
+                Severity.WARNING,
+            )
+    else:
+        boundary.note(
+            "synthesize",
+            f"{label}: no specialization synthesized; only software metrics "
+            "are available",
+            Severity.ERROR,
+        )
+
+    measurement = ComponentMeasurement(
+        name=label, top=top, policy=policy, metrics=metrics,
+        specializations=measured, reports=reports,
+    )
+    return Result(measurement, tuple(boundary.diagnostics))
+
+
+@dataclass
+class BatchMeasurement:
+    """Partial results plus per-component failure reports for one batch."""
+
+    results: dict[str, Result[ComponentMeasurement]]
+
+    @property
+    def measurements(self) -> dict[str, ComponentMeasurement]:
+        """Every component that produced a (possibly degraded) measurement."""
+        return {
+            name: res.value
+            for name, res in self.results.items()
+            if res.value is not None
+        }
+
+    @property
+    def failures(self) -> dict[str, tuple[Diagnostic, ...]]:
+        """Components with no usable measurement at all."""
+        return {
+            name: res.diagnostics
+            for name, res in self.results.items()
+            if res.failed
+        }
+
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        out: list[Diagnostic] = []
+        for res in self.results.values():
+            out.extend(res.diagnostics)
+        return tuple(out)
+
+    @property
+    def ok(self) -> bool:
+        return all(res.ok for res in self.results.values())
+
+    @property
+    def degraded(self) -> bool:
+        return not self.ok and bool(self.measurements)
+
+    def report(self) -> str:
+        return render_report(self.diagnostics)
+
+
+def measure_components(
+    specs: Sequence[ComponentSpec], strict: bool = False
+) -> BatchMeasurement:
+    """Measure a batch of components, isolating faults per component.
+
+    A faulty component never aborts the batch: its failure is captured as
+    diagnostics in ``results[name]`` and the remaining components are
+    measured normally.  ``strict=True`` restores fail-fast behavior.
+    """
+    results: dict[str, Result[ComponentMeasurement]] = {}
+    for spec in specs:
+        results[spec.name] = measure_component_safe(
+            list(spec.sources),
+            spec.top,
+            name=spec.name,
+            policy=spec.policy,
+            strict=strict,
+        )
+    return BatchMeasurement(results=results)

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.runtime.diagnostics import Diagnostic, Result, Severity, SourceSpan
 from repro.stats.grouping import GroupedData
 
 
@@ -31,12 +33,22 @@ class EffortRecord:
     metrics: dict[str, float]
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.effort):
+            raise ValueError(
+                f"{self.team}/{self.component}: effort must be a finite "
+                f"number of person-months, got {self.effort}"
+            )
         if self.effort <= 0.0:
             raise ValueError(
                 f"{self.team}/{self.component}: effort must be positive, "
                 f"got {self.effort}"
             )
         for name, value in self.metrics.items():
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"{self.team}/{self.component}: metric {name!r} is "
+                    f"not finite ({value})"
+                )
             if value < 0.0:
                 raise ValueError(
                     f"{self.team}/{self.component}: metric {name!r} is negative"
@@ -149,29 +161,145 @@ class EffortDataset:
 
     @classmethod
     def from_csv(cls, source: str | Path) -> "EffortDataset":
-        """Parse a dataset from CSV text or a file path."""
+        """Parse a dataset from CSV text or a file path (fail-fast)."""
+        result = cls.from_csv_checked(source, keep_going=False)
+        if result.value is None or result.diagnostics:
+            first = result.diagnostics[0]
+            raise ValueError(first.message)
+        return result.value
+
+    @classmethod
+    def from_csv_checked(
+        cls, source: str | Path, keep_going: bool = False
+    ) -> "Result[EffortDataset]":
+        """Parse a dataset from CSV with structured row-level diagnostics.
+
+        With ``keep_going`` a malformed row (wrong field count, non-numeric
+        value, NaN/zero/negative effort, negative or non-finite metric) is
+        quarantined: it becomes an ERROR diagnostic pointing at the CSV
+        line, and the remaining rows still form a dataset.  Without it, the
+        first bad row fails the whole load (one FATAL diagnostic).
+        """
         if isinstance(source, Path) or "\n" not in str(source):
-            text = Path(source).read_text(encoding="utf-8")
+            origin = str(source)
+            try:
+                text = Path(source).read_text(encoding="utf-8")
+            except OSError as exc:
+                return Result(
+                    None,
+                    (
+                        Diagnostic(
+                            Severity.FATAL, "dataset",
+                            f"cannot read dataset: {exc}",
+                            span=SourceSpan(origin),
+                            hint="check the CSV path",
+                        ),
+                    ),
+                )
         else:
+            origin = "<csv>"
             text = str(source)
+
         reader = csv.reader(io.StringIO(text))
         header = next(reader, None)
         if header is None or header[:3] != ["team", "component", "effort"]:
-            raise ValueError(
-                "CSV must start with header: team,component,effort,<metrics...>"
+            return Result(
+                None,
+                (
+                    Diagnostic(
+                        Severity.FATAL, "dataset",
+                        "CSV must start with header: "
+                        "team,component,effort,<metrics...>",
+                        span=SourceSpan(origin, 1),
+                        hint="the first row names the columns; effort is in "
+                             "person-months",
+                    ),
+                ),
             )
         metric_names = header[3:]
-        records = []
+        records: list[EffortRecord] = []
+        diagnostics: list[Diagnostic] = []
         for row in reader:
             if not row:
                 continue
-            if len(row) != len(header):
-                raise ValueError(f"row has {len(row)} fields, expected {len(header)}")
-            metrics = {n: float(v) for n, v in zip(metric_names, row[3:])}
-            records.append(
-                EffortRecord(
-                    team=row[0], component=row[1], effort=float(row[2]),
-                    metrics=metrics,
+            line = reader.line_num
+            try:
+                if len(row) != len(header):
+                    raise ValueError(
+                        f"row has {len(row)} fields, expected {len(header)}"
+                    )
+                metrics = {n: float(v) for n, v in zip(metric_names, row[3:])}
+                records.append(
+                    EffortRecord(
+                        team=row[0], component=row[1], effort=float(row[2]),
+                        metrics=metrics,
+                    )
+                )
+            except ValueError as exc:
+                severity = Severity.ERROR if keep_going else Severity.FATAL
+                diagnostics.append(
+                    Diagnostic(
+                        severity, "dataset", str(exc),
+                        span=SourceSpan(origin, line),
+                        component=row[0] if len(row) >= 2 else None,
+                        hint="fix or drop this row; effort must be a positive "
+                             "finite number and metrics non-negative",
+                    )
+                )
+                if not keep_going:
+                    return Result(None, tuple(diagnostics))
+        if not records:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.FATAL, "dataset",
+                    "no usable rows remain after quarantining bad ones",
+                    span=SourceSpan(origin),
                 )
             )
-        return cls(tuple(records))
+            return Result(None, tuple(diagnostics))
+        return Result(cls(tuple(records)), tuple(diagnostics))
+
+    def validate(self, collinearity_threshold: float = 0.9999) -> tuple[Diagnostic, ...]:
+        """Data-quality diagnostics that do not invalidate the dataset.
+
+        Currently checks the shared metric columns for zero variance and
+        (near-)collinearity -- both make fitted weights unidentifiable,
+        which is exactly the failure mode the convergence verification in
+        :mod:`repro.stats.robust` guards against downstream.
+        """
+        diags: list[Diagnostic] = []
+        names = self.metric_names
+        if len(self) < 2:
+            return tuple(diags)
+        columns = {
+            n: np.array([max(rec.metrics[n], 1.0) for rec in self.records])
+            for n in names
+        }
+        for n in names:
+            if float(np.std(columns[n])) == 0.0:
+                diags.append(
+                    Diagnostic(
+                        Severity.WARNING, "dataset",
+                        f"metric column {n!r} is constant across all "
+                        "components; its weight is unidentifiable",
+                        hint="drop the column or fix the measurements",
+                    )
+                )
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                ca, cb = columns[a], columns[b]
+                if float(np.std(ca)) == 0.0 or float(np.std(cb)) == 0.0:
+                    continue
+                r = float(np.corrcoef(np.log(ca), np.log(cb))[0, 1])
+                if abs(r) >= collinearity_threshold:
+                    diags.append(
+                        Diagnostic(
+                            Severity.WARNING, "dataset",
+                            f"metric columns {a!r} and {b!r} are (nearly) "
+                            f"collinear (log-scale correlation {r:.6f}); "
+                            "their fitted weights are unidentifiable",
+                            hint="combine or drop one of the columns before "
+                                 "fitting multi-metric estimators",
+                        )
+                    )
+        return tuple(diags)

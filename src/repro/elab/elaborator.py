@@ -148,11 +148,19 @@ class _Elaborator:
     ) -> ElaboratedModule:
         if module_name in stack:
             cycle = " -> ".join(stack + (module_name,))
-            raise ElaborationError(f"recursive instantiation: {cycle}")
+            raise ElaborationError(
+                f"recursive instantiation: {cycle}",
+                hint="break the instantiation cycle; the accounting "
+                     "procedure requires a finite hierarchy",
+            )
         try:
             module = self.design.module(module_name)
         except KeyError as exc:
-            raise ElaborationError(str(exc)) from None
+            raise ElaborationError(
+                str(exc),
+                hint="add the module's source file to the component, or fix "
+                     "the instance's module name",
+            ) from None
 
         declared = {p.name for p in module.params}
         unknown = set(overrides) - declared
@@ -227,7 +235,9 @@ class _Elaborator:
         width = msb_v - lsb_v + 1
         if width <= 0:
             raise ElaborationError(
-                f"{where}: signal {signal!r} has non-positive width {width}"
+                f"{where}: signal {signal!r} has non-positive width {width}",
+                hint="widths come from parameter expressions; check the "
+                     "msb/lsb bounds and any overriding instantiation",
             )
         return width, lsb_v
 
@@ -335,7 +345,12 @@ class _Elaborator:
             if trips > MAX_UNROLL:
                 raise ElaborationError(
                     f"{module_name}: generate loop {label!r} exceeds "
-                    f"{MAX_UNROLL} iterations"
+                    f"{MAX_UNROLL} iterations",
+                    file=spec.module.source_name,
+                    line=gen.line,
+                    hint="check the loop bound expression and its parameter "
+                         "bindings; runaway generate loops usually mean a "
+                         "corrupted or mis-overridden parameter",
                 )
             iter_prefix = f"{prefix}{label}_{value}__"
             self._walk_items(gen.body, spec, loop_bindings, iter_prefix, stack)
@@ -354,7 +369,13 @@ class _Elaborator:
         try:
             child = self.design.module(inst.module_name)
         except KeyError as exc:
-            raise ElaborationError(f"{module_name}: {exc}") from None
+            raise ElaborationError(
+                f"{module_name}: {exc}",
+                file=spec.module.source_name,
+                line=inst.line,
+                hint="add the instantiated module's source file to the "
+                     "component's file list",
+            ) from None
 
         # Resolve parameter overrides (positional by declaration order).
         child_params = child.params

@@ -16,7 +16,34 @@ class SourceFile:
     @classmethod
     def from_path(cls, path: str | Path) -> "SourceFile":
         path = Path(path)
-        return cls(name=path.name, text=path.read_text(encoding="utf-8"))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            raise HdlIoError(
+                f"no such file: {path}",
+                file=str(path),
+                hint="check the path; HDL sources must exist on disk",
+            ) from None
+        except IsADirectoryError:
+            raise HdlIoError(
+                f"{path} is a directory, not an HDL file",
+                file=str(path),
+                hint="pass the .v/.vhd files inside the directory instead",
+            ) from None
+        except OSError as exc:
+            raise HdlIoError(
+                f"cannot read {path}: {exc}",
+                file=str(path),
+                hint="check file permissions and that the path is readable",
+            ) from None
+        except UnicodeDecodeError as exc:
+            raise HdlIoError(
+                f"{path} is not valid UTF-8 (byte offset {exc.start})",
+                file=str(path),
+                hint="re-encode the file as UTF-8 (or plain ASCII); "
+                     "binary files cannot be measured",
+            ) from None
+        return cls(name=path.name, text=text)
 
     def line(self, number: int) -> str:
         """1-based line lookup (for diagnostics)."""
@@ -27,14 +54,38 @@ class SourceFile:
 
 
 class HdlError(Exception):
-    """Base class for all HDL frontend/elaboration errors."""
+    """Base class for all HDL frontend/elaboration errors.
+
+    Structured fields feed the runtime diagnostics layer
+    (:mod:`repro.runtime.diagnostics`): ``file``/``line`` become the source
+    span and ``hint`` the recovery hint.  All are optional so existing
+    message-only raises keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        file: str = "",
+        line: int = 0,
+        hint: str = "",
+    ) -> None:
+        location = f"{file}:{line}: " if file and line else (f"{file}: " if file else "")
+        super().__init__(f"{location}{message}")
+        self.message = message
+        self.file = file
+        self.line = line
+        self.hint = hint
+
+
+class HdlIoError(HdlError):
+    """A source file could not be read (missing, unreadable, not UTF-8)."""
 
 
 class HdlSyntaxError(HdlError):
     """A lexing or parsing failure, with source position."""
 
-    def __init__(self, message: str, file: str = "", line: int = 0) -> None:
-        location = f"{file}:{line}: " if file else ""
-        super().__init__(f"{location}{message}")
-        self.file = file
-        self.line = line
+    def __init__(
+        self, message: str, file: str = "", line: int = 0, hint: str = ""
+    ) -> None:
+        super().__init__(message, file=file, line=line, hint=hint)

@@ -1,0 +1,27 @@
+"""Fault-tolerant runtime layer: structured diagnostics, stage boundaries,
+graceful degradation, and the fault-injection harness.
+
+See ``DESIGN.md`` ("Failure handling & degradation ladder") for the policy
+this package implements.
+"""
+
+from repro.runtime.diagnostics import (
+    Diagnostic,
+    Result,
+    Severity,
+    SourceSpan,
+    max_severity,
+    render_report,
+)
+from repro.runtime.stages import STAGE_HINTS, StageBoundary
+
+__all__ = [
+    "Diagnostic",
+    "Result",
+    "STAGE_HINTS",
+    "Severity",
+    "SourceSpan",
+    "StageBoundary",
+    "max_severity",
+    "render_report",
+]

@@ -1,0 +1,192 @@
+"""Structured diagnostics for the fault-tolerant pipeline runtime.
+
+The measurement and fitting pipeline (parse -> elaborate -> synthesize ->
+fit) historically reported problems with bare exceptions, which made every
+batch run all-or-nothing.  This module is the shared vocabulary that
+replaces those raises at stage boundaries:
+
+* :class:`Severity` -- how bad a problem is, from informational notes up to
+  fatal failures that leave no usable result.
+* :class:`SourceSpan` -- where the problem is, as a file/line range that can
+  point into HDL source, a CSV dataset row, or nothing at all.
+* :class:`Diagnostic` -- one problem: severity, pipeline stage, message,
+  optional span/component, and a *recovery hint* telling the user what
+  would make the input processable.
+* :class:`Result` -- a value-or-diagnostics container returned by the
+  fault-tolerant entry points; a result can be *ok* (clean value),
+  *degraded* (value produced, but some inputs were quarantined or a
+  fallback engaged), or *failed* (no value).
+
+Nothing here imports the rest of the package, so every layer (hdl, data,
+stats, analysis, cli) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Severity(enum.IntEnum):
+    """How bad a diagnostic is; ordering is meaningful (FATAL > ERROR...)."""
+
+    INFO = 10      # noteworthy, no quality impact
+    WARNING = 20   # result produced, quality possibly affected
+    ERROR = 30     # part of the input was quarantined / a fallback engaged
+    FATAL = 40     # no usable result for the affected unit
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A location in an input artifact (HDL file, CSV dataset, ...).
+
+    ``line``/``end_line`` are 1-based; 0 means "unknown line".
+    """
+
+    file: str
+    line: int = 0
+    end_line: int = 0
+
+    def render(self) -> str:
+        if not self.file:
+            return "<unknown>"
+        if self.line and self.end_line and self.end_line != self.line:
+            return f"{self.file}:{self.line}-{self.end_line}"
+        if self.line:
+            return f"{self.file}:{self.line}"
+        return self.file
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured problem report emitted by a pipeline stage."""
+
+    severity: Severity
+    stage: str               # "parse", "elaborate", "synthesize", "dataset", "fit", ...
+    message: str
+    span: SourceSpan | None = None
+    component: str | None = None  # which component/estimator/row group
+    hint: str | None = None       # what the user can do about it
+
+    def render(self) -> str:
+        parts = [f"{self.severity.label}[{self.stage}]"]
+        if self.component:
+            parts.append(self.component)
+        if self.span is not None:
+            parts.append(f"at {self.span.render()}")
+        head = " ".join(parts)
+        text = f"{head}: {self.message}"
+        if self.hint:
+            text += f"\n  hint: {self.hint}"
+        return text
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        stage: str,
+        *,
+        severity: Severity = Severity.ERROR,
+        component: str | None = None,
+        hint: str | None = None,
+    ) -> "Diagnostic":
+        """Build a diagnostic from an exception.
+
+        Structured exceptions (``HdlError`` and friends) carry ``file``,
+        ``line``, and ``hint`` attributes that are folded into the span and
+        recovery hint; anything else is reported by class name.
+        """
+        file = str(getattr(exc, "file", "") or "")
+        line = int(getattr(exc, "line", 0) or 0)
+        span = SourceSpan(file, line) if file else None
+        exc_hint = getattr(exc, "hint", None) or hint
+        message = str(exc) or type(exc).__name__
+        if file and getattr(exc, "message", ""):
+            # Structured errors prefix str(exc) with "file:line:"; the span
+            # already renders the location, so keep the bare message.
+            message = str(exc.message)
+        if type(exc).__module__ == "builtins" and not isinstance(exc, ValueError):
+            message = f"{type(exc).__name__}: {message}"
+        return cls(
+            severity=severity,
+            stage=stage,
+            message=message,
+            span=span,
+            component=component,
+            hint=exc_hint,
+        )
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """The worst severity present, or None for an empty sequence."""
+    worst: Severity | None = None
+    for diag in diagnostics:
+        if worst is None or diag.severity > worst:
+            worst = diag.severity
+    return worst
+
+
+def render_report(diagnostics: Sequence[Diagnostic]) -> str:
+    """Human-readable multi-line rendering of a diagnostics list."""
+    if not diagnostics:
+        return "no diagnostics"
+    lines = [d.render() for d in diagnostics]
+    counts: dict[str, int] = {}
+    for d in diagnostics:
+        counts[d.severity.label] = counts.get(d.severity.label, 0) + 1
+    summary = ", ".join(f"{n} {label}(s)" for label, n in sorted(counts.items()))
+    lines.append(f"-- {summary}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Result(Generic[T]):
+    """A value plus the diagnostics produced while computing it.
+
+    ``value is None`` means the computation failed outright; a present value
+    with ERROR/FATAL diagnostics means a *degraded* (partial) result.
+    """
+
+    value: T | None
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """A value exists and nothing was quarantined or degraded."""
+        sev = max_severity(self.diagnostics)
+        return self.value is not None and (sev is None or sev < Severity.ERROR)
+
+    @property
+    def failed(self) -> bool:
+        return self.value is None
+
+    @property
+    def degraded(self) -> bool:
+        """A value exists but some input was quarantined / a fallback ran."""
+        sev = max_severity(self.diagnostics)
+        return self.value is not None and sev is not None and sev >= Severity.ERROR
+
+    @property
+    def severity(self) -> Severity | None:
+        return max_severity(self.diagnostics)
+
+    def unwrap(self) -> T:
+        """The value, or a RuntimeError carrying the failure report."""
+        if self.value is None:
+            raise RuntimeError(
+                "cannot unwrap failed result:\n" + render_report(self.diagnostics)
+            )
+        return self.value
+
+    def with_diagnostics(self, *extra: Diagnostic) -> "Result[T]":
+        return Result(self.value, self.diagnostics + tuple(extra))
+
+    def render_report(self) -> str:
+        return render_report(self.diagnostics)

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for the measurement & fitting pipeline.
+
+Robustness claims need proof.  This harness corrupts each pipeline input
+class in a reproducible way so the tier-2 suite (``pytest -m faultinject``)
+can assert that every stage *isolates* the fault, *degrades* along the
+documented ladder, and *reports* a structured diagnostic naming the stage
+and source location:
+
+* **HDL sources** -- :func:`truncate_source`, :func:`swap_tokens`,
+  :func:`corrupt_generate_bound` produce syntax errors, scrambled token
+  streams, and runaway generate loops respectively.
+* **Dataset rows** -- :func:`corrupt_csv` rewrites effort cells to
+  NaN/zero/negative values or makes metric columns exactly collinear.
+* **Optimizer behavior** -- :func:`forced_nonconvergence` sabotages the
+  optimizer behind ``fit_nlme`` (and optionally the Laplace fitter) so the
+  fallback chain in :mod:`repro.stats.robust` demonstrably engages.
+
+Everything is seeded or purely positional: the same call always produces
+the same corruption.
+"""
+
+from __future__ import annotations
+
+import io
+import csv
+import re
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.hdl.source import SourceFile
+
+# -- HDL source corruption --------------------------------------------------
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def truncate_source(source: SourceFile, keep_fraction: float = 0.6) -> SourceFile:
+    """Cut the file off mid-stream, as an interrupted checkout/upload would."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    cut = int(len(source.text) * keep_fraction)
+    return SourceFile(source.name, source.text[:cut])
+
+
+def swap_tokens(source: SourceFile, n_swaps: int = 3, seed: int = 1) -> SourceFile:
+    """Swap pairs of identifier tokens, scrambling the token stream."""
+    tokens = list(_TOKEN_RE.finditer(source.text))
+    if len(tokens) < 2:
+        return source
+    rng = np.random.default_rng(seed)
+    text = source.text
+    for _ in range(n_swaps):
+        i, j = sorted(rng.choice(len(tokens), size=2, replace=False))
+        a, b = tokens[i], tokens[j]
+        text = (
+            text[: a.start()]
+            + b.group()
+            + text[a.end() : b.start()]
+            + a.group()
+            + text[b.end() :]
+        )
+        # Re-tokenize so later swaps use valid offsets of the mutated text.
+        tokens = list(_TOKEN_RE.finditer(text))
+        if len(tokens) < 2:
+            break
+    return SourceFile(source.name, text)
+
+
+_GEN_BOUND_RE = re.compile(
+    r"(for\s*\(\s*\w+\s*=\s*[^;]+;\s*\w+\s*<\s*)(\w+)", re.MULTILINE
+)
+
+
+def corrupt_generate_bound(
+    source: SourceFile, bound: int = 10_000_000
+) -> SourceFile:
+    """Rewrite the first ``for (i = ...; i < X; ...)`` bound to ``bound``.
+
+    With the default bound the elaborator's unroll limit trips, modelling a
+    corrupted parameter binding that sends a generate loop off to infinity.
+    """
+    text, count = _GEN_BOUND_RE.subn(rf"\g<1>{bound}", source.text, count=1)
+    if count == 0:
+        raise ValueError(f"{source.name}: no for-loop bound found to corrupt")
+    return SourceFile(source.name, text)
+
+
+# -- dataset corruption -----------------------------------------------------
+
+#: Supported dataset fault classes.
+CSV_FAULTS = ("nan_effort", "zero_effort", "negative_effort", "collinear_metrics")
+
+
+def corrupt_csv(
+    csv_text: str,
+    fault: str,
+    rows: Sequence[int] | None = None,
+    scale: float = 3.0,
+) -> str:
+    """Deterministically corrupt a dataset CSV.
+
+    ``rows`` are 0-based data-row indices (header excluded); default is the
+    first row for effort faults.  ``collinear_metrics`` ignores ``rows`` and
+    rewrites the *last* metric column to ``scale`` times the first, making
+    the pair exactly collinear.
+    """
+    if fault not in CSV_FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; choose from {CSV_FAULTS}")
+    reader = csv.reader(io.StringIO(csv_text))
+    table = [row for row in reader if row]
+    header, data = table[0], table[1:]
+    if fault == "collinear_metrics":
+        if len(header) < 5:
+            raise ValueError("collinear_metrics needs at least two metric columns")
+        for row in data:
+            row[-1] = repr(float(row[3]) * scale)
+    else:
+        replacement = {"nan_effort": "nan", "zero_effort": "0.0",
+                       "negative_effort": "-4.5"}[fault]
+        for idx in rows if rows is not None else (0,):
+            data[idx][2] = replacement
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    writer.writerows(data)
+    return buf.getvalue()
+
+
+# -- optimizer sabotage -----------------------------------------------------
+
+
+def _sabotaged(minimize):
+    """Wrap ``scipy.optimize.minimize``: run it, then wreck the answer.
+
+    The returned point is pushed away from the optimum and ``success`` is
+    cleared, so both the optimizer flag and the post-hoc convergence
+    verification (gradient norm at the reported point) fail -- exactly what
+    a genuinely non-converged run looks like from the outside.
+    """
+
+    def wrapper(fun, x0, *args, **kwargs):
+        res = minimize(fun, x0, *args, **kwargs)
+        res.x = np.asarray(res.x, dtype=float) + 0.9
+        res.success = False
+        return res
+
+    return wrapper
+
+
+@contextmanager
+def forced_nonconvergence(
+    stages: Sequence[str] = ("exact",),
+) -> Iterator[None]:
+    """Force non-convergence of the chosen fitting stages.
+
+    ``stages`` may contain ``"exact"`` (the exact-ML fitter in
+    :mod:`repro.stats.nlme`) and/or ``"laplace"`` (the quadrature fitter in
+    :mod:`repro.stats.laplace`).  Within the context every optimizer run of
+    the selected stages returns a perturbed, unsuccessful result; the
+    fixed-effects fallback is never sabotaged, so the degradation ladder
+    always terminates.
+    """
+    from repro.stats import laplace as laplace_mod
+    from repro.stats import nlme as nlme_mod
+
+    unknown = set(stages) - {"exact", "laplace"}
+    if unknown:
+        raise ValueError(f"unknown stages {sorted(unknown)}")
+    saved: list[tuple[object, object]] = []
+    try:
+        if "exact" in stages:
+            saved.append((nlme_mod, nlme_mod._MINIMIZE))
+            nlme_mod._MINIMIZE = _sabotaged(nlme_mod._MINIMIZE)
+        if "laplace" in stages:
+            saved.append((laplace_mod, laplace_mod._MINIMIZE))
+            laplace_mod._MINIMIZE = _sabotaged(laplace_mod._MINIMIZE)
+        yield
+    finally:
+        for module, original in saved:
+            module._MINIMIZE = original  # type: ignore[attr-defined]

@@ -1,0 +1,132 @@
+"""Stage boundaries: run pipeline steps with fault isolation.
+
+A :class:`StageBoundary` owns the diagnostics of one pipeline run (usually
+one component's measurement, or one dataset load).  Each step executes
+under :meth:`StageBoundary.run`, which converts exceptions into structured
+:class:`~repro.runtime.diagnostics.Diagnostic` records instead of letting
+them propagate, so a batch caller can quarantine the faulty unit and keep
+going.  ``strict=True`` restores fail-fast behavior (the original
+exception propagates after being recorded).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+from repro.runtime.diagnostics import Diagnostic, Severity
+
+T = TypeVar("T")
+
+#: Default recovery hints per pipeline stage, used when the exception does
+#: not carry a more specific one.
+STAGE_HINTS: dict[str, str] = {
+    "parse": "check the file is complete, UTF-8, and synthesizable HDL; "
+             "re-run with --keep-going to quarantine it",
+    "measure": "software metrics need at least one parseable source file",
+    "elaborate": "check parameter bindings and generate bounds of the top "
+                 "module; degenerate parameters can be overridden explicitly",
+    "account": "disable --no-accounting or provide minimal parameters for "
+               "parameterized modules",
+    "synthesize": "the specialization uses an unsupported construct; it is "
+                  "skipped and the compounded index excludes it",
+    "dataset": "fix or drop the offending CSV row; effort must be a "
+               "positive finite number of person-months",
+    "fit": "the optimizer could not verify convergence; a declared "
+           "fallback fitter produced the estimate",
+}
+
+
+class StageBoundary:
+    """Collects diagnostics for one fault-isolated pipeline run."""
+
+    def __init__(self, component: str | None = None, strict: bool = False) -> None:
+        self.component = component
+        self.strict = strict
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def emit(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def note(
+        self,
+        stage: str,
+        message: str,
+        severity: Severity = Severity.INFO,
+        hint: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                severity=severity,
+                stage=stage,
+                message=message,
+                component=self.component,
+                hint=hint,
+            )
+        )
+
+    @property
+    def worst(self) -> Severity | None:
+        worst: Severity | None = None
+        for diag in self.diagnostics:
+            if worst is None or diag.severity > worst:
+                worst = diag.severity
+        return worst
+
+    # -- fault isolation ----------------------------------------------------
+
+    def run(
+        self,
+        stage: str,
+        fn: Callable[[], T],
+        *,
+        default: T | None = None,
+        severity: Severity = Severity.ERROR,
+        hint: str | None = None,
+    ) -> T | None:
+        """Run ``fn`` under this boundary.
+
+        Returns its value, or ``default`` after recording a diagnostic when
+        it raises.  Only ``Exception`` subclasses are captured; KeyboardInterrupt
+        and friends always propagate, as does everything in strict mode.
+        """
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 -- fault isolation is the point
+            self.diagnostics.append(
+                Diagnostic.from_exception(
+                    exc,
+                    stage,
+                    severity=severity,
+                    component=self.component,
+                    hint=hint or STAGE_HINTS.get(stage),
+                )
+            )
+            if self.strict:
+                raise
+            return default
+
+    @contextmanager
+    def stage(
+        self,
+        stage: str,
+        severity: Severity = Severity.ERROR,
+        hint: str | None = None,
+    ) -> Iterator[None]:
+        """Context-manager form of :meth:`run` for multi-statement steps."""
+        try:
+            yield
+        except Exception as exc:  # noqa: BLE001
+            self.diagnostics.append(
+                Diagnostic.from_exception(
+                    exc,
+                    stage,
+                    severity=severity,
+                    component=self.component,
+                    hint=hint or STAGE_HINTS.get(stage),
+                )
+            )
+            if self.strict:
+                raise

@@ -20,6 +20,9 @@ in Appendix A of the paper.  It provides:
   criteria (AIC and BIC, Section 5.1.1).
 * :mod:`repro.stats.simulate` -- a generator that draws synthetic datasets
   from the paper's generative model, used to validate the fitters.
+* :mod:`repro.stats.robust` -- convergence verification (gradient norm,
+  Hessian definiteness, multi-start dispersion) and the fallback chain
+  exact-ML -> Laplace/AGHQ -> fixed effects, with degradation recorded.
 """
 
 from repro.stats.bootstrap import BootstrapResult, bootstrap_sigma
@@ -38,16 +41,26 @@ from repro.stats.lognormal import (
     median_to_mean_factor,
 )
 from repro.stats.nlme import NlmeFit, fit_nlme
+from repro.stats.robust import (
+    ConvergenceReport,
+    RetryPolicy,
+    RobustFitResult,
+    fit_nlme_robust,
+    verify_nlme_convergence,
+)
 from repro.stats.simulate import SyntheticDataset, simulate_dataset
 
 __all__ = [
     "BootstrapResult",
+    "ConvergenceReport",
     "FitCriteria",
     "FixedEffectsFit",
     "GroupedData",
     "LaplaceFit",
     "LognormalSpec",
     "NlmeFit",
+    "RetryPolicy",
+    "RobustFitResult",
     "SyntheticDataset",
     "aic",
     "bic",
@@ -58,10 +71,12 @@ __all__ = [
     "fit_fixed_effects",
     "fit_nlme",
     "fit_nlme_laplace",
+    "fit_nlme_robust",
     "lognormal_mean",
     "lognormal_median",
     "lognormal_mode",
     "lognormal_pdf",
     "median_to_mean_factor",
     "simulate_dataset",
+    "verify_nlme_convergence",
 ]

@@ -40,6 +40,11 @@ _LOG_2PI = math.log(2.0 * math.pi)
 _LOG_W_BOUNDS = (-35.0, 15.0)
 _LOG_SIGMA_BOUNDS = (-8.0, 4.0)
 
+# Indirection over scipy's optimizer so the fault-injection harness
+# (repro.runtime.faultinject) can deterministically sabotage convergence
+# without monkeypatching scipy itself.
+_MINIMIZE = optimize.minimize
+
 
 @dataclass(frozen=True)
 class NlmeFit:
@@ -57,6 +62,11 @@ class NlmeFit:
         metric_names: metric column labels, aligned with ``weights``.
         n_obs: number of observations fitted.
         converged: whether the optimizer reported convergence.
+        fitter: which fitter produced the estimate (``"exact-ml"`` here;
+            the robust fallback chain in :mod:`repro.stats.robust` records
+            ``"laplace-aghq"`` when it degrades to quadrature).
+        start_objectives: final negative log-likelihood of every optimizer
+            start, for multi-start dispersion checks.
     """
 
     weights: np.ndarray
@@ -68,6 +78,8 @@ class NlmeFit:
     metric_names: tuple[str, ...]
     n_obs: int
     converged: bool = True
+    fitter: str = "exact-ml"
+    start_objectives: tuple[float, ...] = ()
 
     @property
     def n_params(self) -> int:
@@ -212,6 +224,8 @@ def fit_nlme(
     data: GroupedData,
     n_random_starts: int = 8,
     seed: int = 20050101,
+    bounds_margin: float = 0.0,
+    start_jitter: float = 0.0,
 ) -> NlmeFit:
     """Fit the mixed-effects model by exact marginal maximum likelihood.
 
@@ -222,6 +236,11 @@ def fit_nlme(
             likely on multi-metric models.
         seed: RNG seed for the randomized starts (fits are deterministic for
             a fixed seed).
+        bounds_margin: widens the log-scale box constraints by this much on
+            each side; the robust retry ladder uses it to escape optima
+            pinned at a bound.
+        start_jitter: extra N(0, start_jitter) noise added to every start;
+            the robust retry ladder uses it for jittered restarts.
     """
     if len(data.group_names) < 2:
         raise ValueError(
@@ -233,24 +252,33 @@ def fit_nlme(
     groups = _group_structure(data)
     rng = np.random.default_rng(seed)
     k = metrics.shape[1]
-    bounds = [_LOG_W_BOUNDS] * k + [_LOG_SIGMA_BOUNDS] * 2
+    w_bounds = (_LOG_W_BOUNDS[0] - bounds_margin, _LOG_W_BOUNDS[1] + bounds_margin)
+    s_bounds = (
+        _LOG_SIGMA_BOUNDS[0] - bounds_margin,
+        _LOG_SIGMA_BOUNDS[1] + bounds_margin,
+    )
+    bounds = [w_bounds] * k + [s_bounds] * 2
 
     best: optimize.OptimizeResult | None = None
+    start_objectives: list[float] = []
     for theta0 in _starting_points(y, metrics, rng, n_random_starts):
+        if start_jitter > 0.0:
+            theta0 = theta0 + rng.normal(scale=start_jitter, size=theta0.shape)
         theta0 = np.clip(theta0, [b[0] for b in bounds], [b[1] for b in bounds])
-        res = optimize.minimize(
+        res = _MINIMIZE(
             _negative_loglik,
             theta0,
             args=(y, metrics, groups),
             method="L-BFGS-B",
             bounds=bounds,
         )
+        start_objectives.append(float(res.fun))
         if best is None or res.fun < best.fun:
             best = res
     assert best is not None
     # Polish with a derivative-free pass; L-BFGS-B with numeric gradients can
     # stall slightly short of the optimum on flat likelihoods.
-    polish = optimize.minimize(
+    polish = _MINIMIZE(
         _negative_loglik,
         best.x,
         args=(y, metrics, groups),
@@ -275,4 +303,5 @@ def fit_nlme(
         metric_names=data.metric_names,
         n_obs=data.n_observations,
         converged=bool(best.success),
+        start_objectives=tuple(start_objectives),
     )

@@ -593,7 +593,12 @@ class _Lowerer:
             return [self._reduce(self._g_or, self._lower(expr.operand))]
         if expr.op == "^":
             return [self._reduce(self._g_xor, self._lower(expr.operand))]
-        raise SynthesisError(f"{self.spec.name}: unary {expr.op!r} unsupported")
+        raise SynthesisError(
+            f"{self.spec.name}: unary {expr.op!r} unsupported",
+            file=self.spec.module.source_name,
+            hint="rewrite the expression with the supported operator subset "
+                 "(bitwise logic, +/-, comparisons, shifts, mux)",
+        )
 
     def _lower_binary(self, expr: ast.Binary, hint: int | None) -> Bits:
         op = expr.op
@@ -666,7 +671,12 @@ class _Lowerer:
             return [carry_ba]
         if op in ("<<", ">>"):
             return self._lower_shift(expr, hint)
-        raise SynthesisError(f"{self.spec.name}: binary {op!r} unsupported")
+        raise SynthesisError(
+            f"{self.spec.name}: binary {op!r} unsupported",
+            file=self.spec.module.source_name,
+            hint="rewrite the expression with the supported operator subset "
+                 "(bitwise logic, +/-, *, comparisons, shifts, mux)",
+        )
 
     def _lower_shift(self, expr: ast.Binary, hint: int | None) -> Bits:
         bits = self._lower(expr.lhs, hint)

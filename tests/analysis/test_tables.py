@@ -2,10 +2,12 @@
 
 import pytest
 
+from repro.analysis.evaluation import EstimatorAccuracy, EvaluationResult
 from repro.analysis.tables import (
     render_bar_chart,
     render_scatter,
     render_table,
+    render_table4,
 )
 
 
@@ -26,6 +28,61 @@ class TestRenderTable:
         assert "1235" in out
         assert "0.12" in out
         assert "12.3" in out
+
+
+def _accuracy(name, sigma, converged=True, fitter="exact-ml"):
+    return EstimatorAccuracy(
+        name=name, metric_names=(name,), sigma_eps=sigma, sigma_rho=0.1,
+        loglik=-10.0, aic=26.0, bic=28.0, estimator=None,
+        converged=converged, fitter=fitter,
+    )
+
+
+def _evaluation(mixed, fixed, skipped=()):
+    return EvaluationResult(
+        mixed=mixed, fixed=fixed, dataset=None, skipped=tuple(skipped)
+    )
+
+
+class TestRenderTable4Marks:
+    def test_clean_table_has_no_marks_or_notes(self):
+        res = _evaluation(
+            {"Stmts": _accuracy("Stmts", 0.5)},
+            {"Stmts": _accuracy("Stmts", 0.6, fitter="rho=1")},
+        )
+        out = render_table4(res)
+        assert "~" not in out and "*" not in out
+        assert "fallback" not in out
+        assert not res.degraded
+
+    def test_fallback_fitter_marked_and_footnoted(self):
+        res = _evaluation(
+            {"Stmts": _accuracy("Stmts", 0.5, fitter="laplace-aghq")},
+            {"Stmts": _accuracy("Stmts", 0.6, fitter="rho=1")},
+        )
+        out = render_table4(res)
+        assert "0.50~" in out
+        assert "fallback fitter engaged" in out
+        assert "Stmts: laplace-aghq" in out
+        assert res.degraded
+
+    def test_nonconverged_fit_marked(self):
+        res = _evaluation(
+            {"Stmts": _accuracy("Stmts", 0.5, converged=False)},
+            {"Stmts": _accuracy("Stmts", 0.6, fitter="rho=1")},
+        )
+        out = render_table4(res)
+        assert "0.50*" in out
+        assert "did not converge" in out
+
+    def test_skipped_estimators_listed(self):
+        res = _evaluation(
+            {"Stmts": _accuracy("Stmts", 0.5)},
+            {"Stmts": _accuracy("Stmts", 0.6, fitter="rho=1")},
+            skipped=("Freq",),
+        )
+        out = render_table4(res)
+        assert "skipped (fit failed): Freq" in out
 
 
 class TestRenderBarChart:

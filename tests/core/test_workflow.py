@@ -3,8 +3,15 @@
 import pytest
 
 from repro.core.accounting import AccountingPolicy
-from repro.core.workflow import measure_component, parse_component
-from repro.hdl.source import SourceFile
+from repro.core.workflow import (
+    ComponentSpec,
+    measure_component,
+    measure_component_safe,
+    measure_components,
+    parse_component,
+)
+from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.runtime.diagnostics import Severity
 
 _HIER = SourceFile(
     "hier.v",
@@ -95,3 +102,70 @@ class TestMeasureComponent:
         m = measure_component([_HIER], "top")
         freqs = [rep.metrics()["Freq"] for rep in m.reports.values()]
         assert m.metrics["Freq"] == min(freqs)
+
+
+_BROKEN = SourceFile("broken.v", "module broken(input x; garbage !!")
+
+_GHOST_TOP = SourceFile(
+    "ghost.v",
+    """
+    module ghost_top(input clk, output y);
+      ghost u0 (.clk(clk), .y(y));
+    endmodule
+    """,
+)
+
+
+class TestMeasureComponentSafe:
+    def test_clean_matches_fail_fast_path(self):
+        safe = measure_component_safe([_HIER], "top")
+        assert safe.ok and not safe.diagnostics
+        assert safe.value.metrics == measure_component([_HIER], "top").metrics
+
+    def test_broken_file_quarantined(self):
+        result = measure_component_safe([_HIER, _BROKEN], "top")
+        assert result.degraded
+        assert result.value.metrics["FFs"] == 2  # synthesis still ran
+        (diag,) = result.diagnostics
+        assert diag.stage == "parse"
+        assert diag.severity is Severity.ERROR
+        assert diag.span is not None and diag.span.file == "broken.v"
+        assert diag.hint
+
+    def test_nothing_parseable_is_fatal(self):
+        result = measure_component_safe([_BROKEN], "top")
+        assert result.failed
+        assert result.severity is Severity.FATAL
+        assert any("no source file parsed" in d.message for d in result.diagnostics)
+
+    def test_elaboration_failure_keeps_software_metrics(self):
+        result = measure_component_safe([_GHOST_TOP], "ghost_top")
+        assert result.degraded
+        assert "LoC" in result.value.metrics
+        assert "Cells" not in result.value.metrics
+        assert result.value.specializations == []
+        assert any(d.stage == "elaborate" for d in result.diagnostics)
+
+    def test_strict_reraises(self):
+        with pytest.raises(HdlSyntaxError):
+            measure_component_safe([_BROKEN], "top", strict=True)
+
+
+class TestMeasureComponents:
+    def test_batch_isolates_faulty_component(self):
+        batch = measure_components(
+            [
+                ComponentSpec("good", (_HIER,), "top"),
+                ComponentSpec("bad", (_BROKEN,), "broken"),
+            ]
+        )
+        assert batch.degraded and not batch.ok
+        assert set(batch.measurements) == {"good"}
+        assert set(batch.failures) == {"bad"}
+        assert batch.results["good"].ok
+        assert "fatal" in batch.report()
+
+    def test_all_clean_batch_is_ok(self):
+        batch = measure_components([ComponentSpec("good", (_HIER,), "top")])
+        assert batch.ok and not batch.degraded
+        assert batch.report() == "no diagnostics"

@@ -1,9 +1,12 @@
 """Tests for the EffortDataset container."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.data import EffortDataset, EffortRecord
+from repro.runtime.diagnostics import Severity
 
 
 def _dataset():
@@ -129,3 +132,92 @@ class TestCsvRoundTrip:
         text = "team,component,effort,Stmts\nA,x,1.0\n"
         with pytest.raises(ValueError, match="fields"):
             EffortDataset.from_csv(text)
+
+
+class TestRecordValidation:
+    def test_nan_effort_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            EffortRecord("A", "x", math.nan, {})
+
+    def test_negative_effort_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            EffortRecord("A", "x", -2.0, {})
+
+    def test_nan_metric_rejected(self):
+        with pytest.raises(ValueError, match="not finite"):
+            EffortRecord("A", "x", 1.0, {"Stmts": math.inf})
+
+
+_CSV = (
+    "team,component,effort,Stmts,LoC\n"
+    "A,fetch,3.0,100,300\n"
+    "A,decode,nan,50,120\n"
+    "B,alu,1.5,80,200\n"
+)
+
+
+class TestFromCsvChecked:
+    def test_fail_fast_reports_fatal_row(self):
+        result = EffortDataset.from_csv_checked(_CSV)
+        assert result.failed
+        (diag,) = result.diagnostics
+        assert diag.severity is Severity.FATAL
+        assert diag.stage == "dataset"
+        assert diag.span is not None and diag.span.line == 3
+        assert "finite" in diag.message
+
+    def test_keep_going_quarantines_only_bad_row(self):
+        result = EffortDataset.from_csv_checked(_CSV, keep_going=True)
+        assert result.degraded and not result.failed
+        assert [r.component for r in result.value] == ["fetch", "alu"]
+        (diag,) = result.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert diag.component == "A"
+        assert diag.hint
+
+    def test_keep_going_with_nothing_left_is_fatal(self):
+        text = "team,component,effort,Stmts\nA,x,-1,5\n"
+        result = EffortDataset.from_csv_checked(text, keep_going=True)
+        assert result.failed
+        assert any("no usable rows" in d.message for d in result.diagnostics)
+
+    def test_missing_file_is_fatal_not_raise(self):
+        from pathlib import Path
+
+        result = EffortDataset.from_csv_checked(Path("/nope/missing.csv"))
+        assert result.failed
+        assert "cannot read" in result.diagnostics[0].message
+
+    def test_clean_text_is_ok(self):
+        result = EffortDataset.from_csv_checked(_dataset().to_csv())
+        assert result.ok and not result.diagnostics
+
+
+class TestValidate:
+    def test_clean_dataset_no_diagnostics(self):
+        assert _dataset().validate() == ()
+
+    def test_constant_column_flagged(self):
+        ds = EffortDataset(
+            (
+                EffortRecord("A", "x", 1.0, {"Stmts": 5.0, "LoC": 10.0}),
+                EffortRecord("B", "y", 2.0, {"Stmts": 5.0, "LoC": 30.0}),
+            )
+        )
+        diags = ds.validate()
+        assert any("constant" in d.message for d in diags)
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_collinear_columns_flagged(self):
+        ds = EffortDataset(
+            tuple(
+                EffortRecord(
+                    "AB"[i % 2], f"c{i}", 1.0 + i,
+                    {"Stmts": 10.0 * (i + 1), "LoC": 30.0 * (i + 1)},
+                )
+                for i in range(4)
+            )
+        )
+        diags = ds.validate()
+        assert any("collinear" in d.message for d in diags)
+

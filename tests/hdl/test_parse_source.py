@@ -3,7 +3,36 @@
 import pytest
 
 from repro.hdl import parse_source
-from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.hdl.source import HdlError, HdlIoError, HdlSyntaxError, SourceFile
+
+
+class TestFromPath:
+    def test_reads_file(self, tmp_path):
+        path = tmp_path / "m.v"
+        path.write_text("module m(input x); endmodule")
+        src = SourceFile.from_path(path)
+        assert src.name == "m.v"
+        assert "module m" in src.text
+
+    def test_missing_file_wrapped(self, tmp_path):
+        with pytest.raises(HdlIoError, match="no such file") as info:
+            SourceFile.from_path(tmp_path / "nope.v")
+        assert info.value.file.endswith("nope.v")
+        assert "check the path" in info.value.hint
+
+    def test_directory_wrapped(self, tmp_path):
+        with pytest.raises(HdlIoError, match="directory"):
+            SourceFile.from_path(tmp_path)
+
+    def test_non_utf8_wrapped(self, tmp_path):
+        path = tmp_path / "bin.v"
+        path.write_bytes(b"module \xff\xfe garbage")
+        with pytest.raises(HdlIoError, match="UTF-8") as info:
+            SourceFile.from_path(path)
+        assert "re-encode" in info.value.hint
+
+    def test_io_error_is_hdl_error(self):
+        assert issubclass(HdlIoError, HdlError)
 
 
 class TestDispatch:

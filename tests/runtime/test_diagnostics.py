@@ -1,0 +1,112 @@
+"""Tests for the structured diagnostics vocabulary."""
+
+import pytest
+
+from repro.hdl.source import HdlSyntaxError
+from repro.runtime.diagnostics import (
+    Diagnostic,
+    Result,
+    Severity,
+    SourceSpan,
+    max_severity,
+    render_report,
+)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR < Severity.FATAL
+
+    def test_label(self):
+        assert Severity.ERROR.label == "error"
+
+
+class TestSourceSpan:
+    def test_file_line(self):
+        assert SourceSpan("a.v", 7).render() == "a.v:7"
+
+    def test_range(self):
+        assert SourceSpan("a.v", 7, 9).render() == "a.v:7-9"
+
+    def test_no_line(self):
+        assert SourceSpan("a.v").render() == "a.v"
+
+    def test_unknown(self):
+        assert SourceSpan("").render() == "<unknown>"
+
+
+class TestDiagnostic:
+    def test_render_includes_all_parts(self):
+        d = Diagnostic(
+            Severity.ERROR, "parse", "unexpected token",
+            span=SourceSpan("cpu.v", 12), component="alu",
+            hint="check the file",
+        )
+        text = d.render()
+        assert "error[parse]" in text
+        assert "alu" in text
+        assert "cpu.v:12" in text
+        assert "unexpected token" in text
+        assert "hint: check the file" in text
+
+    def test_from_structured_exception(self):
+        exc = HdlSyntaxError("unexpected 'endmodule'", "cpu.v", 42)
+        d = Diagnostic.from_exception(exc, "parse")
+        assert d.span == SourceSpan("cpu.v", 42)
+        assert d.stage == "parse"
+        assert "unexpected" in d.message
+
+    def test_from_builtin_exception_names_type(self):
+        d = Diagnostic.from_exception(KeyError("W"), "elaborate")
+        assert d.span is None
+        assert "KeyError" in d.message
+
+    def test_exception_hint_beats_default(self):
+        exc = HdlSyntaxError("bad", "a.v", 1)
+        d = Diagnostic.from_exception(exc, "parse", hint="fallback hint")
+        # HdlError carries an (empty) hint attribute; the fallback applies.
+        assert d.hint == "fallback hint"
+
+
+class TestReport:
+    def test_max_severity(self):
+        diags = [
+            Diagnostic(Severity.WARNING, "fit", "a"),
+            Diagnostic(Severity.FATAL, "fit", "b"),
+            Diagnostic(Severity.INFO, "fit", "c"),
+        ]
+        assert max_severity(diags) is Severity.FATAL
+        assert max_severity([]) is None
+
+    def test_render_report_counts(self):
+        diags = [
+            Diagnostic(Severity.ERROR, "parse", "x"),
+            Diagnostic(Severity.ERROR, "parse", "y"),
+        ]
+        text = render_report(diags)
+        assert "2 error(s)" in text
+
+    def test_render_report_empty(self):
+        assert render_report([]) == "no diagnostics"
+
+
+class TestResult:
+    def test_ok(self):
+        r = Result(42, (Diagnostic(Severity.INFO, "fit", "note"),))
+        assert r.ok and not r.degraded and not r.failed
+        assert r.unwrap() == 42
+
+    def test_degraded(self):
+        r = Result(42, (Diagnostic(Severity.ERROR, "parse", "quarantined"),))
+        assert r.degraded and not r.ok and not r.failed
+
+    def test_failed(self):
+        r = Result(None, (Diagnostic(Severity.FATAL, "parse", "nothing"),))
+        assert r.failed and not r.ok
+        with pytest.raises(RuntimeError, match="nothing"):
+            r.unwrap()
+
+    def test_with_diagnostics(self):
+        r = Result(1).with_diagnostics(Diagnostic(Severity.ERROR, "fit", "d"))
+        assert r.degraded
+        assert len(r.diagnostics) == 1

@@ -1,0 +1,63 @@
+"""Tests for stage boundaries (fault isolation)."""
+
+import pytest
+
+from repro.runtime.diagnostics import Severity
+from repro.runtime.stages import STAGE_HINTS, StageBoundary
+
+
+class TestRun:
+    def test_returns_value(self):
+        b = StageBoundary("alu")
+        assert b.run("parse", lambda: 7) == 7
+        assert b.diagnostics == []
+
+    def test_captures_exception_as_diagnostic(self):
+        b = StageBoundary("alu")
+        out = b.run("parse", lambda: 1 / 0, default=-1)
+        assert out == -1
+        (diag,) = b.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert diag.stage == "parse"
+        assert diag.component == "alu"
+        assert diag.hint == STAGE_HINTS["parse"]
+
+    def test_explicit_hint_wins(self):
+        b = StageBoundary()
+        b.run("parse", lambda: 1 / 0, hint="custom")
+        assert b.diagnostics[0].hint == "custom"
+
+    def test_strict_reraises_after_recording(self):
+        b = StageBoundary(strict=True)
+        with pytest.raises(ZeroDivisionError):
+            b.run("fit", lambda: 1 / 0)
+        assert len(b.diagnostics) == 1
+
+    def test_keyboard_interrupt_propagates(self):
+        b = StageBoundary()
+
+        def boom():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            b.run("parse", boom)
+        assert b.diagnostics == []
+
+
+class TestStageContextManager:
+    def test_captures(self):
+        b = StageBoundary("x")
+        with b.stage("elaborate"):
+            raise ValueError("bad width")
+        assert b.diagnostics[0].stage == "elaborate"
+        assert "bad width" in b.diagnostics[0].message
+
+
+class TestNotesAndWorst:
+    def test_note_and_worst(self):
+        b = StageBoundary("alu")
+        assert b.worst is None
+        b.note("synthesize", "skipped a spec", Severity.WARNING)
+        b.note("parse", "file quarantined", Severity.ERROR)
+        assert b.worst is Severity.ERROR
+        assert all(d.component == "alu" for d in b.diagnostics)

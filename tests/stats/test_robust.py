@@ -1,0 +1,85 @@
+"""Tests for convergence verification and the robust fitting ladder."""
+
+import dataclasses
+
+from repro.data.paper import paper_dataset
+from repro.runtime.diagnostics import Severity
+from repro.stats.nlme import fit_nlme
+from repro.stats.robust import (
+    RetryPolicy,
+    fit_nlme_robust,
+    verify_nlme_convergence,
+)
+
+
+def _grouped(metrics=("Stmts",)):
+    return paper_dataset().to_grouped(list(metrics))
+
+
+class TestVerification:
+    def test_clean_fit_passes(self):
+        data = _grouped()
+        fit = fit_nlme(data)
+        report = verify_nlme_convergence(fit, data)
+        assert report.passed, report.summary()
+        assert report.grad_norm < report.grad_tol
+        assert report.multistart_support >= 2
+
+    def test_perturbed_fit_fails_first_order(self):
+        data = _grouped()
+        fit = fit_nlme(data)
+        wrecked = dataclasses.replace(
+            fit, weights=fit.weights * 3.0, converged=False
+        )
+        report = verify_nlme_convergence(wrecked, data)
+        assert not report.passed
+        assert any("first-order" in r for r in report.reasons)
+        assert any("success" in r for r in report.reasons)
+
+    def test_boundary_optimum_not_flagged(self):
+        # AreaS collapses sigma_rho to ~0 (a box-bound optimum); the
+        # verification must treat that as legitimate, not non-convergence.
+        data = _grouped(("AreaS",))
+        fit = fit_nlme(data)
+        report = verify_nlme_convergence(fit, data)
+        assert report.passed, report.summary()
+
+    def test_summary_mentions_state(self):
+        data = _grouped()
+        report = verify_nlme_convergence(fit_nlme(data), data)
+        assert "passed" in report.summary()
+
+
+class TestRobustLadder:
+    def test_clean_data_stays_exact(self):
+        result = fit_nlme_robust(_grouped(), component="Stmts")
+        assert result.fitter == "exact-ml"
+        assert not result.degraded
+        assert result.attempts == 1
+        assert result.convergence is not None and result.convergence.passed
+        assert not [
+            d for d in result.diagnostics if d.severity >= Severity.ERROR
+        ]
+
+    def test_single_team_degrades_to_fixed_effects(self):
+        data = paper_dataset().filter_teams(["IVM"]).to_grouped(["Stmts"])
+        result = fit_nlme_robust(data, component="Stmts")
+        assert result.fitter == "fixed-effects"
+        assert result.degraded
+        errors = [
+            d for d in result.diagnostics if d.severity >= Severity.ERROR
+        ]
+        assert errors and "one team" in errors[0].message
+        assert errors[0].hint
+
+    def test_result_passthrough(self):
+        result = fit_nlme_robust(_grouped())
+        assert result.sigma_eps == result.fit.sigma_eps
+        assert result.converged
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts >= 2
+        assert policy.support_min >= 2

@@ -72,6 +72,82 @@ class TestEvaluate:
         assert "sigma_eps (rho=1)" in out
 
 
+class TestExitCodes:
+    """The 0/1/2 exit-code contract and --strict / --keep-going."""
+
+    @pytest.fixture()
+    def good_file(self, tmp_path):
+        path = tmp_path / "good.v"
+        path.write_text(
+            "module good(input clk, input d, output reg q);\n"
+            "  always @(posedge clk) q <= d;\n"
+            "endmodule\n"
+        )
+        return str(path)
+
+    @pytest.fixture()
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.v"
+        path.write_text("module broken(input x; garbage !!\n")
+        return str(path)
+
+    @pytest.fixture()
+    def bad_csv(self, tmp_path):
+        lines = paper_dataset().to_csv().splitlines()
+        fields = lines[1].split(",")
+        fields[2] = "nan"
+        lines[1] = ",".join(fields)
+        path = tmp_path / "bad.csv"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_measure_quarantines_broken_file(
+        self, capsys, good_file, broken_file
+    ):
+        code = main(["measure", good_file, broken_file, "--top", "good"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "FFs" in captured.out  # the good file still measured
+        assert "error[parse]" in captured.err
+        assert "hint:" in captured.err
+
+    def test_measure_strict_turns_degradation_fatal(
+        self, capsys, good_file, broken_file
+    ):
+        code = main(
+            ["measure", good_file, broken_file, "--top", "good", "--strict"]
+        )
+        assert code == 2
+
+    def test_measure_unreadable_only_input_is_fatal(self, capsys, tmp_path):
+        code = main(["measure", str(tmp_path / "nope.v"), "--top", "x"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error[parse]" in captured.err
+
+    def test_fit_bad_row_without_keep_going_is_fatal(self, capsys, bad_csv):
+        code = main(["fit", "--dataset", bad_csv])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "fatal[dataset]" in captured.err
+        assert ":2:" in captured.err  # the CSV line is named
+
+    def test_fit_keep_going_quarantines_row(self, capsys, bad_csv):
+        code = main(["fit", "--dataset", bad_csv, "--keep-going"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "sigma_eps" in captured.out
+        assert "error[dataset]" in captured.err
+
+    def test_fit_keep_going_strict_is_fatal(self, capsys, bad_csv):
+        code = main(["fit", "--dataset", bad_csv, "--keep-going", "--strict"])
+        assert code == 2
+
+    def test_clean_fit_exits_zero(self, capsys):
+        assert main(["fit", "--metrics", "Stmts"]) == 0
+        assert capsys.readouterr().err == ""
+
+
 class TestReport:
     def test_report_to_stdout(self, capsys):
         assert main(["report"]) == 0

@@ -1,0 +1,77 @@
+"""Tier-2 fault injection: corrupted effort datasets (``pytest -m faultinject``)."""
+
+import pytest
+
+from repro.data.dataset import EffortDataset
+from repro.data.paper import paper_dataset
+from repro.runtime.diagnostics import Severity
+from repro.runtime.faultinject import CSV_FAULTS, corrupt_csv
+from repro.stats.robust import RetryPolicy, fit_nlme_robust
+
+pytestmark = pytest.mark.faultinject
+
+
+@pytest.fixture(scope="module")
+def paper_csv():
+    return paper_dataset().to_csv()
+
+
+class TestEffortFaults:
+    @pytest.mark.parametrize(
+        "fault", ["nan_effort", "zero_effort", "negative_effort"]
+    )
+    def test_bad_effort_row_quarantined(self, paper_csv, fault):
+        n = len(paper_dataset())
+        bad = corrupt_csv(paper_csv, fault)
+        result = EffortDataset.from_csv_checked(bad, keep_going=True)
+        assert result.degraded and result.value is not None
+        assert len(result.value) == n - 1  # exactly the faulty row dropped
+        (diag,) = result.diagnostics
+        assert diag.severity is Severity.ERROR
+        assert diag.stage == "dataset"
+        assert diag.span is not None and diag.span.line == 2
+        assert diag.hint
+
+    def test_bad_effort_fails_fast_without_keep_going(self, paper_csv):
+        bad = corrupt_csv(paper_csv, "negative_effort")
+        result = EffortDataset.from_csv_checked(bad)
+        assert result.failed
+        assert result.diagnostics[0].severity is Severity.FATAL
+
+    def test_multiple_rows(self, paper_csv):
+        bad = corrupt_csv(paper_csv, "zero_effort", rows=(0, 2, 4))
+        result = EffortDataset.from_csv_checked(bad, keep_going=True)
+        assert len(result.diagnostics) == 3
+        assert len(result.value) == len(paper_dataset()) - 3
+
+    def test_unknown_fault_rejected(self, paper_csv):
+        with pytest.raises(ValueError, match="unknown fault"):
+            corrupt_csv(paper_csv, "bitrot")
+        assert "collinear_metrics" in CSV_FAULTS
+
+
+class TestCollinearMetrics:
+    def test_collinearity_detected_by_validate(self, paper_csv):
+        bad = corrupt_csv(paper_csv, "collinear_metrics")
+        result = EffortDataset.from_csv_checked(bad, keep_going=True)
+        assert result.value is not None  # rows are individually fine
+        names = result.value.metric_names
+        diags = result.value.validate()
+        flagged = [d for d in diags if "collinear" in d.message]
+        assert flagged
+        # The injected pair (first and last metric columns) is named.
+        assert names[0] in flagged[0].message
+        assert names[-1] in flagged[0].message
+
+    def test_collinear_fit_degrades_with_unidentifiable_report(self, paper_csv):
+        bad = corrupt_csv(paper_csv, "collinear_metrics")
+        dataset = EffortDataset.from_csv_checked(bad).value
+        names = dataset.metric_names
+        grouped = dataset.to_grouped([names[0], names[-1]])
+        result = fit_nlme_robust(
+            grouped, policy=RetryPolicy(max_attempts=1), component="collinear"
+        )
+        assert result.degraded
+        assert result.fitter in ("laplace-aghq", "fixed-effects")
+        messages = " ".join(d.message for d in result.diagnostics)
+        assert "unidentifiable" in messages or "Hessian" in messages

@@ -1,0 +1,82 @@
+"""Tier-2 fault injection: forced optimizer non-convergence
+(``pytest -m faultinject``).
+
+These tests sabotage the optimizer behind the exact-ML (and optionally the
+Laplace/AGHQ) fitter and assert the degradation ladder of
+``repro.stats.robust`` engages rung by rung, recording provenance.
+"""
+
+import pytest
+
+from repro.analysis.evaluation import evaluate_estimators
+from repro.analysis.tables import render_table4
+from repro.core.estimator import DEE1_METRICS
+from repro.data.paper import paper_dataset
+from repro.runtime.diagnostics import Severity
+from repro.runtime.faultinject import forced_nonconvergence
+from repro.stats.nlme import fit_nlme
+from repro.stats.robust import RetryPolicy, fit_nlme_robust
+
+pytestmark = pytest.mark.faultinject
+
+_FAST = RetryPolicy(max_attempts=2, extra_starts=2)
+
+
+def _grouped():
+    return paper_dataset().to_grouped(["Stmts"])
+
+
+class TestLadder:
+    def test_exact_failure_degrades_to_laplace(self):
+        with forced_nonconvergence(("exact",)):
+            result = fit_nlme_robust(_grouped(), policy=_FAST)
+        assert result.fitter == "laplace-aghq"
+        assert result.degraded
+        assert result.fit.fitter == "laplace-aghq"  # provenance on the fit
+        assert result.attempts == _FAST.max_attempts
+        errors = [d for d in result.diagnostics if d.severity >= Severity.ERROR]
+        assert any("Laplace" in d.message for d in errors)
+        assert result.convergence is not None and not result.convergence.passed
+
+    def test_exact_and_laplace_failure_degrades_to_fixed_effects(self):
+        with forced_nonconvergence(("exact", "laplace")):
+            result = fit_nlme_robust(_grouped(), policy=_FAST)
+        assert result.fitter == "fixed-effects"
+        assert result.degraded
+        messages = " ".join(d.message for d in result.diagnostics)
+        assert "productivity adjustment is lost" in messages
+
+    def test_retry_warnings_recorded_per_attempt(self):
+        with forced_nonconvergence(("exact",)):
+            result = fit_nlme_robust(_grouped(), policy=_FAST)
+        warnings = [
+            d for d in result.diagnostics
+            if d.severity is Severity.WARNING and "verification" in d.message
+        ]
+        assert len(warnings) == _FAST.max_attempts
+
+    def test_sabotage_is_scoped_to_the_context(self):
+        with forced_nonconvergence(("exact",)):
+            assert not fit_nlme(_grouped()).converged
+        fit = fit_nlme(_grouped())
+        assert fit.converged  # hook restored
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            with forced_nonconvergence(("fpga",)):
+                pass
+
+
+class TestTable4UnderFaults:
+    def test_degraded_fit_is_marked_not_silent(self):
+        with forced_nonconvergence(("exact",)):
+            result = evaluate_estimators(
+                paper_dataset(), estimators=(("DEE1", DEE1_METRICS),)
+            )
+        assert result.degraded
+        acc = result.mixed["DEE1"]
+        assert acc.fitter == "laplace-aghq"
+        out = render_table4(result)
+        assert "~" in out
+        assert "fallback fitter engaged" in out
+        assert "DEE1: laplace-aghq" in out
