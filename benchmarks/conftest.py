@@ -2,14 +2,49 @@
 
 Expensive artifacts (the Table 4 fits, the measured-design datasets) are
 built once per session and shared across the table/figure benchmarks.
+
+Every benchmark is also timed through the observability tracer: one
+``bench.<nodeid>`` span per test, exported to ``BENCH_obs.json`` at the
+repo root when the session ends (benchmark name -> wall seconds).
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.analysis.evaluation import evaluate_estimators
 from repro.core.accounting import AccountingPolicy
 from repro.data.paper import paper_dataset
 from repro.designs.loader import measured_dataset
+
+#: Session-wide tracer shared by every benchmark's timing span.
+_TRACER = obs.Tracer()
+
+_BENCH_OBS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+@pytest.fixture(autouse=True)
+def _bench_span(request):
+    """Time each benchmark with a ``bench.*`` span on the session tracer."""
+    with obs.using(_TRACER):
+        with obs.span(f"bench.{request.node.nodeid}"):
+            yield
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    """Write benchmark wall times (name -> seconds) to BENCH_obs.json."""
+    timings = {
+        sp.name.removeprefix("bench."): round(sp.wall_s, 6)
+        for sp in _TRACER.spans
+        if sp.name.startswith("bench.") and sp.wall_s is not None
+    }
+    if timings:
+        _BENCH_OBS_PATH.write_text(
+            json.dumps(timings, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
 
 @pytest.fixture(scope="session")

@@ -5,11 +5,14 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import fit_dee1, paper_dataset
+from repro import fit_dee1, obs, paper_dataset
 from repro.analysis.evaluation import evaluate_estimators
 
 
 def main() -> None:
+    # Trace the whole run so we can show where the time went at the end.
+    tracer = obs.activate(obs.Tracer())
+
     dataset = paper_dataset()
     print(f"dataset: {len(dataset)} components from teams {dataset.teams}")
 
@@ -43,6 +46,12 @@ def main() -> None:
     result = evaluate_estimators(dataset)
     print("\nestimators from most to least accurate:")
     print(" > ".join(result.ranked()))
+
+    # Where did the time go?  (See DESIGN.md, "Observability".)
+    obs.deactivate()
+    print("\ntop 5 slowest spans:")
+    for sp in tracer.slowest(5):
+        print(f"  {sp.wall_s * 1e3:9.2f}ms  {sp.name}")
 
 
 if __name__ == "__main__":

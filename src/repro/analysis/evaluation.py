@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.core.estimator import DEE1_METRICS, DesignEffortEstimator
 from repro.data.dataset import EffortDataset
+from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Severity
 from repro.stats.lognormal import confidence_factors
 
@@ -152,8 +153,9 @@ def evaluate_estimators(
         if not set(metric_names) <= available:
             continue
         try:
-            acc_mixed = _accuracy(dataset, name, metric_names, True, robust=robust)
-            acc_fixed = _accuracy(dataset, name, metric_names, False, robust=robust)
+            with obs_trace.span("evaluate.estimator", estimator=name):
+                acc_mixed = _accuracy(dataset, name, metric_names, True, robust=robust)
+                acc_fixed = _accuracy(dataset, name, metric_names, False, robust=robust)
         except Exception as exc:  # noqa: BLE001 -- skip-and-report
             if not robust:
                 raise

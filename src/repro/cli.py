@@ -29,6 +29,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.analysis.evaluation import evaluate_estimators
 from repro.analysis.tables import render_table, render_table4
 from repro.core.accounting import AccountingPolicy
@@ -200,6 +201,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return _exit_code(diagnostics, strict=args.strict)
 
 
+def _cmd_timings(args: argparse.Namespace) -> int:
+    try:
+        rows = obs.read_jsonl(args.file)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    print(obs.render_timings_rows(rows, top=args.top))
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ucomplexity",
@@ -215,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-going", action="store_true",
         help="quarantine malformed dataset rows (with diagnostics) instead "
              "of aborting the run",
+    )
+    common.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSONL trace of the run (spans, fit iterations, "
+             "metrics snapshot) to FILE; render later with "
+             "'ucomplexity timings FILE'",
+    )
+    common.add_argument(
+        "--profile", action="store_true",
+        help="print a timings report (slowest spans, per-stage totals, "
+             "counters) to stderr at exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -274,17 +296,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser(
+        "timings", help="render the timings report from a --trace JSONL file",
+        parents=[common],
+    )
+    p.add_argument("file", help="JSONL trace written by a --trace run")
+    p.add_argument(
+        "--top", type=int, default=10, help="slowest spans to show (default 10)"
+    )
+    p.set_defaults(func=_cmd_timings)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    tracer = obs.Tracer()
+    obs.reset_metrics()
+    obs.activate(tracer)
     try:
-        return args.func(args)
-    except Exception as exc:  # noqa: BLE001 -- last-resort fatal mapping
-        _print_diagnostics([Diagnostic.from_exception(exc, args.command,
-                                                      severity=Severity.FATAL)])
-        return EXIT_FATAL
+        try:
+            with obs.span(f"cli.{args.command}"):
+                return args.func(args)
+        except Exception as exc:  # noqa: BLE001 -- last-resort fatal mapping
+            _print_diagnostics([Diagnostic.from_exception(exc, args.command,
+                                                          severity=Severity.FATAL)])
+            return EXIT_FATAL
+    finally:
+        obs.deactivate()
+        report = obs.RunReport.collect(tracer)
+        if getattr(args, "trace", None):
+            report.write_jsonl(args.trace)
+            print(f"trace written to {args.trace}", file=sys.stderr)
+        if getattr(args, "profile", False):
+            print(report.render_timings(), file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.data.dataset import EffortDataset, EffortRecord
+from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic
 from repro.stats.criteria import FitCriteria
 from repro.stats.fixedeffects import FixedEffectsFit, fit_fixed_effects
@@ -157,29 +158,30 @@ class DesignEffortEstimator:
             retry_policy: knobs for the robust chain (robust mode only).
         """
         display = name or "+".join(metric_names)
-        grouped = dataset.to_grouped(metric_names, metric_floor=metric_floor)
-        if productivity_adjustment and robust:
-            robust_result = fit_nlme_robust(
-                grouped,
-                policy=retry_policy or RetryPolicy(),
-                component=display,
-            )
+        with obs_trace.span("fit.estimator", estimator=display, robust=robust):
+            grouped = dataset.to_grouped(metric_names, metric_floor=metric_floor)
+            if productivity_adjustment and robust:
+                robust_result = fit_nlme_robust(
+                    grouped,
+                    policy=retry_policy or RetryPolicy(),
+                    component=display,
+                )
+                return cls(
+                    name=display,
+                    metric_names=tuple(metric_names),
+                    fit=robust_result.fit,
+                    fitter=robust_result.fitter,
+                    fit_diagnostics=robust_result.diagnostics,
+                )
+            if productivity_adjustment:
+                fit: NlmeFit | FixedEffectsFit = fit_nlme(grouped)
+            else:
+                fit = fit_fixed_effects(grouped)
             return cls(
                 name=display,
                 metric_names=tuple(metric_names),
-                fit=robust_result.fit,
-                fitter=robust_result.fitter,
-                fit_diagnostics=robust_result.diagnostics,
+                fit=fit,
             )
-        if productivity_adjustment:
-            fit: NlmeFit | FixedEffectsFit = fit_nlme(grouped)
-        else:
-            fit = fit_fixed_effects(grouped)
-        return cls(
-            name=display,
-            metric_names=tuple(metric_names),
-            fit=fit,
-        )
 
 
 def fit_dee1(

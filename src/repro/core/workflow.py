@@ -29,6 +29,8 @@ from repro.elab.elaborator import elaborate
 from repro.hdl import ast, parse_source
 from repro.hdl.metrics import software_metrics
 from repro.hdl.source import SourceFile
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Result, Severity, render_report
 from repro.runtime.stages import StageBoundary
 from repro.synth.lower import synthesize_module
@@ -49,10 +51,11 @@ class ComponentMeasurement:
 
 def parse_component(sources: list[SourceFile]) -> ast.Design:
     """Parse and merge a component's source files into one design."""
-    design = ast.Design()
-    for source in sources:
-        design = design.merge(parse_source(source))
-    return design
+    with obs_trace.span("parse.component", files=len(sources)):
+        design = ast.Design()
+        for source in sources:
+            design = design.merge(parse_source(source))
+        return design
 
 
 def measure_component(
@@ -71,37 +74,47 @@ def measure_component(
         policy: the accounting procedure configuration.
         design: pre-parsed design (parsed from ``sources`` when omitted).
     """
-    if design is None:
-        design = parse_component(sources)
-    metrics: dict[str, float] = dict(software_metrics(sources, design))
+    with obs_trace.span("measure.component", component=name or top):
+        if design is None:
+            design = parse_component(sources)
+        with obs_trace.span("measure.software_metrics"):
+            metrics: dict[str, float] = dict(software_metrics(sources, design))
 
-    hierarchy = elaborate(design, top)
-    instances = hierarchy.all_instances()
-    selected = select_components(
-        instances,
-        policy,
-        minimal_parameters=lambda module: minimal_parameters(design, module),
-    )
+        hierarchy = elaborate(design, top)
+        instances = hierarchy.all_instances()
+        with obs_trace.span("account"):
+            selected = select_components(
+                instances,
+                policy,
+                minimal_parameters=lambda module: minimal_parameters(design, module),
+            )
 
-    reports: dict[tuple, SynthesisReport] = {}
-    per_spec: list[dict[str, float]] = []
-    for module_name, params in selected:
-        key = (module_name, tuple(sorted(params.items())))
-        if key not in reports:
-            sub = elaborate(design, module_name, params)
-            netlist = synthesize_module(sub)
-            reports[key] = synthesis_metrics(netlist)
-        per_spec.append(reports[key].metrics())
+        reports: dict[tuple, SynthesisReport] = {}
+        per_spec: list[dict[str, float]] = []
+        for module_name, params in selected:
+            key = (module_name, tuple(sorted(params.items())))
+            if key not in reports:
+                with obs_trace.span(
+                    "measure.specialization", module=module_name
+                ) as sp:
+                    sub = elaborate(design, module_name, params)
+                    netlist = synthesize_module(sub)
+                    reports[key] = synthesis_metrics(netlist)
+                if sp.wall_s is not None:
+                    obs_metrics.histogram("measure.specialization_wall_s").observe(
+                        sp.wall_s
+                    )
+            per_spec.append(reports[key].metrics())
 
-    metrics.update(aggregate_metrics(per_spec))
-    return ComponentMeasurement(
-        name=name or top,
-        top=top,
-        policy=policy,
-        metrics=metrics,
-        specializations=selected,
-        reports=reports,
-    )
+        metrics.update(aggregate_metrics(per_spec))
+        return ComponentMeasurement(
+            name=name or top,
+            top=top,
+            policy=policy,
+            metrics=metrics,
+            specializations=selected,
+            reports=reports,
+        )
 
 
 # -- fault-tolerant entry points ------------------------------------------
@@ -142,6 +155,17 @@ def measure_component_safe(
     diagnostics), or failed (no parseable input at all).
     """
     label = name or top
+    with obs_trace.span("measure.component_safe", component=label):
+        return _measure_component_safe(sources, top, label, policy, strict)
+
+
+def _measure_component_safe(
+    sources: Sequence[SourceFile],
+    top: str,
+    label: str,
+    policy: AccountingPolicy,
+    strict: bool,
+) -> Result[ComponentMeasurement]:
     boundary = StageBoundary(component=label, strict=strict)
 
     parsed_sources: list[SourceFile] = []
@@ -149,6 +173,7 @@ def measure_component_safe(
     for source in sources:
         sub = boundary.run("parse", lambda s=source: parse_source(s))
         if sub is None:
+            obs_metrics.counter("measure.quarantined_units").inc()
             continue
         merged = boundary.run("parse", lambda d=sub: design.merge(d))
         if merged is not None:
@@ -206,6 +231,7 @@ def measure_component_safe(
 
             report = boundary.run("synthesize", _synth)
             if report is None:
+                obs_metrics.counter("measure.quarantined_units").inc()
                 quarantined.append((module_name, params))
                 continue
             reports[key] = report

@@ -19,6 +19,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Result, Severity, SourceSpan
 from repro.stats.grouping import GroupedData
 
@@ -180,6 +182,22 @@ class EffortDataset:
         line, and the remaining rows still form a dataset.  Without it, the
         first bad row fails the whole load (one FATAL diagnostic).
         """
+        with obs_trace.span("dataset.load", keep_going=keep_going) as sp:
+            result = cls._from_csv_checked(source, keep_going)
+            if result.value is not None:
+                obs_metrics.counter("dataset.rows_loaded").inc(len(result.value))
+                sp.set_attr("rows", len(result.value))
+            quarantined = sum(
+                1 for d in result.diagnostics if d.severity == Severity.ERROR
+            )
+            if quarantined:
+                obs_metrics.counter("dataset.rows_quarantined").inc(quarantined)
+            return result
+
+    @classmethod
+    def _from_csv_checked(
+        cls, source: str | Path, keep_going: bool
+    ) -> "Result[EffortDataset]":
         if isinstance(source, Path) or "\n" not in str(source):
             origin = str(source)
             try:

@@ -18,6 +18,8 @@ paper correspond to the Table 4 column, so that is what
 from __future__ import annotations
 
 from repro.data.dataset import EffortDataset, EffortRecord
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: Metrics measured from the HDL source text alone (Table 3).
 SOFTWARE_METRICS: tuple[str, ...] = ("Stmts", "LoC")
@@ -136,10 +138,13 @@ def paper_dataset() -> EffortDataset:
     Efforts are the Table 4 effort column (the values the published
     ``sigma_epsilon`` figures correspond to).
     """
-    records = []
-    for team, comp, effort, _dee1, *values in _TABLE4_ROWS:
-        metrics = dict(zip(ALL_METRICS, (float(v) for v in values)))
-        records.append(
-            EffortRecord(team=team, component=comp, effort=effort, metrics=metrics)
-        )
-    return EffortDataset(tuple(records))
+    with obs_trace.span("dataset.load", source="paper") as sp:
+        records = []
+        for team, comp, effort, _dee1, *values in _TABLE4_ROWS:
+            metrics = dict(zip(ALL_METRICS, (float(v) for v in values)))
+            records.append(
+                EffortRecord(team=team, component=comp, effort=effort, metrics=metrics)
+            )
+        obs_metrics.counter("dataset.rows_loaded").inc(len(records))
+        sp.set_attr("rows", len(records))
+        return EffortDataset(tuple(records))

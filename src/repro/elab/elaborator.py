@@ -129,13 +129,19 @@ def elaborate(
     parameters: Mapping[str, int] | None = None,
 ) -> DesignHierarchy:
     """Elaborate ``top`` (and everything below it) within ``design``."""
-    worker = _Elaborator(design)
-    top_spec = worker.specialize(top, dict(parameters or {}), stack=())
-    return DesignHierarchy(
-        design=design,
-        top_key=top_spec.key,
-        specializations=worker.specializations,
-    )
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    with obs_trace.span("elaborate", module=top) as sp:
+        worker = _Elaborator(design)
+        top_spec = worker.specialize(top, dict(parameters or {}), stack=())
+        obs_metrics.counter("elab.elaborations").inc()
+        sp.set_attr("specializations", len(worker.specializations))
+        return DesignHierarchy(
+            design=design,
+            top_key=top_spec.key,
+            specializations=worker.specializations,
+        )
 
 
 class _Elaborator:

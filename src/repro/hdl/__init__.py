@@ -10,11 +10,15 @@ elaborator and synthesis pipeline downstream are language-agnostic.
 (``LoC`` and ``Stmts``) from source text and AST respectively.
 """
 
+from dataclasses import fields, is_dataclass
+
 from repro.hdl.ast import Design, Module
 from repro.hdl.metrics import count_loc, count_statements, software_metrics
 from repro.hdl.source import HdlSyntaxError, SourceFile
 from repro.hdl.verilog import parse_verilog
 from repro.hdl.vhdl import parse_vhdl
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "Design",
@@ -29,14 +33,34 @@ __all__ = [
 ]
 
 
+def _count_ast_nodes(node: object) -> int:
+    """Recursive dataclass-node count (only run when a tracer is active)."""
+    if is_dataclass(node) and not isinstance(node, type):
+        return 1 + sum(
+            _count_ast_nodes(getattr(node, f.name)) for f in fields(node)
+        )
+    if isinstance(node, (tuple, list)):
+        return sum(_count_ast_nodes(v) for v in node)
+    if isinstance(node, dict):
+        return sum(_count_ast_nodes(v) for v in node.values())
+    return 0
+
+
 def parse_source(source: "SourceFile") -> "Design":
     """Parse an HDL file, dispatching on its extension (.v/.sv vs .vhd)."""
     name = source.name.lower()
-    if name.endswith((".vhd", ".vhdl")):
-        return parse_vhdl(source)
-    if name.endswith((".v", ".sv")):
-        return parse_verilog(source)
-    raise ValueError(
-        f"cannot infer HDL language from file name {source.name!r}; "
-        "expected a .v/.sv or .vhd/.vhdl extension"
-    )
+    with obs_trace.span("parse.file", file=source.name) as sp:
+        if name.endswith((".vhd", ".vhdl")):
+            design = parse_vhdl(source)
+        elif name.endswith((".v", ".sv")):
+            design = parse_verilog(source)
+        else:
+            raise ValueError(
+                f"cannot infer HDL language from file name {source.name!r}; "
+                "expected a .v/.sv or .vhd/.vhdl extension"
+            )
+        obs_metrics.counter("hdl.files_parsed").inc()
+        if obs_trace.active() is not None:
+            obs_metrics.counter("hdl.ast_nodes").inc(_count_ast_nodes(design))
+            sp.set_attr("modules", len(design.modules))
+        return design

@@ -635,4 +635,9 @@ class _Parser:
 
 def parse_verilog(source: SourceFile) -> ast.Design:
     """Parse a uVerilog source file into a design."""
-    return _Parser(source).parse_design()
+    from repro.obs import metrics as obs_metrics
+
+    parser = _Parser(source)
+    design = parser.parse_design()
+    obs_metrics.counter("hdl.tokens_lexed").inc(len(parser.tokens))
+    return design

@@ -868,4 +868,9 @@ def _mentions_clock(cond: ast.Expr) -> bool:
 
 def parse_vhdl(source: SourceFile) -> ast.Design:
     """Parse a uVHDL source file into a design."""
-    return _Parser(source).parse_design()
+    from repro.obs import metrics as obs_metrics
+
+    parser = _Parser(source)
+    design = parser.parse_design()
+    obs_metrics.counter("hdl.tokens_lexed").inc(len(parser.tokens))
+    return design

@@ -1,0 +1,69 @@
+"""Observability layer: tracing, metrics, and fit telemetry.
+
+Zero-dependency instrumentation threaded through the whole
+measure -> fit -> report pipeline (see DESIGN.md, "Observability"):
+
+* :mod:`repro.obs.trace` -- nested :class:`Span` trees with wall/CPU time,
+  JSONL export, and a no-op module API (:func:`span`, :func:`traced`) that
+  library code can call unconditionally.
+* :mod:`repro.obs.metrics` -- a process-local :class:`MetricsRegistry` of
+  counters/gauges/histograms (files parsed, optimizer iterations,
+  fallback activations, ...).
+* :mod:`repro.obs.fittrace` -- per-iteration optimizer telemetry
+  (objective / gradient norm / step) for the NLME fitters.
+* :mod:`repro.obs.report` -- :class:`RunReport` bundling + the timings
+  rendering behind ``--profile`` and ``ucomplexity timings``.
+"""
+
+from repro.obs.fittrace import FitIteration, FitTrace, maybe_fit_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.metrics import reset as reset_metrics
+from repro.obs.metrics import snapshot as metrics_snapshot
+from repro.obs.report import RunReport, render_timings_rows
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    activate,
+    active,
+    current_span_id,
+    deactivate,
+    event,
+    read_jsonl,
+    span,
+    traced,
+    using,
+)
+
+__all__ = [
+    "Counter",
+    "FitIteration",
+    "FitTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RunReport",
+    "Span",
+    "Tracer",
+    "activate",
+    "active",
+    "current_span_id",
+    "deactivate",
+    "event",
+    "maybe_fit_trace",
+    "metrics_registry",
+    "metrics_snapshot",
+    "read_jsonl",
+    "render_timings_rows",
+    "reset_metrics",
+    "span",
+    "traced",
+    "using",
+]

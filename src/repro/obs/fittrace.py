@@ -1,0 +1,188 @@
+"""Per-iteration optimizer telemetry for the NLME fitters.
+
+The convergence verdicts of :mod:`repro.stats.robust` say *whether* a fit
+converged; a :class:`FitTrace` shows *how*: one :class:`FitIteration` row
+per optimizer iteration with the objective value (negative log-likelihood
+for the likelihood fitters), the finite-difference gradient norm, and the
+step length.  Non-convergence reports can then point at trajectories --
+"the objective plateaued at iteration 12 with |grad| still 1e-1" -- instead
+of bare verdicts.
+
+A trace plugs into ``scipy.optimize.minimize`` through the standard
+``callback`` hook (:meth:`FitTrace.watch` builds one per optimizer start),
+and mirrors every row into the active tracer as a ``fit_iter`` event so
+``--trace`` files carry the full trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.obs import trace as obs_trace
+
+
+@dataclass(frozen=True)
+class FitIteration:
+    """One optimizer iteration of one start."""
+
+    fitter: str
+    start_index: int        # which optimizer start (multi-start fits)
+    iteration: int          # 0-based within the start
+    objective: float        # value being minimized (NLL for ML fitters)
+    grad_norm: float | None
+    step: float | None      # ||theta_k - theta_{k-1}||; None on iteration 0
+
+    @property
+    def loglik(self) -> float:
+        """The log-likelihood, assuming the objective is an NLL."""
+        return -self.objective
+
+
+class FitTrace:
+    """Collects per-iteration rows across every start of one fit.
+
+    Args:
+        fitter: name recorded on every row ("exact-ml", "laplace-aghq",
+            "fixed-effects").
+        objective_is_nll: whether ``-objective`` is a log-likelihood;
+            controls the ``loglik`` field of emitted trace events.
+        record_gradients: compute a central finite-difference gradient norm
+            each iteration (2k extra objective evaluations per iteration).
+        emit: mirror rows into the active tracer as ``fit_iter`` events.
+        grad_step: finite-difference step for the gradient norm.
+    """
+
+    def __init__(
+        self,
+        fitter: str,
+        objective_is_nll: bool = True,
+        record_gradients: bool = True,
+        emit: bool = True,
+        grad_step: float = 1e-6,
+    ) -> None:
+        self.fitter = fitter
+        self.objective_is_nll = objective_is_nll
+        self.record_gradients = record_gradients
+        self.emit = emit
+        self.grad_step = grad_step
+        self.rows: list[FitIteration] = []
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def starts(self) -> dict[int, list[FitIteration]]:
+        """Rows grouped by optimizer start, in iteration order."""
+        out: dict[int, list[FitIteration]] = {}
+        for row in self.rows:
+            out.setdefault(row.start_index, []).append(row)
+        return out
+
+    def _grad_norm(
+        self, objective: Callable[[np.ndarray], float], theta: np.ndarray
+    ) -> float:
+        h = self.grad_step
+        total = 0.0
+        for i in range(theta.shape[0]):
+            e = np.zeros_like(theta)
+            e[i] = h
+            g = (objective(theta + e) - objective(theta - e)) / (2.0 * h)
+            total += g * g
+        return math.sqrt(total)
+
+    def record(
+        self,
+        start_index: int,
+        iteration: int,
+        theta: np.ndarray,
+        objective_value: float,
+        grad_norm: float | None,
+        step: float | None,
+    ) -> FitIteration:
+        row = FitIteration(
+            fitter=self.fitter,
+            start_index=start_index,
+            iteration=iteration,
+            objective=float(objective_value),
+            grad_norm=grad_norm,
+            step=step,
+        )
+        self.rows.append(row)
+        if self.emit:
+            fields: dict = {
+                "fitter": row.fitter,
+                "start": row.start_index,
+                "iter": row.iteration,
+                "objective": row.objective,
+                "grad_norm": row.grad_norm,
+                "step": row.step,
+            }
+            if self.objective_is_nll:
+                fields["loglik"] = row.loglik
+            obs_trace.event("fit_iter", **fields)
+        return row
+
+    def watch(
+        self,
+        objective: Callable[[np.ndarray], float],
+        start_index: int,
+    ) -> Callable[..., None]:
+        """A ``scipy.optimize.minimize``-compatible callback for one start.
+
+        Works with solvers that call ``callback(xk)`` (L-BFGS-B,
+        Nelder-Mead) and with those passing extra state positionally.
+        """
+        state: dict = {"prev": None, "iteration": 0}
+
+        def callback(xk: Sequence[float], *_args: object) -> None:
+            theta = np.asarray(xk, dtype=float).copy()
+            value = float(objective(theta))
+            grad_norm = (
+                self._grad_norm(objective, theta)
+                if self.record_gradients
+                else None
+            )
+            prev = state["prev"]
+            step = (
+                float(np.linalg.norm(theta - prev)) if prev is not None else None
+            )
+            self.record(
+                start_index=start_index,
+                iteration=state["iteration"],
+                theta=theta,
+                objective_value=value,
+                grad_norm=grad_norm,
+                step=step,
+            )
+            state["prev"] = theta
+            state["iteration"] += 1
+
+        return callback
+
+
+def maybe_fit_trace(
+    fitter: str,
+    explicit: FitTrace | None = None,
+    objective_is_nll: bool = True,
+    record_gradients: bool = True,
+) -> FitTrace | None:
+    """The trace a fitter should record into, if any.
+
+    An explicitly passed trace always wins; otherwise a trace is created
+    exactly when a tracer is active, so untraced fits pay nothing.
+    ``record_gradients=False`` is for fitters whose objective is expensive
+    enough (e.g. the quadrature marginal likelihood) that per-iteration
+    finite differences would dominate the run.
+    """
+    if explicit is not None:
+        return explicit
+    if obs_trace.active() is not None:
+        return FitTrace(
+            fitter,
+            objective_is_nll=objective_is_nll,
+            record_gradients=record_gradients,
+        )
+    return None

@@ -1,0 +1,165 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments that
+pipeline stages bump as they work -- files parsed, tokens lexed, optimizer
+iterations, fallback activations (the full name catalog is in DESIGN.md,
+"Observability").  Unlike spans, metrics are always on: incrementing a
+counter is cheap enough for hot paths, and a snapshot of the default
+registry rides along in every ``--trace`` file and ``RunReport``.
+
+Instruments are created on first use (``counter(name).inc()``), so callers
+never need registration boilerplate, and a snapshot only contains
+instruments the run actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot inc by {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A distribution of observed values with percentile queries."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), linearly interpolated."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.values:
+            raise ValueError(f"histogram {self.name}: no observations")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        if lo + 1 >= len(ordered):
+            return ordered[-1]
+        return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+
+    def snapshot(self) -> dict[str, float]:
+        if not self.values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.values),
+            "max": max(self.values),
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """A namespace of counters/gauges/histograms for one process (or test)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        """All touched instruments, sorted by name (deterministic)."""
+        return {
+            "counters": {
+                n: c.value for n, c in sorted(self._counters.items())
+            },
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+#: The default registry the pipeline instruments write to.
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def counter(name: str) -> Counter:
+    return _DEFAULT.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _DEFAULT.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _DEFAULT.histogram(name)
+
+
+def snapshot() -> dict[str, Any]:
+    return _DEFAULT.snapshot()
+
+
+def reset() -> None:
+    _DEFAULT.reset()

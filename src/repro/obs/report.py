@@ -1,0 +1,169 @@
+"""Run reports: bundle a trace with a metrics snapshot and render timings.
+
+A :class:`RunReport` is the end-of-run artifact behind the CLI's
+``--trace``/``--profile`` flags and the ``ucomplexity timings`` subcommand:
+the span rows and telemetry events of one :class:`~repro.obs.trace.Tracer`
+plus a snapshot of the default metrics registry.  The timings rendering
+(top-N slowest spans, per-stage totals with self time) works off the
+generic JSONL row dicts, so a report rendered live and one re-rendered from
+a written trace file agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer
+
+
+def span_rows(rows: Sequence[dict]) -> list[dict]:
+    return [r for r in rows if r.get("type") == "span"]
+
+
+def metrics_row(rows: Sequence[dict]) -> dict[str, Any] | None:
+    for r in rows:
+        if r.get("type") == "metrics":
+            return r.get("values")
+    return None
+
+
+def trace_elapsed(rows: Sequence[dict]) -> float | None:
+    for r in rows:
+        if r.get("type") == "trace":
+            return r.get("elapsed_s")
+    return None
+
+
+def stage_totals(rows: Sequence[dict]) -> list[dict[str, Any]]:
+    """Aggregate span rows by name: count, total wall, and self wall.
+
+    *Total* is inclusive of children; *self* subtracts every direct
+    child's wall time, so summing self across all names accounts each
+    moment once.
+    """
+    child_wall: dict[int, float] = {}
+    for r in span_rows(rows):
+        parent = r.get("parent")
+        if parent is not None and r.get("wall_s") is not None:
+            child_wall[parent] = child_wall.get(parent, 0.0) + r["wall_s"]
+    totals: dict[str, dict[str, Any]] = {}
+    for r in span_rows(rows):
+        wall = r.get("wall_s")
+        if wall is None:
+            continue
+        agg = totals.setdefault(
+            r["name"], {"name": r["name"], "count": 0, "total_s": 0.0, "self_s": 0.0}
+        )
+        agg["count"] += 1
+        agg["total_s"] += wall
+        agg["self_s"] += max(wall - child_wall.get(r["id"], 0.0), 0.0)
+    return sorted(totals.values(), key=lambda a: (-a["self_s"], a["name"]))
+
+
+def slowest_spans(rows: Sequence[dict], n: int = 10) -> list[dict]:
+    done = [r for r in span_rows(rows) if r.get("wall_s") is not None]
+    return sorted(done, key=lambda r: -r["wall_s"])[:n]
+
+
+def coverage(rows: Sequence[dict]) -> float | None:
+    """Fraction of the run's wall time covered by root spans (0..1)."""
+    elapsed = trace_elapsed(rows)
+    roots = [
+        r for r in span_rows(rows)
+        if r.get("parent") is None and r.get("wall_s") is not None
+    ]
+    if not roots:
+        return None
+    covered = sum(r["wall_s"] for r in roots)
+    if elapsed is None or elapsed <= 0.0:
+        return None
+    return min(covered / elapsed, 1.0)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    return f"{seconds * 1e3:8.2f}ms"
+
+
+def render_timings_rows(rows: Sequence[dict], top: int = 10) -> str:
+    """Timings report (top spans + per-stage totals) from raw trace rows."""
+    lines: list[str] = []
+    elapsed = trace_elapsed(rows)
+    cov = coverage(rows)
+    head = "Timings"
+    if elapsed is not None:
+        head += f" -- {elapsed:.3f}s total"
+    if cov is not None:
+        head += f", {cov * 100.0:.1f}% covered by spans"
+    lines.append(head)
+
+    lines.append(f"\ntop {top} slowest spans:")
+    for r in slowest_spans(rows, top):
+        attrs = r.get("attrs") or {}
+        detail = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())) + "]"
+            if attrs
+            else ""
+        )
+        mark = "" if r.get("status", "ok") == "ok" else "  !error"
+        lines.append(f"  {_fmt_s(r['wall_s'])}  {r['name']}{detail}{mark}")
+
+    lines.append("\nper-stage totals (self time first):")
+    lines.append(f"  {'stage':<28} {'count':>6} {'total':>10} {'self':>10}")
+    for agg in stage_totals(rows):
+        lines.append(
+            f"  {agg['name']:<28} {agg['count']:>6} "
+            f"{_fmt_s(agg['total_s'])} {_fmt_s(agg['self_s'])}"
+        )
+
+    n_iters = sum(1 for r in rows if r.get("type") == "fit_iter")
+    if n_iters:
+        fitters = sorted({r.get("fitter", "?") for r in rows if r.get("type") == "fit_iter"})
+        lines.append(
+            f"\nfit telemetry: {n_iters} optimizer iteration(s) recorded "
+            f"({', '.join(fitters)})"
+        )
+
+    metrics = metrics_row(rows)
+    if metrics and metrics.get("counters"):
+        lines.append("\ncounters:")
+        for name, value in metrics["counters"].items():
+            rendered = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:<40} {rendered}")
+    return "\n".join(lines)
+
+
+@dataclass
+class RunReport:
+    """One run's trace rows plus the metrics snapshot taken at collection."""
+
+    rows: list[dict] = field(default_factory=list)
+    metrics: dict[str, Any] | None = None
+
+    @classmethod
+    def collect(
+        cls, tracer: Tracer, registry: obs_metrics.MetricsRegistry | None = None
+    ) -> "RunReport":
+        """Snapshot ``tracer`` and the (default) metrics registry."""
+        reg = registry if registry is not None else obs_metrics.registry()
+        snap = reg.snapshot()
+        return cls(rows=tracer.to_rows(metrics=snap), metrics=snap)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        import json
+
+        path = Path(path)
+        lines = [json.dumps(row, sort_keys=True) for row in self.rows]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+    def render_timings(self, top: int = 10) -> str:
+        return render_timings_rows(self.rows, top=top)
+
+    @property
+    def coverage(self) -> float | None:
+        return coverage(self.rows)

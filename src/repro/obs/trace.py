@@ -1,0 +1,305 @@
+"""Zero-dependency tracing: nested spans over the measurement pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span` records -- name, wall and
+CPU time, free-form attributes, and the parent span -- for one pipeline run
+(a CLI invocation, a benchmark, an example script).  Library code does not
+hold a tracer; it calls the module-level :func:`span` context manager (or
+the :func:`traced` decorator), which no-ops when no tracer is active, so
+instrumentation can stay in hot paths permanently.
+
+Design points:
+
+* **Deterministic structure.**  Span ids are sequential integers assigned
+  in start order, so two runs of the same pipeline produce the same span
+  tree (ids, names, parents); only the measured durations differ.
+* **Exception safety.**  A span whose body raises is still closed: it
+  records ``status="error"`` plus the exception text, and the exception
+  propagates unchanged.  This is what lets the fault-tolerant runtime
+  (:mod:`repro.runtime.stages`) attach a span id to every diagnostic.
+* **JSONL export.**  ``write_jsonl``/``read_jsonl`` round-trip the trace
+  as one JSON object per line (see DESIGN.md, "Observability", for the
+  schema); ``render_tree`` gives the human-readable nested view.
+
+The active-tracer slot is process-global and single-threaded, like the
+pipeline itself; activate per-thread tracers explicitly if that changes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import wraps
+from pathlib import Path
+from typing import Any, Callable, Iterator, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@dataclass
+class Span:
+    """One timed, attributed section of a pipeline run."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float                 # seconds since the tracer's epoch (wall)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    wall_s: float | None = None  # None until the span finishes
+    cpu_s: float | None = None
+    status: str = "ok"           # "ok" | "error"
+    error: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.wall_s is not None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSONL row for this span."""
+        row: dict[str, Any] = {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 9),
+            "wall_s": None if self.wall_s is None else round(self.wall_s, 9),
+            "cpu_s": None if self.cpu_s is None else round(self.cpu_s, 9),
+            "status": self.status,
+        }
+        if self.error is not None:
+            row["error"] = self.error
+        if self.attrs:
+            row["attrs"] = self.attrs
+        return row
+
+
+class _NullSpan:
+    """Stand-in yielded by :func:`span` when no tracer is active."""
+
+    span_id: int | None = None
+    wall_s: float | None = None
+    cpu_s: float | None = None
+    status: str = "ok"
+
+    def set_attr(self, key: str, value: Any) -> None:  # noqa: ARG002
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects the span tree and telemetry events of one pipeline run."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._cpu_epoch = time.process_time()
+        self.spans: list[Span] = []     # in start order
+        self.events: list[dict] = []    # e.g. per-iteration fit telemetry
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- clocks --------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _cpu_now(self) -> float:
+        return time.process_time() - self._cpu_epoch
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall seconds since this tracer was created."""
+        return self._now()
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @property
+    def current_span(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def current_span_id(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    def start_span(self, name: str, **attrs: Any) -> Span:
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self.current_span_id,
+            start=self._now(),
+            attrs={k: v for k, v in attrs.items() if v is not None},
+        )
+        sp._cpu0 = self._cpu_now()  # type: ignore[attr-defined]
+        self._next_id += 1
+        self.spans.append(sp)
+        self._stack.append(sp)
+        return sp
+
+    def end_span(self, sp: Span, exc: BaseException | None = None) -> None:
+        sp.wall_s = self._now() - sp.start
+        sp.cpu_s = self._cpu_now() - sp._cpu0  # type: ignore[attr-defined]
+        if exc is not None:
+            sp.status = "error"
+            sp.error = f"{type(exc).__name__}: {exc}"
+        if self._stack and self._stack[-1] is sp:
+            self._stack.pop()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the current span for the ``with`` body."""
+        sp = self.start_span(name, **attrs)
+        try:
+            yield sp
+        except BaseException as exc:
+            self.end_span(sp, exc)
+            raise
+        else:
+            self.end_span(sp)
+
+    # -- events --------------------------------------------------------------
+
+    def event(self, type_: str, **fields: Any) -> None:
+        """Record a telemetry row attached to the current span."""
+        self.events.append({"type": type_, "span": self.current_span_id, **fields})
+
+    # -- queries -------------------------------------------------------------
+
+    def slowest(self, n: int = 5) -> list[Span]:
+        """The ``n`` slowest finished spans, slowest first (stable order)."""
+        done = [sp for sp in self.spans if sp.finished]
+        return sorted(done, key=lambda sp: -sp.wall_s)[:n]  # type: ignore[operator]
+
+    def roots(self) -> list[Span]:
+        return [sp for sp in self.spans if sp.parent_id is None]
+
+    def render_tree(self) -> str:
+        """Indented span tree with wall/CPU durations."""
+        children: dict[int | None, list[Span]] = {}
+        for sp in self.spans:
+            children.setdefault(sp.parent_id, []).append(sp)
+        lines: list[str] = []
+
+        def walk(sp: Span, depth: int) -> None:
+            wall = "..." if sp.wall_s is None else f"{sp.wall_s * 1e3:.2f}ms"
+            mark = "" if sp.status == "ok" else f"  !{sp.error}"
+            attrs = (
+                " [" + ", ".join(f"{k}={v}" for k, v in sorted(sp.attrs.items())) + "]"
+                if sp.attrs
+                else ""
+            )
+            lines.append(f"{'  ' * depth}{sp.name}{attrs}  {wall}{mark}")
+            for child in children.get(sp.span_id, ()):
+                walk(child, depth + 1)
+
+        for root in children.get(None, ()):
+            walk(root, 0)
+        return "\n".join(lines)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_rows(self, metrics: dict | None = None) -> list[dict]:
+        """All trace rows (spans, events, optional metrics + summary)."""
+        rows: list[dict] = [sp.to_dict() for sp in self.spans]
+        rows.extend(self.events)
+        if metrics is not None:
+            rows.append({"type": "metrics", "values": metrics})
+        rows.append(
+            {
+                "type": "trace",
+                "elapsed_s": round(self.elapsed_s, 9),
+                "spans": len(self.spans),
+                "events": len(self.events),
+            }
+        )
+        return rows
+
+    def write_jsonl(self, path: str | Path, metrics: dict | None = None) -> Path:
+        path = Path(path)
+        lines = [json.dumps(row, sort_keys=True) for row in self.to_rows(metrics)]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load trace rows written by :meth:`Tracer.write_jsonl`."""
+    rows: list[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            rows.append(json.loads(line))
+    return rows
+
+
+# -- the process-global active tracer ----------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global active tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Tracer | None:
+    return _ACTIVE
+
+
+@contextmanager
+def using(tracer: Tracer) -> Iterator[Tracer]:
+    """Activate ``tracer`` for the ``with`` body, restoring the previous one."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = prev
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span | _NullSpan]:
+    """A span on the active tracer; a no-op :data:`NULL_SPAN` without one."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield NULL_SPAN
+        return
+    with tracer.span(name, **attrs) as sp:
+        yield sp
+
+
+def event(type_: str, **fields: Any) -> None:
+    """Record an event on the active tracer, if any."""
+    if _ACTIVE is not None:
+        _ACTIVE.event(type_, **fields)
+
+
+def current_span_id() -> int | None:
+    """The active tracer's current span id (None when untraced)."""
+    return _ACTIVE.current_span_id if _ACTIVE is not None else None
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable[[F], F]:
+    """Decorator form of :func:`span` (span name defaults to the qualname)."""
+
+    def deco(fn: F) -> F:
+        label = name or fn.__qualname__
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

@@ -74,6 +74,9 @@ class Diagnostic:
     span: SourceSpan | None = None
     component: str | None = None  # which component/estimator/row group
     hint: str | None = None       # what the user can do about it
+    #: Trace span (repro.obs) this diagnostic was emitted under, when a
+    #: tracer was active; lets a trace viewer pair failures with timings.
+    span_id: int | None = None
 
     def render(self) -> str:
         parts = [f"{self.severity.label}[{self.stage}]"]
@@ -96,6 +99,7 @@ class Diagnostic:
         severity: Severity = Severity.ERROR,
         component: str | None = None,
         hint: str | None = None,
+        span_id: int | None = None,
     ) -> "Diagnostic":
         """Build a diagnostic from an exception.
 
@@ -121,6 +125,7 @@ class Diagnostic:
             span=span,
             component=component,
             hint=exc_hint,
+            span_id=span_id,
         )
 
 

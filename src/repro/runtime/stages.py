@@ -7,6 +7,11 @@ under :meth:`StageBoundary.run`, which converts exceptions into structured
 them propagate, so a batch caller can quarantine the faulty unit and keep
 going.  ``strict=True`` restores fail-fast behavior (the original
 exception propagates after being recorded).
+
+When a tracer (:mod:`repro.obs.trace`) is active, every step additionally
+runs under a ``stage.<name>`` span, and each diagnostic records the id of
+the span it was emitted under, so failure reports can be paired with the
+timing tree of the same run.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator, TypeVar
 
+from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Severity
 
 T = TypeVar("T")
@@ -64,6 +70,7 @@ class StageBoundary:
                 message=message,
                 component=self.component,
                 hint=hint,
+                span_id=obs_trace.current_span_id(),
             )
         )
 
@@ -92,8 +99,12 @@ class StageBoundary:
         it raises.  Only ``Exception`` subclasses are captured; KeyboardInterrupt
         and friends always propagate, as does everything in strict mode.
         """
+        sp = obs_trace.NULL_SPAN
         try:
-            return fn()
+            with obs_trace.span(
+                f"stage.{stage}", component=self.component
+            ) as sp:
+                return fn()
         except Exception as exc:  # noqa: BLE001 -- fault isolation is the point
             self.diagnostics.append(
                 Diagnostic.from_exception(
@@ -102,6 +113,7 @@ class StageBoundary:
                     severity=severity,
                     component=self.component,
                     hint=hint or STAGE_HINTS.get(stage),
+                    span_id=sp.span_id,
                 )
             )
             if self.strict:
@@ -116,8 +128,12 @@ class StageBoundary:
         hint: str | None = None,
     ) -> Iterator[None]:
         """Context-manager form of :meth:`run` for multi-statement steps."""
+        sp = obs_trace.NULL_SPAN
         try:
-            yield
+            with obs_trace.span(
+                f"stage.{stage}", component=self.component
+            ) as sp:
+                yield
         except Exception as exc:  # noqa: BLE001
             self.diagnostics.append(
                 Diagnostic.from_exception(
@@ -126,6 +142,7 @@ class StageBoundary:
                     severity=severity,
                     component=self.component,
                     hint=hint or STAGE_HINTS.get(stage),
+                    span_id=sp.span_id,
                 )
             )
             if self.strict:

@@ -20,6 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import optimize
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.fittrace import FitTrace, maybe_fit_trace
 from repro.stats.criteria import FitCriteria
 from repro.stats.grouping import GroupedData
 from repro.stats.lognormal import confidence_interval
@@ -81,6 +84,7 @@ def fit_fixed_effects(
     data: GroupedData,
     n_random_starts: int = 8,
     seed: int = 20050101,
+    fit_trace: FitTrace | None = None,
 ) -> FixedEffectsFit:
     """Fit the rho=1 model by maximum likelihood (nonlinear least squares)."""
     y = data.log_efforts
@@ -100,24 +104,46 @@ def fit_fixed_effects(
     for _ in range(n_random_starts):
         starts.append(u_balanced + rng.normal(scale=1.5, size=k))
 
-    best: optimize.OptimizeResult | None = None
-    for u0 in starts:
-        u0 = np.clip(u0, _LOG_W_BOUNDS[0], _LOG_W_BOUNDS[1])
-        res = optimize.minimize(
-            _rss, u0, args=(y, metrics), method="L-BFGS-B", bounds=bounds
+    with obs_trace.span("fit.fixed-effects", n_obs=n, n_metrics=k):
+        # The objective is an RSS, not a log-likelihood, so trace rows
+        # carry it as a bare objective (no loglik field).
+        trace_sink = maybe_fit_trace(
+            "fixed-effects", fit_trace, objective_is_nll=False
         )
-        if best is None or res.fun < best.fun:
-            best = res
-    assert best is not None
-    polish = optimize.minimize(
-        _rss,
-        best.x,
-        args=(y, metrics),
-        method="Nelder-Mead",
-        options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20000},
-    )
-    if polish.fun < best.fun:
-        best = polish
+
+        def rss_at(u: np.ndarray) -> float:
+            return _rss(u, y, metrics)
+
+        iters = obs_metrics.counter("fit.fixed-effects.iterations")
+        evals = obs_metrics.counter("fit.fixed-effects.loglik_evals")
+        best: optimize.OptimizeResult | None = None
+        for start_index, u0 in enumerate(starts):
+            u0 = np.clip(u0, _LOG_W_BOUNDS[0], _LOG_W_BOUNDS[1])
+            res = optimize.minimize(
+                _rss, u0, args=(y, metrics), method="L-BFGS-B", bounds=bounds,
+                callback=(
+                    trace_sink.watch(rss_at, start_index) if trace_sink is not None else None
+                ),
+            )
+            iters.inc(int(getattr(res, "nit", 0)))
+            evals.inc(int(getattr(res, "nfev", 0)))
+            if best is None or res.fun < best.fun:
+                best = res
+        assert best is not None
+        polish = optimize.minimize(
+            _rss,
+            best.x,
+            args=(y, metrics),
+            method="Nelder-Mead",
+            options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20000},
+            callback=(
+                trace_sink.watch(rss_at, len(starts)) if trace_sink is not None else None
+            ),
+        )
+        iters.inc(int(getattr(polish, "nit", 0)))
+        evals.inc(int(getattr(polish, "nfev", 0)))
+        if polish.fun < best.fun:
+            best = polish
 
     w = np.exp(best.x)
     rss = float(best.fun)

@@ -23,6 +23,9 @@ import numpy as np
 from scipy import optimize
 from scipy.special import roots_hermite
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.fittrace import FitTrace, maybe_fit_trace
 from repro.stats.criteria import FitCriteria
 from repro.stats.grouping import GroupedData
 
@@ -143,6 +146,7 @@ def fit_nlme_laplace(
     n_quadrature: int = 9,
     start: np.ndarray | None = None,
     seed: int = 20050101,
+    fit_trace: FitTrace | None = None,
 ) -> LaplaceFit:
     """Fit a scalar-random-effect NLME by Laplace/AGHQ marginal likelihood.
 
@@ -185,18 +189,38 @@ def fit_nlme_laplace(
             starts.append(base + rng.normal(scale=0.8, size=k + 2))
 
     args = (y, metrics, groups, mean_fn, nodes, log_weights)
-    best: optimize.OptimizeResult | None = None
-    for theta0 in starts:
-        res = _MINIMIZE(
-            _marginal_nll,
-            theta0,
-            args=args,
-            method="Nelder-Mead",
-            options={"xatol": 1e-8, "fatol": 1e-10, "maxiter": 20000},
+    with obs_trace.span(
+        "fit.laplace-aghq", n_obs=data.n_observations, n_quadrature=n_quadrature
+    ):
+        # The quadrature NLL runs a mode search per group per evaluation;
+        # finite-difference gradient rows would dominate the fit, so the
+        # auto-created trace records objective and step only.
+        trace_sink = maybe_fit_trace(
+            "laplace-aghq", fit_trace, record_gradients=False
         )
-        if best is None or res.fun < best.fun:
-            best = res
-    assert best is not None
+
+        def nll_at(theta: np.ndarray) -> float:
+            return _marginal_nll(theta, *args)
+
+        iters = obs_metrics.counter("fit.laplace-aghq.iterations")
+        evals = obs_metrics.counter("fit.laplace-aghq.loglik_evals")
+        best: optimize.OptimizeResult | None = None
+        for start_index, theta0 in enumerate(starts):
+            res = _MINIMIZE(
+                _marginal_nll,
+                theta0,
+                args=args,
+                method="Nelder-Mead",
+                options={"xatol": 1e-8, "fatol": 1e-10, "maxiter": 20000},
+                callback=(
+                    trace_sink.watch(nll_at, start_index) if trace_sink is not None else None
+                ),
+            )
+            iters.inc(int(getattr(res, "nit", 0)))
+            evals.inc(int(getattr(res, "nfev", 0)))
+            if best is None or res.fun < best.fun:
+                best = res
+        assert best is not None
 
     theta = best.x
     w = np.exp(theta[:k])

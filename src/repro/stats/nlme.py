@@ -28,6 +28,9 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import optimize
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.fittrace import FitTrace, maybe_fit_trace
 from repro.stats.criteria import FitCriteria
 from repro.stats.grouping import GroupedData
 from repro.stats.lognormal import confidence_interval
@@ -226,6 +229,7 @@ def fit_nlme(
     seed: int = 20050101,
     bounds_margin: float = 0.0,
     start_jitter: float = 0.0,
+    fit_trace: FitTrace | None = None,
 ) -> NlmeFit:
     """Fit the mixed-effects model by exact marginal maximum likelihood.
 
@@ -241,6 +245,9 @@ def fit_nlme(
             pinned at a bound.
         start_jitter: extra N(0, start_jitter) noise added to every start;
             the robust retry ladder uses it for jittered restarts.
+        fit_trace: per-iteration telemetry sink; when omitted, one is
+            created automatically if a tracer is active (see
+            :mod:`repro.obs.fittrace`).
     """
     if len(data.group_names) < 2:
         raise ValueError(
@@ -259,34 +266,57 @@ def fit_nlme(
     )
     bounds = [w_bounds] * k + [s_bounds] * 2
 
-    best: optimize.OptimizeResult | None = None
-    start_objectives: list[float] = []
-    for theta0 in _starting_points(y, metrics, rng, n_random_starts):
-        if start_jitter > 0.0:
-            theta0 = theta0 + rng.normal(scale=start_jitter, size=theta0.shape)
-        theta0 = np.clip(theta0, [b[0] for b in bounds], [b[1] for b in bounds])
-        res = _MINIMIZE(
+    with obs_trace.span(
+        "fit.exact-ml", n_obs=data.n_observations, n_metrics=k
+    ) as fit_span:
+        trace_sink = maybe_fit_trace("exact-ml", fit_trace)
+
+        def nll_at(theta: np.ndarray) -> float:
+            return _negative_loglik(theta, y, metrics, groups)
+
+        iters = obs_metrics.counter("fit.exact-ml.iterations")
+        evals = obs_metrics.counter("fit.exact-ml.loglik_evals")
+        best: optimize.OptimizeResult | None = None
+        start_objectives: list[float] = []
+        starts = _starting_points(y, metrics, rng, n_random_starts)
+        for start_index, theta0 in enumerate(starts):
+            if start_jitter > 0.0:
+                theta0 = theta0 + rng.normal(scale=start_jitter, size=theta0.shape)
+            theta0 = np.clip(theta0, [b[0] for b in bounds], [b[1] for b in bounds])
+            res = _MINIMIZE(
+                _negative_loglik,
+                theta0,
+                args=(y, metrics, groups),
+                method="L-BFGS-B",
+                bounds=bounds,
+                callback=(
+                    trace_sink.watch(nll_at, start_index) if trace_sink is not None else None
+                ),
+            )
+            iters.inc(int(getattr(res, "nit", 0)))
+            evals.inc(int(getattr(res, "nfev", 0)))
+            start_objectives.append(float(res.fun))
+            if best is None or res.fun < best.fun:
+                best = res
+        assert best is not None
+        # Polish with a derivative-free pass; L-BFGS-B with numeric gradients
+        # can stall slightly short of the optimum on flat likelihoods.
+        polish = _MINIMIZE(
             _negative_loglik,
-            theta0,
+            best.x,
             args=(y, metrics, groups),
-            method="L-BFGS-B",
-            bounds=bounds,
+            method="Nelder-Mead",
+            options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20000},
+            callback=(
+                trace_sink.watch(nll_at, len(starts)) if trace_sink is not None else None
+            ),
         )
-        start_objectives.append(float(res.fun))
-        if best is None or res.fun < best.fun:
-            best = res
-    assert best is not None
-    # Polish with a derivative-free pass; L-BFGS-B with numeric gradients can
-    # stall slightly short of the optimum on flat likelihoods.
-    polish = _MINIMIZE(
-        _negative_loglik,
-        best.x,
-        args=(y, metrics, groups),
-        method="Nelder-Mead",
-        options={"xatol": 1e-10, "fatol": 1e-12, "maxiter": 20000},
-    )
-    if polish.fun < best.fun:
-        best = polish
+        iters.inc(int(getattr(polish, "nit", 0)))
+        evals.inc(int(getattr(polish, "nfev", 0)))
+        if polish.fun < best.fun:
+            best = polish
+        fit_span.set_attr("n_starts", len(starts))
+        fit_span.set_attr("nll", float(best.fun))
 
     theta = best.x
     w = np.exp(theta[:k])

@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Severity
 from repro.stats.fixedeffects import FixedEffectsFit, fit_fixed_effects
 from repro.stats.grouping import GroupedData
@@ -137,6 +139,13 @@ def verify_nlme_convergence(
     def nll(theta: np.ndarray) -> float:
         return _negative_loglik(theta, y, metrics, groups)
 
+    with obs_trace.span("fit.verify"):
+        return _verify_nlme_convergence(fit, policy, nll)
+
+
+def _verify_nlme_convergence(
+    fit: NlmeFit, policy: RetryPolicy, nll
+) -> ConvergenceReport:
     theta = _theta_of(fit)
     scale = 1.0 + abs(nll(theta))
     grad_tol = policy.grad_tol * scale
@@ -292,6 +301,7 @@ def fit_nlme_robust(
             hint="collect data from at least two teams to fit productivity "
                  "adjustments",
         )
+        obs_metrics.counter("fit.fallback_activations").inc()
         fixed = fit_fixed_effects(data, seed=seed)
         return RobustFitResult(
             fit=fixed, fitter="fixed-effects", attempts=0, degraded=True,
@@ -303,15 +313,19 @@ def fit_nlme_robust(
     attempts = 0
     for attempt in range(policy.max_attempts):
         attempts = attempt + 1
+        obs_metrics.counter("fit.attempts").inc()
         try:
-            fit = fit_nlme(
-                data,
-                n_random_starts=8 + attempt * policy.extra_starts,
-                seed=seed + 7919 * attempt,
-                bounds_margin=attempt * policy.widen_step,
-                start_jitter=attempt * policy.jitter_scale,
-            )
-            report = verify_nlme_convergence(fit, data, policy)
+            with obs_trace.span(
+                "fit.attempt", attempt=attempts, component=component
+            ):
+                fit = fit_nlme(
+                    data,
+                    n_random_starts=8 + attempt * policy.extra_starts,
+                    seed=seed + 7919 * attempt,
+                    bounds_margin=attempt * policy.widen_step,
+                    start_jitter=attempt * policy.jitter_scale,
+                )
+                report = verify_nlme_convergence(fit, data, policy)
         except Exception as exc:  # noqa: BLE001 -- degrade, don't propagate
             note(
                 Severity.WARNING,
@@ -345,6 +359,7 @@ def fit_nlme_robust(
         hint="inspect the dataset for collinear metric columns or extreme "
              "outliers; the quadrature estimate is reported instead",
     )
+    obs_metrics.counter("fit.fallback_activations").inc()
     try:
         lap = _laplace_as_nlme(data)
     except Exception as exc:  # noqa: BLE001
@@ -367,6 +382,7 @@ def fit_nlme_robust(
         hint="the reported sigma_eps excludes the productivity random "
              "effect; treat accuracy comparisons with care",
     )
+    obs_metrics.counter("fit.fallback_activations").inc()
     fixed = fit_fixed_effects(data, seed=seed)
     if not fixed.converged:
         note(

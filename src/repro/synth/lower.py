@@ -54,8 +54,15 @@ def synthesize_module(
     key: tuple | None = None,
 ) -> Netlist:
     """Lower one specialization (default: the top) to a gate-level netlist."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
     spec = hierarchy.specializations[key or hierarchy.top_key]
-    return _Lowerer(spec, hierarchy).run()
+    with obs_trace.span("synthesize", module=spec.module.name) as sp:
+        netlist = _Lowerer(spec, hierarchy).run()
+        obs_metrics.counter("synth.specializations").inc()
+        sp.set_attr("cells", len(netlist.cells))
+        return netlist
 
 
 class _Lowerer:

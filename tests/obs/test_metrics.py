@@ -1,0 +1,90 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_counts_and_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("files").inc()
+        reg.counter("files").inc(2)
+        assert reg.counter("files").value == 3
+        assert reg.counter("other").value == 0
+
+    def test_rejects_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot inc"):
+            reg.counter("files").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set(1)
+        assert reg.gauge("depth").value == 1.0
+
+
+class TestHistogram:
+    def test_percentiles_interpolate(self):
+        h = Histogram("t")
+        for v in [10.0, 20.0, 30.0, 40.0, 50.0]:
+            h.observe(v)
+        assert h.percentile(0) == 10.0
+        assert h.percentile(50) == 30.0
+        assert h.percentile(100) == 50.0
+        # Rank 25% falls midway between the first two observations.
+        assert h.percentile(25) == 20.0
+        assert h.percentile(12.5) == pytest.approx(15.0)
+
+    def test_single_observation(self):
+        h = Histogram("t")
+        h.observe(7.0)
+        for p in (0, 50, 90, 100):
+            assert h.percentile(p) == 7.0
+
+    def test_empty_histogram_raises_on_percentile(self):
+        h = Histogram("t")
+        with pytest.raises(ValueError, match="no observations"):
+            h.percentile(50)
+        assert h.snapshot() == {"count": 0, "sum": 0.0}
+
+    def test_out_of_range_percentile(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match="percentile"):
+            h.percentile(101)
+
+    def test_snapshot_summary(self):
+        h = Histogram("t")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["sum"] == 5050.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p90"] == pytest.approx(90.1)
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_only_touched(self):
+        reg = MetricsRegistry()
+        reg.inc("z.count")
+        reg.inc("a.count", 2)
+        reg.gauge("mid").set(5)
+        reg.observe("lat", 1.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a.count", "z.count"]
+        assert snap["counters"]["a.count"] == 2
+        assert snap["gauges"] == {"mid": 5.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

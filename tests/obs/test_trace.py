@@ -1,0 +1,146 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import NULL_SPAN, Tracer, read_jsonl
+
+
+class TestSpans:
+    def test_nested_spans_record_parentage(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert [sp.name for sp in t.spans] == ["outer", "inner"]
+
+    def test_span_ids_are_sequential_in_start_order(self):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+            with t.span("c"):
+                pass
+        assert [sp.span_id for sp in t.spans] == [1, 2, 3]
+        assert [sp.name for sp in t.spans] == ["a", "b", "c"]
+
+    def test_durations_and_attrs(self):
+        t = Tracer()
+        with t.span("work", module="alu") as sp:
+            sp.set_attr("cells", 42)
+        assert sp.wall_s is not None and sp.wall_s >= 0.0
+        assert sp.cpu_s is not None
+        assert sp.attrs == {"module": "alu", "cells": 42}
+        assert sp.status == "ok"
+
+    def test_exception_closes_span_with_error_and_reraises(self):
+        t = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with t.span("outer"):
+                with t.span("failing") as sp:
+                    raise ValueError("boom")
+        assert sp.status == "error"
+        assert "ValueError: boom" in sp.error
+        assert sp.finished
+        # The outer span is closed too, and also marked error (the
+        # exception passed through it).
+        outer = t.spans[0]
+        assert outer.finished
+        assert outer.status == "error"
+        assert t.current_span is None
+
+    def test_slowest_and_roots(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("child"):
+                pass
+        assert [sp.name for sp in t.roots()] == ["root"]
+        names = [sp.name for sp in t.slowest(2)]
+        assert set(names) == {"root", "child"}
+        # A parent's wall time includes its child's.
+        assert names[0] == "root"
+
+    def test_render_tree_nests(self):
+        t = Tracer()
+        with t.span("parse"):
+            with t.span("lex"):
+                pass
+        tree = t.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("parse")
+        assert lines[1].startswith("  lex")
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        t = Tracer()
+        with t.span("fit", n_obs=18):
+            t.event("fit_iter", fitter="exact-ml", iter=0, objective=1.5)
+        path = t.write_jsonl(tmp_path / "trace.jsonl", metrics={"counters": {}})
+        rows = read_jsonl(path)
+        kinds = [r["type"] for r in rows]
+        assert kinds == ["span", "fit_iter", "metrics", "trace"]
+        span_row = rows[0]
+        assert span_row["name"] == "fit"
+        assert span_row["attrs"] == {"n_obs": 18}
+        assert span_row["status"] == "ok"
+        # The event carries the id of the span it was emitted under.
+        assert rows[1]["span"] == span_row["id"]
+        assert rows[3]["spans"] == 1 and rows[3]["events"] == 1
+
+    def test_deterministic_structure_across_runs(self, tmp_path):
+        def run(path):
+            t = Tracer()
+            with t.span("a"):
+                with t.span("b", key="v"):
+                    pass
+            with t.span("c"):
+                pass
+            return [
+                {k: r[k] for k in ("type", "id", "parent", "name")}
+                for r in read_jsonl(t.write_jsonl(path))
+                if r["type"] == "span"
+            ]
+
+        assert run(tmp_path / "one.jsonl") == run(tmp_path / "two.jsonl")
+
+
+class TestModuleApi:
+    def test_span_is_noop_without_active_tracer(self):
+        assert obs_trace.active() is None
+        with obs_trace.span("anything") as sp:
+            sp.set_attr("ignored", 1)
+        assert sp is NULL_SPAN
+        assert obs_trace.current_span_id() is None
+
+    def test_active_tracer_captures_module_spans(self):
+        t = Tracer()
+        with obs_trace.using(t):
+            with obs_trace.span("work") as sp:
+                assert obs_trace.current_span_id() == sp.span_id
+            obs_trace.event("tick", n=1)
+        assert [sp.name for sp in t.spans] == ["work"]
+        assert t.events == [{"type": "tick", "span": None, "n": 1}]
+        assert obs_trace.active() is None
+
+    def test_using_restores_previous_tracer(self):
+        outer, inner = Tracer(), Tracer()
+        with obs_trace.using(outer):
+            with obs_trace.using(inner):
+                assert obs_trace.active() is inner
+            assert obs_trace.active() is outer
+
+    def test_traced_decorator(self):
+        @obs_trace.traced("compute", kind="test")
+        def compute(x):
+            return x * 2
+
+        t = Tracer()
+        with obs_trace.using(t):
+            assert compute(21) == 42
+        assert [sp.name for sp in t.spans] == ["compute"]
+        assert t.spans[0].attrs == {"kind": "test"}
+        # Still callable untraced.
+        assert compute(1) == 2

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.runtime.diagnostics import Severity
+from repro.obs import trace as obs_trace
+from repro.runtime.diagnostics import Result, Severity
 from repro.runtime.stages import STAGE_HINTS, StageBoundary
 
 
@@ -61,3 +62,65 @@ class TestNotesAndWorst:
         b.note("parse", "file quarantined", Severity.ERROR)
         assert b.worst is Severity.ERROR
         assert all(d.component == "alu" for d in b.diagnostics)
+
+
+class TestSeverityThresholds:
+    """INFO/WARNING notes are informational: they must not degrade a result.
+
+    Regression pins for the severity contract shared by ``Result.ok`` and
+    ``BatchMeasurement.degraded``: only ERROR and above flip a result from
+    clean to degraded.
+    """
+
+    def _result_after_note(self, severity: Severity) -> Result[str]:
+        b = StageBoundary("alu")
+        b.note("measure", "just letting you know", severity)
+        return Result("a value", tuple(b.diagnostics))
+
+    def test_info_note_keeps_result_ok(self):
+        res = self._result_after_note(Severity.INFO)
+        assert res.ok
+        assert not res.degraded
+
+    def test_warning_note_keeps_result_ok(self):
+        res = self._result_after_note(Severity.WARNING)
+        assert res.ok
+        assert not res.degraded
+
+    def test_error_note_degrades_result(self):
+        res = self._result_after_note(Severity.ERROR)
+        assert not res.ok
+        assert res.degraded
+
+    def test_batch_degraded_follows_the_same_threshold(self):
+        from repro.core.workflow import BatchMeasurement
+
+        def batch(severity: Severity) -> BatchMeasurement:
+            return BatchMeasurement(
+                results={"alu": self._result_after_note(severity)}
+            )
+
+        assert not batch(Severity.INFO).degraded
+        assert not batch(Severity.WARNING).degraded
+        assert batch(Severity.ERROR).degraded
+
+
+class TestSpanIds:
+    def test_diagnostics_carry_the_emitting_span_id(self):
+        tracer = obs_trace.Tracer()
+        with obs_trace.using(tracer):
+            b = StageBoundary("alu")
+            b.run("parse", lambda: 1 / 0, default=None)
+            b.note("measure", "fyi", Severity.INFO)
+        failure, note = b.diagnostics
+        # The failure was emitted under the stage.parse span...
+        (parse_span,) = [sp for sp in tracer.spans if sp.name == "stage.parse"]
+        assert failure.span_id == parse_span.span_id
+        assert parse_span.status == "error"
+        # ...and the note outside any span.
+        assert note.span_id is None
+
+    def test_untraced_diagnostics_have_no_span_id(self):
+        b = StageBoundary("alu")
+        b.run("parse", lambda: 1 / 0, default=None)
+        assert b.diagnostics[0].span_id is None

@@ -1,0 +1,126 @@
+"""End-to-end acceptance tests for the CLI observability surface.
+
+One traced+profiled ``fit`` run on the paper dataset must produce all
+three telemetry pillars in a single JSONL artifact: a span tree covering
+>= 90% of the run's wall time, a metrics snapshot with per-fitter
+optimizer iteration counts, and per-iteration fit-trace rows for the
+exact-ML fit.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_jsonl
+from repro.obs.report import coverage, metrics_row
+
+
+@pytest.fixture(scope="module")
+def traced_fit(tmp_path_factory):
+    """One `fit --trace --profile` run shared by the assertions below."""
+    path = tmp_path_factory.mktemp("obs") / "fit.jsonl"
+    code = main(["fit", "--trace", str(path), "--profile"])
+    return code, path, read_jsonl(path)
+
+
+class TestTracedFit:
+    def test_exits_clean_and_writes_parseable_jsonl(self, traced_fit):
+        code, path, rows = traced_fit
+        assert code == 0
+        assert path.exists()
+        # Every line is standalone JSON (the file is greppable/streamable).
+        for line in path.read_text(encoding="utf-8").splitlines():
+            assert json.loads(line)
+
+    def test_spans_cover_at_least_90_percent_of_wall_time(self, traced_fit):
+        _, _, rows = traced_fit
+        cov = coverage(rows)
+        assert cov is not None
+        assert cov >= 0.9
+
+    def test_root_span_is_the_cli_command(self, traced_fit):
+        _, _, rows = traced_fit
+        roots = [
+            r for r in rows
+            if r.get("type") == "span" and r.get("parent") is None
+        ]
+        assert [r["name"] for r in roots] == ["cli.fit"]
+        names = {r["name"] for r in rows if r.get("type") == "span"}
+        # The pipeline layers each contributed spans.
+        assert {"dataset.load", "fit.estimator", "fit.exact-ml",
+                "fit.verify"} <= names
+
+    def test_metrics_snapshot_has_optimizer_iteration_counts(self, traced_fit):
+        _, _, rows = traced_fit
+        values = metrics_row(rows)
+        assert values is not None
+        counters = values["counters"]
+        assert counters["fit.exact-ml.iterations"] > 0
+        assert counters["fit.exact-ml.loglik_evals"] > 0
+        assert counters["fit.attempts"] >= 1
+        assert counters["dataset.rows_loaded"] == 18
+
+    def test_exact_ml_fit_iterations_are_recorded(self, traced_fit):
+        _, _, rows = traced_fit
+        iters = [
+            r for r in rows
+            if r.get("type") == "fit_iter" and r.get("fitter") == "exact-ml"
+        ]
+        assert len(iters) > 10
+        first = iters[0]
+        assert first["iter"] == 0 and first["step"] is None
+        assert first["loglik"] == pytest.approx(-first["objective"])
+        assert first["grad_norm"] >= 0.0
+        # Later iterations record the step length taken.
+        assert any(r["step"] is not None and r["step"] > 0 for r in iters)
+        # Rows attach to the span they were emitted under.
+        span_ids = {r["id"] for r in rows if r.get("type") == "span"}
+        assert all(r["span"] in span_ids for r in iters)
+
+    def test_profile_report_prints_to_stderr(self, traced_fit, capsys):
+        # The fixture already ran main(); a fresh run captures its stderr.
+        code = main(["fit", "--profile"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "Timings" in err
+        assert "slowest spans" in err
+        assert "fit.exact-ml" in err
+        assert "fit telemetry:" in err
+
+
+class TestTimingsSubcommand:
+    def test_renders_a_written_trace(self, traced_fit, capsys):
+        _, path, _ = traced_fit
+        assert main(["timings", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Timings" in out
+        assert "cli.fit" in out
+        assert "per-stage totals" in out
+        assert "fit.exact-ml.iterations" in out
+
+    def test_top_limits_the_span_list(self, traced_fit, capsys):
+        _, path, _ = traced_fit
+        assert main(["timings", str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "top 1 slowest spans" in out
+
+    def test_missing_file_is_fatal(self, capsys, tmp_path):
+        assert main(["timings", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err
+
+
+class TestTraceOnOtherCommands:
+    def test_estimate_writes_a_trace(self, tmp_path, capsys):
+        path = tmp_path / "est.jsonl"
+        code = main([
+            "estimate", "--metric", "Stmts=950", "--metric", "FanInLC=6100",
+            "--trace", str(path),
+        ])
+        assert code == 0
+        rows = read_jsonl(path)
+        roots = [
+            r for r in rows
+            if r.get("type") == "span" and r.get("parent") is None
+        ]
+        assert [r["name"] for r in roots] == ["cli.estimate"]

@@ -1,0 +1,49 @@
+"""Tier-2 observability smoke test: a traced measurement of a bundled design.
+
+Run with ``pytest -m obs``.  This drives the full parse -> elaborate ->
+synthesize pipeline under ``--profile --trace`` and checks the emitted
+trace is parseable and covers the measurement stages.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_jsonl
+from repro.obs.report import coverage, metrics_row
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture()
+def rat_file():
+    from repro.designs.loader import _RTL_ROOT
+
+    return str(_RTL_ROOT / "rat" / "rat_standard.v")
+
+
+def test_measure_profile_emits_parseable_trace(tmp_path, capsys, rat_file):
+    path = tmp_path / "measure.jsonl"
+    code = main([
+        "measure", rat_file, "--top", "rat_standard",
+        "--trace", str(path), "--profile",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Timings" in captured.err
+    assert "measure" in captured.err
+
+    rows = read_jsonl(path)
+    names = {r["name"] for r in rows if r.get("type") == "span"}
+    assert {"cli.measure", "measure.component_safe", "parse.file",
+            "elaborate", "synthesize", "stage.parse", "stage.elaborate",
+            "stage.synthesize", "stage.account", "stage.measure"} <= names
+
+    cov = coverage(rows)
+    assert cov is not None and cov >= 0.9
+
+    counters = metrics_row(rows)["counters"]
+    assert counters["hdl.files_parsed"] == 1
+    assert counters["hdl.tokens_lexed"] > 100
+    assert counters["hdl.ast_nodes"] > 0
+    assert counters["synth.specializations"] >= 1
+    assert counters["elab.elaborations"] >= 1
