@@ -4,11 +4,26 @@ Expensive artifacts (the Table 4 fits, the measured-design datasets) are
 built once per session and shared across the table/figure benchmarks.
 
 Every benchmark is also timed through the observability tracer: one
-``bench.<nodeid>`` span per test, exported to ``BENCH_obs.json`` at the
-repo root when the session ends (benchmark name -> wall seconds).
+``bench.<nodeid>`` span per test.  At session end the timings are folded
+into ``BENCH_obs.json`` at the repo root:
+
+* ``benchmarks`` -- latest wall seconds *per benchmark*, merged key by key
+  into whatever the file already holds, so running a subset (``pytest
+  benchmarks/test_fig6_accounting.py``) updates those entries without
+  discarding the rest;
+* ``series`` -- latest derived scalars (parallel speedup, cache hit rate,
+  ...) recorded by benchmarks through :func:`record_series`, merged the
+  same way;
+* ``history`` -- one timestamped entry per session holding only what that
+  session measured, so trajectories survive across runs (capped at the
+  most recent :data:`_HISTORY_LIMIT` sessions).
+
+The pre-existing flat ``{benchmark: seconds}`` layout is migrated in place
+on the first write.
 """
 
 import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -22,7 +37,27 @@ from repro.designs.loader import measured_dataset
 #: Session-wide tracer shared by every benchmark's timing span.
 _TRACER = obs.Tracer()
 
+#: Derived scalar series recorded by benchmarks this session.
+_SERIES: dict[str, float] = {}
+
 _BENCH_OBS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+_HISTORY_LIMIT = 100
+
+
+def record_series(name: str, value: float) -> None:
+    """Record a derived benchmark scalar (e.g. ``parallel.speedup_jobs2``).
+
+    The value lands in BENCH_obs.json next to the wall-time entries: the
+    latest value under ``series`` and the per-session value in ``history``.
+    """
+    _SERIES[name] = round(float(value), 6)
+
+
+@pytest.fixture(scope="session")
+def bench_series():
+    """The :func:`record_series` hook, injectable into benchmarks."""
+    return record_series
 
 
 @pytest.fixture(autouse=True)
@@ -33,18 +68,44 @@ def _bench_span(request):
             yield
 
 
+def _load_bench_obs(path: Path) -> dict:
+    """Current BENCH_obs.json contents, migrating the legacy flat layout."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {"benchmarks": {}, "series": {}, "history": []}
+    if not isinstance(data, dict):
+        return {"benchmarks": {}, "series": {}, "history": []}
+    if "benchmarks" not in data:
+        # Legacy layout: the whole object was the benchmark->seconds map.
+        return {"benchmarks": data, "series": {}, "history": []}
+    data.setdefault("series", {})
+    data.setdefault("history", [])
+    return data
+
+
 def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
-    """Write benchmark wall times (name -> seconds) to BENCH_obs.json."""
+    """Merge this session's benchmark timings into BENCH_obs.json."""
     timings = {
         sp.name.removeprefix("bench."): round(sp.wall_s, 6)
         for sp in _TRACER.spans
         if sp.name.startswith("bench.") and sp.wall_s is not None
     }
-    if timings:
-        _BENCH_OBS_PATH.write_text(
-            json.dumps(timings, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+    if not timings and not _SERIES:
+        return
+    data = _load_bench_obs(_BENCH_OBS_PATH)
+    data["benchmarks"].update(timings)
+    data["series"].update(_SERIES)
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "benchmarks": timings,
+    }
+    if _SERIES:
+        entry["series"] = dict(_SERIES)
+    data["history"] = (data["history"] + [entry])[-_HISTORY_LIMIT:]
+    _BENCH_OBS_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,73 @@
+"""Parallel-measurement and synthesis-cache benchmarks.
+
+Two trajectories the paper's harness now tracks in BENCH_obs.json:
+
+* ``parallel.speedup_jobsN`` -- wall-time ratio of a sequential catalog
+  measurement over a pooled one.  On a single-core runner this hovers
+  around (or below) 1.0; the point of the series is the trend on real
+  multi-core hardware, so the benchmark records, it does not assert.
+* ``cache.hit_rate_warm`` / ``cache.synth_skip_fraction`` -- how much of
+  the synthesize stage a warm content-addressed cache elides on an
+  unchanged catalog (the acceptance bar is >= 0.9 skipped).
+"""
+
+import time
+
+from repro.cache import SynthesisCache, hit_rate
+from repro.designs.loader import measure_catalog
+from repro.obs import metrics as obs_metrics
+
+JOBS = 4
+
+
+def test_parallel_catalog_speedup(bench_series, report):
+    t0 = time.perf_counter()
+    sequential = measure_catalog()
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = measure_catalog(jobs=JOBS)
+    t_par = time.perf_counter() - t0
+
+    # Equivalence is the contract; speed is the series.
+    assert pooled.keys() == sequential.keys()
+    for label, m in sequential.items():
+        assert pooled[label].metrics == m.metrics, label
+
+    speedup = t_seq / t_par if t_par > 0 else 0.0
+    bench_series(f"parallel.speedup_jobs{JOBS}", speedup)
+    report(
+        "parallel catalog measurement",
+        f"sequential {t_seq:.2f}s, jobs={JOBS} {t_par:.2f}s "
+        f"-> speedup {speedup:.2f}x",
+    )
+
+
+def test_cache_warm_hit_rate(bench_series, report, tmp_path):
+    cache = SynthesisCache(tmp_path / "cache")
+
+    with obs_metrics.using(obs_metrics.MetricsRegistry()):
+        measure_catalog(cache=cache)
+        cold = obs_metrics.snapshot()["counters"]
+    with obs_metrics.using(obs_metrics.MetricsRegistry()):
+        warm_run = measure_catalog(cache=cache)
+        warm = obs_metrics.snapshot()["counters"]
+
+    cold_synth = cold.get("synth.specializations", 0.0)
+    warm_synth = warm.get("synth.specializations", 0.0)
+    assert cold_synth > 0
+    skip_fraction = 1.0 - warm_synth / cold_synth
+    warm_rate = hit_rate(warm) or 0.0
+
+    # The warm run must elide at least 90% of the synthesize stage.
+    assert skip_fraction >= 0.9, (cold_synth, warm_synth)
+    assert warm_rate >= 0.9
+    assert len(warm_run) == 18
+
+    bench_series("cache.hit_rate_warm", warm_rate)
+    bench_series("cache.synth_skip_fraction", skip_fraction)
+    report(
+        "synthesis cache",
+        f"cold synthesized {cold_synth:.0f} specializations, warm "
+        f"{warm_synth:.0f} (skip {skip_fraction:.0%}, hit rate {warm_rate:.0%})",
+    )

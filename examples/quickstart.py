@@ -47,9 +47,28 @@ def main() -> None:
     print("\nestimators from most to least accurate:")
     print(" > ".join(result.ranked()))
 
+    # Measure one bundled component through the full pipeline, with the
+    # content-addressed synthesis cache (rerun this script: the second pass
+    # hits and skips synthesis entirely).
+    from repro.cache import SynthesisCache, hit_rate
+    from repro.core.workflow import measure_component
+    from repro.designs.catalog import component_specs
+    from repro.designs.loader import load_sources
+
+    spec = component_specs()[0]
+    cache = SynthesisCache.default()
+    m = measure_component(load_sources(spec), spec.top, name=spec.label,
+                          cache=cache)
+    print(f"\nmeasured {spec.label}: LoC={m.metrics['LoC']:.0f}, "
+          f"Stmts={m.metrics['Stmts']:.0f}, FanInLC={m.metrics['FanInLC']:.0f}")
+
     # Where did the time go?  (See DESIGN.md, "Observability".)
     obs.deactivate()
-    print("\ntop 5 slowest spans:")
+    rate = hit_rate()
+    print(f"\nsynthesis cache hit rate: "
+          + (f"{rate:.0%}" if rate is not None else "(cache not probed)")
+          + f"  ({cache.directory})")
+    print("top 5 slowest spans:")
     for sp in tracer.slowest(5):
         print(f"  {sp.wall_s * 1e3:9.2f}ms  {sp.name}")
 

@@ -57,16 +57,23 @@ class AblationResult:
 def run_accounting_ablation(
     with_dataset: EffortDataset | None = None,
     without_dataset: EffortDataset | None = None,
+    jobs: int = 1,
+    cache=None,
 ) -> AblationResult:
     """Measure the bundled designs both ways and fit every estimator.
 
     Pre-measured datasets can be injected (the benchmarks cache them); by
-    default the bundled designs are measured on the fly.
+    default the bundled designs are measured on the fly -- ``jobs``/``cache``
+    (see :mod:`repro.parallel` / :mod:`repro.cache`) speed that path up.
     """
     if with_dataset is None:
-        with_dataset = measured_dataset(AccountingPolicy.recommended())
+        with_dataset = measured_dataset(
+            AccountingPolicy.recommended(), jobs=jobs, cache=cache
+        )
     if without_dataset is None:
-        without_dataset = measured_dataset(AccountingPolicy.disabled())
+        without_dataset = measured_dataset(
+            AccountingPolicy.disabled(), jobs=jobs, cache=cache
+        )
     return AblationResult(
         with_accounting=evaluate_estimators(with_dataset, TABLE4_ESTIMATORS),
         without_accounting=evaluate_estimators(without_dataset, TABLE4_ESTIMATORS),

@@ -27,8 +27,14 @@ from repro.stats.lognormal import confidence_factors
 def generate_report(
     dataset: EffortDataset | None = None,
     include_ablation: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> str:
-    """The full reproduction report as text."""
+    """The full reproduction report as text.
+
+    ``jobs``/``cache`` only matter with ``include_ablation=True``, which
+    re-measures the bundled designs through the synthesis pipeline.
+    """
     is_paper_data = dataset is None
     if dataset is None:
         dataset = paper_dataset()
@@ -94,7 +100,7 @@ def generate_report(
     )
 
     if include_ablation:
-        ablation = run_accounting_ablation()
+        ablation = run_accounting_ablation(jobs=jobs, cache=cache)
         pairs = ablation.sigma_pairs()
         sections.append(
             "Figure 6: accounting-procedure ablation (bundled designs)\n"

@@ -51,6 +51,21 @@ EXIT_DEGRADED = 1
 EXIT_FATAL = 2
 
 
+def _cache_from_args(args: argparse.Namespace):
+    """The run's synthesis cache: default location, --cache-dir, or None.
+
+    The cache is content-addressed (keys hash the source text and pipeline
+    versions), so it is on by default -- stale entries are unreachable by
+    construction.  ``--no-cache`` opts out entirely.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.cache import SynthesisCache
+
+    cache_dir = getattr(args, "cache_dir", None)
+    return SynthesisCache(Path(cache_dir)) if cache_dir else SynthesisCache.default()
+
+
 def _print_diagnostics(diagnostics) -> None:
     if diagnostics:
         print(render_report(list(diagnostics)), file=sys.stderr)
@@ -81,7 +96,10 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         if args.no_accounting
         else AccountingPolicy.recommended()
     )
-    result = measure_component_safe(sources, args.top, policy=policy)
+    result = measure_component_safe(
+        sources, args.top, policy=policy,
+        cache=_cache_from_args(args), jobs=args.jobs,
+    )
     diagnostics.extend(result.diagnostics)
     _print_diagnostics(diagnostics)
     if result.value is None:
@@ -191,7 +209,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.dataset and dataset is None:
         _print_diagnostics(diagnostics)
         return EXIT_FATAL
-    text = generate_report(dataset, include_ablation=args.ablation)
+    text = generate_report(
+        dataset, include_ablation=args.ablation,
+        jobs=args.jobs, cache=_cache_from_args(args),
+    )
     if args.output:
         Path(args.output).write_text(text, encoding="utf-8")
         print(f"report written to {args.output}")
@@ -237,6 +258,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a timings report (slowest spans, per-stage totals, "
              "counters) to stderr at exit",
+    )
+    common.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="measure components/specializations across N worker processes "
+             "(default 1: sequential); results are identical either way",
+    )
+    common.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="directory for the content-addressed synthesis cache "
+             "(default: $XDG_CACHE_HOME/ucomplexity); entries are keyed on "
+             "source text, so edits invalidate automatically",
+    )
+    common.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk synthesis cache for this run",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

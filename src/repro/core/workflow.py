@@ -17,7 +17,7 @@ This is the uComplexity measurement flow of Section 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.accounting import (
     AccountingPolicy,
@@ -32,9 +32,15 @@ from repro.hdl.source import SourceFile
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Result, Severity, render_report
-from repro.runtime.stages import StageBoundary
+from repro.runtime.stages import STAGE_HINTS, StageBoundary
 from repro.synth.lower import synthesize_module
 from repro.synth.report import SynthesisReport, synthesis_metrics
+
+if TYPE_CHECKING:
+    from repro.cache import SynthesisCache
+
+#: A specialization's dict key: (module name, sorted parameter items).
+SpecKey = tuple
 
 
 @dataclass
@@ -58,12 +64,60 @@ def parse_component(sources: list[SourceFile]) -> ast.Design:
         return design
 
 
+def _probe_cache(
+    cache: "SynthesisCache | None",
+    source_texts: tuple[str, ...],
+    keys: Sequence[tuple[SpecKey, str, Mapping[str, int]]],
+    reports: dict[SpecKey, SynthesisReport],
+) -> tuple[list[tuple[SpecKey, str, Mapping[str, int]]], dict[SpecKey, str], list[str]]:
+    """Probe the cache for each unique specialization.
+
+    Fills ``reports`` with hits; returns the misses (in order), the
+    spec-key -> cache-key mapping for later stores, and the details of any
+    corrupt entries encountered (already evicted and counted -- the caller
+    decides whether to surface them as WARNING diagnostics).
+    """
+    to_compute: list[tuple[SpecKey, str, Mapping[str, int]]] = []
+    cache_keys: dict[SpecKey, str] = {}
+    corrupt: list[str] = []
+    for key, module_name, params in keys:
+        if cache is None:
+            to_compute.append((key, module_name, params))
+            continue
+        ckey = cache.key(source_texts, module_name, params)
+        cache_keys[key] = ckey
+        lookup = cache.load(ckey)
+        if lookup.hit:
+            reports[key] = lookup.value
+        else:
+            if lookup.corrupt:
+                corrupt.append(lookup.detail)
+            to_compute.append((key, module_name, params))
+    return to_compute, cache_keys, corrupt
+
+
+def _unique_specs(
+    selected: Sequence[tuple[str, Mapping[str, int]]],
+) -> list[tuple[SpecKey, str, Mapping[str, int]]]:
+    """The distinct specializations of ``selected``, first-seen order."""
+    seen: set[SpecKey] = set()
+    unique: list[tuple[SpecKey, str, Mapping[str, int]]] = []
+    for module_name, params in selected:
+        key = (module_name, tuple(sorted(params.items())))
+        if key not in seen:
+            seen.add(key)
+            unique.append((key, module_name, params))
+    return unique
+
+
 def measure_component(
     sources: list[SourceFile],
     top: str,
     name: str | None = None,
     policy: AccountingPolicy = AccountingPolicy.recommended(),
     design: ast.Design | None = None,
+    cache: "SynthesisCache | None" = None,
+    jobs: int = 1,
 ) -> ComponentMeasurement:
     """Measure every Table 3 metric for one component.
 
@@ -73,6 +127,9 @@ def measure_component(
         name: display name (defaults to ``top``).
         policy: the accounting procedure configuration.
         design: pre-parsed design (parsed from ``sources`` when omitted).
+        cache: content-addressed synthesis cache (:mod:`repro.cache`);
+            hits skip the elaborate+synthesize work for a specialization.
+        jobs: process-pool width for the specialization loop (1 = inline).
     """
     with obs_trace.span("measure.component", component=name or top):
         if design is None:
@@ -89,11 +146,28 @@ def measure_component(
                 minimal_parameters=lambda module: minimal_parameters(design, module),
             )
 
-        reports: dict[tuple, SynthesisReport] = {}
-        per_spec: list[dict[str, float]] = []
-        for module_name, params in selected:
-            key = (module_name, tuple(sorted(params.items())))
-            if key not in reports:
+        reports: dict[SpecKey, SynthesisReport] = {}
+        source_texts = tuple(s.text for s in sources)
+        to_compute, cache_keys, _corrupt = _probe_cache(
+            cache, source_texts, _unique_specs(selected), reports
+        )
+
+        if jobs > 1 and len(to_compute) > 1:
+            from repro.parallel import synthesize_specializations
+
+            outcomes = synthesize_specializations(
+                design,
+                [(m, p) for _, m, p in to_compute],
+                label=name or top,
+                jobs=jobs,
+                safe=False,
+            )
+            for (key, _m, _p), outcome in zip(to_compute, outcomes):
+                if outcome.error is not None:
+                    raise outcome.error
+                reports[key] = outcome.value
+        else:
+            for key, module_name, params in to_compute:
                 with obs_trace.span(
                     "measure.specialization", module=module_name
                 ) as sp:
@@ -104,8 +178,14 @@ def measure_component(
                     obs_metrics.histogram("measure.specialization_wall_s").observe(
                         sp.wall_s
                     )
-            per_spec.append(reports[key].metrics())
+        if cache is not None:
+            for key, _m, _p in to_compute:
+                cache.store(cache_keys[key], reports[key])
 
+        per_spec = [
+            reports[(m, tuple(sorted(p.items())))].metrics()
+            for m, p in selected
+        ]
         metrics.update(aggregate_metrics(per_spec))
         return ComponentMeasurement(
             name=name or top,
@@ -136,6 +216,8 @@ def measure_component_safe(
     name: str | None = None,
     policy: AccountingPolicy = AccountingPolicy.recommended(),
     strict: bool = False,
+    cache: "SynthesisCache | None" = None,
+    jobs: int = 1,
 ) -> Result[ComponentMeasurement]:
     """Measure one component with per-stage fault isolation.
 
@@ -153,10 +235,16 @@ def measure_component_safe(
 
     The returned :class:`Result` is ok (clean), degraded (value + ERROR
     diagnostics), or failed (no parseable input at all).
+
+    ``cache`` memoizes per-specialization synthesis products; a corrupt
+    cache entry degrades to a recompute plus a WARNING diagnostic.
+    ``jobs > 1`` fans the specialization loop out over a process pool.
     """
     label = name or top
     with obs_trace.span("measure.component_safe", component=label):
-        return _measure_component_safe(sources, top, label, policy, strict)
+        return _measure_component_safe(
+            sources, top, label, policy, strict, cache, jobs
+        )
 
 
 def _measure_component_safe(
@@ -165,6 +253,8 @@ def _measure_component_safe(
     label: str,
     policy: AccountingPolicy,
     strict: bool,
+    cache: "SynthesisCache | None" = None,
+    jobs: int = 1,
 ) -> Result[ComponentMeasurement]:
     boundary = StageBoundary(component=label, strict=strict)
 
@@ -218,25 +308,72 @@ def _measure_component_safe(
     if selected is None:
         return Result(partial, tuple(boundary.diagnostics))
 
-    reports: dict[tuple, SynthesisReport] = {}
+    reports: dict[SpecKey, SynthesisReport] = {}
+    source_texts = tuple(s.text for s in parsed_sources)
+    to_compute, cache_keys, corrupt = _probe_cache(
+        cache, source_texts, _unique_specs(selected), reports
+    )
+    for detail in corrupt:
+        boundary.note(
+            "cache",
+            f"corrupt cache entry degraded to a recompute ({detail})",
+            Severity.WARNING,
+            hint=STAGE_HINTS["cache"],
+        )
+
+    # Compute each distinct cache-missed specialization once, capturing its
+    # failure diagnostics on a scratch boundary so they can be replayed at
+    # every occurrence below (matching the sequential recompute-per-
+    # occurrence behavior exactly).
+    failed: dict[SpecKey, tuple[Diagnostic, ...]] = {}
+    if jobs > 1 and len(to_compute) > 1:
+        from repro.parallel import synthesize_specializations
+
+        outcomes = synthesize_specializations(
+            design,
+            [(m, p) for _, m, p in to_compute],
+            label=label,
+            jobs=jobs,
+            safe=True,
+            strict=strict,
+        )
+        for (key, _m, _p), outcome in zip(to_compute, outcomes):
+            if outcome.error is not None:
+                boundary.diagnostics.extend(outcome.diagnostics)
+                raise outcome.error  # strict mode: fail fast, as inline does
+            if outcome.value is not None:
+                reports[key] = outcome.value
+            else:
+                failed[key] = outcome.diagnostics
+    else:
+        for key, module_name, params in to_compute:
+            def _synth(m=module_name, p=params):
+                sub = elaborate(design, m, p)
+                return synthesis_metrics(synthesize_module(sub))
+
+            scratch = StageBoundary(component=label, strict=strict)
+            report = scratch.run("synthesize", _synth)
+            if report is None:
+                failed[key] = tuple(scratch.diagnostics)
+            else:
+                reports[key] = report
+    if cache is not None:
+        for key, _m, _p in to_compute:
+            if key in reports:
+                cache.store(cache_keys[key], reports[key])
+
     per_spec: list[dict[str, float]] = []
     quarantined: list[tuple[str, Mapping[str, int]]] = []
     measured: list[tuple[str, Mapping[str, int]]] = []
     for module_name, params in selected:
         key = (module_name, tuple(sorted(params.items())))
-        if key not in reports:
-            def _synth(m=module_name, p=params):
-                sub = elaborate(design, m, p)
-                return synthesis_metrics(synthesize_module(sub))
-
-            report = boundary.run("synthesize", _synth)
-            if report is None:
-                obs_metrics.counter("measure.quarantined_units").inc()
-                quarantined.append((module_name, params))
-                continue
-            reports[key] = report
-        per_spec.append(reports[key].metrics())
-        measured.append((module_name, params))
+        if key in reports:
+            per_spec.append(reports[key].metrics())
+            measured.append((module_name, params))
+        else:
+            boundary.diagnostics.extend(failed[key])
+            obs_metrics.counter("measure.quarantined_units").inc()
+            quarantined.append((module_name, params))
 
     if per_spec:
         metrics.update(aggregate_metrics(per_spec))
@@ -307,14 +444,28 @@ class BatchMeasurement:
 
 
 def measure_components(
-    specs: Sequence[ComponentSpec], strict: bool = False
+    specs: Sequence[ComponentSpec],
+    strict: bool = False,
+    jobs: int = 1,
+    cache: "SynthesisCache | None" = None,
 ) -> BatchMeasurement:
     """Measure a batch of components, isolating faults per component.
 
     A faulty component never aborts the batch: its failure is captured as
     diagnostics in ``results[name]`` and the remaining components are
     measured normally.  ``strict=True`` restores fail-fast behavior.
+
+    ``jobs > 1`` measures components across a process pool
+    (:mod:`repro.parallel`) with identical results and diagnostics;
+    ``cache`` memoizes synthesis products on disk (:mod:`repro.cache`) so
+    reruns over unchanged RTL skip the synthesize stage.
     """
+    if jobs > 1 and len(specs) > 1:
+        from repro.parallel import measure_components_parallel
+
+        return measure_components_parallel(
+            specs, strict=strict, jobs=jobs, cache=cache
+        )
     results: dict[str, Result[ComponentMeasurement]] = {}
     for spec in specs:
         results[spec.name] = measure_component_safe(
@@ -323,5 +474,6 @@ def measure_components(
             name=spec.name,
             policy=spec.policy,
             strict=strict,
+            cache=cache,
         )
     return BatchMeasurement(results=results)

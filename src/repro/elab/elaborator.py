@@ -18,6 +18,11 @@ from repro.hdl.source import HdlError
 #: Safety bound on generate/procedural loop unrolling.
 MAX_UNROLL = 65536
 
+#: Elaboration algorithm revision.  Part of the on-disk cache salt
+#: (:mod:`repro.cache`): bump whenever elaboration semantics change in a
+#: way that affects downstream synthesis products.
+ELAB_VERSION = 1
+
 
 class ElaborationError(HdlError):
     """Raised when a design cannot be elaborated."""

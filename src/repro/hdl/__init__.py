@@ -14,7 +14,13 @@ from dataclasses import fields, is_dataclass
 
 from repro.hdl.ast import Design, Module
 from repro.hdl.metrics import count_loc, count_statements, software_metrics
-from repro.hdl.source import HdlSyntaxError, SourceFile
+from repro.hdl.source import (
+    VERILOG,
+    VHDL,
+    HdlSyntaxError,
+    SourceFile,
+    detect_language,
+)
 from repro.hdl.verilog import parse_verilog
 from repro.hdl.vhdl import parse_vhdl
 from repro.obs import metrics as obs_metrics
@@ -25,8 +31,11 @@ __all__ = [
     "HdlSyntaxError",
     "Module",
     "SourceFile",
+    "VERILOG",
+    "VHDL",
     "count_loc",
     "count_statements",
+    "detect_language",
     "parse_verilog",
     "parse_vhdl",
     "software_metrics",
@@ -47,17 +56,24 @@ def _count_ast_nodes(node: object) -> int:
 
 
 def parse_source(source: "SourceFile") -> "Design":
-    """Parse an HDL file, dispatching on its extension (.v/.sv vs .vhd)."""
-    name = source.name.lower()
+    """Parse an HDL file, dispatching via :func:`detect_language`.
+
+    Extension wins (.v/.sv vs .vhd/.vhdl); a file with an unknown suffix is
+    recognized from its contents, so the LoC counter (which shares the same
+    dispatch) always strips comments with the rules of the language the
+    parser actually used.
+    """
+    language = detect_language(source)
     with obs_trace.span("parse.file", file=source.name) as sp:
-        if name.endswith((".vhd", ".vhdl")):
+        if language == VHDL:
             design = parse_vhdl(source)
-        elif name.endswith((".v", ".sv")):
+        elif language == VERILOG:
             design = parse_verilog(source)
         else:
             raise ValueError(
-                f"cannot infer HDL language from file name {source.name!r}; "
-                "expected a .v/.sv or .vhd/.vhdl extension"
+                f"cannot infer HDL language from file name {source.name!r} "
+                "or its contents; expected a .v/.sv or .vhd/.vhdl extension "
+                "(or recognizable Verilog/VHDL text)"
             )
         obs_metrics.counter("hdl.files_parsed").inc()
         if obs_trace.active() is not None:

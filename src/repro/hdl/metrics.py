@@ -11,26 +11,102 @@
 
 from __future__ import annotations
 
-import re
-
 from repro.hdl import ast
-from repro.hdl.source import SourceFile
-
-_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
-_LINE_COMMENT_RE = re.compile(r"//[^\n]*")
-_VHDL_COMMENT_RE = re.compile(r"--[^\n]*")
+from repro.hdl.source import VERILOG, VHDL, SourceFile, detect_language
 
 
-def count_loc(source: SourceFile) -> int:
-    """Non-blank, non-comment lines in an HDL source file."""
-    text = source.text
-    if source.name.lower().endswith((".vhd", ".vhdl")):
-        text = _VHDL_COMMENT_RE.sub("", text)
+def _strip_verilog_comments(text: str) -> str:
+    """Blank out ``//`` and ``/* */`` comments, preserving line structure.
+
+    A character scanner rather than a regex so that comment starters inside
+    string literals (``"//not a comment"``) survive, and strings inside
+    comments don't confuse the stripper.  Backslash escapes are honored
+    inside strings; an unterminated string ends at the newline.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != "\n":
+                out.append(text[i])
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i + 1])
+                    i += 2
+                    continue
+                if text[i] == '"':
+                    i += 1
+                    break
+                i += 1
+        elif ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _strip_vhdl_comments(text: str) -> str:
+    """Blank out ``--`` comments, preserving string literals.
+
+    ``--`` inside a string literal (``"1--0"``) is data, not a comment; a
+    doubled quote is VHDL's in-string escape.  Character literals need no
+    tracking: they hold exactly one character, so no ``--`` fits inside.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != "\n":
+                out.append(text[i])
+                if text[i] == '"':
+                    if i + 1 < n and text[i + 1] == '"':
+                        out.append(text[i + 1])
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                i += 1
+        elif ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def count_loc(source: SourceFile, language: str | None = None) -> int:
+    """Non-blank, non-comment lines in an HDL source file.
+
+    Comment syntax is chosen by ``language`` (``"verilog"``/``"vhdl"``),
+    defaulting to :func:`~repro.hdl.source.detect_language` -- the same
+    dispatch the parser uses -- so a VHDL source without a ``.vhd`` suffix
+    is stripped with VHDL rules, not Verilog's.  An unrecognizable source
+    falls back to Verilog rules (the historical behavior) rather than
+    failing a metrics pass.
+    """
+    if language is None:
+        language = detect_language(source) or VERILOG
+    if language == VHDL:
+        text = _strip_vhdl_comments(source.text)
+    elif language == VERILOG:
+        text = _strip_verilog_comments(source.text)
     else:
-        text = _BLOCK_COMMENT_RE.sub(
-            lambda m: "\n" * m.group(0).count("\n"), text
-        )
-        text = _LINE_COMMENT_RE.sub("", text)
+        raise ValueError(f"unknown HDL language {language!r}")
     return sum(1 for line in text.splitlines() if line.strip())
 
 

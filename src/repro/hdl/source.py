@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -53,6 +54,66 @@ class SourceFile:
         return lines[number - 1]
 
 
+#: Language names used across the package (parser dispatch, LoC rules).
+VERILOG = "verilog"
+VHDL = "vhdl"
+
+_VERILOG_MARKERS = (
+    re.compile(r"\bmodule\b"),
+    re.compile(r"\bendmodule\b"),
+    re.compile(r"\balways\b"),
+    re.compile(r"\bassign\b"),
+    re.compile(r"\bwire\b|\breg\b"),
+    re.compile(r"//"),
+)
+_VHDL_MARKERS = (
+    re.compile(r"\bentity\b", re.IGNORECASE),
+    re.compile(r"\barchitecture\b", re.IGNORECASE),
+    re.compile(r"\bend\s+(entity|architecture|process)\b", re.IGNORECASE),
+    re.compile(r"\bsignal\b|\bstd_logic\b", re.IGNORECASE),
+    re.compile(r"--"),
+)
+
+
+def detect_language(source: "SourceFile") -> str | None:
+    """The HDL language of ``source``: extension first, then content.
+
+    This is the single dispatch point shared by the parser front door
+    (:func:`repro.hdl.parse_source`) and the LoC counter
+    (:func:`repro.hdl.metrics.count_loc`), so comment-stripping rules always
+    match the language the parser actually used -- a VHDL file without a
+    ``.vhd`` suffix is still recognized as VHDL from its text.
+
+    Returns ``"verilog"``, ``"vhdl"``, or None when neither the file name
+    nor the contents identify a language.
+    """
+    name = source.name.lower()
+    if name.endswith((".vhd", ".vhdl")):
+        return VHDL
+    if name.endswith((".v", ".sv")):
+        return VERILOG
+    # Unknown extension: sniff the text.  Count distinct marker classes per
+    # language; VHDL keywords never collide with Verilog's, so whichever
+    # side matches more marker classes wins.
+    text = source.text
+    verilog_score = sum(1 for pat in _VERILOG_MARKERS if pat.search(text))
+    vhdl_score = sum(1 for pat in _VHDL_MARKERS if pat.search(text))
+    if verilog_score == vhdl_score:
+        return None
+    return VERILOG if verilog_score > vhdl_score else VHDL
+
+
+def _rebuild_hdl_error(
+    cls: type, message: str, file: str, line: int, hint: str
+) -> "HdlError":
+    try:
+        return cls(message, file=file, line=line, hint=hint)
+    except TypeError:
+        # A subclass with an incompatible signature still round-trips as
+        # the base class rather than failing to unpickle.
+        return HdlError(message, file=file, line=line, hint=hint)
+
+
 class HdlError(Exception):
     """Base class for all HDL frontend/elaboration errors.
 
@@ -76,6 +137,17 @@ class HdlError(Exception):
         self.file = file
         self.line = line
         self.hint = hint
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` (the
+        # pre-formatted string), which would drop file/line/hint and
+        # double-prefix the location after a round-trip through a process
+        # pool.  Rebuild from the structured fields instead so diagnostics
+        # created from an unpickled error are identical to in-process ones.
+        return (
+            _rebuild_hdl_error,
+            (type(self), self.message, self.file, self.line, self.hint),
+        )
 
 
 class HdlIoError(HdlError):

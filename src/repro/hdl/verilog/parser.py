@@ -22,6 +22,10 @@ _KEYWORDS = {
 
 _UNARY_OPS = ("~", "!", "-", "&", "|", "^")
 
+#: Frontend revision.  Part of the on-disk cache salt (:mod:`repro.cache`):
+#: bump whenever parsing changes the AST produced for accepted sources.
+PARSER_VERSION = 1
+
 
 class _Parser:
     def __init__(self, source: SourceFile) -> None:

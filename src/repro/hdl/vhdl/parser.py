@@ -42,6 +42,10 @@ _TRANSPARENT_FUNCTIONS = {
 #: Functions whose second argument is a target width.
 _RESIZE_FUNCTIONS = {"to_unsigned", "to_signed", "resize", "conv_std_logic_vector"}
 
+#: Frontend revision.  Part of the on-disk cache salt (:mod:`repro.cache`):
+#: bump whenever parsing changes the AST produced for accepted sources.
+PARSER_VERSION = 1
+
 _VHDL_BINARY_TO_AST = {
     "and": "&", "or": "|", "xor": "^", "nand": "~&", "nor": "~|",
     "=": "==", "/=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",

@@ -14,8 +14,9 @@ instruments the run actually touched.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 
 @dataclass
@@ -131,6 +132,40 @@ class MetricsRegistry:
             },
         }
 
+    def dump(self) -> dict[str, Any]:
+        """A lossless, mergeable export of this registry.
+
+        Unlike :meth:`snapshot` (which aggregates histograms down to
+        percentiles), ``dump`` keeps the raw observations, so a pool
+        worker's registry can be folded into the parent's with
+        :meth:`merge` and no information is lost.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histogram_values": {
+                n: list(h.values) for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, dump: dict[str, Any]) -> None:
+        """Fold a worker registry :meth:`dump` into this registry.
+
+        Counters add, histograms re-observe every raw value, and gauges
+        (last-write-wins by definition) take the worker's value.  This is
+        the join-side half of the worker-snapshot contract used by
+        :mod:`repro.parallel`: process-local instruments bumped in a pool
+        worker are never silently dropped.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, values in dump.get("histogram_values", {}).items():
+            hist = self.histogram(name)
+            for value in values:
+                hist.observe(float(value))
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
@@ -163,3 +198,21 @@ def snapshot() -> dict[str, Any]:
 
 def reset() -> None:
     _DEFAULT.reset()
+
+
+@contextmanager
+def using(reg: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route module-level instruments to ``reg`` for the ``with`` body.
+
+    Pool workers wrap each task in ``using(MetricsRegistry())`` so their
+    counts accumulate in a private registry (the fork start method would
+    otherwise leave them double-counting into an inherited copy of the
+    parent's), then ship ``reg.dump()`` back for the parent to ``merge``.
+    """
+    global _DEFAULT
+    prev = _DEFAULT
+    _DEFAULT = reg
+    try:
+        yield reg
+    finally:
+        _DEFAULT = prev

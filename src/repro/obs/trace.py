@@ -11,7 +11,10 @@ Design points:
 
 * **Deterministic structure.**  Span ids are sequential integers assigned
   in start order, so two runs of the same pipeline produce the same span
-  tree (ids, names, parents); only the measured durations differ.
+  tree (ids, names, parents); only the measured durations differ.  Spans
+  grafted from pool workers (:meth:`Tracer.graft`) instead carry
+  *namespaced* string ids (``"w3:7"`` = worker ``w3``'s local span 7), so
+  worker trees can never collide with the parent's ids or each other's.
 * **Exception safety.**  A span whose body raises is still closed: it
   records ``status="error"`` plus the exception text, and the exception
   propagates unchanged.  This is what lets the fault-tolerant runtime
@@ -42,8 +45,8 @@ class Span:
     """One timed, attributed section of a pipeline run."""
 
     name: str
-    span_id: int
-    parent_id: int | None
+    span_id: int | str           # str = namespaced worker id ("w3:7")
+    parent_id: int | str | None
     start: float                 # seconds since the tracer's epoch (wall)
     attrs: dict[str, Any] = field(default_factory=dict)
     wall_s: float | None = None  # None until the span finishes
@@ -123,7 +126,7 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     @property
-    def current_span_id(self) -> int | None:
+    def current_span_id(self) -> int | str | None:
         return self._stack[-1].span_id if self._stack else None
 
     def start_span(self, name: str, **attrs: Any) -> Span:
@@ -161,6 +164,43 @@ class Tracer:
         else:
             self.end_span(sp)
 
+    # -- worker-span grafting ------------------------------------------------
+
+    def graft(
+        self,
+        spans: list[Span],
+        namespace: str,
+        parent_id: int | str | None = None,
+    ) -> dict[int | str, str]:
+        """Adopt a pool worker's span tree under namespaced ids.
+
+        Every worker span id ``n`` becomes ``"<namespace>:<n>"`` (parents
+        remapped consistently), so concurrently-joined worker trees never
+        collide with each other or with this tracer's sequential integer
+        ids.  Worker roots are re-parented under ``parent_id`` (default:
+        the span active right now, i.e. the join point), and every grafted
+        span is stamped with a ``worker`` attribute.  ``start`` offsets
+        stay relative to the *worker's* epoch -- grafted spans carry
+        worker-local timings, not a position on the parent timeline.
+
+        Returns the old-id -> new-id mapping so callers can remap other
+        references (e.g. ``Diagnostic.span_id``).
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id
+        mapping: dict[int | str, str] = {}
+        for sp in spans:
+            mapping[sp.span_id] = f"{namespace}:{sp.span_id}"
+        for sp in spans:
+            sp.span_id = mapping[sp.span_id]
+            if sp.parent_id is None:
+                sp.parent_id = parent_id
+            else:
+                sp.parent_id = mapping.get(sp.parent_id, parent_id)
+            sp.attrs.setdefault("worker", namespace)
+            self.spans.append(sp)
+        return mapping
+
     # -- events --------------------------------------------------------------
 
     def event(self, type_: str, **fields: Any) -> None:
@@ -179,7 +219,7 @@ class Tracer:
 
     def render_tree(self) -> str:
         """Indented span tree with wall/CPU durations."""
-        children: dict[int | None, list[Span]] = {}
+        children: dict[int | str | None, list[Span]] = {}
         for sp in self.spans:
             children.setdefault(sp.parent_id, []).append(sp)
         lines: list[str] = []
@@ -284,7 +324,7 @@ def event(type_: str, **fields: Any) -> None:
         _ACTIVE.event(type_, **fields)
 
 
-def current_span_id() -> int | None:
+def current_span_id() -> int | str | None:
     """The active tracer's current span id (None when untraced)."""
     return _ACTIVE.current_span_id if _ACTIVE is not None else None
 

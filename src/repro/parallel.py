@@ -1,0 +1,286 @@
+"""Process-pool execution of the measurement pipeline.
+
+Batch measurement is embarrassingly parallel: components are independent,
+and within one component so are its specializations' synthesis runs.  This
+module fans both loops out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` while preserving the sequential contracts bit for bit:
+
+* **Fault isolation.**  Workers run the same fault-tolerant entry points
+  (:mod:`repro.runtime.stages`), so a faulty component/specialization is
+  quarantined inside its worker and comes back as a structured
+  ``Result``/diagnostics -- never as a pool-crashing exception.  Strict
+  mode re-raises in the parent (``HdlError`` pickles faithfully, so the
+  re-raised exception carries the same file/line/hint).
+* **Telemetry.**  The obs registry and tracer are process-local, so a
+  naive pool would silently drop every counter a worker bumps and reuse
+  span ids across workers.  Each worker task therefore runs under a fresh
+  :class:`~repro.obs.metrics.MetricsRegistry` and (when the parent is
+  traced) its own :class:`~repro.obs.trace.Tracer`; on join, the parent
+  merges the worker's metrics dump into its registry and grafts the worker
+  span tree under namespaced ids (``"w3:7"``) -- see
+  :meth:`Tracer.graft <repro.obs.trace.Tracer.graft>`.
+* **Degradation.**  If the pool itself cannot run (fork failures, broken
+  workers), execution falls back to sequential in-process and counts
+  ``parallel.fallback_sequential`` -- slower, never wrong.
+
+Nothing here is imported eagerly by the pipeline; ``jobs=1`` (the default
+everywhere) never touches this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.diagnostics import Diagnostic, Result
+
+#: Per-process namespace sequence: every pool run gets a fresh prefix so
+#: grafted span ids stay unique across successive parallel sections.
+_NAMESPACE_COUNTER = itertools.count()
+
+
+@dataclass
+class WorkerTelemetry:
+    """One worker task's observability payload, shipped back on join."""
+
+    namespace: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+    spans: list[obs_trace.Span] = field(default_factory=list)
+
+
+@dataclass
+class TaskOutcome:
+    """What one pool task produced: a value, an error, or a quarantine."""
+
+    value: Any = None
+    error: BaseException | None = None
+    diagnostics: tuple[Diagnostic, ...] = ()
+    telemetry: WorkerTelemetry | None = None
+
+
+def _run_traced_task(fn, namespace: str, capture_trace: bool) -> TaskOutcome:
+    """Run ``fn`` under a private registry/tracer; never raises."""
+    registry = obs_metrics.MetricsRegistry()
+    tracer = obs_trace.Tracer() if capture_trace else None
+    value, error, diagnostics = None, None, ()
+    with obs_metrics.using(registry):
+        ctx = obs_trace.using(tracer) if tracer is not None else nullcontext()
+        with ctx:
+            try:
+                value, diagnostics = fn()
+            except Exception as exc:  # noqa: BLE001 -- ferried to the parent
+                error = exc
+    return TaskOutcome(
+        value=value,
+        error=error,
+        diagnostics=tuple(diagnostics),
+        telemetry=WorkerTelemetry(
+            namespace=namespace,
+            metrics=registry.dump(),
+            spans=list(tracer.spans) if tracer is not None else [],
+        ),
+    )
+
+
+# -- worker entry points (module-level: they must pickle) --------------------
+
+
+def _measure_task(payload: tuple) -> TaskOutcome:
+    """Measure one component (the batch-level unit of work)."""
+    spec, strict, cache, capture_trace, namespace = payload
+    from repro.core.workflow import measure_component_safe
+
+    def run():
+        result = measure_component_safe(
+            list(spec.sources),
+            spec.top,
+            name=spec.name,
+            policy=spec.policy,
+            strict=strict,
+            cache=cache,
+        )
+        return result, ()
+
+    return _run_traced_task(run, namespace, capture_trace)
+
+
+def _synthesize_task(payload: tuple) -> TaskOutcome:
+    """Synthesize one specialization (the component-level unit of work)."""
+    design, module, params, label, safe, strict, capture_trace, namespace = payload
+    from repro.elab.elaborator import elaborate
+    from repro.runtime.stages import StageBoundary
+    from repro.synth.lower import synthesize_module
+    from repro.synth.report import synthesis_metrics
+
+    def _synth():
+        sub = elaborate(design, module, params)
+        return synthesis_metrics(synthesize_module(sub))
+
+    def run():
+        if safe:
+            boundary = StageBoundary(component=label, strict=strict)
+            report = boundary.run("synthesize", _synth)
+            return report, tuple(boundary.diagnostics)
+        # Raising path: mirror measure_component's span + histogram.
+        with obs_trace.span("measure.specialization", module=module) as sp:
+            report = _synth()
+        if sp.wall_s is not None:
+            obs_metrics.histogram("measure.specialization_wall_s").observe(
+                sp.wall_s
+            )
+        return report, ()
+
+    return _run_traced_task(run, namespace, capture_trace)
+
+
+# -- join-side plumbing ------------------------------------------------------
+
+
+def merge_worker_telemetry(
+    outcome: TaskOutcome,
+) -> dict[int | str, str]:
+    """Fold one worker's telemetry into the parent's registry/tracer.
+
+    Returns the span-id remapping from :meth:`Tracer.graft` (empty when
+    untraced) so callers can remap ``Diagnostic.span_id`` references.
+    """
+    tel = outcome.telemetry
+    if tel is None:
+        return {}
+    obs_metrics.registry().merge(tel.metrics)
+    tracer = obs_trace.active()
+    if tracer is None or not tel.spans:
+        return {}
+    return tracer.graft(tel.spans, tel.namespace)
+
+
+def remap_span_ids(
+    diagnostics: Sequence[Diagnostic], mapping: Mapping[int | str, str]
+) -> tuple[Diagnostic, ...]:
+    """Rewrite worker-local span ids to their grafted namespaced ids."""
+    if not mapping:
+        return tuple(diagnostics)
+    return tuple(
+        replace(d, span_id=mapping[d.span_id]) if d.span_id in mapping else d
+        for d in diagnostics
+    )
+
+
+def _pool_run(
+    task, payloads: Sequence[tuple], jobs: int
+) -> list[TaskOutcome] | None:
+    """Run ``task`` over ``payloads``; None means the pool was unusable."""
+    obs_metrics.gauge("parallel.jobs").set(jobs)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(task, p) for p in payloads]
+            outcomes = [f.result() for f in futures]
+    except (BrokenExecutor, OSError):
+        obs_metrics.counter("parallel.fallback_sequential").inc()
+        return None
+    obs_metrics.counter("parallel.tasks").inc(len(payloads))
+    return outcomes
+
+
+def _next_namespace(kind: str) -> str:
+    return f"{kind}{next(_NAMESPACE_COUNTER)}"
+
+
+# -- public API --------------------------------------------------------------
+
+
+def measure_components_parallel(
+    specs: Sequence,
+    strict: bool = False,
+    jobs: int = 2,
+    cache=None,
+):
+    """Measure a batch of components across a process pool.
+
+    The parallel twin of :func:`repro.core.workflow.measure_components`
+    (which delegates here for ``jobs > 1``): same result dict, same
+    per-component quarantine, same diagnostics -- only wall-clock differs.
+    Worker counters merge on join; with an active tracer, worker span trees
+    are grafted under namespaced ids below the ``measure.batch`` span.
+    """
+    from repro.core.workflow import BatchMeasurement, measure_component_safe
+
+    capture_trace = obs_trace.active() is not None
+    run_ns = _next_namespace("b")
+    payloads = [
+        (spec, strict, cache, capture_trace, f"{run_ns}.w{i}")
+        for i, spec in enumerate(specs)
+    ]
+    results: dict[str, Result] = {}
+    with obs_trace.span("measure.batch", components=len(specs), jobs=jobs):
+        outcomes = _pool_run(_measure_task, payloads, jobs)
+        if outcomes is None:
+            for spec in specs:
+                results[spec.name] = measure_component_safe(
+                    list(spec.sources),
+                    spec.top,
+                    name=spec.name,
+                    policy=spec.policy,
+                    strict=strict,
+                    cache=cache,
+                )
+            return BatchMeasurement(results=results)
+        errors: list[BaseException] = []
+        for spec, outcome in zip(specs, outcomes):
+            mapping = merge_worker_telemetry(outcome)
+            if outcome.error is not None:
+                errors.append(outcome.error)
+                continue
+            result = outcome.value
+            results[spec.name] = Result(
+                result.value, remap_span_ids(result.diagnostics, mapping)
+            )
+        if errors:
+            # Only strict mode lets exceptions out of a worker; re-raise
+            # the first in batch order, matching sequential fail-fast.
+            raise errors[0]
+    return BatchMeasurement(results=results)
+
+
+def synthesize_specializations(
+    design,
+    work: Sequence[tuple[str, Mapping[str, int]]],
+    label: str,
+    jobs: int,
+    safe: bool,
+    strict: bool = False,
+) -> list[TaskOutcome]:
+    """Synthesize many specializations of one design across a pool.
+
+    ``work`` is a list of ``(module, params)`` pairs (already deduplicated
+    and cache-missed by the caller); the returned outcomes line up with it.
+    Telemetry is merged and diagnostic span ids are remapped before return,
+    so callers only look at ``value``/``error``/``diagnostics``.
+    """
+    capture_trace = obs_trace.active() is not None
+    run_ns = _next_namespace("s")
+    payloads = [
+        (design, module, dict(params), label, safe, strict, capture_trace,
+         f"{run_ns}.w{i}")
+        for i, (module, params) in enumerate(work)
+    ]
+    outcomes = _pool_run(_synthesize_task, payloads, jobs)
+    if outcomes is None:
+        outcomes = [_synthesize_task(p) for p in payloads]
+    merged: list[TaskOutcome] = []
+    for outcome in outcomes:
+        mapping = merge_worker_telemetry(outcome)
+        merged.append(
+            TaskOutcome(
+                value=outcome.value,
+                error=outcome.error,
+                diagnostics=remap_span_ids(outcome.diagnostics, mapping),
+                telemetry=None,
+            )
+        )
+    return merged

@@ -76,7 +76,9 @@ class Diagnostic:
     hint: str | None = None       # what the user can do about it
     #: Trace span (repro.obs) this diagnostic was emitted under, when a
     #: tracer was active; lets a trace viewer pair failures with timings.
-    span_id: int | None = None
+    #: Diagnostics produced in a pool worker carry the namespaced string id
+    #: ("w3:7") of the grafted worker span (see repro.obs.trace.Tracer.graft).
+    span_id: int | str | None = None
 
     def render(self) -> str:
         parts = [f"{self.severity.label}[{self.stage}]"]
@@ -99,7 +101,7 @@ class Diagnostic:
         severity: Severity = Severity.ERROR,
         component: str | None = None,
         hint: str | None = None,
-        span_id: int | None = None,
+        span_id: int | str | None = None,
     ) -> "Diagnostic":
         """Build a diagnostic from an exception.
 

@@ -14,6 +14,10 @@ and source location:
 * **Optimizer behavior** -- :func:`forced_nonconvergence` sabotages the
   optimizer behind ``fit_nlme`` (and optionally the Laplace fitter) so the
   fallback chain in :mod:`repro.stats.robust` demonstrably engages.
+* **Cache entries** -- :func:`poison_cache` truncates or garbage-fills
+  on-disk synthesis-cache entries so the ``pytest -m par`` suite can prove
+  a poisoned cache degrades to a recompute (with a WARNING diagnostic)
+  instead of crashing or serving garbage.
 
 Everything is seeded or purely positional: the same call always produces
 the same corruption.
@@ -126,6 +130,41 @@ def corrupt_csv(
     writer.writerow(header)
     writer.writerows(data)
     return buf.getvalue()
+
+
+# -- cache poisoning --------------------------------------------------------
+
+#: Supported cache fault classes.
+CACHE_FAULTS = ("truncate", "garbage", "wrong_type")
+
+
+def poison_cache(cache, fault: str = "truncate", limit: int | None = None) -> int:
+    """Corrupt entries of a :class:`~repro.cache.SynthesisCache` on disk.
+
+    ``truncate`` cuts each entry to its first half (an interrupted write
+    without the atomic-rename protection), ``garbage`` overwrites it with
+    non-pickle bytes, and ``wrong_type`` replaces the payload with a valid
+    pickle of the wrong type.  At most ``limit`` entries (default: all) are
+    poisoned, in sorted-path order so runs are deterministic.  Returns the
+    number of entries poisoned.
+    """
+    import pickle
+
+    if fault not in CACHE_FAULTS:
+        raise ValueError(f"unknown fault {fault!r}; choose from {CACHE_FAULTS}")
+    poisoned = 0
+    for path in cache.entries():
+        if limit is not None and poisoned >= limit:
+            break
+        if fault == "truncate":
+            blob = path.read_bytes()
+            path.write_bytes(blob[: len(blob) // 2])
+        elif fault == "garbage":
+            path.write_bytes(b"not a pickle \x00\xff")
+        else:
+            path.write_bytes(pickle.dumps({"not": "a SynthesisReport"}))
+        poisoned += 1
+    return poisoned
 
 
 # -- optimizer sabotage -----------------------------------------------------

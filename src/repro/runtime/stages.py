@@ -36,6 +36,8 @@ STAGE_HINTS: dict[str, str] = {
                "parameterized modules",
     "synthesize": "the specialization uses an unsupported construct; it is "
                   "skipped and the compounded index excludes it",
+    "cache": "the on-disk cache entry was unreadable and has been evicted; "
+             "the specialization was recomputed from source",
     "dataset": "fix or drop the offending CSV row; effort must be a "
                "positive finite number of person-months",
     "fit": "the optimizer could not verify convergence; a declared "

@@ -36,6 +36,11 @@ from repro.synth.netlist import CONST0, CONST1, Memory, Netlist, ReadPort, Write
 
 Bits = list[int]
 
+#: Lowering/library revision.  Part of the on-disk cache salt
+#: (:mod:`repro.cache`): bump whenever the cell library, decomposition, or
+#: optimization rules change the netlists this module produces.
+SYNTH_VERSION = 1
+
 
 class SynthesisError(HdlError):
     """Raised when a module cannot be lowered to gates."""

@@ -1,0 +1,15 @@
+"""Suite-wide isolation fixtures."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default synthesis cache at a per-test directory.
+
+    The CLI caches under ``$XDG_CACHE_HOME/ucomplexity`` by default, so
+    without this every CLI-driving test would see (and warm) the user's
+    real cache -- making assertions about pipeline structure (e.g. that a
+    measurement emits ``synthesize`` spans) depend on prior runs.
+    """
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg-cache"))

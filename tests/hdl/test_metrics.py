@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.hdl import count_loc, count_statements, parse_verilog, parse_vhdl
+from repro.hdl import (
+    VERILOG,
+    VHDL,
+    count_loc,
+    count_statements,
+    detect_language,
+    parse_verilog,
+    parse_vhdl,
+)
 from repro.hdl.source import SourceFile
 
 
@@ -29,6 +37,67 @@ class TestLoc:
 
     def test_empty_file(self):
         assert count_loc(SourceFile("t.v", "")) == 0
+
+    def test_unknown_explicit_language_rejected(self):
+        with pytest.raises(ValueError, match="unknown HDL language"):
+            count_loc(SourceFile("t.v", "x\n"), language="ada")
+
+
+class TestLocStringLiterals:
+    def test_verilog_comment_start_inside_string_is_code(self):
+        src = SourceFile(
+            "t.v", 'module m;\ninitial $display("//not a comment");\nendmodule\n'
+        )
+        assert count_loc(src) == 3
+
+    def test_verilog_block_comment_start_inside_string(self):
+        src = SourceFile("t.v", 'a = "/*";\nb = 1;\nc = "*/";\n')
+        assert count_loc(src) == 3
+
+    def test_verilog_escaped_quote_in_string(self):
+        src = SourceFile("t.v", 'a = "\\" // still a string";\nb = 1;\n')
+        assert count_loc(src) == 2
+
+    def test_vhdl_dashes_inside_string_are_code(self):
+        src = SourceFile(
+            "t.vhd", 'signal s : std_logic_vector(3 downto 0) := "1--0";\ny;\n'
+        )
+        assert count_loc(src) == 2
+
+    def test_vhdl_doubled_quote_escape(self):
+        src = SourceFile("t.vhd", 'report "a""--""b";\nx;\n')
+        assert count_loc(src) == 2
+
+
+class TestLanguageDispatch:
+    _VHDL_TEXT = (
+        "entity e is\nend entity;\n"
+        "architecture rtl of e is\n"
+        "-- a comment line\n"
+        "begin\nend architecture;\n"
+    )
+
+    def test_extension_wins(self):
+        assert detect_language(SourceFile("a.v", self._VHDL_TEXT)) == VERILOG
+        assert detect_language(SourceFile("a.vhdl", "module m; endmodule")) == VHDL
+
+    def test_contents_sniffed_for_unknown_extension(self):
+        assert detect_language(SourceFile("a.txt", self._VHDL_TEXT)) == VHDL
+        assert (
+            detect_language(SourceFile("a.txt", "module m;\nassign y = a;\nendmodule"))
+            == VERILOG
+        )
+
+    def test_undetectable_source_is_none(self):
+        assert detect_language(SourceFile("a.txt", "")) is None
+
+    def test_loc_uses_parser_dispatch_not_extension(self):
+        # A VHDL source without a .vhd suffix: the parser recognizes it from
+        # its text, so the LoC counter must strip -- comments, not // ones.
+        src = SourceFile("core.txt", self._VHDL_TEXT)
+        assert count_loc(src) == 5
+        # Forcing the wrong language shows what the old behavior missed.
+        assert count_loc(src, language=VERILOG) == 6
 
 
 class TestStmts:

@@ -1,0 +1,135 @@
+"""Tier-2 cache suite: hit/miss/invalidation/corruption (``pytest -m par``).
+
+The synthesis cache is content-addressed, so invalidation is structural:
+editing a source, changing a parameter binding, or bumping a pipeline
+version must change the key; an unchanged rerun must hit; a poisoned entry
+must degrade to a recompute with a WARNING diagnostic, never crash.
+"""
+
+import pytest
+
+from repro.cache import SynthesisCache, hit_rate
+from repro.core.workflow import measure_component, measure_component_safe
+from repro.hdl.source import SourceFile
+from repro.obs import metrics as obs_metrics
+from repro.runtime.diagnostics import Severity
+from repro.runtime.faultinject import poison_cache
+
+pytestmark = pytest.mark.par
+
+_SRC = SourceFile(
+    "alu.v",
+    """
+    module alu #(parameter W = 8)(input [W-1:0] a, b, input op,
+                                  output [W-1:0] y);
+      assign y = op ? a - b : a + b;
+    endmodule
+
+    module top_alu(input [7:0] a, b, input op, output [7:0] y0, y1);
+      alu #(.W(8)) u0 (.a(a), .b(b), .op(op), .y(y0));
+      alu #(.W(8)) u1 (.a(b), .b(a), .op(op), .y(y1));
+    endmodule
+    """,
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return SynthesisCache(tmp_path / "cache")
+
+
+def _counters():
+    return obs_metrics.snapshot()["counters"]
+
+
+def _measure(cache, source=_SRC):
+    """One cached measurement plus the counters it produced."""
+    with obs_metrics.using(obs_metrics.MetricsRegistry()):
+        result = measure_component_safe([source], "top_alu", cache=cache)
+        counters = _counters()
+    assert result.ok
+    return result, counters
+
+
+class TestHitMiss:
+    def test_cold_run_misses_and_stores(self, cache):
+        _, counters = _measure(cache)
+        assert counters.get("cache.hits", 0) == 0
+        assert counters["cache.misses"] == counters["cache.stores"] > 0
+        assert counters["synth.specializations"] > 0
+        assert len(cache.entries()) == counters["cache.stores"]
+
+    def test_warm_run_hits_and_skips_synthesis(self, cache):
+        cold, _ = _measure(cache)
+        warm, counters = _measure(cache)
+        assert counters.get("cache.misses", 0) == 0
+        assert counters.get("synth.specializations", 0) == 0
+        assert hit_rate(counters) == 1.0
+        assert warm.value.metrics == cold.value.metrics
+
+    def test_raising_path_shares_the_key_space(self, cache):
+        _measure(cache)  # warm through the fault-tolerant path
+        with obs_metrics.using(obs_metrics.MetricsRegistry()):
+            measurement = measure_component([_SRC], "top_alu", cache=cache)
+            counters = _counters()
+        assert counters.get("cache.misses", 0) == 0
+        assert counters.get("synth.specializations", 0) == 0
+        assert measurement.metrics
+
+
+class TestInvalidation:
+    def test_source_edit_invalidates(self, cache):
+        _measure(cache)
+        edited = SourceFile(_SRC.name, _SRC.text.replace("a - b", "b - a"))
+        _, counters = _measure(cache, source=edited)
+        assert counters["cache.misses"] > 0
+        assert counters["synth.specializations"] > 0
+
+    def test_parameter_binding_changes_the_key(self, cache):
+        texts = (_SRC.text,)
+        assert cache.key(texts, "alu", {"W": 8}) != cache.key(
+            texts, "alu", {"W": 16}
+        )
+        assert cache.key(texts, "alu", {"W": 8}) != cache.key(
+            texts, "top_alu", {"W": 8}
+        )
+
+    def test_version_salt_changes_the_key(self, cache):
+        other = SynthesisCache(cache.directory, salt=cache.salt + "|bumped")
+        texts = (_SRC.text,)
+        assert cache.key(texts, "alu", {}) != other.key(texts, "alu", {})
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("fault", ["truncate", "garbage", "wrong_type"])
+    def test_poisoned_entry_degrades_to_recompute(self, cache, fault):
+        cold, _ = _measure(cache)
+        assert poison_cache(cache, fault) > 0
+        recomputed, counters = _measure(cache)
+
+        # Same numbers as the cold run, recomputed rather than served.
+        assert recomputed.value.metrics == cold.value.metrics
+        assert counters["cache.errors"] > 0
+        assert counters["synth.specializations"] > 0
+
+        # The degradation is reported, not silent.
+        warnings = [
+            d
+            for d in recomputed.diagnostics
+            if d.stage == "cache" and d.severity is Severity.WARNING
+        ]
+        assert warnings and "recompute" in warnings[0].message
+
+    def test_poisoned_entries_are_evicted_and_restored(self, cache):
+        _measure(cache)
+        n_entries = len(cache.entries())
+        poison_cache(cache, "garbage")
+        _measure(cache)  # evicts every poisoned entry, re-stores fresh ones
+        assert len(cache.entries()) == n_entries
+        _, counters = _measure(cache)
+        assert hit_rate(counters) == 1.0
+
+    def test_clear_empties_the_cache(self, cache):
+        _measure(cache)
+        assert cache.clear() == len(cache.entries()) or not cache.entries()
+        assert cache.entries() == []
