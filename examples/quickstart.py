@@ -72,6 +72,16 @@ def main() -> None:
     for sp in tracer.slowest(5):
         print(f"  {sp.wall_s * 1e3:9.2f}ms  {sp.name}")
 
+    # Finally, prove the pipeline against modules with known answers: a
+    # small generated corpus must measure exactly its constructed
+    # metrics (the full study runs via `repro selftest`).
+    from repro.gen import run_selftest
+
+    report = run_selftest(modules_per_language=6, skip_recovery=True)
+    print(f"\nself-test ({len(report.checks)} checks, "
+          f"{report.elapsed_s:.1f}s): "
+          + ("all passed" if report.ok else "FAILED\n" + report.render()))
+
 
 if __name__ == "__main__":
     main()

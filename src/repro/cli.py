@@ -10,6 +10,10 @@ Subcommands:
   using an estimator fitted on a CSV database.
 * ``evaluate``  -- regenerate the Table 4 accuracy table from the paper's
   published data (or a provided CSV).
+* ``gen``       -- write a seeded synthetic HDL corpus (plus its metric
+  ground truth manifest) to a directory.
+* ``selftest``  -- run the ground-truth self-test: differential oracle,
+  round-trip, parallel/cache equivalence, and fitter recovery.
 
 Failure handling (see DESIGN.md, "Failure handling & degradation ladder"):
 every subcommand maps its outcome onto three exit codes --
@@ -222,6 +226,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return _exit_code(diagnostics, strict=args.strict)
 
 
+def _cmd_gen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.gen import generate_corpus
+    from repro.hdl.source import VERILOG, VHDL
+
+    languages = ((VERILOG, VHDL) if args.language == "both"
+                 else (args.language,))
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    manifest: dict[str, dict] = {}
+    for language in languages:
+        corpus = generate_corpus(language, args.count, seed=args.seed)
+        for gm in corpus:
+            for source in gm.sources:
+                (out / source.name).write_text(source.text, encoding="utf-8")
+            manifest[gm.name] = {
+                "language": gm.language,
+                "files": [s.name for s in gm.sources],
+                "top": gm.name,
+                "tiles": list(gm.tile_kinds),
+                "truth": gm.truth,
+            }
+    manifest_path = out / "manifest.json"
+    manifest_path.write_text(
+        json.dumps({"seed": args.seed, "modules": manifest}, indent=2,
+                   sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {len(manifest)} modules ({' + '.join(languages)}) "
+          f"and {manifest_path}")
+    return EXIT_OK
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.gen import run_selftest
+
+    report = run_selftest(
+        modules_per_language=args.modules,
+        seed=args.seed,
+        jobs=args.jobs,
+        recovery_datasets=args.datasets,
+        recovery_bootstrap=args.bootstrap,
+        skip_recovery=args.skip_recovery,
+        progress=(None if args.quiet
+                  else lambda msg: print(f"  .. {msg}", file=sys.stderr)),
+    )
+    print(report.render())
+    return EXIT_OK if report.ok else EXIT_FATAL
+
+
 def _cmd_timings(args: argparse.Namespace) -> int:
     try:
         rows = obs.read_jsonl(args.file)
@@ -331,6 +385,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the Figure 6 ablation (measures the bundled designs)",
     )
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "gen", help="generate a synthetic HDL corpus with known metrics",
+        parents=[common],
+    )
+    p.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory for the generated sources and manifest.json",
+    )
+    p.add_argument(
+        "--language", choices=["verilog", "vhdl", "both"], default="both",
+        help="which front end(s) to target (default: both)",
+    )
+    p.add_argument(
+        "--count", type=int, default=50, metavar="N",
+        help="modules per language (default 50)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="corpus seed; module i depends only on (seed, i)",
+    )
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser(
+        "selftest",
+        help="check the pipeline against generated ground truth",
+        parents=[common],
+    )
+    p.add_argument(
+        "--modules", type=int, default=50, metavar="N",
+        help="generated modules per language for the differential oracle "
+             "(default 50)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="corpus seed")
+    p.add_argument(
+        "--datasets", type=int, default=14, metavar="N",
+        help="replicate datasets in the recovery study (default 14)",
+    )
+    p.add_argument(
+        "--bootstrap", type=int, default=50, metavar="N",
+        help="bootstrap replicates per dataset for CI coverage "
+             "(default 50; 0 skips coverage)",
+    )
+    p.add_argument(
+        "--skip-recovery", action="store_true",
+        help="skip the (slower) fitter recovery study",
+    )
+    p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress lines on stderr",
+    )
+    p.set_defaults(func=_cmd_selftest)
 
     p = sub.add_parser(
         "timings", help="render the timings report from a --trace JSONL file",

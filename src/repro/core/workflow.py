@@ -209,6 +209,19 @@ class ComponentSpec:
     top: str
     policy: AccountingPolicy = AccountingPolicy.recommended()
 
+    @classmethod
+    def single(cls, name: str, source: SourceFile, *,
+               top: str | None = None,
+               policy: AccountingPolicy | None = None) -> "ComponentSpec":
+        """Spec for a single-file component (top defaults to ``name``)."""
+        return cls(
+            name=name,
+            sources=(source,),
+            top=name if top is None else top,
+            policy=AccountingPolicy.recommended() if policy is None
+            else policy,
+        )
+
 
 def measure_component_safe(
     sources: Sequence[SourceFile],

@@ -1,0 +1,62 @@
+"""Ground-truth generators and the harnesses that check the pipeline
+against them.
+
+Two generators, one idea: produce inputs whose correct answers are known
+*by construction*, then demand the pipeline reproduce them exactly.
+
+* :mod:`repro.gen.tiles` / :mod:`repro.gen.hdlgen` — synthetic
+  Verilog-2001 and VHDL modules with closed-form ``LoC``/``Stmts``/
+  ``Nets``/``Cells``/``FFs``/``FanInLC``;
+* :mod:`repro.gen.oracle` — the differential oracle over
+  ``measure_components``;
+* :mod:`repro.gen.recovery` — effort-model parameter-recovery studies
+  (weight bias + bootstrap-CI coverage for all three fitters);
+* :mod:`repro.gen.selftest` — the orchestrated ``repro selftest``
+  report.
+"""
+
+from repro.gen.hdlgen import (
+    GeneratedModule,
+    generate_corpus,
+    generate_module,
+)
+from repro.gen.oracle import (
+    ORACLE_METRICS,
+    OracleMismatch,
+    OracleReport,
+    corpus_specs,
+    run_differential_oracle,
+)
+from repro.gen.recovery import (
+    FITTER_NAMES,
+    FitterRecovery,
+    RecoveryStudy,
+    run_recovery_study,
+)
+from repro.gen.selftest import (
+    BIAS_TOLERANCE,
+    COVERAGE_BAND,
+    CheckResult,
+    SelfTestReport,
+    run_selftest,
+)
+
+__all__ = [
+    "BIAS_TOLERANCE",
+    "COVERAGE_BAND",
+    "CheckResult",
+    "FITTER_NAMES",
+    "FitterRecovery",
+    "GeneratedModule",
+    "ORACLE_METRICS",
+    "OracleMismatch",
+    "OracleReport",
+    "RecoveryStudy",
+    "SelfTestReport",
+    "corpus_specs",
+    "generate_corpus",
+    "generate_module",
+    "run_differential_oracle",
+    "run_recovery_study",
+    "run_selftest",
+]

@@ -1,0 +1,269 @@
+"""Seeded assembler: tiles -> complete modules with known ground truth.
+
+``generate_module`` draws a handful of tiles (see :mod:`repro.gen.tiles`),
+renders a complete, well-formed Verilog-2001 or VHDL source file around
+them, and sums the per-tile truths into the exact metric vector the
+measurement pipeline must reproduce:
+
+* ``Stmts`` — one per port (including a shared ``clk`` when any tile is
+  sequential) plus each tile's AST-item count, plus the items of any
+  auxiliary leaf modules in the same file;
+* ``LoC`` — counted *while emitting*: every rendered code line increments
+  the truth, while fuzzed-in comment lines, blank lines and Verilog block
+  comments do not (trailing comments ride on code lines and change
+  nothing).  This makes the comment stripper part of the tested surface;
+* ``Nets``/``Cells``/``FFs``/``FanInLC`` — per-tile closed forms, plus
+  auxiliary-module netlists once per instantiation (the oracle measures
+  with ``AccountingPolicy.disabled()``, one accounting entry per
+  instance).
+
+Determinism: all randomness flows through an explicit
+``numpy.random.Generator``.  ``generate_corpus`` gives module *i* its own
+generator spawned from ``SeedSequence(seed)``, so corpora are reproducible
+regardless of worker count or generation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accounting import AccountingPolicy
+from repro.core.workflow import ComponentSpec
+from repro.gen.tiles import TILE_KINDS, Tile, make_tile
+from repro.hdl.source import VERILOG, VHDL, SourceFile
+
+#: Comment payloads are deliberately adversarial: they look like code in
+#: the *other* half of the grammar so a sloppy stripper would change the
+#: statement counts.  None contain quotes or comment terminators.
+_COMMENT_POOL = (
+    "synthesis pragma: keep",
+    "assign fake_y = fake_a + fake_b;",
+    "if (reset) begin",
+    "end else begin",
+    "process(clk) is wrong here",
+    "entity bogus is port (x : in std_logic);",
+    "case sel is when others =>",
+    "always @(posedge nothing)",
+    "generate for fake in 0 to 3",
+    "TODO: tune widths",
+)
+
+
+@dataclass(frozen=True)
+class GeneratedModule:
+    """A generated source plus the metrics it must measure as."""
+
+    name: str
+    language: str
+    sources: tuple[SourceFile, ...]
+    truth: dict[str, float]
+    tile_kinds: tuple[str, ...]
+
+    @property
+    def spec(self) -> ComponentSpec:
+        """A workflow spec measuring this module under the predictable
+        (disabled) accounting policy."""
+        return ComponentSpec.single(
+            self.name, self.sources[0], top=self.name,
+            policy=AccountingPolicy.disabled())
+
+
+class _Emitter:
+    """Accumulates source lines while tracking the LoC ground truth."""
+
+    def __init__(self, language: str, rng: np.random.Generator,
+                 comment_level: float = 1.0) -> None:
+        self.language = language
+        self.rng = rng
+        self.level = comment_level
+        self.lines: list[str] = []
+        self.loc = 0
+
+    def _chance(self, p: float) -> bool:
+        return bool(self.rng.random() < p * self.level)
+
+    def _comment_text(self) -> str:
+        return str(self.rng.choice(_COMMENT_POOL))
+
+    def _maybe_noise(self) -> None:
+        """Insert non-code lines (never counted toward LoC)."""
+        if self._chance(0.10):
+            lead = "//" if self.language == VERILOG else "--"
+            self.lines.append(f"{lead} {self._comment_text()}")
+        if self._chance(0.08):
+            self.lines.append("")
+        if self.language == VERILOG and self._chance(0.04):
+            self.lines.append("/* " + self._comment_text())
+            for _ in range(int(self.rng.integers(0, 3))):
+                self.lines.append("   " + self._comment_text())
+            self.lines.append("*/")
+
+    def code(self, line: str, indent: int = 0) -> None:
+        """Emit one code line; counts toward LoC, may grow a trailing
+        comment."""
+        self._maybe_noise()
+        text = " " * indent + line
+        if self._chance(0.10):
+            lead = "//" if self.language == VERILOG else "--"
+            text += f"  {lead} {self._comment_text()}"
+        self.lines.append(text)
+        self.loc += 1
+
+    def blank(self) -> None:
+        self.lines.append("")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _emit_verilog(em: _Emitter, name: str, tiles: list[Tile],
+                  needs_clock: bool) -> None:
+    params = [p for t in tiles for p in t.params]
+    ports = (["input clk"] if needs_clock else [])
+    ports += [p for t in tiles for p in t.ports]
+
+    if params:
+        em.code(f"module {name} #(")
+        for i, p in enumerate(params):
+            em.code(p + ("," if i < len(params) - 1 else ""), indent=2)
+        em.code(") (")
+    else:
+        em.code(f"module {name} (")
+    for i, p in enumerate(ports):
+        em.code(p + ("," if i < len(ports) - 1 else ""), indent=2)
+    em.code(");")
+    for tile in tiles:
+        for line in tile.decls:
+            em.code(line, indent=2)
+        for line in tile.body:
+            em.code(line, indent=2)
+    em.code("endmodule")
+    # Auxiliary leaf modules share the file, after the top.
+    for tile in tiles:
+        for aux in tile.aux:
+            em.blank()
+            for line in aux.lines:
+                em.code(line)
+
+
+def _emit_vhdl(em: _Emitter, name: str, tiles: list[Tile],
+               needs_clock: bool) -> None:
+    em.code("library ieee;")
+    em.code("use ieee.std_logic_1164.all;")
+    em.code("use ieee.numeric_std.all;")
+    em.blank()
+    # Auxiliary entities first: real VHDL requires an entity to be
+    # analysed before it is instantiated.
+    for tile in tiles:
+        for aux in tile.aux:
+            for line in aux.lines:
+                em.code(line)
+            em.blank()
+
+    params = [p for t in tiles for p in t.params]
+    ports = (["clk : in std_logic"] if needs_clock else [])
+    ports += [p for t in tiles for p in t.ports]
+
+    em.code(f"entity {name} is")
+    if params:
+        em.code("generic (", indent=2)
+        for i, p in enumerate(params):
+            em.code(p + (";" if i < len(params) - 1 else ""), indent=4)
+        em.code(");", indent=2)
+    em.code("port (", indent=2)
+    for i, p in enumerate(ports):
+        em.code(p + (";" if i < len(ports) - 1 else ""), indent=4)
+    em.code(");", indent=2)
+    em.code("end entity;")
+    em.blank()
+    em.code(f"architecture rtl of {name} is")
+    for tile in tiles:
+        for line in tile.decls:
+            em.code(line, indent=2)
+    em.code("begin")
+    for tile in tiles:
+        for line in tile.body:
+            em.code(line, indent=2)
+    em.code("end architecture;")
+
+
+def generate_module(language: str, name: str, rng: np.random.Generator,
+                    *, n_tiles: int | None = None,
+                    comment_level: float = 1.0) -> GeneratedModule:
+    """Generate one module and its exact metric ground truth."""
+    if language not in (VERILOG, VHDL):
+        raise ValueError(f"unknown language {language!r}")
+    if n_tiles is None:
+        n_tiles = int(rng.integers(2, 6))
+    kinds = [str(rng.choice(TILE_KINDS)) for _ in range(n_tiles)]
+
+    tiles = [make_tile(kind, f"t{i}", language, rng, top=name)
+             for i, kind in enumerate(kinds)]
+    needs_clock = any(t.needs_clock for t in tiles)
+
+    em = _Emitter(language, rng, comment_level)
+    if language == VERILOG:
+        _emit_verilog(em, name, tiles, needs_clock)
+        filename = f"{name}.v"
+    else:
+        _emit_vhdl(em, name, tiles, needs_clock)
+        filename = f"{name}.vhd"
+
+    # Each tile's ``stmts`` already includes its ParamDecl items; ports
+    # are counted here (one statement per port declaration).
+    stmts = sum(t.stmts + len(t.ports) for t in tiles)
+    nets = sum(t.nets for t in tiles)
+    cells = sum(t.cells for t in tiles)
+    ffs = sum(t.ffs for t in tiles)
+    fanin = sum(t.fanin_lc for t in tiles)
+    if needs_clock:
+        stmts += 1   # the clk port declaration
+        nets += 1    # the clk input net
+    for tile in tiles:
+        for aux in tile.aux:
+            stmts += aux.stmts  # source text counted once...
+            nets += aux.instances * aux.nets    # ...netlist per instance
+            cells += aux.instances * aux.cells
+            ffs += aux.instances * aux.ffs
+            fanin += aux.instances * aux.fanin_lc
+
+    truth = {
+        "LoC": float(em.loc),
+        "Stmts": float(stmts),
+        "Nets": float(nets),
+        "Cells": float(cells),
+        "FFs": float(ffs),
+        "FanInLC": float(fanin),
+    }
+    return GeneratedModule(
+        name=name,
+        language=language,
+        sources=(SourceFile(name=filename, text=em.text()),),
+        truth=truth,
+        tile_kinds=tuple(kinds),
+    )
+
+
+def generate_corpus(language: str, count: int, seed: int = 0,
+                    *, name_prefix: str = "gm",
+                    comment_level: float = 1.0) -> list[GeneratedModule]:
+    """Generate ``count`` independent modules.
+
+    Module *i* uses its own child of ``SeedSequence(seed)``, so its
+    content depends only on ``(seed, i)`` — not on ``count`` or on any
+    other module — which keeps corpora stable across incremental reuse
+    and parallel measurement.
+    """
+    suffix = "v" if language == VERILOG else "h"
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [
+        generate_module(
+            language,
+            f"{name_prefix}{i:03d}_{suffix}",
+            np.random.default_rng(child),
+            comment_level=comment_level,
+        )
+        for i, child in enumerate(children)
+    ]

@@ -1,0 +1,576 @@
+"""Tile catalog for the ground-truth HDL generator.
+
+A *tile* is a small, self-contained fragment of RTL (a few ports plus a
+few lines of body) whose contribution to every pipeline metric is known in
+closed form, by construction.  Generated modules are concatenations of
+tiles with globally unique signal names, so per-tile truths add up:
+
+* tiles never share nets, so the synthesizer's common-subexpression
+  elimination cannot merge logic across tiles;
+* every tile's logic cones fit inside a single 8-input LUT, so the greedy
+  packer never re-roots anything and the FanInLC contribution of a tile is
+  exactly the sum of its root cut sizes;
+* constants are the only shared nets, and constants are excluded from
+  both the net count (``n_nets`` subtracts CONST0/CONST1) and LUT leaf
+  sets.
+
+Each factory returns a :class:`Tile` carrying rendered source lines for
+one language plus the exact ``Stmts``/``Nets``/``Cells``/``FFs``/
+``FanInLC`` contribution.  The formulas are verified against the real
+pipeline by ``tests/gen/test_oracle.py``; if a lowering or packing rule
+changes, the oracle — not this docstring — is the authority.
+
+Per-language asymmetries are deliberate and encoded here: VHDL boolean
+tests spell ``s = '1'``, which lowers through ``_eq`` to two extra INV
+cells (and nets) that Verilog's bare ``s ? a : b`` does not create.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hdl.source import VERILOG, VHDL
+
+
+@dataclass(frozen=True)
+class AuxModule:
+    """A helper module emitted alongside the top (for instance tiles)."""
+
+    name: str
+    lines: tuple[str, ...]
+    #: Metric contribution of ONE copy of this module's netlist.
+    stmts: int = 0
+    nets: int = 0
+    cells: int = 0
+    ffs: int = 0
+    fanin_lc: int = 0
+    #: How many times the top instantiates it (the disabled accounting
+    #: policy counts the netlist once per instance; source-level metrics
+    #: — Stmts and LoC — are counted once per module regardless).
+    instances: int = 1
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rendered RTL fragment plus its exact metric contribution."""
+
+    kind: str
+    #: Rendered parameter/generic declarations (no separators).
+    params: tuple[str, ...] = ()
+    #: Rendered port declarations (no separators, no trailing comma).
+    ports: tuple[str, ...] = ()
+    #: Internal declarations (``wire``/``signal`` lines, with ``;``).
+    decls: tuple[str, ...] = ()
+    #: Body statements (with ``;`` where required).
+    body: tuple[str, ...] = ()
+    #: AST items contributed to the top module (ports counted separately).
+    stmts: int = 0
+    nets: int = 0
+    cells: int = 0
+    ffs: int = 0
+    fanin_lc: int = 0
+    needs_clock: bool = False
+    aux: tuple[AuxModule, ...] = field(default=())
+
+
+def _vec(language: str, width: int) -> str:
+    """Render a vector type/range of the given width."""
+    if language == VERILOG:
+        return f"[{width - 1}:0] "
+    return f"std_logic_vector({width - 1} downto 0)"
+
+
+def _vport(language: str, name: str, direction: str, width: int | None) -> str:
+    """Render one port declaration (width ``None`` means scalar)."""
+    if language == VERILOG:
+        rng = "" if width is None else f"[{width - 1}:0] "
+        return f"{direction} {rng}{name}"
+    vhdl_dir = {"input": "in", "output": "out"}[direction]
+    typ = "std_logic" if width is None else _vec(VHDL, width)
+    return f"{name} : {vhdl_dir} {typ}"
+
+
+def _assign(language: str, target: str, value: str) -> str:
+    if language == VERILOG:
+        return f"assign {target} = {value};"
+    return f"{target} <= {value};"
+
+
+# ---------------------------------------------------------------------------
+# Combinational tiles
+# ---------------------------------------------------------------------------
+
+
+def t_and_or(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """``y = (a & b) | c`` — 2 cells and 3 cut leaves per bit."""
+    w = int(rng.integers(2, 7))
+    a, b, c, y = (f"{uid}_{p}" for p in "abcy")
+    if language == VERILOG:
+        body = (_assign(language, y, f"({a} & {b}) | {c}"),)
+    else:
+        body = (_assign(language, y, f"({a} and {b}) or {c}"),)
+    return Tile(
+        kind="and_or",
+        ports=tuple(_vport(language, n, d, w)
+                    for n, d in ((a, "input"), (b, "input"),
+                                 (c, "input"), (y, "output"))),
+        body=body,
+        stmts=1, nets=5 * w, cells=2 * w, fanin_lc=3 * w,
+    )
+
+
+def t_wire_stage(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Same logic as ``and_or`` but staged through an internal net."""
+    w = int(rng.integers(2, 7))
+    a, b, c, y, t = (f"{uid}_{p}" for p in "abcyt")
+    if language == VERILOG:
+        decls = (f"wire [{w - 1}:0] {t};",)
+        body = (_assign(language, t, f"{a} & {b}"),
+                _assign(language, y, f"{t} | {c}"))
+    else:
+        decls = (f"signal {t} : {_vec(VHDL, w)};",)
+        body = (_assign(language, t, f"{a} and {b}"),
+                _assign(language, y, f"{t} or {c}"))
+    return Tile(
+        kind="wire_stage",
+        ports=tuple(_vport(language, n, d, w)
+                    for n, d in ((a, "input"), (b, "input"),
+                                 (c, "input"), (y, "output"))),
+        decls=decls,
+        body=body,
+        stmts=3, nets=5 * w, cells=2 * w, fanin_lc=3 * w,
+    )
+
+
+def t_mux(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """2:1 mux.  VHDL's ``s = '1'`` costs two extra INV cells/nets."""
+    w = int(rng.integers(2, 6))
+    a, b, s, y = (f"{uid}_{p}" for p in "absy")
+    if language == VERILOG:
+        body = (_assign(language, y, f"{s} ? {a} : {b}"),)
+        nets, cells = 3 * w + 1, w
+    else:
+        body = (f"{y} <= {a} when {s} = '1' else {b};",)
+        nets, cells = 3 * w + 3, w + 2
+    return Tile(
+        kind="mux",
+        ports=(
+            _vport(language, a, "input", w),
+            _vport(language, b, "input", w),
+            _vport(language, s, "input", None),
+            _vport(language, y, "output", w),
+        ),
+        body=body,
+        stmts=1, nets=nets, cells=cells, fanin_lc=3 * w,
+    )
+
+
+def t_xor_chain(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Parity reduce: unary ``^a`` in Verilog, an xor chain in VHDL."""
+    w = int(rng.integers(2, 9))
+    a, y = f"{uid}_a", f"{uid}_y"
+    if language == VERILOG:
+        body = (_assign(language, y, f"^{a}"),)
+    else:
+        chain = " xor ".join(f"{a}({i})" for i in range(w))
+        body = (_assign(language, y, chain),)
+    return Tile(
+        kind="xor_chain",
+        ports=(_vport(language, a, "input", w),
+               _vport(language, y, "output", None)),
+        body=body,
+        stmts=1, nets=2 * w - 1, cells=w - 1, fanin_lc=w,
+    )
+
+
+def t_adder(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Ripple adder, W <= 3 so the dead final-carry cone fits one LUT."""
+    w = int(rng.integers(1, 4))
+    a, b, y = (f"{uid}_{p}" for p in "aby")
+    if language == VERILOG:
+        body = (_assign(language, y, f"{a} + {b}"),)
+    else:
+        body = (_assign(
+            language, y,
+            f"std_logic_vector(unsigned({a}) + unsigned({b}))"),)
+    return Tile(
+        kind="adder",
+        ports=(_vport(language, a, "input", w),
+               _vport(language, b, "input", w),
+               _vport(language, y, "output", w)),
+        body=body,
+        stmts=1, nets=7 * w - 3, cells=5 * w - 3,
+        fanin_lc=w * (w + 1),
+    )
+
+
+def t_shift_const(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Constant left shift — pure wiring, zero cells."""
+    w = int(rng.integers(2, 7))
+    k = int(rng.integers(1, w))
+    a, y = f"{uid}_a", f"{uid}_y"
+    if language == VERILOG:
+        body = (_assign(language, y, f"{a} << {k}"),)
+    else:
+        body = (_assign(
+            language, y, f"std_logic_vector(unsigned({a}) sll {k})"),)
+    return Tile(
+        kind="shift_const",
+        ports=(_vport(language, a, "input", w),
+               _vport(language, y, "output", w)),
+        body=body,
+        stmts=1, nets=w, cells=0, fanin_lc=0,
+    )
+
+
+def t_concat_pair(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """``y = {a, b}`` — wiring only; y is twice as wide."""
+    w = int(rng.integers(2, 5))
+    a, b, y = (f"{uid}_{p}" for p in "aby")
+    if language == VERILOG:
+        body = (_assign(language, y, f"{{{a}, {b}}}"),)
+    else:
+        body = (_assign(language, y, f"{a} & {b}"),)
+    return Tile(
+        kind="concat_pair",
+        ports=(_vport(language, a, "input", w),
+               _vport(language, b, "input", w),
+               _vport(language, y, "output", 2 * w)),
+        body=body,
+        stmts=1, nets=2 * w, cells=0, fanin_lc=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sequential tiles
+# ---------------------------------------------------------------------------
+
+
+def t_register(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Plain register: W flip-flops, no combinational logic."""
+    w = int(rng.integers(2, 7))
+    d, q = f"{uid}_d", f"{uid}_q"
+    if language == VERILOG:
+        ports = (_vport(language, d, "input", w),
+                 f"output reg [{w - 1}:0] {q}")
+        body = (
+            "always @(posedge clk) begin",
+            f"  {q} <= {d};",
+            "end",
+        )
+    else:
+        ports = (_vport(language, d, "input", w),
+                 _vport(language, q, "output", w))
+        body = (
+            "process(clk)",
+            "begin",
+            "  if rising_edge(clk) then",
+            f"    {q} <= {d};",
+            "  end if;",
+            "end process;",
+        )
+    return Tile(
+        kind="register",
+        ports=ports,
+        body=body,
+        stmts=2, nets=2 * w, cells=0, ffs=w, fanin_lc=0,
+        needs_clock=True,
+    )
+
+
+def t_regxor(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Registered xor: one XOR2 cone (2 leaves) feeding each flop."""
+    w = int(rng.integers(2, 6))
+    a, b, q = (f"{uid}_{p}" for p in "abq")
+    if language == VERILOG:
+        ports = (_vport(language, a, "input", w),
+                 _vport(language, b, "input", w),
+                 f"output reg [{w - 1}:0] {q}")
+        body = (
+            "always @(posedge clk) begin",
+            f"  {q} <= {a} ^ {b};",
+            "end",
+        )
+    else:
+        ports = (_vport(language, a, "input", w),
+                 _vport(language, b, "input", w),
+                 _vport(language, q, "output", w))
+        body = (
+            "process(clk)",
+            "begin",
+            "  if rising_edge(clk) then",
+            f"    {q} <= {a} xor {b};",
+            "  end if;",
+            "end process;",
+        )
+    return Tile(
+        kind="regxor",
+        ports=ports,
+        body=body,
+        stmts=2, nets=4 * w, cells=w, ffs=w, fanin_lc=2 * w,
+        needs_clock=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Structural / generate tiles
+# ---------------------------------------------------------------------------
+
+
+def t_genloop_and(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """A generate-for over N bitwise ANDs (1 loop item + 1 body item)."""
+    n = int(rng.integers(2, 7))
+    a, b, y, g = f"{uid}_a", f"{uid}_b", f"{uid}_y", f"{uid}_g"
+    if language == VERILOG:
+        body = (
+            f"genvar {g};",
+            "generate",
+            f"  for ({g} = 0; {g} < {n}; {g} = {g} + 1) begin : {uid}_blk",
+            f"    assign {y}[{g}] = {a}[{g}] & {b}[{g}];",
+            "  end",
+            "endgenerate",
+        )
+    else:
+        body = (
+            f"{uid}_blk: for {g} in 0 to {n - 1} generate",
+            f"  {y}({g}) <= {a}({g}) and {b}({g});",
+            "end generate;",
+        )
+    return Tile(
+        kind="genloop_and",
+        ports=(_vport(language, a, "input", n),
+               _vport(language, b, "input", n),
+               _vport(language, y, "output", n)),
+        body=body,
+        stmts=2, nets=3 * n, cells=n, fanin_lc=2 * n,
+    )
+
+
+def t_param_width(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Width taken from a parameter/generic; inverter per bit.
+
+    Only predictable under ``AccountingPolicy.disabled()`` (which
+    elaborates at the declared defaults); the recommended policy would
+    resynthesize at minimal parameters.
+    """
+    w = int(rng.integers(2, 7))
+    p, a, y = f"{uid}_p", f"{uid}_a", f"{uid}_y"
+    if language == VERILOG:
+        params = (f"parameter {p} = {w}",)
+        ports = (f"input [{p}-1:0] {a}", f"output [{p}-1:0] {y}")
+        body = (_assign(language, y, f"~{a}"),)
+    else:
+        params = (f"{p} : integer := {w}",)
+        ports = (f"{a} : in std_logic_vector({p}-1 downto 0)",
+                 f"{y} : out std_logic_vector({p}-1 downto 0)")
+        body = (_assign(language, y, f"not {a}"),)
+    return Tile(
+        kind="param_width",
+        params=params,
+        ports=ports,
+        body=body,
+        stmts=2, nets=2 * w, cells=w, fanin_lc=w,
+    )
+
+
+def t_child_instance(uid: str, language: str, rng: np.random.Generator,
+                     *, top: str) -> Tile:
+    """Instantiate a leaf inverter module once or twice.
+
+    The disabled policy selects one accounting entry per *instance*, so a
+    doubly-instantiated leaf contributes its netlist twice — but its
+    source text (Stmts, LoC) only once.
+    """
+    w = int(rng.integers(2, 5))
+    n_inst = int(rng.integers(1, 3))
+    leaf = f"{top}_{uid}_leaf"
+    x, z = f"{leaf}_x", f"{leaf}_z"
+
+    if language == VERILOG:
+        leaf_lines = (
+            f"module {leaf} (",
+            f"  input [{w - 1}:0] {x},",
+            f"  output [{w - 1}:0] {z}",
+            ");",
+            f"  assign {z} = ~{x};",
+            "endmodule",
+        )
+    else:
+        leaf_lines = (
+            f"entity {leaf} is",
+            "  port (",
+            f"    {x} : in {_vec(VHDL, w)};",
+            f"    {z} : out {_vec(VHDL, w)}",
+            "  );",
+            "end entity;",
+            f"architecture rtl of {leaf} is",
+            "begin",
+            f"  {z} <= not {x};",
+            "end architecture;",
+        )
+    aux = AuxModule(
+        name=leaf, lines=leaf_lines,
+        # 2 ports + 1 assign; netlist: W input nets + W INV cells.
+        stmts=3, nets=2 * w, cells=w, fanin_lc=w,
+        instances=n_inst,
+    )
+
+    ports: list[str] = []
+    body: list[str] = []
+    for i in range(n_inst):
+        a, y = f"{uid}_a{i}", f"{uid}_y{i}"
+        ports.append(_vport(language, a, "input", w))
+        ports.append(_vport(language, y, "output", w))
+        if language == VERILOG:
+            body.append(f"{leaf} {uid}_i{i} ( .{x}({a}), .{z}({y}) );")
+        else:
+            body.append(
+                f"{uid}_i{i}: entity work.{leaf} "
+                f"port map ({x} => {a}, {z} => {y});")
+    # Per instance the parent allocates W input nets plus W blackbox
+    # source nets for the child's outputs; no cells, no LUT roots.
+    return Tile(
+        kind="child_instance",
+        ports=tuple(ports),
+        body=tuple(body),
+        stmts=n_inst, nets=n_inst * 2 * w, cells=0, fanin_lc=0,
+        aux=(aux,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process tiles
+# ---------------------------------------------------------------------------
+
+
+def t_ifmux(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """Combinational if/else process — same netlist as the ternary mux."""
+    w = int(rng.integers(2, 6))
+    a, b, s, y = (f"{uid}_{p}" for p in "absy")
+    if language == VERILOG:
+        ports = (_vport(language, a, "input", w),
+                 _vport(language, b, "input", w),
+                 _vport(language, s, "input", None),
+                 f"output reg [{w - 1}:0] {y}")
+        body = (
+            "always @* begin",
+            f"  if ({s}) begin",
+            f"    {y} = {a};",
+            "  end else begin",
+            f"    {y} = {b};",
+            "  end",
+            "end",
+        )
+        nets, cells = 3 * w + 1, w
+    else:
+        ports = (_vport(language, a, "input", w),
+                 _vport(language, b, "input", w),
+                 _vport(language, s, "input", None),
+                 _vport(language, y, "output", w))
+        body = (
+            f"process({s}, {a}, {b})",
+            "begin",
+            f"  if {s} = '1' then",
+            f"    {y} <= {a};",
+            "  else",
+            f"    {y} <= {b};",
+            "  end if;",
+            "end process;",
+        )
+        nets, cells = 3 * w + 3, w + 2
+    # ProcessBlock(1) + If(1) + 2 assigns.
+    return Tile(
+        kind="ifmux",
+        ports=ports,
+        body=body,
+        stmts=4, nets=nets, cells=cells, fanin_lc=3 * w,
+    )
+
+
+def t_case_unit(uid: str, language: str, rng: np.random.Generator) -> Tile:
+    """4-way case over a 2-bit selector.
+
+    The three ``sel == k`` comparators cost 2+3+3 cells; each output bit
+    is a 3-deep MUX2 chain whose packed root cut is exactly
+    ``{sel0, sel1, a_i, b_i, c_i, d_i}`` — six leaves per bit.
+    """
+    w = int(rng.integers(1, 5))
+    sel = f"{uid}_sel"
+    a, b, c, d, y = (f"{uid}_{p}" for p in "abcdy")
+    if language == VERILOG:
+        ports = (
+            f"input [1:0] {sel}",
+            _vport(language, a, "input", w),
+            _vport(language, b, "input", w),
+            _vport(language, c, "input", w),
+            _vport(language, d, "input", w),
+            f"output reg [{w - 1}:0] {y}",
+        )
+        body = (
+            "always @* begin",
+            f"  case ({sel})",
+            f"    2'd0: {y} = {a};",
+            f"    2'd1: {y} = {b};",
+            f"    2'd2: {y} = {c};",
+            f"    default: {y} = {d};",
+            "  endcase",
+            "end",
+        )
+    else:
+        ports = (
+            f"{sel} : in std_logic_vector(1 downto 0)",
+            _vport(language, a, "input", w),
+            _vport(language, b, "input", w),
+            _vport(language, c, "input", w),
+            _vport(language, d, "input", w),
+            _vport(language, y, "output", w),
+        )
+        body = (
+            f"process({sel}, {a}, {b}, {c}, {d})",
+            "begin",
+            f"  case {sel} is",
+            f'    when "00" => {y} <= {a};',
+            f'    when "01" => {y} <= {b};',
+            f'    when "10" => {y} <= {c};',
+            f"    when others => {y} <= {d};",
+            "  end case;",
+            "end process;",
+        )
+    # ProcessBlock(1) + Case(1 + 4 one-statement arms).
+    return Tile(
+        kind="case_unit",
+        ports=ports,
+        body=body,
+        stmts=6, nets=7 * w + 10, cells=3 * w + 8, fanin_lc=6 * w,
+    )
+
+
+#: kind -> factory.  ``child_instance`` needs the top name and is handled
+#: specially by the assembler.
+FACTORIES = {
+    "and_or": t_and_or,
+    "wire_stage": t_wire_stage,
+    "mux": t_mux,
+    "xor_chain": t_xor_chain,
+    "adder": t_adder,
+    "shift_const": t_shift_const,
+    "concat_pair": t_concat_pair,
+    "register": t_register,
+    "regxor": t_regxor,
+    "genloop_and": t_genloop_and,
+    "param_width": t_param_width,
+    "ifmux": t_ifmux,
+    "case_unit": t_case_unit,
+}
+
+TILE_KINDS = tuple(FACTORIES) + ("child_instance",)
+
+
+def make_tile(kind: str, uid: str, language: str,
+              rng: np.random.Generator, *, top: str) -> Tile:
+    """Build one tile; dispatches on ``kind``."""
+    if kind == "child_instance":
+        return t_child_instance(uid, language, rng, top=top)
+    return FACTORIES[kind](uid, language, rng)

@@ -1,0 +1,308 @@
+"""Print the language-neutral AST back out as Verilog-2001 source.
+
+The printer closes the round-trip loop used by the generator self-tests:
+``parse -> print -> re-parse`` must preserve every statement-level and
+netlist-level metric (LoC is excluded — formatting is the printer's own).
+Because the AST is shared between the two front ends, a VHDL design can
+be printed as Verilog and must still synthesize to the identical netlist.
+
+Output conventions:
+
+* expressions are fully parenthesized, so no precedence knowledge is
+  required (or trusted) on the way back in;
+* non-local parameters print in the ANSI ``#(parameter ...)`` header —
+  the parser re-appends them as leading items, matching both front ends'
+  item order;
+* ``reg``-ness does not exist in the AST; it is re-inferred by walking
+  process bodies for assignment targets;
+* ``genvar`` declarations (consumed without an AST item by the parser)
+  are re-emitted, deduplicated, before the first generate region.
+
+Constructs with no Verilog-2001 surface form (VHDL ``(others => ...)``
+aggregates, explicit ``Resize`` nodes, attribute unaries) raise
+:class:`PrintError` rather than emitting something silently wrong.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import ast
+
+__all__ = ["PrintError", "print_expr", "print_module", "print_design"]
+
+
+class PrintError(ValueError):
+    """An AST node has no Verilog-2001 spelling."""
+
+
+_UNARY_OPS = frozenset("~!-&|^") | {"~&", "~|"}
+_BINARY_OPS = frozenset({
+    "&", "|", "^", "&&", "||", "==", "!=", "<", "<=", ">", ">=",
+    "<<", ">>", "+", "-", "*", "/", "%",
+})
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render one expression, fully parenthesized."""
+    if isinstance(expr, ast.Number):
+        if expr.width is not None:
+            mask = (1 << expr.width) - 1
+            return f"{expr.width}'d{expr.value & mask}"
+        return str(expr.value)
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.Select):
+        return f"{_print_base(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.PartSelect):
+        return (f"{_print_base(expr.base)}"
+                f"[{print_expr(expr.msb)}:{print_expr(expr.lsb)}]")
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(print_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, ast.Repeat):
+        return ("{" + print_expr(expr.count)
+                + "{" + print_expr(expr.value) + "}}")
+    if isinstance(expr, ast.Unary):
+        if expr.op not in _UNARY_OPS:
+            raise PrintError(
+                f"unary operator {expr.op!r} has no Verilog-2001 form "
+                "(VHDL attribute expressions cannot round-trip)")
+        return f"({expr.op}{print_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        if expr.op not in _BINARY_OPS:
+            raise PrintError(f"binary operator {expr.op!r} is not printable")
+        return f"({print_expr(expr.lhs)} {expr.op} {print_expr(expr.rhs)})"
+    if isinstance(expr, ast.Ternary):
+        return (f"({print_expr(expr.cond)} ? {print_expr(expr.then)}"
+                f" : {print_expr(expr.other)})")
+    if isinstance(expr, ast.Resize):
+        raise PrintError(
+            "Resize has no explicit Verilog-2001 form; width adaptation "
+            "is implicit and would change on re-parse")
+    if isinstance(expr, ast.Others):
+        raise PrintError(
+            "(others => ...) aggregates have no Verilog-2001 form")
+    raise PrintError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _print_base(base: ast.Expr) -> str:
+    """A select base: bare identifiers stay bare, anything else gets
+    parentheses (the parser allows selects after a parenthesized
+    expression)."""
+    if isinstance(base, ast.Ident):
+        return base.name
+    return f"({print_expr(base)})"
+
+
+def _assigned_names(stmts: tuple[ast.Stmt, ...], into: set[str]) -> None:
+    """Collect base names assigned anywhere inside process statements."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            target = stmt.target
+            while isinstance(target, (ast.Select, ast.PartSelect)):
+                target = target.base
+            if isinstance(target, ast.Ident):
+                into.add(target.name)
+            elif isinstance(target, ast.Concat):
+                for part in target.parts:
+                    _assigned_names((ast.Assign(part, ast.Number(0)),), into)
+        elif isinstance(stmt, ast.If):
+            _assigned_names(stmt.then_body, into)
+            _assigned_names(stmt.else_body, into)
+        elif isinstance(stmt, ast.Case):
+            for arm in stmt.items:
+                _assigned_names(arm.body, into)
+        elif isinstance(stmt, ast.For):
+            into.add(stmt.var)
+            _assigned_names(stmt.body, into)
+
+
+def _reg_names(items: tuple[ast.Item, ...]) -> set[str]:
+    names: set[str] = set()
+
+    def walk(seq: tuple[ast.Item, ...]) -> None:
+        for item in seq:
+            if isinstance(item, ast.ProcessBlock):
+                _assigned_names(item.body, names)
+            elif isinstance(item, ast.GenerateFor):
+                walk(item.body)
+            elif isinstance(item, ast.GenerateIf):
+                walk(item.then_body)
+                walk(item.else_body)
+
+    walk(items)
+    return names
+
+
+def _genvar_names(items: tuple[ast.Item, ...]) -> list[str]:
+    seen: list[str] = []
+
+    def walk(seq: tuple[ast.Item, ...]) -> None:
+        for item in seq:
+            if isinstance(item, ast.GenerateFor):
+                if item.var not in seen:
+                    seen.append(item.var)
+                walk(item.body)
+            elif isinstance(item, ast.GenerateIf):
+                walk(item.then_body)
+                walk(item.else_body)
+
+    walk(items)
+    return seen
+
+
+class _Printer:
+    def __init__(self, module: ast.Module) -> None:
+        self.module = module
+        self.regs = _reg_names(tuple(module.items))
+        self.out: list[str] = []
+
+    def line(self, text: str, indent: int) -> None:
+        self.out.append("  " * indent + text if text else "")
+
+    # -- statements -------------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt, ind: int) -> None:
+        if isinstance(stmt, ast.Assign):
+            op = "=" if stmt.blocking else "<="
+            self.line(
+                f"{print_expr(stmt.target)} {op} {print_expr(stmt.value)};",
+                ind)
+        elif isinstance(stmt, ast.If):
+            self.line(f"if ({print_expr(stmt.cond)}) begin", ind)
+            for s in stmt.then_body:
+                self.stmt(s, ind + 1)
+            if stmt.else_body:
+                self.line("end else begin", ind)
+                for s in stmt.else_body:
+                    self.stmt(s, ind + 1)
+            self.line("end", ind)
+        elif isinstance(stmt, ast.Case):
+            self.line(f"case ({print_expr(stmt.subject)})", ind)
+            for arm in stmt.items:
+                label = ("default" if not arm.choices else
+                         ", ".join(print_expr(c) for c in arm.choices))
+                self.line(f"{label}: begin", ind + 1)
+                for s in arm.body:
+                    self.stmt(s, ind + 2)
+                self.line("end", ind + 1)
+            self.line("endcase", ind)
+        elif isinstance(stmt, ast.For):
+            header = (f"for ({stmt.var} = {print_expr(stmt.start)}; "
+                      f"{print_expr(stmt.cond)}; "
+                      f"{stmt.var} = {print_expr(stmt.step)}) begin")
+            self.line(header, ind)
+            for s in stmt.body:
+                self.stmt(s, ind + 1)
+            self.line("end", ind)
+        else:
+            raise PrintError(f"cannot print statement {type(stmt).__name__}")
+
+    # -- items ------------------------------------------------------------
+
+    def item(self, item: ast.Item, ind: int) -> None:
+        if isinstance(item, ast.ParamDecl):
+            # Non-local parameters were lifted into the header.
+            self.line(
+                f"localparam {item.name} = {print_expr(item.default)};", ind)
+        elif isinstance(item, ast.SignalDecl):
+            kw = "reg" if item.name in self.regs else "wire"
+            rng = self._range(item.msb, item.lsb)
+            mem = ""
+            if item.depth is not None:
+                mem = f" [0:({print_expr(item.depth)})-1]"
+            self.line(f"{kw} {rng}{item.name}{mem};", ind)
+        elif isinstance(item, ast.ContinuousAssign):
+            self.line(
+                f"assign {print_expr(item.target)} = "
+                f"{print_expr(item.value)};", ind)
+        elif isinstance(item, ast.ProcessBlock):
+            if item.kind == "seq":
+                self.line(f"always @(posedge {item.clock}) begin", ind)
+            else:
+                self.line("always @* begin", ind)
+            for s in item.body:
+                self.stmt(s, ind + 1)
+            self.line("end", ind)
+        elif isinstance(item, ast.Instance):
+            text = item.module_name
+            if item.param_overrides:
+                overrides = ", ".join(
+                    f".{n}({print_expr(v)})" for n, v in item.param_overrides)
+                text += f" #({overrides})"
+            conns = ", ".join(
+                f".{n}({print_expr(v)})" if n else print_expr(v)
+                for n, v in item.connections)
+            self.line(f"{text} {item.name} ({conns});", ind)
+        elif isinstance(item, ast.GenerateFor):
+            self.line("generate", ind)
+            label = f" : {item.label}" if item.label else ""
+            self.line(
+                f"for ({item.var} = {print_expr(item.start)}; "
+                f"{print_expr(item.cond)}; "
+                f"{item.var} = {print_expr(item.step)}) begin{label}",
+                ind + 1)
+            for sub in item.body:
+                self.item(sub, ind + 2)
+            self.line("end", ind + 1)
+            self.line("endgenerate", ind)
+        elif isinstance(item, ast.GenerateIf):
+            self.line("generate", ind)
+            self.line(f"if ({print_expr(item.cond)}) begin", ind + 1)
+            for sub in item.then_body:
+                self.item(sub, ind + 2)
+            if item.else_body:
+                self.line("end else begin", ind + 1)
+                for sub in item.else_body:
+                    self.item(sub, ind + 2)
+            self.line("end", ind + 1)
+            self.line("endgenerate", ind)
+        else:
+            raise PrintError(f"cannot print item {type(item).__name__}")
+
+    def _range(self, msb: ast.Expr | None, lsb: ast.Expr | None) -> str:
+        if msb is None:
+            return ""
+        lo = "0" if lsb is None else print_expr(lsb)
+        return f"[{print_expr(msb)}:{lo}] "
+
+    # -- module -----------------------------------------------------------
+
+    def render(self) -> str:
+        mod = self.module
+        header_params = [i for i in mod.items
+                         if isinstance(i, ast.ParamDecl) and not i.local]
+        body_items = [i for i in mod.items if i not in header_params]
+
+        if header_params:
+            self.line(f"module {mod.name} #(", 0)
+            for i, p in enumerate(header_params):
+                comma = "," if i < len(header_params) - 1 else ""
+                self.line(
+                    f"parameter {p.name} = {print_expr(p.default)}{comma}", 1)
+            self.line(") (", 0)
+        else:
+            self.line(f"module {mod.name} (", 0)
+        ports = list(mod.ports)
+        for i, port in enumerate(ports):
+            reg = (" reg" if port.direction == "output"
+                   and port.name in self.regs else "")
+            rng = self._range(port.msb, port.lsb)
+            comma = "," if i < len(ports) - 1 else ""
+            self.line(f"{port.direction}{reg} {rng}{port.name}{comma}", 1)
+        self.line(");", 0)
+
+        for name in _genvar_names(tuple(body_items)):
+            self.line(f"genvar {name};", 1)
+        for item in body_items:
+            self.item(item, 1)
+        self.line("endmodule", 0)
+        return "\n".join(self.out) + "\n"
+
+
+def print_module(module: ast.Module) -> str:
+    """Render one module as Verilog-2001 source."""
+    return _Printer(module).render()
+
+
+def print_design(design: ast.Design) -> str:
+    """Render every module in a design, top-down by insertion order."""
+    return "\n".join(print_module(m) for m in design.modules.values())

@@ -1,0 +1,79 @@
+"""Recovery-study tests: cheap API checks plus the tier-2 ``-m gen`` run.
+
+The unmarked tests exercise the study plumbing (argument validation,
+determinism) with bootstrap disabled, so they ride in tier-1.  The
+``gen``-marked tests run the selftest-default seeded study — 14 datasets
+with 50 cluster-bootstrap replicates each — and hold every fitter to the
+documented tolerances from :mod:`repro.gen.selftest`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gen.recovery import FITTER_NAMES, run_recovery_study
+from repro.gen.selftest import BIAS_TOLERANCE, COVERAGE_BAND
+
+
+def test_unknown_fitter_rejected():
+    with pytest.raises(ValueError, match="unknown fitter"):
+        run_recovery_study(fitters=("exact-ml", "mystery"), n_bootstrap=0)
+
+
+def test_bootstrap_fitter_must_be_requested():
+    with pytest.raises(ValueError, match="not among fitters"):
+        run_recovery_study(fitters=("exact-ml",),
+                           bootstrap_fitters=("fixed-effects",),
+                           n_bootstrap=0)
+
+
+def test_small_study_is_deterministic():
+    kwargs = dict(fitters=("exact-ml",), n_datasets=2, n_bootstrap=0,
+                  seed=123)
+    a = run_recovery_study(**kwargs)
+    b = run_recovery_study(**kwargs)
+    assert a.fitter("exact-ml").rel_bias == b.fitter("exact-ml").rel_bias
+    assert a.fitter("exact-ml").ci_coverage is None
+
+
+def test_bias_reported_per_weight():
+    study = run_recovery_study(
+        fitters=("fixed-effects",), n_datasets=2, n_bootstrap=0, seed=7,
+        metric_names=("FanInLC", "Stmts"))
+    fe = study.fitter("fixed-effects")
+    assert fe.metric_names == ("FanInLC", "Stmts")
+    assert len(fe.rel_bias) == 2
+    assert fe.max_abs_rel_bias == pytest.approx(
+        max(abs(b) for b in fe.rel_bias))
+    assert np.isfinite(fe.max_abs_rel_bias)
+
+
+@pytest.fixture(scope="module")
+def default_study():
+    # The exact configuration `repro selftest` runs by default.
+    return run_recovery_study(n_datasets=14, n_bootstrap=50, seed=0)
+
+
+@pytest.mark.gen
+@pytest.mark.parametrize("fitter", FITTER_NAMES)
+def test_weight_bias_within_tolerance(default_study, fitter):
+    result = default_study.fitter(fitter)
+    assert result.n_datasets_fit == 14
+    assert result.failures == 0
+    assert result.max_abs_rel_bias <= BIAS_TOLERANCE[fitter]
+
+
+@pytest.mark.gen
+def test_exact_ml_coverage_in_band(default_study):
+    ml = default_study.fitter("exact-ml")
+    assert ml.ci_coverage is not None
+    assert ml.n_ci_checks == 28  # 14 datasets x 2 weights
+    lo, hi = COVERAGE_BAND
+    assert lo <= ml.ci_coverage <= hi
+
+
+@pytest.mark.gen
+def test_laplace_excluded_from_bootstrap_by_default(default_study):
+    # Laplace refits cost ~100x an exact-ML refit, so coverage is
+    # opt-in for it (bootstrap_fitters=FITTER_NAMES).
+    assert default_study.fitter("laplace").ci_coverage is None
+    assert default_study.fitter("fixed-effects").ci_coverage is not None

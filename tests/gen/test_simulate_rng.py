@@ -1,0 +1,58 @@
+"""Explicit-RNG reproducibility for the effort simulator (satellite).
+
+``simulate_dataset`` must accept an explicit ``numpy.random.Generator``
+(or ``SeedSequence``) and never touch global NumPy RNG state, so that
+corpora and recovery studies are reproducible under parallel execution.
+"""
+
+import numpy as np
+
+from repro.stats.simulate import simulate_dataset
+
+_ARGS = ([0.05, 0.012], 0.3, 0.4, [3, 3, 2])
+
+
+def test_generator_seed_reproducible():
+    a = simulate_dataset(*_ARGS, seed=np.random.default_rng(123))
+    b = simulate_dataset(*_ARGS, seed=np.random.default_rng(123))
+    np.testing.assert_array_equal(a.data.efforts, b.data.efforts)
+    np.testing.assert_array_equal(a.data.metrics, b.data.metrics)
+    assert a.true_productivities == b.true_productivities
+
+
+def test_generator_matches_int_seed():
+    # default_rng(int) and an explicitly constructed generator with the
+    # same seed must be interchangeable.
+    a = simulate_dataset(*_ARGS, seed=123)
+    b = simulate_dataset(*_ARGS, seed=np.random.default_rng(123))
+    np.testing.assert_array_equal(a.data.efforts, b.data.efforts)
+
+
+def test_seed_sequence_children_are_independent():
+    children = np.random.SeedSequence(7).spawn(2)
+    a = simulate_dataset(*_ARGS, seed=np.random.default_rng(children[0]))
+    b = simulate_dataset(*_ARGS, seed=np.random.default_rng(children[1]))
+    assert not np.array_equal(a.data.efforts, b.data.efforts)
+
+
+def test_global_rng_state_untouched():
+    np.random.seed(42)
+    before = np.random.get_state()[1].copy()
+    simulate_dataset(*_ARGS, seed=0)
+    after = np.random.get_state()[1]
+    np.testing.assert_array_equal(before, after)
+
+
+def test_order_independence_of_spawned_streams():
+    # Drawing dataset 1 before dataset 0 must not change either --
+    # the property the recovery study and corpus generator rely on
+    # for jobs=N reproducibility.
+    children = np.random.SeedSequence(11).spawn(2)
+    forward = [simulate_dataset(*_ARGS, seed=np.random.default_rng(c))
+               for c in children]
+    backward = [simulate_dataset(*_ARGS, seed=np.random.default_rng(c))
+                for c in reversed(children)]
+    np.testing.assert_array_equal(forward[0].data.efforts,
+                                  backward[1].data.efforts)
+    np.testing.assert_array_equal(forward[1].data.efforts,
+                                  backward[0].data.efforts)
