@@ -62,6 +62,17 @@ def main() -> None:
     print(f"\nmeasured {spec.label}: LoC={m.metrics['LoC']:.0f}, "
           f"Stmts={m.metrics['Stmts']:.0f}, FanInLC={m.metrics['FanInLC']:.0f}")
 
+    # Audit the same sources against the Section 2.2 accounting rules
+    # (duplicate components, non-minimal parameters, dead code) before
+    # trusting the numbers above.  (See DESIGN.md, "Accounting linter".)
+    from repro.lint import lint_sources
+
+    lint = lint_sources(load_sources(spec))
+    print(f"lint verdict for {spec.label}: {lint.summary()} "
+          f"(exit code {lint.exit_code})")
+    for finding in lint.findings[:3]:
+        print(f"  {finding.rule}: {finding.message}")
+
     # Where did the time go?  (See DESIGN.md, "Observability".)
     obs.deactivate()
     rate = hit_rate()

@@ -12,6 +12,9 @@ Subcommands:
   published data (or a provided CSV).
 * ``gen``       -- write a seeded synthetic HDL corpus (plus its metric
   ground truth manifest) to a directory.
+* ``lint``      -- statically audit HDL files against the Section 2.2
+  accounting procedure (duplicates, non-minimal parameters, dead code)
+  and RTL hygiene rules; exit 0 clean / 1 findings / 2 errors.
 * ``selftest``  -- run the ground-truth self-test: differential oracle,
   round-trip, parallel/cache equivalence, and fitter recovery.
 
@@ -103,6 +106,7 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     result = measure_component_safe(
         sources, args.top, policy=policy,
         cache=_cache_from_args(args), jobs=args.jobs,
+        lint=args.lint,
     )
     diagnostics.extend(result.diagnostics)
     _print_diagnostics(diagnostics)
@@ -259,6 +263,54 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        LintConfig,
+        LintConfigError,
+        discover_config,
+        lint_sources,
+        load_config,
+        write_baseline,
+    )
+
+    read_errors: list[Diagnostic] = []
+    sources = []
+    for path in args.files:
+        try:
+            sources.append(SourceFile.from_path(path))
+        except Exception as exc:  # noqa: BLE001 -- quarantine unreadable files
+            read_errors.append(Diagnostic.from_exception(exc, "parse"))
+    try:
+        if args.config:
+            config = load_config(args.config)
+        elif args.no_config:
+            config = LintConfig()
+        else:
+            config = discover_config(args.files[0] if args.files else ".")
+    except LintConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    only = args.rules.split(",") if args.rules else None
+    disable = args.disable.split(",") if args.disable else ()
+    config = config.with_rules(only=only, disable=disable)
+
+    report = lint_sources(sources, config, jobs=args.jobs)
+    if args.write_baseline:
+        count = write_baseline(report.findings, args.write_baseline)
+        print(f"baseline written to {args.write_baseline}: "
+              f"{count} suppression(s)")
+        return EXIT_OK
+    for finding in report.findings:
+        print(finding.to_diagnostic().render())
+    _print_diagnostics(list(read_errors) + list(report.errors))
+    print(report.summary())
+    if read_errors or report.errors:
+        return EXIT_FATAL
+    if report.findings:
+        return EXIT_FATAL if args.strict else EXIT_DEGRADED
+    return EXIT_OK
+
+
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from repro.gen import run_selftest
 
@@ -339,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-accounting", action="store_true",
         help="disable the Section 2.2 accounting procedure",
     )
+    p.add_argument(
+        "--lint", action=argparse.BooleanOptionalAction, default=False,
+        help="audit the catalog against the ACC accounting rules before "
+             "measuring; violations become WARNING diagnostics",
+    )
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_measure)
 
@@ -407,6 +464,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="corpus seed; module i depends only on (seed, i)",
     )
     p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser(
+        "lint",
+        help="audit HDL files against the Section 2.2 accounting procedure",
+        parents=[common],
+    )
+    p.add_argument("files", nargs="+", help="HDL source files (.v / .vhd)")
+    p.add_argument(
+        "--config", metavar="FILE",
+        help="lint configuration TOML (default: the nearest "
+             ".ucomplexity-lint.toml at or above the first input file)",
+    )
+    p.add_argument(
+        "--no-config", action="store_true",
+        help="ignore any .ucomplexity-lint.toml (all rules, defaults)",
+    )
+    p.add_argument(
+        "--rules", metavar="CODES",
+        help="comma-separated rule codes to run exclusively "
+             "(e.g. ACC001,ACC002,ACC003)",
+    )
+    p.add_argument(
+        "--disable", metavar="CODES",
+        help="comma-separated rule codes to skip (e.g. W004)",
+    )
+    p.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="instead of failing, write the current findings to FILE as "
+             "[[suppress]] entries and exit 0",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "selftest",

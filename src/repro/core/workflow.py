@@ -223,6 +223,37 @@ class ComponentSpec:
         )
 
 
+def _lint_audit(design: ast.Design, label: str, boundary: StageBoundary) -> None:
+    """Audit the parsed catalog against the ACC accounting rules.
+
+    Violations surface as WARNING diagnostics (advisory: the measurement
+    still runs, and the batch exit code is unchanged) and bump the
+    ``lint.violations`` counter.  Lint-internal errors (e.g. a module the
+    linter cannot elaborate) are dropped here -- the measurement's own
+    elaborate stage reports anything that actually blocks measuring.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.lint import ACC_RULES, LintConfig, lint_design
+
+    report = boundary.run(
+        "lint", lambda: lint_design(design, LintConfig().with_rules(ACC_RULES))
+    )
+    if report is None:
+        return
+    obs_metrics.counter("lint.violations").inc(len(report.findings))
+    for finding in report.findings:
+        diag = finding.to_diagnostic()
+        boundary.diagnostics.append(
+            _replace(
+                diag,
+                severity=Severity.WARNING,
+                component=label,
+                message=f"{label}: accounting audit: {diag.message}",
+            )
+        )
+
+
 def measure_component_safe(
     sources: Sequence[SourceFile],
     top: str,
@@ -231,6 +262,7 @@ def measure_component_safe(
     strict: bool = False,
     cache: "SynthesisCache | None" = None,
     jobs: int = 1,
+    lint: bool = False,
 ) -> Result[ComponentMeasurement]:
     """Measure one component with per-stage fault isolation.
 
@@ -252,11 +284,13 @@ def measure_component_safe(
     ``cache`` memoizes per-specialization synthesis products; a corrupt
     cache entry degrades to a recompute plus a WARNING diagnostic.
     ``jobs > 1`` fans the specialization loop out over a process pool.
+    ``lint=True`` audits the parsed catalog against the ACC accounting
+    rules first (:mod:`repro.lint`); violations become WARNING diagnostics.
     """
     label = name or top
     with obs_trace.span("measure.component_safe", component=label):
         return _measure_component_safe(
-            sources, top, label, policy, strict, cache, jobs
+            sources, top, label, policy, strict, cache, jobs, lint
         )
 
 
@@ -268,6 +302,7 @@ def _measure_component_safe(
     strict: bool,
     cache: "SynthesisCache | None" = None,
     jobs: int = 1,
+    lint: bool = False,
 ) -> Result[ComponentMeasurement]:
     boundary = StageBoundary(component=label, strict=strict)
 
@@ -291,6 +326,9 @@ def _measure_component_safe(
                  "defining the top module",
         )
         return Result(None, tuple(boundary.diagnostics))
+
+    if lint:
+        _lint_audit(design, label, boundary)
 
     metrics: dict[str, float] = dict(
         boundary.run(
@@ -461,6 +499,7 @@ def measure_components(
     strict: bool = False,
     jobs: int = 1,
     cache: "SynthesisCache | None" = None,
+    lint: bool = False,
 ) -> BatchMeasurement:
     """Measure a batch of components, isolating faults per component.
 
@@ -471,13 +510,15 @@ def measure_components(
     ``jobs > 1`` measures components across a process pool
     (:mod:`repro.parallel`) with identical results and diagnostics;
     ``cache`` memoizes synthesis products on disk (:mod:`repro.cache`) so
-    reruns over unchanged RTL skip the synthesize stage.
+    reruns over unchanged RTL skip the synthesize stage.  ``lint=True``
+    runs the ACC accounting audit on each component's parsed catalog
+    before measuring (WARNING diagnostics; never changes the exit code).
     """
     if jobs > 1 and len(specs) > 1:
         from repro.parallel import measure_components_parallel
 
         return measure_components_parallel(
-            specs, strict=strict, jobs=jobs, cache=cache
+            specs, strict=strict, jobs=jobs, cache=cache, lint=lint
         )
     results: dict[str, Result[ComponentMeasurement]] = {}
     for spec in specs:
@@ -488,5 +529,6 @@ def measure_components(
             policy=spec.policy,
             strict=strict,
             cache=cache,
+            lint=lint,
         )
     return BatchMeasurement(results=results)

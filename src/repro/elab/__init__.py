@@ -11,7 +11,9 @@ degeneracy analysis behind the paper's parameter-scaling rule runs
 
 from repro.elab.consteval import ConstEvalError, eval_const, substitute
 from repro.elab.degeneracy import (
+    BlockedMinimization,
     DegeneracyEvent,
+    MinimalParameters,
     degeneracy_events,
     is_degenerate,
     minimal_parameters,
@@ -26,8 +28,10 @@ from repro.elab.elaborator import (
 )
 
 __all__ = [
+    "BlockedMinimization",
     "ConstEvalError",
     "DegeneracyEvent",
+    "MinimalParameters",
     "DesignHierarchy",
     "ElaboratedInstance",
     "ElaboratedModule",

@@ -23,8 +23,9 @@ procedure feeds to synthesis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 from repro.elab.consteval import ConstEvalError, eval_const, substitute
 from repro.elab.elaborator import (
@@ -323,22 +324,91 @@ def _try_const(expr: ast.Expr, spec: ElaboratedModule) -> int | None:
         return None
 
 
+@dataclass(frozen=True)
+class BlockedMinimization:
+    """Why one parameter cannot go below its chosen minimal value.
+
+    ``rejected_value`` is the largest value below the chosen one that was
+    tried (for a chosen value of ``v`` this is ``v - 1``; when the search
+    failed outright and the declared default was kept, it is the last
+    candidate probed), and ``events`` are the degeneracies observed there
+    -- the constructs constant propagation would strip at that value.
+    """
+
+    parameter: str
+    rejected_value: int
+    events: tuple[DegeneracyEvent, ...]
+
+    def __str__(self) -> str:
+        detail = "; ".join(str(e) for e in self.events) or "unknown"
+        return (
+            f"{self.parameter} < {self.rejected_value + 1} is degenerate "
+            f"(at {self.parameter}={self.rejected_value}: {detail})"
+        )
+
+
+@dataclass(frozen=True)
+class MinimalParameters(MappingABC):
+    """The minimal non-degenerate parameter values, with provenance.
+
+    Behaves exactly like the ``dict[str, int]`` the function historically
+    returned (mapping protocol, ``==`` against plain dicts), and
+    additionally records, per parameter, *which construct* blocks further
+    minimization -- the :class:`DegeneracyEvent` observed at the next
+    smaller value.  Parameters whose minimum is 1 have no blocker.
+    """
+
+    values: dict[str, int] = field(default_factory=dict)
+    blockers: tuple[BlockedMinimization, ...] = ()
+
+    def __getitem__(self, key: str) -> int:
+        return self.values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MinimalParameters):
+            return self.values == other.values
+        if isinstance(other, Mapping):
+            return dict(self.values) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # frozen dataclass would otherwise hash fields
+        return hash(tuple(sorted(self.values.items())))
+
+    def blocker_for(self, parameter: str) -> BlockedMinimization | None:
+        """The minimization blocker for one parameter, if any."""
+        for b in self.blockers:
+            if b.parameter == parameter:
+                return b
+        return None
+
+
 def minimal_parameters(
     design: ast.Design,
     module_name: str,
     max_rounds: int = 3,
-) -> dict[str, int]:
+) -> MinimalParameters:
     """Smallest non-degenerate parameter values for a module (Section 2.2).
 
     Each parameter is scanned upward from 1 with the others held fixed;
     the scan repeats until a fixpoint (parameters can interact).  If no
     value in ``[1, MAX_PARAM_SEARCH]`` removes all degeneracies for some
     parameter, its declared default is kept for that round.
+
+    The result is a :class:`MinimalParameters` mapping: drop-in compatible
+    with the plain dict this function used to return, plus per-parameter
+    :class:`BlockedMinimization` provenance (the degeneracy events at the
+    next smaller value) that the lint rule ACC002 and error hints render.
     """
     module = design.module(module_name)
     params = [p.name for p in module.params]
     if not params:
-        return {}
+        return MinimalParameters()
     defaults: dict[str, int] = {}
     env: dict[str, int] = {}
     for p in module.params:
@@ -346,17 +416,34 @@ def minimal_parameters(
         env[p.name] = defaults[p.name]
 
     current = dict(defaults)
+    blocked: dict[str, BlockedMinimization] = {}
     for _ in range(max_rounds):
         previous = dict(current)
         for name in params:
             chosen = None
+            last_events: tuple[DegeneracyEvent, ...] = ()
+            last_candidate = 0
             for candidate in range(1, MAX_PARAM_SEARCH + 1):
                 trial = dict(current)
                 trial[name] = candidate
-                if not degeneracy_events(design, module_name, trial):
+                events = degeneracy_events(design, module_name, trial)
+                if not events:
                     chosen = candidate
                     break
+                last_events = tuple(events)
+                last_candidate = candidate
             current[name] = chosen if chosen is not None else defaults[name]
+            if last_candidate:
+                blocked[name] = BlockedMinimization(
+                    parameter=name,
+                    rejected_value=last_candidate,
+                    events=last_events,
+                )
+            else:
+                blocked.pop(name, None)
         if current == previous:
             break
-    return current
+    return MinimalParameters(
+        values=current,
+        blockers=tuple(blocked[n] for n in params if n in blocked),
+    )

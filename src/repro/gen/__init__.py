@@ -12,7 +12,9 @@ Two generators, one idea: produce inputs whose correct answers are known
 * :mod:`repro.gen.recovery` — effort-model parameter-recovery studies
   (weight bias + bootstrap-CI coverage for all three fitters);
 * :mod:`repro.gen.selftest` — the orchestrated ``repro selftest``
-  report.
+  report;
+* :mod:`repro.gen.violations` — violation-injecting variants with exact
+  lint-finding ground truth (the ``repro.lint`` oracle).
 """
 
 from repro.gen.hdlgen import (
@@ -40,6 +42,14 @@ from repro.gen.selftest import (
     SelfTestReport,
     run_selftest,
 )
+from repro.gen.violations import (
+    VIOLATION_KINDS,
+    VIOLATION_RULES,
+    InjectedViolation,
+    clean_kinds,
+    inject_violation,
+    violation_corpus,
+)
 
 __all__ = [
     "BIAS_TOLERANCE",
@@ -48,15 +58,21 @@ __all__ = [
     "FITTER_NAMES",
     "FitterRecovery",
     "GeneratedModule",
+    "InjectedViolation",
     "ORACLE_METRICS",
     "OracleMismatch",
     "OracleReport",
     "RecoveryStudy",
     "SelfTestReport",
+    "VIOLATION_KINDS",
+    "VIOLATION_RULES",
+    "clean_kinds",
     "corpus_specs",
     "generate_corpus",
     "generate_module",
+    "inject_violation",
     "run_differential_oracle",
     "run_recovery_study",
     "run_selftest",
+    "violation_corpus",
 ]

@@ -191,13 +191,24 @@ def _emit_vhdl(em: _Emitter, name: str, tiles: list[Tile],
 
 def generate_module(language: str, name: str, rng: np.random.Generator,
                     *, n_tiles: int | None = None,
-                    comment_level: float = 1.0) -> GeneratedModule:
-    """Generate one module and its exact metric ground truth."""
+                    comment_level: float = 1.0,
+                    kinds: tuple[str, ...] | None = None) -> GeneratedModule:
+    """Generate one module and its exact metric ground truth.
+
+    ``kinds`` restricts the tile pool (default: all of ``TILE_KINDS``);
+    the lint oracle uses this to build corpora that are clean by
+    construction (e.g. without ``param_width``, whose deliberately
+    non-minimal defaults are a real ACC002 violation).
+    """
     if language not in (VERILOG, VHDL):
         raise ValueError(f"unknown language {language!r}")
+    pool = tuple(kinds) if kinds is not None else TILE_KINDS
+    unknown = set(pool) - set(TILE_KINDS)
+    if unknown:
+        raise ValueError(f"unknown tile kinds {sorted(unknown)}")
     if n_tiles is None:
         n_tiles = int(rng.integers(2, 6))
-    kinds = [str(rng.choice(TILE_KINDS)) for _ in range(n_tiles)]
+    kinds = [str(rng.choice(pool)) for _ in range(n_tiles)]
 
     tiles = [make_tile(kind, f"t{i}", language, rng, top=name)
              for i, kind in enumerate(kinds)]
@@ -248,7 +259,8 @@ def generate_module(language: str, name: str, rng: np.random.Generator,
 
 def generate_corpus(language: str, count: int, seed: int = 0,
                     *, name_prefix: str = "gm",
-                    comment_level: float = 1.0) -> list[GeneratedModule]:
+                    comment_level: float = 1.0,
+                    kinds: tuple[str, ...] | None = None) -> list[GeneratedModule]:
     """Generate ``count`` independent modules.
 
     Module *i* uses its own child of ``SeedSequence(seed)``, so its
@@ -264,6 +276,7 @@ def generate_corpus(language: str, count: int, seed: int = 0,
             f"{name_prefix}{i:03d}_{suffix}",
             np.random.default_rng(child),
             comment_level=comment_level,
+            kinds=kinds,
         )
         for i, child in enumerate(children)
     ]

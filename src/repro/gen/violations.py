@@ -1,0 +1,369 @@
+"""Violation-injecting generators: the lint oracle's adversarial half.
+
+:mod:`repro.gen.hdlgen` builds corpora with exact *metric* ground truth;
+this module builds corpora with exact *violation* ground truth.  Each
+injector emits a micro-module (or, for duplicates, a renamed clone of a
+generated module) that violates exactly one lint rule and nothing else, in
+either language, so the oracle test can assert
+
+    findings == injected violations   (no misses, no false positives).
+
+``clean_kinds()`` is the companion guarantee: the tile pool under which
+:func:`repro.gen.hdlgen.generate_corpus` output is lint-clean by
+construction.  Two tile kinds are excluded:
+
+* ``param_width`` declares deliberately non-minimal parameter defaults --
+  a genuine ACC002 violation (that is its job in the metrics oracle);
+* ``child_instance`` stamps out structurally identical one-gate leaf
+  modules under different names -- a genuine ACC001 collision when many
+  generated files are linted as one catalog.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gen.hdlgen import generate_module
+from repro.gen.tiles import TILE_KINDS
+from repro.hdl.source import VERILOG, SourceFile
+
+#: Injectable violation kinds, mapped to the rule each must trigger.
+VIOLATION_RULES = {
+    "duplicate_module": "ACC001",
+    "bloated_parameter": "ACC002",
+    "dead_generate_arm": "ACC003",
+    "constant_false_if": "ACC003",
+    "dangling_net": "W001",
+    "inferred_latch": "W002",
+    "comb_loop": "W003",
+    "width_mismatch": "W004",
+}
+
+VIOLATION_KINDS: tuple[str, ...] = tuple(VIOLATION_RULES)
+
+
+def clean_kinds() -> tuple[str, ...]:
+    """Tile kinds whose generated modules carry zero lint findings."""
+    return tuple(
+        k for k in TILE_KINDS if k not in ("param_width", "child_instance")
+    )
+
+
+@dataclass(frozen=True)
+class InjectedViolation:
+    """One planted violation and the finding the linter must emit for it."""
+
+    kind: str
+    rule: str
+    module: str  # the module the finding must be anchored to
+    sources: tuple[SourceFile, ...]
+
+
+def _src(name: str, language: str, body: str) -> tuple[SourceFile, ...]:
+    ext = "v" if language == VERILOG else "vhd"
+    return (SourceFile(name=f"{name}.{ext}", text=body.strip() + "\n"),)
+
+
+def _vhdl_wrap(name: str, generics: str, ports: str, decls: str,
+               body: str) -> str:
+    generic_clause = f"\n  generic ({generics});" if generics else ""
+    return f"""
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity {name} is{generic_clause}
+  port ({ports});
+end entity;
+
+architecture rtl of {name} is
+{decls}begin
+{body}end architecture;
+"""
+
+
+def _inject_duplicate_module(
+    language: str, name: str, rng: np.random.Generator
+) -> InjectedViolation:
+    """A generated module plus a clone with every identifier renamed.
+
+    The clone is textually disjoint from the original (module name, tile
+    identifiers) yet structurally isomorphic, which is exactly the
+    renamed-copy-paste case ACC001's structural hashing must catch.
+    """
+    original = generate_module(
+        language, name, rng, kinds=clean_kinds(), comment_level=0.0
+    )
+    copy_name = f"{name}_clone"
+    text = original.sources[0].text
+    text = re.sub(rf"\b{re.escape(name)}\b", copy_name, text)
+    text = re.sub(r"\bt(\d+)_", r"u\1_", text)
+    ext = "v" if language == VERILOG else "vhd"
+    return InjectedViolation(
+        kind="duplicate_module",
+        rule="ACC001",
+        module=copy_name,
+        sources=(
+            original.sources[0],
+            SourceFile(name=f"{copy_name}.{ext}", text=text),
+        ),
+    )
+
+
+def _inject_bloated_parameter(language: str, name: str) -> InjectedViolation:
+    # Minimal non-degenerate W is 2 (W=1 gives tmp zero width and fails
+    # elaboration), but the declared default is 4.
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} #(parameter W = 4) (
+  input [W-1:0] a,
+  output [W-1:0] y
+);
+  wire [W-2:0] tmp;
+  assign tmp = a[W-2:0];
+  assign y = {{a[W-1], tmp}};
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "W : integer := 4",
+            f"""
+    a : in std_logic_vector(W-1 downto 0);
+    y : out std_logic_vector(W-1 downto 0)
+  """,
+            "  signal tmp : std_logic_vector(W-2 downto 0);\n",
+            "  tmp <= a(W-2 downto 0);\n  y <= a(W-1) & tmp;\n",
+        ))
+    return InjectedViolation("bloated_parameter", "ACC002", name, sources)
+
+
+def _inject_dead_generate_arm(language: str, name: str) -> InjectedViolation:
+    # MODE is a local constant, so the generate condition folds regardless
+    # of parameterization; the arm re-drives an already-driven net so the
+    # eliminated statements trip no other rule.
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input a,
+  output y
+);
+  localparam MODE = 0;
+  wire t;
+  assign t = a;
+  assign y = t;
+  generate
+    if (MODE == 1) begin
+      assign t = ~a;
+    end
+  endgenerate
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "a : in std_logic;\n    y : out std_logic",
+            "  constant MODE : integer := 0;\n  signal t : std_logic;\n",
+            """  t <= a;
+  y <= t;
+  gdead: if MODE = 1 generate
+    t <= not a;
+  end generate;
+""",
+        ))
+    return InjectedViolation("dead_generate_arm", "ACC003", name, sources)
+
+
+def _inject_constant_false_if(language: str, name: str) -> InjectedViolation:
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input a,
+  input b,
+  output reg y
+);
+  always @(*) begin
+    y = a;
+    if (1 == 0) begin
+      y = b;
+    end
+  end
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "a : in std_logic;\n    b : in std_logic;\n    "
+            "y : out std_logic",
+            "",
+            """  process(a, b)
+  begin
+    y <= a;
+    if 1 = 0 then
+      y <= b;
+    end if;
+  end process;
+""",
+        ))
+    return InjectedViolation("constant_false_if", "ACC003", name, sources)
+
+
+def _inject_dangling_net(language: str, name: str) -> InjectedViolation:
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input a,
+  output y
+);
+  wire floating;
+  assign y = a;
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "a : in std_logic;\n    y : out std_logic",
+            "  signal floating : std_logic;\n",
+            "  y <= a;\n",
+        ))
+    return InjectedViolation("dangling_net", "W001", name, sources)
+
+
+def _inject_inferred_latch(language: str, name: str) -> InjectedViolation:
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input s,
+  input d,
+  output reg q
+);
+  always @(*) begin
+    if (s) begin
+      q = d;
+    end
+  end
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "s : in std_logic;\n    d : in std_logic;\n    "
+            "q : out std_logic",
+            "",
+            """  process(s, d)
+  begin
+    if s = '1' then
+      q <= d;
+    end if;
+  end process;
+""",
+        ))
+    return InjectedViolation("inferred_latch", "W002", name, sources)
+
+
+def _inject_comb_loop(language: str, name: str) -> InjectedViolation:
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input a,
+  output y
+);
+  wire p;
+  wire q;
+  assign p = q & a;
+  assign q = p | a;
+  assign y = p;
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "a : in std_logic;\n    y : out std_logic",
+            "  signal p : std_logic;\n  signal q : std_logic;\n",
+            "  p <= q and a;\n  q <= p or a;\n  y <= p;\n",
+        ))
+    return InjectedViolation("comb_loop", "W003", name, sources)
+
+
+def _inject_width_mismatch(language: str, name: str) -> InjectedViolation:
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input [7:0] a,
+  output [7:0] y
+);
+  wire [3:0] lo;
+  assign lo = a[3:0];
+  assign y = lo;
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "a : in std_logic_vector(7 downto 0);\n    "
+            "y : out std_logic_vector(7 downto 0)",
+            "  signal lo : std_logic_vector(3 downto 0);\n",
+            "  lo <= a(3 downto 0);\n  y <= lo;\n",
+        ))
+    return InjectedViolation("width_mismatch", "W004", name, sources)
+
+
+def inject_violation(
+    kind: str,
+    language: str,
+    name: str,
+    rng: np.random.Generator | None = None,
+) -> InjectedViolation:
+    """Build one violating micro-corpus of the given kind."""
+    if kind not in VIOLATION_RULES:
+        raise ValueError(
+            f"unknown violation kind {kind!r}; expected one of "
+            f"{sorted(VIOLATION_RULES)}"
+        )
+    if kind == "duplicate_module":
+        if rng is None:
+            rng = np.random.default_rng(0)
+        return _inject_duplicate_module(language, name, rng)
+    builder = {
+        "bloated_parameter": _inject_bloated_parameter,
+        "dead_generate_arm": _inject_dead_generate_arm,
+        "constant_false_if": _inject_constant_false_if,
+        "dangling_net": _inject_dangling_net,
+        "inferred_latch": _inject_inferred_latch,
+        "comb_loop": _inject_comb_loop,
+        "width_mismatch": _inject_width_mismatch,
+    }[kind]
+    return builder(language, name)
+
+
+def violation_corpus(
+    language: str,
+    seed: int = 0,
+    kinds: tuple[str, ...] = VIOLATION_KINDS,
+) -> tuple[list[SourceFile], set[tuple[str, str]]]:
+    """One corpus containing every requested violation exactly once.
+
+    Returns ``(sources, expected)`` where ``expected`` is the set of
+    ``(rule, module)`` pairs the linter must report -- and must report
+    *nothing else* on this corpus (the oracle contract).
+    """
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    sources: list[SourceFile] = []
+    expected: set[tuple[str, str]] = set()
+    suffix = "v" if language == VERILOG else "h"
+    for i, kind in enumerate(kinds):
+        injected = inject_violation(
+            kind, language, f"bad_{kind}_{i:02d}_{suffix}", rng=rng
+        )
+        sources.extend(injected.sources)
+        expected.add((injected.rule, injected.module))
+    return sources, expected

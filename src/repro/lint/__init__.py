@@ -1,0 +1,72 @@
+"""HDL accounting linter: static audit of the Section 2.2 procedure.
+
+The paper's effort model is only as good as its inputs, and Section 2.2
+prescribes exactly how those inputs must be collected: count each component
+once, measure parameterized components at the smallest non-degenerate
+parameter values, and let no dead code inflate the size metrics.  This
+package audits a component catalog against that procedure *statically*,
+over the same shared AST the measurement pipeline consumes:
+
+* ``ACC001`` duplicate component (structural-hash isomorphism),
+* ``ACC002`` non-minimal parameters (vs :func:`repro.elab.degeneracy.
+  minimal_parameters`, with blocker provenance),
+* ``ACC003`` dead code under parameter-independent constants,
+
+plus the RTL hygiene rules ``W001`` (unused/undriven), ``W002`` (inferred
+latch), ``W003`` (combinational loop), ``W004`` (width mismatch).
+
+Entry points: :func:`lint_sources` (parse + audit files),
+:func:`lint_design` (audit a parsed design), the ``ucomplexity lint`` CLI
+subcommand, and the ``lint=True`` flag on the measurement workflow.
+Configuration -- rule toggles, severities, baseline suppressions -- comes
+from ``.ucomplexity-lint.toml`` (:mod:`repro.lint.config`).
+"""
+
+from repro.lint.config import (
+    CONFIG_FILENAME,
+    LintConfig,
+    LintConfigError,
+    Suppression,
+    discover_config,
+    load_config,
+    write_baseline,
+)
+from repro.lint.engine import (
+    LintReport,
+    ModuleLintResult,
+    lint_design,
+    lint_module,
+    lint_sources,
+)
+from repro.lint.hashing import design_hashes, structural_hash
+from repro.lint.rules import (
+    ACC_RULES,
+    HYGIENE_RULES,
+    RULES,
+    LintFinding,
+    LintRule,
+    ModuleContext,
+)
+
+__all__ = [
+    "ACC_RULES",
+    "CONFIG_FILENAME",
+    "HYGIENE_RULES",
+    "LintConfig",
+    "LintConfigError",
+    "LintFinding",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "ModuleLintResult",
+    "RULES",
+    "Suppression",
+    "design_hashes",
+    "discover_config",
+    "lint_design",
+    "lint_module",
+    "lint_sources",
+    "load_config",
+    "structural_hash",
+    "write_baseline",
+]

@@ -1,0 +1,277 @@
+"""Lint engine: run the rule catalog over sources, designs, and catalogs.
+
+Layering (bottom up):
+
+* :func:`lint_module` -- all module-scope rules over one module of a
+  design, plus its :func:`~repro.lint.hashing.structural_hash`; returns a
+  picklable :class:`ModuleLintResult` (the parallel unit of work).
+* :func:`lint_design` -- every module of an already-parsed design, fanned
+  out over :func:`repro.parallel.lint_modules_parallel` when ``jobs > 1``,
+  then the catalog-scope duplicate check (ACC001) over the collected
+  hashes.  Severity overrides and baseline suppressions from the
+  :class:`~repro.lint.config.LintConfig` are applied here.
+* :func:`lint_sources` -- parse + merge source files first (parse failures
+  become ERROR diagnostics, not exceptions), then :func:`lint_design`.
+
+The returned :class:`LintReport` carries the exit-code contract the CLI
+honors: 0 clean, 1 findings, 2 errors (the linter itself could not audit
+something -- parse failure, duplicate definitions, elaboration failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.hdl import ast, parse_source
+from repro.hdl.source import HdlError, SourceFile
+from repro.lint.config import LintConfig
+from repro.lint.hashing import structural_hash
+from repro.lint.rules import (
+    RULES,
+    HashedModule,
+    LintFinding,
+    ModuleContext,
+    check_duplicates,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.diagnostics import Diagnostic, Severity, SourceSpan
+
+
+@dataclass(frozen=True)
+class ModuleLintResult:
+    """One module's lint outcome (picklable; produced by pool workers)."""
+
+    module: str
+    file: str
+    hash: str  # empty when ACC001 is disabled
+    findings: tuple[LintFinding, ...] = ()
+    errors: tuple[Diagnostic, ...] = ()
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The audit verdict for one lint run."""
+
+    findings: tuple[LintFinding, ...] = ()
+    suppressed: tuple[LintFinding, ...] = ()
+    errors: tuple[Diagnostic, ...] = ()
+    modules: int = 0
+    files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 findings, 2 errors (audit itself failed somewhere)."""
+        if self.errors:
+            return 2
+        if self.findings:
+            return 1
+        return 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return tuple(f.to_diagnostic() for f in self.findings) + self.errors
+
+    def counts_by_rule(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        if self.clean and not self.suppressed:
+            return (
+                f"clean: {self.modules} module(s) in {self.files} file(s), "
+                "no accounting violations"
+            )
+        head = f"{len(self.findings)} finding(s)"
+        by_rule = self.counts_by_rule()
+        if by_rule:
+            head += (
+                " ("
+                + ", ".join(f"{k}: {v}" for k, v in sorted(by_rule.items()))
+                + ")"
+            )
+        parts = [head]
+        if self.suppressed:
+            parts.append(f"{len(self.suppressed)} suppressed")
+        if self.errors:
+            parts.append(f"{len(self.errors)} error(s)")
+        parts.append(f"across {self.modules} module(s) in {self.files} file(s)")
+        return ", ".join(parts)
+
+
+def lint_module(
+    design: ast.Design, module_name: str, config: LintConfig
+) -> ModuleLintResult:
+    """Run all enabled module-scope rules over one module.
+
+    Elaboration failures do not abort the audit: AST-only rules (ACC002,
+    ACC003) still run, and the failure itself is reported as an ERROR --
+    a module the linter cannot elaborate cannot be certified compliant.
+    """
+    from repro.elab.elaborator import ElaboratedModule, elaborate
+
+    module = design.modules[module_name]
+    errors: list[Diagnostic] = []
+    spec: ElaboratedModule | None = None
+    with obs_trace.span("lint.module", module=module_name):
+        try:
+            spec = elaborate(design, module_name).top
+        except HdlError as exc:
+            errors.append(
+                Diagnostic(
+                    severity=Severity.ERROR,
+                    stage="lint",
+                    message=f"cannot elaborate {module_name!r}: {exc}",
+                    span=SourceSpan(module.source_name, exc.line or 0)
+                    if module.source_name else None,
+                    component=module_name,
+                    hint="the linter certifies only elaborable modules; fix "
+                         "the elaboration error first",
+                )
+            )
+        ctx = ModuleContext(design=design, module=module, spec=spec)
+        findings: list[LintFinding] = []
+        for code, rule in RULES.items():
+            if rule.check is None or not config.enabled(code):
+                continue
+            try:
+                findings.extend(rule.check(ctx))
+            except Exception as exc:  # noqa: BLE001 -- a broken rule is a
+                # lint bug, not a design bug; degrade to an error finding.
+                errors.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        stage="lint",
+                        message=f"rule {code} crashed on {module_name!r}: "
+                                f"{type(exc).__name__}: {exc}",
+                        component=module_name,
+                    )
+                )
+        digest = ""
+        if config.enabled("ACC001"):
+            digest = structural_hash(module, design)
+    return ModuleLintResult(
+        module=module_name,
+        file=module.source_name,
+        hash=digest,
+        findings=tuple(findings),
+        errors=tuple(errors),
+    )
+
+
+def _assemble(
+    results: Sequence[ModuleLintResult],
+    extra_errors: Sequence[Diagnostic],
+    config: LintConfig,
+    files: int,
+) -> LintReport:
+    """Catalog-scope rules + severity overrides + baseline suppression."""
+    raw: list[LintFinding] = []
+    errors: list[Diagnostic] = list(extra_errors)
+    for r in results:
+        raw.extend(r.findings)
+        errors.extend(r.errors)
+    if config.enabled("ACC001"):
+        hashed = [
+            HashedModule(r.module, r.file, r.hash) for r in results if r.hash
+        ]
+        raw.extend(check_duplicates(hashed))
+
+    active: list[LintFinding] = []
+    suppressed: list[LintFinding] = []
+    for finding in raw:
+        finding = replace(
+            finding,
+            severity=config.severity_for(finding.rule, finding.severity),
+        )
+        (suppressed if config.suppressed(finding) else active).append(finding)
+    active.sort(key=lambda f: (f.file, f.line, f.rule, f.module, f.message))
+
+    for finding in active:
+        obs_metrics.counter(f"lint.rule.{finding.rule}").inc()
+    obs_metrics.counter("lint.findings").inc(len(active))
+    obs_metrics.counter("lint.suppressed").inc(len(suppressed))
+    obs_metrics.counter("lint.errors").inc(len(errors))
+    obs_metrics.counter("lint.modules").inc(len(results))
+    return LintReport(
+        findings=tuple(active),
+        suppressed=tuple(suppressed),
+        errors=tuple(errors),
+        modules=len(results),
+        files=files,
+    )
+
+
+def lint_design(
+    design: ast.Design,
+    config: LintConfig | None = None,
+    jobs: int = 1,
+    files: int = 0,
+    extra_errors: Sequence[Diagnostic] = (),
+) -> LintReport:
+    """Audit an already-parsed design (all modules + catalog rules)."""
+    config = config or LintConfig()
+    names = list(design.modules)
+    with obs_trace.span("lint.design", modules=len(names), jobs=jobs):
+        if jobs > 1 and len(names) > 1:
+            from repro.parallel import lint_modules_parallel
+
+            results = lint_modules_parallel(design, names, config, jobs)
+        else:
+            results = [lint_module(design, n, config) for n in names]
+        return _assemble(results, extra_errors, config, files)
+
+
+def lint_sources(
+    sources: Sequence[SourceFile],
+    config: LintConfig | None = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Parse + merge ``sources``, then audit the resulting catalog.
+
+    A file that fails to parse (or redefines a module) is quarantined as an
+    ERROR diagnostic; the remaining files are still audited, mirroring the
+    measurement pipeline's graceful degradation.
+    """
+    config = config or LintConfig()
+    design = ast.Design()
+    errors: list[Diagnostic] = []
+    with obs_trace.span("lint.run", files=len(sources), jobs=jobs):
+        for source in sources:
+            try:
+                design = design.merge(parse_source(source))
+            except HdlError as exc:
+                errors.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        stage="parse",
+                        message=str(exc),
+                        span=SourceSpan(exc.file or source.name, exc.line or 0),
+                        hint=exc.hint,
+                    )
+                )
+            except ValueError as exc:  # duplicate module definition
+                errors.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        stage="lint",
+                        message=f"{source.name}: {exc}",
+                        span=SourceSpan(source.name, 0),
+                        hint="the same module name is defined twice in the "
+                             "linted file set; lint each variant separately "
+                             "or rename one",
+                    )
+                )
+        return lint_design(
+            design,
+            config,
+            jobs=jobs,
+            files=len(sources),
+            extra_errors=errors,
+        )

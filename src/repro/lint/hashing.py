@@ -1,0 +1,240 @@
+"""Structural hashing of normalized module ASTs (rule ACC001).
+
+Two modules are *structurally isomorphic* when one can be turned into the
+other purely by renaming identifiers: same ports in the same order, same
+items, same expressions, same constants.  The paper's accounting procedure
+(Section 2.2) counts each component once; a catalog that lists the same
+design twice under different names -- copy-paste reuse, a vendor rename, a
+team-local fork that never diverged -- double-counts its effort and
+corrupts the regression.  :func:`structural_hash` gives such pairs equal
+hashes so the linter can flag them without ever comparing sources pairwise.
+
+Normalization rules:
+
+* every identifier (ports, parameters, signals, genvars, instance names,
+  process clocks) is renamed to ``n0, n1, ...`` in first-mention order
+  over a deterministic pre-order walk;
+* source line numbers, generate labels, and the module's language tag are
+  dropped -- a Verilog module and a VHDL entity that parse to the same AST
+  *are* the same design counted twice;
+* numeric literals keep value and width (an 8-entry queue is not a
+  16-entry queue);
+* an instantiated child that is itself part of the design is referenced by
+  its *own structural hash* (memoized, cycle-guarded), so renaming a whole
+  subtree -- parent and leaf together -- still collapses to equal hashes.
+  Connection port names are replaced by the child's port index; children
+  outside the design keep their literal module name and port names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.hdl import ast
+
+
+class _Canon:
+    """First-mention-order identifier renaming for one module."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, str] = {}
+
+    def mention(self, name: str) -> str:
+        if name not in self.names:
+            self.names[name] = f"n{len(self.names)}"
+        return self.names[name]
+
+
+def _canon_expr(expr: ast.Expr, c: _Canon) -> tuple:
+    if isinstance(expr, ast.Number):
+        return ("num", expr.value, expr.width)
+    if isinstance(expr, ast.Ident):
+        return ("id", c.mention(expr.name))
+    if isinstance(expr, ast.Select):
+        return ("sel", _canon_expr(expr.base, c), _canon_expr(expr.index, c))
+    if isinstance(expr, ast.PartSelect):
+        return (
+            "part",
+            _canon_expr(expr.base, c),
+            _canon_expr(expr.msb, c),
+            _canon_expr(expr.lsb, c),
+        )
+    if isinstance(expr, ast.Concat):
+        return ("cat",) + tuple(_canon_expr(p, c) for p in expr.parts)
+    if isinstance(expr, ast.Repeat):
+        return ("rep", _canon_expr(expr.count, c), _canon_expr(expr.value, c))
+    if isinstance(expr, ast.Unary):
+        return ("un", expr.op, _canon_expr(expr.operand, c))
+    if isinstance(expr, ast.Binary):
+        return ("bin", expr.op, _canon_expr(expr.lhs, c), _canon_expr(expr.rhs, c))
+    if isinstance(expr, ast.Ternary):
+        return (
+            "tern",
+            _canon_expr(expr.cond, c),
+            _canon_expr(expr.then, c),
+            _canon_expr(expr.other, c),
+        )
+    if isinstance(expr, ast.Resize):
+        return ("resize", _canon_expr(expr.value, c), _canon_expr(expr.width, c))
+    if isinstance(expr, ast.Others):
+        return ("others", _canon_expr(expr.value, c))
+    raise TypeError(f"unknown expression {type(expr).__name__}")
+
+
+def _canon_stmts(stmts: tuple[ast.Stmt, ...], c: _Canon) -> tuple:
+    out = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            out.append(
+                ("assign", stmt.blocking,
+                 _canon_expr(stmt.target, c), _canon_expr(stmt.value, c))
+            )
+        elif isinstance(stmt, ast.If):
+            out.append(
+                ("if", _canon_expr(stmt.cond, c),
+                 _canon_stmts(stmt.then_body, c), _canon_stmts(stmt.else_body, c))
+            )
+        elif isinstance(stmt, ast.Case):
+            out.append(
+                ("case", _canon_expr(stmt.subject, c),
+                 tuple(
+                     (tuple(_canon_expr(ch, c) for ch in item.choices),
+                      _canon_stmts(item.body, c))
+                     for item in stmt.items
+                 ))
+            )
+        elif isinstance(stmt, ast.For):
+            out.append(
+                ("for", c.mention(stmt.var),
+                 _canon_expr(stmt.start, c), _canon_expr(stmt.cond, c),
+                 _canon_expr(stmt.step, c), _canon_stmts(stmt.body, c))
+            )
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+    return tuple(out)
+
+
+def _canon_items(
+    items: tuple[ast.Item, ...],
+    c: _Canon,
+    design: ast.Design | None,
+    memo: dict[str, str],
+    stack: frozenset[str],
+) -> tuple:
+    out = []
+    for item in items:
+        if isinstance(item, ast.ParamDecl):
+            out.append(
+                ("param", c.mention(item.name), item.local,
+                 _canon_expr(item.default, c))
+            )
+        elif isinstance(item, ast.SignalDecl):
+            out.append(
+                ("signal", c.mention(item.name),
+                 None if item.msb is None else _canon_expr(item.msb, c),
+                 None if item.lsb is None else _canon_expr(item.lsb, c),
+                 None if item.depth is None else _canon_expr(item.depth, c))
+            )
+        elif isinstance(item, ast.ContinuousAssign):
+            out.append(
+                ("cassign", _canon_expr(item.target, c),
+                 _canon_expr(item.value, c))
+            )
+        elif isinstance(item, ast.ProcessBlock):
+            out.append(
+                ("process", item.kind,
+                 None if item.clock is None else c.mention(item.clock),
+                 _canon_stmts(item.body, c))
+            )
+        elif isinstance(item, ast.Instance):
+            out.append(_canon_instance(item, c, design, memo, stack))
+        elif isinstance(item, ast.GenerateFor):
+            out.append(
+                ("genfor", c.mention(item.var),
+                 _canon_expr(item.start, c), _canon_expr(item.cond, c),
+                 _canon_expr(item.step, c),
+                 _canon_items(item.body, c, design, memo, stack))
+            )
+        elif isinstance(item, ast.GenerateIf):
+            out.append(
+                ("genif", _canon_expr(item.cond, c),
+                 _canon_items(item.then_body, c, design, memo, stack),
+                 _canon_items(item.else_body, c, design, memo, stack))
+            )
+        else:
+            raise TypeError(f"unknown item {type(item).__name__}")
+    return tuple(out)
+
+
+def _canon_instance(
+    inst: ast.Instance,
+    c: _Canon,
+    design: ast.Design | None,
+    memo: dict[str, str],
+    stack: frozenset[str],
+) -> tuple:
+    child = None
+    if design is not None and inst.module_name not in stack:
+        child = design.modules.get(inst.module_name)
+    if child is not None:
+        # Reference the child by structure, and its ports by position, so a
+        # consistently-renamed (parent, leaf) pair still hashes equal.
+        ref: str | tuple = _hash_module(
+            child, design, memo, stack | {inst.module_name}
+        )
+        port_index = {name: i for i, name in enumerate(child.port_names)}
+        conns = tuple(
+            (port_index.get(name, name) if name else "",
+             _canon_expr(expr, c))
+            for name, expr in inst.connections
+        )
+    else:
+        ref = ("extern", inst.module_name)
+        conns = tuple(
+            (name, _canon_expr(expr, c)) for name, expr in inst.connections
+        )
+    params = tuple(
+        (name, _canon_expr(expr, c)) for name, expr in inst.param_overrides
+    )
+    return ("inst", ref, c.mention(inst.name), conns, params)
+
+
+def _hash_module(
+    module: ast.Module,
+    design: ast.Design | None,
+    memo: dict[str, str],
+    stack: frozenset[str],
+) -> str:
+    if module.name in memo:
+        return memo[module.name]
+    c = _Canon()
+    ports = tuple(
+        ("port", c.mention(p.name), p.direction,
+         None if p.msb is None else _canon_expr(p.msb, c),
+         None if p.lsb is None else _canon_expr(p.lsb, c))
+        for p in module.ports
+    )
+    shape = ("module", ports, _canon_items(module.items, c, design, memo, stack))
+    digest = hashlib.sha256(repr(shape).encode("utf-8")).hexdigest()
+    if not stack:
+        memo[module.name] = digest
+    return digest
+
+
+def structural_hash(module: ast.Module, design: ast.Design | None = None) -> str:
+    """SHA-256 over the module's normalized (rename-invariant) structure.
+
+    ``design`` supplies instantiated children: when given, child references
+    hash by the child's own structure instead of its name, so duplicated
+    hierarchies are detected even after a consistent whole-tree rename.
+    """
+    return _hash_module(module, design, {}, frozenset())
+
+
+def design_hashes(design: ast.Design) -> dict[str, str]:
+    """Structural hash of every module in a design, memoized across them."""
+    memo: dict[str, str] = {}
+    return {
+        name: _hash_module(module, design, memo, frozenset())
+        for name, module in design.modules.items()
+    }

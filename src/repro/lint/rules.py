@@ -1,0 +1,776 @@
+"""The lint rule catalog: Section 2.2 accounting audits plus HDL hygiene.
+
+Two rule families (see DESIGN.md, "HDL accounting linter"):
+
+* **ACC rules** audit compliance with the paper's accounting procedure --
+  the conditions under which the effort regression holds.  Violations
+  inflate ``Stmts``/``LoC``/``FanInLC`` without adding design effort, which
+  is exactly the failure mode Section 5.3 shows wrecks the fit.
+
+  - ``ACC001`` duplicate component: two modules in the catalog are
+    structurally isomorphic (equal :func:`~repro.lint.hashing.
+    structural_hash`); the reused design's effort would be counted twice.
+  - ``ACC002`` non-minimal parameters: a parameterized module's declared
+    defaults (the values a naive measurement uses) are not the smallest
+    non-degenerate values; the finding carries the
+    :class:`~repro.elab.degeneracy.BlockedMinimization` provenance.
+  - ``ACC003`` dead code: a conditional or loop whose condition is constant
+    *independently of parameters* eliminates a non-empty branch/body --
+    statements that still count toward ``Stmts``/``LoC`` although constant
+    propagation strips the logic.  (Parameter-dependent generate arms are
+    not flagged: they are alive at some parameterization, and the
+    parameter-minimization rule handles them.)
+
+* **W rules** are classical RTL hygiene checks over the elaborated module:
+  ``W001`` unused/undriven signals and ports, ``W002`` inferred latches
+  (incomplete assignment in a combinational process), ``W003``
+  combinational loops (cycles in the net dependency graph), ``W004``
+  assignment width mismatches.
+
+Module-scoped rules take a :class:`ModuleContext`; the catalog-scoped
+``ACC001`` runs over the hashes of every module in the linted catalog.
+All rules return :class:`LintFinding`s, which render into the runtime's
+:class:`~repro.runtime.diagnostics.Diagnostic` vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.elab.consteval import ConstEvalError, eval_const
+from repro.elab.degeneracy import minimal_parameters
+from repro.elab.elaborator import ElaboratedModule
+from repro.hdl import ast
+from repro.runtime.diagnostics import Diagnostic, Severity, SourceSpan
+
+# ---------------------------------------------------------------------------
+# Findings and rule metadata
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation, anchored to a module and (when known) a line."""
+
+    rule: str
+    message: str
+    severity: Severity
+    module: str = ""
+    file: str = ""
+    line: int = 0
+
+    def to_diagnostic(self, span_id: int | str | None = None) -> Diagnostic:
+        span = SourceSpan(self.file, self.line) if self.file else None
+        return Diagnostic(
+            severity=self.severity,
+            stage="lint",
+            message=f"{self.rule}: {self.message}",
+            span=span,
+            component=self.module or None,
+            hint=RULES[self.rule].hint if self.rule in RULES else None,
+            span_id=span_id,
+        )
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a module-scoped rule may inspect.
+
+    ``spec`` is the module elaborated at its declared defaults; it is None
+    when elaboration failed (rules that need it skip themselves).
+    """
+
+    design: ast.Design
+    module: ast.Module
+    spec: ElaboratedModule | None = None
+
+    @property
+    def file(self) -> str:
+        return self.module.source_name
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """Catalog entry for one rule; ``check`` is the module-scope hook."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+    hint: str
+    scope: str = "module"  # "module" | "catalog"
+    check: Callable[[ModuleContext], list[LintFinding]] | None = None
+
+
+# ---------------------------------------------------------------------------
+# Shared AST utilities
+# ---------------------------------------------------------------------------
+
+
+def _idents(expr: ast.Expr) -> Iterable[str]:
+    """All identifier names read inside an expression."""
+    if isinstance(expr, ast.Ident):
+        yield expr.name
+    elif isinstance(expr, ast.Select):
+        yield from _idents(expr.base)
+        yield from _idents(expr.index)
+    elif isinstance(expr, ast.PartSelect):
+        yield from _idents(expr.base)
+        yield from _idents(expr.msb)
+        yield from _idents(expr.lsb)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from _idents(part)
+    elif isinstance(expr, ast.Repeat):
+        yield from _idents(expr.count)
+        yield from _idents(expr.value)
+    elif isinstance(expr, ast.Unary):
+        yield from _idents(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        yield from _idents(expr.lhs)
+        yield from _idents(expr.rhs)
+    elif isinstance(expr, ast.Ternary):
+        yield from _idents(expr.cond)
+        yield from _idents(expr.then)
+        yield from _idents(expr.other)
+    elif isinstance(expr, ast.Resize):
+        yield from _idents(expr.value)
+        yield from _idents(expr.width)
+    elif isinstance(expr, ast.Others):
+        yield from _idents(expr.value)
+
+
+def _target_base(expr: ast.Expr) -> str | None:
+    """The signal name an assignment target writes (None if not a name)."""
+    while isinstance(expr, (ast.Select, ast.PartSelect)):
+        expr = expr.base
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    return None
+
+
+def _target_index_reads(expr: ast.Expr) -> Iterable[str]:
+    """Identifiers *read* by an assignment target (indices, not the base)."""
+    if isinstance(expr, ast.Select):
+        yield from _target_index_reads(expr.base)
+        yield from _idents(expr.index)
+    elif isinstance(expr, ast.PartSelect):
+        yield from _target_index_reads(expr.base)
+        yield from _idents(expr.msb)
+        yield from _idents(expr.lsb)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from _target_index_reads(part)
+
+
+def _walk_assigns(
+    stmts: Sequence[ast.Stmt], conds: tuple[str, ...] = ()
+) -> Iterable[tuple[ast.Assign, tuple[str, ...]]]:
+    """Every procedural assignment with the condition reads guarding it."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            yield stmt, conds
+        elif isinstance(stmt, ast.If):
+            inner = conds + tuple(_idents(stmt.cond))
+            yield from _walk_assigns(stmt.then_body, inner)
+            yield from _walk_assigns(stmt.else_body, inner)
+        elif isinstance(stmt, ast.Case):
+            inner = conds + tuple(_idents(stmt.subject))
+            for item in stmt.items:
+                guarded = inner
+                for choice in item.choices:
+                    guarded = guarded + tuple(_idents(choice))
+                yield from _walk_assigns(item.body, guarded)
+        elif isinstance(stmt, ast.For):
+            inner = conds + tuple(_idents(stmt.cond))
+            yield from _walk_assigns(stmt.body, inner)
+
+
+# ---------------------------------------------------------------------------
+# ACC001 -- duplicate components (catalog scope)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HashedModule:
+    """One catalog module's identity for duplicate detection."""
+
+    module: str
+    file: str
+    hash: str
+
+
+def check_duplicates(hashed: Sequence[HashedModule]) -> list[LintFinding]:
+    """ACC001: group catalog modules by structural hash, flag collisions.
+
+    One finding per duplicate *beyond the first occurrence*; the message
+    names the original so a fix (drop one, or record the reuse) is obvious.
+    Identical (module, file) pairs listed twice are reported once.
+    """
+    first: dict[str, HashedModule] = {}
+    findings: list[LintFinding] = []
+    seen: set[tuple[str, str, str]] = set()
+    for hm in hashed:
+        if hm.hash not in first:
+            first[hm.hash] = hm
+            continue
+        orig = first[hm.hash]
+        if (hm.module, hm.file, hm.hash) in seen or (
+            hm.module == orig.module and hm.file == orig.file
+        ):
+            continue
+        seen.add((hm.module, hm.file, hm.hash))
+        where = f" ({orig.file})" if orig.file else ""
+        findings.append(
+            LintFinding(
+                rule="ACC001",
+                message=(
+                    f"module '{hm.module}' is structurally identical to "
+                    f"'{orig.module}'{where}; a reused component must be "
+                    "accounted once"
+                ),
+                severity=RULES["ACC001"].severity,
+                module=hm.module,
+                file=hm.file,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# ACC002 -- non-minimal parameters (module scope)
+# ---------------------------------------------------------------------------
+
+
+def check_nonminimal_parameters(ctx: ModuleContext) -> list[LintFinding]:
+    module = ctx.module
+    params = module.params
+    if not params:
+        return []
+    try:
+        minimal = minimal_parameters(ctx.design, module.name)
+        defaults: dict[str, int] = {}
+        env: dict[str, int] = {}
+        for p in params:
+            defaults[p.name] = eval_const(p.default, env)
+            env[p.name] = defaults[p.name]
+    except Exception:  # noqa: BLE001 -- unevaluable module: other rules report
+        return []
+    findings: list[LintFinding] = []
+    for p in params:
+        if defaults[p.name] == minimal[p.name]:
+            continue
+        blocker = minimal.blocker_for(p.name)
+        why = f" ({blocker})" if blocker is not None else ""
+        findings.append(
+            LintFinding(
+                rule="ACC002",
+                message=(
+                    f"parameter {p.name}={defaults[p.name]} is not the "
+                    f"smallest non-degenerate value; measure at "
+                    f"{p.name}={minimal[p.name]}{why}"
+                ),
+                severity=RULES["ACC002"].severity,
+                module=module.name,
+                file=ctx.file,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# ACC003 -- dead code under parameter-independent constants (module scope)
+# ---------------------------------------------------------------------------
+
+
+def _const_env(module: ast.Module) -> dict[str, int]:
+    """Local constants whose values do not depend on public parameters."""
+    env: dict[str, int] = {}
+    for item in module.items:
+        if isinstance(item, ast.ParamDecl) and item.local:
+            try:
+                env[item.name] = eval_const(item.default, env)
+            except ConstEvalError:
+                continue
+    return env
+
+
+def _try_const(expr: ast.Expr, env: dict[str, int]) -> int | None:
+    try:
+        return eval_const(expr, env)
+    except ConstEvalError:
+        return None
+
+
+def _const_trips(
+    loop: ast.GenerateFor | ast.For, env: dict[str, int]
+) -> int | None:
+    """Trip count when start/cond/step fold without parameters, else None."""
+    value = _try_const(loop.start, env)
+    if value is None:
+        return None
+    trips = 0
+    while trips <= 100000:
+        loop_env = dict(env)
+        loop_env[loop.var] = value
+        cond = _try_const(loop.cond, loop_env)
+        if cond is None:
+            return None
+        if not cond:
+            return trips
+        trips += 1
+        value = _try_const(loop.step, loop_env)
+        if value is None:
+            return None
+    return None
+
+
+def check_dead_code(ctx: ModuleContext) -> list[LintFinding]:
+    module = ctx.module
+    env = _const_env(module)
+    findings: list[LintFinding] = []
+
+    def flag(kind: str, line: int) -> None:
+        findings.append(
+            LintFinding(
+                rule="ACC003",
+                message=(
+                    f"{kind} is eliminated by constant propagation at every "
+                    "parameterization but still counts toward Stmts/LoC"
+                ),
+                severity=RULES["ACC003"].severity,
+                module=module.name,
+                file=ctx.file,
+                line=line,
+            )
+        )
+
+    def walk_items(items: Sequence[ast.Item]) -> None:
+        for item in items:
+            if isinstance(item, ast.GenerateIf):
+                cond = _try_const(item.cond, env)
+                if cond is not None:
+                    dropped = item.then_body if cond == 0 else item.else_body
+                    if dropped:
+                        flag("dead generate branch (constant condition)",
+                             item.line)
+                walk_items(item.then_body)
+                walk_items(item.else_body)
+            elif isinstance(item, ast.GenerateFor):
+                if item.body and _const_trips(item, env) == 0:
+                    flag("zero-trip generate loop", item.line)
+                walk_items(item.body)
+            elif isinstance(item, ast.ProcessBlock):
+                walk_stmts(item.body)
+
+    def walk_stmts(stmts: Sequence[ast.Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                cond = _try_const(stmt.cond, env)
+                if cond is not None:
+                    dropped = stmt.then_body if cond == 0 else stmt.else_body
+                    if dropped:
+                        flag("dead conditional branch (constant condition)",
+                             stmt.line)
+                walk_stmts(stmt.then_body)
+                walk_stmts(stmt.else_body)
+            elif isinstance(stmt, ast.Case):
+                subject = _try_const(stmt.subject, env)
+                if subject is not None and any(i.choices for i in stmt.items):
+                    flag("constant case subject (dead arms)", stmt.line)
+                for item in stmt.items:
+                    walk_stmts(item.body)
+            elif isinstance(stmt, ast.For):
+                if stmt.body and _const_trips(stmt, env) == 0:
+                    flag("zero-trip procedural loop", stmt.line)
+                walk_stmts(stmt.body)
+
+    walk_items(module.items)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W001 -- unused / undriven signals and ports (module scope)
+# ---------------------------------------------------------------------------
+
+
+def _usage(ctx: ModuleContext) -> tuple[set[str], set[str]]:
+    """(reads, writes) by signal name over the elaborated module."""
+    spec = ctx.spec
+    assert spec is not None
+    reads: set[str] = set()
+    writes: set[str] = set()
+
+    def read_expr(expr: ast.Expr) -> None:
+        reads.update(_idents(expr))
+
+    def write_target(target: ast.Expr) -> None:
+        base = _target_base(target)
+        if base is not None:
+            writes.add(base)
+        else:  # concatenation targets write every named part
+            for name in _idents(target):
+                writes.add(name)
+        reads.update(_target_index_reads(target))
+
+    for assign in spec.assigns:
+        write_target(assign.target)
+        read_expr(assign.value)
+    for process in spec.processes:
+        if process.clock:
+            reads.add(process.clock)
+        for stmt, conds in _walk_assigns(process.body):
+            reads.update(conds)
+            write_target(stmt.target)
+            read_expr(stmt.value)
+    for inst in spec.instances:
+        try:
+            child = ctx.design.module(inst.module_name)
+        except KeyError:
+            child = None
+        for port_name, expr in inst.connections:
+            direction = "input"
+            if child is not None:
+                try:
+                    direction = child.port(port_name).direction
+                except KeyError:
+                    pass
+            if direction == "input":
+                read_expr(expr)
+            else:  # output/inout: the child drives the connected nets
+                for name in _idents(expr):
+                    writes.add(name)
+    return reads, writes
+
+
+def check_unused(ctx: ModuleContext) -> list[LintFinding]:
+    if ctx.spec is None:
+        return []
+    reads, writes = _usage(ctx)
+    sev = RULES["W001"].severity
+    findings: list[LintFinding] = []
+    for sig in ctx.spec.signals.values():
+        if sig.direction == "input":
+            if sig.name not in reads:
+                findings.append(LintFinding(
+                    "W001", f"input port '{sig.name}' is never read",
+                    sev, ctx.module.name, ctx.file))
+        elif sig.direction is not None:
+            if sig.name not in writes:
+                findings.append(LintFinding(
+                    "W001", f"output port '{sig.name}' is never driven",
+                    sev, ctx.module.name, ctx.file))
+        elif sig.name not in reads:
+            what = ("driven but never read" if sig.name in writes
+                    else "never used")
+            findings.append(LintFinding(
+                "W001", f"signal '{sig.name}' is {what}",
+                sev, ctx.module.name, ctx.file))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W002 -- inferred latches (module scope)
+# ---------------------------------------------------------------------------
+
+
+def _assigned_paths(
+    stmts: Sequence[ast.Stmt],
+) -> tuple[set[str], set[str]]:
+    """(assigned on every path, assigned on some path) for a stmt list."""
+    must: set[str] = set()
+    may: set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            base = _target_base(stmt.target)
+            if base is not None:
+                must.add(base)
+                may.add(base)
+        elif isinstance(stmt, ast.If):
+            then_must, then_may = _assigned_paths(stmt.then_body)
+            else_must, else_may = _assigned_paths(stmt.else_body)
+            must |= then_must & else_must
+            may |= then_may | else_may
+        elif isinstance(stmt, ast.Case):
+            arm_musts = [_assigned_paths(i.body) for i in stmt.items]
+            has_default = any(not i.choices for i in stmt.items)
+            if arm_musts and has_default:
+                inter = set(arm_musts[0][0])
+                for m, _ in arm_musts[1:]:
+                    inter &= m
+                must |= inter
+            for _, m in arm_musts:
+                may |= m
+        elif isinstance(stmt, ast.For):
+            # A loop may execute zero times: contributions are may-only.
+            _, body_may = _assigned_paths(stmt.body)
+            may |= body_may
+    return must, may
+
+
+def check_latches(ctx: ModuleContext) -> list[LintFinding]:
+    if ctx.spec is None:
+        return []
+    findings: list[LintFinding] = []
+    for process in ctx.spec.processes:
+        if process.kind != "comb":
+            continue
+        must, may = _assigned_paths(process.body)
+        for name in sorted(may - must):
+            findings.append(
+                LintFinding(
+                    rule="W002",
+                    message=(
+                        f"'{name}' is not assigned on every path of a "
+                        "combinational process; a latch is inferred"
+                    ),
+                    severity=RULES["W002"].severity,
+                    module=ctx.module.name,
+                    file=ctx.file,
+                    line=process.line,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W003 -- combinational loops (module scope)
+# ---------------------------------------------------------------------------
+
+
+def check_comb_loops(ctx: ModuleContext) -> list[LintFinding]:
+    spec = ctx.spec
+    if spec is None:
+        return []
+    graph = nx.DiGraph()
+
+    def add_edges(target: ast.Expr, deps: Iterable[str]) -> None:
+        base = _target_base(target)
+        if base is None or base not in spec.signals:
+            return
+        for dep in deps:
+            if dep in spec.signals and not spec.signals[dep].is_memory:
+                graph.add_edge(dep, base)
+
+    for assign in spec.assigns:
+        add_edges(assign.target, _idents(assign.value))
+    for process in spec.processes:
+        if process.kind != "comb":
+            continue  # a flip-flop breaks the cycle
+        # Signals already (re)computed earlier in the same process are
+        # sequential dataflow (`y = a; y = y ^ b;`), not feedback.
+        assigned_before: set[str] = set()
+        for stmt, conds in _walk_assigns(process.body):
+            deps = set(_idents(stmt.value)) | set(conds)
+            add_edges(stmt.target, deps - assigned_before)
+            base = _target_base(stmt.target)
+            if base is not None:
+                assigned_before.add(base)
+
+    findings: list[LintFinding] = []
+    for component in nx.strongly_connected_components(graph):
+        nodes = sorted(component)
+        if len(nodes) == 1 and not graph.has_edge(nodes[0], nodes[0]):
+            continue
+        cycle = " -> ".join(nodes + [nodes[0]])
+        findings.append(
+            LintFinding(
+                rule="W003",
+                message=f"combinational loop: {cycle}",
+                severity=RULES["W003"].severity,
+                module=ctx.module.name,
+                file=ctx.file,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W004 -- width mismatches (module scope)
+# ---------------------------------------------------------------------------
+
+
+def _expr_width(expr: ast.Expr, spec: ElaboratedModule) -> int | None:
+    """Static bit width of an expression, or None when undeterminable."""
+    if isinstance(expr, ast.Number):
+        return expr.width
+    if isinstance(expr, ast.Ident):
+        sig = spec.signals.get(expr.name)
+        return sig.width if sig is not None else None
+    if isinstance(expr, ast.Select):
+        if isinstance(expr.base, ast.Ident):
+            sig = spec.signals.get(expr.base.name)
+            if sig is not None and sig.is_memory:
+                return sig.width  # memory word read
+        return 1
+    if isinstance(expr, ast.PartSelect):
+        msb = _try_const(expr.msb, spec.env)
+        lsb = _try_const(expr.lsb, spec.env)
+        if msb is None or lsb is None:
+            return None
+        return msb - lsb + 1
+    if isinstance(expr, ast.Concat):
+        total = 0
+        for part in expr.parts:
+            w = _expr_width(part, spec)
+            if w is None:
+                return None
+            total += w
+        return total
+    if isinstance(expr, ast.Repeat):
+        count = _try_const(expr.count, spec.env)
+        w = _expr_width(expr.value, spec)
+        if count is None or w is None:
+            return None
+        return count * w
+    if isinstance(expr, ast.Unary):
+        if expr.op in ("&", "|", "^", "!", "~&", "~|", "~^"):
+            return 1  # reduction / logical negation
+        return _expr_width(expr.operand, spec)
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return 1
+        if expr.op in ("<<", ">>"):
+            return _expr_width(expr.lhs, spec)
+        lhs = _expr_width(expr.lhs, spec)
+        rhs = _expr_width(expr.rhs, spec)
+        if lhs is None or rhs is None:
+            return None
+        return max(lhs, rhs)
+    if isinstance(expr, ast.Ternary):
+        then = _expr_width(expr.then, spec)
+        other = _expr_width(expr.other, spec)
+        if then is None or other is None:
+            return None
+        return max(then, other)
+    if isinstance(expr, ast.Resize):
+        return _try_const(expr.width, spec.env)
+    return None  # Others: width comes from context
+
+
+def _target_width(expr: ast.Expr, spec: ElaboratedModule) -> int | None:
+    if isinstance(expr, ast.Ident):
+        sig = spec.signals.get(expr.name)
+        if sig is None:
+            return None
+        return sig.width
+    return _expr_width(expr, spec)
+
+
+def check_width_mismatch(ctx: ModuleContext) -> list[LintFinding]:
+    spec = ctx.spec
+    if spec is None:
+        return []
+    findings: list[LintFinding] = []
+
+    def check(target: ast.Expr, value: ast.Expr, line: int) -> None:
+        tw = _target_width(target, spec)
+        vw = _expr_width(value, spec)
+        if tw is None or vw is None or tw == vw:
+            return
+        base = _target_base(target) or "<target>"
+        findings.append(
+            LintFinding(
+                rule="W004",
+                message=(
+                    f"assignment to '{base}' mixes widths: target is "
+                    f"{tw} bit(s), expression is {vw} bit(s)"
+                ),
+                severity=RULES["W004"].severity,
+                module=ctx.module.name,
+                file=ctx.file,
+                line=line,
+            )
+        )
+
+    for assign in spec.assigns:
+        check(assign.target, assign.value, assign.line)
+    for process in spec.processes:
+        for stmt, _ in _walk_assigns(process.body):
+            check(stmt.target, stmt.value, stmt.line)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+RULES: dict[str, LintRule] = {
+    rule.code: rule
+    for rule in (
+        LintRule(
+            code="ACC001",
+            name="duplicate-component",
+            severity=Severity.ERROR,
+            description="structurally isomorphic modules counted twice",
+            hint="account reused components once (Section 2.2): drop the "
+                 "copy or suppress the pair in .ucomplexity-lint.toml if "
+                 "the designs genuinely diverged after measurement",
+            scope="catalog",
+        ),
+        LintRule(
+            code="ACC002",
+            name="non-minimal-parameters",
+            severity=Severity.ERROR,
+            description="declared parameter defaults exceed the minimal "
+                        "non-degenerate values",
+            hint="measure at the smallest non-degenerate parameter values; "
+                 "the finding names the construct blocking further "
+                 "minimization",
+            check=check_nonminimal_parameters,
+        ),
+        LintRule(
+            code="ACC003",
+            name="dead-code",
+            severity=Severity.ERROR,
+            description="statements eliminated by constant propagation at "
+                        "every parameterization",
+            hint="delete the dead branch (or make its condition depend on "
+                 "a parameter); dead statements inflate Stmts/LoC without "
+                 "adding design effort",
+            check=check_dead_code,
+        ),
+        LintRule(
+            code="W001",
+            name="unused-signal",
+            severity=Severity.WARNING,
+            description="unused or undriven signal/port",
+            hint="delete the dangling declaration or connect it; dead nets "
+                 "inflate the net count",
+            check=check_unused,
+        ),
+        LintRule(
+            code="W002",
+            name="inferred-latch",
+            severity=Severity.WARNING,
+            description="incomplete assignment in a combinational process",
+            hint="assign the signal on every path (add an else/default or "
+                 "a leading unconditional assignment)",
+            check=check_latches,
+        ),
+        LintRule(
+            code="W003",
+            name="combinational-loop",
+            severity=Severity.WARNING,
+            description="cycle in the combinational net dependency graph",
+            hint="break the loop with a register or restructure the logic",
+            check=check_comb_loops,
+        ),
+        LintRule(
+            code="W004",
+            name="width-mismatch",
+            severity=Severity.WARNING,
+            description="assignment target and expression widths differ",
+            hint="resize or slice the expression explicitly; implicit "
+                 "truncation/extension hides bugs",
+            check=check_width_mismatch,
+        ),
+    )
+}
+
+ACC_RULES: tuple[str, ...] = tuple(c for c in RULES if c.startswith("ACC"))
+HYGIENE_RULES: tuple[str, ...] = tuple(c for c in RULES if c.startswith("W"))

@@ -92,7 +92,7 @@ def _run_traced_task(fn, namespace: str, capture_trace: bool) -> TaskOutcome:
 
 def _measure_task(payload: tuple) -> TaskOutcome:
     """Measure one component (the batch-level unit of work)."""
-    spec, strict, cache, capture_trace, namespace = payload
+    spec, strict, cache, lint, capture_trace, namespace = payload
     from repro.core.workflow import measure_component_safe
 
     def run():
@@ -103,6 +103,7 @@ def _measure_task(payload: tuple) -> TaskOutcome:
             policy=spec.policy,
             strict=strict,
             cache=cache,
+            lint=lint,
         )
         return result, ()
 
@@ -134,6 +135,18 @@ def _synthesize_task(payload: tuple) -> TaskOutcome:
                 sp.wall_s
             )
         return report, ()
+
+    return _run_traced_task(run, namespace, capture_trace)
+
+
+def _lint_task(payload: tuple) -> TaskOutcome:
+    """Lint one module (the lint run's unit of work)."""
+    design, module_name, config, capture_trace, namespace = payload
+    from repro.lint.engine import lint_module
+
+    def run():
+        result = lint_module(design, module_name, config)
+        return result, ()
 
     return _run_traced_task(run, namespace, capture_trace)
 
@@ -199,6 +212,7 @@ def measure_components_parallel(
     strict: bool = False,
     jobs: int = 2,
     cache=None,
+    lint: bool = False,
 ):
     """Measure a batch of components across a process pool.
 
@@ -213,7 +227,7 @@ def measure_components_parallel(
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("b")
     payloads = [
-        (spec, strict, cache, capture_trace, f"{run_ns}.w{i}")
+        (spec, strict, cache, lint, capture_trace, f"{run_ns}.w{i}")
         for i, spec in enumerate(specs)
     ]
     results: dict[str, Result] = {}
@@ -228,6 +242,7 @@ def measure_components_parallel(
                     policy=spec.policy,
                     strict=strict,
                     cache=cache,
+                    lint=lint,
                 )
             return BatchMeasurement(results=results)
         errors: list[BaseException] = []
@@ -245,6 +260,43 @@ def measure_components_parallel(
             # the first in batch order, matching sequential fail-fast.
             raise errors[0]
     return BatchMeasurement(results=results)
+
+
+def lint_modules_parallel(
+    design,
+    names: Sequence[str],
+    config,
+    jobs: int,
+) -> list:
+    """Lint the named modules of one design across a process pool.
+
+    The parallel twin of the sequential loop in
+    :func:`repro.lint.engine.lint_design`: one task per module, identical
+    :class:`~repro.lint.engine.ModuleLintResult` list back (in ``names``
+    order).  Worker telemetry merges on join like every other pool here;
+    an unusable pool degrades to the sequential loop in-process.
+    """
+    from repro.lint.engine import lint_module
+
+    capture_trace = obs_trace.active() is not None
+    run_ns = _next_namespace("l")
+    payloads = [
+        (design, name, config, capture_trace, f"{run_ns}.w{i}")
+        for i, name in enumerate(names)
+    ]
+    with obs_trace.span("lint.batch", modules=len(names), jobs=jobs):
+        outcomes = _pool_run(_lint_task, payloads, jobs)
+        if outcomes is None:
+            return [lint_module(design, name, config) for name in names]
+        results = []
+        for name, outcome in zip(names, outcomes):
+            merge_worker_telemetry(outcome)
+            if outcome.error is not None:
+                # lint_module quarantines rule crashes itself; anything that
+                # escapes a worker is an engine bug worth surfacing.
+                raise outcome.error
+            results.append(outcome.value)
+    return results
 
 
 def synthesize_specializations(

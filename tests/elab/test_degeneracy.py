@@ -1,7 +1,5 @@
 """Tests for the parameter-scaling degeneracy analysis (Section 2.2)."""
 
-import pytest
-
 from repro.elab import degeneracy_events, is_degenerate, minimal_parameters
 from repro.hdl import parse_verilog
 from repro.hdl.source import SourceFile
@@ -108,6 +106,101 @@ class TestDegeneracyEvents:
         assert any("queue:" in str(e) for e in events)
 
 
+class TestGenerateTripCounts:
+    """Direct trip-count behaviour of generate loops at the 0/1 boundary."""
+
+    LOOP = """
+    module m #(parameter N = 4)(input [7:0] a, output [7:0] y);
+      assign y[0] = a[0];
+      genvar i;
+      generate
+        for (i = 0; i < N; i = i + 1) begin : body
+          wire t;
+          assign t = a[i];
+        end
+      endgenerate
+    endmodule
+    """
+
+    def test_zero_trips_is_degenerate(self):
+        events = degeneracy_events(_design(self.LOOP), "m", {"N": 0})
+        [event] = [e for e in events if e.kind == "zero-trip-loop"]
+        assert event.module == "m"
+        assert "body" in event.detail
+        assert event.line > 0
+
+    def test_one_trip_is_not_degenerate(self):
+        # A single iteration keeps the loop alive: the paper's rule asks for
+        # the smallest value that does not optimize the loop away, and one
+        # trip does not.
+        assert degeneracy_events(_design(self.LOOP), "m", {"N": 1}) == []
+
+    def test_nested_zero_trip_inner_loop(self):
+        design = _design(
+            """
+            module m #(parameter R = 2, C = 2)(input [7:0] a, output y);
+              assign y = a[0];
+              genvar i, j;
+              generate
+                for (i = 0; i < R; i = i + 1) begin : rows
+                  for (j = 1; j < C; j = j + 1) begin : cols
+                    wire t;
+                    assign t = a[i] ^ a[j];
+                  end
+                end
+              endgenerate
+            endmodule
+            """
+        )
+        events = degeneracy_events(design, "m", {"R": 2, "C": 1})
+        assert any(
+            e.kind == "zero-trip-loop" and "cols" in e.detail for e in events
+        )
+        assert degeneracy_events(design, "m", {"R": 1, "C": 2}) == []
+
+
+class TestConstevalFoldedConditionals:
+    """Conditionals whose guards fold only after constant evaluation."""
+
+    def test_arithmetic_guard_folds_in_generate(self):
+        # `W * 2 > 2` is not syntactically constant; consteval folds it
+        # to false at W = 1 and the then-arm is eliminated.
+        design = _design(
+            """
+            module m #(parameter W = 4)(input [7:0] a, output y);
+              assign y = a[0];
+              generate
+                if (W * 2 > 2) begin
+                  wire wide;
+                  assign wide = a[1];
+                end
+              endgenerate
+            endmodule
+            """
+        )
+        events = degeneracy_events(design, "m", {"W": 1})
+        assert any(e.kind == "dead-conditional" for e in events)
+        assert degeneracy_events(design, "m", {"W": 2}) == []
+
+    def test_localparam_derived_guard_folds(self):
+        # The guard references a localparam computed from the parameter;
+        # only constant propagation through HALF exposes the dead branch.
+        design = _design(
+            """
+            module m #(parameter D = 8)(input [7:0] a, output reg y);
+              localparam HALF = D / 2;
+              always @(*) begin
+                y = a[0];
+                if (HALF > 0) y = a[1];
+              end
+            endmodule
+            """
+        )
+        events = degeneracy_events(design, "m", {"D": 1})
+        assert any(e.kind == "dead-conditional" for e in events)
+        assert degeneracy_events(design, "m", {"D": 2}) == []
+
+
 class TestMinimalParameters:
     def test_queue_minimal(self):
         # W needs 2 (the i=1..W-1 chain and the W>1 guard); D needs only 1.
@@ -157,3 +250,50 @@ class TestMinimalParameters:
             """
         )
         assert minimal_parameters(design, "m") == {"MODE": 3}
+
+
+class TestBlockerProvenance:
+    """MinimalParameters records *which construct* blocks minimization."""
+
+    def test_queue_blockers(self):
+        minimal = minimal_parameters(_design(_QUEUE), "queue")
+        assert minimal == {"W": 2, "D": 1}
+        blocker = minimal.blocker_for("W")
+        assert blocker is not None
+        assert blocker.rejected_value == 1
+        kinds = {e.kind for e in blocker.events}
+        assert "zero-trip-loop" in kinds  # the i=1..W-1 chain at W=1
+        # D reaches 1 on the first probe: nothing blocks it.
+        assert minimal.blocker_for("D") is None
+
+    def test_blocker_str_names_threshold_and_events(self):
+        minimal = minimal_parameters(_design(_QUEUE), "queue")
+        text = str(minimal.blocker_for("W"))
+        assert "W < 2 is degenerate" in text
+        assert "W=1" in text
+        assert "zero-trip-loop" in text
+
+    def test_elaboration_failure_blocker(self):
+        # W=1 makes `wire [W-2:0]` zero-width: the blocker carries the
+        # elaboration failure itself as the provenance event.
+        design = _design(
+            """
+            module m #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);
+              wire [W-2:0] tmp;
+              assign tmp = a[W-2:0];
+              assign y = {a[W-1], tmp};
+            endmodule
+            """
+        )
+        minimal = minimal_parameters(design, "m")
+        assert minimal == {"W": 2}
+        blocker = minimal.blocker_for("W")
+        assert blocker is not None
+        assert any(e.kind == "elaboration-failure" for e in blocker.events)
+
+    def test_dict_equality_preserved(self):
+        # The provenance-carrying result stays drop-in dict compatible.
+        minimal = minimal_parameters(_design(_QUEUE), "queue")
+        assert dict(minimal) == {"W": 2, "D": 1}
+        assert len(minimal) == 2
+        assert set(minimal) == {"W", "D"}

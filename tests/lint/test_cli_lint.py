@@ -1,0 +1,113 @@
+"""``ucomplexity lint``: the 0/1/2 exit-code contract and its flags."""
+
+from repro.cli import main
+
+CLEAN = "module ok(input a, output y);\n  assign y = ~a;\nendmodule\n"
+DANGLE = (
+    "module dangle(input a, output y);\n"
+    "  wire floating;\n  assign y = a;\nendmodule\n"
+)
+BROKEN = "module oops(input a\n"
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        assert main(["lint", _write(tmp_path, "ok.v", CLEAN)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main(["lint", _write(tmp_path, "d.v", DANGLE)]) == 1
+        out = capsys.readouterr().out
+        assert "W001" in out and "floating" in out
+
+    def test_strict_promotes_findings_to_two(self, tmp_path):
+        assert main(
+            ["lint", "--strict", _write(tmp_path, "d.v", DANGLE)]
+        ) == 2
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        assert main(["lint", _write(tmp_path, "b.v", BROKEN)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nope.v")]) == 2
+
+
+class TestRuleSelection:
+    def test_disable(self, tmp_path):
+        path = _write(tmp_path, "d.v", DANGLE)
+        assert main(["lint", "--disable", "W001", path]) == 0
+
+    def test_only_rules(self, tmp_path):
+        path = _write(tmp_path, "d.v", DANGLE)
+        assert main(["lint", "--rules", "ACC001,ACC002,ACC003", path]) == 0
+
+
+class TestConfigIntegration:
+    def test_explicit_config(self, tmp_path):
+        cfg = tmp_path / "mylint.toml"
+        cfg.write_text("[rules]\nW001 = false\n")
+        path = _write(tmp_path, "d.v", DANGLE)
+        assert main(["lint", "--config", str(cfg), path]) == 0
+
+    def test_discovered_config_next_to_sources(self, tmp_path):
+        (tmp_path / ".ucomplexity-lint.toml").write_text(
+            "[rules]\nW001 = false\n"
+        )
+        path = _write(tmp_path, "d.v", DANGLE)
+        assert main(["lint", path]) == 0
+
+    def test_no_config_ignores_discovery(self, tmp_path):
+        (tmp_path / ".ucomplexity-lint.toml").write_text(
+            "[rules]\nW001 = false\n"
+        )
+        path = _write(tmp_path, "d.v", DANGLE)
+        assert main(["lint", "--no-config", path]) == 1
+
+    def test_bad_config_exits_two(self, tmp_path, capsys):
+        cfg = tmp_path / "bad.toml"
+        cfg.write_text("[rules]\nNOPE = false\n")
+        path = _write(tmp_path, "ok.v", CLEAN)
+        assert main(["lint", "--config", str(cfg), path]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+
+class TestBaselineFlow:
+    def test_write_then_clean(self, tmp_path, capsys):
+        path = _write(tmp_path, "d.v", DANGLE)
+        baseline = tmp_path / ".ucomplexity-lint.toml"
+        assert main(["lint", "--write-baseline", str(baseline), path]) == 0
+        assert "1 suppression" in capsys.readouterr().out
+        # The discovered baseline now silences the finding.
+        assert main(["lint", path]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+
+class TestMeasureLintFlag:
+    def test_measure_lint_warns_but_exits_zero(self, tmp_path, capsys):
+        bloat = _write(tmp_path, "bloat.v", """
+module bloat #(parameter W = 4) (input [W-1:0] a, output [W-1:0] y);
+  wire [W-2:0] tmp;
+  assign tmp = a[W-2:0];
+  assign y = {a[W-1], tmp};
+endmodule
+""")
+        code = main(
+            ["measure", bloat, "--top", "bloat", "--lint", "--no-cache"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "accounting audit" in err and "ACC002" in err
+
+    def test_measure_default_does_not_lint(self, tmp_path, capsys):
+        dangle = _write(tmp_path, "d.v", DANGLE)
+        assert main(
+            ["measure", dangle, "--top", "dangle", "--no-cache"]
+        ) == 0
+        assert "accounting audit" not in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Configuration: TOML load, discovery walk, baseline write/roundtrip."""
+
+import pytest
+
+from repro.hdl.source import SourceFile
+from repro.lint import (
+    CONFIG_FILENAME,
+    LintConfig,
+    LintConfigError,
+    discover_config,
+    lint_sources,
+    load_config,
+    write_baseline,
+)
+from repro.lint.rules import LintFinding
+from repro.runtime.diagnostics import Severity
+
+DANGLE = SourceFile("dangle.v", """
+module dangle(input a, output y);
+  wire floating;
+  assign y = a;
+endmodule
+""")
+
+
+class TestLoadConfig:
+    def test_rule_toggle(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text("[rules]\nW001 = false\n")
+        config = load_config(cfg)
+        assert not config.enabled("W001")
+        assert config.enabled("W002")
+        report = lint_sources([DANGLE], config)
+        assert report.clean
+
+    def test_severity_override(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text('[severity]\nW001 = "error"\n')
+        report = lint_sources([DANGLE], load_config(cfg))
+        [finding] = report.findings
+        assert finding.severity == Severity.ERROR
+
+    def test_suppression_matches(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text(
+            '[[suppress]]\nrule = "W001"\nmodule = "dangle"\n'
+            'reason = "known dead net"\n'
+        )
+        report = lint_sources([DANGLE], load_config(cfg))
+        assert not report.findings
+        assert len(report.suppressed) == 1
+        assert report.exit_code == 0
+
+    def test_suppression_other_module_does_not_match(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text('[[suppress]]\nrule = "W001"\nmodule = "other"\n')
+        report = lint_sources([DANGLE], load_config(cfg))
+        assert len(report.findings) == 1
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text("[rules]\nZZZ999 = false\n")
+        with pytest.raises(LintConfigError, match="ZZZ999"):
+            load_config(cfg)
+
+    def test_bad_severity_rejected(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text('[severity]\nW001 = "whatever"\n')
+        with pytest.raises(LintConfigError, match="severity"):
+            load_config(cfg)
+
+    def test_unknown_section_rejected(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text("[sup]\nx = 1\n")
+        with pytest.raises(LintConfigError, match="unknown sections"):
+            load_config(cfg)
+
+    def test_malformed_toml_rejected(self, tmp_path):
+        cfg = tmp_path / CONFIG_FILENAME
+        cfg.write_text("[rules\n")
+        with pytest.raises(LintConfigError):
+            load_config(cfg)
+
+
+class TestDiscoverConfig:
+    def test_walks_upward(self, tmp_path):
+        (tmp_path / CONFIG_FILENAME).write_text("[rules]\nW004 = false\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        config = discover_config(nested)
+        assert not config.enabled("W004")
+
+    def test_nearest_wins(self, tmp_path):
+        (tmp_path / CONFIG_FILENAME).write_text("[rules]\nW004 = false\n")
+        nested = tmp_path / "sub"
+        nested.mkdir()
+        (nested / CONFIG_FILENAME).write_text("[rules]\nW001 = false\n")
+        config = discover_config(nested / "file.v")
+        assert not config.enabled("W001")
+        assert config.enabled("W004")
+
+    def test_missing_gives_defaults(self, tmp_path):
+        config = discover_config(tmp_path)
+        assert config == LintConfig()
+
+
+class TestWithRules:
+    def test_only_restricts(self):
+        config = LintConfig().with_rules(only=["ACC001", "ACC002"])
+        assert config.enabled("ACC001")
+        assert not config.enabled("W001")
+
+    def test_disable_stacks(self):
+        config = LintConfig().with_rules(disable=["W001"])
+        assert not config.enabled("W001")
+        assert config.enabled("W002")
+
+
+class TestBaseline:
+    def test_roundtrip_silences_findings(self, tmp_path):
+        report = lint_sources([DANGLE])
+        assert report.findings
+        path = tmp_path / CONFIG_FILENAME
+        count = write_baseline(report.findings, path)
+        assert count == 1
+        rerun = lint_sources([DANGLE], load_config(path))
+        assert not rerun.findings
+        assert rerun.exit_code == 0
+
+    def test_duplicate_findings_collapse(self, tmp_path):
+        finding = LintFinding(
+            rule="W001", message="x", severity=Severity.WARNING,
+            module="m", file="f.v",
+        )
+        path = tmp_path / "base.toml"
+        assert write_baseline([finding, finding], path) == 1

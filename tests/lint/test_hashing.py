@@ -1,0 +1,144 @@
+"""Structural hashing (ACC001 substrate): isomorphism, not text equality."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.hdl import parse_source
+from repro.hdl.source import SourceFile
+from repro.lint import design_hashes, lint_sources, structural_hash
+
+RAT_DIR = (
+    Path(__file__).resolve().parents[2]
+    / "src" / "repro" / "designs" / "rtl" / "rat"
+)
+
+
+def _module(text: str, name: str = "m.v"):
+    design = parse_source(SourceFile(name, text))
+    [module] = design.modules.values()
+    return module, design
+
+
+class TestStructuralHash:
+    def test_renamed_module_hashes_equal(self):
+        a, _ = _module("""
+module alpha(input x, input y, output z);
+  wire mid;
+  assign mid = x & y;
+  assign z = ~mid;
+endmodule
+""")
+        b, _ = _module("""
+module beta(input p, input q, output r);
+  wire tmp;
+  assign tmp = p & q;
+  assign r = ~tmp;
+endmodule
+""")
+        assert structural_hash(a) == structural_hash(b)
+
+    def test_different_operator_hashes_differ(self):
+        a, _ = _module("module a(input x, output y); assign y = ~x; endmodule")
+        b, _ = _module("module b(input x, output y); assign y = x; endmodule")
+        assert structural_hash(a) != structural_hash(b)
+
+    def test_constant_value_matters(self):
+        a, _ = _module(
+            "module a(output [3:0] y); assign y = 4'd3; endmodule"
+        )
+        b, _ = _module(
+            "module b(output [3:0] y); assign y = 4'd7; endmodule"
+        )
+        assert structural_hash(a) != structural_hash(b)
+
+    def test_line_numbers_and_whitespace_ignored(self):
+        a, _ = _module(
+            "module a(input x, output y);\n  assign y = ~x;\nendmodule"
+        )
+        b, _ = _module(
+            "\n\n\nmodule b(input x, output y);\n\n\n  assign y = ~x;\n"
+            "endmodule"
+        )
+        assert structural_hash(a) == structural_hash(b)
+
+    def test_cross_language_isomorphism(self):
+        verilog, _ = _module(
+            "module vgate(input a, input b, output y);\n"
+            "  assign y = a & b;\nendmodule"
+        )
+        vhdl_design = parse_source(SourceFile("g.vhd", """
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity hgate is
+  port (a : in std_logic; b : in std_logic; y : out std_logic);
+end entity;
+
+architecture rtl of hgate is
+begin
+  y <= a and b;
+end architecture;
+"""))
+        [vhdl_mod] = vhdl_design.modules.values()
+        assert structural_hash(verilog) == structural_hash(vhdl_mod)
+
+    def test_renamed_hierarchy_hashes_equal(self):
+        # Parent + leaf renamed together: instance references resolve to
+        # the child's own structural hash, so the pair still collides.
+        text_a = """
+module leaf_a(input i, output o);
+  assign o = ~i;
+endmodule
+module top_a(input x, output y);
+  leaf_a u0 (.i(x), .o(y));
+endmodule
+"""
+        text_b = """
+module leaf_b(input p, output q);
+  assign q = ~p;
+endmodule
+module top_b(input m, output n);
+  leaf_b inst (.p(m), .q(n));
+endmodule
+"""
+        da = parse_source(SourceFile("a.v", text_a))
+        db = parse_source(SourceFile("b.v", text_b))
+        assert structural_hash(da.modules["top_a"], da) == structural_hash(
+            db.modules["top_b"], db
+        )
+
+    def test_design_hashes_covers_all_modules(self):
+        design = parse_source(SourceFile("a.v", """
+module one(input x, output y); assign y = ~x; endmodule
+module two(input x, output y); assign y = x; endmodule
+"""))
+        hashes = design_hashes(design)
+        assert set(hashes) == {"one", "two"}
+        assert hashes["one"] != hashes["two"]
+
+
+@pytest.mark.skipif(not RAT_DIR.is_dir(), reason="bundled designs missing")
+class TestRatAcceptance:
+    """The Section 5.3 acceptance case: two genuinely different RAT styles."""
+
+    def _report(self):
+        sources = [
+            SourceFile.from_path(p) for p in sorted(RAT_DIR.glob("*.v"))
+        ]
+        return lint_sources(sources)
+
+    def test_distinct_rat_tops_not_flagged(self):
+        report = self._report()
+        flagged = {f.module for f in report.findings if f.rule == "ACC001"}
+        assert "rat_standard" not in flagged
+        assert "rat_sliding" not in flagged
+
+    def test_renamed_isomorphic_freelists_flagged(self):
+        # rat_freelist and rat_sliding_freelist are the same design under
+        # two names -- exactly the double-counting ACC001 exists to catch.
+        report = self._report()
+        acc001 = [f for f in report.findings if f.rule == "ACC001"]
+        assert len(acc001) == 1
+        assert acc001[0].module == "rat_freelist"
+        assert "rat_sliding_freelist" in acc001[0].message

@@ -1,0 +1,335 @@
+"""Per-rule unit tests: each rule fires on its violation and only then."""
+
+from repro.hdl.source import SourceFile
+from repro.lint import lint_sources
+from repro.runtime.diagnostics import Severity
+
+
+def _lint(*texts: str, ext: str = "v"):
+    sources = [
+        SourceFile(f"f{i}.{ext}", text) for i, text in enumerate(texts)
+    ]
+    return lint_sources(sources)
+
+
+def _rules(report) -> list[str]:
+    return [f.rule for f in report.findings]
+
+
+CLEAN = """
+module clean(input a, input b, output y);
+  wire mid;
+  assign mid = a & b;
+  assign y = ~mid;
+endmodule
+"""
+
+
+class TestCleanModule:
+    def test_no_findings_no_errors(self):
+        report = _lint(CLEAN)
+        assert report.clean
+        assert report.exit_code == 0
+        assert report.summary().startswith("clean:")
+
+
+class TestACC001Duplicates:
+    def test_renamed_copy_flagged_once(self):
+        copy = CLEAN.replace("clean", "kopie").replace("mid", "zz")
+        report = _lint(CLEAN, copy)
+        assert _rules(report) == ["ACC001"]
+        [finding] = report.findings
+        assert finding.module == "kopie"  # the later occurrence
+        assert "clean" in finding.message
+        assert finding.severity == Severity.ERROR
+
+    def test_three_copies_two_findings(self):
+        c2 = CLEAN.replace("clean", "c2")
+        c3 = CLEAN.replace("clean", "c3")
+        report = _lint(CLEAN, c2, c3)
+        assert _rules(report) == ["ACC001", "ACC001"]
+
+    def test_structurally_different_not_flagged(self):
+        other = CLEAN.replace("a & b", "a | b").replace("clean", "differ")
+        report = _lint(CLEAN, other)
+        assert report.clean
+
+
+class TestACC002NonMinimalParameters:
+    BLOATED = """
+module bloat #(parameter W = 4) (
+  input [W-1:0] a,
+  output [W-1:0] y
+);
+  wire [W-2:0] tmp;
+  assign tmp = a[W-2:0];
+  assign y = {a[W-1], tmp};
+endmodule
+"""
+
+    def test_non_minimal_default_flagged_with_provenance(self):
+        report = _lint(self.BLOATED)
+        assert _rules(report) == ["ACC002"]
+        [finding] = report.findings
+        assert "W=4" in finding.message
+        assert "measure at W=2" in finding.message
+        # The blocker provenance names what breaks at W=1.
+        assert "W=1" in finding.message
+
+    def test_minimal_default_not_flagged(self):
+        report = _lint(self.BLOATED.replace("W = 4", "W = 2"))
+        assert report.clean
+
+
+class TestACC003DeadCode:
+    def test_constant_false_procedural_if(self):
+        report = _lint("""
+module dead(input a, input b, output reg y);
+  always @(*) begin
+    y = a;
+    if (1 == 0) begin
+      y = b;
+    end
+  end
+endmodule
+""")
+        assert _rules(report) == ["ACC003"]
+
+    def test_dead_generate_arm(self):
+        report = _lint("""
+module deadgen(input a, output y);
+  localparam MODE = 0;
+  wire t;
+  assign t = a;
+  assign y = t;
+  generate
+    if (MODE == 1) begin
+      assign t = ~a;
+    end
+  endgenerate
+endmodule
+""")
+        assert _rules(report) == ["ACC003"]
+
+    def test_parameter_dependent_generate_not_flagged(self):
+        # `if (W > 1)` is alive at some parameterization; flagging it would
+        # punish ordinary parameterized RTL.
+        report = _lint("""
+module paramgen #(parameter W = 1) (input [W-1:0] a, output [W-1:0] y);
+  generate
+    if (W > 1) begin
+      assign y = ~a;
+    end else begin
+      assign y = a;
+    end
+  endgenerate
+endmodule
+""")
+        assert report.clean
+
+    def test_zero_trip_generate_loop(self):
+        report = _lint("""
+module zerotrip(input a, output y);
+  localparam N = 0;
+  wire t;
+  assign t = a;
+  assign y = t;
+  genvar g;
+  generate
+    for (g = 0; g < N; g = g + 1) begin : gl
+      assign t = ~a;
+    end
+  endgenerate
+endmodule
+""")
+        assert _rules(report) == ["ACC003"]
+
+
+class TestW001Unused:
+    def test_dangling_wire(self):
+        report = _lint("""
+module dangle(input a, output y);
+  wire floating;
+  assign y = a;
+endmodule
+""")
+        assert _rules(report) == ["W001"]
+        assert "floating" in report.findings[0].message
+
+    def test_unread_input_and_undriven_output(self):
+        report = _lint("""
+module ports(input a, input unused_in, output y, output undriven_out);
+  assign y = a;
+endmodule
+""")
+        assert sorted(_rules(report)) == ["W001", "W001"]
+        messages = " / ".join(f.message for f in report.findings)
+        assert "unused_in" in messages and "undriven_out" in messages
+
+    def test_instance_connections_count_as_usage(self):
+        report = _lint("""
+module leaf(input i, output o);
+  assign o = ~i;
+endmodule
+module parent(input x, output y);
+  leaf u0 (.i(x), .o(y));
+endmodule
+""")
+        assert report.clean
+
+
+class TestW002InferredLatch:
+    def test_incomplete_if_infers_latch(self):
+        report = _lint("""
+module latchy(input s, input d, output reg q);
+  always @(*) begin
+    if (s) begin
+      q = d;
+    end
+  end
+endmodule
+""")
+        assert _rules(report) == ["W002"]
+
+    def test_complete_if_else_clean(self):
+        report = _lint("""
+module okif(input s, input d, output reg q);
+  always @(*) begin
+    if (s) begin
+      q = d;
+    end else begin
+      q = ~d;
+    end
+  end
+endmodule
+""")
+        assert report.clean
+
+    def test_leading_default_assignment_clean(self):
+        report = _lint("""
+module okdefault(input s, input d, output reg q);
+  always @(*) begin
+    q = ~d;
+    if (s) begin
+      q = d;
+    end
+  end
+endmodule
+""")
+        assert report.clean
+
+    def test_sequential_process_exempt(self):
+        report = _lint("""
+module flop(input clk, input s, input d, output reg q);
+  always @(posedge clk) begin
+    if (s) begin
+      q <= d;
+    end
+  end
+endmodule
+""")
+        assert report.clean
+
+    def test_case_without_default_infers_latch(self):
+        report = _lint("""
+module caselatch(input [1:0] sel, input d, output reg q);
+  always @(*) begin
+    case (sel)
+      2'd0: q = d;
+      2'd1: q = ~d;
+    endcase
+  end
+endmodule
+""")
+        assert _rules(report) == ["W002"]
+
+
+class TestW003CombLoop:
+    def test_cross_coupled_assigns(self):
+        report = _lint("""
+module loopy(input a, output y);
+  wire p;
+  wire q;
+  assign p = q & a;
+  assign q = p | a;
+  assign y = p;
+endmodule
+""")
+        assert _rules(report) == ["W003"]
+        assert "p" in report.findings[0].message
+
+    def test_register_breaks_loop(self):
+        report = _lint("""
+module broken_loop(input clk, input a, output y);
+  wire nxt;
+  reg state;
+  assign nxt = state ^ a;
+  always @(posedge clk) begin
+    state <= nxt;
+  end
+  assign y = state;
+endmodule
+""")
+        assert report.clean
+
+    def test_blocking_sequence_not_a_loop(self):
+        # `y = a; y = y ^ b;` reads the value just computed in the same
+        # process pass -- sequential dataflow, not feedback.
+        report = _lint("""
+module seqflow(input a, input b, output reg y);
+  always @(*) begin
+    y = a;
+    y = y ^ b;
+  end
+endmodule
+""")
+        assert report.clean
+
+
+class TestW004WidthMismatch:
+    def test_narrow_into_wide(self):
+        report = _lint("""
+module widths(input [7:0] a, output [7:0] y);
+  wire [3:0] lo;
+  assign lo = a[3:0];
+  assign y = lo;
+endmodule
+""")
+        assert _rules(report) == ["W004"]
+        assert "8 bit(s)" in report.findings[0].message
+        assert "4 bit(s)" in report.findings[0].message
+
+    def test_concat_width_matches(self):
+        report = _lint("""
+module cat(input [3:0] a, input [3:0] b, output [7:0] y);
+  assign y = {a, b};
+endmodule
+""")
+        assert report.clean
+
+    def test_comparison_is_one_bit(self):
+        report = _lint("""
+module cmp(input [3:0] a, input [3:0] b, output y);
+  assign y = a == b;
+endmodule
+""")
+        assert report.clean
+
+
+class TestEngineDegradation:
+    def test_parse_failure_is_error_not_crash(self):
+        report = _lint("module broken(input a\n")
+        assert report.exit_code == 2
+        assert report.errors
+        assert not report.findings
+
+    def test_unelaborable_module_reported_but_others_audited(self):
+        report = _lint(
+            "module refs_missing(input a, output y);\n"
+            "  nowhere u0 (.i(a), .o(y));\nendmodule\n",
+            "module dangle2(input a, output y);\n"
+            "  wire floating;\n  assign y = a;\nendmodule\n",
+        )
+        assert report.exit_code == 2  # the audit itself is incomplete
+        assert any("cannot elaborate" in e.message for e in report.errors)
+        assert "W001" in _rules(report)  # the healthy module still audited
