@@ -24,10 +24,17 @@ every subcommand maps its outcome onto three exit codes --
 * ``0`` -- clean result;
 * ``1`` -- partial/degraded result (inputs quarantined, a fallback fitter
   engaged, or convergence unverified), diagnostics on stderr;
-* ``2`` -- fatal: no usable result.
+* ``2`` -- fatal: no usable result;
+* ``130`` -- interrupted (SIGINT/SIGTERM): the worker pool was drained,
+  completed results were flushed to the ``--journal`` file (when given),
+  and re-running with the same journal resumes where the run stopped.
 
 ``--strict`` turns any degradation into a failure (exit 2) and
 ``--keep-going`` quarantines malformed dataset rows instead of aborting.
+Parallel runs (``--jobs N``) execute under the supervised pool of
+:mod:`repro.exec`: per-task deadlines (``--deadline``), per-worker memory
+ceilings (``--worker-mem-mb``), bounded retries, and poison-task
+quarantine.
 """
 
 from __future__ import annotations
@@ -56,6 +63,36 @@ from repro.runtime.diagnostics import (
 EXIT_OK = 0
 EXIT_DEGRADED = 1
 EXIT_FATAL = 2
+EXIT_INTERRUPTED = 130  # 128 + SIGINT, the conventional interrupt code
+
+
+def _supervision_from_args(args: argparse.Namespace):
+    """The run's supervision policy (``--jobs`` pools only).
+
+    CLI runs always install signal handlers so Ctrl-C drains the pool and
+    flushes the journal instead of dumping a traceback.  ``--deadline 0``
+    disables the per-task deadline entirely.
+    """
+    from repro.exec import SupervisionPolicy
+
+    deadline = getattr(args, "deadline", None)
+    if deadline is None:
+        deadline = SupervisionPolicy.deadline_s
+    return SupervisionPolicy(
+        deadline_s=deadline if deadline and deadline > 0 else None,
+        memory_limit_mb=getattr(args, "worker_mem_mb", None) or None,
+        handle_signals=True,
+    )
+
+
+def _journal_from_args(args: argparse.Namespace):
+    """The run's crash-safe journal (``--journal FILE``), or None."""
+    journal = getattr(args, "journal", None)
+    if not journal:
+        return None
+    from repro.exec import RunJournal
+
+    return RunJournal(Path(journal))
 
 
 def _cache_from_args(args: argparse.Namespace):
@@ -107,6 +144,8 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         sources, args.top, policy=policy,
         cache=_cache_from_args(args), jobs=args.jobs,
         lint=args.lint,
+        supervision=_supervision_from_args(args),
+        journal=_journal_from_args(args),
     )
     diagnostics.extend(result.diagnostics)
     _print_diagnostics(diagnostics)
@@ -294,7 +333,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     disable = args.disable.split(",") if args.disable else ()
     config = config.with_rules(only=only, disable=disable)
 
-    report = lint_sources(sources, config, jobs=args.jobs)
+    report = lint_sources(
+        sources, config, jobs=args.jobs,
+        supervision=_supervision_from_args(args),
+    )
     if args.write_baseline:
         count = write_baseline(report.findings, args.write_baseline)
         print(f"baseline written to {args.write_baseline}: "
@@ -379,6 +421,23 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--no-cache", action="store_true",
         help="disable the on-disk synthesis cache for this run",
+    )
+    common.add_argument(
+        "--journal", metavar="FILE",
+        help="crash-safe run journal for --jobs runs: completed tasks are "
+             "appended as they finish, and re-running with the same FILE "
+             "resumes, re-dispatching only unfinished work",
+    )
+    common.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-task deadline in seconds for --jobs workers; a task that "
+             "overruns is killed and retried, then quarantined "
+             "(default 120; 0 disables)",
+    )
+    common.add_argument(
+        "--worker-mem-mb", type=int, default=None, metavar="N",
+        help="address-space ceiling per --jobs worker, in MiB; a task that "
+             "exceeds it fails cleanly and is retried, then quarantined",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -544,10 +603,18 @@ def main(argv: list[str] | None = None) -> int:
     tracer = obs.Tracer()
     obs.reset_metrics()
     obs.activate(tracer)
+    from repro.exec import RunInterrupted
+
     try:
         try:
             with obs.span(f"cli.{args.command}"):
                 return args.func(args)
+        except RunInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        except KeyboardInterrupt:
+            print("interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
         except Exception as exc:  # noqa: BLE001 -- last-resort fatal mapping
             _print_diagnostics([Diagnostic.from_exception(exc, args.command,
                                                           severity=Severity.FATAL)])

@@ -38,6 +38,7 @@ from repro.synth.report import SynthesisReport, synthesis_metrics
 
 if TYPE_CHECKING:
     from repro.cache import SynthesisCache
+    from repro.exec import RunJournal, SupervisionPolicy
 
 #: A specialization's dict key: (module name, sorted parameter items).
 SpecKey = tuple
@@ -118,6 +119,8 @@ def measure_component(
     design: ast.Design | None = None,
     cache: "SynthesisCache | None" = None,
     jobs: int = 1,
+    supervision: "SupervisionPolicy | bool | None" = None,
+    journal: "RunJournal | str | None" = None,
 ) -> ComponentMeasurement:
     """Measure every Table 3 metric for one component.
 
@@ -130,6 +133,10 @@ def measure_component(
         cache: content-addressed synthesis cache (:mod:`repro.cache`);
             hits skip the elaborate+synthesize work for a specialization.
         jobs: process-pool width for the specialization loop (1 = inline).
+        supervision: pool supervision policy (:mod:`repro.exec`); ``None``
+            uses the defaults, ``False`` the legacy bare pool.
+        journal: crash-safe run journal (path or
+            :class:`~repro.exec.RunJournal`) for ``jobs > 1`` resume.
     """
     with obs_trace.span("measure.component", component=name or top):
         if design is None:
@@ -153,7 +160,10 @@ def measure_component(
         )
 
         if jobs > 1 and len(to_compute) > 1:
-            from repro.parallel import synthesize_specializations
+            from repro.parallel import (
+                quarantined_to_error,
+                synthesize_specializations,
+            )
 
             outcomes = synthesize_specializations(
                 design,
@@ -161,8 +171,12 @@ def measure_component(
                 label=name or top,
                 jobs=jobs,
                 safe=False,
+                supervision=supervision,
+                journal=journal,
+                source_texts=source_texts,
             )
             for (key, _m, _p), outcome in zip(to_compute, outcomes):
+                outcome = quarantined_to_error(outcome)
                 if outcome.error is not None:
                     raise outcome.error
                 reports[key] = outcome.value
@@ -263,6 +277,8 @@ def measure_component_safe(
     cache: "SynthesisCache | None" = None,
     jobs: int = 1,
     lint: bool = False,
+    supervision: "SupervisionPolicy | bool | None" = None,
+    journal: "RunJournal | str | None" = None,
 ) -> Result[ComponentMeasurement]:
     """Measure one component with per-stage fault isolation.
 
@@ -286,11 +302,15 @@ def measure_component_safe(
     ``jobs > 1`` fans the specialization loop out over a process pool.
     ``lint=True`` audits the parsed catalog against the ACC accounting
     rules first (:mod:`repro.lint`); violations become WARNING diagnostics.
+    ``supervision``/``journal`` configure the supervised pool for
+    ``jobs > 1`` (deadlines, retry, quarantine, crash-safe resume -- see
+    :mod:`repro.exec`).
     """
     label = name or top
     with obs_trace.span("measure.component_safe", component=label):
         return _measure_component_safe(
-            sources, top, label, policy, strict, cache, jobs, lint
+            sources, top, label, policy, strict, cache, jobs, lint,
+            supervision=supervision, journal=journal,
         )
 
 
@@ -303,6 +323,8 @@ def _measure_component_safe(
     cache: "SynthesisCache | None" = None,
     jobs: int = 1,
     lint: bool = False,
+    supervision: "SupervisionPolicy | bool | None" = None,
+    journal: "RunJournal | str | None" = None,
 ) -> Result[ComponentMeasurement]:
     boundary = StageBoundary(component=label, strict=strict)
 
@@ -387,6 +409,9 @@ def _measure_component_safe(
             jobs=jobs,
             safe=True,
             strict=strict,
+            supervision=supervision,
+            journal=journal,
+            source_texts=source_texts,
         )
         for (key, _m, _p), outcome in zip(to_compute, outcomes):
             if outcome.error is not None:
@@ -394,6 +419,11 @@ def _measure_component_safe(
                 raise outcome.error  # strict mode: fail fast, as inline does
             if outcome.value is not None:
                 reports[key] = outcome.value
+                # Surface execution-layer advisories (pool fallback notes)
+                # without disturbing the task's own clean diagnostics.
+                boundary.diagnostics.extend(
+                    d for d in outcome.diagnostics if d.stage == "exec"
+                )
             else:
                 failed[key] = outcome.diagnostics
     else:
@@ -500,6 +530,8 @@ def measure_components(
     jobs: int = 1,
     cache: "SynthesisCache | None" = None,
     lint: bool = False,
+    supervision: "SupervisionPolicy | bool | None" = None,
+    journal: "RunJournal | str | None" = None,
 ) -> BatchMeasurement:
     """Measure a batch of components, isolating faults per component.
 
@@ -513,12 +545,16 @@ def measure_components(
     reruns over unchanged RTL skip the synthesize stage.  ``lint=True``
     runs the ACC accounting audit on each component's parsed catalog
     before measuring (WARNING diagnostics; never changes the exit code).
+    ``supervision`` configures the supervised pool (:mod:`repro.exec`:
+    deadlines, retries, quarantine; ``False`` = legacy bare pool) and
+    ``journal`` makes the parallel run crash-safe resumable.
     """
     if jobs > 1 and len(specs) > 1:
         from repro.parallel import measure_components_parallel
 
         return measure_components_parallel(
-            specs, strict=strict, jobs=jobs, cache=cache, lint=lint
+            specs, strict=strict, jobs=jobs, cache=cache, lint=lint,
+            supervision=supervision, journal=journal,
         )
     results: dict[str, Result[ComponentMeasurement]] = {}
     for spec in specs:

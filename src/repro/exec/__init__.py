@@ -1,0 +1,39 @@
+"""Supervised execution: the fault-surviving engine under ``--jobs N``.
+
+``repro.parallel`` grew up: where the original module wrapped a bare
+:class:`~concurrent.futures.ProcessPoolExecutor` (one hung or OOM-killed
+worker poisoned the whole pool), this package runs every parallel batch
+under a :class:`Supervisor` that enforces per-task deadlines, kills and
+respawns hung workers, retries transient failures with exponential
+backoff + jitter, quarantines poison tasks as structured diagnostics,
+applies optional per-worker memory ceilings, and journals completed work
+so an interrupted run resumes where it stopped.
+
+Layering: this package depends only on :mod:`repro.obs` and
+:mod:`repro.runtime.diagnostics`; the measurement-specific task entry
+points and telemetry merging stay in :mod:`repro.parallel`, which
+delegates execution here.  See DESIGN.md section 11 for the supervision
+model and the journal format.
+"""
+
+from repro.exec.journal import JOURNAL_VERSION, RunJournal, content_key
+from repro.exec.policy import SupervisionPolicy
+from repro.exec.supervisor import QUARANTINE_HINT, RunInterrupted, Supervisor
+from repro.exec.task import TaskOutcome, WorkerTelemetry, run_traced_task
+from repro.exec.workers import WorkerHandle, apply_memory_limit, worker_main
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "QUARANTINE_HINT",
+    "RunInterrupted",
+    "RunJournal",
+    "Supervisor",
+    "SupervisionPolicy",
+    "TaskOutcome",
+    "WorkerHandle",
+    "WorkerTelemetry",
+    "apply_memory_limit",
+    "content_key",
+    "run_traced_task",
+    "worker_main",
+]

@@ -1,0 +1,448 @@
+"""The supervisor: a process pool that survives its workers.
+
+:class:`Supervisor.run` executes one homogeneous batch of tasks over a
+pool of :mod:`repro.exec.workers` processes and owns every failure mode
+the bare executor in :mod:`repro.parallel` could not:
+
+* **Hung workers.**  Each attempt runs under the policy deadline; a
+  worker still busy past it is killed and replaced, and the task is
+  re-dispatched with exponential backoff + jitter.
+* **Dead workers.**  A worker that dies mid-task (OOM kill, SIGKILL,
+  segfault) closes its pipe, which wakes the monitor immediately; the
+  task is charged one *kill* and retried on a fresh worker.
+* **Escaped exceptions.**  Task functions promise not to raise; when
+  something escapes anyway (``MemoryError`` under the worker memory
+  ceiling, a chaos fault, a bug) the surviving worker reports it and the
+  task is charged one *soft failure* and retried.
+* **Poison tasks.**  A task that exhausts ``max_task_kills`` kills or
+  ``max_retries`` soft failures is quarantined: its outcome is a
+  structured :class:`~repro.runtime.diagnostics.Diagnostic` (stage
+  ``"exec"``), never an unhandled crash or an infinite retry loop.
+* **Resume.**  With a :class:`~repro.exec.journal.RunJournal` and
+  content-addressed task keys, completed outcomes are appended as they
+  finish; a re-run after a crash skips straight past them.
+* **Interrupts.**  With ``policy.handle_signals``, SIGINT/SIGTERM drain
+  the pool, leave the journal flushed, and surface as
+  :class:`RunInterrupted` for the CLI's documented exit code.
+* **Degradation.**  If workers cannot be spawned at all (fork failure,
+  respawn budget exhausted with none left alive), the remaining tasks run
+  inline in the parent -- slower, without deadlines, never wrong --
+  counted in ``parallel.fallback_sequential``.
+
+Telemetry flows through :mod:`repro.obs`: ``exec.dispatched``,
+``exec.completed``, ``exec.retries``, ``exec.kills``,
+``exec.deadline_kills``, ``exec.worker_deaths``, ``exec.respawns``,
+``exec.quarantined``, ``exec.journal_skips``, ``exec.heartbeats``, the
+``exec.workers`` gauge, and the ``exec.deadline_margin_s`` histogram
+(how close completed tasks came to their deadline).
+"""
+
+from __future__ import annotations
+
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.diagnostics import Diagnostic, Severity
+
+from repro.exec.journal import RunJournal
+from repro.exec.policy import SupervisionPolicy
+from repro.exec.task import TaskOutcome
+from repro.exec.workers import WorkerHandle
+
+
+class RunInterrupted(RuntimeError):
+    """A supervised run was stopped by SIGINT/SIGTERM.
+
+    Completed tasks are already journaled; ``completed``/``total`` report
+    how far the run got so the CLI can say so before exiting.
+    """
+
+    def __init__(self, signum: int, completed: int, total: int) -> None:
+        self.signum = signum
+        self.completed = completed
+        self.total = total
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(
+            f"run interrupted by {name}: {completed}/{total} tasks finished "
+            "(journaled results are preserved; re-run with the same "
+            "--journal to resume)"
+        )
+
+
+@dataclass
+class _TaskState:
+    """Supervision bookkeeping for one task of the batch."""
+
+    index: int
+    payload: Any
+    label: str
+    key: str | None = None
+    soft_failures: int = 0
+    kills: int = 0
+    not_before: float = 0.0
+    last_detail: str = ""
+
+    @property
+    def attempts(self) -> int:
+        return self.soft_failures + self.kills
+
+
+#: Recovery hint attached to every quarantine diagnostic.
+QUARANTINE_HINT = (
+    "the task repeatedly hung, crashed, or exhausted its worker and was "
+    "quarantined; the rest of the batch is unaffected -- inspect the "
+    "component (or raise the deadline / memory ceiling) and re-run"
+)
+
+
+class Supervisor:
+    """Run batches of picklable tasks under deadlines, retries, and a journal."""
+
+    def __init__(self, jobs: int, policy: SupervisionPolicy | None = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.policy = policy or SupervisionPolicy()
+        self._rng = random.Random(self.policy.seed)
+        self._signal: int | None = None
+
+    # -- public entry point --------------------------------------------------
+
+    def run(
+        self,
+        task: Callable[[Any], TaskOutcome],
+        payloads: Sequence[Any],
+        *,
+        keys: Sequence[str] | None = None,
+        labels: Sequence[str] | None = None,
+        journal: RunJournal | None = None,
+    ) -> list[TaskOutcome]:
+        """Execute ``task`` over ``payloads``; outcomes align with payloads.
+
+        ``keys`` (content-addressed, parallel to ``payloads``) enable the
+        journal: journaled keys are returned without dispatch, completed
+        tasks are appended as they finish.  ``labels`` name tasks in
+        diagnostics and chaos plans (default ``task<i>``).
+        """
+        n = len(payloads)
+        if labels is None:
+            labels = [f"task{i}" for i in range(n)]
+        if keys is None or journal is None:
+            keys = [None] * n  # type: ignore[list-item]
+        outcomes: list[TaskOutcome | None] = [None] * n
+
+        skipped = 0
+        for i in range(n):
+            if keys[i] is not None and journal is not None:
+                done = journal.get(keys[i])
+                if done is not None:
+                    outcomes[i] = done
+                    skipped += 1
+        if skipped:
+            obs_metrics.counter("exec.journal_skips").inc(skipped)
+        states = [
+            _TaskState(index=i, payload=payloads[i], label=labels[i],
+                       key=keys[i])
+            for i in range(n)
+            if outcomes[i] is None
+        ]
+        if not states:
+            return [o for o in outcomes if o is not None]
+
+        task, states = self._apply_chaos(task, states)
+        obs_metrics.gauge("parallel.jobs").set(self.jobs)
+        with obs_trace.span(
+            "exec.supervised", tasks=len(states), jobs=self.jobs,
+            skipped=skipped,
+        ):
+            with self._signals_installed():
+                self._run_supervised(task, states, outcomes, journal)
+        # Every slot is filled on a normal exit; the guard keeps alignment
+        # even if a future refactor leaks a hole.
+        payload_by_index = {s.index: s.payload for s in states}
+        for i, outcome in enumerate(outcomes):
+            if outcome is None:
+                outcomes[i] = task(payload_by_index[i])
+        return outcomes  # type: ignore[return-value]
+
+    # -- chaos ----------------------------------------------------------------
+
+    def _apply_chaos(self, task, states):
+        """Wrap payloads per the policy's chaos plan (test harness only)."""
+        plan = self.policy.chaos
+        if not plan:
+            return task, states
+        from repro.runtime.faultinject import chaos_task
+
+        for state in states:
+            fault = plan.get(state.label)
+            state.payload = (fault, task, state.payload)
+        return chaos_task, states
+
+    # -- signal handling ------------------------------------------------------
+
+    def _signals_installed(self):
+        from contextlib import contextmanager
+
+        @contextmanager
+        def ctx():
+            installed: list[tuple[int, Any]] = []
+            if (
+                self.policy.handle_signals
+                and threading.current_thread() is threading.main_thread()
+            ):
+                def handler(signum, frame):  # noqa: ARG001
+                    self._signal = signum
+
+                for sig in (signal.SIGINT, signal.SIGTERM):
+                    try:
+                        installed.append((sig, signal.signal(sig, handler)))
+                    except (ValueError, OSError):
+                        pass
+            try:
+                yield
+            finally:
+                for sig, prev in installed:
+                    try:
+                        signal.signal(sig, prev)
+                    except (ValueError, OSError):
+                        pass
+
+        return ctx()
+
+    # -- the monitor loop -----------------------------------------------------
+
+    def _run_supervised(
+        self,
+        task: Callable[[Any], TaskOutcome],
+        states: list[_TaskState],
+        outcomes: list[TaskOutcome | None],
+        journal: RunJournal | None,
+    ) -> None:
+        policy = self.policy
+        total = len(states)
+        queued: list[_TaskState] = list(states)
+        by_index = {s.index: s for s in states}
+        workers: list[WorkerHandle] = []
+        respawns_left = policy.respawn_budget(self.jobs)
+        completed = 0
+
+        def spawn() -> WorkerHandle | None:
+            try:
+                w = WorkerHandle(task, policy.memory_limit_mb)
+            except OSError:
+                return None
+            workers.append(w)
+            obs_metrics.gauge("exec.workers").set(len(workers))
+            return w
+
+        def retire(w: WorkerHandle) -> None:
+            w.kill()
+            if w in workers:
+                workers.remove(w)
+            obs_metrics.gauge("exec.workers").set(len(workers))
+
+        def quarantine(state: _TaskState, reason: str) -> None:
+            nonlocal completed
+            obs_metrics.counter("exec.quarantined").inc()
+            outcomes[state.index] = TaskOutcome(
+                value=None,
+                error=None,
+                diagnostics=(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        stage="exec",
+                        message=(
+                            f"{state.label}: task quarantined after "
+                            f"{state.kills} worker kill(s) and "
+                            f"{state.soft_failures} failed attempt(s): "
+                            f"{reason}"
+                        ),
+                        component=state.label,
+                        hint=QUARANTINE_HINT,
+                    ),
+                ),
+            )
+            completed += 1
+
+        def task_failed(state: _TaskState, *, kill: bool, reason: str) -> None:
+            """Charge one failure; requeue with backoff or quarantine."""
+            state.last_detail = reason
+            if kill:
+                state.kills += 1
+                obs_metrics.counter("exec.kills").inc()
+                exhausted = state.kills >= policy.max_task_kills
+            else:
+                state.soft_failures += 1
+                exhausted = state.soft_failures > policy.max_retries
+            if exhausted:
+                quarantine(state, reason)
+                return
+            obs_metrics.counter("exec.retries").inc()
+            state.not_before = time.monotonic() + policy.backoff_s(
+                state.attempts, self._rng
+            )
+            queued.append(state)
+
+        def worker_lost(w: WorkerHandle, reason: str) -> None:
+            """A worker died or was killed; charge its task and replace it."""
+            nonlocal respawns_left
+            state = by_index.get(w.task_idx) if w.task_idx is not None else None
+            retire(w)
+            if state is not None:
+                task_failed(state, kill=True, reason=reason)
+            if completed < total and respawns_left > 0:
+                if spawn() is not None:
+                    respawns_left -= 1
+                    obs_metrics.counter("exec.respawns").inc()
+
+        def complete(w: WorkerHandle, outcome: TaskOutcome) -> None:
+            nonlocal completed
+            state = by_index.get(w.task_idx if w.task_idx is not None else -1)
+            deadline_at = w.deadline_at
+            w.mark_idle()
+            if state is None or outcomes[state.index] is not None:
+                return  # stale reply for a task already resolved
+            if deadline_at is not None:
+                obs_metrics.histogram("exec.deadline_margin_s").observe(
+                    deadline_at - time.monotonic()
+                )
+            outcomes[state.index] = outcome
+            completed += 1
+            obs_metrics.counter("exec.completed").inc()
+            obs_metrics.counter("parallel.tasks").inc()
+            if journal is not None and state.key is not None:
+                journal.record(state.key, outcome)
+
+        # Initial pool: one worker per job, capped by the work available.
+        for _ in range(min(self.jobs, total)):
+            if spawn() is None:
+                break
+
+        try:
+            while completed < total:
+                if self._signal is not None:
+                    raise RunInterrupted(self._signal, completed, total)
+
+                if not workers:
+                    # No pool at all (or respawn budget exhausted with every
+                    # worker dead): degrade to inline execution, the same
+                    # never-wrong fallback the bare pool documented.  A task
+                    # that already killed a worker never runs inline -- it
+                    # would take the parent down with it -- so it is
+                    # quarantined on the spot.
+                    obs_metrics.counter("parallel.fallback_sequential").inc()
+                    for state in queued:
+                        if outcomes[state.index] is not None:
+                            continue
+                        if state.kills > 0:
+                            quarantine(
+                                state,
+                                state.last_detail
+                                or "worker pool lost; task not safe inline",
+                            )
+                            continue
+                        outcome = task(state.payload)
+                        outcomes[state.index] = outcome
+                        completed += 1
+                        obs_metrics.counter("exec.completed").inc()
+                        obs_metrics.counter("parallel.tasks").inc()
+                        if journal is not None and state.key is not None:
+                            journal.record(state.key, outcome)
+                    queued.clear()
+                    continue
+
+                now = time.monotonic()
+                # Dispatch ready tasks (lowest index first) to idle workers.
+                queued.sort(key=lambda s: s.index)
+                for w in workers:
+                    if w.busy:
+                        continue
+                    ready = next(
+                        (s for s in queued if s.not_before <= now), None
+                    )
+                    if ready is None:
+                        break
+                    queued.remove(ready)
+                    try:
+                        w.dispatch(
+                            ready.index, ready.payload, policy.deadline_s
+                        )
+                        obs_metrics.counter("exec.dispatched").inc()
+                    except (BrokenPipeError, OSError):
+                        # Idle worker died between tasks: requeue untouched.
+                        queued.append(ready)
+                        worker_lost_idle = w
+                        worker_lost_idle.task_idx = None
+                        obs_metrics.counter("exec.worker_deaths").inc()
+                        worker_lost(worker_lost_idle, "worker died while idle")
+                        break
+
+                # Sleep until something can happen: a result, a deadline,
+                # a backoff release, or the heartbeat tick.
+                timeout = policy.poll_interval_s
+                for w in workers:
+                    if w.busy and w.deadline_at is not None:
+                        timeout = min(timeout, max(w.deadline_at - now, 0.0))
+                for state in queued:
+                    if state.not_before > now:
+                        timeout = min(timeout, state.not_before - now)
+                busy = [w for w in workers if w.busy]
+                obs_metrics.counter("exec.heartbeats").inc()
+                if busy:
+                    ready_conns = mp_connection.wait(
+                        [w.conn for w in busy], timeout
+                    )
+                    conn_map = {w.conn: w for w in busy}
+                    for conn in ready_conns:
+                        w = conn_map[conn]
+                        try:
+                            msg = w.conn.recv()
+                        except (EOFError, OSError):
+                            obs_metrics.counter("exec.worker_deaths").inc()
+                            worker_lost(w, "worker process died mid-task")
+                            continue
+                        kind, task_id, *rest = msg
+                        if task_id != w.task_idx:
+                            continue  # reply for a task we already re-routed
+                        if kind == "ok":
+                            complete(w, rest[0])
+                        else:
+                            exc_type, exc_text = rest
+                            w.mark_idle()
+                            state = by_index[task_id]
+                            if outcomes[state.index] is None:
+                                task_failed(
+                                    state, kill=False,
+                                    reason=f"{exc_type}: {exc_text}",
+                                )
+                elif timeout > 0:
+                    time.sleep(timeout)
+
+                # Deadline scan: anything still busy past its deadline hangs.
+                now = time.monotonic()
+                for w in list(workers):
+                    if w.busy and w.deadline_at is not None and now > w.deadline_at:
+                        obs_metrics.counter("exec.deadline_kills").inc()
+                        elapsed = now - w.started_at
+                        worker_lost(
+                            w,
+                            f"attempt exceeded the {policy.deadline_s:.6g}s "
+                            f"deadline (ran {elapsed:.1f}s); worker killed",
+                        )
+        finally:
+            for w in list(workers):
+                if w.busy:
+                    w.kill()
+                else:
+                    w.shutdown()
+            workers.clear()
+            obs_metrics.gauge("exec.workers").set(0)

@@ -1,0 +1,72 @@
+"""The unit-of-work vocabulary shared by every pool execution strategy.
+
+A *task* is one picklable callable applied to one picklable payload inside
+a worker process.  Task functions follow a no-raise contract: whatever
+happens inside (a quarantined stage, a strict-mode error to re-raise in
+the parent), the function returns a :class:`TaskOutcome` carrying the
+value, the ferried exception, the structured diagnostics, and the worker's
+observability payload.  Anything that *escapes* a task function -- a
+``MemoryError`` under a worker memory ceiling, a chaos fault, a genuine
+bug -- is the supervisor's business (retry, backoff, quarantine), not the
+caller's.
+
+These classes started life in :mod:`repro.parallel` (which re-exports
+them for compatibility) and moved here so the supervised execution layer
+(:mod:`repro.exec.supervisor`) can depend on them without importing the
+measurement pipeline.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.diagnostics import Diagnostic
+
+
+@dataclass
+class WorkerTelemetry:
+    """One worker task's observability payload, shipped back on join."""
+
+    namespace: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+    spans: list[obs_trace.Span] = field(default_factory=list)
+
+
+@dataclass
+class TaskOutcome:
+    """What one pool task produced: a value, an error, or a quarantine."""
+
+    value: Any = None
+    error: BaseException | None = None
+    diagnostics: tuple[Diagnostic, ...] = ()
+    telemetry: WorkerTelemetry | None = None
+
+
+def run_traced_task(
+    fn: Callable[[], tuple[Any, tuple]], namespace: str, capture_trace: bool
+) -> TaskOutcome:
+    """Run ``fn`` under a private registry/tracer; never raises."""
+    registry = obs_metrics.MetricsRegistry()
+    tracer = obs_trace.Tracer() if capture_trace else None
+    value, error, diagnostics = None, None, ()
+    with obs_metrics.using(registry):
+        ctx = obs_trace.using(tracer) if tracer is not None else nullcontext()
+        with ctx:
+            try:
+                value, diagnostics = fn()
+            except Exception as exc:  # noqa: BLE001 -- ferried to the parent
+                error = exc
+    return TaskOutcome(
+        value=value,
+        error=error,
+        diagnostics=tuple(diagnostics),
+        telemetry=WorkerTelemetry(
+            namespace=namespace,
+            metrics=registry.dump(),
+            spans=list(tracer.spans) if tracer is not None else [],
+        ),
+    )

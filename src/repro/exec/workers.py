@@ -1,0 +1,162 @@
+"""Supervised worker processes: one pipe, one task in flight, killable.
+
+The supervisor does not use :class:`concurrent.futures.ProcessPoolExecutor`
+because that pool treats any worker death as fatal (``BrokenExecutor``
+poisons every outstanding future) and offers no way to kill one hung
+worker.  Here each worker owns a private duplex :func:`multiprocessing.Pipe`
+and runs at most one task at a time, so the parent can:
+
+* detect a death promptly -- a dead worker's pipe end closes, which makes
+  the connection readable (EOF) and wakes the monitor immediately;
+* kill a hung worker without touching its siblings -- only that worker's
+  pipe is discarded when it is replaced;
+* attribute every failure to exactly one task -- the unit the supervisor
+  retries, backs off, or quarantines.
+
+Workers are daemonic: if the parent dies uncleanly, the kernel reaps the
+pool instead of leaving orphaned processes behind.
+
+The wire protocol is deliberately tiny.  Parent -> worker: ``(task_id,
+payload)`` or ``None`` (shutdown).  Worker -> parent: ``("ok", task_id,
+TaskOutcome)`` or ``("exc", task_id, exc_type, exc_text)`` when an
+exception escaped the task function (task functions promise not to raise;
+escapes are exactly what supervision exists for -- memory ceilings, chaos
+faults, bugs).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing.connection import Connection
+from typing import Any, Callable
+
+#: Seconds to wait for a worker to exit after a graceful shutdown message
+#: (or after a kill) before escalating.
+JOIN_TIMEOUT_S = 2.0
+
+
+def apply_memory_limit(limit_mb: int) -> bool:
+    """Cap this process's address space at ``limit_mb`` MiB.
+
+    Returns False (instead of raising) on platforms without ``resource``
+    or where the limit cannot be lowered -- the ceiling is an extra guard
+    rail, not a correctness requirement.
+    """
+    try:
+        import resource
+
+        limit = int(limit_mb) * 1024 * 1024
+        resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+        return True
+    except Exception:  # noqa: BLE001 -- best-effort on exotic platforms
+        return False
+
+
+def worker_main(
+    conn: Connection,
+    task: Callable[[Any], Any],
+    memory_limit_mb: int | None,
+) -> None:
+    """The worker loop: receive a payload, run the task, send the outcome."""
+    if memory_limit_mb is not None:
+        apply_memory_limit(memory_limit_mb)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away
+        if msg is None:
+            return  # graceful shutdown
+        task_id, payload = msg
+        try:
+            reply = ("ok", task_id, task(payload))
+        except MemoryError:
+            # Drop references before replying: the allocation that tripped
+            # the ceiling may still be reachable from the frame.
+            reply = ("exc", task_id, "MemoryError",
+                     "task exceeded the worker memory ceiling")
+        except BaseException as exc:  # noqa: BLE001 -- escapes are supervised
+            reply = ("exc", task_id, type(exc).__name__, str(exc))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+        except Exception as exc:  # noqa: BLE001 -- e.g. unpicklable outcome
+            try:
+                conn.send(("exc", task_id, type(exc).__name__,
+                           f"result could not be returned: {exc}"))
+            except Exception:  # noqa: BLE001
+                return
+
+
+class WorkerHandle:
+    """Parent-side handle for one supervised worker process."""
+
+    def __init__(
+        self,
+        task: Callable[[Any], Any],
+        memory_limit_mb: int | None,
+        ctx: mp.context.BaseContext | None = None,
+    ) -> None:
+        ctx = ctx or mp.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, task, memory_limit_mb),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn: Connection = parent_conn
+        #: Index of the task currently in flight (None = idle).
+        self.task_idx: int | None = None
+        #: Monotonic instants bounding the current attempt.
+        self.started_at: float = 0.0
+        self.deadline_at: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task_idx is not None
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def dispatch(self, task_idx: int, payload: Any,
+                 deadline_s: float | None) -> None:
+        """Send one task; raises OSError/BrokenPipeError if the worker died."""
+        self.conn.send((task_idx, payload))
+        self.task_idx = task_idx
+        self.started_at = time.monotonic()
+        self.deadline_at = (
+            self.started_at + deadline_s if deadline_s is not None else None
+        )
+
+    def mark_idle(self) -> None:
+        self.task_idx = None
+        self.deadline_at = None
+
+    def kill(self) -> None:
+        """Forcibly terminate the worker and release its pipe."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(JOIN_TIMEOUT_S)
+        # close() releases the process handle promptly (3.7+: no zombie).
+        try:
+            self.proc.close()
+        except (ValueError, AttributeError):
+            pass
+
+    def shutdown(self) -> None:
+        """Ask the worker to exit; escalate to a kill if it does not."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(JOIN_TIMEOUT_S)
+        self.kill()

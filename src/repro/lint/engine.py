@@ -214,15 +214,24 @@ def lint_design(
     jobs: int = 1,
     files: int = 0,
     extra_errors: Sequence[Diagnostic] = (),
+    supervision: object = None,
 ) -> LintReport:
-    """Audit an already-parsed design (all modules + catalog rules)."""
+    """Audit an already-parsed design (all modules + catalog rules).
+
+    ``supervision`` configures the ``jobs > 1`` worker pool (a
+    :class:`repro.exec.SupervisionPolicy`, or ``False`` for the legacy
+    bare pool); a module whose task is quarantined by the supervisor
+    surfaces as a lint *error* rather than crashing the audit.
+    """
     config = config or LintConfig()
     names = list(design.modules)
     with obs_trace.span("lint.design", modules=len(names), jobs=jobs):
         if jobs > 1 and len(names) > 1:
             from repro.parallel import lint_modules_parallel
 
-            results = lint_modules_parallel(design, names, config, jobs)
+            results = lint_modules_parallel(
+                design, names, config, jobs, supervision=supervision
+            )
         else:
             results = [lint_module(design, n, config) for n in names]
         return _assemble(results, extra_errors, config, files)
@@ -232,6 +241,7 @@ def lint_sources(
     sources: Sequence[SourceFile],
     config: LintConfig | None = None,
     jobs: int = 1,
+    supervision: object = None,
 ) -> LintReport:
     """Parse + merge ``sources``, then audit the resulting catalog.
 
@@ -274,4 +284,5 @@ def lint_sources(
             jobs=jobs,
             files=len(sources),
             extra_errors=errors,
+            supervision=supervision,
         )

@@ -2,8 +2,8 @@
 
 Batch measurement is embarrassingly parallel: components are independent,
 and within one component so are its specializations' synthesis runs.  This
-module fans both loops out over a :class:`~concurrent.futures.
-ProcessPoolExecutor` while preserving the sequential contracts bit for bit:
+module fans both loops out over a pool of worker processes while
+preserving the sequential contracts bit for bit:
 
 * **Fault isolation.**  Workers run the same fault-tolerant entry points
   (:mod:`repro.runtime.stages`), so a faulty component/specialization is
@@ -11,6 +11,13 @@ ProcessPoolExecutor` while preserving the sequential contracts bit for bit:
   ``Result``/diagnostics -- never as a pool-crashing exception.  Strict
   mode re-raises in the parent (``HdlError`` pickles faithfully, so the
   re-raised exception carries the same file/line/hint).
+* **Supervision.**  Execution runs under :class:`repro.exec.Supervisor`
+  by default: per-task deadlines with hung-worker kill + respawn, bounded
+  retry with exponential backoff, poison-task quarantine, optional
+  per-worker memory ceilings, and (with a :class:`repro.exec.RunJournal`)
+  crash-safe resume.  ``supervision=False`` selects the legacy bare
+  :class:`~concurrent.futures.ProcessPoolExecutor` path, kept for
+  overhead benchmarking.
 * **Telemetry.**  The obs registry and tracer are process-local, so a
   naive pool would silently drop every counter a worker bumps and reuse
   span ids across workers.  Each worker task therefore runs under a fresh
@@ -19,9 +26,11 @@ ProcessPoolExecutor` while preserving the sequential contracts bit for bit:
   merges the worker's metrics dump into its registry and grafts the worker
   span tree under namespaced ids (``"w3:7"``) -- see
   :meth:`Tracer.graft <repro.obs.trace.Tracer.graft>`.
-* **Degradation.**  If the pool itself cannot run (fork failures, broken
-  workers), execution falls back to sequential in-process and counts
-  ``parallel.fallback_sequential`` -- slower, never wrong.
+* **Degradation.**  If workers cannot run at all (fork failures, broken
+  pools), execution falls back to in-process computation and counts
+  ``parallel.fallback_sequential`` -- slower, never wrong.  The bare-pool
+  path reuses every result that completed before the pool broke and
+  records which task broke it in the fallback diagnostic.
 
 Nothing here is imported eagerly by the pipeline; ``jobs=1`` (the default
 everywhere) never touches this module.
@@ -31,60 +40,44 @@ from __future__ import annotations
 
 import itertools
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from contextlib import nullcontext
-from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Sequence
 
+from repro.exec import (
+    RunJournal,
+    Supervisor,
+    SupervisionPolicy,
+    TaskOutcome,
+    WorkerTelemetry,
+    content_key,
+    run_traced_task,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
-from repro.runtime.diagnostics import Diagnostic, Result
+from repro.runtime.diagnostics import (
+    Diagnostic,
+    Result,
+    Severity,
+    render_report,
+)
+from repro.runtime.stages import STAGE_HINTS
+
+__all__ = [
+    "TaskOutcome",
+    "WorkerTelemetry",
+    "lint_modules_parallel",
+    "measure_components_parallel",
+    "measure_task_key",
+    "merge_worker_telemetry",
+    "remap_span_ids",
+    "synthesize_specializations",
+]
+
+#: Back-compat alias: the traced-task runner moved to :mod:`repro.exec.task`.
+_run_traced_task = run_traced_task
 
 #: Per-process namespace sequence: every pool run gets a fresh prefix so
 #: grafted span ids stay unique across successive parallel sections.
 _NAMESPACE_COUNTER = itertools.count()
-
-
-@dataclass
-class WorkerTelemetry:
-    """One worker task's observability payload, shipped back on join."""
-
-    namespace: str
-    metrics: dict[str, Any] = field(default_factory=dict)
-    spans: list[obs_trace.Span] = field(default_factory=list)
-
-
-@dataclass
-class TaskOutcome:
-    """What one pool task produced: a value, an error, or a quarantine."""
-
-    value: Any = None
-    error: BaseException | None = None
-    diagnostics: tuple[Diagnostic, ...] = ()
-    telemetry: WorkerTelemetry | None = None
-
-
-def _run_traced_task(fn, namespace: str, capture_trace: bool) -> TaskOutcome:
-    """Run ``fn`` under a private registry/tracer; never raises."""
-    registry = obs_metrics.MetricsRegistry()
-    tracer = obs_trace.Tracer() if capture_trace else None
-    value, error, diagnostics = None, None, ()
-    with obs_metrics.using(registry):
-        ctx = obs_trace.using(tracer) if tracer is not None else nullcontext()
-        with ctx:
-            try:
-                value, diagnostics = fn()
-            except Exception as exc:  # noqa: BLE001 -- ferried to the parent
-                error = exc
-    return TaskOutcome(
-        value=value,
-        error=error,
-        diagnostics=tuple(diagnostics),
-        telemetry=WorkerTelemetry(
-            namespace=namespace,
-            metrics=registry.dump(),
-            spans=list(tracer.spans) if tracer is not None else [],
-        ),
-    )
 
 
 # -- worker entry points (module-level: they must pickle) --------------------
@@ -107,7 +100,7 @@ def _measure_task(payload: tuple) -> TaskOutcome:
         )
         return result, ()
 
-    return _run_traced_task(run, namespace, capture_trace)
+    return run_traced_task(run, namespace, capture_trace)
 
 
 def _synthesize_task(payload: tuple) -> TaskOutcome:
@@ -136,7 +129,7 @@ def _synthesize_task(payload: tuple) -> TaskOutcome:
             )
         return report, ()
 
-    return _run_traced_task(run, namespace, capture_trace)
+    return run_traced_task(run, namespace, capture_trace)
 
 
 def _lint_task(payload: tuple) -> TaskOutcome:
@@ -148,7 +141,7 @@ def _lint_task(payload: tuple) -> TaskOutcome:
         result = lint_module(design, module_name, config)
         return result, ()
 
-    return _run_traced_task(run, namespace, capture_trace)
+    return run_traced_task(run, namespace, capture_trace)
 
 
 # -- join-side plumbing ------------------------------------------------------
@@ -178,30 +171,159 @@ def remap_span_ids(
     """Rewrite worker-local span ids to their grafted namespaced ids."""
     if not mapping:
         return tuple(diagnostics)
+    from dataclasses import replace
+
     return tuple(
         replace(d, span_id=mapping[d.span_id]) if d.span_id in mapping else d
         for d in diagnostics
     )
 
 
+# -- execution strategies ----------------------------------------------------
+
+
 def _pool_run(
-    task, payloads: Sequence[tuple], jobs: int
-) -> list[TaskOutcome] | None:
-    """Run ``task`` over ``payloads``; None means the pool was unusable."""
+    task,
+    payloads: Sequence[tuple],
+    jobs: int,
+    labels: Sequence[str] | None = None,
+) -> tuple[list[TaskOutcome], Diagnostic | None]:
+    """The legacy bare pool: one :class:`ProcessPoolExecutor`, no deadlines.
+
+    A broken pool (a worker died; every outstanding future is poisoned) no
+    longer throws completed work away: results that finished before the
+    break are reused, only the rest are recomputed in-process, and the
+    returned diagnostic records which task broke the pool.  The caller
+    attaches it to that task's result stream.
+    """
     obs_metrics.gauge("parallel.jobs").set(jobs)
+    outcomes: list[TaskOutcome | None] = [None] * len(payloads)
+    broken: tuple[int, BaseException] | None = None
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [pool.submit(task, p) for p in payloads]
-            outcomes = [f.result() for f in futures]
-    except (BrokenExecutor, OSError):
-        obs_metrics.counter("parallel.fallback_sequential").inc()
-        return None
-    obs_metrics.counter("parallel.tasks").inc(len(payloads))
-    return outcomes
+            for i, future in enumerate(futures):
+                try:
+                    outcomes[i] = future.result()
+                except (BrokenExecutor, OSError) as exc:
+                    broken = (i, exc)
+                    break
+            if broken is not None:
+                # Later futures may have finished before the pool broke;
+                # harvest them instead of recomputing.
+                for i, future in enumerate(futures):
+                    if outcomes[i] is None and future.done():
+                        try:
+                            if future.exception() is None:
+                                outcomes[i] = future.result()
+                        except Exception:  # noqa: BLE001 -- cancelled/broken
+                            pass
+    except (BrokenExecutor, OSError) as exc:
+        if broken is None:
+            broken = (0, exc)
+    if broken is None:
+        obs_metrics.counter("parallel.tasks").inc(len(payloads))
+        return outcomes, None  # type: ignore[return-value]
+
+    index, exc = broken
+    reused = sum(1 for o in outcomes if o is not None)
+    missing = len(payloads) - reused
+    obs_metrics.counter("parallel.fallback_sequential").inc()
+    obs_metrics.counter("parallel.tasks").inc(reused)
+    label = labels[index] if labels is not None else f"task {index}"
+    diagnostic = Diagnostic(
+        severity=Severity.WARNING,
+        stage="exec",
+        message=(
+            f"worker pool broke at {label} "
+            f"({type(exc).__name__}: {exc}); {reused}/{len(payloads)} pooled "
+            f"result(s) reused, {missing} recomputed sequentially"
+        ),
+        component=label,
+        hint=STAGE_HINTS.get("exec"),
+    )
+    for i, payload in enumerate(payloads):
+        if outcomes[i] is None:
+            outcomes[i] = task(payload)
+    return outcomes, diagnostic  # type: ignore[return-value]
+
+
+def _execute(
+    task,
+    payloads: Sequence[tuple],
+    jobs: int,
+    supervision: "SupervisionPolicy | bool | None",
+    labels: Sequence[str] | None = None,
+    keys: Sequence[str] | None = None,
+    journal: "RunJournal | None" = None,
+) -> tuple[list[TaskOutcome], Diagnostic | None]:
+    """Run one homogeneous batch under the selected execution strategy.
+
+    ``supervision`` is the policy to supervise under (``None`` = default
+    policy); ``False`` selects the legacy bare pool (no deadlines, no
+    retries, no journal -- kept for overhead benchmarking).
+    """
+    if supervision is False:
+        return _pool_run(task, payloads, jobs, labels)
+    policy = supervision if isinstance(supervision, SupervisionPolicy) else None
+    supervisor = Supervisor(jobs, policy)
+    outcomes = supervisor.run(
+        task, payloads, keys=keys, labels=labels, journal=journal
+    )
+    return outcomes, None
 
 
 def _next_namespace(kind: str) -> str:
     return f"{kind}{next(_NAMESPACE_COUNTER)}"
+
+
+# -- journal keys ------------------------------------------------------------
+
+
+def measure_task_key(spec, strict: bool = False, lint: bool = False) -> str:
+    """Content-addressed journal key of one component-measurement task.
+
+    Folds in the pipeline version salt (via :data:`repro.cache.SALT`), the
+    component's sources, top, accounting policy, and the flags that change
+    the result -- so a resumed run only reuses outcomes that would be
+    recomputed identically.
+    """
+    from repro.cache import SALT
+
+    parts = [
+        SALT,
+        "measure-task",
+        spec.name,
+        spec.top,
+        repr(spec.policy),
+        f"strict={bool(strict)}",
+        f"lint={bool(lint)}",
+    ]
+    for source in spec.sources:
+        parts.append(f"{source.name}\x00{source.text}")
+    return content_key(*parts)
+
+
+def synthesis_task_key(
+    source_texts: Sequence[str],
+    module: str,
+    params: Mapping[str, int],
+    safe: bool,
+    strict: bool,
+) -> str:
+    """Content-addressed journal key of one specialization-synthesis task."""
+    from repro.cache import SALT
+
+    parts = [
+        SALT,
+        "synthesis-task",
+        module,
+        f"safe={bool(safe)}",
+        f"strict={bool(strict)}",
+    ]
+    parts.extend(f"{name}={int(value)}" for name, value in sorted(params.items()))
+    parts.extend(source_texts)
+    return content_key(*parts)
 
 
 # -- public API --------------------------------------------------------------
@@ -213,16 +335,24 @@ def measure_components_parallel(
     jobs: int = 2,
     cache=None,
     lint: bool = False,
+    supervision: "SupervisionPolicy | bool | None" = None,
+    journal: "RunJournal | str | None" = None,
 ):
-    """Measure a batch of components across a process pool.
+    """Measure a batch of components across a supervised process pool.
 
     The parallel twin of :func:`repro.core.workflow.measure_components`
     (which delegates here for ``jobs > 1``): same result dict, same
     per-component quarantine, same diagnostics -- only wall-clock differs.
     Worker counters merge on join; with an active tracer, worker span trees
     are grafted under namespaced ids below the ``measure.batch`` span.
+
+    A component whose task is quarantined by the supervisor (it repeatedly
+    hung, crashed, or OOM-killed its worker) comes back as a failed
+    ``Result`` carrying the stage-``"exec"`` diagnostic; the rest of the
+    batch is unaffected.  With ``journal``, completed components are
+    appended as they finish and an interrupted run resumes from the file.
     """
-    from repro.core.workflow import BatchMeasurement, measure_component_safe
+    from repro.core.workflow import BatchMeasurement
 
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("b")
@@ -230,30 +360,38 @@ def measure_components_parallel(
         (spec, strict, cache, lint, capture_trace, f"{run_ns}.w{i}")
         for i, spec in enumerate(specs)
     ]
+    labels = [spec.name for spec in specs]
+    journal = RunJournal.open(journal)
+    keys = (
+        [measure_task_key(spec, strict, lint) for spec in specs]
+        if journal is not None
+        else None
+    )
     results: dict[str, Result] = {}
     with obs_trace.span("measure.batch", components=len(specs), jobs=jobs):
-        outcomes = _pool_run(_measure_task, payloads, jobs)
-        if outcomes is None:
-            for spec in specs:
-                results[spec.name] = measure_component_safe(
-                    list(spec.sources),
-                    spec.top,
-                    name=spec.name,
-                    policy=spec.policy,
-                    strict=strict,
-                    cache=cache,
-                    lint=lint,
-                )
-            return BatchMeasurement(results=results)
+        outcomes, fallback = _execute(
+            _measure_task, payloads, jobs, supervision,
+            labels=labels, keys=keys, journal=journal,
+        )
         errors: list[BaseException] = []
         for spec, outcome in zip(specs, outcomes):
             mapping = merge_worker_telemetry(outcome)
+            extra: tuple[Diagnostic, ...] = ()
+            if fallback is not None and fallback.component == spec.name:
+                extra = (fallback,)
             if outcome.error is not None:
                 errors.append(outcome.error)
                 continue
+            if outcome.value is None:
+                # Supervisor quarantine: structured failure, no measurement.
+                results[spec.name] = Result(
+                    None, remap_span_ids(outcome.diagnostics, mapping) + extra
+                )
+                continue
             result = outcome.value
             results[spec.name] = Result(
-                result.value, remap_span_ids(result.diagnostics, mapping)
+                result.value,
+                remap_span_ids(result.diagnostics, mapping) + extra,
             )
         if errors:
             # Only strict mode lets exceptions out of a worker; re-raise
@@ -267,16 +405,19 @@ def lint_modules_parallel(
     names: Sequence[str],
     config,
     jobs: int,
+    supervision: "SupervisionPolicy | bool | None" = None,
 ) -> list:
-    """Lint the named modules of one design across a process pool.
+    """Lint the named modules of one design across a supervised pool.
 
     The parallel twin of the sequential loop in
     :func:`repro.lint.engine.lint_design`: one task per module, identical
     :class:`~repro.lint.engine.ModuleLintResult` list back (in ``names``
     order).  Worker telemetry merges on join like every other pool here;
-    an unusable pool degrades to the sequential loop in-process.
+    a module whose task is quarantined comes back with the supervisor's
+    diagnostic in its ``errors`` (the lint report exit code already maps
+    errors to 2).
     """
-    from repro.lint.engine import lint_module
+    from repro.lint.engine import ModuleLintResult
 
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("l")
@@ -285,16 +426,27 @@ def lint_modules_parallel(
         for i, name in enumerate(names)
     ]
     with obs_trace.span("lint.batch", modules=len(names), jobs=jobs):
-        outcomes = _pool_run(_lint_task, payloads, jobs)
-        if outcomes is None:
-            return [lint_module(design, name, config) for name in names]
+        outcomes, fallback = _execute(
+            _lint_task, payloads, jobs, supervision, labels=list(names)
+        )
         results = []
         for name, outcome in zip(names, outcomes):
-            merge_worker_telemetry(outcome)
+            mapping = merge_worker_telemetry(outcome)
             if outcome.error is not None:
                 # lint_module quarantines rule crashes itself; anything that
                 # escapes a worker is an engine bug worth surfacing.
                 raise outcome.error
+            if outcome.value is None:
+                errors = remap_span_ids(outcome.diagnostics, mapping)
+                if fallback is not None and fallback.component == name:
+                    errors += (fallback,)
+                results.append(
+                    ModuleLintResult(
+                        module=name, file="", hash="",
+                        findings=(), errors=errors,
+                    )
+                )
+                continue
             results.append(outcome.value)
     return results
 
@@ -306,13 +458,20 @@ def synthesize_specializations(
     jobs: int,
     safe: bool,
     strict: bool = False,
+    supervision: "SupervisionPolicy | bool | None" = None,
+    journal: "RunJournal | str | None" = None,
+    source_texts: Sequence[str] | None = None,
 ) -> list[TaskOutcome]:
     """Synthesize many specializations of one design across a pool.
 
     ``work`` is a list of ``(module, params)`` pairs (already deduplicated
     and cache-missed by the caller); the returned outcomes line up with it.
     Telemetry is merged and diagnostic span ids are remapped before return,
-    so callers only look at ``value``/``error``/``diagnostics``.
+    so callers only look at ``value``/``error``/``diagnostics``.  A
+    quarantined specialization comes back with ``value=None`` and the
+    supervisor's stage-``"exec"`` diagnostic.  ``journal`` (requires
+    ``source_texts`` for content-addressed keys) lets an interrupted
+    specialization sweep resume.
     """
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("s")
@@ -321,18 +480,50 @@ def synthesize_specializations(
          f"{run_ns}.w{i}")
         for i, (module, params) in enumerate(work)
     ]
-    outcomes = _pool_run(_synthesize_task, payloads, jobs)
-    if outcomes is None:
-        outcomes = [_synthesize_task(p) for p in payloads]
+    labels = [f"{label}:{module}" for module, _ in work]
+    journal = RunJournal.open(journal)
+    keys = None
+    if journal is not None and source_texts is not None:
+        keys = [
+            synthesis_task_key(source_texts, module, params, safe, strict)
+            for module, params in work
+        ]
+    outcomes, fallback = _execute(
+        _synthesize_task, payloads, jobs, supervision,
+        labels=labels, keys=keys, journal=journal,
+    )
     merged: list[TaskOutcome] = []
-    for outcome in outcomes:
+    for task_label, outcome in zip(labels, outcomes):
         mapping = merge_worker_telemetry(outcome)
+        diagnostics = remap_span_ids(outcome.diagnostics, mapping)
+        if fallback is not None and fallback.component == task_label:
+            diagnostics += (fallback,)
         merged.append(
             TaskOutcome(
                 value=outcome.value,
                 error=outcome.error,
-                diagnostics=remap_span_ids(outcome.diagnostics, mapping),
+                diagnostics=diagnostics,
                 telemetry=None,
             )
         )
     return merged
+
+
+def quarantined_to_error(outcome: TaskOutcome) -> TaskOutcome:
+    """Convert a supervisor quarantine into a raising outcome.
+
+    The raising (non-safe) callers treat ``error`` as "re-raise in the
+    parent"; a quarantine has no exception object, so wrap its report in
+    a RuntimeError for them.
+    """
+    if outcome.value is not None or outcome.error is not None:
+        return outcome
+    return TaskOutcome(
+        value=None,
+        error=RuntimeError(
+            "task quarantined by the supervisor:\n"
+            + render_report(list(outcome.diagnostics))
+        ),
+        diagnostics=outcome.diagnostics,
+        telemetry=outcome.telemetry,
+    )

@@ -18,6 +18,15 @@ and source location:
   on-disk synthesis-cache entries so the ``pytest -m par`` suite can prove
   a poisoned cache degrades to a recompute (with a WARNING diagnostic)
   instead of crashing or serving garbage.
+* **Worker processes** -- :func:`hang_worker`, :func:`kill_worker`,
+  :func:`slow_task`, and :func:`oom_task` reproduce the failure modes the
+  supervised pool of :mod:`repro.exec` exists for (hangs past the
+  deadline, hard deaths, near-deadline stragglers, memory-ceiling trips).
+  :func:`chaos_task` is the picklable trampoline the supervisor swaps in
+  when a :class:`~repro.exec.SupervisionPolicy` carries a chaos plan: it
+  applies the planned fault (:func:`apply_worker_fault`), then runs the
+  real task.  The ``pytest -m chaos`` suite drives these against
+  generated catalogs with known ground truth.
 
 Everything is seeded or purely positional: the same call always produces
 the same corruption.
@@ -165,6 +174,117 @@ def poison_cache(cache, fault: str = "truncate", limit: int | None = None) -> in
             path.write_bytes(pickle.dumps({"not": "a SynthesisReport"}))
         poisoned += 1
     return poisoned
+
+
+# -- worker chaos (drives the pytest -m chaos suite) ------------------------
+
+#: Supported worker fault classes (first element of a chaos-plan entry).
+WORKER_FAULTS = ("hang", "kill", "slow", "oom", "exc", "kill_once", "exc_once")
+
+
+def hang_worker(duration_s: float = 3600.0) -> None:
+    """Stop responding, as a deadlocked or livelocked worker would.
+
+    The sleep is far past any test deadline; the supervisor is expected to
+    kill the worker long before it returns.
+    """
+    import time
+
+    time.sleep(duration_s)
+
+
+def kill_worker() -> None:
+    """Die instantly (SIGKILL), as the kernel OOM killer or a segfault would.
+
+    No Python-level cleanup runs: the pipe closes at EOF and the parent
+    sees a dead worker, not an exception message.
+    """
+    import os
+    import signal as _signal
+
+    os.kill(os.getpid(), _signal.SIGKILL)
+
+
+def slow_task(delay_s: float = 0.2) -> None:
+    """Delay before doing the real work -- a straggler, not a hang."""
+    import time
+
+    time.sleep(delay_s)
+
+
+def oom_task(mib: int = 8192) -> None:
+    """Allocate ``mib`` MiB so a worker memory ceiling trips.
+
+    Under a :class:`~repro.exec.SupervisionPolicy` ``memory_limit_mb``
+    ceiling (RLIMIT_AS) the allocation raises a genuine ``MemoryError``.
+    Without a ceiling a real allocation of the default 8 GiB would be its
+    own fault injection, so the error is simulated instead -- the worker
+    surfaces the same ``MemoryError`` either way.
+    """
+    try:
+        import resource
+
+        soft, _hard = resource.getrlimit(resource.RLIMIT_AS)
+        unlimited = soft == resource.RLIM_INFINITY
+    except Exception:  # noqa: BLE001 -- no resource module on this platform
+        unlimited = True
+    if unlimited:
+        raise MemoryError(f"simulated {mib} MiB allocation (no ceiling set)")
+    data = bytearray(mib << 20)  # genuinely trips the RLIMIT_AS ceiling
+    del data
+
+
+def _first_hit(sentinel: str) -> bool:
+    """True exactly once per sentinel path (atomic create-if-missing)."""
+    try:
+        with open(sentinel, "x"):
+            return True
+    except FileExistsError:
+        return False
+
+
+def apply_worker_fault(fault: Sequence[object]) -> None:
+    """Apply one chaos-plan fault ``(name, *args)`` inside a worker.
+
+    ``hang``/``kill``/``slow``/``oom`` model infrastructure failures;
+    ``exc`` raises every attempt (a deterministic task bug), while
+    ``kill_once``/``exc_once`` take a sentinel path and fail only the
+    first attempt that touches it -- the transient faults retries exist
+    for.
+    """
+    name, *args = fault
+    if name == "hang":
+        hang_worker(*(float(a) for a in args))
+    elif name == "kill":
+        kill_worker()
+    elif name == "slow":
+        slow_task(*(float(a) for a in args))
+    elif name == "oom":
+        oom_task(*(int(a) for a in args))
+    elif name == "exc":
+        raise RuntimeError(str(args[0]) if args else "injected task failure")
+    elif name == "kill_once":
+        if _first_hit(str(args[0])):
+            kill_worker()
+    elif name == "exc_once":
+        if _first_hit(str(args[0])):
+            raise RuntimeError("injected transient failure (first attempt)")
+    else:
+        raise ValueError(f"unknown worker fault {name!r}; "
+                         f"choose from {WORKER_FAULTS}")
+
+
+def chaos_task(payload):
+    """Supervisor trampoline: apply the planned fault, then run the task.
+
+    ``payload`` is ``(fault, task, inner_payload)`` as packed by
+    :meth:`repro.exec.Supervisor._apply_chaos`; ``fault`` is ``None`` for
+    healthy tasks (the plan only names the injured ones).
+    """
+    fault, task, inner = payload
+    if fault is not None:
+        apply_worker_fault(tuple(fault))
+    return task(inner)
 
 
 # -- optimizer sabotage -----------------------------------------------------

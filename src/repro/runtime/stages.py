@@ -40,6 +40,9 @@ STAGE_HINTS: dict[str, str] = {
              "the specialization was recomputed from source",
     "dataset": "fix or drop the offending CSV row; effort must be a "
                "positive finite number of person-months",
+    "exec": "the worker pool degraded (a task hung, crashed, or exceeded "
+            "its memory ceiling); results are still correct -- see the "
+            "exec.* counters and DESIGN.md's supervision model",
     "fit": "the optimizer could not verify convergence; a declared "
            "fallback fitter produced the estimate",
 }

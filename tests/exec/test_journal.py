@@ -1,0 +1,126 @@
+"""Unit tests for the crash-safe run journal (tmp files, no processes)."""
+
+import base64
+import json
+
+from repro.exec import JOURNAL_VERSION, RunJournal, TaskOutcome, content_key
+from repro.exec.task import WorkerTelemetry
+from repro.obs import metrics as obs_metrics
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        assert content_key("a", "b") == content_key("a", "b")
+
+    def test_parts_are_unambiguous(self):
+        # "ab" + "c" must not collide with "a" + "bc".
+        assert content_key("ab", "c") != content_key("a", "bc")
+        assert content_key("a") != content_key("a", "")
+
+
+class TestRoundTrip:
+    def test_record_then_reopen(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        key = content_key("task", "1")
+        assert journal.record(key, TaskOutcome(value={"metric": 4.0}))
+        reopened = RunJournal(path)
+        assert len(reopened) == 1
+        assert key in reopened
+        assert reopened.get(key).value == {"metric": 4.0}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = RunJournal(tmp_path / "never-written.jsonl")
+        assert len(journal) == 0
+        assert journal.get("nope") is None
+
+    def test_telemetry_stripped_before_write(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        outcome = TaskOutcome(
+            value=1, telemetry=WorkerTelemetry(namespace="w0")
+        )
+        journal.record("k", outcome)
+        assert RunJournal(journal.path).get("k").telemetry is None
+
+    def test_error_outcomes_refused(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        assert not journal.record("k", TaskOutcome(error=ValueError("boom")))
+        assert not journal.path.exists()
+
+    def test_append_only(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        for i in range(3):
+            journal.record(content_key("t", str(i)), TaskOutcome(value=i))
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["v"] == JOURNAL_VERSION for line in lines)
+
+
+class TestRobustness:
+    def _count_corrupt(self, fn):
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.using(registry):
+            result = fn()
+        counters = registry.snapshot()["counters"]
+        return result, counters.get("exec.journal_corrupt", 0.0)
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("good", TaskOutcome(value=1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "salt": "", "key": "torn", "sha"')  # no newline
+        reopened, corrupt = self._count_corrupt(lambda: RunJournal(path))
+        assert len(reopened) == 1 and "good" in reopened
+        assert corrupt == 1.0
+
+    def test_checksum_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path).record("k", TaskOutcome(value=1))
+        row = json.loads(path.read_text())
+        row["sha"] = "0" * 12
+        path.write_text(json.dumps(row) + "\n")
+        reopened, corrupt = self._count_corrupt(lambda: RunJournal(path))
+        assert len(reopened) == 0
+        assert corrupt == 1.0
+
+    def test_bad_pickle_skipped(self, tmp_path):
+        from repro.exec.journal import _blob_sha
+
+        path = tmp_path / "run.jsonl"
+        blob = base64.b64encode(b"not a pickle").decode("ascii")
+        path.write_text(json.dumps({
+            "v": JOURNAL_VERSION, "salt": "", "key": "k",
+            "sha": _blob_sha(blob), "blob": blob,
+        }) + "\n")
+        reopened, corrupt = self._count_corrupt(lambda: RunJournal(path))
+        assert len(reopened) == 0
+        assert corrupt == 1.0
+
+    def test_version_and_salt_mismatch_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal(path, salt="v1").record("k", TaskOutcome(value=1))
+        assert len(RunJournal(path, salt="v1")) == 1
+        assert len(RunJournal(path, salt="v2")) == 0  # stale pipeline revision
+        row = json.loads(path.read_text())
+        row["v"] = JOURNAL_VERSION + 1
+        path.write_text(json.dumps(row) + "\n")
+        assert len(RunJournal(path, salt="v1")) == 0
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record("k", TaskOutcome(value=1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        assert len(RunJournal(path)) == 1
+
+
+class TestOpen:
+    def test_open_normalizes(self, tmp_path):
+        assert RunJournal.open(None) is None
+        journal = RunJournal(tmp_path / "a.jsonl")
+        assert RunJournal.open(journal) is journal
+        opened = RunJournal.open(tmp_path / "b.jsonl", salt="s")
+        assert isinstance(opened, RunJournal)
+        assert opened.salt == "s"
