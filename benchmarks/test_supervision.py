@@ -2,12 +2,15 @@
 
 Two trajectories tracked in BENCH_obs.json:
 
-* ``exec.supervision_overhead`` -- fractional wall-time cost of the
-  supervised pool over the bare ``ProcessPoolExecutor`` on a clean
-  100-component generated catalog (identical results required).  The
-  acceptance bar is <= 5% overhead; the supervisor's monitor loop only
-  sleeps when nothing is ready, so its cost should be dispatch
-  bookkeeping, not latency.
+* ``exec.supervision_wall_ratio`` -- supervised wall time over bare
+  ``ProcessPoolExecutor`` wall time on a clean 100-component generated
+  catalog (identical results required).  1.0 means free supervision;
+  the acceptance bar is <= 1.05 (5% overhead).  The ratio replaces the
+  old ``exec.supervision_overhead`` series, whose signed-difference
+  definition read as nonsense when supervision happened to win the
+  scheduler lottery (e.g. the recorded -0.172 "overhead"); the ratio is
+  >= 0 by construction, directionally unambiguous (lower is better),
+  and history entries stay comparable run to run.
 * ``exec.chaos_completion_rate`` -- fraction of a fault-injected catalog
   that still completes with exact results (the rest must be structured
   quarantines, not crashes).
@@ -21,8 +24,8 @@ from repro.gen import corpus_specs, generate_corpus
 
 JOBS = 4
 
-#: Overhead bar from the issue's acceptance criteria.
-MAX_OVERHEAD = 0.05
+#: Wall-ratio bar: supervised may cost at most 5% over the bare pool.
+MAX_WALL_RATIO = 1.05
 
 
 def _catalog():
@@ -57,14 +60,14 @@ def test_supervision_overhead_on_clean_catalog(bench_series, report):
     for name, m in bare.measurements.items():
         assert supervised.measurements[name].metrics == m.metrics, name
 
-    overhead = (t_sup - t_bare) / t_bare if t_bare > 0 else 0.0
-    assert overhead <= MAX_OVERHEAD, (t_bare, t_sup)
+    ratio = t_sup / t_bare if t_bare > 0 else 1.0
+    assert ratio <= MAX_WALL_RATIO, (t_bare, t_sup)
 
-    bench_series("exec.supervision_overhead", overhead)
+    bench_series("exec.supervision_wall_ratio", ratio)
     report(
-        "supervision overhead (clean 100-component catalog)",
+        "supervision wall ratio (clean 100-component catalog)",
         f"bare pool {t_bare:.2f}s, supervised {t_sup:.2f}s "
-        f"-> overhead {overhead:+.1%} (bar {MAX_OVERHEAD:.0%})",
+        f"-> ratio {ratio:.3f} (bar {MAX_WALL_RATIO:.2f})",
     )
 
 

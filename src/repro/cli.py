@@ -17,6 +17,12 @@ Subcommands:
   and RTL hygiene rules; exit 0 clean / 1 findings / 2 errors.
 * ``selftest``  -- run the ground-truth self-test: differential oracle,
   round-trip, parallel/cache equivalence, and fitter recovery.
+* ``profile``   -- attribute a recorded ``--trace`` run's wall-clock:
+  top self-time spans, critical path, per-worker utilization and the
+  serialization share, with ``--flame`` (collapsed stacks) and
+  ``--chrome-trace`` (Perfetto) exports.
+* ``bench-diff`` -- gate BENCH_obs.json against its own history: exit 1
+  when a benchmark or derived series breaches its tolerance.
 
 Failure handling (see DESIGN.md, "Failure handling & degradation ladder"):
 every subcommand maps its outcome onto three exit codes --
@@ -82,6 +88,7 @@ def _supervision_from_args(args: argparse.Namespace):
         deadline_s=deadline if deadline and deadline > 0 else None,
         memory_limit_mb=getattr(args, "worker_mem_mb", None) or None,
         handle_signals=True,
+        progress=sys.stderr if getattr(args, "progress", False) else None,
     )
 
 
@@ -128,6 +135,24 @@ def _exit_code(diagnostics, *, fatal: bool = False, strict: bool = False) -> int
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
+    policy = (
+        AccountingPolicy.disabled()
+        if args.no_accounting
+        else AccountingPolicy.recommended()
+    )
+    if args.catalog:
+        if args.files:
+            print("error: --catalog and FILES are mutually exclusive",
+                  file=sys.stderr)
+            return EXIT_FATAL
+        return _measure_catalog(args, policy)
+    if not args.files:
+        print("error: provide HDL FILES or --catalog DIR", file=sys.stderr)
+        return EXIT_FATAL
+    if not args.top:
+        print("error: --top is required when measuring FILES",
+              file=sys.stderr)
+        return EXIT_FATAL
     diagnostics: list[Diagnostic] = []
     sources = []
     for path in args.files:
@@ -135,11 +160,6 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             sources.append(SourceFile.from_path(path))
         except Exception as exc:  # noqa: BLE001 -- quarantine unreadable files
             diagnostics.append(Diagnostic.from_exception(exc, "parse"))
-    policy = (
-        AccountingPolicy.disabled()
-        if args.no_accounting
-        else AccountingPolicy.recommended()
-    )
     result = measure_component_safe(
         sources, args.top, policy=policy,
         cache=_cache_from_args(args), jobs=args.jobs,
@@ -160,6 +180,48 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             rendered = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
             print(f"  {module}({rendered})")
     return _exit_code(diagnostics, strict=args.strict)
+
+
+def _measure_catalog(args: argparse.Namespace, policy) -> int:
+    """Measure every module of a generated catalog (``measure --catalog``).
+
+    The catalog run is the standard parallel workload of the profiling
+    walkthrough: many small independent components, dispatched through
+    the supervised pool when ``--jobs > 1``.
+    """
+    from repro.core.workflow import catalog_specs, measure_components
+
+    try:
+        specs = catalog_specs(args.catalog, policy=policy,
+                              limit=args.limit)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    batch = measure_components(
+        specs, strict=args.strict, jobs=args.jobs,
+        cache=_cache_from_args(args), lint=args.lint,
+        supervision=_supervision_from_args(args),
+        journal=_journal_from_args(args),
+    )
+    rows = []
+    for name in sorted(batch.results):
+        m = batch.measurements.get(name)
+        if m is None:
+            rows.append([name, "failed", "-", "-"])
+        else:
+            rows.append([
+                name,
+                m.metrics.get("Stmts", "-"),
+                m.metrics.get("LoC", "-"),
+                m.metrics.get("FanInLC", "-"),
+            ])
+    print(render_table(["component", "Stmts", "LoC", "FanInLC"], rows))
+    print(f"{len(batch.measurements)}/{len(batch.results)} components "
+          f"measured")
+    _print_diagnostics(batch.diagnostics)
+    if not batch.measurements:
+        return EXIT_FATAL
+    return _exit_code(batch.diagnostics, strict=args.strict)
 
 
 def _load_dataset(
@@ -380,6 +442,80 @@ def _cmd_timings(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import attrib, timeline
+
+    try:
+        rows = obs.read_jsonl(args.file)
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    spans = attrib.span_rows(rows)
+    if not spans:
+        print("error: trace contains no finished spans", file=sys.stderr)
+        return EXIT_FATAL
+
+    rollups = attrib.rollup(rows)
+    total_self = sum(r.self_s for r in rollups)
+    print(f"== self time by span name (top {args.top}) ==")
+    print(f"{'span':<28} {'count':>6} {'self':>10} {'total':>10} {'self%':>6}")
+    for r in rollups[: args.top]:
+        share = r.self_s / total_self * 100 if total_self > 0 else 0.0
+        err = f"  {r.errors} err" if r.errors else ""
+        print(f"{r.name:<28} {r.count:>6} {r.self_s:>9.3f}s "
+              f"{r.total_s:>9.3f}s {share:>5.1f}%{err}")
+
+    path = attrib.critical_path(rows)
+    if path:
+        print("\n== critical path ==")
+        for depth, step in enumerate(path):
+            print(f"{'  ' * depth}{step.name}  "
+                  f"{step.wall_s:.3f}s (self {step.self_s:.3f}s)")
+
+    bd = timeline.breakdown(rows)
+    if bd is not None:
+        print("\n== supervised pool ==")
+        print(f"wall {bd.wall_s:.3f}s x {bd.jobs} jobs = "
+              f"capacity {bd.capacity_s:.3f} worker-seconds")
+        print(f"utilization {bd.utilization * 100:.1f}%   "
+              f"serialization share {bd.serialization_share * 100:.2f}%")
+        for category, fraction in bd.fractions().items():
+            print(f"  {category:<14} {fraction * 100:5.1f}%")
+        ser = attrib.serialization_summary(rows)
+        print(f"serialization detail: pickle {ser.pickle_s:.3f}s, "
+              f"unpickle {ser.unpickle_s:.3f}s, "
+              f"worker unpickle {ser.worker_unpickle_s:.3f}s, "
+              f"{ser.total_bytes / 1024:.0f} KiB transferred")
+        print("\n== worker timeline ==")
+        for line in timeline.gantt_lines(rows, width=args.width):
+            print(f"  {line}")
+    else:
+        print("\n(no supervised pool in this trace: sequential run)")
+
+    if args.flame:
+        out = attrib.write_flamegraph(rows, args.flame)
+        print(f"\nflamegraph (collapsed stacks) written to {out}",
+              file=sys.stderr)
+    if args.chrome_trace:
+        out = timeline.write_chrome_trace(rows, args.chrome_trace)
+        print(f"chrome trace (Perfetto) written to {out}", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs import benchdiff
+
+    try:
+        config = benchdiff.load_config(args.config)
+        data = benchdiff.load_bench_obs(args.file)
+        report = benchdiff.diff_history(data, config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    print(benchdiff.render_report(report, verbose=args.verbose))
+    return EXIT_OK if report.ok else EXIT_DEGRADED
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ucomplexity",
@@ -439,13 +575,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="address-space ceiling per --jobs worker, in MiB; a task that "
              "exceeds it fails cleanly and is retried, then quarantined",
     )
+    common.add_argument(
+        "--progress", action="store_true",
+        help="repaint a live heartbeat line (tasks done, rate, ETA) on "
+             "stderr during --jobs runs",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser(
         "measure", help="measure a component's metrics", parents=[common]
     )
-    p.add_argument("files", nargs="+", help="HDL source files (.v / .vhd)")
-    p.add_argument("--top", required=True, help="top module/entity name")
+    p.add_argument("files", nargs="*", help="HDL source files (.v / .vhd)")
+    p.add_argument("--top", help="top module/entity name (required with FILES)")
+    p.add_argument(
+        "--catalog", metavar="DIR",
+        help="measure every module of a generated catalog directory "
+             "(reads DIR/manifest.json, as written by 'ucomplexity gen'); "
+             "mutually exclusive with FILES",
+    )
+    p.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="with --catalog: measure only the first N modules",
+    )
     p.add_argument(
         "--no-accounting", action="store_true",
         help="disable the Section 2.2 accounting procedure",
@@ -594,6 +745,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=10, help="slowest spans to show (default 10)"
     )
     p.set_defaults(func=_cmd_timings)
+
+    p = sub.add_parser(
+        "profile",
+        help="attribute a --trace run's wall-clock: rollups, critical "
+             "path, worker utilization, flamegraph/Perfetto exports",
+        parents=[common],
+    )
+    p.add_argument("file", help="JSONL trace written by a --trace run")
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="span names to show in the self-time table (default 10)",
+    )
+    p.add_argument(
+        "--width", type=int, default=60,
+        help="character width of the worker Gantt lanes (default 60)",
+    )
+    p.add_argument(
+        "--flame", metavar="FILE",
+        help="write collapsed-stack flamegraph lines to FILE (render with "
+             "flamegraph.pl or load into speedscope.app)",
+    )
+    p.add_argument(
+        "--chrome-trace", metavar="FILE",
+        help="write Chrome trace-event JSON to FILE (load at "
+             "ui.perfetto.dev or chrome://tracing)",
+    )
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="diff the latest BENCH_obs.json session against its history; "
+             "exit 1 on a tolerance breach",
+        parents=[common],
+    )
+    p.add_argument(
+        "file", nargs="?", default="BENCH_obs.json",
+        help="benchmark observations file (default: ./BENCH_obs.json)",
+    )
+    p.add_argument(
+        "--config", metavar="FILE", default=None,
+        help="TOML tolerance config ([benchdiff] table; default: built-in "
+             "tolerances)",
+    )
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="list every key's verdict, not just regressions/improvements",
+    )
+    p.set_defaults(func=_cmd_bench_diff)
 
     return parser
 

@@ -17,6 +17,7 @@ This is the uComplexity measurement flow of Section 2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.accounting import (
@@ -235,6 +236,69 @@ class ComponentSpec:
             policy=AccountingPolicy.recommended() if policy is None
             else policy,
         )
+
+
+def catalog_specs(
+    directory: str | Path,
+    policy: AccountingPolicy | None = None,
+    limit: int | None = None,
+) -> list[ComponentSpec]:
+    """Batch specs for every module of a generated catalog directory.
+
+    Reads the ``manifest.json`` written by ``ucomplexity gen`` (or
+    :func:`repro.gen.generate_corpus` callers) and resolves each module's
+    source files relative to ``directory``.  The result feeds straight
+    into :func:`measure_components`, which is how ``ucomplexity measure
+    --catalog DIR`` (and the profiling walkthrough in the README) turns a
+    synthetic corpus into a realistic parallel workload.
+
+    Raises ``ValueError`` for a missing/unreadable manifest or a module
+    whose listed files are absent -- a catalog is generated data, so any
+    mismatch means the directory is stale, not a measurement problem.
+    """
+    import json
+
+    root = Path(directory)
+    manifest_path = root / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(
+            f"cannot read catalog manifest {manifest_path}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"invalid catalog manifest {manifest_path}: {exc}"
+        ) from exc
+    modules = manifest.get("modules")
+    if not isinstance(modules, dict) or not modules:
+        raise ValueError(f"catalog manifest {manifest_path} lists no modules")
+    policy = AccountingPolicy.recommended() if policy is None else policy
+    specs: list[ComponentSpec] = []
+    for name in sorted(modules):
+        entry = modules[name]
+        files = entry.get("files") or []
+        if not files:
+            raise ValueError(f"catalog module {name!r} lists no files")
+        try:
+            sources = tuple(
+                SourceFile.from_path(root / fname) for fname in files
+            )
+        except OSError as exc:
+            raise ValueError(
+                f"catalog module {name!r}: missing source file: {exc}"
+            ) from exc
+        specs.append(
+            ComponentSpec(
+                name=name,
+                sources=sources,
+                top=str(entry.get("top", name)),
+                policy=policy,
+            )
+        )
+        if limit is not None and len(specs) >= limit:
+            break
+    return specs
 
 
 def _lint_audit(design: ast.Design, label: str, boundary: StageBoundary) -> None:

@@ -44,6 +44,7 @@ from dataclasses import replace
 from pathlib import Path
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 from repro.exec.task import TaskOutcome
 
@@ -89,22 +90,31 @@ class RunJournal:
     # -- reading -------------------------------------------------------------
 
     def _load(self) -> None:
-        try:
-            text = self.path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            return
-        except OSError:
-            obs_metrics.counter("exec.journal_corrupt").inc()
-            return
-        for line in text.splitlines():
-            if not line.strip():
-                continue
-            outcome = self._decode(line)
-            if outcome is None:
+        # The replay is part of a resumed run's startup cost, so it is
+        # attributed like any other stage: one ``journal.load`` span plus
+        # the ``exec.journal_replay_s`` / ``exec.journal_bytes_read``
+        # instruments (see DESIGN.md section 12).
+        with obs_trace.span("journal.load", path=str(self.path)) as sp:
+            try:
+                text = self.path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                return
+            except OSError:
                 obs_metrics.counter("exec.journal_corrupt").inc()
-                continue
-            key, value = outcome
-            self._outcomes[key] = value
+                return
+            obs_metrics.counter("exec.journal_bytes_read").inc(len(text))
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                outcome = self._decode(line)
+                if outcome is None:
+                    obs_metrics.counter("exec.journal_corrupt").inc()
+                    continue
+                key, value = outcome
+                self._outcomes[key] = value
+            sp.set_attr("entries", len(self._outcomes))
+        if sp.wall_s is not None:
+            obs_metrics.histogram("exec.journal_replay_s").observe(sp.wall_s)
 
     def _decode(self, line: str) -> tuple[str, TaskOutcome] | None:
         try:
@@ -165,4 +175,5 @@ class RunJournal:
             return False
         self._outcomes[key] = slim
         obs_metrics.counter("exec.journal_records").inc()
+        obs_metrics.counter("exec.journal_bytes_written").inc(len(line) + 1)
         return True

@@ -25,13 +25,21 @@ without chasing keyword arguments through the stack:
 * **Chaos** -- ``chaos`` maps task labels to fault injectors from
   :mod:`repro.runtime.faultinject` (``hang_worker``/``kill_worker``/
   ``slow_task``/``oom_task``); production callers leave it ``None``.
+* **Progress** -- ``progress`` names a writable text stream for the live
+  heartbeat line (tasks done, rate, ETA) the monitor loop repaints every
+  ``progress_interval_s``; ``None`` (the default) stays silent.
+* **Attribution** -- ``task_spans`` controls whether each attempt is
+  recorded as an ``exec.task`` span on the active tracer (queue wait,
+  pickle/unpickle cost, byte counts, outcome); see
+  :mod:`repro.obs.attrib`.  On by default: recording is a dict append,
+  and it only happens when a tracer is active anyway.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,15 @@ class SupervisionPolicy:
     #: :func:`repro.runtime.faultinject.apply_worker_fault` inside the
     #: worker.  Test-only; ``None`` in production.
     chaos: Mapping[str, tuple] | None = field(default=None, hash=False)
+    #: Record one ``exec.task`` span per attempt (plus ``exec.spawn`` per
+    #: worker start) on the active tracer -- the raw material of
+    #: ``ucomplexity profile``.  No-op when no tracer is active.
+    task_spans: bool = True
+    #: Writable text stream for the live heartbeat line (``--progress``);
+    #: ``None`` disables it.
+    progress: Any | None = field(default=None, hash=False, compare=False)
+    #: Seconds between heartbeat repaints when ``progress`` is set.
+    progress_interval_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -85,6 +102,8 @@ class SupervisionPolicy:
             raise ValueError("memory_limit_mb must be positive (or None)")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if self.progress_interval_s <= 0:
+            raise ValueError("progress_interval_s must be positive")
 
     def backoff_s(self, failures: int, rng: random.Random) -> float:
         """Delay before re-dispatching a task that failed ``failures`` times.

@@ -35,10 +35,26 @@ Telemetry flows through :mod:`repro.obs`: ``exec.dispatched``,
 ``exec.quarantined``, ``exec.journal_skips``, ``exec.heartbeats``, the
 ``exec.workers`` gauge, and the ``exec.deadline_margin_s`` histogram
 (how close completed tasks came to their deadline).
+
+Cost attribution (the raw material of ``ucomplexity profile`` -- see
+:mod:`repro.obs.attrib` / :mod:`repro.obs.timeline`): with an active
+tracer, every task *attempt* is recorded as an ``exec.task`` span
+positioned on the parent timeline (start = dispatch, end = completion or
+kill) carrying the worker lane (``wid``), the task's telemetry namespace
+(``ns``), queue wait, payload pickle time/size, result unpickle
+time/size, the attempt number, and the outcome (``ok``/``exc``/``kill``).
+Worker spawns are recorded as ``exec.spawn`` spans.  The same costs feed
+always-on instruments: ``exec.queue_wait_s``/``exec.pickle_s``/
+``exec.unpickle_s``/``exec.spawn_s`` histograms and
+``exec.payload_bytes``/``exec.result_bytes`` counters, with the
+worker-side halves (``exec.worker_unpickle_s``,
+``exec.worker_compute_s``, ``exec.worker_payload_bytes``) merged in from
+each outcome's telemetry.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 import signal
 import threading
@@ -87,9 +103,11 @@ class _TaskState:
     payload: Any
     label: str
     key: str | None = None
+    namespace: str | None = None
     soft_failures: int = 0
     kills: int = 0
     not_before: float = 0.0
+    enqueued_at: float = 0.0
     last_detail: str = ""
 
     @property
@@ -124,13 +142,18 @@ class Supervisor:
         keys: Sequence[str] | None = None,
         labels: Sequence[str] | None = None,
         journal: RunJournal | None = None,
+        namespaces: Sequence[str] | None = None,
     ) -> list[TaskOutcome]:
         """Execute ``task`` over ``payloads``; outcomes align with payloads.
 
         ``keys`` (content-addressed, parallel to ``payloads``) enable the
         journal: journaled keys are returned without dispatch, completed
         tasks are appended as they finish.  ``labels`` name tasks in
-        diagnostics and chaos plans (default ``task<i>``).
+        diagnostics and chaos plans (default ``task<i>``).  ``namespaces``
+        (parallel to ``payloads``) are the tasks' worker-telemetry
+        namespaces; when given, each ``exec.task`` span carries its task's
+        namespace as the ``ns`` attribute, which is what lets the timeline
+        re-base grafted worker span trees onto the parent clock.
         """
         n = len(payloads)
         if labels is None:
@@ -150,7 +173,8 @@ class Supervisor:
             obs_metrics.counter("exec.journal_skips").inc(skipped)
         states = [
             _TaskState(index=i, payload=payloads[i], label=labels[i],
-                       key=keys[i])
+                       key=keys[i],
+                       namespace=namespaces[i] if namespaces else None)
             for i in range(n)
             if outcomes[i] is None
         ]
@@ -235,11 +259,93 @@ class Supervisor:
         respawns_left = policy.respawn_budget(self.jobs)
         completed = 0
 
-        def spawn() -> WorkerHandle | None:
+        # Attribution clock: exec.task/exec.spawn spans are timed on the
+        # monotonic clock but recorded on the tracer's timeline; this pins
+        # the two clocks together once so every recorded instant lands at
+        # its true position relative to the stack-managed spans.
+        tracer = obs_trace.active() if policy.task_spans else None
+        mono_epoch = time.monotonic()
+        trace_epoch = tracer.now() if tracer is not None else 0.0
+
+        def rel(mono_instant: float) -> float:
+            return trace_epoch + (mono_instant - mono_epoch)
+
+        for state in states:
+            state.enqueued_at = mono_epoch
+
+        wid_counter = itertools.count()
+        progress_last = 0.0
+        progress_painted = 0
+
+        def paint_progress(final: bool = False) -> None:
+            """Repaint the live heartbeat line (tasks/s, ETA) in place."""
+            nonlocal progress_last, progress_painted
+            stream = policy.progress
+            if stream is None:
+                return
+            now = time.monotonic()
+            if not final and now - progress_last < policy.progress_interval_s:
+                return
+            progress_last = now
+            elapsed = max(now - mono_epoch, 1e-9)
+            rate = completed / elapsed
+            if completed >= total:
+                eta = "0s"
+            elif rate > 0:
+                eta = f"{(total - completed) / rate:.0f}s"
+            else:
+                eta = "?"
+            line = (
+                f"[exec] {completed}/{total} tasks  {rate:.1f}/s  "
+                f"eta {eta}  workers {len(workers)}  queued {len(queued)}"
+            )
             try:
-                w = WorkerHandle(task, policy.memory_limit_mb)
+                stream.write("\r" + line.ljust(progress_painted))
+                if final:
+                    stream.write("\n")
+                stream.flush()
+            except (OSError, ValueError):
+                return
+            progress_painted = max(progress_painted, len(line))
+
+        def record_task_span(
+            w: WorkerHandle, state: _TaskState, outcome: str,
+            error: str | None = None,
+        ) -> None:
+            """One finished attempt -> one ``exec.task`` span."""
+            if tracer is None:
+                return
+            wall = max(time.monotonic() - w.started_at, 0.0)
+            tracer.record_span(
+                "exec.task",
+                rel(w.started_at),
+                wall,
+                status="ok" if outcome == "ok" else "error",
+                error=error,
+                task=state.label,
+                index=state.index,
+                wid=w.wid,
+                ns=state.namespace,
+                attempt=state.attempts + 1,
+                outcome=outcome,
+                queue_wait_s=round(w.queue_wait_s, 9),
+                pickle_s=round(w.pickle_s, 9),
+                payload_bytes=w.payload_bytes,
+                unpickle_s=round(w.unpickle_s, 9),
+                result_bytes=w.result_bytes,
+            )
+
+        def spawn() -> WorkerHandle | None:
+            t0 = time.monotonic()
+            try:
+                w = WorkerHandle(task, policy.memory_limit_mb,
+                                 wid=f"w{next(wid_counter)}")
             except OSError:
                 return None
+            spawn_s = time.monotonic() - t0
+            obs_metrics.histogram("exec.spawn_s").observe(spawn_s)
+            if tracer is not None:
+                tracer.record_span("exec.spawn", rel(t0), spawn_s, wid=w.wid)
             workers.append(w)
             obs_metrics.gauge("exec.workers").set(len(workers))
             return w
@@ -290,12 +396,15 @@ class Supervisor:
             state.not_before = time.monotonic() + policy.backoff_s(
                 state.attempts, self._rng
             )
+            state.enqueued_at = time.monotonic()
             queued.append(state)
 
         def worker_lost(w: WorkerHandle, reason: str) -> None:
             """A worker died or was killed; charge its task and replace it."""
             nonlocal respawns_left
             state = by_index.get(w.task_idx) if w.task_idx is not None else None
+            if state is not None and outcomes[state.index] is None:
+                record_task_span(w, state, "kill", error=reason)
             retire(w)
             if state is not None:
                 task_failed(state, kill=True, reason=reason)
@@ -311,6 +420,7 @@ class Supervisor:
             w.mark_idle()
             if state is None or outcomes[state.index] is not None:
                 return  # stale reply for a task already resolved
+            record_task_span(w, state, "ok")
             if deadline_at is not None:
                 obs_metrics.histogram("exec.deadline_margin_s").observe(
                     deadline_at - time.monotonic()
@@ -331,6 +441,7 @@ class Supervisor:
             while completed < total:
                 if self._signal is not None:
                     raise RunInterrupted(self._signal, completed, total)
+                paint_progress()
 
                 if not workers:
                     # No pool at all (or respawn budget exhausted with every
@@ -350,13 +461,27 @@ class Supervisor:
                                 or "worker pool lost; task not safe inline",
                             )
                             continue
+                        t0 = time.monotonic()
                         outcome = task(state.payload)
+                        if tracer is not None:
+                            tracer.record_span(
+                                "exec.task", rel(t0),
+                                max(time.monotonic() - t0, 0.0),
+                                task=state.label, index=state.index,
+                                wid="inline", ns=state.namespace,
+                                attempt=state.attempts + 1, outcome="ok",
+                                queue_wait_s=round(max(t0 - state.enqueued_at,
+                                                       0.0), 9),
+                                pickle_s=0.0, payload_bytes=0,
+                                unpickle_s=0.0, result_bytes=0,
+                            )
                         outcomes[state.index] = outcome
                         completed += 1
                         obs_metrics.counter("exec.completed").inc()
                         obs_metrics.counter("parallel.tasks").inc()
                         if journal is not None and state.key is not None:
                             journal.record(state.key, outcome)
+                        paint_progress()
                     queued.clear()
                     continue
 
@@ -376,7 +501,21 @@ class Supervisor:
                         w.dispatch(
                             ready.index, ready.payload, policy.deadline_s
                         )
+                        w.queue_wait_s = max(
+                            time.monotonic()
+                            - max(ready.enqueued_at, ready.not_before),
+                            0.0,
+                        )
                         obs_metrics.counter("exec.dispatched").inc()
+                        obs_metrics.histogram("exec.queue_wait_s").observe(
+                            w.queue_wait_s
+                        )
+                        obs_metrics.histogram("exec.pickle_s").observe(
+                            w.pickle_s
+                        )
+                        obs_metrics.counter("exec.payload_bytes").inc(
+                            w.payload_bytes
+                        )
                     except (BrokenPipeError, OSError):
                         # Idle worker died between tasks: requeue untouched.
                         queued.append(ready)
@@ -405,11 +544,17 @@ class Supervisor:
                     for conn in ready_conns:
                         w = conn_map[conn]
                         try:
-                            msg = w.conn.recv()
+                            msg = w.recv_message()
                         except (EOFError, OSError):
                             obs_metrics.counter("exec.worker_deaths").inc()
                             worker_lost(w, "worker process died mid-task")
                             continue
+                        obs_metrics.histogram("exec.unpickle_s").observe(
+                            w.unpickle_s
+                        )
+                        obs_metrics.counter("exec.result_bytes").inc(
+                            w.result_bytes
+                        )
                         kind, task_id, *rest = msg
                         if task_id != w.task_idx:
                             continue  # reply for a task we already re-routed
@@ -417,8 +562,13 @@ class Supervisor:
                             complete(w, rest[0])
                         else:
                             exc_type, exc_text = rest
-                            w.mark_idle()
                             state = by_index[task_id]
+                            if outcomes[state.index] is None:
+                                record_task_span(
+                                    w, state, "exc",
+                                    error=f"{exc_type}: {exc_text}",
+                                )
+                            w.mark_idle()
                             if outcomes[state.index] is None:
                                 task_failed(
                                     state, kill=False,
@@ -446,3 +596,5 @@ class Supervisor:
                     w.shutdown()
             workers.clear()
             obs_metrics.gauge("exec.workers").set(0)
+            if progress_painted:
+                paint_progress(final=True)

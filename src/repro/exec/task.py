@@ -46,6 +46,41 @@ class TaskOutcome:
     telemetry: WorkerTelemetry | None = None
 
 
+def annotate_worker_stats(
+    value: Any,
+    *,
+    payload_bytes: int,
+    unpickle_s: float,
+    compute_s: float,
+) -> None:
+    """Fold one attempt's worker-side costs into the outcome's telemetry.
+
+    The worker loop (:func:`repro.exec.workers.worker_main`) measures what
+    only it can see -- the payload's unpickle time and the task's pure
+    compute time -- *after* the outcome object exists, so the numbers are
+    injected into the telemetry's registry dump rather than recorded
+    through the worker's (already closed) registry.  They merge into the
+    parent registry on join like every other worker instrument:
+
+    * ``exec.worker_unpickle_s`` / ``exec.worker_compute_s`` histograms;
+    * ``exec.worker_payload_bytes`` counter.
+
+    ``value`` is duck-typed: anything without a ``telemetry`` attribute
+    (a non-``TaskOutcome`` task) is left untouched.
+    """
+    telemetry = getattr(value, "telemetry", None)
+    if telemetry is None or not isinstance(telemetry.metrics, dict):
+        return
+    dump = telemetry.metrics
+    hists = dump.setdefault("histogram_values", {})
+    hists.setdefault("exec.worker_unpickle_s", []).append(float(unpickle_s))
+    hists.setdefault("exec.worker_compute_s", []).append(float(compute_s))
+    counters = dump.setdefault("counters", {})
+    counters["exec.worker_payload_bytes"] = (
+        counters.get("exec.worker_payload_bytes", 0.0) + float(payload_bytes)
+    )
+
+
 def run_traced_task(
     fn: Callable[[], tuple[Any, tuple]], namespace: str, capture_trace: bool
 ) -> TaskOutcome:

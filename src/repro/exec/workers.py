@@ -22,13 +22,23 @@ TaskOutcome)`` or ``("exc", task_id, exc_type, exc_text)`` when an
 exception escaped the task function (task functions promise not to raise;
 escapes are exactly what supervision exists for -- memory ceilings, chaos
 faults, bugs).
+
+Both ends serialize explicitly (``ForkingPickler.dumps`` +
+``send_bytes`` / ``recv_bytes`` + ``pickle.loads`` -- byte-identical to
+what ``Connection.send``/``recv`` do internally) so every message's
+pickle time and payload size can be attributed: the parent times payload
+pickling and result unpickling, the worker times payload unpickling and
+the task's compute, and ships its numbers back inside the outcome's
+telemetry (see :func:`repro.exec.task.annotate_worker_stats`).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import time
 from multiprocessing.connection import Connection
+from multiprocessing.reduction import ForkingPickler
 from typing import Any, Callable
 
 #: Seconds to wait for a worker to exit after a graceful shutdown message
@@ -63,14 +73,21 @@ def worker_main(
         apply_memory_limit(memory_limit_mb)
     while True:
         try:
-            msg = conn.recv()
+            buf = conn.recv_bytes()
         except (EOFError, OSError):
             return  # parent went away
+        t0 = time.perf_counter()
+        msg = pickle.loads(buf)
+        unpickle_s = time.perf_counter() - t0
         if msg is None:
             return  # graceful shutdown
         task_id, payload = msg
         try:
-            reply = ("ok", task_id, task(payload))
+            t0 = time.perf_counter()
+            value = task(payload)
+            compute_s = time.perf_counter() - t0
+            _annotate(value, len(buf), unpickle_s, compute_s)
+            reply = ("ok", task_id, value)
         except MemoryError:
             # Drop references before replying: the allocation that tripped
             # the ceiling may still be reachable from the frame.
@@ -79,7 +96,7 @@ def worker_main(
         except BaseException as exc:  # noqa: BLE001 -- escapes are supervised
             reply = ("exc", task_id, type(exc).__name__, str(exc))
         try:
-            conn.send(reply)
+            conn.send_bytes(bytes(ForkingPickler.dumps(reply)))
         except (BrokenPipeError, OSError):
             return
         except Exception as exc:  # noqa: BLE001 -- e.g. unpicklable outcome
@@ -90,6 +107,18 @@ def worker_main(
                 return
 
 
+def _annotate(value: Any, payload_bytes: int, unpickle_s: float,
+              compute_s: float) -> None:
+    """Attach this attempt's worker-side costs to the outcome's telemetry."""
+    try:
+        from repro.exec.task import annotate_worker_stats
+
+        annotate_worker_stats(value, payload_bytes=payload_bytes,
+                              unpickle_s=unpickle_s, compute_s=compute_s)
+    except Exception:  # noqa: BLE001 -- observability must never fail a task
+        pass
+
+
 class WorkerHandle:
     """Parent-side handle for one supervised worker process."""
 
@@ -98,6 +127,7 @@ class WorkerHandle:
         task: Callable[[Any], Any],
         memory_limit_mb: int | None,
         ctx: mp.context.BaseContext | None = None,
+        wid: str = "w?",
     ) -> None:
         ctx = ctx or mp.get_context()
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -109,11 +139,22 @@ class WorkerHandle:
         self.proc.start()
         child_conn.close()
         self.conn: Connection = parent_conn
+        #: Stable lane id of this worker within one supervised run ("w0",
+        #: "w1", ...; respawns get fresh ids) -- the timeline's Gantt lane.
+        self.wid = wid
         #: Index of the task currently in flight (None = idle).
         self.task_idx: int | None = None
         #: Monotonic instants bounding the current attempt.
         self.started_at: float = 0.0
         self.deadline_at: float | None = None
+        #: Parent-side costs of the attempt in flight (for the attempt's
+        #: ``exec.task`` span): payload pickle time/size at dispatch, then
+        #: result transfer size/unpickle time filled in by recv_message.
+        self.pickle_s: float = 0.0
+        self.payload_bytes: int = 0
+        self.unpickle_s: float = 0.0
+        self.result_bytes: int = 0
+        self.queue_wait_s: float = 0.0
 
     @property
     def busy(self) -> bool:
@@ -126,12 +167,27 @@ class WorkerHandle:
     def dispatch(self, task_idx: int, payload: Any,
                  deadline_s: float | None) -> None:
         """Send one task; raises OSError/BrokenPipeError if the worker died."""
-        self.conn.send((task_idx, payload))
+        t0 = time.perf_counter()
+        buf = bytes(ForkingPickler.dumps((task_idx, payload)))
+        self.pickle_s = time.perf_counter() - t0
+        self.payload_bytes = len(buf)
+        self.unpickle_s = 0.0
+        self.result_bytes = 0
+        self.conn.send_bytes(buf)
         self.task_idx = task_idx
         self.started_at = time.monotonic()
         self.deadline_at = (
             self.started_at + deadline_s if deadline_s is not None else None
         )
+
+    def recv_message(self) -> Any:
+        """Receive one worker reply, recording its size and unpickle time."""
+        buf = self.conn.recv_bytes()
+        t0 = time.perf_counter()
+        msg = pickle.loads(buf)
+        self.unpickle_s = time.perf_counter() - t0
+        self.result_bytes = len(buf)
+        return msg
 
     def mark_idle(self) -> None:
         self.task_idx = None

@@ -13,8 +13,23 @@ measure -> fit -> report pipeline (see DESIGN.md, "Observability"):
   (objective / gradient norm / step) for the NLME fitters.
 * :mod:`repro.obs.report` -- :class:`RunReport` bundling + the timings
   rendering behind ``--profile`` and ``ucomplexity timings``.
+* :mod:`repro.obs.attrib` -- cost attribution over a recorded trace:
+  per-name rollups, critical path, collapsed-stack flamegraph export.
+* :mod:`repro.obs.timeline` -- worker lanes/utilization, the wall-clock
+  capacity breakdown, and the Chrome trace-event (Perfetto) export.
+* :mod:`repro.obs.benchdiff` -- BENCH_obs.json history diffing behind the
+  ``ucomplexity bench-diff`` regression gate.
 """
 
+from repro.obs.attrib import (
+    Rollup,
+    critical_path,
+    flamegraph_lines,
+    rollup,
+    serialization_summary,
+    write_flamegraph,
+)
+from repro.obs.benchdiff import DiffConfig, diff_history, load_config
 from repro.obs.fittrace import FitIteration, FitTrace, maybe_fit_trace
 from repro.obs.metrics import (
     Counter,
@@ -26,6 +41,14 @@ from repro.obs.metrics import registry as metrics_registry
 from repro.obs.metrics import reset as reset_metrics
 from repro.obs.metrics import snapshot as metrics_snapshot
 from repro.obs.report import RunReport, render_timings_rows
+from repro.obs.timeline import (
+    Breakdown,
+    breakdown,
+    chrome_trace,
+    gantt_lines,
+    lanes,
+    write_chrome_trace,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -42,28 +65,43 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Breakdown",
     "Counter",
+    "DiffConfig",
     "FitIteration",
     "FitTrace",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "Rollup",
     "RunReport",
     "Span",
     "Tracer",
     "activate",
     "active",
+    "breakdown",
+    "chrome_trace",
+    "critical_path",
     "current_span_id",
     "deactivate",
+    "diff_history",
     "event",
+    "flamegraph_lines",
+    "gantt_lines",
+    "lanes",
+    "load_config",
     "maybe_fit_trace",
     "metrics_registry",
     "metrics_snapshot",
     "read_jsonl",
     "render_timings_rows",
     "reset_metrics",
+    "rollup",
+    "serialization_summary",
     "span",
     "traced",
     "using",
+    "write_chrome_trace",
+    "write_flamegraph",
 ]

@@ -1,0 +1,407 @@
+"""Worker timelines: lanes, utilization, wall-clock breakdown, Perfetto.
+
+Where :mod:`repro.obs.attrib` answers "which code is slow?", this module
+answers "what were the workers *doing*?" for one supervised parallel run
+(:mod:`repro.exec`).  It consumes the same trace rows and builds:
+
+* **Lanes** (:func:`lanes`): each worker id (``w0``, ``w1``, ...; fresh
+  ids per respawn) becomes one lane holding its ``exec.task`` attempt
+  windows -- a Gantt chart in data form, rendered as ASCII by
+  :func:`gantt_lines`.
+* **Breakdown** (:func:`breakdown`): the run's wall-clock *capacity*
+  (supervised wall time x jobs) split into compute, serialization,
+  transfer overhead, spawn, and idle -- categories that sum to capacity
+  by construction, so the profile always accounts for 100% of the
+  wall-clock and honestly shows where the parallel speedup went.
+* **Chrome trace export** (:func:`chrome_trace` /
+  :func:`write_chrome_trace`): the Trace Event JSON loadable by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing`` -- the main process's
+  span stack on one track, each worker's attempts on its own track, and
+  the worker-grafted span subtrees rebased into their attempt windows so
+  worker-side stages line up with the dispatch that caused them.
+
+Accounting model (see DESIGN.md section 12):
+
+``capacity = supervised wall x jobs`` is the total worker-seconds the
+pool could have used.  Each ``exec.task`` attempt window (dispatch ->
+result processed) contributes to its lane's *busy* time; inside busy,
+the worker-reported compute and unpickle times are carved out and the
+remainder is *transfer overhead* (pipe latency, result pickling in the
+worker, monitor poll delay).  ``exec.spawn`` windows are counted
+separately; whatever capacity remains is *idle* (workers waiting for
+work -- the signature of a serial bottleneck in the parent).  Parent-side
+pickle/unpickle happens on the monitor thread, outside any lane, and is
+reported as part of the serialization share rather than double-counted
+against capacity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.obs import attrib
+
+
+# -- run + attempt extraction ------------------------------------------------
+
+
+def run_span(rows: Sequence[dict]) -> dict | None:
+    """The heaviest ``exec.supervised`` span (the run being profiled)."""
+    runs = attrib.filter_spans(rows, "exec.supervised")
+    if not runs:
+        return None
+    return max(runs, key=lambda r: r["wall_s"])
+
+
+@dataclass
+class Attempt:
+    """One ``exec.task`` attempt window on a worker lane."""
+
+    span_id: int | str
+    task: str
+    index: int
+    wid: str
+    start: float
+    wall_s: float
+    outcome: str                 # "ok" | "exc" | "kill"
+    attempt: int = 1
+    ns: str | None = None
+    queue_wait_s: float = 0.0
+    pickle_s: float = 0.0
+    unpickle_s: float = 0.0
+    payload_bytes: float = 0.0
+    result_bytes: float = 0.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.wall_s
+
+
+def attempts(rows: Sequence[dict]) -> list[Attempt]:
+    """Every ``exec.task`` attempt in the trace, in start order."""
+    out: list[Attempt] = []
+    for r in attrib.filter_spans(rows, "exec.task"):
+        a = r.get("attrs") or {}
+        out.append(
+            Attempt(
+                span_id=r["id"],
+                task=str(a.get("task", "?")),
+                index=int(a.get("index", -1)),
+                wid=str(a.get("wid", "?")),
+                start=r["start"],
+                wall_s=r["wall_s"],
+                outcome=str(a.get("outcome", "ok")),
+                attempt=int(a.get("attempt", 1)),
+                ns=a.get("ns"),
+                queue_wait_s=float(a.get("queue_wait_s", 0.0)),
+                pickle_s=float(a.get("pickle_s", 0.0)),
+                unpickle_s=float(a.get("unpickle_s", 0.0)),
+                payload_bytes=float(a.get("payload_bytes", 0.0)),
+                result_bytes=float(a.get("result_bytes", 0.0)),
+            )
+        )
+    out.sort(key=lambda at: (at.start, str(at.span_id)))
+    return out
+
+
+# -- lanes + utilization -----------------------------------------------------
+
+
+def _wid_key(wid: str) -> tuple:
+    """Sort ``w10`` after ``w9`` (numeric suffix first, lexical fallback)."""
+    if wid.startswith("w") and wid[1:].isdigit():
+        return (0, int(wid[1:]), wid)
+    return (1, 0, wid)
+
+
+@dataclass
+class Lane:
+    """One worker's timeline: its attempt windows and busy total."""
+
+    wid: str
+    attempts: list[Attempt] = field(default_factory=list)
+
+    @property
+    def busy_s(self) -> float:
+        return sum(at.wall_s for at in self.attempts)
+
+    def utilization(self, wall_s: float) -> float:
+        """Fraction of the run this lane spent inside attempt windows."""
+        return self.busy_s / wall_s if wall_s > 0 else 0.0
+
+
+def lanes(rows: Sequence[dict]) -> list[Lane]:
+    """Worker lanes in ``w0, w1, ...`` order (``inline`` sorts last)."""
+    by_wid: dict[str, Lane] = {}
+    for at in attempts(rows):
+        by_wid.setdefault(at.wid, Lane(wid=at.wid)).attempts.append(at)
+    return [by_wid[w] for w in sorted(by_wid, key=_wid_key)]
+
+
+def gantt_lines(rows: Sequence[dict], width: int = 60) -> list[str]:
+    """ASCII Gantt: one line per lane, ``#`` busy / ``x`` failed / ``.`` idle.
+
+    The horizontal axis spans the supervised run window (or the full
+    attempt envelope when no ``exec.supervised`` span is present, e.g. a
+    filtered trace).
+    """
+    lns = lanes(rows)
+    if not lns:
+        return []
+    run = run_span(rows)
+    if run is not None:
+        t0, t1 = run["start"], run["start"] + run["wall_s"]
+    else:
+        t0 = min(at.start for ln in lns for at in ln.attempts)
+        t1 = max(at.end for ln in lns for at in ln.attempts)
+    scale = (t1 - t0) or 1e-9
+    name_w = max(len(ln.wid) for ln in lns)
+    out: list[str] = []
+    for ln in lns:
+        cells = ["."] * width
+        for at in ln.attempts:
+            lo = int((at.start - t0) / scale * width)
+            hi = int((at.end - t0) / scale * width)
+            lo = min(max(lo, 0), width - 1)
+            hi = min(max(hi, lo + 1), width)
+            mark = "#" if at.outcome == "ok" else "x"
+            for i in range(lo, hi):
+                # A failed attempt overprints: errors must stay visible
+                # even when a later retry shares the same cell.
+                cells[i] = mark if cells[i] != "x" else "x"
+        util = ln.utilization(t1 - t0)
+        out.append(
+            f"{ln.wid:<{name_w}} |{''.join(cells)}| "
+            f"{util * 100:5.1f}%  {len(ln.attempts)} attempts"
+        )
+    return out
+
+
+# -- wall-clock breakdown ----------------------------------------------------
+
+
+@dataclass
+class Breakdown:
+    """Where one supervised run's worker-seconds went (sums to capacity)."""
+
+    wall_s: float                # supervised run wall time
+    jobs: int
+    compute_s: float             # worker-reported task compute
+    serialization_s: float       # in-lane: worker payload unpickling
+    overhead_s: float            # in-lane residual: transfer, result
+                                 # pickling, monitor poll latency
+    spawn_s: float               # worker process startup
+    idle_s: float                # capacity never used (workers starved)
+    parent_serialization_s: float  # monitor-thread pickle + unpickle
+                                   # (off-lane; part of the serialization
+                                   # share, not of capacity)
+    lanes: list[Lane] = field(default_factory=list)
+
+    @property
+    def capacity_s(self) -> float:
+        return self.wall_s * self.jobs
+
+    @property
+    def busy_s(self) -> float:
+        return self.compute_s + self.serialization_s + self.overhead_s
+
+    @property
+    def utilization(self) -> float:
+        """Busy worker-seconds over capacity (the pool-wide average)."""
+        return self.busy_s / self.capacity_s if self.capacity_s > 0 else 0.0
+
+    @property
+    def serialization_share(self) -> float:
+        """All measured serialization seconds over capacity."""
+        if self.capacity_s <= 0:
+            return 0.0
+        return (
+            self.serialization_s + self.parent_serialization_s
+        ) / self.capacity_s
+
+    def fractions(self) -> dict[str, float]:
+        """Category -> fraction of capacity; values sum to ~1.0."""
+        cap = self.capacity_s
+        if cap <= 0:
+            return {}
+        return {
+            "compute": self.compute_s / cap,
+            "serialization": self.serialization_s / cap,
+            "overhead": self.overhead_s / cap,
+            "spawn": self.spawn_s / cap,
+            "idle": self.idle_s / cap,
+        }
+
+
+def breakdown(rows: Sequence[dict]) -> Breakdown | None:
+    """The capacity breakdown of the trace's supervised run (None if no
+    ``exec.supervised`` span was recorded, e.g. a sequential run)."""
+    run = run_span(rows)
+    if run is None:
+        return None
+    jobs = int((run.get("attrs") or {}).get("jobs", 1)) or 1
+    wall = run["wall_s"]
+    lns = lanes(rows)
+    busy = sum(ln.busy_s for ln in lns)
+    spawn = sum(
+        r["wall_s"] for r in attrib.filter_spans(rows, "exec.spawn")
+    )
+    compute = attrib.histogram_sum(rows, "exec.worker_compute_s")
+    worker_unpickle = attrib.histogram_sum(rows, "exec.worker_unpickle_s")
+    # Carve the worker-reported costs out of the lane-busy total; clamp
+    # each stage so rounding or a lost worker report can never produce a
+    # negative category.
+    compute = min(compute, busy)
+    serialization = min(worker_unpickle, max(busy - compute, 0.0))
+    overhead = max(busy - compute - serialization, 0.0)
+    idle = max(wall * jobs - busy - spawn, 0.0)
+    parent_serial = (
+        attrib.histogram_sum(rows, "exec.pickle_s")
+        + attrib.histogram_sum(rows, "exec.unpickle_s")
+    )
+    return Breakdown(
+        wall_s=wall,
+        jobs=jobs,
+        compute_s=compute,
+        serialization_s=serialization,
+        overhead_s=overhead,
+        spawn_s=spawn,
+        idle_s=idle,
+        parent_serialization_s=parent_serial,
+        lanes=lns,
+    )
+
+
+# -- Chrome trace-event export (Perfetto) ------------------------------------
+
+#: tid of the main process's span stack in the exported trace.
+MAIN_TID = 0
+
+
+def _grafted_offset(
+    group: list[dict], attempt: Attempt
+) -> float:
+    """Shift (seconds) mapping a grafted subtree onto the parent timeline.
+
+    Grafted worker spans keep their *worker-local* epoch (the worker's
+    task wrapper starts its own tracer), so they must be rebased before
+    they can share a timeline with the parent's spans.  The worker's
+    span tree finishes just before the result ships back, so the subtree
+    is aligned to end at the attempt window's end; the alignment is then
+    clamped so no grafted span starts before its attempt was dispatched.
+    """
+    root_end = max(r["start"] + r["wall_s"] for r in group)
+    offset = attempt.end - root_end
+    first_start = min(r["start"] for r in group)
+    if first_start + offset < attempt.start:
+        offset = attempt.start - first_start
+    return offset
+
+
+def chrome_trace(rows: Sequence[dict]) -> dict:
+    """The Trace Event JSON object for ``rows`` (Perfetto-loadable).
+
+    Track layout: tid 0 is the main process's span stack; each worker
+    lane gets its own tid (``exec.task`` attempt windows plus that
+    worker's rebased grafted spans); spawn windows render on their
+    worker's track.  All complete events use phase ``"X"`` with
+    microsecond timestamps, per the Trace Event format spec.
+    """
+    spans = attrib.span_rows(rows)
+    atts = attempts(rows)
+    lane_tids: dict[str, int] = {}
+    for i, ln in enumerate(lanes(rows)):
+        lane_tids[ln.wid] = i + 1
+
+    # Grafted subtrees join their ok-attempt window via the telemetry
+    # namespace: graft stamps every worker span with ``worker=<ns>`` and
+    # the supervisor stamps the attempt with ``ns=<ns>``.
+    ok_by_ns = {
+        at.ns: at for at in atts if at.outcome == "ok" and at.ns is not None
+    }
+    grafted: dict[str, list[dict]] = {}
+    for r in spans:
+        worker_ns = (r.get("attrs") or {}).get("worker")
+        if worker_ns is not None:
+            grafted.setdefault(str(worker_ns), []).append(r)
+    rebase: dict[str, tuple[float, int]] = {}   # ns -> (offset, tid)
+    next_tid = len(lane_tids) + 1
+    for ns, group in grafted.items():
+        at = ok_by_ns.get(ns)
+        if at is not None:
+            rebase[ns] = (_grafted_offset(group, at), lane_tids[at.wid])
+        else:
+            # No surviving attempt to anchor to (quarantined task, or a
+            # trace filtered down): give the subtree its own track at
+            # its local times rather than dropping it.
+            rebase[ns] = (0.0, next_tid)
+            next_tid += 1
+
+    events: list[dict] = []
+
+    def meta(tid: int, name: str, sort_index: int) -> None:
+        events.append({"ph": "M", "pid": 1, "tid": tid,
+                       "name": "thread_name", "args": {"name": name}})
+        events.append({"ph": "M", "pid": 1, "tid": tid,
+                       "name": "thread_sort_index",
+                       "args": {"sort_index": sort_index}})
+
+    events.append({"ph": "M", "pid": 1, "tid": MAIN_TID,
+                   "name": "process_name", "args": {"name": "ucomplexity"}})
+    meta(MAIN_TID, "main", 0)
+    for wid, tid in sorted(lane_tids.items(), key=lambda kv: kv[1]):
+        meta(tid, f"worker {wid}", tid)
+    for ns, (_, tid) in sorted(rebase.items()):
+        if tid > len(lane_tids):
+            meta(tid, f"unanchored {ns}", tid)
+
+    def complete(name: str, start_s: float, wall_s: float, tid: int,
+                 args: dict | None = None) -> None:
+        ev: dict[str, Any] = {
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "name": name,
+            "ts": round(start_s * 1e6, 3),
+            "dur": round(wall_s * 1e6, 3),
+        }
+        if args:
+            ev["args"] = args
+        events.append(ev)
+
+    spawn_tid: dict[str, int] = {}
+    for r in attrib.filter_spans(rows, "exec.spawn"):
+        wid = str((r.get("attrs") or {}).get("wid", "?"))
+        spawn_tid[wid] = lane_tids.get(wid, MAIN_TID)
+
+    for r in spans:
+        a = r.get("attrs") or {}
+        if "worker" in a:
+            offset, tid = rebase[str(a["worker"])]
+            complete(r["name"], r["start"] + offset, r["wall_s"], tid,
+                     args=dict(a))
+        elif r["name"] == "exec.task":
+            tid = lane_tids.get(str(a.get("wid", "?")), MAIN_TID)
+            complete(
+                f"task {a.get('task', '?')}", r["start"], r["wall_s"], tid,
+                args=dict(a),
+            )
+        elif r["name"] == "exec.spawn":
+            tid = spawn_tid.get(str(a.get("wid", "?")), MAIN_TID)
+            complete("spawn", r["start"], r["wall_s"], tid, args=dict(a))
+        else:
+            complete(r["name"], r["start"], r["wall_s"], MAIN_TID,
+                     args=dict(a) if a else None)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write the Trace Event JSON for ``rows`` to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(rows), sort_keys=True),
+                    encoding="utf-8")
+    return path

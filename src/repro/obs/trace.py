@@ -119,6 +119,16 @@ class Tracer:
         """Wall seconds since this tracer was created."""
         return self._now()
 
+    def now(self) -> float:
+        """The current instant on this tracer's timeline (epoch-relative).
+
+        Callers that time overlapping work themselves (e.g. the supervised
+        pool's monitor loop) capture instants with ``now()`` and later
+        replay them into :meth:`record_span`, so their spans land on the
+        same timeline as stack-managed spans.
+        """
+        return self._now()
+
     # -- span lifecycle ------------------------------------------------------
 
     @property
@@ -163,6 +173,44 @@ class Tracer:
             raise
         else:
             self.end_span(sp)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        wall_s: float,
+        *,
+        parent_id: int | str | None | Any = ...,
+        cpu_s: float | None = None,
+        status: str = "ok",
+        error: str | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Append an already-finished span without touching the stack.
+
+        The stack-based :meth:`span` context manager models strictly
+        nested sections; work that *overlaps* (several supervised task
+        attempts in flight at once) is timed by the caller and recorded
+        retroactively here.  ``start`` is epoch-relative (see
+        :meth:`now`); ``parent_id`` defaults to the span active at record
+        time (pass ``None`` explicitly for a root).  Ids come from the
+        same sequential counter as stack spans, so recorded spans stay
+        deterministic and collision-free.
+        """
+        sp = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self.current_span_id if parent_id is ... else parent_id,
+            start=start,
+            attrs={k: v for k, v in attrs.items() if v is not None},
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            status=status,
+            error=error,
+        )
+        self._next_id += 1
+        self.spans.append(sp)
+        return sp
 
     # -- worker-span grafting ------------------------------------------------
 

@@ -154,6 +154,13 @@ def merge_worker_telemetry(
 
     Returns the span-id remapping from :meth:`Tracer.graft` (empty when
     untraced) so callers can remap ``Diagnostic.span_id`` references.
+
+    When the supervisor recorded an ``exec.task`` attempt span for this
+    task (matched through the telemetry namespace), the worker's span
+    tree is grafted *under that attempt* instead of under the join
+    point, so rollups and flamegraphs attribute worker compute to the
+    dispatch that caused it and the attempt's residual self time is pure
+    transfer/supervision overhead.
     """
     tel = outcome.telemetry
     if tel is None:
@@ -162,7 +169,28 @@ def merge_worker_telemetry(
     tracer = obs_trace.active()
     if tracer is None or not tel.spans:
         return {}
-    return tracer.graft(tel.spans, tel.namespace)
+    return tracer.graft(
+        tel.spans, tel.namespace,
+        parent_id=_attempt_span_id(tracer, tel.namespace),
+    )
+
+
+def _attempt_span_id(tracer, namespace: str):
+    """The ``exec.task`` span of this task's successful attempt, if any.
+
+    Namespaces are unique per task per run (see ``_next_namespace``), so
+    the newest match is the one attempt that produced this outcome; the
+    reverse scan is cheap because the attempt was recorded moments ago.
+    ``None`` falls back to :meth:`Tracer.graft`'s default (the join
+    point) -- e.g. sequential fallback runs record no attempt spans.
+    """
+    for sp in reversed(tracer.spans):
+        if sp.name != "exec.task":
+            continue
+        if sp.attrs.get("ns") == namespace and \
+                sp.attrs.get("outcome") == "ok":
+            return sp.span_id
+    return None
 
 
 def remap_span_ids(
@@ -256,19 +284,24 @@ def _execute(
     labels: Sequence[str] | None = None,
     keys: Sequence[str] | None = None,
     journal: "RunJournal | None" = None,
+    namespaces: Sequence[str] | None = None,
 ) -> tuple[list[TaskOutcome], Diagnostic | None]:
     """Run one homogeneous batch under the selected execution strategy.
 
     ``supervision`` is the policy to supervise under (``None`` = default
     policy); ``False`` selects the legacy bare pool (no deadlines, no
-    retries, no journal -- kept for overhead benchmarking).
+    retries, no journal -- kept for overhead benchmarking).  ``namespaces``
+    (the tasks' worker-telemetry namespaces) let the supervisor stamp each
+    ``exec.task`` span with its task's ``ns``, joining the attempt
+    timeline to the grafted worker span trees.
     """
     if supervision is False:
         return _pool_run(task, payloads, jobs, labels)
     policy = supervision if isinstance(supervision, SupervisionPolicy) else None
     supervisor = Supervisor(jobs, policy)
     outcomes = supervisor.run(
-        task, payloads, keys=keys, labels=labels, journal=journal
+        task, payloads, keys=keys, labels=labels, journal=journal,
+        namespaces=namespaces,
     )
     return outcomes, None
 
@@ -372,6 +405,7 @@ def measure_components_parallel(
         outcomes, fallback = _execute(
             _measure_task, payloads, jobs, supervision,
             labels=labels, keys=keys, journal=journal,
+            namespaces=[p[-1] for p in payloads],
         )
         errors: list[BaseException] = []
         for spec, outcome in zip(specs, outcomes):
@@ -427,7 +461,8 @@ def lint_modules_parallel(
     ]
     with obs_trace.span("lint.batch", modules=len(names), jobs=jobs):
         outcomes, fallback = _execute(
-            _lint_task, payloads, jobs, supervision, labels=list(names)
+            _lint_task, payloads, jobs, supervision, labels=list(names),
+            namespaces=[p[-1] for p in payloads],
         )
         results = []
         for name, outcome in zip(names, outcomes):
@@ -491,6 +526,7 @@ def synthesize_specializations(
     outcomes, fallback = _execute(
         _synthesize_task, payloads, jobs, supervision,
         labels=labels, keys=keys, journal=journal,
+        namespaces=[p[-1] for p in payloads],
     )
     merged: list[TaskOutcome] = []
     for task_label, outcome in zip(labels, outcomes):

@@ -85,3 +85,36 @@ class TestChaosField:
     def test_policies_compare_by_value(self):
         assert SupervisionPolicy() == SupervisionPolicy()
         assert SupervisionPolicy(seed=1) != SupervisionPolicy(seed=2)
+
+
+class TestProgressAndSpanKnobs:
+    def test_progress_defaults_off_and_interval_validated(self):
+        import pytest
+
+        from repro.exec import SupervisionPolicy
+
+        policy = SupervisionPolicy()
+        assert policy.progress is None
+        assert policy.task_spans is True
+        with pytest.raises(ValueError, match="progress_interval_s"):
+            SupervisionPolicy(progress_interval_s=0.0)
+
+    def test_progress_heartbeat_repaints_and_finishes_line(self):
+        import io
+
+        from repro.exec import SupervisionPolicy, Supervisor
+        from repro.exec.task import TaskOutcome
+
+        stream = io.StringIO()
+        sup = Supervisor(
+            jobs=2,
+            policy=SupervisionPolicy(progress=stream,
+                                     progress_interval_s=0.01),
+        )
+        outs = sup.run(lambda p: TaskOutcome(value=p * 2),
+                       payloads=list(range(6)))
+        assert [o.value for o in outs] == [0, 2, 4, 6, 8, 10]
+        text = stream.getvalue()
+        assert "\r[exec] " in text
+        assert "6/6 tasks" in text
+        assert text.endswith("\n")   # the final paint closes the line

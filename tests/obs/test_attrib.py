@@ -1,0 +1,155 @@
+"""Tests for cost attribution (repro.obs.attrib).
+
+A hand-built span forest with known durations -- including a grafted
+worker subtree under a namespaced string id ("b0.w3:7") -- must round-trip
+through JSONL and come out with *exact* self-times, the right critical
+path, and valid exporter output.
+"""
+
+import pytest
+
+from repro.obs import attrib
+from repro.obs.trace import Span, Tracer, read_jsonl
+
+#: Metrics snapshot shape matching MetricsRegistry.snapshot().
+_METRICS = {
+    "counters": {"exec.payload_bytes": 1000.0, "exec.result_bytes": 2000.0},
+    "gauges": {},
+    "histograms": {
+        "exec.pickle_s": {"count": 2, "sum": 0.2},
+        "exec.unpickle_s": {"count": 2, "sum": 0.1},
+        "exec.worker_unpickle_s": {"count": 2, "sum": 0.4},
+    },
+}
+
+
+def _forest() -> Tracer:
+    """root(10s) -> child_a(4s), child_b(3s) -> grafted b0.w3:{7,8}."""
+    t = Tracer()
+    t.record_span("root", 0.0, 10.0, parent_id=None)           # id 1
+    t.record_span("child_a", 0.5, 4.0, parent_id=1)            # id 2
+    t.record_span("child_b", 5.0, 3.0, parent_id=1)            # id 3
+    worker_spans = [
+        Span(name="wtask", span_id=7, parent_id=None, start=0.1,
+             wall_s=2.0),
+        Span(name="wstage", span_id=8, parent_id=7, start=0.2,
+             wall_s=1.5),
+    ]
+    mapping = t.graft(worker_spans, "b0.w3", parent_id=3)
+    assert mapping == {7: "b0.w3:7", 8: "b0.w3:8"}
+    return t
+
+
+@pytest.fixture(params=["live", "jsonl"])
+def rows(request, tmp_path):
+    """The same forest as live rows and as a JSONL round-trip."""
+    t = _forest()
+    if request.param == "live":
+        return t.to_rows(_METRICS)
+    path = tmp_path / "trace.jsonl"
+    t.write_jsonl(path, _METRICS)
+    return read_jsonl(path)
+
+
+class TestRollup:
+    def test_exact_self_and_total_times(self, rows):
+        by_name = {r.name: r for r in attrib.rollup(rows)}
+        assert by_name["root"].self_s == pytest.approx(3.0)      # 10-4-3
+        assert by_name["root"].total_s == pytest.approx(10.0)
+        assert by_name["child_a"].self_s == pytest.approx(4.0)   # leaf
+        assert by_name["child_b"].self_s == pytest.approx(1.0)   # 3-2
+        assert by_name["wtask"].self_s == pytest.approx(0.5)     # 2-1.5
+        assert by_name["wstage"].self_s == pytest.approx(1.5)
+
+    def test_self_times_partition_the_forest(self, rows):
+        # Summing self over all names re-accounts every recorded second
+        # of the root exactly once.
+        total_self = sum(r.self_s for r in attrib.rollup(rows))
+        assert total_self == pytest.approx(10.0)
+
+    def test_sorted_by_self_time_descending(self, rows):
+        selfs = [r.self_s for r in attrib.rollup(rows)]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_counts_and_error_flags(self):
+        t = Tracer()
+        t.record_span("op", 0.0, 1.0, parent_id=None)
+        t.record_span("op", 1.0, 2.0, parent_id=None, status="error",
+                      error="boom")
+        (agg,) = attrib.rollup(t.to_rows())
+        assert (agg.count, agg.errors) == (2, 1)
+        assert agg.total_s == pytest.approx(3.0)
+
+
+class TestCriticalPath:
+    def test_descends_into_slowest_child(self, rows):
+        path = attrib.critical_path(rows)
+        assert [p.name for p in path] == ["root", "child_a"]
+        assert path[0].self_s == pytest.approx(3.0)
+        assert path[1].wall_s == pytest.approx(4.0)
+
+    def test_follows_grafted_subtree_when_heaviest(self):
+        t = _forest()
+        # Stretch child_b past child_a: the path must cross the integer ->
+        # string id boundary into the grafted worker tree.
+        for sp in t.spans:
+            if sp.name == "child_b":
+                sp.wall_s = 6.0
+        path = attrib.critical_path(t.to_rows())
+        assert [p.name for p in path] == \
+            ["root", "child_b", "wtask", "wstage"]
+
+    def test_empty_and_unfinished_traces(self):
+        assert attrib.critical_path([]) == []
+        t = Tracer()
+        t.start_span("open")  # never ended -> no finished spans
+        assert attrib.critical_path(t.to_rows()) == []
+
+
+class TestFlamegraph:
+    def test_collapsed_stack_lines_are_exact(self, rows):
+        assert attrib.flamegraph_lines(rows) == [
+            "root 3000000",
+            "root;child_a 4000000",
+            "root;child_b 1000000",
+            "root;child_b;wtask 500000",
+            "root;child_b;wtask;wstage 1500000",
+        ]
+
+    def test_identical_stacks_merge_by_summation(self):
+        t = Tracer()
+        t.record_span("run", 0.0, 3.0, parent_id=None)
+        t.record_span("step", 0.0, 1.0, parent_id=1)
+        t.record_span("step", 1.0, 2.0, parent_id=1)
+        assert attrib.flamegraph_lines(t.to_rows()) == [
+            "run;step 3000000",
+        ]
+
+    def test_semicolons_in_names_are_sanitized(self):
+        t = Tracer()
+        t.record_span("a;b", 0.0, 1.0, parent_id=None)
+        (line,) = attrib.flamegraph_lines(t.to_rows())
+        assert line == "a:b 1000000"
+
+    def test_write_flamegraph_trailing_newline(self, rows, tmp_path):
+        out = attrib.write_flamegraph(rows, tmp_path / "flame.txt")
+        text = out.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        assert len(text.splitlines()) == 5
+
+
+class TestMetricsAccess:
+    def test_serialization_summary(self, rows):
+        ser = attrib.serialization_summary(rows)
+        assert ser.pickle_s == pytest.approx(0.2)
+        assert ser.unpickle_s == pytest.approx(0.1)
+        assert ser.worker_unpickle_s == pytest.approx(0.4)
+        assert ser.total_s == pytest.approx(0.7)
+        assert ser.total_bytes == pytest.approx(3000.0)
+
+    def test_missing_metrics_row_degrades_to_zero(self):
+        rows = _forest().to_rows()  # no metrics snapshot attached
+        ser = attrib.serialization_summary(rows)
+        assert ser.total_s == 0.0
+        assert attrib.histogram_sum(rows, "nope") == 0.0
+        assert attrib.counter_value(rows, "nope") == 0.0

@@ -1,0 +1,178 @@
+"""Tests for worker timelines (repro.obs.timeline).
+
+A hand-built supervised-run trace with known attempt windows must yield
+exact lane utilizations, a capacity breakdown that sums to 100%, and a
+Chrome trace whose grafted worker spans land inside their attempt
+windows.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import timeline
+from repro.obs.trace import Span, Tracer
+
+_METRICS = {
+    "counters": {"exec.payload_bytes": 500.0, "exec.result_bytes": 1500.0},
+    "gauges": {},
+    "histograms": {
+        "exec.worker_compute_s": {"count": 3, "sum": 6.0},
+        "exec.worker_unpickle_s": {"count": 3, "sum": 0.4},
+        "exec.pickle_s": {"count": 3, "sum": 0.2},
+        "exec.unpickle_s": {"count": 3, "sum": 0.1},
+    },
+}
+
+
+def _run_rows():
+    """A 10s jobs=2 run: w0 one ok task, w1 a failed then an ok attempt."""
+    t = Tracer()
+    t.record_span("exec.supervised", 0.0, 10.0, parent_id=None,
+                  tasks=2, jobs=2)                                     # id 1
+    t.record_span("exec.spawn", 0.0, 0.5, parent_id=1, wid="w0")       # id 2
+    t.record_span("exec.spawn", 0.0, 0.5, parent_id=1, wid="w1")       # id 3
+    t.record_span("exec.task", 1.0, 4.0, parent_id=1, task="alpha",    # id 4
+                  index=0, wid="w0", ns="b0.t0", attempt=1, outcome="ok",
+                  queue_wait_s=0.1, pickle_s=0.05, payload_bytes=100,
+                  unpickle_s=0.02, result_bytes=300)
+    t.record_span("exec.task", 1.0, 3.0, parent_id=1, task="beta",     # id 5
+                  index=1, wid="w1", ns="b0.t1", attempt=1,
+                  outcome="exc", status="error", error="boom")
+    t.record_span("exec.task", 5.0, 4.0, parent_id=1, task="beta",     # id 6
+                  index=1, wid="w1", ns="b0.t1", attempt=2, outcome="ok")
+    # One grafted worker subtree for the w0 attempt (worker-local epoch).
+    t.graft(
+        [Span(name="wstage", span_id=1, parent_id=None, start=0.2,
+              wall_s=3.0)],
+        "b0.t0",
+        parent_id=4,
+    )
+    return t.to_rows(_METRICS)
+
+
+class TestLanes:
+    def test_lane_busy_and_utilization(self):
+        lanes = timeline.lanes(_run_rows())
+        assert [ln.wid for ln in lanes] == ["w0", "w1"]
+        w0, w1 = lanes
+        assert w0.busy_s == pytest.approx(4.0)
+        assert w1.busy_s == pytest.approx(7.0)
+        assert w0.utilization(10.0) == pytest.approx(0.4)
+        assert w1.utilization(10.0) == pytest.approx(0.7)
+
+    def test_wid_ordering_is_numeric(self):
+        t = Tracer()
+        t.record_span("exec.supervised", 0.0, 1.0, parent_id=None, jobs=12)
+        for i in (10, 2, 0, 11):
+            t.record_span("exec.task", 0.0, 0.5, parent_id=1,
+                          wid=f"w{i}", outcome="ok", task="t", index=i)
+        assert [ln.wid for ln in timeline.lanes(t.to_rows())] == \
+            ["w0", "w2", "w10", "w11"]
+
+    def test_gantt_marks_failures(self):
+        lines = timeline.gantt_lines(_run_rows(), width=20)
+        assert len(lines) == 2
+        assert lines[0].startswith("w0 |")
+        assert "x" in lines[1]      # the failed beta attempt
+        assert "#" in lines[1]      # ... and its successful retry
+        assert "2 attempts" in lines[1]
+
+
+class TestBreakdown:
+    def test_exact_category_seconds(self):
+        bd = timeline.breakdown(_run_rows())
+        assert bd is not None
+        assert bd.wall_s == pytest.approx(10.0)
+        assert bd.jobs == 2
+        assert bd.capacity_s == pytest.approx(20.0)
+        assert bd.busy_s == pytest.approx(11.0)          # 4 + 3 + 4
+        assert bd.compute_s == pytest.approx(6.0)
+        assert bd.serialization_s == pytest.approx(0.4)
+        assert bd.overhead_s == pytest.approx(4.6)       # 11 - 6 - 0.4
+        assert bd.spawn_s == pytest.approx(1.0)
+        assert bd.idle_s == pytest.approx(8.0)           # 20 - 11 - 1
+        assert bd.utilization == pytest.approx(0.55)
+        assert bd.parent_serialization_s == pytest.approx(0.3)
+        assert bd.serialization_share == pytest.approx(0.7 / 20.0)
+
+    def test_fractions_account_for_all_capacity(self):
+        bd = timeline.breakdown(_run_rows())
+        fractions = bd.fractions()
+        assert set(fractions) == \
+            {"compute", "serialization", "overhead", "spawn", "idle"}
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_sequential_trace_has_no_breakdown(self):
+        t = Tracer()
+        t.record_span("cli.measure", 0.0, 1.0, parent_id=None)
+        assert timeline.breakdown(t.to_rows()) is None
+
+    def test_overreported_compute_is_clamped(self):
+        # A worker-reported compute total beyond lane-busy time (clock
+        # skew) must clamp instead of producing negative overhead.
+        t = Tracer()
+        t.record_span("exec.supervised", 0.0, 1.0, parent_id=None, jobs=1)
+        t.record_span("exec.task", 0.0, 0.5, parent_id=1, wid="w0",
+                      outcome="ok", task="t", index=0)
+        rows = t.to_rows({"counters": {}, "gauges": {}, "histograms": {
+            "exec.worker_compute_s": {"count": 1, "sum": 9.0}}})
+        bd = timeline.breakdown(rows)
+        assert bd.compute_s == pytest.approx(0.5)
+        assert bd.overhead_s == 0.0
+        assert sum(bd.fractions().values()) == pytest.approx(1.0)
+
+
+class TestChromeTrace:
+    def test_events_are_valid_and_complete(self):
+        trace = timeline.chrome_trace(_run_rows())
+        json.dumps(trace)  # must serialize
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        # 1 supervised + 2 spawns + 3 attempts + 1 grafted span.
+        assert len(complete) == 7
+        for e in complete:
+            assert e["ts"] >= 0 and e["dur"] >= 0 and e["pid"] == 1
+
+    def test_worker_lanes_get_named_threads(self):
+        events = timeline.chrome_trace(_run_rows())["traceEvents"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert {"main", "worker w0", "worker w1"} <= names
+
+    def test_attempts_land_on_their_worker_track(self):
+        events = timeline.chrome_trace(_run_rows())["traceEvents"]
+        by_task = {e["args"]["task"]: e for e in events
+                   if e["ph"] == "X" and e["name"].startswith("task ")}
+        assert by_task["alpha"]["tid"] != by_task["beta"]["tid"]
+
+    def test_grafted_span_rebased_into_attempt_window(self):
+        events = timeline.chrome_trace(_run_rows())["traceEvents"]
+        (wstage,) = [e for e in events if e["name"] == "wstage"]
+        (alpha,) = [e for e in events
+                    if e["ph"] == "X" and e["name"] == "task alpha"]
+        assert wstage["tid"] == alpha["tid"]
+        assert wstage["ts"] >= alpha["ts"]
+        assert wstage["ts"] + wstage["dur"] <= \
+            alpha["ts"] + alpha["dur"] + 1  # µs rounding slack
+        # End-aligned: the worker tree finishes with the attempt.
+        assert wstage["ts"] + wstage["dur"] == \
+            pytest.approx(alpha["ts"] + alpha["dur"], abs=1)
+
+    def test_unanchored_grafts_get_their_own_track(self):
+        t = Tracer()
+        t.record_span("exec.supervised", 0.0, 1.0, parent_id=None, jobs=1)
+        t.graft([Span(name="orphan", span_id=1, parent_id=None,
+                      start=0.0, wall_s=0.5)], "b9.t9")
+        events = timeline.chrome_trace(t.to_rows())["traceEvents"]
+        (orphan,) = [e for e in events if e["name"] == "orphan"]
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "unanchored b9.t9" in names
+        assert orphan["ts"] == pytest.approx(0.0)
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path):
+        out = timeline.write_chrome_trace(_run_rows(), tmp_path / "t.json")
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert data["displayTimeUnit"] == "ms"
+        assert data["traceEvents"]

@@ -171,3 +171,133 @@ class TestReport:
         out = capsys.readouterr().out
         assert "Table 4" in out
         assert "paper rho=1" not in out
+
+
+class TestProfile:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        """A synthetic supervised-run trace written to JSONL."""
+        from repro.obs.trace import Span, Tracer
+
+        t = Tracer()
+        t.record_span("exec.supervised", 0.0, 10.0, parent_id=None,
+                      tasks=2, jobs=2)
+        t.record_span("exec.spawn", 0.0, 0.5, parent_id=1, wid="w0")
+        t.record_span("exec.task", 1.0, 4.0, parent_id=1, task="alpha",
+                      index=0, wid="w0", ns="b0.t0", outcome="ok")
+        t.record_span("exec.task", 1.0, 7.0, parent_id=1, task="beta",
+                      index=1, wid="w1", ns="b0.t1", outcome="ok")
+        t.graft([Span(name="wstage", span_id=1, parent_id=None,
+                      start=0.2, wall_s=3.0)], "b0.t0", parent_id=3)
+        path = tmp_path / "trace.jsonl"
+        t.write_jsonl(path, {"counters": {}, "gauges": {}, "histograms": {
+            "exec.worker_compute_s": {"count": 2, "sum": 8.0}}})
+        return path
+
+    def test_profile_reports_rollups_and_pool(self, capsys, trace_file):
+        assert main(["profile", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "self time by span name" in out
+        assert "critical path" in out
+        assert "utilization" in out
+        assert "serialization share" in out
+        assert "w0" in out and "w1" in out
+
+    def test_profile_exports_flame_and_chrome(self, capsys, tmp_path,
+                                              trace_file):
+        import json
+
+        flame = tmp_path / "flame.txt"
+        chrome = tmp_path / "chrome.json"
+        assert main(["profile", str(trace_file), "--flame", str(flame),
+                     "--chrome-trace", str(chrome)]) == 0
+        assert flame.read_text().strip()
+        data = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+
+    def test_profile_missing_file_is_fatal(self, capsys, tmp_path):
+        assert main(["profile", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_profile_sequential_trace_has_no_pool_section(self, capsys,
+                                                          tmp_path):
+        from repro.obs.trace import Tracer
+
+        t = Tracer()
+        t.record_span("cli.fit", 0.0, 1.0, parent_id=None)
+        path = tmp_path / "seq.jsonl"
+        t.write_jsonl(path)
+        assert main(["profile", str(path)]) == 0
+        assert "sequential run" in capsys.readouterr().out
+
+
+class TestBenchDiff:
+    @staticmethod
+    def _write(tmp_path, *entries):
+        import json
+
+        path = tmp_path / "BENCH_obs.json"
+        path.write_text(json.dumps({"benchmarks": {}, "series": {},
+                                    "history": list(entries)}))
+        return path
+
+    def test_clean_history_exits_zero(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"timestamp": "t0", "benchmarks": {"b": 1.0}},
+            {"timestamp": "t1", "benchmarks": {"b": 1.0}},
+            {"timestamp": "t2", "benchmarks": {"b": 1.05}},
+        )
+        assert main(["bench-diff", str(path)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"timestamp": "t0", "benchmarks": {"b": 1.0}},
+            {"timestamp": "t1", "benchmarks": {"b": 1.0}},
+            {"timestamp": "t2", "benchmarks": {"b": 5.0}},
+        )
+        assert main(["bench-diff", str(path)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_tolerance_config_is_honored(self, capsys, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"timestamp": "t0", "benchmarks": {"b": 1.0}},
+            {"timestamp": "t1", "benchmarks": {"b": 1.0}},
+            {"timestamp": "t2", "benchmarks": {"b": 5.0}},
+        )
+        cfg = tmp_path / "tol.toml"
+        cfg.write_text('[benchdiff]\ndefault_rel_tol = 10.0\n')
+        assert main(["bench-diff", str(path), "--config", str(cfg)]) == 0
+
+    def test_missing_file_is_fatal(self, capsys, tmp_path):
+        assert main(["bench-diff", str(tmp_path / "absent.json")]) == 2
+
+    def test_repo_gate_runs_on_checked_in_history(self, capsys):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        code = main(["bench-diff", str(root / "BENCH_obs.json"),
+                     "--config", str(root / "benchdiff.toml")])
+        assert code in (0, 1)  # gate must run; verdict tracks history
+
+
+class TestMeasureCatalogArgs:
+    def test_catalog_and_files_are_mutually_exclusive(self, capsys,
+                                                      rat_file):
+        assert main(["measure", rat_file, "--catalog", "x",
+                     "--top", "t"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_files_require_top(self, capsys, rat_file):
+        assert main(["measure", rat_file]) == 2
+        assert "--top" in capsys.readouterr().err
+
+    def test_no_inputs_is_fatal(self, capsys):
+        assert main(["measure"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_catalog_dir_is_fatal(self, capsys, tmp_path):
+        assert main(["measure", "--catalog", str(tmp_path / "nope")]) == 2
+        assert "manifest" in capsys.readouterr().err

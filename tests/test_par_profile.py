@@ -1,0 +1,121 @@
+"""Tier-2 par suite: end-to-end profiling of a real supervised run.
+
+The ISSUE acceptance path: ``ucomplexity measure --catalog`` on a
+generated corpus at ``--jobs 4``, traced, then ``ucomplexity profile``
+must report per-worker utilization and a serialization-share breakdown
+that together account for >= 90% of the run's wall-clock capacity, and
+must export a loadable collapsed-stack flamegraph and Chrome trace.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import attrib, read_jsonl, timeline
+
+pytestmark = pytest.mark.par
+
+JOBS = 4
+
+
+@pytest.fixture(scope="module")
+def traced_catalog_run(tmp_path_factory):
+    """gen -> measure --catalog --jobs 4 --trace, shared by the tests."""
+    root = tmp_path_factory.mktemp("profile_e2e")
+    catalog = root / "catalog"
+    trace = root / "trace.jsonl"
+    assert main(["gen", "--out", str(catalog), "--count", "8",
+                 "--language", "verilog"]) == 0
+    code = main(["measure", "--catalog", str(catalog), "--jobs", str(JOBS),
+                 "--no-cache", "--trace", str(trace)])
+    assert code == 0
+    return read_jsonl(trace), root
+
+
+class TestBreakdownAccounting:
+    def test_breakdown_accounts_for_at_least_90_percent(self,
+                                                        traced_catalog_run):
+        rows, _ = traced_catalog_run
+        bd = timeline.breakdown(rows)
+        assert bd is not None and bd.jobs == JOBS
+        # The category fractions partition capacity; idle is the residual,
+        # so the named non-idle categories plus idle must cover >= 90%
+        # (they cover 100% by construction -- assert it holds in practice).
+        assert sum(bd.fractions().values()) == pytest.approx(1.0, abs=0.01)
+        assert bd.utilization > 0.0
+        assert bd.compute_s > 0.0          # worker-side stats made it back
+
+    def test_every_worker_lane_reports_utilization(self,
+                                                   traced_catalog_run):
+        rows, _ = traced_catalog_run
+        bd = timeline.breakdown(rows)
+        assert len(bd.lanes) == JOBS
+        for lane in bd.lanes:
+            assert 0.0 < lane.utilization(bd.wall_s) <= 1.0
+
+    def test_serialization_share_is_measured(self, traced_catalog_run):
+        rows, _ = traced_catalog_run
+        ser = attrib.serialization_summary(rows)
+        assert ser.total_s > 0.0
+        assert ser.payload_bytes > 0 and ser.result_bytes > 0
+
+    def test_attempts_carry_cost_attrs(self, traced_catalog_run):
+        rows, _ = traced_catalog_run
+        atts = timeline.attempts(rows)
+        assert len(atts) >= 8
+        for at in atts:
+            assert at.wid.startswith("w")
+            assert at.payload_bytes > 0
+            assert at.ns is not None
+
+    def test_worker_spans_graft_under_their_attempt(self,
+                                                    traced_catalog_run):
+        rows, _ = traced_catalog_run
+        spans = attrib.span_rows(rows)
+        by_id = {r["id"]: r for r in spans}
+        grafted = [r for r in spans
+                   if (r.get("attrs") or {}).get("worker")]
+        assert grafted
+        for r in grafted:
+            top = r
+            while (top.get("attrs") or {}).get("worker"):
+                top = by_id[top["parent"]]
+            assert top["name"] == "exec.task"
+
+
+class TestProfileCommand:
+    def test_profile_output_and_exports(self, capsys, traced_catalog_run):
+        rows, root = traced_catalog_run
+        flame = root / "flame.txt"
+        chrome = root / "chrome.json"
+        assert main(["profile", str(root / "trace.jsonl"),
+                     "--flame", str(flame),
+                     "--chrome-trace", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out and "serialization share" in out
+        for wid in (f"w{i}" for i in range(JOBS)):
+            assert wid in out
+
+        # Collapsed stacks: every line is "frame(;frame)* <int>" and the
+        # supervised stack nests through the attempt into worker stages.
+        lines = flame.read_text(encoding="utf-8").splitlines()
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack and int(value) > 0
+        assert any("exec.task;measure.component_safe" in ln
+                   for ln in lines)
+
+        data = json.loads(chrome.read_text(encoding="utf-8"))
+        threads = {e["args"]["name"] for e in data["traceEvents"]
+                   if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"main", "worker w0"} <= threads
+
+    def test_critical_path_reaches_worker_stages(self, traced_catalog_run):
+        rows, _ = traced_catalog_run
+        names = [p.name for p in attrib.critical_path(rows)]
+        assert names[0] == "cli.measure"
+        assert "exec.task" in names
+        # The path descends past the attempt into grafted worker work.
+        assert names.index("exec.task") < len(names) - 1
