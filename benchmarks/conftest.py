@@ -44,6 +44,11 @@ _BENCH_OBS_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
 _HISTORY_LIMIT = 100
 
+#: Series keys no benchmark records anymore.  Purged from the file (both
+#: the latest-value map and every history entry) on the next write, so a
+#: renamed or retired series cannot linger as a stale bench-diff baseline.
+_DEAD_SERIES = {"exec.supervision_overhead"}
+
 
 def record_series(name: str, value: float) -> None:
     """Record a derived benchmark scalar (e.g. ``parallel.speedup_jobs2``).
@@ -81,6 +86,13 @@ def _load_bench_obs(path: Path) -> dict:
         return {"benchmarks": data, "series": {}, "history": []}
     data.setdefault("series", {})
     data.setdefault("history", [])
+    for dead in _DEAD_SERIES:
+        data["series"].pop(dead, None)
+        for entry in data["history"]:
+            if isinstance(entry, dict) and isinstance(
+                entry.get("series"), dict
+            ):
+                entry["series"].pop(dead, None)
     return data
 
 

@@ -1,45 +1,78 @@
 """Parallel-measurement and synthesis-cache benchmarks.
 
-Two trajectories the paper's harness now tracks in BENCH_obs.json:
+Two trajectories the paper's harness tracks in BENCH_obs.json:
 
 * ``parallel.speedup_jobsN`` -- wall-time ratio of a sequential catalog
-  measurement over a pooled one.  On a single-core runner this hovers
-  around (or below) 1.0; the point of the series is the trend on real
-  multi-core hardware, so the benchmark records, it does not assert.
+  measurement over a pooled one, on a **cold cache** (no memo, no
+  synthesis entries) so the pool is doing all the work.  The ratio is
+  bounded by the machine: ``parallel.effective_cpus`` rides along so a
+  reader can tell a 1-core container's ~1.0 from a real regression.
+  The CI gate enforces the floor (``benchdiff.toml``: the speedup must
+  never sink below 1.0 -- parallel slower than sequential is a bug).
 * ``cache.hit_rate_warm`` / ``cache.synth_skip_fraction`` -- how much of
   the synthesize stage a warm content-addressed cache elides on an
   unchanged catalog (the acceptance bar is >= 0.9 skipped).
 """
 
+import os
+import pickle
 import time
 
 from repro.cache import SynthesisCache, hit_rate
+from repro.core.workflow import measure_components
 from repro.designs.loader import measure_catalog
+from repro.gen import corpus_specs, generate_corpus
 from repro.obs import metrics as obs_metrics
 
 JOBS = 4
 
+#: Cold-cache speedup catalog: 200 generated components, both languages.
+CORPUS_SIZE = 100
+CORPUS_SEED = 11
+
+#: Best-of-N timing repeats (pool warm-up and scheduler noise average out
+#: poorly on shared runners; the minimum is the honest machine capability).
+REPEATS = 2
+
+
+def _speedup_specs():
+    modules = generate_corpus(
+        "verilog", CORPUS_SIZE, seed=CORPUS_SEED, name_prefix="bv"
+    ) + generate_corpus(
+        "vhdl", CORPUS_SIZE, seed=CORPUS_SEED, name_prefix="bh"
+    )
+    return corpus_specs(modules)
+
+
+def _timed(fn, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
 
 def test_parallel_catalog_speedup(bench_series, report):
-    t0 = time.perf_counter()
-    sequential = measure_catalog()
-    t_seq = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    pooled = measure_catalog(jobs=JOBS)
-    t_par = time.perf_counter() - t0
+    specs = _speedup_specs()
+    # cache=None keeps every repeat cold: no measurement memo, no
+    # synthesis entries, so the pooled run cannot hide behind the cache.
+    t_seq, sequential = _timed(lambda: measure_components(specs))
+    t_par, pooled = _timed(lambda: measure_components(specs, jobs=JOBS))
 
     # Equivalence is the contract; speed is the series.
-    assert pooled.keys() == sequential.keys()
-    for label, m in sequential.items():
-        assert pooled[label].metrics == m.metrics, label
+    assert list(pooled.results) == list(sequential.results)
+    for name, result in sequential.results.items():
+        assert pickle.dumps(pooled.results[name]) == pickle.dumps(result), name
 
     speedup = t_seq / t_par if t_par > 0 else 0.0
+    cpus = float(os.cpu_count() or 1)
     bench_series(f"parallel.speedup_jobs{JOBS}", speedup)
+    bench_series("parallel.effective_cpus", cpus)
     report(
-        "parallel catalog measurement",
+        "parallel catalog measurement (cold cache, 200 components)",
         f"sequential {t_seq:.2f}s, jobs={JOBS} {t_par:.2f}s "
-        f"-> speedup {speedup:.2f}x",
+        f"-> speedup {speedup:.2f}x on {cpus:.0f} cpu(s)",
     )
 
 

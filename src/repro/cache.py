@@ -196,18 +196,113 @@ class SynthesisCache:
         except OSError:
             pass
 
+    # -- whole-measurement memo ----------------------------------------------
+    #
+    # One level up from specialization synthesis: the memo keyed on a whole
+    # component (sources + top + policy + flags) stores its finished,
+    # *pristine* measurement Result.  This is what lets the parallel path's
+    # cache-aware dispatch resolve warm components in the parent without
+    # touching the worker pool at all.  Entries live under ``measure/``
+    # (depth 3), deliberately invisible to :meth:`entries` so synthesis-
+    # entry tooling (poisoning tests, eviction sweeps) is unaffected.
+
+    def measurement_key(self, spec, strict: bool = False,
+                        lint: bool = False) -> str:
+        """Content key of one whole-component measurement.
+
+        Identical to the journal's task key (same content, same salt): a
+        memo hit is exactly a journal skip that survives across runs
+        without a journal file.
+        """
+        from repro.parallel import measure_task_key
+
+        return measure_task_key(spec, strict, lint)
+
+    def measurement_path(self, key: str) -> Path:
+        return self.directory / "measure" / key[:2] / f"{key}.pkl"
+
+    def load_measurement(self, key: str):
+        """Probe the measurement memo; any bad entry degrades to a miss.
+
+        Returns the stored pristine ``Result`` on a hit, else ``None``
+        (counted in ``cache.measure_hits``/``cache.measure_misses``;
+        corrupt entries are evicted and counted in ``cache.errors``).
+        """
+        from repro.runtime.diagnostics import Result
+
+        path = self.measurement_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            obs_metrics.counter("cache.measure_misses").inc()
+            return None
+        except OSError:
+            obs_metrics.counter("cache.errors").inc()
+            obs_metrics.counter("cache.measure_misses").inc()
+            return None
+        try:
+            value = pickle.loads(blob)
+            if not isinstance(value, Result) or value.value is None \
+                    or value.diagnostics:
+                raise TypeError("entry is not a pristine measurement Result")
+        except Exception:  # noqa: BLE001 -- any bad entry degrades
+            obs_metrics.counter("cache.errors").inc()
+            obs_metrics.counter("cache.measure_misses").inc()
+            self._evict(path)
+            return None
+        obs_metrics.counter("cache.measure_hits").inc()
+        return value
+
+    def store_measurement(self, key: str, result) -> bool:
+        """Memoize one *pristine* measurement (value, no diagnostics).
+
+        Degraded or failed results are never stored: their diagnostics
+        must be re-derived (and re-reported) by a real run.
+        """
+        if getattr(result, "value", None) is None \
+                or getattr(result, "diagnostics", ()):
+            return False
+        path = self.measurement_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 -- caching is best-effort
+            obs_metrics.counter("cache.errors").inc()
+            return False
+        obs_metrics.counter("cache.measure_stores").inc()
+        return True
+
     # -- maintenance ---------------------------------------------------------
 
     def entries(self) -> list[Path]:
-        """Every entry file currently on disk, sorted (deterministic)."""
+        """Every synthesis entry file currently on disk, sorted."""
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("*/*.pkl"))
 
+    def measurement_entries(self) -> list[Path]:
+        """Every whole-measurement memo entry on disk, sorted."""
+        root = self.directory / "measure"
+        if not root.is_dir():
+            return []
+        return sorted(root.glob("*/*.pkl"))
+
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries (both kinds); returns how many were removed."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.measurement_entries():
             self._evict(path)
             removed += 1
         return removed
@@ -216,12 +311,19 @@ class SynthesisCache:
 def hit_rate(counters: Mapping[str, float] | None = None) -> float | None:
     """Cache hit rate from a counters snapshot (default registry if None).
 
-    Returns None when the run never probed the cache.
+    Folds the whole-measurement memo probes in with the synthesis-entry
+    probes: a memo hit short-circuits the synthesis probes it replaces,
+    so counting only the latter would under-report warm runs.  Returns
+    None when the run never probed the cache.
     """
     if counters is None:
         counters = obs_metrics.snapshot()["counters"]
-    hits = float(counters.get("cache.hits", 0.0))
-    misses = float(counters.get("cache.misses", 0.0))
+    hits = float(counters.get("cache.hits", 0.0)) + float(
+        counters.get("cache.measure_hits", 0.0)
+    )
+    misses = float(counters.get("cache.misses", 0.0)) + float(
+        counters.get("cache.measure_misses", 0.0)
+    )
     total = hits + misses
     if total == 0:
         return None

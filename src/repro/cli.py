@@ -84,11 +84,13 @@ def _supervision_from_args(args: argparse.Namespace):
     deadline = getattr(args, "deadline", None)
     if deadline is None:
         deadline = SupervisionPolicy.deadline_s
+    chunk = getattr(args, "chunk", None)
     return SupervisionPolicy(
         deadline_s=deadline if deadline and deadline > 0 else None,
         memory_limit_mb=getattr(args, "worker_mem_mb", None) or None,
         handle_signals=True,
         progress=sys.stderr if getattr(args, "progress", False) else None,
+        chunk_size=chunk if chunk and chunk > 0 else None,
     )
 
 
@@ -579,6 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="repaint a live heartbeat line (tasks done, rate, ETA) on "
              "stderr during --jobs runs",
+    )
+    common.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help="max tasks batched into one --jobs dispatch message "
+             "(default: adaptive -- the ready queue spread over idle "
+             "workers, capped at 16); 1 restores per-task dispatch",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

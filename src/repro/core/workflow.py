@@ -622,6 +622,16 @@ def measure_components(
         )
     results: dict[str, Result[ComponentMeasurement]] = {}
     for spec in specs:
+        # Whole-measurement memo, mirroring the parallel path's
+        # cache-aware dispatch: a warm component is served straight from
+        # the cache; a pristine fresh measurement is stored for next time.
+        memo_key = None
+        if cache is not None:
+            memo_key = cache.measurement_key(spec, strict, lint)
+            hit = cache.load_measurement(memo_key)
+            if hit is not None:
+                results[spec.name] = hit
+                continue
         results[spec.name] = measure_component_safe(
             list(spec.sources),
             spec.top,
@@ -631,4 +641,6 @@ def measure_components(
             cache=cache,
             lint=lint,
         )
+        if memo_key is not None:
+            cache.store_measurement(memo_key, results[spec.name])
     return BatchMeasurement(results=results)

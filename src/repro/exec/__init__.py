@@ -16,13 +16,35 @@ delegates execution here.  See DESIGN.md section 11 for the supervision
 model and the journal format.
 """
 
+from repro.exec.blobs import BlobError, BlobRef, BlobStore
 from repro.exec.journal import JOURNAL_VERSION, RunJournal, content_key
 from repro.exec.policy import SupervisionPolicy
-from repro.exec.supervisor import QUARANTINE_HINT, RunInterrupted, Supervisor
-from repro.exec.task import TaskOutcome, WorkerTelemetry, run_traced_task
-from repro.exec.workers import WorkerHandle, apply_memory_limit, worker_main
+from repro.exec.supervisor import (
+    AUTO_CHUNK_CAP,
+    QUARANTINE_HINT,
+    RunInterrupted,
+    Supervisor,
+)
+from repro.exec.task import (
+    TaskOutcome,
+    WorkerContext,
+    WorkerTelemetry,
+    run_traced_task,
+)
+from repro.exec.workers import (
+    WorkerHandle,
+    apply_memory_limit,
+    require_worker_context,
+    using_context,
+    worker_context,
+    worker_main,
+)
 
 __all__ = [
+    "AUTO_CHUNK_CAP",
+    "BlobError",
+    "BlobRef",
+    "BlobStore",
     "JOURNAL_VERSION",
     "QUARANTINE_HINT",
     "RunInterrupted",
@@ -30,10 +52,14 @@ __all__ = [
     "Supervisor",
     "SupervisionPolicy",
     "TaskOutcome",
+    "WorkerContext",
     "WorkerHandle",
     "WorkerTelemetry",
     "apply_memory_limit",
     "content_key",
+    "require_worker_context",
     "run_traced_task",
+    "using_context",
+    "worker_context",
     "worker_main",
 ]

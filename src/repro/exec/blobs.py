@@ -1,0 +1,157 @@
+"""Content-addressed blob transfer for the warm worker pool.
+
+The profiling work behind ``ucomplexity profile`` showed that the old
+parallel path shipped every task's full payload -- HDL source text,
+parsed designs, cache handles -- through the worker pipe on *every*
+dispatch.  A :class:`BlobStore` replaces that with reference semantics:
+
+* the parent :meth:`~BlobStore.put`\\ s each heavy object once, getting
+  back a :class:`BlobRef` (the SHA-256 of the object's pickle, i.e. a
+  content hash -- identical objects share one blob);
+* task payloads carry only the tiny ref; workers :meth:`~BlobStore.get`
+  the object on first use and keep it in a per-process cache, so a
+  worker deserializes each design/spec **once per run**, not once per
+  task;
+* the on-disk file is memory-mapped for the load, so under the default
+  ``fork`` start method the page cache (and, for blobs put before the
+  pool spawned, the parent's already-materialized object cache) is
+  shared for free.
+
+The store is a plain directory of ``<sha256>.blob`` files under a
+private temp dir; :meth:`put` writes atomically (temp + rename), so a
+parent and a late worker racing on the same content are safe -- last
+writer wins with identical bytes.  The object itself pickles as just the
+directory path: each process that receives it starts with an empty local
+cache and faults blobs in on demand.
+
+Lifetime: the pool run that creates the store owns it; :meth:`close`
+removes the directory after the workers are gone.  Refs never outlive
+their store -- they are run-scoped handles, not durable keys (the
+durable, salted key space is :mod:`repro.cache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+class BlobRef(str):
+    """A content hash naming one object in a :class:`BlobStore`."""
+
+    __slots__ = ()
+
+
+class BlobError(RuntimeError):
+    """A ref could not be resolved (missing/corrupt blob file)."""
+
+
+class BlobStore:
+    """A run-scoped, content-addressed object store shared with workers."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        # Per-process materialized-object cache: the whole point of the
+        # store.  Not pickled (see __getstate__): every process resolves
+        # refs against its own cache, falling back to the mmap'd file.
+        self._cache: dict[str, Any] = {}
+
+    @classmethod
+    def create(cls, prefix: str = "ucx-blobs-") -> "BlobStore":
+        """A fresh store under a private temp directory."""
+        return cls(tempfile.mkdtemp(prefix=prefix))
+
+    # -- pickling: the path travels, the cache stays home ---------------------
+
+    def __getstate__(self) -> dict:
+        return {"directory": self.directory}
+
+    def __setstate__(self, state: dict) -> None:
+        self.directory = state["directory"]
+        self._cache = {}
+
+    # -- put / get ------------------------------------------------------------
+
+    def _path(self, ref: str) -> Path:
+        return self.directory / f"{ref}.blob"
+
+    def put(self, obj: Any) -> BlobRef:
+        """Store one object; returns its content ref.
+
+        Identical objects (equal pickles) share one blob and one ref.
+        The parent's local cache is primed with the live object, so
+        in-parent resolution (inline fallback, journal replay) is free.
+        """
+        buf = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        ref = BlobRef(hashlib.sha256(buf).hexdigest())
+        path = self._path(ref)
+        if not path.exists():
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(buf)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        self._cache[ref] = obj
+        return ref
+
+    def get(self, ref: str) -> Any:
+        """Resolve a ref to its object (cached per process after first use)."""
+        try:
+            return self._cache[ref]
+        except KeyError:
+            pass
+        path = self._path(ref)
+        try:
+            with open(path, "rb") as fh:
+                size = os.fstat(fh.fileno()).st_size
+                if size == 0:
+                    raise BlobError(f"empty blob {ref[:12]}")
+                with mmap.mmap(fh.fileno(), size,
+                               access=mmap.ACCESS_READ) as mapped:
+                    obj = pickle.loads(mapped)
+        except BlobError:
+            raise
+        except FileNotFoundError:
+            raise BlobError(
+                f"unknown blob ref {ref[:12]} (store closed or never put?)"
+            ) from None
+        except Exception as exc:  # noqa: BLE001 -- corrupt file, bad pickle
+            raise BlobError(
+                f"corrupt blob {ref[:12]}: {type(exc).__name__}: {exc}"
+            ) from exc
+        self._cache[ref] = obj
+        return obj
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._cache or self._path(ref).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.blob"))
+
+    # -- lifetime -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the on-disk store (the owning run is over)."""
+        self._cache.clear()
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "BlobStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -88,6 +88,14 @@ class SupervisionPolicy:
     progress: Any | None = field(default=None, hash=False, compare=False)
     #: Seconds between heartbeat repaints when ``progress`` is set.
     progress_interval_s: float = 0.5
+    #: Upper bound on tasks batched into one dispatch message.  ``None``
+    #: lets the supervisor size chunks adaptively (spread the ready queue
+    #: over the idle workers, capped at 16); ``1`` restores strict
+    #: one-task-at-a-time dispatch.  Chunking amortizes the per-message
+    #: pipe round-trip that profiling showed dominating short tasks; the
+    #: deadline still bounds each *task*, not the whole chunk, because a
+    #: worker streams one reply per task as it progresses.
+    chunk_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.deadline_s is not None and self.deadline_s <= 0:
@@ -104,6 +112,8 @@ class SupervisionPolicy:
             raise ValueError("poll_interval_s must be positive")
         if self.progress_interval_s <= 0:
             raise ValueError("progress_interval_s must be positive")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for adaptive)")
 
     def backoff_s(self, failures: int, rng: random.Random) -> float:
         """Delay before re-dispatching a task that failed ``failures`` times.

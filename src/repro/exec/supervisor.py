@@ -54,7 +54,9 @@ each outcome's telemetry.
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import math
 import random
 import signal
 import threading
@@ -69,8 +71,14 @@ from repro.runtime.diagnostics import Diagnostic, Severity
 
 from repro.exec.journal import RunJournal
 from repro.exec.policy import SupervisionPolicy
-from repro.exec.task import TaskOutcome
-from repro.exec.workers import WorkerHandle
+from repro.exec.task import TaskOutcome, WorkerContext
+from repro.exec.workers import WorkerHandle, using_context
+
+#: Ceiling on adaptive chunk size (``policy.chunk_size=None``): chunks
+#: amortize the per-message pipe round-trip, but an over-long chunk
+#: serializes work that idle workers could steal, so adaptive sizing
+#: spreads the ready queue over the idle workers and never exceeds this.
+AUTO_CHUNK_CAP = 16
 
 
 class RunInterrupted(RuntimeError):
@@ -143,6 +151,7 @@ class Supervisor:
         labels: Sequence[str] | None = None,
         journal: RunJournal | None = None,
         namespaces: Sequence[str] | None = None,
+        context: WorkerContext | None = None,
     ) -> list[TaskOutcome]:
         """Execute ``task`` over ``payloads``; outcomes align with payloads.
 
@@ -154,6 +163,10 @@ class Supervisor:
         namespaces; when given, each ``exec.task`` span carries its task's
         namespace as the ``ns`` attribute, which is what lets the timeline
         re-base grafted worker span trees onto the parent clock.
+        ``context`` is the run-invariant :class:`WorkerContext` delivered
+        to each worker once at spawn (and installed around the parent's
+        own inline execution paths), instead of being pickled into every
+        task payload.
         """
         n = len(payloads)
         if labels is None:
@@ -188,13 +201,16 @@ class Supervisor:
             skipped=skipped,
         ):
             with self._signals_installed():
-                self._run_supervised(task, states, outcomes, journal)
+                self._run_supervised(task, states, outcomes, journal, context)
         # Every slot is filled on a normal exit; the guard keeps alignment
-        # even if a future refactor leaks a hole.
+        # even if a future refactor leaks a hole.  It runs in-process, so
+        # the worker context must be installed around it.
         payload_by_index = {s.index: s.payload for s in states}
-        for i, outcome in enumerate(outcomes):
-            if outcome is None:
-                outcomes[i] = task(payload_by_index[i])
+        if any(o is None for o in outcomes):
+            with using_context(context):
+                for i, outcome in enumerate(outcomes):
+                    if outcome is None:
+                        outcomes[i] = task(payload_by_index[i])
         return outcomes  # type: ignore[return-value]
 
     # -- chaos ----------------------------------------------------------------
@@ -250,6 +266,7 @@ class Supervisor:
         states: list[_TaskState],
         outcomes: list[TaskOutcome | None],
         journal: RunJournal | None,
+        context: WorkerContext | None = None,
     ) -> None:
         policy = self.policy
         total = len(states)
@@ -273,7 +290,15 @@ class Supervisor:
         for state in states:
             state.enqueued_at = mono_epoch
 
-        wid_counter = itertools.count()
+        # Lane pool: a respawned worker takes over its dead predecessor's
+        # lane (lowest freed lane first) instead of a fresh id, so a
+        # kill/respawn cycle does not proliferate timeline Gantt lanes.
+        # ``lane_gen`` counts takeovers per lane; the generation is
+        # recorded on the exec.spawn span as ``respawn`` so the timeline
+        # can label the lane "w1(+2)".
+        lane_seq = itertools.count()
+        free_lanes: list[int] = []
+        lane_gen: dict[int, int] = {}
         progress_last = 0.0
         progress_painted = 0
 
@@ -337,15 +362,21 @@ class Supervisor:
 
         def spawn() -> WorkerHandle | None:
             t0 = time.monotonic()
+            lane = heapq.heappop(free_lanes) if free_lanes else next(lane_seq)
+            gen = lane_gen.get(lane, -1) + 1
             try:
                 w = WorkerHandle(task, policy.memory_limit_mb,
-                                 wid=f"w{next(wid_counter)}")
+                                 wid=f"w{lane}", context=context)
             except OSError:
+                heapq.heappush(free_lanes, lane)
                 return None
+            lane_gen[lane] = gen
+            w.lane = lane  # type: ignore[attr-defined]
             spawn_s = time.monotonic() - t0
             obs_metrics.histogram("exec.spawn_s").observe(spawn_s)
             if tracer is not None:
-                tracer.record_span("exec.spawn", rel(t0), spawn_s, wid=w.wid)
+                tracer.record_span("exec.spawn", rel(t0), spawn_s,
+                                   wid=w.wid, respawn=gen)
             workers.append(w)
             obs_metrics.gauge("exec.workers").set(len(workers))
             return w
@@ -354,6 +385,7 @@ class Supervisor:
             w.kill()
             if w in workers:
                 workers.remove(w)
+                heapq.heappush(free_lanes, w.lane)  # type: ignore[attr-defined]
             obs_metrics.gauge("exec.workers").set(len(workers))
 
         def quarantine(state: _TaskState, reason: str) -> None:
@@ -399,13 +431,37 @@ class Supervisor:
             state.enqueued_at = time.monotonic()
             queued.append(state)
 
+        def advance_worker(w: WorkerHandle) -> None:
+            """Resolve the chunk head; surface the next queued task (if any)
+            as the new in-flight attempt with its own deadline and costs."""
+            w.advance()
+            head = w.task_idx
+            if head is None:
+                return
+            st = by_index.get(head)
+            if st is not None:
+                w.queue_wait_s = max(
+                    time.monotonic() - max(st.enqueued_at, st.not_before), 0.0
+                )
+            obs_metrics.histogram("exec.queue_wait_s").observe(w.queue_wait_s)
+            obs_metrics.histogram("exec.pickle_s").observe(w.pickle_s)
+            obs_metrics.counter("exec.payload_bytes").inc(w.payload_bytes)
+
         def worker_lost(w: WorkerHandle, reason: str) -> None:
-            """A worker died or was killed; charge its task and replace it."""
+            """A worker died or was killed; charge its in-flight task (the
+            chunk head), requeue the chunk's unstarted remainder uncharged,
+            and replace the worker."""
             nonlocal respawns_left
             state = by_index.get(w.task_idx) if w.task_idx is not None else None
             if state is not None and outcomes[state.index] is None:
                 record_task_span(w, state, "kill", error=reason)
+            mates = [by_index[i] for i in list(w.chunk)[1:] if i in by_index]
             retire(w)
+            now = time.monotonic()
+            for mate in mates:
+                if outcomes[mate.index] is None:
+                    mate.enqueued_at = now
+                    queued.append(mate)
             if state is not None:
                 task_failed(state, kill=True, reason=reason)
             if completed < total and respawns_left > 0:
@@ -417,10 +473,11 @@ class Supervisor:
             nonlocal completed
             state = by_index.get(w.task_idx if w.task_idx is not None else -1)
             deadline_at = w.deadline_at
-            w.mark_idle()
             if state is None or outcomes[state.index] is not None:
+                advance_worker(w)
                 return  # stale reply for a task already resolved
             record_task_span(w, state, "ok")
+            advance_worker(w)
             if deadline_at is not None:
                 obs_metrics.histogram("exec.deadline_margin_s").observe(
                     deadline_at - time.monotonic()
@@ -462,7 +519,8 @@ class Supervisor:
                             )
                             continue
                         t0 = time.monotonic()
-                        outcome = task(state.payload)
+                        with using_context(context):
+                            outcome = task(state.payload)
                         if tracer is not None:
                             tracer.record_span(
                                 "exec.task", rel(t0),
@@ -486,27 +544,47 @@ class Supervisor:
                     continue
 
                 now = time.monotonic()
-                # Dispatch ready tasks (lowest index first) to idle workers.
+                # Dispatch ready tasks (lowest index first) to idle workers
+                # in chunks: the ready queue is spread evenly over the idle
+                # workers (so nobody starves) up to the policy's chunk cap,
+                # amortizing the per-message round-trip that dominates
+                # short tasks.  Workers stream one reply per task, so
+                # deadlines and failure charging stay per-task.
                 queued.sort(key=lambda s: s.index)
-                for w in workers:
-                    if w.busy:
-                        continue
-                    ready = next(
-                        (s for s in queued if s.not_before <= now), None
+                ready = [s for s in queued if s.not_before <= now]
+                idle = [w for w in workers if not w.busy]
+                if ready and idle:
+                    cap = policy.chunk_size or AUTO_CHUNK_CAP
+                    per_worker = max(
+                        1, min(cap, math.ceil(len(ready) / len(idle)))
                     )
-                    if ready is None:
-                        break
-                    queued.remove(ready)
-                    try:
-                        w.dispatch(
-                            ready.index, ready.payload, policy.deadline_s
-                        )
+                    pos = 0
+                    for w in idle:
+                        batch = ready[pos:pos + per_worker]
+                        if not batch:
+                            break
+                        try:
+                            w.dispatch(
+                                [(s.index, s.payload) for s in batch],
+                                policy.deadline_s,
+                            )
+                        except (BrokenPipeError, OSError):
+                            # Idle worker died between chunks: the batch was
+                            # never recorded on the handle, so it stays in
+                            # the queue untouched.
+                            obs_metrics.counter("exec.worker_deaths").inc()
+                            worker_lost(w, "worker died while idle")
+                            break
+                        pos += len(batch)
+                        for s in batch:
+                            queued.remove(s)
+                        head = batch[0]
                         w.queue_wait_s = max(
                             time.monotonic()
-                            - max(ready.enqueued_at, ready.not_before),
+                            - max(head.enqueued_at, head.not_before),
                             0.0,
                         )
-                        obs_metrics.counter("exec.dispatched").inc()
+                        obs_metrics.counter("exec.dispatched").inc(len(batch))
                         obs_metrics.histogram("exec.queue_wait_s").observe(
                             w.queue_wait_s
                         )
@@ -516,14 +594,6 @@ class Supervisor:
                         obs_metrics.counter("exec.payload_bytes").inc(
                             w.payload_bytes
                         )
-                    except (BrokenPipeError, OSError):
-                        # Idle worker died between tasks: requeue untouched.
-                        queued.append(ready)
-                        worker_lost_idle = w
-                        worker_lost_idle.task_idx = None
-                        obs_metrics.counter("exec.worker_deaths").inc()
-                        worker_lost(worker_lost_idle, "worker died while idle")
-                        break
 
                 # Sleep until something can happen: a result, a deadline,
                 # a backoff release, or the heartbeat tick.
@@ -543,37 +613,48 @@ class Supervisor:
                     conn_map = {w.conn: w for w in busy}
                     for conn in ready_conns:
                         w = conn_map[conn]
-                        try:
-                            msg = w.recv_message()
-                        except (EOFError, OSError):
-                            obs_metrics.counter("exec.worker_deaths").inc()
-                            worker_lost(w, "worker process died mid-task")
-                            continue
-                        obs_metrics.histogram("exec.unpickle_s").observe(
-                            w.unpickle_s
-                        )
-                        obs_metrics.counter("exec.result_bytes").inc(
-                            w.result_bytes
-                        )
-                        kind, task_id, *rest = msg
-                        if task_id != w.task_idx:
-                            continue  # reply for a task we already re-routed
-                        if kind == "ok":
-                            complete(w, rest[0])
-                        else:
-                            exc_type, exc_text = rest
-                            state = by_index[task_id]
-                            if outcomes[state.index] is None:
-                                record_task_span(
-                                    w, state, "exc",
-                                    error=f"{exc_type}: {exc_text}",
-                                )
-                            w.mark_idle()
-                            if outcomes[state.index] is None:
-                                task_failed(
-                                    state, kill=False,
-                                    reason=f"{exc_type}: {exc_text}",
-                                )
+                        # Drain every reply this worker has streamed so far
+                        # (a chunk produces several per wakeup), stopping
+                        # when its buffer is empty or its chunk is done.
+                        while True:
+                            try:
+                                msg = w.recv_message()
+                            except (EOFError, OSError):
+                                obs_metrics.counter("exec.worker_deaths").inc()
+                                worker_lost(w, "worker process died mid-task")
+                                break
+                            obs_metrics.histogram("exec.unpickle_s").observe(
+                                w.unpickle_s
+                            )
+                            obs_metrics.counter("exec.result_bytes").inc(
+                                w.result_bytes
+                            )
+                            kind, task_id, *rest = msg
+                            if task_id != w.task_idx:
+                                pass  # reply for a task already re-routed
+                            elif kind == "ok":
+                                complete(w, rest[0])
+                            else:
+                                exc_type, exc_text = rest
+                                state = by_index[task_id]
+                                if outcomes[state.index] is None:
+                                    record_task_span(
+                                        w, state, "exc",
+                                        error=f"{exc_type}: {exc_text}",
+                                    )
+                                advance_worker(w)
+                                if outcomes[state.index] is None:
+                                    task_failed(
+                                        state, kill=False,
+                                        reason=f"{exc_type}: {exc_text}",
+                                    )
+                            if not w.busy:
+                                break
+                            try:
+                                if not w.conn.poll():
+                                    break
+                            except (OSError, ValueError):
+                                break
                 elif timeout > 0:
                     time.sleep(timeout)
 

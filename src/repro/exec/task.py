@@ -20,11 +20,53 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from types import MappingProxyType
+from typing import Any, Callable, Mapping
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Run-invariant state delivered to each worker once, not per task.
+
+    The old wire protocol pickled everything a task needed -- strictness
+    flags, cache handles, even whole parsed designs -- into every task
+    tuple, which profiling showed dominated dispatch cost.  A
+    ``WorkerContext`` carries that invariant state exactly once per
+    worker lifetime: the supervisor hands it to ``worker_main`` at spawn
+    (under the default ``fork`` start method it is inherited copy-on-write,
+    i.e. never serialized at all), and task functions read it back via
+    :func:`repro.exec.workers.worker_context`.
+
+    ``values`` is an immutable mapping of whatever the task family needs
+    (e.g. a :class:`~repro.exec.blobs.BlobStore`, strict/lint flags, the
+    run's trace namespace).  ``preload`` names modules the worker imports
+    eagerly at startup so the first task does not pay import cost.
+    """
+
+    values: Mapping[str, Any] = field(default_factory=dict)
+    preload: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Freeze the mapping so sharing one context across workers is safe.
+        object.__setattr__(self, "values", MappingProxyType(dict(self.values)))
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.values.get(key, default)
+
+    # MappingProxyType is unpicklable; ship the plain dict instead.
+    def __getstate__(self) -> dict:
+        return {"values": dict(self.values), "preload": self.preload}
+
+    def __setstate__(self, state: dict) -> None:
+        object.__setattr__(self, "values", MappingProxyType(state["values"]))
+        object.__setattr__(self, "preload", state["preload"])
 
 
 @dataclass

@@ -1,10 +1,10 @@
-"""Supervised worker processes: one pipe, one task in flight, killable.
+"""Supervised worker processes: warm, chunk-fed, killable.
 
 The supervisor does not use :class:`concurrent.futures.ProcessPoolExecutor`
 because that pool treats any worker death as fatal (``BrokenExecutor``
 poisons every outstanding future) and offers no way to kill one hung
 worker.  Here each worker owns a private duplex :func:`multiprocessing.Pipe`
-and runs at most one task at a time, so the parent can:
+so the parent can:
 
 * detect a death promptly -- a dead worker's pipe end closes, which makes
   the connection readable (EOF) and wakes the monitor immediately;
@@ -16,34 +16,112 @@ and runs at most one task at a time, so the parent can:
 Workers are daemonic: if the parent dies uncleanly, the kernel reaps the
 pool instead of leaving orphaned processes behind.
 
-The wire protocol is deliberately tiny.  Parent -> worker: ``(task_id,
-payload)`` or ``None`` (shutdown).  Worker -> parent: ``("ok", task_id,
+**Warm-pool contract.**  Workers spawn once per supervised run and stay
+warm: a :class:`~repro.exec.task.WorkerContext` delivered at spawn (under
+the default ``fork`` start method it is inherited copy-on-write, never
+pickled) carries the run-invariant state -- cache handles, strictness
+flags, a :class:`~repro.exec.blobs.BlobStore` of heavy shared objects --
+and ``preload`` modules are imported before the first task so no attempt
+pays import cost.  Task functions read it back with
+:func:`worker_context`; the parent's inline-fallback path installs the
+same context around in-process execution via :func:`using_context`, so a
+task function behaves identically in both places.
+
+**Wire protocol.**  Parent -> worker: a *chunk* ``[(task_id, payload),
+...]`` or ``None`` (shutdown).  The worker runs the chunk's tasks in
+order and streams one reply per task as it goes -- ``("ok", task_id,
 TaskOutcome)`` or ``("exc", task_id, exc_type, exc_text)`` when an
-exception escaped the task function (task functions promise not to raise;
-escapes are exactly what supervision exists for -- memory ceilings, chaos
-faults, bugs).
+exception escaped the task function (task functions promise not to
+raise; escapes are exactly what supervision exists for -- memory
+ceilings, chaos faults, bugs).  Streaming keeps supervision per-task:
+the parent re-arms the deadline as each reply lands, and a worker that
+dies mid-chunk loses only its in-flight task (the chunk's unstarted
+remainder is requeued uncharged).  Chunking exists purely to amortize
+the per-message pipe round-trip that profiling showed dominating short
+tasks.
 
 Both ends serialize explicitly (``ForkingPickler.dumps`` +
 ``send_bytes`` / ``recv_bytes`` + ``pickle.loads`` -- byte-identical to
 what ``Connection.send``/``recv`` do internally) so every message's
 pickle time and payload size can be attributed: the parent times payload
 pickling and result unpickling, the worker times payload unpickling and
-the task's compute, and ships its numbers back inside the outcome's
-telemetry (see :func:`repro.exec.task.annotate_worker_stats`).
+each task's compute, and ships its numbers back inside the outcome's
+telemetry (see :func:`repro.exec.task.annotate_worker_stats`).  Chunk
+costs are apportioned evenly over the chunk's tasks so per-attempt
+attribution stays meaningful.
 """
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing as mp
 import pickle
 import time
+from collections import deque
+from contextlib import contextmanager
 from multiprocessing.connection import Connection
 from multiprocessing.reduction import ForkingPickler
-from typing import Any, Callable
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.exec.task import WorkerContext
 
 #: Seconds to wait for a worker to exit after a graceful shutdown message
 #: (or after a kill) before escalating.
 JOIN_TIMEOUT_S = 2.0
+
+#: The process-wide WorkerContext, installed once at worker startup (or
+#: temporarily by :func:`using_context` for parent-side inline execution).
+_WORKER_CONTEXT: WorkerContext | None = None
+
+
+def worker_context() -> WorkerContext | None:
+    """The installed :class:`WorkerContext`, or ``None`` outside a pool."""
+    return _WORKER_CONTEXT
+
+
+def require_worker_context() -> WorkerContext:
+    """The installed context; raises if the task runs without one."""
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError(
+            "no WorkerContext installed -- this task function must run "
+            "under a supervised pool (or inside using_context())"
+        )
+    return _WORKER_CONTEXT
+
+
+def _install_context(context: WorkerContext | None) -> None:
+    """Install ``context`` process-wide and import its preload modules.
+
+    Also usable directly as a ``ProcessPoolExecutor`` initializer.
+    Preload failures are swallowed: the import would fail again (with a
+    real traceback) the moment a task needs the module.
+    """
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+    if context is None:
+        return
+    for name in context.preload:
+        try:
+            importlib.import_module(name)
+        except Exception:  # noqa: BLE001 -- warmup only, never fatal
+            pass
+
+
+@contextmanager
+def using_context(context: WorkerContext | None) -> Iterator[None]:
+    """Temporarily install ``context`` in *this* process.
+
+    The supervisor wraps its inline-fallback path (and the parent-side
+    replay guard) in this so task functions see the same context they
+    would inside a worker.
+    """
+    global _WORKER_CONTEXT
+    prev = _WORKER_CONTEXT
+    _install_context(context)
+    try:
+        yield
+    finally:
+        _WORKER_CONTEXT = prev
 
 
 def apply_memory_limit(limit_mb: int) -> bool:
@@ -67,8 +145,10 @@ def worker_main(
     conn: Connection,
     task: Callable[[Any], Any],
     memory_limit_mb: int | None,
+    context: WorkerContext | None = None,
 ) -> None:
-    """The worker loop: receive a payload, run the task, send the outcome."""
+    """The worker loop: receive a chunk, stream one outcome per task."""
+    _install_context(context)
     if memory_limit_mb is not None:
         apply_memory_limit(memory_limit_mb)
     while True:
@@ -81,30 +161,35 @@ def worker_main(
         unpickle_s = time.perf_counter() - t0
         if msg is None:
             return  # graceful shutdown
-        task_id, payload = msg
-        try:
-            t0 = time.perf_counter()
-            value = task(payload)
-            compute_s = time.perf_counter() - t0
-            _annotate(value, len(buf), unpickle_s, compute_s)
-            reply = ("ok", task_id, value)
-        except MemoryError:
-            # Drop references before replying: the allocation that tripped
-            # the ceiling may still be reachable from the frame.
-            reply = ("exc", task_id, "MemoryError",
-                     "task exceeded the worker memory ceiling")
-        except BaseException as exc:  # noqa: BLE001 -- escapes are supervised
-            reply = ("exc", task_id, type(exc).__name__, str(exc))
-        try:
-            conn.send_bytes(bytes(ForkingPickler.dumps(reply)))
-        except (BrokenPipeError, OSError):
-            return
-        except Exception as exc:  # noqa: BLE001 -- e.g. unpicklable outcome
+        # Chunk costs are shared evenly across its tasks so each attempt's
+        # attribution stays meaningful (and nonzero).
+        share_n = max(1, len(msg))
+        unpickle_share = unpickle_s / share_n
+        byte_share = max(1, len(buf) // share_n)
+        for task_id, payload in msg:
             try:
-                conn.send(("exc", task_id, type(exc).__name__,
-                           f"result could not be returned: {exc}"))
-            except Exception:  # noqa: BLE001
+                t0 = time.perf_counter()
+                value = task(payload)
+                compute_s = time.perf_counter() - t0
+                _annotate(value, byte_share, unpickle_share, compute_s)
+                reply = ("ok", task_id, value)
+            except MemoryError:
+                # Drop references before replying: the allocation that
+                # tripped the ceiling may still be reachable from the frame.
+                reply = ("exc", task_id, "MemoryError",
+                         "task exceeded the worker memory ceiling")
+            except BaseException as exc:  # noqa: BLE001 -- supervised
+                reply = ("exc", task_id, type(exc).__name__, str(exc))
+            try:
+                conn.send_bytes(bytes(ForkingPickler.dumps(reply)))
+            except (BrokenPipeError, OSError):
                 return
+            except Exception as exc:  # noqa: BLE001 -- unpicklable outcome
+                try:
+                    conn.send(("exc", task_id, type(exc).__name__,
+                               f"result could not be returned: {exc}"))
+                except Exception:  # noqa: BLE001
+                    return
 
 
 def _annotate(value: Any, payload_bytes: int, unpickle_s: float,
@@ -128,28 +213,35 @@ class WorkerHandle:
         memory_limit_mb: int | None,
         ctx: mp.context.BaseContext | None = None,
         wid: str = "w?",
+        context: WorkerContext | None = None,
     ) -> None:
         ctx = ctx or mp.get_context()
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.proc = ctx.Process(
             target=worker_main,
-            args=(child_conn, task, memory_limit_mb),
+            args=(child_conn, task, memory_limit_mb, context),
             daemon=True,
         )
         self.proc.start()
         child_conn.close()
         self.conn: Connection = parent_conn
         #: Stable lane id of this worker within one supervised run ("w0",
-        #: "w1", ...; respawns get fresh ids) -- the timeline's Gantt lane.
+        #: "w1", ...) -- the timeline's Gantt lane.  A respawn reuses its
+        #: dead predecessor's lane id (see the supervisor's lane pool), so
+        #: kills do not proliferate lanes.
         self.wid = wid
-        #: Index of the task currently in flight (None = idle).
-        self.task_idx: int | None = None
-        #: Monotonic instants bounding the current attempt.
+        #: Task ids dispatched to this worker and not yet resolved; the
+        #: head is the task in flight, the rest are queued in the worker.
+        self.chunk: deque[int] = deque()
+        self._deadline_s: float | None = None
+        #: Monotonic instants bounding the current attempt (the chunk
+        #: head); re-armed by :meth:`advance` as replies stream in.
         self.started_at: float = 0.0
         self.deadline_at: float | None = None
         #: Parent-side costs of the attempt in flight (for the attempt's
-        #: ``exec.task`` span): payload pickle time/size at dispatch, then
-        #: result transfer size/unpickle time filled in by recv_message.
+        #: ``exec.task`` span): payload pickle time/size at dispatch
+        #: (chunk totals shared evenly over its tasks), then result
+        #: transfer size/unpickle time filled in by recv_message.
         self.pickle_s: float = 0.0
         self.payload_bytes: int = 0
         self.unpickle_s: float = 0.0
@@ -158,27 +250,43 @@ class WorkerHandle:
 
     @property
     def busy(self) -> bool:
-        return self.task_idx is not None
+        return bool(self.chunk)
+
+    @property
+    def task_idx(self) -> int | None:
+        """The task currently in flight (chunk head), or None if idle."""
+        return self.chunk[0] if self.chunk else None
 
     @property
     def alive(self) -> bool:
         return self.proc.is_alive()
 
-    def dispatch(self, task_idx: int, payload: Any,
+    def _arm(self, now: float) -> None:
+        self.started_at = now
+        self.deadline_at = (
+            now + self._deadline_s if self._deadline_s is not None else None
+        )
+
+    def dispatch(self, items: Sequence[tuple[int, Any]],
                  deadline_s: float | None) -> None:
-        """Send one task; raises OSError/BrokenPipeError if the worker died."""
+        """Send one chunk; raises OSError/BrokenPipeError if the worker died.
+
+        The chunk is recorded on the handle only after the send succeeds,
+        so a dispatch failure leaves the handle idle and the tasks safely
+        in the caller's queue.
+        """
         t0 = time.perf_counter()
-        buf = bytes(ForkingPickler.dumps((task_idx, payload)))
-        self.pickle_s = time.perf_counter() - t0
-        self.payload_bytes = len(buf)
+        buf = bytes(ForkingPickler.dumps(list(items)))
+        pickle_total = time.perf_counter() - t0
+        n = max(1, len(items))
+        self.pickle_s = pickle_total / n
+        self.payload_bytes = max(1, len(buf) // n)
         self.unpickle_s = 0.0
         self.result_bytes = 0
         self.conn.send_bytes(buf)
-        self.task_idx = task_idx
-        self.started_at = time.monotonic()
-        self.deadline_at = (
-            self.started_at + deadline_s if deadline_s is not None else None
-        )
+        self.chunk = deque(idx for idx, _ in items)
+        self._deadline_s = deadline_s
+        self._arm(time.monotonic())
 
     def recv_message(self) -> Any:
         """Receive one worker reply, recording its size and unpickle time."""
@@ -189,9 +297,20 @@ class WorkerHandle:
         self.result_bytes = len(buf)
         return msg
 
+    def advance(self) -> None:
+        """Resolve the chunk head; re-arm the deadline for the next task."""
+        if self.chunk:
+            self.chunk.popleft()
+        if self.chunk:
+            self._arm(time.monotonic())
+        else:
+            self.deadline_at = None
+            self._deadline_s = None
+
     def mark_idle(self) -> None:
-        self.task_idx = None
+        self.chunk.clear()
         self.deadline_at = None
+        self._deadline_s = None
 
     def kill(self) -> None:
         """Forcibly terminate the worker and release its pipe."""

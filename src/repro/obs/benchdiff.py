@@ -12,8 +12,15 @@ Contract (see DESIGN.md section 12):
 
 * **Baseline = per-key median** of the prior history entries.  The
   median absorbs one noisy historical session without manual pruning;
-  a key needs at least ``min_history`` prior samples before it gates at
-  all (younger keys report ``new`` and pass).
+  a key needs at least ``min_history`` prior samples before its
+  tolerance gates at all (younger keys report ``skipped`` with the
+  reason -- how many samples it has vs how many it needs -- so a thin
+  history is visible in the report instead of silently passing).
+* **Absolute floors.**  A key may carry ``min_value``: a candidate
+  below it is a *regression* regardless of history depth or relative
+  tolerance.  This is how hard invariants gate (e.g.
+  ``parallel.speedup_jobs4`` must never sink below 1.0 -- parallel
+  slower than sequential is a bug, not noise).
 * **Direction-aware.**  ``speedup``/``rate``/``fraction``/``coverage``/
   ``completion``/``hit`` keys are higher-is-better; everything else
   (wall seconds, ratios, byte counts) is lower-is-better.  Per-key
@@ -35,6 +42,7 @@ Tolerances load from a TOML file (stdlib ``tomllib``)::
     [benchdiff.keys."parallel.speedup_jobs4"]
     rel_tol = 0.30
     direction = "higher"
+    min_value = 1.0
 
 Everything here is pure data-in/data-out; the CLI owns I/O and exit
 codes (0 = ok, 1 = regression, 2 = unusable input).
@@ -61,6 +69,7 @@ class KeyRule:
 
     rel_tol: float | None = None
     direction: str | None = None     # "higher" | "lower"
+    min_value: float | None = None   # hard floor: below it => regression
 
 
 @dataclass(frozen=True)
@@ -83,6 +92,10 @@ class DiffConfig:
         if rule is not None and rule.direction in ("higher", "lower"):
             return rule.direction
         return "higher" if _HIGHER_RE.search(key) else "lower"
+
+    def min_value(self, key: str) -> float | None:
+        rule = self.keys.get(key)
+        return rule.min_value if rule is not None else None
 
 
 def load_config(path: str | Path | None) -> DiffConfig:
@@ -116,9 +129,11 @@ def load_config(path: str | Path | None) -> DiffConfig:
                 "'higher' or 'lower'"
             )
         rel_tol = rule.get("rel_tol")
+        min_value = rule.get("min_value")
         keys[key] = KeyRule(
             rel_tol=None if rel_tol is None else float(rel_tol),
             direction=direction,
+            min_value=None if min_value is None else float(min_value),
         )
     cfg = DiffConfig(
         default_rel_tol=float(
@@ -176,13 +191,14 @@ class KeyVerdict:
 
     key: str
     status: str                  # "ok" | "regression" | "improved" |
-                                 # "new" | "skipped"
+                                 # "skipped"
     candidate: float
-    baseline: float | None       # None when status == "new"
+    baseline: float | None       # None when no baseline exists yet
     rel_delta: float | None      # signed (candidate-baseline)/|baseline|
     rel_tol: float
     direction: str               # "higher" | "lower"
     samples: int                 # prior history samples behind baseline
+    reason: str = ""             # why skipped / why regressed on a floor
 
 
 @dataclass
@@ -225,16 +241,32 @@ def diff_history(data: Mapping, config: DiffConfig) -> DiffReport:
         samples = prior.get(key, [])
         tol = config.rel_tol(key)
         direction = config.direction(key)
+        floor = config.min_value(key)
+        if floor is not None and value < floor:
+            # Hard floor breach gates even with no history at all.
+            report.verdicts.append(
+                KeyVerdict(key=key, status="regression", candidate=value,
+                           baseline=statistics.median(samples)
+                           if samples else None,
+                           rel_delta=None, rel_tol=tol,
+                           direction=direction, samples=len(samples),
+                           reason=f"below hard floor {floor:g}")
+            )
+            continue
         if len(samples) < config.min_history:
             report.verdicts.append(
-                KeyVerdict(key=key, status="new", candidate=value,
+                KeyVerdict(key=key, status="skipped", candidate=value,
                            baseline=None, rel_delta=None, rel_tol=tol,
-                           direction=direction, samples=len(samples))
+                           direction=direction, samples=len(samples),
+                           reason=f"only {len(samples)} prior sample(s) "
+                                  f"(need {config.min_history})")
             )
             continue
         baseline = statistics.median(samples)
+        reason = ""
         if abs(value) < config.min_abs and abs(baseline) < config.min_abs:
             status, rel_delta = "skipped", None
+            reason = f"below noise floor {config.min_abs:g}"
         else:
             denom = abs(baseline) or 1e-12
             rel_delta = (value - baseline) / denom
@@ -248,32 +280,36 @@ def diff_history(data: Mapping, config: DiffConfig) -> DiffReport:
         report.verdicts.append(
             KeyVerdict(key=key, status=status, candidate=value,
                        baseline=baseline, rel_delta=rel_delta, rel_tol=tol,
-                       direction=direction, samples=len(samples))
+                       direction=direction, samples=len(samples),
+                       reason=reason)
         )
     return report
 
 
 def render_report(report: DiffReport, verbose: bool = False) -> str:
     """Human-readable verdict table (regressions always shown first)."""
-    order = {"regression": 0, "improved": 1, "ok": 2, "new": 3, "skipped": 4}
+    order = {"regression": 0, "improved": 1, "ok": 2, "skipped": 3}
     rows = sorted(report.verdicts,
                   key=lambda v: (order.get(v.status, 9), v.key))
     if not verbose:
-        rows = [v for v in rows if v.status in ("regression", "improved")]
+        rows = [v for v in rows
+                if v.status in ("regression", "improved", "skipped")]
     lines = [f"bench-diff @ {report.timestamp}: "
              f"{len(report.verdicts)} keys, "
              f"{len(report.regressions)} regression(s)"]
     for v in rows:
-        if v.baseline is None:
-            detail = f"{v.candidate:g} (no baseline yet, {v.samples} samples)"
-        elif v.rel_delta is None:
-            detail = (f"{v.candidate:g} vs {v.baseline:g} "
-                      f"(below noise floor)")
+        if v.rel_delta is None:
+            base = f" vs {v.baseline:g}" if v.baseline is not None else ""
+            detail = f"{v.candidate:g}{base}"
+            if v.reason:
+                detail += f" ({v.reason})"
         else:
             arrow = "+" if v.rel_delta >= 0 else ""
             detail = (f"{v.candidate:g} vs median {v.baseline:g} "
                       f"({arrow}{v.rel_delta * 100:.1f}%, "
                       f"tol {v.rel_tol * 100:.0f}%, {v.direction}-better)")
+            if v.reason:
+                detail += f" [{v.reason}]"
         lines.append(f"  {v.status:<10} {v.key:<40} {detail}")
     if not report.verdicts:
         lines.append("  (candidate session recorded no measurements)")

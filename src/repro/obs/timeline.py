@@ -4,10 +4,13 @@ Where :mod:`repro.obs.attrib` answers "which code is slow?", this module
 answers "what were the workers *doing*?" for one supervised parallel run
 (:mod:`repro.exec`).  It consumes the same trace rows and builds:
 
-* **Lanes** (:func:`lanes`): each worker id (``w0``, ``w1``, ...; fresh
-  ids per respawn) becomes one lane holding its ``exec.task`` attempt
-  windows -- a Gantt chart in data form, rendered as ASCII by
-  :func:`gantt_lines`.
+* **Lanes** (:func:`lanes`): each worker id (``w0``, ``w1``, ...) becomes
+  one lane holding its ``exec.task`` attempt windows -- a Gantt chart in
+  data form, rendered as ASCII by :func:`gantt_lines`.  A respawned
+  worker takes over its dead predecessor's lane id (the supervisor's
+  lane pool), so kills do not proliferate lanes or dilute per-lane
+  utilization; the lane label carries the takeover count (``w1(+2)``),
+  read from the ``respawn`` attribute of ``exec.spawn`` spans.
 * **Breakdown** (:func:`breakdown`): the run's wall-clock *capacity*
   (supervised wall time x jobs) split into compute, serialization,
   transfer overhead, spawn, and idle -- categories that sum to capacity
@@ -123,6 +126,14 @@ class Lane:
 
     wid: str
     attempts: list[Attempt] = field(default_factory=list)
+    #: How many times a respawned worker took this lane over (0 = the
+    #: original worker survived the whole run).
+    respawns: int = 0
+
+    @property
+    def label(self) -> str:
+        """Display label: the lane id plus its takeover count, if any."""
+        return f"{self.wid}(+{self.respawns})" if self.respawns else self.wid
 
     @property
     def busy_s(self) -> float:
@@ -138,6 +149,13 @@ def lanes(rows: Sequence[dict]) -> list[Lane]:
     by_wid: dict[str, Lane] = {}
     for at in attempts(rows):
         by_wid.setdefault(at.wid, Lane(wid=at.wid)).attempts.append(at)
+    for r in attrib.filter_spans(rows, "exec.spawn"):
+        a = r.get("attrs") or {}
+        wid = str(a.get("wid", "?"))
+        if wid in by_wid:
+            by_wid[wid].respawns = max(
+                by_wid[wid].respawns, int(a.get("respawn", 0) or 0)
+            )
     return [by_wid[w] for w in sorted(by_wid, key=_wid_key)]
 
 
@@ -158,7 +176,7 @@ def gantt_lines(rows: Sequence[dict], width: int = 60) -> list[str]:
         t0 = min(at.start for ln in lns for at in ln.attempts)
         t1 = max(at.end for ln in lns for at in ln.attempts)
     scale = (t1 - t0) or 1e-9
-    name_w = max(len(ln.wid) for ln in lns)
+    name_w = max(len(ln.label) for ln in lns)
     out: list[str] = []
     for ln in lns:
         cells = ["."] * width
@@ -174,7 +192,7 @@ def gantt_lines(rows: Sequence[dict], width: int = 60) -> list[str]:
                 cells[i] = mark if cells[i] != "x" else "x"
         util = ln.utilization(t1 - t0)
         out.append(
-            f"{ln.wid:<{name_w}} |{''.join(cells)}| "
+            f"{ln.label:<{name_w}} |{''.join(cells)}| "
             f"{util * 100:5.1f}%  {len(ln.attempts)} attempts"
         )
     return out

@@ -43,14 +43,19 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any, Mapping, Sequence
 
 from repro.exec import (
+    BlobStore,
     RunJournal,
     Supervisor,
     SupervisionPolicy,
     TaskOutcome,
+    WorkerContext,
     WorkerTelemetry,
     content_key,
+    require_worker_context,
     run_traced_task,
+    using_context,
 )
+from repro.exec.workers import _install_context
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import (
@@ -81,11 +86,35 @@ _NAMESPACE_COUNTER = itertools.count()
 
 
 # -- worker entry points (module-level: they must pickle) --------------------
+#
+# Payloads are deliberately tiny: the task's index plus (at most) a
+# content-hash :class:`~repro.exec.blobs.BlobRef` naming its heavy input
+# in the run's BlobStore.  Everything run-invariant -- strictness flags,
+# cache handles, the shared design, the trace namespace prefix -- rides in
+# the :class:`~repro.exec.WorkerContext` installed once per worker (or via
+# ``using_context`` on the parent's inline paths), not in every payload.
+
+#: Modules each task family imports eagerly at worker startup so the
+#: first attempt pays no import cost (irrelevant under ``fork``, which
+#: inherits the parent's modules, but real on spawn platforms).
+_MEASURE_PRELOAD = ("repro.core.workflow",)
+_SYNTH_PRELOAD = (
+    "repro.elab.elaborator", "repro.synth.lower", "repro.synth.report",
+)
+_LINT_PRELOAD = ("repro.lint.engine",)
 
 
 def _measure_task(payload: tuple) -> TaskOutcome:
-    """Measure one component (the batch-level unit of work)."""
-    spec, strict, cache, lint, capture_trace, namespace = payload
+    """Measure one component (the batch-level unit of work).
+
+    ``payload`` is ``(index, spec_ref)``; the spec is fetched from the
+    context's BlobStore (cached per worker after first use).
+    """
+    index, spec_ref = payload
+    ctx = require_worker_context()
+    spec = ctx["blobs"].get(spec_ref)
+    strict, cache, lint = ctx["strict"], ctx["cache"], ctx["lint"]
+    namespace = f"{ctx['run_ns']}.w{index}"
     from repro.core.workflow import measure_component_safe
 
     def run():
@@ -100,12 +129,21 @@ def _measure_task(payload: tuple) -> TaskOutcome:
         )
         return result, ()
 
-    return run_traced_task(run, namespace, capture_trace)
+    return run_traced_task(run, namespace, ctx["capture_trace"])
 
 
 def _synthesize_task(payload: tuple) -> TaskOutcome:
-    """Synthesize one specialization (the component-level unit of work)."""
-    design, module, params, label, safe, strict, capture_trace, namespace = payload
+    """Synthesize one specialization (the component-level unit of work).
+
+    ``payload`` is ``(index, module, params)``; the shared design is
+    fetched from the context's BlobStore exactly once per worker instead
+    of being re-pickled into every specialization's payload.
+    """
+    index, module, params = payload
+    ctx = require_worker_context()
+    design = ctx["blobs"].get(ctx["design_ref"])
+    label, safe, strict = ctx["label"], ctx["safe"], ctx["strict"]
+    namespace = f"{ctx['run_ns']}.w{index}"
     from repro.elab.elaborator import elaborate
     from repro.runtime.stages import StageBoundary
     from repro.synth.lower import synthesize_module
@@ -129,19 +167,27 @@ def _synthesize_task(payload: tuple) -> TaskOutcome:
             )
         return report, ()
 
-    return run_traced_task(run, namespace, capture_trace)
+    return run_traced_task(run, namespace, ctx["capture_trace"])
 
 
 def _lint_task(payload: tuple) -> TaskOutcome:
-    """Lint one module (the lint run's unit of work)."""
-    design, module_name, config, capture_trace, namespace = payload
+    """Lint one module (the lint run's unit of work).
+
+    ``payload`` is ``(index, module_name)``; the shared design and lint
+    config ride in the worker context.
+    """
+    index, module_name = payload
+    ctx = require_worker_context()
+    design = ctx["blobs"].get(ctx["design_ref"])
+    config = ctx["config"]
+    namespace = f"{ctx['run_ns']}.w{index}"
     from repro.lint.engine import lint_module
 
     def run():
         result = lint_module(design, module_name, config)
         return result, ()
 
-    return run_traced_task(run, namespace, capture_trace)
+    return run_traced_task(run, namespace, ctx["capture_trace"])
 
 
 # -- join-side plumbing ------------------------------------------------------
@@ -215,8 +261,13 @@ def _pool_run(
     payloads: Sequence[tuple],
     jobs: int,
     labels: Sequence[str] | None = None,
+    context: WorkerContext | None = None,
 ) -> tuple[list[TaskOutcome], Diagnostic | None]:
     """The legacy bare pool: one :class:`ProcessPoolExecutor`, no deadlines.
+
+    The worker context is delivered through the pool initializer (the
+    same once-per-worker contract as the supervised path), and installed
+    around the in-process recompute of broken-pool leftovers.
 
     A broken pool (a worker died; every outstanding future is poisoned) no
     longer throws completed work away: results that finished before the
@@ -228,7 +279,11 @@ def _pool_run(
     outcomes: list[TaskOutcome | None] = [None] * len(payloads)
     broken: tuple[int, BaseException] | None = None
     try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_install_context,
+            initargs=(context,),
+        ) as pool:
             futures = [pool.submit(task, p) for p in payloads]
             for i, future in enumerate(futures):
                 try:
@@ -270,9 +325,10 @@ def _pool_run(
         component=label,
         hint=STAGE_HINTS.get("exec"),
     )
-    for i, payload in enumerate(payloads):
-        if outcomes[i] is None:
-            outcomes[i] = task(payload)
+    with using_context(context):
+        for i, payload in enumerate(payloads):
+            if outcomes[i] is None:
+                outcomes[i] = task(payload)
     return outcomes, diagnostic  # type: ignore[return-value]
 
 
@@ -285,6 +341,7 @@ def _execute(
     keys: Sequence[str] | None = None,
     journal: "RunJournal | None" = None,
     namespaces: Sequence[str] | None = None,
+    context: WorkerContext | None = None,
 ) -> tuple[list[TaskOutcome], Diagnostic | None]:
     """Run one homogeneous batch under the selected execution strategy.
 
@@ -293,15 +350,17 @@ def _execute(
     retries, no journal -- kept for overhead benchmarking).  ``namespaces``
     (the tasks' worker-telemetry namespaces) let the supervisor stamp each
     ``exec.task`` span with its task's ``ns``, joining the attempt
-    timeline to the grafted worker span trees.
+    timeline to the grafted worker span trees.  ``context`` is the batch's
+    run-invariant :class:`WorkerContext`, installed once per worker by
+    either strategy.
     """
     if supervision is False:
-        return _pool_run(task, payloads, jobs, labels)
+        return _pool_run(task, payloads, jobs, labels, context)
     policy = supervision if isinstance(supervision, SupervisionPolicy) else None
     supervisor = Supervisor(jobs, policy)
     outcomes = supervisor.run(
         task, payloads, keys=keys, labels=labels, journal=journal,
-        namespaces=namespaces,
+        namespaces=namespaces, context=context,
     )
     return outcomes, None
 
@@ -389,48 +448,87 @@ def measure_components_parallel(
 
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("b")
-    payloads = [
-        (spec, strict, cache, lint, capture_trace, f"{run_ns}.w{i}")
-        for i, spec in enumerate(specs)
-    ]
-    labels = [spec.name for spec in specs]
     journal = RunJournal.open(journal)
-    keys = (
-        [measure_task_key(spec, strict, lint) for spec in specs]
-        if journal is not None
-        else None
-    )
     results: dict[str, Result] = {}
+    memo_key: dict[str, str] = {}
     with obs_trace.span("measure.batch", components=len(specs), jobs=jobs):
-        outcomes, fallback = _execute(
-            _measure_task, payloads, jobs, supervision,
-            labels=labels, keys=keys, journal=journal,
-            namespaces=[p[-1] for p in payloads],
-        )
+        # Cache-aware dispatch: a component whose finished measurement is
+        # already memoized (same sources/top/policy/flags, same pipeline
+        # salt) is resolved here in the parent; the pool only ever sees
+        # the misses.  A fully-warm run dispatches zero tasks.
+        pending = []
+        for spec in specs:
+            if cache is not None:
+                memo_key[spec.name] = cache.measurement_key(spec, strict, lint)
+                hit = cache.load_measurement(memo_key[spec.name])
+                if hit is not None:
+                    results[spec.name] = hit
+                    continue
+            pending.append(spec)
         errors: list[BaseException] = []
-        for spec, outcome in zip(specs, outcomes):
-            mapping = merge_worker_telemetry(outcome)
-            extra: tuple[Diagnostic, ...] = ()
-            if fallback is not None and fallback.component == spec.name:
-                extra = (fallback,)
-            if outcome.error is not None:
-                errors.append(outcome.error)
-                continue
-            if outcome.value is None:
-                # Supervisor quarantine: structured failure, no measurement.
-                results[spec.name] = Result(
-                    None, remap_span_ids(outcome.diagnostics, mapping) + extra
+        if pending:
+            with BlobStore.create() as blobs:
+                context = WorkerContext(
+                    values={
+                        "blobs": blobs, "strict": strict, "cache": cache,
+                        "lint": lint, "capture_trace": capture_trace,
+                        "run_ns": run_ns,
+                    },
+                    preload=_MEASURE_PRELOAD,
                 )
-                continue
-            result = outcome.value
-            results[spec.name] = Result(
-                result.value,
-                remap_span_ids(result.diagnostics, mapping) + extra,
-            )
+                payloads = [
+                    (i, blobs.put(spec)) for i, spec in enumerate(pending)
+                ]
+                labels = [spec.name for spec in pending]
+                keys = (
+                    [measure_task_key(spec, strict, lint) for spec in pending]
+                    if journal is not None
+                    else None
+                )
+                outcomes, fallback = _execute(
+                    _measure_task, payloads, jobs, supervision,
+                    labels=labels, keys=keys, journal=journal,
+                    namespaces=[
+                        f"{run_ns}.w{i}" for i in range(len(pending))
+                    ],
+                    context=context,
+                )
+                for spec, outcome in zip(pending, outcomes):
+                    mapping = merge_worker_telemetry(outcome)
+                    extra: tuple[Diagnostic, ...] = ()
+                    if fallback is not None and fallback.component == spec.name:
+                        extra = (fallback,)
+                    if outcome.error is not None:
+                        errors.append(outcome.error)
+                        continue
+                    if outcome.value is None:
+                        # Supervisor quarantine: structured failure, no
+                        # measurement.
+                        results[spec.name] = Result(
+                            None,
+                            remap_span_ids(outcome.diagnostics, mapping)
+                            + extra,
+                        )
+                        continue
+                    result = outcome.value
+                    results[spec.name] = Result(
+                        result.value,
+                        remap_span_ids(result.diagnostics, mapping) + extra,
+                    )
+                    if cache is not None:
+                        # Memoize pristine measurements for the next run's
+                        # cache-aware dispatch (degraded results are never
+                        # stored -- store_measurement refuses them).
+                        cache.store_measurement(
+                            memo_key[spec.name], results[spec.name]
+                        )
         if errors:
             # Only strict mode lets exceptions out of a worker; re-raise
             # the first in batch order, matching sequential fail-fast.
             raise errors[0]
+    # Memo hits were resolved before the dispatch loop; re-key the dict in
+    # specs order so batch iteration matches the sequential path exactly.
+    results = {s.name: results[s.name] for s in specs if s.name in results}
     return BatchMeasurement(results=results)
 
 
@@ -455,14 +553,21 @@ def lint_modules_parallel(
 
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("l")
-    payloads = [
-        (design, name, config, capture_trace, f"{run_ns}.w{i}")
-        for i, name in enumerate(names)
-    ]
-    with obs_trace.span("lint.batch", modules=len(names), jobs=jobs):
+    with obs_trace.span("lint.batch", modules=len(names), jobs=jobs), \
+            BlobStore.create() as blobs:
+        context = WorkerContext(
+            values={
+                "blobs": blobs, "design_ref": blobs.put(design),
+                "config": config, "capture_trace": capture_trace,
+                "run_ns": run_ns,
+            },
+            preload=_LINT_PRELOAD,
+        )
+        payloads = [(i, name) for i, name in enumerate(names)]
         outcomes, fallback = _execute(
             _lint_task, payloads, jobs, supervision, labels=list(names),
-            namespaces=[p[-1] for p in payloads],
+            namespaces=[f"{run_ns}.w{i}" for i in range(len(names))],
+            context=context,
         )
         results = []
         for name, outcome in zip(names, outcomes):
@@ -510,11 +615,6 @@ def synthesize_specializations(
     """
     capture_trace = obs_trace.active() is not None
     run_ns = _next_namespace("s")
-    payloads = [
-        (design, module, dict(params), label, safe, strict, capture_trace,
-         f"{run_ns}.w{i}")
-        for i, (module, params) in enumerate(work)
-    ]
     labels = [f"{label}:{module}" for module, _ in work]
     journal = RunJournal.open(journal)
     keys = None
@@ -523,25 +623,41 @@ def synthesize_specializations(
             synthesis_task_key(source_texts, module, params, safe, strict)
             for module, params in work
         ]
-    outcomes, fallback = _execute(
-        _synthesize_task, payloads, jobs, supervision,
-        labels=labels, keys=keys, journal=journal,
-        namespaces=[p[-1] for p in payloads],
-    )
     merged: list[TaskOutcome] = []
-    for task_label, outcome in zip(labels, outcomes):
-        mapping = merge_worker_telemetry(outcome)
-        diagnostics = remap_span_ids(outcome.diagnostics, mapping)
-        if fallback is not None and fallback.component == task_label:
-            diagnostics += (fallback,)
-        merged.append(
-            TaskOutcome(
-                value=outcome.value,
-                error=outcome.error,
-                diagnostics=diagnostics,
-                telemetry=None,
-            )
+    with BlobStore.create() as blobs:
+        # The design is the heavy part of every specialization task; one
+        # blob, fetched once per worker, replaces per-task re-pickling.
+        context = WorkerContext(
+            values={
+                "blobs": blobs, "design_ref": blobs.put(design),
+                "label": label, "safe": safe, "strict": strict,
+                "capture_trace": capture_trace, "run_ns": run_ns,
+            },
+            preload=_SYNTH_PRELOAD,
         )
+        payloads = [
+            (i, module, dict(params))
+            for i, (module, params) in enumerate(work)
+        ]
+        outcomes, fallback = _execute(
+            _synthesize_task, payloads, jobs, supervision,
+            labels=labels, keys=keys, journal=journal,
+            namespaces=[f"{run_ns}.w{i}" for i in range(len(work))],
+            context=context,
+        )
+        for task_label, outcome in zip(labels, outcomes):
+            mapping = merge_worker_telemetry(outcome)
+            diagnostics = remap_span_ids(outcome.diagnostics, mapping)
+            if fallback is not None and fallback.component == task_label:
+                diagnostics += (fallback,)
+            merged.append(
+                TaskOutcome(
+                    value=outcome.value,
+                    error=outcome.error,
+                    diagnostics=diagnostics,
+                    telemetry=None,
+                )
+            )
     return merged
 
 

@@ -1,0 +1,97 @@
+"""Unit tests for the content-addressed blob store (repro.exec.blobs)."""
+
+import pickle
+
+import pytest
+
+from repro.exec import BlobError, BlobRef, BlobStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    st = BlobStore(tmp_path / "blobs")
+    yield st
+    st.close()
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        ref = store.put({"design": "adder", "w": 8})
+        assert isinstance(ref, BlobRef)
+        assert len(ref) == 64 and int(ref, 16) >= 0
+        assert store.get(ref) == {"design": "adder", "w": 8}
+
+    def test_identical_content_shares_one_blob(self, store):
+        a = store.put(("spec", 1, 2))
+        b = store.put(("spec", 1, 2))
+        assert a == b
+        assert len(store) == 1
+
+    def test_distinct_content_gets_distinct_refs(self, store):
+        a = store.put("x")
+        b = store.put("y")
+        assert a != b
+        assert len(store) == 2
+        assert a in store and b in store
+        assert "0" * 64 not in store
+
+    def test_put_primes_the_local_cache(self, store):
+        obj = ["heavy", "object"]
+        ref = store.put(obj)
+        # In-parent resolution returns the live object, no deserialization.
+        assert store.get(ref) is obj
+
+
+class TestCrossProcessSemantics:
+    def test_pickle_ships_only_the_directory(self, store):
+        ref = store.put({"k": 1})
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.directory == store.directory
+        assert clone._cache == {}
+        # The clone faults the blob in from disk: equal, not identical.
+        got = clone.get(ref)
+        assert got == {"k": 1}
+        assert got is not store.get(ref)
+
+    def test_get_caches_per_process(self, store):
+        ref = store.put({"k": 2})
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.get(ref) is clone.get(ref)
+
+
+class TestFailureModes:
+    def test_unknown_ref_raises(self, store):
+        with pytest.raises(BlobError, match="unknown blob"):
+            store.get("f" * 64)
+
+    def test_corrupt_blob_raises(self, store):
+        ref = store.put("payload")
+        store._cache.clear()
+        store._path(ref).write_bytes(b"not a pickle at all")
+        with pytest.raises(BlobError, match="corrupt blob"):
+            store.get(ref)
+
+    def test_empty_blob_raises(self, store):
+        ref = store.put("payload")
+        store._cache.clear()
+        store._path(ref).write_bytes(b"")
+        with pytest.raises(BlobError, match="empty blob"):
+            store.get(ref)
+
+
+class TestLifetime:
+    def test_close_removes_the_directory(self, tmp_path):
+        store = BlobStore.create()
+        ref = store.put("x")
+        directory = store.directory
+        assert directory.is_dir()
+        store.close()
+        assert not directory.exists()
+        with pytest.raises(BlobError):
+            store.get(ref)
+
+    def test_context_manager_closes(self):
+        with BlobStore.create() as store:
+            store.put("x")
+            directory = store.directory
+        assert not directory.exists()

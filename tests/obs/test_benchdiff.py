@@ -83,14 +83,18 @@ class TestDirectionHeuristic:
 class TestDiff:
     CFG = DiffConfig(default_rel_tol=0.5, min_abs=0.05, min_history=2)
 
-    def test_young_keys_report_new_and_pass(self):
+    def test_young_keys_are_skipped_with_reason_and_pass(self):
         report = diff_history(
             _history({"benchmarks": {"b": 1.0}},
                      {"benchmarks": {"b": 1.1}}),
             self.CFG,
         )
         (v,) = report.verdicts
-        assert v.status == "new" and report.ok
+        assert v.status == "skipped" and report.ok
+        assert "1 prior sample" in v.reason and "need 2" in v.reason
+        # The thin history is visible even in the non-verbose report.
+        text = benchdiff.render_report(report)
+        assert "skipped" in text and "need 2" in text
 
     def test_median_baseline_absorbs_one_outlier(self):
         # Median of (1.0, 1.0, 30.0) is 1.0: one historically bad session
@@ -146,6 +150,37 @@ class TestDiff:
         )
         (v,) = report.verdicts
         assert v.status == "skipped" and report.ok
+        assert "noise floor" in v.reason
+
+    def test_min_value_floor_gates_without_history(self):
+        # One lone entry: far too young for the relative tolerance, but
+        # the hard floor does not care about history depth.
+        cfg = DiffConfig(
+            default_rel_tol=0.5, min_abs=0.05, min_history=2,
+            keys={"x.speedup": KeyRule(min_value=1.0)},
+        )
+        report = diff_history(_history({"series": {"x.speedup": 0.8}}), cfg)
+        (v,) = report.verdicts
+        assert v.status == "regression" and not report.ok
+        assert "floor 1" in v.reason
+
+    def test_min_value_floor_passes_at_or_above(self):
+        cfg = DiffConfig(
+            default_rel_tol=0.5, min_abs=0.05, min_history=2,
+            keys={"x.speedup": KeyRule(min_value=1.0)},
+        )
+        report = diff_history(_history({"series": {"x.speedup": 1.0}}), cfg)
+        (v,) = report.verdicts
+        assert v.status == "skipped" and report.ok  # thin history, no breach
+
+    def test_repo_floor_on_speedup_series(self):
+        from pathlib import Path
+
+        cfg = benchdiff.load_config(
+            Path(__file__).resolve().parents[2] / "benchdiff.toml"
+        )
+        assert cfg.min_value("parallel.speedup_jobs4") == 1.0
+        assert cfg.min_value("exec.chaos_completion_rate") is None
 
     def test_candidate_only_answers_for_what_it_measured(self):
         report = diff_history(

@@ -78,6 +78,25 @@ class TestLanes:
         assert "#" in lines[1]      # ... and its successful retry
         assert "2 attempts" in lines[1]
 
+    def test_respawned_lane_keeps_its_label(self):
+        # w1's lane was taken over once (respawn generation 2): the lane
+        # label carries the takeover count, fresh lanes stay bare.
+        t = Tracer()
+        t.record_span("exec.supervised", 0.0, 10.0, parent_id=None, jobs=2)
+        t.record_span("exec.spawn", 0.0, 0.1, parent_id=1, wid="w0",
+                      respawn=0)
+        t.record_span("exec.spawn", 0.0, 0.1, parent_id=1, wid="w1",
+                      respawn=0)
+        t.record_span("exec.spawn", 3.0, 0.1, parent_id=1, wid="w1",
+                      respawn=2)
+        for i, wid in enumerate(("w0", "w1")):
+            t.record_span("exec.task", 1.0, 1.0, parent_id=1, wid=wid,
+                          outcome="ok", task=f"t{i}", index=i)
+        lanes = timeline.lanes(t.to_rows())
+        assert [ln.label for ln in lanes] == ["w0", "w1(+2)"]
+        lines = timeline.gantt_lines(t.to_rows(), width=20)
+        assert lines[1].startswith("w1(+2) |")
+
 
 class TestBreakdown:
     def test_exact_category_seconds(self):
