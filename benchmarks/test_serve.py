@@ -1,0 +1,118 @@
+"""Serve-daemon benchmarks: warm latency and sustained throughput.
+
+Two trajectories for BENCH_obs.json (gated by ``benchdiff.toml``):
+
+* ``serve.latency_warm_p50_ms`` -- median round-trip for a ``POST
+  /measure`` whose component is already in the measurement memo.  The
+  warm path must resolve entirely in the parent (the benchmark asserts
+  zero ``exec.dispatched`` growth), so this number is HTTP framing +
+  dispatcher hop + memo load -- the daemon's floor.
+* ``serve.throughput_rps`` -- completed warm requests per second under
+  8 concurrent keep-alive clients; batching and the memo should keep
+  this comfortably above double digits.
+"""
+
+import http.client
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.cache import SynthesisCache
+from repro.core.engine import Engine
+from repro.hdl.source import SourceFile
+from repro.obs import metrics as obs_metrics
+from tests.serve.harness import ServerHarness
+
+_ADDER = SourceFile(
+    "adder.v",
+    """
+    module top_adder #(parameter W = 8)(input [W-1:0] a, b,
+                                        output [W-1:0] s);
+      assign s = a + b;
+    endmodule
+    """,
+)
+
+_BODY = json.dumps(
+    {
+        "files": [{"name": _ADDER.name, "text": _ADDER.text}],
+        "top": "top_adder",
+        "name": "adder",
+    }
+).encode()
+
+WARM_SAMPLES = 60
+THROUGHPUT_CLIENTS = 8
+THROUGHPUT_REQUESTS = 160
+
+
+def _post_measure(conn: http.client.HTTPConnection) -> int:
+    conn.request(
+        "POST", "/measure", body=_BODY,
+        headers={"Content-Type": "application/json"},
+    )
+    response = conn.getresponse()
+    response.read()
+    return response.status
+
+
+def test_serve_warm_latency_and_throughput(bench_series, report, tmp_path):
+    engine = Engine(cache=SynthesisCache(tmp_path / "cache"), jobs=2)
+    registry = obs_metrics.MetricsRegistry()
+    with obs_metrics.using(registry):
+        with ServerHarness(engine) as server:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=120
+            )
+            # Cold request: populates the measurement memo via the pool.
+            assert _post_measure(conn) == 200
+            dispatched_after_cold = registry.counter("exec.dispatched").value
+            assert dispatched_after_cold >= 1.0
+
+            # Warm latency: every subsequent request must be memo-served.
+            samples = []
+            for _ in range(WARM_SAMPLES):
+                t0 = time.perf_counter()
+                assert _post_measure(conn) == 200
+                samples.append(time.perf_counter() - t0)
+            conn.close()
+            assert (
+                registry.counter("exec.dispatched").value
+                == dispatched_after_cold
+            ), "warm requests must not dispatch pool tasks"
+
+            # Throughput: concurrent keep-alive clients, warm path only.
+            def _client(n_requests: int) -> int:
+                c = http.client.HTTPConnection(
+                    "127.0.0.1", server.port, timeout=120
+                )
+                try:
+                    done = 0
+                    for _ in range(n_requests):
+                        if _post_measure(c) == 200:
+                            done += 1
+                    return done
+                finally:
+                    c.close()
+
+            per_client = THROUGHPUT_REQUESTS // THROUGHPUT_CLIENTS
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(THROUGHPUT_CLIENTS) as pool:
+                completed = sum(
+                    pool.map(_client, [per_client] * THROUGHPUT_CLIENTS)
+                )
+            elapsed = time.perf_counter() - t0
+
+    assert completed == THROUGHPUT_REQUESTS
+    samples.sort()
+    p50_ms = samples[len(samples) // 2] * 1000.0
+    rps = completed / elapsed
+    bench_series("serve.latency_warm_p50_ms", p50_ms)
+    bench_series("serve.throughput_rps", rps)
+    report(
+        "serve warm path",
+        f"warm p50 latency: {p50_ms:.2f} ms over {WARM_SAMPLES} samples\n"
+        f"throughput: {rps:.1f} req/s "
+        f"({THROUGHPUT_CLIENTS} clients, {completed} requests, "
+        f"{elapsed:.2f} s)",
+    )

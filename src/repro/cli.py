@@ -59,25 +59,28 @@ from repro.data.dataset import EffortDataset
 from repro.data.paper import paper_dataset
 from repro.hdl.source import SourceFile
 from repro.runtime.diagnostics import (
+    EXIT_DEGRADED,
+    EXIT_FATAL,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
     Diagnostic,
     Severity,
-    max_severity,
+    exit_code,
     render_report,
 )
 
-#: Exit codes (documented in README.md).
-EXIT_OK = 0
-EXIT_DEGRADED = 1
-EXIT_FATAL = 2
-EXIT_INTERRUPTED = 130  # 128 + SIGINT, the conventional interrupt code
 
-
-def _supervision_from_args(args: argparse.Namespace):
+def _supervision_from_args(
+    args: argparse.Namespace, handle_signals: bool = True
+):
     """The run's supervision policy (``--jobs`` pools only).
 
-    CLI runs always install signal handlers so Ctrl-C drains the pool and
-    flushes the journal instead of dumping a traceback.  ``--deadline 0``
-    disables the per-task deadline entirely.
+    One-shot CLI runs install signal handlers so Ctrl-C drains the pool
+    and flushes the journal instead of dumping a traceback; the serve
+    daemon passes ``handle_signals=False`` because its pool runs on a
+    dispatcher thread (signals stay with the asyncio loop, which drains
+    via :func:`repro.exec.request_interrupt`).  ``--deadline 0`` disables
+    the per-task deadline entirely.
     """
     from repro.exec import SupervisionPolicy
 
@@ -88,10 +91,30 @@ def _supervision_from_args(args: argparse.Namespace):
     return SupervisionPolicy(
         deadline_s=deadline if deadline and deadline > 0 else None,
         memory_limit_mb=getattr(args, "worker_mem_mb", None) or None,
-        handle_signals=True,
+        handle_signals=handle_signals,
         progress=sys.stderr if getattr(args, "progress", False) else None,
         chunk_size=chunk if chunk and chunk > 0 else None,
+        chaos=_chaos_from_args(args),
     )
+
+
+def _chaos_from_args(args: argparse.Namespace):
+    """A test-only chaos plan (``serve --chaos FILE``), or None.
+
+    The file maps task labels to fault-injector invocations, e.g.
+    ``{"top_mux": ["kill_once", "/tmp/marker"]}``; see
+    :mod:`repro.runtime.faultinject`.
+    """
+    plan_file = getattr(args, "chaos", None)
+    if not plan_file:
+        return None
+    import json
+
+    plan = json.loads(Path(plan_file).read_text(encoding="utf-8"))
+    return {
+        label: tuple(fault) if isinstance(fault, list) else (fault,)
+        for label, fault in plan.items()
+    }
 
 
 def _journal_from_args(args: argparse.Namespace):
@@ -124,16 +147,9 @@ def _print_diagnostics(diagnostics) -> None:
         print(render_report(list(diagnostics)), file=sys.stderr)
 
 
-def _exit_code(diagnostics, *, fatal: bool = False, strict: bool = False) -> int:
-    """Map a diagnostics list onto the 0/1/2 exit-code contract."""
-    if fatal:
-        return EXIT_FATAL
-    worst = max_severity(diagnostics)
-    if worst is None or worst < Severity.ERROR:
-        return EXIT_OK
-    if worst >= Severity.FATAL:
-        return EXIT_FATAL
-    return EXIT_FATAL if strict else EXIT_DEGRADED
+#: The shared 0/1/2 mapping (repro.runtime.diagnostics.exit_code); the
+#: serve daemon maps the same codes onto HTTP response statuses.
+_exit_code = exit_code
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -518,6 +534,34 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return EXIT_OK if report.ok else EXIT_DEGRADED
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import exec as rexec
+    from repro.core.engine import Engine
+    from repro.serve import ServeConfig, ServeSession, serve_forever
+
+    engine = Engine(
+        cache=_cache_from_args(args),
+        jobs=args.jobs,
+        supervision=_supervision_from_args(args, handle_signals=False),
+        journal=_journal_from_args(args),
+    )
+    # A previous forced shutdown in this process may have left the
+    # cross-thread interrupt latched; a fresh daemon starts clean.
+    rexec.clear_interrupt()
+    session = ServeSession(engine)
+    config = ServeConfig(
+        host=args.host, port=args.port, grace_s=args.grace,
+    )
+
+    def _ready(server) -> None:
+        print(
+            f"listening on http://{server.config.host}:{server.port}",
+            flush=True,
+        )
+
+    return serve_forever(session, config, ready=_ready)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ucomplexity",
@@ -801,6 +845,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every key's verdict, not just regressions/improvements",
     )
     p.set_defaults(func=_cmd_bench_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the measurement pipeline as a long-lived HTTP/JSON "
+             "service (POST /measure, /lint, /estimate; GET /healthz, "
+             "/metrics)",
+        parents=[common],
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default: 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8321, metavar="N",
+        help="listen port (default 8321; 0 picks a free port, announced "
+             "on stdout)",
+    )
+    p.add_argument(
+        "--grace", type=float, default=30.0, metavar="S",
+        help="seconds to let in-flight requests finish on SIGINT/SIGTERM "
+             "before the worker pool is interrupted (default 30)",
+    )
+    p.add_argument(
+        "--chaos", metavar="FILE",
+        help="test-only fault-injection plan: JSON mapping task labels to "
+             "repro.runtime.faultinject invocations, applied to the "
+             "daemon's worker pool",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 

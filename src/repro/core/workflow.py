@@ -12,6 +12,12 @@ This is the uComplexity measurement flow of Section 2:
    black boxes measured separately) through both the ASIC and FPGA flows;
 5. aggregate the per-specialization synthesis metrics into the component's
    compounded index.
+
+The pipeline bodies live on :class:`repro.core.engine.Engine` (one
+long-lived object holding the cache, pool width, supervision policy, and
+journal); the functions here are thin per-call wrappers so existing
+callers -- and the CLI -- keep their signatures while the serve daemon
+reuses a single engine across requests.
 """
 
 from __future__ import annotations
@@ -20,22 +26,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.core.accounting import (
-    AccountingPolicy,
-    aggregate_metrics,
-    select_components,
-)
-from repro.elab.degeneracy import minimal_parameters
-from repro.elab.elaborator import elaborate
+from repro.core.accounting import AccountingPolicy
 from repro.hdl import ast, parse_source
-from repro.hdl.metrics import software_metrics
 from repro.hdl.source import SourceFile
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runtime.diagnostics import Diagnostic, Result, Severity, render_report
-from repro.runtime.stages import STAGE_HINTS, StageBoundary
-from repro.synth.lower import synthesize_module
-from repro.synth.report import SynthesisReport, synthesis_metrics
+from repro.runtime.stages import StageBoundary
+from repro.synth.report import SynthesisReport
 
 if TYPE_CHECKING:
     from repro.cache import SynthesisCache
@@ -125,6 +123,10 @@ def measure_component(
 ) -> ComponentMeasurement:
     """Measure every Table 3 metric for one component.
 
+    Thin wrapper over :meth:`repro.core.engine.Engine.measure_component`;
+    long-lived callers (the serve daemon, batch drivers) should construct
+    one :class:`~repro.core.engine.Engine` and reuse it instead.
+
     Args:
         sources: the component's HDL files.
         top: top module/entity name.
@@ -139,77 +141,11 @@ def measure_component(
         journal: crash-safe run journal (path or
             :class:`~repro.exec.RunJournal`) for ``jobs > 1`` resume.
     """
-    with obs_trace.span("measure.component", component=name or top):
-        if design is None:
-            design = parse_component(sources)
-        with obs_trace.span("measure.software_metrics"):
-            metrics: dict[str, float] = dict(software_metrics(sources, design))
+    from repro.core.engine import Engine
 
-        hierarchy = elaborate(design, top)
-        instances = hierarchy.all_instances()
-        with obs_trace.span("account"):
-            selected = select_components(
-                instances,
-                policy,
-                minimal_parameters=lambda module: minimal_parameters(design, module),
-            )
-
-        reports: dict[SpecKey, SynthesisReport] = {}
-        source_texts = tuple(s.text for s in sources)
-        to_compute, cache_keys, _corrupt = _probe_cache(
-            cache, source_texts, _unique_specs(selected), reports
-        )
-
-        if jobs > 1 and len(to_compute) > 1:
-            from repro.parallel import (
-                quarantined_to_error,
-                synthesize_specializations,
-            )
-
-            outcomes = synthesize_specializations(
-                design,
-                [(m, p) for _, m, p in to_compute],
-                label=name or top,
-                jobs=jobs,
-                safe=False,
-                supervision=supervision,
-                journal=journal,
-                source_texts=source_texts,
-            )
-            for (key, _m, _p), outcome in zip(to_compute, outcomes):
-                outcome = quarantined_to_error(outcome)
-                if outcome.error is not None:
-                    raise outcome.error
-                reports[key] = outcome.value
-        else:
-            for key, module_name, params in to_compute:
-                with obs_trace.span(
-                    "measure.specialization", module=module_name
-                ) as sp:
-                    sub = elaborate(design, module_name, params)
-                    netlist = synthesize_module(sub)
-                    reports[key] = synthesis_metrics(netlist)
-                if sp.wall_s is not None:
-                    obs_metrics.histogram("measure.specialization_wall_s").observe(
-                        sp.wall_s
-                    )
-        if cache is not None:
-            for key, _m, _p in to_compute:
-                cache.store(cache_keys[key], reports[key])
-
-        per_spec = [
-            reports[(m, tuple(sorted(p.items())))].metrics()
-            for m, p in selected
-        ]
-        metrics.update(aggregate_metrics(per_spec))
-        return ComponentMeasurement(
-            name=name or top,
-            top=top,
-            policy=policy,
-            metrics=metrics,
-            specializations=selected,
-            reports=reports,
-        )
+    return Engine(
+        cache=cache, jobs=jobs, supervision=supervision, journal=journal,
+    ).measure_component(sources, top, name=name, policy=policy, design=design)
 
 
 # -- fault-tolerant entry points ------------------------------------------
@@ -369,180 +305,17 @@ def measure_component_safe(
     ``supervision``/``journal`` configure the supervised pool for
     ``jobs > 1`` (deadlines, retry, quarantine, crash-safe resume -- see
     :mod:`repro.exec`).
+
+    Thin wrapper over
+    :meth:`repro.core.engine.Engine.measure_component_safe`.
     """
-    label = name or top
-    with obs_trace.span("measure.component_safe", component=label):
-        return _measure_component_safe(
-            sources, top, label, policy, strict, cache, jobs, lint,
-            supervision=supervision, journal=journal,
-        )
+    from repro.core.engine import Engine
 
-
-def _measure_component_safe(
-    sources: Sequence[SourceFile],
-    top: str,
-    label: str,
-    policy: AccountingPolicy,
-    strict: bool,
-    cache: "SynthesisCache | None" = None,
-    jobs: int = 1,
-    lint: bool = False,
-    supervision: "SupervisionPolicy | bool | None" = None,
-    journal: "RunJournal | str | None" = None,
-) -> Result[ComponentMeasurement]:
-    boundary = StageBoundary(component=label, strict=strict)
-
-    parsed_sources: list[SourceFile] = []
-    design = ast.Design()
-    for source in sources:
-        sub = boundary.run("parse", lambda s=source: parse_source(s))
-        if sub is None:
-            obs_metrics.counter("measure.quarantined_units").inc()
-            continue
-        merged = boundary.run("parse", lambda d=sub: design.merge(d))
-        if merged is not None:
-            design = merged
-            parsed_sources.append(source)
-    if not parsed_sources:
-        boundary.note(
-            "parse",
-            f"{label}: no source file parsed successfully",
-            Severity.FATAL,
-            hint="every input file was quarantined; fix at least the file "
-                 "defining the top module",
-        )
-        return Result(None, tuple(boundary.diagnostics))
-
-    if lint:
-        _lint_audit(design, label, boundary)
-
-    metrics: dict[str, float] = dict(
-        boundary.run(
-            "measure",
-            lambda: dict(software_metrics(parsed_sources, design)),
-            default={},
-        )
-        or {}
+    return Engine(
+        cache=cache, jobs=jobs, supervision=supervision, journal=journal,
+    ).measure_component_safe(
+        sources, top, name=name, policy=policy, strict=strict, lint=lint,
     )
-
-    partial = ComponentMeasurement(
-        name=label, top=top, policy=policy, metrics=dict(metrics),
-        specializations=[], reports={},
-    )
-
-    hierarchy = boundary.run("elaborate", lambda: elaborate(design, top))
-    if hierarchy is None:
-        return Result(partial, tuple(boundary.diagnostics))
-
-    selected = boundary.run(
-        "account",
-        lambda: select_components(
-            hierarchy.all_instances(),
-            policy,
-            minimal_parameters=lambda module: minimal_parameters(design, module),
-        ),
-    )
-    if selected is None:
-        return Result(partial, tuple(boundary.diagnostics))
-
-    reports: dict[SpecKey, SynthesisReport] = {}
-    source_texts = tuple(s.text for s in parsed_sources)
-    to_compute, cache_keys, corrupt = _probe_cache(
-        cache, source_texts, _unique_specs(selected), reports
-    )
-    for detail in corrupt:
-        boundary.note(
-            "cache",
-            f"corrupt cache entry degraded to a recompute ({detail})",
-            Severity.WARNING,
-            hint=STAGE_HINTS["cache"],
-        )
-
-    # Compute each distinct cache-missed specialization once, capturing its
-    # failure diagnostics on a scratch boundary so they can be replayed at
-    # every occurrence below (matching the sequential recompute-per-
-    # occurrence behavior exactly).
-    failed: dict[SpecKey, tuple[Diagnostic, ...]] = {}
-    if jobs > 1 and len(to_compute) > 1:
-        from repro.parallel import synthesize_specializations
-
-        outcomes = synthesize_specializations(
-            design,
-            [(m, p) for _, m, p in to_compute],
-            label=label,
-            jobs=jobs,
-            safe=True,
-            strict=strict,
-            supervision=supervision,
-            journal=journal,
-            source_texts=source_texts,
-        )
-        for (key, _m, _p), outcome in zip(to_compute, outcomes):
-            if outcome.error is not None:
-                boundary.diagnostics.extend(outcome.diagnostics)
-                raise outcome.error  # strict mode: fail fast, as inline does
-            if outcome.value is not None:
-                reports[key] = outcome.value
-                # Surface execution-layer advisories (pool fallback notes)
-                # without disturbing the task's own clean diagnostics.
-                boundary.diagnostics.extend(
-                    d for d in outcome.diagnostics if d.stage == "exec"
-                )
-            else:
-                failed[key] = outcome.diagnostics
-    else:
-        for key, module_name, params in to_compute:
-            def _synth(m=module_name, p=params):
-                sub = elaborate(design, m, p)
-                return synthesis_metrics(synthesize_module(sub))
-
-            scratch = StageBoundary(component=label, strict=strict)
-            report = scratch.run("synthesize", _synth)
-            if report is None:
-                failed[key] = tuple(scratch.diagnostics)
-            else:
-                reports[key] = report
-    if cache is not None:
-        for key, _m, _p in to_compute:
-            if key in reports:
-                cache.store(cache_keys[key], reports[key])
-
-    per_spec: list[dict[str, float]] = []
-    quarantined: list[tuple[str, Mapping[str, int]]] = []
-    measured: list[tuple[str, Mapping[str, int]]] = []
-    for module_name, params in selected:
-        key = (module_name, tuple(sorted(params.items())))
-        if key in reports:
-            per_spec.append(reports[key].metrics())
-            measured.append((module_name, params))
-        else:
-            boundary.diagnostics.extend(failed[key])
-            obs_metrics.counter("measure.quarantined_units").inc()
-            quarantined.append((module_name, params))
-
-    if per_spec:
-        metrics.update(aggregate_metrics(per_spec))
-        if quarantined:
-            skipped = ", ".join(m for m, _ in quarantined)
-            boundary.note(
-                "synthesize",
-                f"{label}: compounded index excludes quarantined "
-                f"specialization(s): {skipped}",
-                Severity.WARNING,
-            )
-    else:
-        boundary.note(
-            "synthesize",
-            f"{label}: no specialization synthesized; only software metrics "
-            "are available",
-            Severity.ERROR,
-        )
-
-    measurement = ComponentMeasurement(
-        name=label, top=top, policy=policy, metrics=metrics,
-        specializations=measured, reports=reports,
-    )
-    return Result(measurement, tuple(boundary.diagnostics))
 
 
 @dataclass
@@ -612,35 +385,12 @@ def measure_components(
     ``supervision`` configures the supervised pool (:mod:`repro.exec`:
     deadlines, retries, quarantine; ``False`` = legacy bare pool) and
     ``journal`` makes the parallel run crash-safe resumable.
-    """
-    if jobs > 1 and len(specs) > 1:
-        from repro.parallel import measure_components_parallel
 
-        return measure_components_parallel(
-            specs, strict=strict, jobs=jobs, cache=cache, lint=lint,
-            supervision=supervision, journal=journal,
-        )
-    results: dict[str, Result[ComponentMeasurement]] = {}
-    for spec in specs:
-        # Whole-measurement memo, mirroring the parallel path's
-        # cache-aware dispatch: a warm component is served straight from
-        # the cache; a pristine fresh measurement is stored for next time.
-        memo_key = None
-        if cache is not None:
-            memo_key = cache.measurement_key(spec, strict, lint)
-            hit = cache.load_measurement(memo_key)
-            if hit is not None:
-                results[spec.name] = hit
-                continue
-        results[spec.name] = measure_component_safe(
-            list(spec.sources),
-            spec.top,
-            name=spec.name,
-            policy=spec.policy,
-            strict=strict,
-            cache=cache,
-            lint=lint,
-        )
-        if memo_key is not None:
-            cache.store_measurement(memo_key, results[spec.name])
-    return BatchMeasurement(results=results)
+    Thin wrapper over
+    :meth:`repro.core.engine.Engine.measure_components`.
+    """
+    from repro.core.engine import Engine
+
+    return Engine(
+        cache=cache, jobs=jobs, supervision=supervision, journal=journal,
+    ).measure_components(specs, strict=strict, lint=lint)

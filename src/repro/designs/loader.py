@@ -6,12 +6,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.accounting import AccountingPolicy
-from repro.core.workflow import ComponentSpec as BatchSpec
-from repro.core.workflow import (
-    ComponentMeasurement,
-    measure_component,
-    measure_components,
-)
+from repro.core.workflow import ComponentMeasurement
 from repro.data.dataset import EffortDataset, EffortRecord
 from repro.designs.catalog import CATALOG, ComponentSpec, component_specs
 from repro.hdl.source import SourceFile
@@ -40,38 +35,14 @@ def measure_catalog(
     synthesis products so reruns over the unchanged catalog skip that
     stage.  The bundled RTL is trusted, so a failure raises (strict mode)
     either way rather than quarantining.
+
+    Thin wrapper over :meth:`repro.core.engine.Engine.measure_catalog`.
     """
-    selected = [
-        spec
-        for spec in component_specs()
-        if designs is None or spec.design in designs
-    ]
-    if jobs > 1 and len(selected) > 1:
-        batch = measure_components(
-            [
-                BatchSpec(
-                    name=spec.label,
-                    sources=tuple(load_sources(spec)),
-                    top=spec.top,
-                    policy=policy,
-                )
-                for spec in selected
-            ],
-            strict=True,
-            jobs=jobs,
-            cache=cache,
-        )
-        return {
-            spec.label: batch.results[spec.label].unwrap() for spec in selected
-        }
-    out: dict[str, ComponentMeasurement] = {}
-    for spec in selected:
-        measurement = measure_component(
-            load_sources(spec), spec.top, name=spec.label, policy=policy,
-            cache=cache,
-        )
-        out[spec.label] = measurement
-    return out
+    from repro.core.engine import Engine
+
+    return Engine(cache=cache, jobs=jobs).measure_catalog(
+        policy=policy, designs=designs,
+    )
 
 
 def measured_dataset(

@@ -24,6 +24,9 @@ from repro.exec.supervisor import (
     QUARANTINE_HINT,
     RunInterrupted,
     Supervisor,
+    clear_interrupt,
+    interrupt_requested,
+    request_interrupt,
 )
 from repro.exec.task import (
     TaskOutcome,
@@ -56,7 +59,10 @@ __all__ = [
     "WorkerHandle",
     "WorkerTelemetry",
     "apply_memory_limit",
+    "clear_interrupt",
     "content_key",
+    "interrupt_requested",
+    "request_interrupt",
     "require_worker_context",
     "run_traced_task",
     "using_context",

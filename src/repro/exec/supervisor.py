@@ -81,6 +81,38 @@ from repro.exec.workers import WorkerHandle, using_context
 AUTO_CHUNK_CAP = 16
 
 
+# -- cross-thread interrupts --------------------------------------------------
+#
+# Signal handlers only run on the main thread, but the serve daemon runs
+# supervised batches on a dispatcher thread while asyncio owns the main
+# thread's signal handling.  ``request_interrupt`` is the thread-safe
+# equivalent of delivering SIGTERM to a supervised run: the monitor loop
+# checks the event alongside its own signal flag and raises
+# :class:`RunInterrupted`, draining the pool and flushing the journal the
+# same way.  The flag is process-global (one serve daemon per process);
+# ``clear_interrupt`` resets it before a new run.
+
+_EXTERNAL_INTERRUPT = threading.Event()
+_EXTERNAL_SIGNUM: int = int(signal.SIGTERM)
+
+
+def request_interrupt(signum: int = signal.SIGTERM) -> None:
+    """Ask every running (and future) supervised batch to stop draining."""
+    global _EXTERNAL_SIGNUM
+    _EXTERNAL_SIGNUM = int(signum)
+    _EXTERNAL_INTERRUPT.set()
+
+
+def clear_interrupt() -> None:
+    """Re-arm supervised execution after :func:`request_interrupt`."""
+    _EXTERNAL_INTERRUPT.clear()
+
+
+def interrupt_requested() -> bool:
+    """Whether a cross-thread interrupt is pending."""
+    return _EXTERNAL_INTERRUPT.is_set()
+
+
 class RunInterrupted(RuntimeError):
     """A supervised run was stopped by SIGINT/SIGTERM.
 
@@ -498,6 +530,8 @@ class Supervisor:
             while completed < total:
                 if self._signal is not None:
                     raise RunInterrupted(self._signal, completed, total)
+                if _EXTERNAL_INTERRUPT.is_set():
+                    raise RunInterrupted(_EXTERNAL_SIGNUM, completed, total)
                 paint_progress()
 
                 if not workers:

@@ -10,10 +10,18 @@ registry rides along in every ``--trace`` file and ``RunReport``.
 Instruments are created on first use (``counter(name).inc()``), so callers
 never need registration boilerplate, and a snapshot only contains
 instruments the run actually touched.
+
+Thread-safety: instrument creation and whole-registry operations
+(``snapshot``/``dump``/``merge``/``reset``) take a registry lock, so a
+reader thread (the serve daemon's ``/metrics`` endpoint) can snapshot
+while a single writer thread works.  Individual ``inc``/``set``/
+``observe`` calls stay lock-free -- the pipeline has one writer thread at
+a time, and hot-path increments must stay cheap.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -98,20 +106,24 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
-            self._counters[name] = Counter(name)
+            with self._lock:
+                self._counters.setdefault(name, Counter(name))
         return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
         if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
+            with self._lock:
+                self._gauges.setdefault(name, Gauge(name))
         return self._gauges[name]
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
+            with self._lock:
+                self._histograms.setdefault(name, Histogram(name))
         return self._histograms[name]
 
     def inc(self, name: str, amount: float = 1.0) -> None:
@@ -122,15 +134,19 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """All touched instruments, sorted by name (deterministic)."""
-        return {
-            "counters": {
-                n: c.value for n, c in sorted(self._counters.items())
-            },
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.snapshot() for n, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.value for n, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    n: g.value for n, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    n: h.snapshot()
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
 
     def dump(self) -> dict[str, Any]:
         """A lossless, mergeable export of this registry.
@@ -140,13 +156,19 @@ class MetricsRegistry:
         worker's registry can be folded into the parent's with
         :meth:`merge` and no information is lost.
         """
-        return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histogram_values": {
-                n: list(h.values) for n, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {
+                    n: c.value for n, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    n: g.value for n, g in sorted(self._gauges.items())
+                },
+                "histogram_values": {
+                    n: list(h.values)
+                    for n, h in sorted(self._histograms.items())
+                },
+            }
 
     def merge(self, dump: dict[str, Any]) -> None:
         """Fold a worker registry :meth:`dump` into this registry.
@@ -157,19 +179,21 @@ class MetricsRegistry:
         :mod:`repro.parallel`: process-local instruments bumped in a pool
         worker are never silently dropped.
         """
-        for name, value in dump.get("counters", {}).items():
-            self.counter(name).inc(float(value))
-        for name, value in dump.get("gauges", {}).items():
-            self.gauge(name).set(float(value))
-        for name, values in dump.get("histogram_values", {}).items():
-            hist = self.histogram(name)
-            for value in values:
-                hist.observe(float(value))
+        with self._lock:
+            for name, value in dump.get("counters", {}).items():
+                self.counter(name).inc(float(value))
+            for name, value in dump.get("gauges", {}).items():
+                self.gauge(name).set(float(value))
+            for name, values in dump.get("histogram_values", {}).items():
+                hist = self.histogram(name)
+                for value in values:
+                    hist.observe(float(value))
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 #: The default registry the pipeline instruments write to.

@@ -140,6 +140,38 @@ def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
     return worst
 
 
+#: Process exit codes of the 0/1/2 contract (documented in README.md).
+#: The CLI returns them from ``main``; the serve daemon maps them onto
+#: HTTP statuses (0 -> 200, 1 -> 422, 2 -> 500).
+EXIT_OK = 0
+EXIT_DEGRADED = 1
+EXIT_FATAL = 2
+EXIT_INTERRUPTED = 130  # 128 + SIGINT, the conventional interrupt code
+
+
+def exit_code(
+    diagnostics: Iterable[Diagnostic],
+    *,
+    fatal: bool = False,
+    strict: bool = False,
+) -> int:
+    """Map a diagnostics list onto the 0/1/2 exit-code contract.
+
+    ``fatal`` forces :data:`EXIT_FATAL` (no usable result regardless of
+    what was diagnosed); ``strict`` promotes any degradation to fatal.
+    This single mapping backs both the CLI exit codes and the serve
+    daemon's response statuses, so the two can never drift apart.
+    """
+    if fatal:
+        return EXIT_FATAL
+    worst = max_severity(diagnostics)
+    if worst is None or worst < Severity.ERROR:
+        return EXIT_OK
+    if worst >= Severity.FATAL:
+        return EXIT_FATAL
+    return EXIT_FATAL if strict else EXIT_DEGRADED
+
+
 def render_report(diagnostics: Sequence[Diagnostic]) -> str:
     """Human-readable multi-line rendering of a diagnostics list."""
     if not diagnostics:

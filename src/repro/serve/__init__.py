@@ -1,0 +1,31 @@
+"""``ucomplexity serve``: the long-running measurement service.
+
+A stdlib-only HTTP/JSON daemon over the same :class:`~repro.core.engine.
+Engine` the CLI uses: ``POST /measure``, ``POST /lint``,
+``POST /estimate``, plus ``GET /healthz`` and ``GET /metrics``.  The wire
+contract lives in :mod:`repro.serve.protocol`, the dispatcher thread and
+batching in :mod:`repro.serve.session`, and the asyncio front end in
+:mod:`repro.serve.server`.  See DESIGN.md section 14.
+"""
+
+from repro.serve.protocol import (
+    STATUS_BY_EXIT,
+    ProtocolError,
+    diagnostic_to_wire,
+    encode,
+    measurement_to_wire,
+)
+from repro.serve.server import MeasureServer, ServeConfig, serve_forever
+from repro.serve.session import ServeSession
+
+__all__ = [
+    "MeasureServer",
+    "ProtocolError",
+    "STATUS_BY_EXIT",
+    "ServeConfig",
+    "ServeSession",
+    "diagnostic_to_wire",
+    "encode",
+    "measurement_to_wire",
+    "serve_forever",
+]

@@ -1,0 +1,347 @@
+"""The serve daemon's wire protocol: JSON requests, canonical responses.
+
+Everything the server says on the wire is defined here, so the e2e suite
+can build the *expected* bytes for a request by running the same pipeline
+entry point in-process and encoding the result with the same functions --
+"concurrent server responses are byte-identical to single-shot CLI
+output" is checked literally, as a byte comparison.
+
+Two wire-format rules make that possible:
+
+* **Canonical JSON.**  :func:`encode` renders every response body with
+  sorted keys and fixed separators; two equal payloads always produce
+  equal bytes.
+* **No run-dependent fields.**  ``Diagnostic.span_id`` pairs a diagnostic
+  with a trace span of *this* run; it is deliberately excluded from
+  :func:`diagnostic_to_wire` (the trace id in the response envelope is
+  the cross-reference instead).
+
+Status mapping: the CLI's 0/1/2 exit contract
+(:func:`repro.runtime.diagnostics.exit_code`) maps onto HTTP as
+0 -> 200 (clean), 1 -> 422 (degraded: the measurement ran but inputs
+were quarantined), 2 -> 500 (fatal: no usable result).  Malformed
+requests are 400, unknown paths 404, wrong methods 405, and requests
+arriving (or aborted) during shutdown 503.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.accounting import AccountingPolicy
+from repro.core.workflow import ComponentMeasurement, ComponentSpec
+from repro.hdl.source import SourceFile
+from repro.runtime.diagnostics import (
+    EXIT_DEGRADED,
+    EXIT_FATAL,
+    EXIT_OK,
+    Diagnostic,
+    Result,
+    exit_code,
+)
+
+#: exit code -> HTTP status for the three measurement outcomes.
+STATUS_BY_EXIT = {EXIT_OK: 200, EXIT_DEGRADED: 422, EXIT_FATAL: 500}
+
+#: Non-measurement statuses.
+STATUS_BAD_REQUEST = 400
+STATUS_NOT_FOUND = 404
+STATUS_METHOD_NOT_ALLOWED = 405
+STATUS_UNAVAILABLE = 503
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def reason(status: int) -> str:
+    return _REASONS.get(status, "Unknown")
+
+
+class ProtocolError(ValueError):
+    """A malformed request; rendered as a 400 with this message."""
+
+
+def encode(payload: Mapping[str, Any]) -> bytes:
+    """Canonical response encoding: sorted keys, compact, newline-terminated."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+# -- wire renderings ----------------------------------------------------------
+
+
+def diagnostic_to_wire(diag: Diagnostic) -> dict[str, Any]:
+    """One diagnostic as JSON; ``span_id`` (run-dependent) is excluded.
+
+    ``rendered`` is the exact text the CLI prints for this diagnostic
+    (:meth:`Diagnostic.render`), hint line included, so server clients and
+    CLI users read identical messages.
+    """
+    return {
+        "severity": diag.severity.label,
+        "stage": diag.stage,
+        "message": diag.message,
+        "component": diag.component,
+        "hint": diag.hint,
+        "span": None if diag.span is None else {
+            "file": diag.span.file,
+            "line": diag.span.line,
+            "end_line": diag.span.end_line,
+        },
+        "rendered": diag.render(),
+    }
+
+
+def measurement_to_wire(m: ComponentMeasurement) -> dict[str, Any]:
+    """A component measurement as JSON (metrics + measured specializations)."""
+    return {
+        "name": m.name,
+        "top": m.top,
+        "policy": {
+            "count_each_component_once": m.policy.count_each_component_once,
+            "minimize_parameters": m.policy.minimize_parameters,
+        },
+        "metrics": {k: float(v) for k, v in sorted(m.metrics.items())},
+        "specializations": [
+            [module, {k: int(v) for k, v in sorted(params.items())}]
+            for module, params in m.specializations
+        ],
+    }
+
+
+# -- request parsing ----------------------------------------------------------
+
+
+def _require_dict(body: Any) -> dict:
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return body
+
+
+def _parse_files(body: dict) -> list[SourceFile]:
+    files = body.get("files")
+    if not isinstance(files, list) or not files:
+        raise ProtocolError('"files" must be a non-empty list')
+    sources: list[SourceFile] = []
+    for i, entry in enumerate(files):
+        if not isinstance(entry, dict):
+            raise ProtocolError(f'"files[{i}]" must be an object')
+        fname = entry.get("name")
+        text = entry.get("text")
+        if not isinstance(fname, str) or not fname:
+            raise ProtocolError(f'"files[{i}].name" must be a non-empty string')
+        if not isinstance(text, str):
+            raise ProtocolError(f'"files[{i}].text" must be a string')
+        sources.append(SourceFile(fname, text))
+    return sources
+
+
+def _parse_flag(body: dict, key: str, default: bool = False) -> bool:
+    value = body.get(key, default)
+    if not isinstance(value, bool):
+        raise ProtocolError(f'"{key}" must be a boolean')
+    return value
+
+
+@dataclass(frozen=True)
+class MeasureRequest:
+    """A validated ``POST /measure`` body."""
+
+    spec: ComponentSpec
+    strict: bool
+    lint: bool
+
+
+def parse_measure_request(body: Any) -> MeasureRequest:
+    body = _require_dict(body)
+    sources = _parse_files(body)
+    top = body.get("top")
+    if not isinstance(top, str) or not top:
+        raise ProtocolError('"top" must be a non-empty string')
+    name = body.get("name", top)
+    if not isinstance(name, str) or not name:
+        raise ProtocolError('"name" must be a non-empty string')
+    accounting = _parse_flag(body, "accounting", True)
+    policy = (
+        AccountingPolicy.recommended() if accounting
+        else AccountingPolicy.disabled()
+    )
+    return MeasureRequest(
+        spec=ComponentSpec(
+            name=name, sources=tuple(sources), top=top, policy=policy,
+        ),
+        strict=_parse_flag(body, "strict"),
+        lint=_parse_flag(body, "lint"),
+    )
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """A validated ``POST /lint`` body."""
+
+    sources: tuple[SourceFile, ...]
+    only: tuple[str, ...] | None
+    disable: tuple[str, ...]
+    strict: bool
+
+
+def _parse_codes(body: dict, key: str) -> tuple[str, ...] | None:
+    value = body.get(key)
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = [c for c in value.split(",") if c]
+    if not isinstance(value, list) or not all(
+        isinstance(c, str) for c in value
+    ):
+        raise ProtocolError(f'"{key}" must be a list of rule codes')
+    return tuple(value)
+
+
+def parse_lint_request(body: Any) -> LintRequest:
+    body = _require_dict(body)
+    return LintRequest(
+        sources=tuple(_parse_files(body)),
+        only=_parse_codes(body, "rules"),
+        disable=_parse_codes(body, "disable") or (),
+        strict=_parse_flag(body, "strict"),
+    )
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """A validated ``POST /estimate`` body."""
+
+    metrics: dict[str, float]
+    team: str | None
+    dataset_csv: str | None
+    keep_going: bool
+    strict: bool
+
+
+def parse_estimate_request(body: Any) -> EstimateRequest:
+    body = _require_dict(body)
+    raw = body.get("metrics")
+    if not isinstance(raw, dict) or not raw:
+        raise ProtocolError('"metrics" must be a non-empty object')
+    metrics: dict[str, float] = {}
+    for key, value in raw.items():
+        if not isinstance(key, str):
+            raise ProtocolError('"metrics" keys must be strings')
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(f'"metrics.{key}" must be a number')
+        metrics[key] = float(value)
+    team = body.get("team")
+    if team is not None and not isinstance(team, str):
+        raise ProtocolError('"team" must be a string')
+    dataset_csv = body.get("dataset_csv")
+    if dataset_csv is not None and not isinstance(dataset_csv, str):
+        raise ProtocolError('"dataset_csv" must be a string')
+    return EstimateRequest(
+        metrics=metrics,
+        team=team,
+        dataset_csv=dataset_csv,
+        keep_going=_parse_flag(body, "keep_going"),
+        strict=_parse_flag(body, "strict"),
+    )
+
+
+# -- response builders --------------------------------------------------------
+
+
+def measure_response(
+    request_id: str,
+    result: Result[ComponentMeasurement],
+    *,
+    strict: bool = False,
+) -> tuple[int, dict[str, Any]]:
+    """(status, payload) for one measured component.
+
+    The payload is a pure function of the :class:`Result` (plus the
+    request id), which is what the byte-identity e2e tests rely on: the
+    same Result always encodes to the same bytes.
+    """
+    code = exit_code(
+        result.diagnostics, fatal=result.value is None, strict=strict,
+    )
+    verdict = (
+        "failed" if result.failed
+        else "degraded" if result.degraded else "ok"
+    )
+    payload = {
+        "request_id": request_id,
+        "exit_code": code,
+        "verdict": verdict,
+        "component": (
+            None if result.value is None
+            else measurement_to_wire(result.value)
+        ),
+        "diagnostics": [diagnostic_to_wire(d) for d in result.diagnostics],
+    }
+    return STATUS_BY_EXIT[code], payload
+
+
+def lint_response(
+    request_id: str, report: Any, *, strict: bool = False,
+) -> tuple[int, dict[str, Any]]:
+    """(status, payload) for one lint run (``report``: LintReport)."""
+    code = report.exit_code
+    if strict and code == EXIT_DEGRADED:
+        code = EXIT_FATAL
+    payload = {
+        "request_id": request_id,
+        "exit_code": code,
+        "summary": report.summary(),
+        "modules": report.modules,
+        "files": report.files,
+        "findings": [
+            diagnostic_to_wire(f.to_diagnostic()) for f in report.findings
+        ],
+        "errors": [diagnostic_to_wire(d) for d in report.errors],
+    }
+    return STATUS_BY_EXIT[code], payload
+
+
+def estimate_response(
+    request_id: str,
+    *,
+    median: float,
+    interval: tuple[float, float],
+    team: str | None,
+    fitter: str,
+    degraded: bool,
+    diagnostics: Sequence[Diagnostic],
+    strict: bool = False,
+) -> tuple[int, dict[str, Any]]:
+    """(status, payload) for one effort estimate."""
+    code = exit_code(diagnostics, strict=strict)
+    payload = {
+        "request_id": request_id,
+        "exit_code": code,
+        "median": float(median),
+        "interval": [float(interval[0]), float(interval[1])],
+        "team": team,
+        "fitter": fitter,
+        "degraded": degraded,
+        "diagnostics": [diagnostic_to_wire(d) for d in diagnostics],
+    }
+    return STATUS_BY_EXIT[code], payload
+
+
+def error_response(
+    status: int, message: str, request_id: str | None = None,
+) -> tuple[int, dict[str, Any]]:
+    payload: dict[str, Any] = {"error": message}
+    if request_id is not None:
+        payload["request_id"] = request_id
+    return status, payload

@@ -1,0 +1,320 @@
+"""``ucomplexity serve``: a stdlib-only asyncio HTTP/JSON front end.
+
+The server is deliberately small: HTTP/1.1 with Content-Length framing
+and keep-alive, hand-parsed over :func:`asyncio.start_server` -- no
+third-party web stack, matching the repo's no-dependency rule.  All
+pipeline work happens off-loop in the :class:`~repro.serve.session.
+ServeSession` dispatcher thread; the event loop only frames requests and
+awaits futures, so ``GET /healthz`` answers instantly even while a batch
+of measurements is running.
+
+Routes:
+
+* ``POST /measure``  -- measure one component (inline sources + top).
+* ``POST /lint``     -- audit sources against the accounting rules.
+* ``POST /estimate`` -- effort estimate from fitted metrics.
+* ``GET /healthz``   -- liveness + engine configuration.
+* ``GET /metrics``   -- snapshot of the process metrics registry.
+
+Shutdown mirrors the supervisor's drain contract: on SIGINT/SIGTERM the
+listener closes and in-flight requests are answered before the process
+exits; only when the grace period lapses is the pool interrupted
+(:func:`repro.exec.request_interrupt`) and the remainder failed with 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs import metrics as obs_metrics
+from repro.runtime.diagnostics import EXIT_INTERRUPTED, EXIT_OK
+from repro.serve import protocol
+from repro.serve.session import ServeSession
+
+_POST_ROUTES = frozenset({"/measure", "/lint", "/estimate"})
+_GET_ROUTES = frozenset({"/healthz", "/metrics"})
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Listener + shutdown settings for one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    grace_s: float = 30.0
+    max_body_bytes: int = 32 * 1024 * 1024
+
+
+class MeasureServer:
+    """One listening socket bound to one :class:`ServeSession`."""
+
+    def __init__(self, session: ServeSession, config: ServeConfig) -> None:
+        self.session = session
+        self.config = config
+        self.port: int | None = None  # resolved once listening (port 0 ok)
+        self._draining = False
+        self._forced = False
+        self._inflight = 0
+        self._served = 0
+        self._idle: asyncio.Event | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def run(
+        self,
+        *,
+        install_signals: bool = False,
+        ready: "Callable[[MeasureServer], None] | None" = None,
+    ) -> int:
+        """Serve until shutdown is requested; returns a process exit code.
+
+        ``install_signals`` registers SIGINT/SIGTERM drain handlers on the
+        loop (the CLI does; in-process tests call
+        :meth:`request_shutdown` instead).  ``ready`` fires once the
+        socket is bound, with the resolved port available -- the test
+        harness and the CLI use it to announce the listen address.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutdown = asyncio.Event()
+        self.session.start()
+        server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if install_signals:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                self._loop.add_signal_handler(
+                    signum, self.request_shutdown
+                )
+        if ready is not None:
+            ready(self)
+        try:
+            await self._shutdown.wait()
+            # Drain: stop accepting, let in-flight requests finish.
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            try:
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=self.config.grace_s
+                )
+            except asyncio.TimeoutError:
+                self._forced = True
+        finally:
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(
+                    *self._conn_tasks, return_exceptions=True
+                )
+            if install_signals:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    self._loop.remove_signal_handler(signum)
+            clean = self.session.stop(self.config.grace_s)
+            if not clean:
+                self._forced = True
+        return EXIT_INTERRUPTED if self._forced else EXIT_OK
+
+    def request_shutdown(self) -> None:
+        """Begin the drain; safe to call from any thread or a signal handler."""
+        if self._loop is None or self._shutdown is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                method, path, body, close_requested = request
+                status, payload = await self._route(method, path, body)
+                rid = payload.get("request_id") if isinstance(
+                    payload, dict
+                ) else None
+                keep_alive = not self._draining and not close_requested
+                self._write_response(
+                    writer, status, protocol.encode(payload),
+                    request_id=rid, keep_alive=keep_alive,
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.CancelledError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> tuple[str, str, bytes, bool] | None:
+        """One framed request, or None when the client is done / hopeless."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None
+        except asyncio.LimitOverrunError:
+            self._write_response(
+                writer, 431,
+                protocol.encode({"error": "headers too large"}),
+                keep_alive=False,
+            )
+            await writer.drain()
+            return None
+        if len(head) > _MAX_HEADER_BYTES:
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            self._write_response(
+                writer, 400,
+                protocol.encode({"error": "malformed request line"}),
+                keep_alive=False,
+            )
+            await writer.drain()
+            return None
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.config.max_body_bytes:
+            self._write_response(
+                writer, 413,
+                protocol.encode({"error": "request body too large"}),
+                keep_alive=False,
+            )
+            await writer.drain()
+            return None
+        body = await reader.readexactly(length) if length else b""
+        close_requested = headers.get("connection", "").lower() == "close"
+        return method, path.split("?", 1)[0], body, close_requested
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path in _GET_ROUTES:
+            if method != "GET":
+                return protocol.error_response(
+                    protocol.STATUS_METHOD_NOT_ALLOWED,
+                    f"{path} only supports GET",
+                )
+            return 200, (
+                self._healthz() if path == "/healthz" else self._metrics()
+            )
+        if path not in _POST_ROUTES:
+            return protocol.error_response(
+                protocol.STATUS_NOT_FOUND, f"no such endpoint: {path}"
+            )
+        if method != "POST":
+            return protocol.error_response(
+                protocol.STATUS_METHOD_NOT_ALLOWED,
+                f"{path} only supports POST",
+            )
+        if self._draining:
+            return protocol.error_response(
+                protocol.STATUS_UNAVAILABLE, "server shutting down"
+            )
+        try:
+            parsed = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return protocol.error_response(
+                protocol.STATUS_BAD_REQUEST, f"invalid JSON body: {exc}"
+            )
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            _rid, future = self.session.submit(path.lstrip("/"), parsed)
+            return await asyncio.wrap_future(future)
+        finally:
+            self._inflight -= 1
+            self._served += 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    def _healthz(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "engine": self.session.engine.stats(),
+            "inflight": self._inflight,
+            "served": self._served,
+        }
+
+    def _metrics(self) -> dict[str, Any]:
+        return {
+            "metrics": obs_metrics.snapshot(),
+            "server": {
+                "inflight": self._inflight,
+                "served": self._served,
+                "queued": self.session.pending(),
+                "draining": self._draining,
+            },
+        }
+
+    # -- response writing ------------------------------------------------------
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        *,
+        request_id: str | None = None,
+        keep_alive: bool = True,
+    ) -> None:
+        head = [
+            f"HTTP/1.1 {status} {protocol.reason(status)}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if request_id:
+            head.append(f"X-Request-Id: {request_id}")
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        )
+
+
+def serve_forever(
+    session: ServeSession,
+    config: ServeConfig,
+    *,
+    ready: "Callable[[MeasureServer], None] | None" = None,
+) -> int:
+    """Blocking entry point used by the CLI: run one server to completion."""
+    server = MeasureServer(session, config)
+    return asyncio.run(server.run(install_signals=True, ready=ready))

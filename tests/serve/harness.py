@@ -1,0 +1,82 @@
+"""Serve-grade test harness: an in-process daemon plus a tiny HTTP client.
+
+:class:`ServerHarness` runs a real :class:`~repro.serve.server.
+MeasureServer` (own asyncio loop on a background thread, real TCP socket
+on a kernel-assigned port) against any Engine the test supplies, so e2e
+tests exercise the exact production code path -- framing, dispatcher
+batching, drain -- without a subprocess.  Tests that need OS signal
+delivery (SIGTERM drain) spawn the CLI instead; see
+``test_serve_e2e.py``.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+from repro.core.engine import Engine
+from repro.serve import MeasureServer, ServeConfig, ServeSession
+
+
+class ServerHarness:
+    """One in-process serve daemon; use as a context manager."""
+
+    def __init__(self, engine: Engine | None = None, grace_s: float = 30.0):
+        self.session = ServeSession(engine or Engine())
+        self.server = MeasureServer(
+            self.session, ServeConfig(port=0, grace_s=grace_s)
+        )
+        self.exit_code: int | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self.exit_code = asyncio.run(
+            self.server.run(ready=lambda _s: self._ready.set())
+        )
+
+    def __enter__(self) -> "ServerHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("serve harness did not come up")
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 60.0) -> int:
+        """Drain and stop the daemon; returns its would-be exit code."""
+        if self._thread.is_alive():
+            self.server.request_shutdown()
+            self._thread.join(timeout)
+            assert not self._thread.is_alive(), "serve harness did not drain"
+        return self.exit_code
+
+    # -- client ----------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One HTTP round trip; returns (status, raw body bytes, headers)."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=120)
+        try:
+            payload = None if body is None else json.dumps(body).encode()
+            conn.request(method, path, body=payload)
+            response = conn.getresponse()
+            raw = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, raw, headers
+        finally:
+            conn.close()
+
+    def post_json(self, path: str, body: dict) -> tuple[int, dict]:
+        status, raw, _headers = self.request("POST", path, body)
+        return status, json.loads(raw)
+
+    def get_json(self, path: str) -> tuple[int, dict]:
+        status, raw, _headers = self.request("GET", path)
+        return status, json.loads(raw)

@@ -1,0 +1,170 @@
+"""Serve chaos suite (``pytest -m chaos``): faults degrade one request.
+
+The blast-radius contract: a worker that hangs, dies, or OOMs while
+measuring one request's sources quarantines *that* request -- a 5xx with
+the supervisor's structured exec diagnostics -- while concurrent requests
+answer normally and the daemon keeps serving afterwards.  Plus the
+cross-thread interrupt primitive the drain path relies on:
+:func:`repro.exec.request_interrupt` aborts a pool run owned by another
+thread.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.exec import (
+    QUARANTINE_HINT,
+    RunInterrupted,
+    SupervisionPolicy,
+    Supervisor,
+    TaskOutcome,
+    clear_interrupt,
+    request_interrupt,
+)
+from repro.hdl.source import SourceFile
+from tests.serve.harness import ServerHarness
+
+pytestmark = pytest.mark.chaos
+
+_FAST = dict(backoff_base_s=0.01, backoff_cap_s=0.05, poll_interval_s=0.05)
+
+_ADDER = SourceFile(
+    "adder.v",
+    """
+    module top_adder #(parameter W = 8)(input [W-1:0] a, b,
+                                        output [W-1:0] s);
+      assign s = a + b;
+    endmodule
+    """,
+)
+
+
+def _measure_body(name: str) -> dict:
+    return {
+        "files": [{"name": _ADDER.name, "text": _ADDER.text}],
+        "top": "top_adder",
+        "name": name,
+    }
+
+
+def _chaos_engine(chaos: dict, **knobs) -> Engine:
+    return Engine(
+        jobs=2,
+        supervision=SupervisionPolicy(chaos=chaos, **{**_FAST, **knobs}),
+    )
+
+
+class TestFaultBlastRadius:
+    def test_killed_worker_degrades_only_its_request(self):
+        engine = _chaos_engine({"victim": ("kill",)})
+        with ServerHarness(engine) as server:
+            results: dict[str, tuple] = {}
+
+            def _post(name):
+                results[name] = server.post_json("/measure", _measure_body(name))
+
+            threads = [
+                threading.Thread(target=_post, args=(name,))
+                for name in ("victim", "healthy")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+                assert not t.is_alive()
+
+            status, payload = results["victim"]
+            assert status == 500
+            assert payload["verdict"] == "failed"
+            stages = {d["stage"] for d in payload["diagnostics"]}
+            assert "exec" in stages  # the supervisor's quarantine verdict
+            assert any(
+                QUARANTINE_HINT in (d["hint"] or "")
+                for d in payload["diagnostics"]
+            )
+
+            status, payload = results["healthy"]
+            assert status == 200
+            assert payload["verdict"] == "ok"
+
+            # The daemon keeps serving after absorbing the fault.
+            status, payload = server.post_json(
+                "/measure", _measure_body("followup")
+            )
+            assert status == 200
+            assert payload["verdict"] == "ok"
+
+    def test_hung_worker_hits_deadline_and_healthz_stays_responsive(self):
+        engine = _chaos_engine({"sleeper": ("hang",)}, deadline_s=0.5)
+        with ServerHarness(engine) as server:
+            outcome: dict[str, tuple] = {}
+
+            def _post():
+                outcome["sleeper"] = server.post_json(
+                    "/measure", _measure_body("sleeper")
+                )
+
+            client = threading.Thread(target=_post)
+            client.start()
+            # While the worker hangs (until the deadline kill), the event
+            # loop must still answer health checks immediately.
+            t0 = time.perf_counter()
+            status, health = server.get_json("/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert time.perf_counter() - t0 < 1.0
+            client.join(timeout=120)
+            assert not client.is_alive()
+
+            status, payload = outcome["sleeper"]
+            assert status == 500
+            assert payload["verdict"] == "failed"
+            assert any(
+                d["stage"] == "exec" for d in payload["diagnostics"]
+            )
+
+
+class TestExternalInterrupt:
+    def test_request_interrupt_aborts_run_in_other_thread(self):
+        policy = SupervisionPolicy(
+            chaos={"t0": ("hang",)}, deadline_s=None, **_FAST
+        )
+        clear_interrupt()
+        caught: dict[str, BaseException] = {}
+
+        def _run():
+            try:
+                Supervisor(jobs=1, policy=policy).run(
+                    _square_task, [0], labels=["t0"]
+                )
+            except BaseException as exc:  # noqa: BLE001 -- assert below
+                caught["exc"] = exc
+
+        worker = threading.Thread(target=_run)
+        worker.start()
+        try:
+            time.sleep(0.3)  # let the hung task get dispatched
+            request_interrupt()
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+            assert isinstance(caught.get("exc"), RunInterrupted)
+        finally:
+            clear_interrupt()
+            if worker.is_alive():
+                worker.join(timeout=30)
+
+    def test_clear_interrupt_unlatches(self):
+        clear_interrupt()
+        request_interrupt()
+        clear_interrupt()
+        outcomes = Supervisor(
+            jobs=1, policy=SupervisionPolicy(**_FAST)
+        ).run(_square_task, [3])
+        assert outcomes[0].value == 9
+
+
+def _square_task(x):
+    return TaskOutcome(value=x * x)
