@@ -1,0 +1,91 @@
+"""Scoring the dataflow metric families against DEE1 (extension).
+
+The paper selects DEE1 (``Stmts`` + ``FanInLC``) from the Table 3 metrics.
+The :mod:`repro.flow` subsystem adds graph/spectral families computed over
+the signal-level dataflow graph; this module asks whether any of them carry
+predictive signal beyond DEE1 by scoring each family -- and DEE1 augmented
+with the strongest structural pair -- with the same leave-one-out
+``sigma_loo`` used by :mod:`repro.analysis.crossval`.
+
+The families are fitted on *measured* metrics of the bundled designs (the
+paper's dataset predates the dataflow metrics), so the numbers are
+comparable across families but not with the paper's in-sample Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.crossval import leave_one_out
+from repro.data.dataset import EffortDataset
+
+#: Metric families scored against each other, in report order.  DEE1 is the
+#: baseline; the last entry tests whether the spectral pair adds signal on
+#: top of it.
+FLOW_FAMILIES: dict[str, tuple[str, ...]] = {
+    "DEE1": ("Stmts", "FanInLC"),
+    "LogicDepth": ("LogicDepthMax", "LogicDepthMean"),
+    "Entropy": ("FanInEntropy", "FanOutEntropy"),
+    "Spectral": ("SpectralRadius", "AlgebraicConn"),
+    "DEE1+Spectral": ("Stmts", "FanInLC", "SpectralRadius", "AlgebraicConn"),
+}
+
+
+@dataclass(frozen=True)
+class FamilyScore:
+    """Leave-one-out accuracy of one metric family."""
+
+    family: str
+    metric_names: tuple[str, ...]
+    #: RMS of the log prediction errors; ``None`` when the family could not
+    #: be scored (see ``note``).
+    sigma_loo: float | None
+    note: str = ""
+
+    @property
+    def scored(self) -> bool:
+        return self.sigma_loo is not None
+
+
+def score_flow_families(dataset: EffortDataset) -> list[FamilyScore]:
+    """LOO-score every family in :data:`FLOW_FAMILIES` on one dataset.
+
+    Families whose metrics are absent from the dataset, or whose weighted
+    metric sums are non-positive for some component (the log-linear model
+    needs positive sums), are skipped with an explanatory note instead of
+    raising -- the report should still render the scorable rows.
+    """
+    scores: list[FamilyScore] = []
+    available = set(dataset.metric_names)
+    for family, names in FLOW_FAMILIES.items():
+        missing = [n for n in names if n not in available]
+        if missing:
+            scores.append(
+                FamilyScore(
+                    family, names, None,
+                    note=f"missing metrics: {', '.join(missing)}",
+                )
+            )
+            continue
+        degenerate = [
+            rec.label for rec in dataset
+            if sum(float(rec.metrics[n]) for n in names) <= 0.0
+        ]
+        if degenerate:
+            scores.append(
+                FamilyScore(
+                    family, names, None,
+                    note=(
+                        "non-positive metric sum for "
+                        f"{', '.join(degenerate)} (log model needs > 0)"
+                    ),
+                )
+            )
+            continue
+        try:
+            result = leave_one_out(dataset, names)
+        except (ValueError, FloatingPointError) as exc:
+            scores.append(FamilyScore(family, names, None, note=str(exc)))
+            continue
+        scores.append(FamilyScore(family, names, result.sigma_loo))
+    return scores

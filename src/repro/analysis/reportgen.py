@@ -27,13 +27,19 @@ from repro.stats.lognormal import confidence_factors
 def generate_report(
     dataset: EffortDataset | None = None,
     include_ablation: bool = False,
+    include_flow: bool = False,
     jobs: int = 1,
     cache=None,
 ) -> str:
     """The full reproduction report as text.
 
-    ``jobs``/``cache`` only matter with ``include_ablation=True``, which
-    re-measures the bundled designs through the synthesis pipeline.
+    ``jobs``/``cache`` only matter with ``include_ablation=True`` or
+    ``include_flow=True``, which re-measure the bundled designs through
+    the synthesis pipeline.  ``include_flow`` appends a section scoring
+    the dataflow metric families against DEE1 by leave-one-out
+    cross-validation (the paper's dataset has no dataflow metrics, so the
+    section always uses measured metrics of the bundled designs unless the
+    supplied ``dataset`` already carries them).
     """
     is_paper_data = dataset is None
     if dataset is None:
@@ -98,6 +104,28 @@ def generate_report(
         "Figure 5: DEE1 estimates vs reported effort\n"
         + render_scatter(points)
     )
+
+    if include_flow:
+        from repro.analysis.flowscore import score_flow_families
+        from repro.flow.metrics import FLOW_METRIC_NAMES
+
+        flow_dataset = dataset
+        if not set(FLOW_METRIC_NAMES) <= set(dataset.metric_names):
+            from repro.designs.loader import measured_dataset
+
+            flow_dataset = measured_dataset(jobs=jobs, cache=cache)
+        rows = []
+        for score in score_flow_families(flow_dataset):
+            sigma = f"{score.sigma_loo:.3f}" if score.scored else "--"
+            rows.append(
+                [score.family, " ".join(score.metric_names), sigma,
+                 score.note or ""]
+            )
+        sections.append(
+            "Deep metrics: dataflow families vs DEE1 (sigma_loo, "
+            "bundled designs)\n"
+            + render_table(["family", "metrics", "sigma_loo", "note"], rows)
+        )
 
     if include_ablation:
         ablation = run_accounting_ablation(jobs=jobs, cache=cache)

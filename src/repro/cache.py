@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from repro.elab.elaborator import ELAB_VERSION
+from repro.flow.dfg import FLOW_VERSION
 from repro.hdl.verilog.parser import PARSER_VERSION as VERILOG_PARSER_VERSION
 from repro.hdl.vhdl.parser import PARSER_VERSION as VHDL_PARSER_VERSION
 from repro.obs import metrics as obs_metrics
@@ -52,13 +53,16 @@ from repro.synth.report import SynthesisReport
 #: Cache container format revision (bump when the entry encoding changes).
 CACHE_FORMAT = 1
 
-#: The library/version salt folded into every key.
+#: The library/version salt folded into every key.  ``flow`` rides along
+#: because synthesis reports now embed a :class:`~repro.flow.metrics.
+#: FlowReport`; entries written before it existed must not be served.
 SALT = (
     f"ucx-cache{CACHE_FORMAT}"
     f"|verilog{VERILOG_PARSER_VERSION}"
     f"|vhdl{VHDL_PARSER_VERSION}"
     f"|elab{ELAB_VERSION}"
     f"|synth{SYNTH_VERSION}"
+    f"|flow{FLOW_VERSION}"
 )
 
 #: Default cache location (``$XDG_CACHE_HOME`` respected).
@@ -284,6 +288,93 @@ class SynthesisCache:
         obs_metrics.counter("cache.measure_stores").inc()
         return True
 
+    # -- per-module lint memo ------------------------------------------------
+    #
+    # The deep rules (DFG build, SCC/reachability analysis) dominate lint
+    # wall time; the audit of one module is a pure function of the source
+    # texts, the module name, and the enabled-rule set (severity overrides
+    # and baseline suppression are applied *after* the per-module compute
+    # in ``_assemble``, so they stay out of the key).  Entries live under
+    # ``lint/``, invisible to :meth:`entries` like the measurement memo.
+
+    def lint_key(
+        self, source_texts: Iterable[str], module: str,
+        enabled_rules: Iterable[str],
+    ) -> str:
+        """Content key of one module's lint result."""
+        from repro.lint.rules import LINT_VERSION
+
+        h = hashlib.sha256()
+        h.update(self.salt.encode("utf-8"))
+        h.update(f"\x00lint{LINT_VERSION}\x00".encode("utf-8"))
+        for text in source_texts:
+            h.update(b"\x00source\x00")
+            h.update(text.encode("utf-8"))
+        h.update(b"\x00module\x00" + module.encode("utf-8"))
+        for rule in sorted(enabled_rules):
+            h.update(f"\x00rule\x00{rule}".encode("utf-8"))
+        return h.hexdigest()
+
+    def lint_path(self, key: str) -> Path:
+        return self.directory / "lint" / key[:2] / f"{key}.pkl"
+
+    def load_lint(self, key: str):
+        """Probe the lint memo; returns a clean ``ModuleLintResult`` or None.
+
+        Error-carrying results are never served (mirroring the measurement
+        memo's pristine-only contract): their diagnostics must be
+        re-derived by a real run.
+        """
+        from repro.lint.engine import ModuleLintResult
+
+        path = self.lint_path(key)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            obs_metrics.counter("cache.lint_misses").inc()
+            return None
+        except OSError:
+            obs_metrics.counter("cache.errors").inc()
+            obs_metrics.counter("cache.lint_misses").inc()
+            return None
+        try:
+            value = pickle.loads(blob)
+            if not isinstance(value, ModuleLintResult) or value.errors:
+                raise TypeError("entry is not a clean ModuleLintResult")
+        except Exception:  # noqa: BLE001 -- any bad entry degrades
+            obs_metrics.counter("cache.errors").inc()
+            obs_metrics.counter("cache.lint_misses").inc()
+            self._evict(path)
+            return None
+        obs_metrics.counter("cache.lint_hits").inc()
+        return value
+
+    def store_lint(self, key: str, result) -> bool:
+        """Memoize one error-free module lint result."""
+        if getattr(result, "errors", ()):
+            return False
+        path = self.lint_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 -- caching is best-effort
+            obs_metrics.counter("cache.errors").inc()
+            return False
+        obs_metrics.counter("cache.lint_stores").inc()
+        return True
+
     # -- maintenance ---------------------------------------------------------
 
     def entries(self) -> list[Path]:
@@ -299,10 +390,19 @@ class SynthesisCache:
             return []
         return sorted(root.glob("*/*.pkl"))
 
+    def lint_entries(self) -> list[Path]:
+        """Every per-module lint memo entry on disk, sorted."""
+        root = self.directory / "lint"
+        if not root.is_dir():
+            return []
+        return sorted(root.glob("*/*.pkl"))
+
     def clear(self) -> int:
-        """Delete all entries (both kinds); returns how many were removed."""
+        """Delete all entries (every kind); returns how many were removed."""
         removed = 0
-        for path in self.entries() + self.measurement_entries():
+        for path in (
+            self.entries() + self.measurement_entries() + self.lint_entries()
+        ):
             self._evict(path)
             removed += 1
         return removed
@@ -318,11 +418,15 @@ def hit_rate(counters: Mapping[str, float] | None = None) -> float | None:
     """
     if counters is None:
         counters = obs_metrics.snapshot()["counters"]
-    hits = float(counters.get("cache.hits", 0.0)) + float(
-        counters.get("cache.measure_hits", 0.0)
+    hits = (
+        float(counters.get("cache.hits", 0.0))
+        + float(counters.get("cache.measure_hits", 0.0))
+        + float(counters.get("cache.lint_hits", 0.0))
     )
-    misses = float(counters.get("cache.misses", 0.0)) + float(
-        counters.get("cache.measure_misses", 0.0)
+    misses = (
+        float(counters.get("cache.misses", 0.0))
+        + float(counters.get("cache.measure_misses", 0.0))
+        + float(counters.get("cache.lint_misses", 0.0))
     )
     total = hits + misses
     if total == 0:

@@ -338,6 +338,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return EXIT_FATAL
     text = generate_report(
         dataset, include_ablation=args.ablation,
+        include_flow=args.flow_metrics,
         jobs=args.jobs, cache=_cache_from_args(args),
     )
     if args.output:
@@ -382,15 +383,41 @@ def _cmd_gen(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _explain_rule(code: str) -> int:
+    """Print one rule's catalog entry; unknown codes exit 2."""
+    from repro.lint.rules import RULES
+
+    rule = RULES.get(code.strip().upper())
+    if rule is None:
+        print(
+            f"error: unknown lint rule {code!r}; known rules: "
+            f"{', '.join(sorted(RULES))}",
+            file=sys.stderr,
+        )
+        return EXIT_FATAL
+    print(f"{rule.code} ({rule.name})")
+    print(f"  severity:    {rule.severity.name}")
+    print(f"  scope:       {rule.scope}")
+    print(f"  description: {rule.description}")
+    print(f"  hint:        {rule.hint}")
+    return EXIT_OK
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.engine import Engine
     from repro.lint import (
         LintConfig,
         LintConfigError,
         discover_config,
-        lint_sources,
         load_config,
         write_baseline,
     )
+
+    if args.explain:
+        return _explain_rule(args.explain)
+    if not args.files:
+        print("error: no input files (or use --explain RULE)", file=sys.stderr)
+        return EXIT_FATAL
 
     read_errors: list[Diagnostic] = []
     sources = []
@@ -413,10 +440,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     disable = args.disable.split(",") if args.disable else ()
     config = config.with_rules(only=only, disable=disable)
 
-    report = lint_sources(
-        sources, config, jobs=args.jobs,
+    engine = Engine(
+        cache=_cache_from_args(args), jobs=args.jobs,
         supervision=_supervision_from_args(args),
     )
+    report = engine.lint(sources, config)
     if args.write_baseline:
         count = write_baseline(report.findings, args.write_baseline)
         print(f"baseline written to {args.write_baseline}: "
@@ -703,6 +731,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--ablation", action="store_true",
         help="include the Figure 6 ablation (measures the bundled designs)",
     )
+    p.add_argument(
+        "--flow-metrics", action="store_true",
+        help="score the dataflow metric families against DEE1 "
+             "(measures the bundled designs)",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
@@ -732,7 +765,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit HDL files against the Section 2.2 accounting procedure",
         parents=[common],
     )
-    p.add_argument("files", nargs="+", help="HDL source files (.v / .vhd)")
+    p.add_argument("files", nargs="*", help="HDL source files (.v / .vhd)")
+    p.add_argument(
+        "--explain", metavar="RULE",
+        help="print a rule's description, severity, and fix hint "
+             "(e.g. --explain W005) and exit",
+    )
     p.add_argument(
         "--config", metavar="FILE",
         help="lint configuration TOML (default: the nearest "

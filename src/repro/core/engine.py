@@ -66,6 +66,22 @@ if TYPE_CHECKING:
     from repro.lint.rules import LintConfig
 
 
+def _flow_metrics(reports: Sequence[SynthesisReport]) -> dict[str, float]:
+    """Component-level dataflow metrics from per-spec reports.
+
+    Available only when *every* selected specialization carries a
+    :class:`~repro.flow.metrics.FlowReport` -- a partial set (e.g. old
+    cache entries, or quarantined specs replaced by netlist-only reports)
+    would silently skew the reducers, so it yields nothing instead.
+    """
+    flows = [r.flow for r in reports]
+    if not flows or any(f is None for f in flows):
+        return {}
+    from repro.flow.metrics import aggregate_flow
+
+    return aggregate_flow([f for f in flows if f is not None])
+
+
 class Engine:
     """Run-invariant measurement state plus the pipeline entry points.
 
@@ -158,7 +174,7 @@ class Engine:
                     ) as sp:
                         sub = elaborate(design, module_name, params)
                         netlist = synthesize_module(sub)
-                        reports[key] = synthesis_metrics(netlist)
+                        reports[key] = synthesis_metrics(netlist, sub, design)
                     if sp.wall_s is not None:
                         obs_metrics.histogram(
                             "measure.specialization_wall_s"
@@ -167,11 +183,13 @@ class Engine:
                 for key, _m, _p in to_compute:
                     self.cache.store(cache_keys[key], reports[key])
 
-            per_spec = [
-                reports[(m, tuple(sorted(p.items())))].metrics()
-                for m, p in selected
+            selected_reports = [
+                reports[(m, tuple(sorted(p.items())))] for m, p in selected
             ]
-            metrics.update(aggregate_metrics(per_spec))
+            metrics.update(
+                aggregate_metrics([r.metrics() for r in selected_reports])
+            )
+            metrics.update(_flow_metrics(selected_reports))
             return ComponentMeasurement(
                 name=name or top,
                 top=top,
@@ -320,7 +338,7 @@ class Engine:
             for key, module_name, params in to_compute:
                 def _synth(m=module_name, p=params):
                     sub = elaborate(design, m, p)
-                    return synthesis_metrics(synthesize_module(sub))
+                    return synthesis_metrics(synthesize_module(sub), sub, design)
 
                 scratch = StageBoundary(component=label, strict=strict)
                 report = scratch.run("synthesize", _synth)
@@ -333,13 +351,13 @@ class Engine:
                 if key in reports:
                     self.cache.store(cache_keys[key], reports[key])
 
-        per_spec: list[dict[str, float]] = []
+        per_spec: list[SynthesisReport] = []
         quarantined: list[tuple[str, Mapping[str, int]]] = []
         measured: list[tuple[str, Mapping[str, int]]] = []
         for module_name, params in selected:
             key = (module_name, tuple(sorted(params.items())))
             if key in reports:
-                per_spec.append(reports[key].metrics())
+                per_spec.append(reports[key])
                 measured.append((module_name, params))
             else:
                 boundary.diagnostics.extend(failed[key])
@@ -347,7 +365,8 @@ class Engine:
                 quarantined.append((module_name, params))
 
         if per_spec:
-            metrics.update(aggregate_metrics(per_spec))
+            metrics.update(aggregate_metrics([r.metrics() for r in per_spec]))
+            metrics.update(_flow_metrics(per_spec))
             if quarantined:
                 skipped = ", ".join(m for m, _ in quarantined)
                 boundary.note(
@@ -486,6 +505,7 @@ class Engine:
             supervision = None
         return lint_sources(
             list(sources), config, jobs=self.jobs, supervision=supervision,
+            cache=self.cache,
         )
 
     # -- estimator fits --------------------------------------------------------

@@ -15,11 +15,17 @@ from dataclasses import dataclass
 
 
 class MetricSource(enum.Enum):
-    """Which tool category produces a metric (the Tool column of Table 3)."""
+    """Which tool category produces a metric (the Tool column of Table 3).
+
+    ``DATAFLOW`` extends the paper's three tool columns with the
+    graph/spectral families computed over the signal-level dataflow graph
+    (:mod:`repro.flow`), scored against DEE1 by cross-validation.
+    """
 
     SOURCE_TEXT = "source"
     ASIC_SYNTHESIS = "asic-synthesis"
     FPGA_SYNTHESIS = "fpga-synthesis"
+    DATAFLOW = "dataflow"
 
 
 @dataclass(frozen=True)
@@ -62,6 +68,40 @@ _DEFINITIONS = (
         "MHz",
     ),
     MetricDefinition("FFs", "Number of flip-flops", MetricSource.FPGA_SYNTHESIS),
+    MetricDefinition(
+        "LogicDepthMax",
+        "Deepest levelized combinational path (unit delay)",
+        MetricSource.DATAFLOW,
+        "levels",
+    ),
+    MetricDefinition(
+        "LogicDepthMean",
+        "Mean levelized logic depth over all cone sinks",
+        MetricSource.DATAFLOW,
+        "levels",
+    ),
+    MetricDefinition(
+        "FanInEntropy",
+        "Shannon entropy of the dataflow-graph in-degree distribution",
+        MetricSource.DATAFLOW,
+        "bits",
+    ),
+    MetricDefinition(
+        "FanOutEntropy",
+        "Shannon entropy of the dataflow-graph out-degree distribution",
+        MetricSource.DATAFLOW,
+        "bits",
+    ),
+    MetricDefinition(
+        "SpectralRadius",
+        "Largest Laplacian eigenvalue of the undirected dataflow graph",
+        MetricSource.DATAFLOW,
+    ),
+    MetricDefinition(
+        "AlgebraicConn",
+        "Fiedler value of the dataflow graph's largest connected component",
+        MetricSource.DATAFLOW,
+    ),
 )
 
 #: Registry keyed by metric name, in Table 3 order.
@@ -87,7 +127,17 @@ def software_metric_names() -> tuple[str, ...]:
 
 
 def synthesis_metric_names() -> tuple[str, ...]:
-    """Metrics requiring ASIC or FPGA synthesis."""
+    """The Table 3 metrics requiring ASIC or FPGA synthesis."""
     return tuple(
-        name for name, d in METRIC_REGISTRY.items() if d.needs_synthesis
+        name for name, d in METRIC_REGISTRY.items()
+        if d.source in (MetricSource.ASIC_SYNTHESIS,
+                        MetricSource.FPGA_SYNTHESIS)
+    )
+
+
+def dataflow_metric_names() -> tuple[str, ...]:
+    """The graph/spectral families computed over the dataflow graph."""
+    return tuple(
+        name for name, d in METRIC_REGISTRY.items()
+        if d.source is MetricSource.DATAFLOW
     )

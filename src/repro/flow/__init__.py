@@ -1,0 +1,40 @@
+"""Signal-level dataflow analysis: graphs, deep lint substrate, metrics.
+
+``build_dfg`` turns one elaborated module into a :class:`DataflowGraph`
+(signals as nodes, combinational/sequential dependencies as edges,
+annotated with clock/reset domains and source lines).  The deep lint
+rules (W003/W005/W006/W007 in :mod:`repro.lint.rules`) and the dataflow
+metric families (:mod:`repro.flow.metrics`) both run over it.
+"""
+
+from repro.flow.dfg import (
+    FLOW_VERSION,
+    INSTANCE_PREFIX,
+    DataflowGraph,
+    DfgEdge,
+    DfgNode,
+    DriveSite,
+    build_dfg,
+)
+from repro.flow.metrics import (
+    FLOW_METRIC_NAMES,
+    FlowReport,
+    aggregate_flow,
+    flow_report,
+    sink_depths,
+)
+
+__all__ = [
+    "FLOW_VERSION",
+    "INSTANCE_PREFIX",
+    "DataflowGraph",
+    "DfgEdge",
+    "DfgNode",
+    "DriveSite",
+    "build_dfg",
+    "FLOW_METRIC_NAMES",
+    "FlowReport",
+    "aggregate_flow",
+    "flow_report",
+    "sink_depths",
+]

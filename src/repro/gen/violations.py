@@ -40,6 +40,9 @@ VIOLATION_RULES = {
     "inferred_latch": "W002",
     "comb_loop": "W003",
     "width_mismatch": "W004",
+    "clock_domain_crossing": "W005",
+    "multi_driven": "W006",
+    "dead_cone": "W007",
 }
 
 VIOLATION_KINDS: tuple[str, ...] = tuple(VIOLATION_RULES)
@@ -317,6 +320,176 @@ endmodule
     return InjectedViolation("width_mismatch", "W004", name, sources)
 
 
+def _inject_clock_domain_crossing(
+    language: str, name: str
+) -> InjectedViolation:
+    # ``src`` launches in the clka domain and ``dst`` captures it in clkb
+    # with no synchronizer: ``dst`` is consumed combinationally, so the
+    # two-flop exception of W005 does not apply.
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input clka,
+  input clkb,
+  input d,
+  output y
+);
+  reg src;
+  reg dst;
+  always @(posedge clka) begin
+    src <= d;
+  end
+  always @(posedge clkb) begin
+    dst <= src;
+  end
+  assign y = dst;
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "clka : in std_logic;\n    clkb : in std_logic;\n    "
+            "d : in std_logic;\n    y : out std_logic",
+            "  signal src : std_logic;\n  signal dst : std_logic;\n",
+            """  process(clka)
+  begin
+    if rising_edge(clka) then
+      src <= d;
+    end if;
+  end process;
+  process(clkb)
+  begin
+    if rising_edge(clkb) then
+      dst <= src;
+    end if;
+  end process;
+  y <= dst;
+""",
+        ))
+    return InjectedViolation("clock_domain_crossing", "W005", name, sources)
+
+
+def synchronized_crossing(language: str, name: str) -> tuple[SourceFile, ...]:
+    """Negative control: the same crossing behind a two-flop synchronizer.
+
+    Not a violation kind -- this module must lint *clean*.  The oracle
+    suite uses it to pin W005's synchronizer exception: ``sync1`` is a
+    direct capture whose only reader is another flop in the same domain.
+    """
+    if language == VERILOG:
+        return _src(name, language, f"""
+module {name} (
+  input clka,
+  input clkb,
+  input d,
+  output y
+);
+  reg src;
+  reg sync1;
+  reg sync2;
+  always @(posedge clka) begin
+    src <= d;
+  end
+  always @(posedge clkb) begin
+    sync1 <= src;
+    sync2 <= sync1;
+  end
+  assign y = sync2;
+endmodule
+""")
+    return _src(name, language, _vhdl_wrap(
+        name,
+        "",
+        "clka : in std_logic;\n    clkb : in std_logic;\n    "
+        "d : in std_logic;\n    y : out std_logic",
+        "  signal src : std_logic;\n  signal sync1 : std_logic;\n"
+        "  signal sync2 : std_logic;\n",
+        """  process(clka)
+  begin
+    if rising_edge(clka) then
+      src <= d;
+    end if;
+  end process;
+  process(clkb)
+  begin
+    if rising_edge(clkb) then
+      sync1 <= src;
+      sync2 <= sync1;
+    end if;
+  end process;
+  y <= sync2;
+""",
+    ))
+
+
+def _inject_multi_driven(language: str, name: str) -> InjectedViolation:
+    # Two continuous assignments contend for the whole of ``t``.  The net
+    # is read and reaches the output, so W001/W007 stay silent.
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input a,
+  input b,
+  output y
+);
+  wire t;
+  assign t = a;
+  assign t = b;
+  assign y = t;
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "a : in std_logic;\n    b : in std_logic;\n    "
+            "y : out std_logic",
+            "  signal t : std_logic;\n",
+            "  t <= a;\n  t <= b;\n  y <= t;\n",
+        ))
+    return InjectedViolation("multi_driven", "W006", name, sources)
+
+
+def _inject_dead_cone(language: str, name: str) -> InjectedViolation:
+    # ``acc``/``nxt`` feed each other (so both are driven *and* read,
+    # keeping W001 silent) but nothing in the pair reaches an output.
+    if language == VERILOG:
+        sources = _src(name, language, f"""
+module {name} (
+  input clk,
+  input a,
+  output y
+);
+  reg acc;
+  wire nxt;
+  assign nxt = acc ^ a;
+  always @(posedge clk) begin
+    acc <= nxt;
+  end
+  assign y = a;
+endmodule
+""")
+    else:
+        sources = _src(name, language, _vhdl_wrap(
+            name,
+            "",
+            "clk : in std_logic;\n    a : in std_logic;\n    "
+            "y : out std_logic",
+            "  signal acc : std_logic;\n  signal nxt : std_logic;\n",
+            """  nxt <= acc xor a;
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      acc <= nxt;
+    end if;
+  end process;
+  y <= a;
+""",
+        ))
+    return InjectedViolation("dead_cone", "W007", name, sources)
+
+
 def inject_violation(
     kind: str,
     language: str,
@@ -341,6 +514,9 @@ def inject_violation(
         "inferred_latch": _inject_inferred_latch,
         "comb_loop": _inject_comb_loop,
         "width_mismatch": _inject_width_mismatch,
+        "clock_domain_crossing": _inject_clock_domain_crossing,
+        "multi_driven": _inject_multi_driven,
+        "dead_cone": _inject_dead_cone,
     }[kind]
     return builder(language, name)
 

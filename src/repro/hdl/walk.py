@@ -1,0 +1,112 @@
+"""Generic read/write walkers over the shared HDL AST.
+
+These started life as private helpers inside :mod:`repro.lint.rules`; the
+dataflow-graph builder (:mod:`repro.flow.dfg`) needs the exact same
+traversal semantics, and ``repro.lint`` imports ``repro.flow``, so the
+walkers live here at the bottom of the dependency stack.  The contracts
+are deliberately tiny:
+
+* :func:`expr_reads` -- every identifier *read* by an expression;
+* :func:`target_base` -- the signal a target writes (None for concats);
+* :func:`target_bases` -- every written base, for concat targets too;
+* :func:`target_index_reads` -- identifiers read by a target's indices;
+* :func:`walk_assigns` -- every procedural assignment with the condition
+  reads guarding it (If conditions, Case subjects and choices, For
+  conditions), in source order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.hdl import ast
+
+
+def expr_reads(expr: ast.Expr) -> Iterable[str]:
+    """All identifier names read inside an expression."""
+    if isinstance(expr, ast.Ident):
+        yield expr.name
+    elif isinstance(expr, ast.Select):
+        yield from expr_reads(expr.base)
+        yield from expr_reads(expr.index)
+    elif isinstance(expr, ast.PartSelect):
+        yield from expr_reads(expr.base)
+        yield from expr_reads(expr.msb)
+        yield from expr_reads(expr.lsb)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from expr_reads(part)
+    elif isinstance(expr, ast.Repeat):
+        yield from expr_reads(expr.count)
+        yield from expr_reads(expr.value)
+    elif isinstance(expr, ast.Unary):
+        yield from expr_reads(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        yield from expr_reads(expr.lhs)
+        yield from expr_reads(expr.rhs)
+    elif isinstance(expr, ast.Ternary):
+        yield from expr_reads(expr.cond)
+        yield from expr_reads(expr.then)
+        yield from expr_reads(expr.other)
+    elif isinstance(expr, ast.Resize):
+        yield from expr_reads(expr.value)
+        yield from expr_reads(expr.width)
+    elif isinstance(expr, ast.Others):
+        yield from expr_reads(expr.value)
+
+
+def target_base(expr: ast.Expr) -> str | None:
+    """The signal name an assignment target writes (None if not a name)."""
+    while isinstance(expr, (ast.Select, ast.PartSelect)):
+        expr = expr.base
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    return None
+
+
+def target_bases(expr: ast.Expr) -> Iterable[str]:
+    """Every signal name a target writes (concat targets write each part)."""
+    if isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from target_bases(part)
+        return
+    base = target_base(expr)
+    if base is not None:
+        yield base
+
+
+def target_index_reads(expr: ast.Expr) -> Iterable[str]:
+    """Identifiers *read* by an assignment target (indices, not the base)."""
+    if isinstance(expr, ast.Select):
+        yield from target_index_reads(expr.base)
+        yield from expr_reads(expr.index)
+    elif isinstance(expr, ast.PartSelect):
+        yield from target_index_reads(expr.base)
+        yield from expr_reads(expr.msb)
+        yield from expr_reads(expr.lsb)
+    elif isinstance(expr, ast.Concat):
+        for part in expr.parts:
+            yield from target_index_reads(part)
+
+
+def walk_assigns(
+    stmts: Sequence[ast.Stmt], conds: tuple[str, ...] = ()
+) -> Iterable[tuple[ast.Assign, tuple[str, ...]]]:
+    """Every procedural assignment with the condition reads guarding it."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            yield stmt, conds
+        elif isinstance(stmt, ast.If):
+            inner = conds + tuple(expr_reads(stmt.cond))
+            yield from walk_assigns(stmt.then_body, inner)
+            yield from walk_assigns(stmt.else_body, inner)
+        elif isinstance(stmt, ast.Case):
+            inner = conds + tuple(expr_reads(stmt.subject))
+            for item in stmt.items:
+                guarded = inner
+                for choice in item.choices:
+                    guarded = guarded + tuple(expr_reads(choice))
+                yield from walk_assigns(item.body, guarded)
+        elif isinstance(stmt, ast.For):
+            inner = conds + tuple(expr_reads(stmt.cond))
+            yield from walk_assigns(stmt.body, inner)

@@ -23,11 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.flow.dfg import DataflowGraph, build_dfg
 from repro.hdl import ast, parse_source
 from repro.hdl.source import HdlError, SourceFile
 from repro.lint.config import LintConfig
 from repro.lint.hashing import structural_hash
 from repro.lint.rules import (
+    DEEP_RULES,
     RULES,
     HashedModule,
     LintFinding,
@@ -135,10 +137,35 @@ def lint_module(
                          "the elaboration error first",
                 )
             )
-        ctx = ModuleContext(design=design, module=module, spec=spec)
+        # One DFG build serves every deep rule.  A build failure skips
+        # the deep rules with a single diagnostic instead of crashing
+        # each rule in turn.
+        dfg: DataflowGraph | None = None
+        skip: set[str] = set()
+        if spec is not None and any(
+            config.enabled(code) for code in DEEP_RULES
+        ):
+            try:
+                dfg = build_dfg(spec, design)
+            except Exception as exc:  # noqa: BLE001 -- degrade, don't crash
+                skip = set(DEEP_RULES)
+                errors.append(
+                    Diagnostic(
+                        severity=Severity.ERROR,
+                        stage="lint",
+                        message=f"dataflow graph of {module_name!r} failed: "
+                                f"{type(exc).__name__}: {exc}",
+                        component=module_name,
+                        hint="the deep rules (W003/W005/W006/W007) were "
+                             "skipped for this module",
+                    )
+                )
+        ctx = ModuleContext(
+            design=design, module=module, spec=spec, dfg=dfg
+        )
         findings: list[LintFinding] = []
         for code, rule in RULES.items():
-            if rule.check is None or not config.enabled(code):
+            if rule.check is None or not config.enabled(code) or code in skip:
                 continue
             try:
                 findings.extend(rule.check(ctx))
@@ -215,6 +242,8 @@ def lint_design(
     files: int = 0,
     extra_errors: Sequence[Diagnostic] = (),
     supervision: object = None,
+    cache: object = None,
+    source_texts: Sequence[str] | None = None,
 ) -> LintReport:
     """Audit an already-parsed design (all modules + catalog rules).
 
@@ -222,18 +251,44 @@ def lint_design(
     :class:`repro.exec.SupervisionPolicy`, or ``False`` for the legacy
     bare pool); a module whose task is quarantined by the supervisor
     surfaces as a lint *error* rather than crashing the audit.
+
+    ``cache`` (a :class:`repro.cache.SynthesisCache`) with ``source_texts``
+    enables the per-module lint memo: modules whose key hits are resolved
+    in the parent -- no DFG rebuild, no pool dispatch -- and clean results
+    of the modules actually computed are stored back.  Severity overrides
+    and baseline suppression are applied after the probe (they are not in
+    the key), so config tweaks never invalidate the memo.
     """
     config = config or LintConfig()
     names = list(design.modules)
     with obs_trace.span("lint.design", modules=len(names), jobs=jobs):
-        if jobs > 1 and len(names) > 1:
+        by_name: dict[str, ModuleLintResult] = {}
+        keys: dict[str, str] = {}
+        to_compute = names
+        if cache is not None and source_texts is not None:
+            enabled = [code for code in RULES if config.enabled(code)]
+            to_compute = []
+            for name in names:
+                key = cache.lint_key(source_texts, name, enabled)  # type: ignore[attr-defined]
+                keys[name] = key
+                hit = cache.load_lint(key)  # type: ignore[attr-defined]
+                if hit is not None:
+                    by_name[name] = hit
+                else:
+                    to_compute.append(name)
+        if jobs > 1 and len(to_compute) > 1:
             from repro.parallel import lint_modules_parallel
 
-            results = lint_modules_parallel(
-                design, names, config, jobs, supervision=supervision
+            computed = lint_modules_parallel(
+                design, to_compute, config, jobs, supervision=supervision
             )
         else:
-            results = [lint_module(design, n, config) for n in names]
+            computed = [lint_module(design, n, config) for n in to_compute]
+        for name, result in zip(to_compute, computed):
+            by_name[name] = result
+            if name in keys:
+                cache.store_lint(keys[name], result)  # type: ignore[attr-defined]
+        results = [by_name[n] for n in names]
         return _assemble(results, extra_errors, config, files)
 
 
@@ -242,6 +297,7 @@ def lint_sources(
     config: LintConfig | None = None,
     jobs: int = 1,
     supervision: object = None,
+    cache: object = None,
 ) -> LintReport:
     """Parse + merge ``sources``, then audit the resulting catalog.
 
@@ -285,4 +341,6 @@ def lint_sources(
             files=len(sources),
             extra_errors=errors,
             supervision=supervision,
+            cache=cache,
+            source_texts=tuple(s.text for s in sources),
         )

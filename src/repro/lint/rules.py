@@ -24,8 +24,12 @@ Two rule families (see DESIGN.md, "HDL accounting linter"):
 * **W rules** are classical RTL hygiene checks over the elaborated module:
   ``W001`` unused/undriven signals and ports, ``W002`` inferred latches
   (incomplete assignment in a combinational process), ``W003``
-  combinational loops (cycles in the net dependency graph), ``W004``
-  assignment width mismatches.
+  combinational loops (the actual ordered cycle with per-hop spans),
+  ``W004`` assignment width mismatches -- plus the *deep* rules that run
+  over the signal-level dataflow graph (:mod:`repro.flow`): ``W005``
+  unsynchronized clock-domain crossings, ``W006`` multiply-driven nets,
+  ``W007`` dead logic cones (driven, read, yet unreachable from any
+  output).
 
 Module-scoped rules take a :class:`ModuleContext`; the catalog-scoped
 ``ACC001`` runs over the hashes of every module in the linted catalog.
@@ -36,15 +40,27 @@ All rules return :class:`LintFinding`s, which render into the runtime's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 import networkx as nx
 
 from repro.elab.consteval import ConstEvalError, eval_const
 from repro.elab.degeneracy import minimal_parameters
 from repro.elab.elaborator import ElaboratedModule
+from repro.flow.dfg import DataflowGraph, build_dfg
 from repro.hdl import ast
+from repro.hdl.walk import (
+    expr_reads,
+    target_base,
+    target_index_reads,
+    walk_assigns,
+)
 from repro.runtime.diagnostics import Diagnostic, Severity, SourceSpan
+
+#: Lint algorithm revision: part of the on-disk lint memo key
+#: (:mod:`repro.cache`).  Bump whenever any rule's semantics or message
+#: format changes.
+LINT_VERSION = 2
 
 # ---------------------------------------------------------------------------
 # Findings and rule metadata
@@ -80,16 +96,31 @@ class ModuleContext:
     """Everything a module-scoped rule may inspect.
 
     ``spec`` is the module elaborated at its declared defaults; it is None
-    when elaboration failed (rules that need it skip themselves).
+    when elaboration failed (rules that need it skip themselves).  ``dfg``
+    is the signal-level dataflow graph; the engine pre-builds it once per
+    module, and rules invoked with a bare context (unit tests) build it
+    lazily via :func:`_ctx_dfg`.
     """
 
     design: ast.Design
     module: ast.Module
     spec: ElaboratedModule | None = None
+    dfg: DataflowGraph | None = None
 
     @property
     def file(self) -> str:
         return self.module.source_name
+
+
+def _ctx_dfg(ctx: ModuleContext) -> DataflowGraph | None:
+    """The context's dataflow graph, built on demand and memoized."""
+    if ctx.dfg is not None:
+        return ctx.dfg
+    if ctx.spec is None:
+        return None
+    dfg = build_dfg(ctx.spec, ctx.design)
+    object.__setattr__(ctx, "dfg", dfg)
+    return dfg
 
 
 @dataclass(frozen=True)
@@ -106,87 +137,13 @@ class LintRule:
 
 
 # ---------------------------------------------------------------------------
-# Shared AST utilities
+# Shared AST utilities (now in repro.hdl.walk; aliases keep old call sites)
 # ---------------------------------------------------------------------------
 
-
-def _idents(expr: ast.Expr) -> Iterable[str]:
-    """All identifier names read inside an expression."""
-    if isinstance(expr, ast.Ident):
-        yield expr.name
-    elif isinstance(expr, ast.Select):
-        yield from _idents(expr.base)
-        yield from _idents(expr.index)
-    elif isinstance(expr, ast.PartSelect):
-        yield from _idents(expr.base)
-        yield from _idents(expr.msb)
-        yield from _idents(expr.lsb)
-    elif isinstance(expr, ast.Concat):
-        for part in expr.parts:
-            yield from _idents(part)
-    elif isinstance(expr, ast.Repeat):
-        yield from _idents(expr.count)
-        yield from _idents(expr.value)
-    elif isinstance(expr, ast.Unary):
-        yield from _idents(expr.operand)
-    elif isinstance(expr, ast.Binary):
-        yield from _idents(expr.lhs)
-        yield from _idents(expr.rhs)
-    elif isinstance(expr, ast.Ternary):
-        yield from _idents(expr.cond)
-        yield from _idents(expr.then)
-        yield from _idents(expr.other)
-    elif isinstance(expr, ast.Resize):
-        yield from _idents(expr.value)
-        yield from _idents(expr.width)
-    elif isinstance(expr, ast.Others):
-        yield from _idents(expr.value)
-
-
-def _target_base(expr: ast.Expr) -> str | None:
-    """The signal name an assignment target writes (None if not a name)."""
-    while isinstance(expr, (ast.Select, ast.PartSelect)):
-        expr = expr.base
-    if isinstance(expr, ast.Ident):
-        return expr.name
-    return None
-
-
-def _target_index_reads(expr: ast.Expr) -> Iterable[str]:
-    """Identifiers *read* by an assignment target (indices, not the base)."""
-    if isinstance(expr, ast.Select):
-        yield from _target_index_reads(expr.base)
-        yield from _idents(expr.index)
-    elif isinstance(expr, ast.PartSelect):
-        yield from _target_index_reads(expr.base)
-        yield from _idents(expr.msb)
-        yield from _idents(expr.lsb)
-    elif isinstance(expr, ast.Concat):
-        for part in expr.parts:
-            yield from _target_index_reads(part)
-
-
-def _walk_assigns(
-    stmts: Sequence[ast.Stmt], conds: tuple[str, ...] = ()
-) -> Iterable[tuple[ast.Assign, tuple[str, ...]]]:
-    """Every procedural assignment with the condition reads guarding it."""
-    for stmt in stmts:
-        if isinstance(stmt, ast.Assign):
-            yield stmt, conds
-        elif isinstance(stmt, ast.If):
-            inner = conds + tuple(_idents(stmt.cond))
-            yield from _walk_assigns(stmt.then_body, inner)
-            yield from _walk_assigns(stmt.else_body, inner)
-        elif isinstance(stmt, ast.Case):
-            inner = conds + tuple(_idents(stmt.subject))
-            for item in stmt.items:
-                guarded = inner
-                for choice in item.choices:
-                    guarded = guarded + tuple(_idents(choice))
-                yield from _walk_assigns(item.body, guarded)
-        elif isinstance(stmt, ast.For):
-            inner = conds + tuple(_idents(stmt.cond))
-            yield from _walk_assigns(stmt.body, inner)
+_idents = expr_reads
+_target_base = target_base
+_target_index_reads = target_index_reads
+_walk_assigns = walk_assigns
 
 
 # ---------------------------------------------------------------------------
@@ -542,47 +499,42 @@ def check_latches(ctx: ModuleContext) -> list[LintFinding]:
 
 
 def check_comb_loops(ctx: ModuleContext) -> list[LintFinding]:
-    spec = ctx.spec
-    if spec is None:
+    dfg = _ctx_dfg(ctx)
+    if dfg is None:
         return []
-    graph = nx.DiGraph()
-
-    def add_edges(target: ast.Expr, deps: Iterable[str]) -> None:
-        base = _target_base(target)
-        if base is None or base not in spec.signals:
-            return
-        for dep in deps:
-            if dep in spec.signals and not spec.signals[dep].is_memory:
-                graph.add_edge(dep, base)
-
-    for assign in spec.assigns:
-        add_edges(assign.target, _idents(assign.value))
-    for process in spec.processes:
-        if process.kind != "comb":
-            continue  # a flip-flop breaks the cycle
-        # Signals already (re)computed earlier in the same process are
-        # sequential dataflow (`y = a; y = y ^ b;`), not feedback.
-        assigned_before: set[str] = set()
-        for stmt, conds in _walk_assigns(process.body):
-            deps = set(_idents(stmt.value)) | set(conds)
-            add_edges(stmt.target, deps - assigned_before)
-            base = _target_base(stmt.target)
-            if base is not None:
-                assigned_before.add(base)
+    graph = dfg.comb_graph()
 
     findings: list[LintFinding] = []
+    seen: set[tuple[str, ...]] = set()
     for component in nx.strongly_connected_components(graph):
         nodes = sorted(component)
         if len(nodes) == 1 and not graph.has_edge(nodes[0], nodes[0]):
             continue
-        cycle = " -> ".join(nodes + [nodes[0]])
+        # One representative cycle per SCC, canonicalized to start at the
+        # lexicographically smallest member so rotations dedupe.
+        sub = graph.subgraph(component)
+        order = [edge[0] for edge in nx.find_cycle(sub, source=nodes[0])]
+        pivot = order.index(min(order))
+        order = order[pivot:] + order[:pivot]
+        canon = tuple(order)
+        if canon in seen:
+            continue
+        seen.add(canon)
+        chain = " -> ".join(order + [order[0]])
+        hops = []
+        lines = []
+        for a, b in zip(order, order[1:] + [order[0]]):
+            line = int(graph.edges[a, b].get("line", 0))
+            lines.append(line)
+            hops.append(f"{a}->{b} line {line}")
         findings.append(
             LintFinding(
                 rule="W003",
-                message=f"combinational loop: {cycle}",
+                message=f"combinational loop: {chain} ({', '.join(hops)})",
                 severity=RULES["W003"].severity,
                 module=ctx.module.name,
                 file=ctx.file,
+                line=min((ln for ln in lines if ln), default=0),
             )
         )
     return findings
@@ -695,6 +647,176 @@ def check_width_mismatch(ctx: ModuleContext) -> list[LintFinding]:
 
 
 # ---------------------------------------------------------------------------
+# W005 -- unsynchronized clock-domain crossings (dataflow scope)
+# ---------------------------------------------------------------------------
+
+
+def _is_sync_stage(dfg: DataflowGraph, name: str) -> bool:
+    """True when ``name`` is a synchronizer first stage: every consumer is
+    a bare flop-to-flop copy clocked in one of ``name``'s own domains."""
+    node = dfg.nodes[name]
+    outgoing = dfg.succ(name)
+    if not outgoing:
+        return True  # unread flop: dead, not a hazard (W001/W007 territory)
+    for edge in outgoing:
+        if edge.kind != "seq" or not edge.direct or edge.addr:
+            return False
+        if edge.clock not in node.clocks:
+            return False
+    return True
+
+
+def check_cdc(ctx: ModuleContext) -> list[LintFinding]:
+    """W005: a register's data path originates in a disjoint clock domain
+    and the receiving flop is not a recognizable synchronizer stage."""
+    dfg = _ctx_dfg(ctx)
+    if dfg is None:
+        return []
+    findings: list[LintFinding] = []
+    seen: set[tuple[str, str]] = set()
+    for dst in sorted(dfg.nodes):
+        dst_node = dfg.nodes[dst]
+        if not dst_node.clocks:
+            continue
+        for edge in dfg.pred(dst):
+            if edge.kind != "seq" or edge.src == dst:
+                continue
+            for origin, path in sorted(dfg.comb_origins(edge.src).items()):
+                origin_node = dfg.nodes.get(origin)
+                if origin_node is None or not origin_node.is_register:
+                    continue  # ports/memories carry no known domain
+                if origin in dfg.reset_signals or origin in dfg.clock_signals:
+                    continue
+                if origin == dst or (origin, dst) in seen:
+                    continue
+                if set(origin_node.clocks) & set(dst_node.clocks):
+                    continue  # same (or shared) domain
+                direct_hop = len(path) == 1 and edge.direct and not edge.addr
+                if direct_hop and _is_sync_stage(dfg, dst):
+                    continue  # first flop of a synchronizer chain
+                seen.add((origin, dst))
+                witness = " -> ".join(path + (dst,))
+                findings.append(
+                    LintFinding(
+                        rule="W005",
+                        message=(
+                            f"unsynchronized clock-domain crossing: "
+                            f"'{origin}' ({', '.join(origin_node.clocks)}) "
+                            f"feeds '{dst}' ({', '.join(dst_node.clocks)}) "
+                            f"via {witness}"
+                        ),
+                        severity=RULES["W005"].severity,
+                        module=ctx.module.name,
+                        file=ctx.file,
+                        line=edge.line,
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W006 -- multiply-driven nets (dataflow scope)
+# ---------------------------------------------------------------------------
+
+
+def check_multi_driven(ctx: ModuleContext) -> list[LintFinding]:
+    """W006: a non-memory signal has two drive sites writing overlapping
+    bits (whole-signal or unresolvable writes overlap everything)."""
+    dfg = _ctx_dfg(ctx)
+    if dfg is None:
+        return []
+    findings: list[LintFinding] = []
+    for name in sorted(dfg.drive_sites):
+        node = dfg.nodes.get(name)
+        if node is None or node.kind == "memory":
+            continue  # multi-port memories are legal
+        sites = dfg.drive_sites[name]
+        if len(sites) < 2:
+            continue
+        if not any(
+            a.overlaps(b)
+            for i, a in enumerate(sites)
+            for b in sites[i + 1:]
+        ):
+            continue  # disjoint bit ranges (e.g. unrolled generate slices)
+        lines = sorted({s.line for s in sites})
+        where = ", ".join(str(ln) for ln in lines)
+        findings.append(
+            LintFinding(
+                rule="W006",
+                message=(
+                    f"'{name}' is driven from {len(sites)} sites "
+                    f"(lines {where}) with overlapping bits"
+                ),
+                severity=RULES["W006"].severity,
+                module=ctx.module.name,
+                file=ctx.file,
+                line=lines[0] if lines else 0,
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# W007 -- dead logic cones (dataflow scope)
+# ---------------------------------------------------------------------------
+
+
+def check_dead_cones(ctx: ModuleContext) -> list[LintFinding]:
+    """W007: driven-and-read logic with no forward path to any output.
+
+    Complements W001: a locally-unread signal is W001's finding; a cone
+    whose members all feed *each other* (so every one is read) yet never
+    reach an output, instance, memory, or clock net is dead as a whole.
+    One finding per weakly-connected cone.
+    """
+    dfg = _ctx_dfg(ctx)
+    if dfg is None:
+        return []
+    alive = dfg.alive()
+    dead = {
+        name
+        for name, node in dfg.nodes.items()
+        if name not in alive
+        and node.kind in ("wire", "reg")
+        and name in dfg.drive_sites
+        and dfg.succ(name)  # read somewhere: unread is W001's finding
+        and name not in dfg.clock_signals
+        and name not in dfg.reset_signals
+    }
+    if not dead:
+        return []
+    cones = nx.Graph()
+    cones.add_nodes_from(dead)
+    for edge in dfg.edges:
+        if edge.src in dead and edge.dst in dead and edge.src != edge.dst:
+            cones.add_edge(edge.src, edge.dst)
+    findings: list[LintFinding] = []
+    for component in nx.connected_components(cones):
+        members = sorted(component)
+        lines = [
+            site.line
+            for name in members
+            for site in dfg.drive_sites.get(name, ())
+            if site.line
+        ]
+        findings.append(
+            LintFinding(
+                rule="W007",
+                message=(
+                    f"dead logic cone {{{', '.join(members)}}}: driven and "
+                    "read, but no path reaches any output"
+                ),
+                severity=RULES["W007"].severity,
+                module=ctx.module.name,
+                file=ctx.file,
+                line=min(lines, default=0),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -756,7 +878,8 @@ RULES: dict[str, LintRule] = {
             code="W003",
             name="combinational-loop",
             severity=Severity.WARNING,
-            description="cycle in the combinational net dependency graph",
+            description="cycle in the combinational net dependency graph "
+                        "(the ordered cycle with per-hop source lines)",
             hint="break the loop with a register or restructure the logic",
             check=check_comb_loops,
         ),
@@ -769,8 +892,46 @@ RULES: dict[str, LintRule] = {
                  "truncation/extension hides bugs",
             check=check_width_mismatch,
         ),
+        LintRule(
+            code="W005",
+            name="clock-domain-crossing",
+            severity=Severity.WARNING,
+            description="register data path originates in a disjoint clock "
+                        "domain without a synchronizer stage",
+            hint="insert a 2-flop synchronizer (two bare flop-to-flop "
+                 "copies in the receiving domain) or move the logic into "
+                 "one domain; metastability corrupts unsynchronized "
+                 "crossings",
+            check=check_cdc,
+        ),
+        LintRule(
+            code="W006",
+            name="multiply-driven-net",
+            severity=Severity.WARNING,
+            description="signal driven from multiple sites with overlapping "
+                        "bits",
+            hint="merge the drivers into one assignment/process (or make "
+                 "the written bit ranges disjoint); conflicting drivers "
+                 "are contention in hardware",
+            check=check_multi_driven,
+        ),
+        LintRule(
+            code="W007",
+            name="dead-logic-cone",
+            severity=Severity.WARNING,
+            description="driven-and-read logic cone with no path to any "
+                        "output",
+            hint="delete the cone or connect it to an output; dead cones "
+                 "inflate Nets/Cells/FFs without adding observable "
+                 "behavior",
+            check=check_dead_cones,
+        ),
     )
 }
 
 ACC_RULES: tuple[str, ...] = tuple(c for c in RULES if c.startswith("ACC"))
 HYGIENE_RULES: tuple[str, ...] = tuple(c for c in RULES if c.startswith("W"))
+
+#: Rules that run over the dataflow graph (skipped with a diagnostic when
+#: the DFG cannot be built).
+DEEP_RULES: tuple[str, ...] = ("W003", "W005", "W006", "W007")

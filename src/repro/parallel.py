@@ -151,7 +151,7 @@ def _synthesize_task(payload: tuple) -> TaskOutcome:
 
     def _synth():
         sub = elaborate(design, module, params)
-        return synthesis_metrics(synthesize_module(sub))
+        return synthesis_metrics(synthesize_module(sub), sub, design)
 
     def run():
         if safe:

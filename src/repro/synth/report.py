@@ -9,6 +9,7 @@ cone count is also reported for cross-checking).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.synth.area import AreaReport, area_report
 from repro.synth.cones import fanin_logic_cones
@@ -17,10 +18,23 @@ from repro.synth.netlist import Netlist
 from repro.synth.power import PowerReport, power_report
 from repro.synth.timing import TimingReport, timing_report
 
+if TYPE_CHECKING:
+    from repro.elab.elaborator import DesignHierarchy
+    from repro.flow.metrics import FlowReport
+    from repro.hdl import ast
+
 
 @dataclass(frozen=True)
 class SynthesisReport:
-    """Everything the two synthesis flows report for one module."""
+    """Everything the two synthesis flows report for one module.
+
+    ``flow`` carries the dataflow metric families (:mod:`repro.flow`)
+    when the report was produced with the elaborated module in hand; it
+    is None for netlist-only analyses.  Flow metrics are deliberately
+    *not* part of :meth:`metrics` -- the Table 3 vector sums across
+    specializations, while each flow family has its own reducer
+    (:func:`repro.flow.metrics.aggregate_flow`).
+    """
 
     name: str
     n_nets: int
@@ -31,6 +45,7 @@ class SynthesisReport:
     timing: TimingReport
     fpga: FpgaReport
     fanin_lc_asic: int
+    flow: "FlowReport | None" = None
 
     def metrics(self) -> dict[str, float]:
         """The Table 3 synthesis metrics as a metric vector."""
@@ -47,8 +62,25 @@ class SynthesisReport:
         }
 
 
-def synthesis_metrics(netlist: Netlist) -> SynthesisReport:
-    """Run every analysis over a lowered netlist."""
+def synthesis_metrics(
+    netlist: Netlist,
+    hierarchy: "DesignHierarchy | None" = None,
+    design: "ast.Design | None" = None,
+) -> SynthesisReport:
+    """Run every analysis over a lowered netlist.
+
+    With ``hierarchy`` (the specialization the netlist was lowered from)
+    the dataflow families are computed too and attached as ``flow``.
+    """
+    flow: "FlowReport | None" = None
+    if hierarchy is not None:
+        from repro.flow.metrics import flow_report
+
+        flow = flow_report(
+            netlist,
+            hierarchy.top,
+            design if design is not None else hierarchy.design,
+        )
     timing = timing_report(netlist)
     return SynthesisReport(
         name=netlist.name,
@@ -60,4 +92,5 @@ def synthesis_metrics(netlist: Netlist) -> SynthesisReport:
         timing=timing,
         fpga=map_to_luts(netlist),
         fanin_lc_asic=fanin_logic_cones(netlist),
+        flow=flow,
     )

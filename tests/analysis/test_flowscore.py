@@ -1,0 +1,82 @@
+"""Tests for scoring the dataflow metric families against DEE1."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.flowscore import FLOW_FAMILIES, score_flow_families
+from repro.data import paper_dataset
+from repro.data.dataset import EffortDataset, EffortRecord
+from repro.flow.metrics import FLOW_METRIC_NAMES
+
+
+def _synthetic_dataset(fill=None):
+    """The paper dataset augmented with deterministic dataflow metrics."""
+    rng = np.random.default_rng(5)
+    records = []
+    for rec in paper_dataset():
+        metrics = dict(rec.metrics)
+        for name in FLOW_METRIC_NAMES:
+            # Correlate loosely with Stmts so every family is fittable.
+            base = metrics["Stmts"] ** 0.5
+            metrics[name] = (
+                fill if fill is not None
+                else float(base * (1.0 + 0.2 * rng.standard_normal()))
+            )
+        records.append(
+            EffortRecord(
+                team=rec.team, component=rec.component,
+                effort=rec.effort, metrics=metrics,
+            )
+        )
+    return EffortDataset(tuple(records))
+
+
+class TestScoreFlowFamilies:
+    def test_all_families_scored_on_complete_dataset(self):
+        scores = score_flow_families(_synthetic_dataset())
+        assert [s.family for s in scores] == list(FLOW_FAMILIES)
+        assert all(s.scored for s in scores), [
+            (s.family, s.note) for s in scores
+        ]
+        assert all(s.sigma_loo > 0 for s in scores)
+
+    def test_baseline_uses_dee1_metrics(self):
+        scores = score_flow_families(_synthetic_dataset())
+        baseline = scores[0]
+        assert baseline.family == "DEE1"
+        assert baseline.metric_names == ("Stmts", "FanInLC")
+
+    def test_missing_metrics_skipped_with_note(self):
+        # The raw paper dataset has no dataflow metrics: every flow
+        # family must be skipped (with the reason), DEE1 still scored.
+        scores = {s.family: s for s in score_flow_families(paper_dataset())}
+        assert scores["DEE1"].scored
+        assert not scores["Spectral"].scored
+        assert "missing metrics" in scores["Spectral"].note
+        assert "SpectralRadius" in scores["Spectral"].note
+
+    def test_non_positive_sums_skipped_with_note(self):
+        scores = {
+            s.family: s
+            for s in score_flow_families(_synthetic_dataset(fill=0.0))
+        }
+        assert scores["DEE1"].scored  # unaffected by the flow columns
+        assert not scores["Entropy"].scored
+        assert "non-positive" in scores["Entropy"].note
+
+
+class TestReportSection:
+    def test_include_flow_renders_family_table(self):
+        from repro.analysis.reportgen import generate_report
+
+        # The supplied dataset already carries the flow metrics, so no
+        # bundled-design measurement happens.
+        text = generate_report(_synthetic_dataset(), include_flow=True)
+        assert "Deep metrics" in text
+        for family in FLOW_FAMILIES:
+            assert family in text
+
+    def test_default_report_has_no_flow_section(self):
+        from repro.analysis.reportgen import generate_report
+
+        assert "Deep metrics" not in generate_report()

@@ -1,27 +1,38 @@
-"""Tests for the Table 3 metric registry."""
+"""Tests for the Table 3 metric registry (plus the dataflow families)."""
 
 import pytest
 
 from repro.core.metrics import (
     METRIC_REGISTRY,
     MetricSource,
+    dataflow_metric_names,
     metric_definition,
     software_metric_names,
     synthesis_metric_names,
 )
 from repro.data.paper import ALL_METRICS
+from repro.flow.metrics import FLOW_METRIC_NAMES
 
 
 class TestRegistry:
     def test_covers_table3(self):
-        assert set(METRIC_REGISTRY) == set(ALL_METRICS)
-        assert len(METRIC_REGISTRY) == 11
+        # Table 3's eleven metrics plus the six dataflow families.
+        assert set(ALL_METRICS) <= set(METRIC_REGISTRY)
+        assert len(METRIC_REGISTRY) == 11 + len(FLOW_METRIC_NAMES)
 
     def test_software_metrics(self):
         assert set(software_metric_names()) == {"LoC", "Stmts"}
 
     def test_synthesis_metrics(self):
+        # The synthesis tool columns cover exactly Table 3 minus the
+        # software metrics; the dataflow families are their own source.
         assert set(synthesis_metric_names()) == set(ALL_METRICS) - {"LoC", "Stmts"}
+
+    def test_dataflow_metrics(self):
+        assert set(dataflow_metric_names()) == set(FLOW_METRIC_NAMES)
+        assert set(dataflow_metric_names()).isdisjoint(ALL_METRICS)
+        for name in dataflow_metric_names():
+            assert metric_definition(name).source is MetricSource.DATAFLOW
 
     def test_tool_assignment_matches_table3(self):
         # Table 3: FanInLC, Freq, FFs from Synplify Pro (FPGA); Nets, Cells,

@@ -39,11 +39,13 @@ _HIER = SourceFile(
 
 class TestMeasureComponent:
     def test_metrics_complete(self):
+        from repro.flow.metrics import FLOW_METRIC_NAMES
+
         m = measure_component([_HIER], "top")
         expected = {
             "LoC", "Stmts", "FanInLC", "Nets", "Cells", "AreaL", "AreaS",
             "PowerD", "PowerS", "Freq", "FFs",
-        }
+        } | set(FLOW_METRIC_NAMES)
         assert set(m.metrics) == expected
 
     def test_accounting_counts_leaf_once(self):

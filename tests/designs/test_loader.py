@@ -7,10 +7,12 @@ from repro.designs.catalog import CATALOG, component_specs
 from repro.designs.loader import load_sources, measure_catalog, measured_dataset
 from repro.core.workflow import measure_component
 
+from repro.flow.metrics import FLOW_METRIC_NAMES
+
 ALL_METRIC_KEYS = {
     "LoC", "Stmts", "FanInLC", "Nets", "Cells", "AreaL", "AreaS",
     "PowerD", "PowerS", "Freq", "FFs",
-}
+} | set(FLOW_METRIC_NAMES)
 
 
 @pytest.fixture(scope="session")

@@ -111,3 +111,29 @@ endmodule
             ["measure", dangle, "--top", "dangle", "--no-cache"]
         ) == 0
         assert "accounting audit" not in capsys.readouterr().err
+
+
+class TestExplainFlag:
+    def test_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "W005"]) == 0
+        out = capsys.readouterr().out
+        assert "W005" in out and "clock-domain-crossing" in out
+        assert "severity" in out and "hint" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["lint", "--explain", "w003"]) == 0
+        assert "W003" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "W999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown lint rule" in err and "W001" in err
+
+    def test_explain_ignores_missing_files(self, tmp_path, capsys):
+        # --explain is a pure lookup; no files needed.
+        assert main(["lint", "--explain", "ACC001"]) == 0
+        capsys.readouterr()
+
+    def test_no_files_without_explain_errors(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no input files" in capsys.readouterr().err

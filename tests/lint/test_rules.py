@@ -333,3 +333,233 @@ class TestEngineDegradation:
         assert report.exit_code == 2  # the audit itself is incomplete
         assert any("cannot elaborate" in e.message for e in report.errors)
         assert "W001" in _rules(report)  # the healthy module still audited
+
+
+class TestW003CyclePath:
+    def test_message_names_the_ordered_cycle_with_hop_lines(self):
+        report = _lint("""
+module tri(input a, output y);
+  wire p;
+  wire q;
+  wire r;
+  assign q = p & a;
+  assign r = q | a;
+  assign p = r ^ a;
+  assign y = p;
+endmodule
+""")
+        assert _rules(report) == ["W003"]
+        msg = report.findings[0].message
+        assert "p -> q -> r -> p" in msg
+        assert "p->q line 6" in msg and "r->p line 8" in msg
+        assert report.findings[0].line == 6  # earliest hop in the cycle
+
+    def test_one_cycle_one_finding_regardless_of_entry(self):
+        # A single loop must not be reported once per rotation.
+        report = _lint("""
+module loopy(input a, output y);
+  wire p;
+  wire q;
+  assign p = q & a;
+  assign q = p | a;
+  assign y = p;
+endmodule
+""")
+        assert _rules(report) == ["W003"]
+
+    def test_two_independent_loops_two_findings(self):
+        report = _lint("""
+module twoloops(input a, output y, output z);
+  wire p;
+  wire q;
+  wire m;
+  wire n;
+  assign p = q & a;
+  assign q = p | a;
+  assign m = n ^ a;
+  assign n = m & a;
+  assign y = p;
+  assign z = m;
+endmodule
+""")
+        assert _rules(report) == ["W003", "W003"]
+
+
+CDC_BAD = """
+module cdc(input clka, input clkb, input d, output y);
+  reg src;
+  reg dst;
+  always @(posedge clka) begin
+    src <= d;
+  end
+  always @(posedge clkb) begin
+    dst <= src;
+  end
+  assign y = dst;
+endmodule
+"""
+
+
+class TestW005ClockDomainCrossing:
+    def test_unsynchronized_crossing_flagged(self):
+        report = _lint(CDC_BAD)
+        assert _rules(report) == ["W005"]
+        msg = report.findings[0].message
+        assert "src" in msg and "dst" in msg
+        assert "clka" in msg and "clkb" in msg
+
+    def test_two_flop_synchronizer_is_clean(self):
+        report = _lint("""
+module sync2(input clka, input clkb, input d, output y);
+  reg src;
+  reg s1;
+  reg s2;
+  always @(posedge clka) begin
+    src <= d;
+  end
+  always @(posedge clkb) begin
+    s1 <= src;
+    s2 <= s1;
+  end
+  assign y = s2;
+endmodule
+""")
+        assert report.clean
+
+    def test_same_domain_transfer_is_clean(self):
+        report = _lint("""
+module samedom(input clk, input d, output y);
+  reg a;
+  reg b;
+  always @(posedge clk) begin
+    a <= d;
+    b <= a;
+  end
+  assign y = b;
+endmodule
+""")
+        assert report.clean
+
+    def test_crossing_through_logic_flagged(self):
+        # The capture is not a bare copy, so no synchronizer exception.
+        report = _lint("""
+module cdclogic(input clka, input clkb, input d, input e, output y);
+  reg src;
+  reg dst;
+  always @(posedge clka) begin
+    src <= d;
+  end
+  always @(posedge clkb) begin
+    dst <= src ^ e;
+  end
+  assign y = dst;
+endmodule
+""")
+        assert _rules(report) == ["W005"]
+
+
+class TestW006MultiplyDriven:
+    def test_whole_net_double_drive(self):
+        report = _lint("""
+module dd(input a, input b, output y);
+  wire t;
+  assign t = a;
+  assign t = b;
+  assign y = t;
+endmodule
+""")
+        assert _rules(report) == ["W006"]
+        msg = report.findings[0].message
+        assert "'t'" in msg and "2 sites" in msg
+
+    def test_disjoint_bit_ranges_are_clean(self):
+        report = _lint("""
+module split(input [3:0] a, input [3:0] b, output [7:0] y);
+  wire [7:0] t;
+  assign t[3:0] = a;
+  assign t[7:4] = b;
+  assign y = t;
+endmodule
+""")
+        assert report.clean
+
+    def test_overlapping_ranges_flagged(self):
+        report = _lint("""
+module overlap(input [3:0] a, input [3:0] b, output [7:0] y);
+  wire [7:0] t;
+  assign t[4:0] = {a[0], a};
+  assign t[7:4] = b;
+  assign y = t;
+endmodule
+""")
+        assert _rules(report) == ["W006"]
+
+    def test_assign_plus_process_flagged(self):
+        report = _lint("""
+module mixdrive(input clk, input a, input b, output y);
+  reg t;
+  assign t = a;
+  always @(posedge clk) begin
+    t <= b;
+  end
+  assign y = t;
+endmodule
+""")
+        assert _rules(report) == ["W006"]
+
+
+class TestW007DeadCone:
+    def test_self_feeding_pair_is_one_cone(self):
+        report = _lint("""
+module dead(input clk, input a, output y);
+  reg acc;
+  wire nxt;
+  assign nxt = acc ^ a;
+  always @(posedge clk) begin
+    acc <= nxt;
+  end
+  assign y = a;
+endmodule
+""")
+        assert _rules(report) == ["W007"]
+        msg = report.findings[0].message
+        assert "acc" in msg and "nxt" in msg
+
+    def test_live_logic_is_clean(self):
+        report = _lint("""
+module live(input clk, input a, output y);
+  reg acc;
+  wire nxt;
+  assign nxt = acc ^ a;
+  always @(posedge clk) begin
+    acc <= nxt;
+  end
+  assign y = acc;
+endmodule
+""")
+        assert report.clean
+
+    def test_unread_net_is_w001_not_w007(self):
+        report = _lint("""
+module unread(input a, output y);
+  wire floating;
+  assign floating = a;
+  assign y = a;
+endmodule
+""")
+        assert _rules(report) == ["W001"]
+
+    def test_per_slice_instance_outputs_are_clean(self):
+        # Unrolled per-slot instances each driving a disjoint slice of
+        # one bus (the IVM decode shape) are not multiply-driven.
+        report = _lint("""
+module leaf3(input i, output [3:0] o);
+  assign o = {4{i}};
+endmodule
+
+module banked(input x, output [7:0] bus);
+  leaf3 u0 (.i(x), .o(bus[3:0]));
+  leaf3 u1 (.i(x), .o(bus[7:4]));
+endmodule
+""")
+        assert report.clean

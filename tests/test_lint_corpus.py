@@ -71,3 +71,48 @@ class TestParallelEquivalence:
             e.message for e in par.errors
         ]
         assert seq.exit_code == par.exit_code
+
+
+@pytest.mark.parametrize("language", LANGUAGES)
+class TestSynchronizerNegative:
+    def test_two_flop_synchronizer_is_clean(self, language):
+        from repro.gen.violations import synchronized_crossing
+
+        sources = list(synchronized_crossing(language, "good_sync"))
+        report = lint_sources(sources)
+        assert report.clean, [str(f) for f in report.findings]
+
+
+class TestWarmLintCache:
+    def test_second_run_skips_dfg_builds(self, tmp_path):
+        from repro.cache import SynthesisCache
+        from repro.core.engine import Engine
+        from repro.obs import metrics as obs_metrics
+
+        sources, expected = violation_corpus(VERILOG, seed=41)
+        cache = SynthesisCache(tmp_path / "cache")
+        engine = Engine(cache=cache)
+
+        cold = engine.lint(sources)
+        assert {(f.rule, f.module) for f in cold.findings} == expected
+
+        builds = obs_metrics.counter("flow.dfg_builds")
+        before = builds.value
+        warm = engine.lint(sources)
+        assert builds.value == before  # every module served from the memo
+        assert [str(f) for f in warm.findings] == [
+            str(f) for f in cold.findings
+        ]
+        assert warm.exit_code == cold.exit_code
+
+    def test_rule_selection_changes_the_key(self, tmp_path):
+        from repro.cache import SynthesisCache
+        from repro.core.engine import Engine
+
+        sources, _ = violation_corpus(VERILOG, seed=43, kinds=("dead_cone",))
+        cache = SynthesisCache(tmp_path / "cache")
+        engine = Engine(cache=cache)
+        full = engine.lint(sources)
+        narrowed = engine.lint(sources, LintConfig(disabled=("W007",)))
+        assert [f.rule for f in full.findings] == ["W007"]
+        assert narrowed.clean
